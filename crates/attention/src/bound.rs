@@ -1,0 +1,207 @@
+//! Analytical error bounds for the CTA approximation.
+//!
+//! The paper argues empirically that compressed-token attention stays
+//! accurate; this module adds the supporting analysis. For query `i`, let
+//! `δᵢ = max_j |S̃ᵢⱼ − Sᵢⱼ|` be the worst score perturbation of the
+//! reconstruction (paper eq. 6) and `ΔV = max_j ‖Ṽⱼ − Vⱼ‖₂` the worst
+//! value perturbation (eq. 4). Writing `p = softmax(Sᵢ)` and
+//! `p̃ = softmax(S̃ᵢ)`, each component satisfies
+//! `p̃ⱼ/pⱼ ∈ [e^{−2δᵢ}, e^{2δᵢ}]`, hence `‖p̃ − p‖₁ ≤ e^{2δᵢ} − 1`, and
+//!
+//! ```text
+//! ‖Õᵢ − Oᵢ‖₂ ≤ ΔV + (e^{2δᵢ} − 1) · max_j ‖Vⱼ‖₂
+//! ```
+//!
+//! The bound is *sound* (property-tested below) and interpretable: CTA's
+//! output error is controlled by how well centroids reproduce scores and
+//! values — exactly the quantities the two-level residual scheme and the
+//! bucket width `w` trade against compression.
+
+use cta_tensor::Matrix;
+
+use crate::aggregate::reconstruct_full_scores;
+use crate::{CtaAttention, ExactAttention};
+
+/// The per-query analytical bound next to the realised error.
+#[derive(Debug, Clone)]
+pub struct ErrorBound {
+    /// Per-query bound on `‖Õᵢ − Oᵢ‖₂`.
+    pub per_query_bound: Vec<f64>,
+    /// Per-query realised `‖Õᵢ − Oᵢ‖₂`.
+    pub per_query_actual: Vec<f64>,
+    /// Worst score perturbation `max_i δᵢ`.
+    pub max_score_perturbation: f64,
+    /// Worst value-row perturbation `ΔV`.
+    pub max_value_perturbation: f64,
+}
+
+impl ErrorBound {
+    /// Whether the bound holds for every query (up to floating-point
+    /// slack).
+    pub fn holds(&self) -> bool {
+        self.per_query_bound
+            .iter()
+            .zip(&self.per_query_actual)
+            .all(|(b, a)| a <= &(b * (1.0 + 1e-5) + 1e-6))
+    }
+
+    /// Mean ratio of realised error to bound (tightness diagnostic;
+    /// queries with a zero bound are skipped).
+    pub fn mean_tightness(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (b, a) in self.per_query_bound.iter().zip(&self.per_query_actual) {
+            if *b > 1e-12 {
+                sum += a / b;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+/// Computes the analytical bound and the realised error of a CTA pass
+/// against exact attention on the same inputs.
+///
+/// # Panics
+///
+/// Panics if `cta` and `exact` come from different-shaped inputs.
+pub fn output_error_bound(cta: &CtaAttention, exact: &ExactAttention) -> ErrorBound {
+    let approx_scores = reconstruct_full_scores(
+        &cta.scores_bar,
+        &cta.query_compression.table,
+        &cta.kv_compression.level1.table,
+        &cta.kv_compression.level2.table,
+        cta.k1(),
+    );
+    assert_eq!(approx_scores.shape(), exact.scores.shape(), "input shape mismatch");
+    let (m, n) = exact.scores.shape();
+
+    // The reconstruction carries a per-row constant shift from the PPE
+    // max-subtraction; softmax is shift-invariant, so compare scores
+    // after removing each row's mean offset.
+    let mut deltas = vec![0.0f64; m];
+    for i in 0..m {
+        let mut offset = 0.0f64;
+        for j in 0..n {
+            offset += (approx_scores[(i, j)] - exact.scores[(i, j)]) as f64;
+        }
+        offset /= n as f64;
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            let diff = (approx_scores[(i, j)] - exact.scores[(i, j)]) as f64 - offset;
+            worst = worst.max(diff.abs());
+        }
+        deltas[i] = worst;
+    }
+
+    // Value perturbation: reconstructed value rows vs exact rows.
+    let v_tilde = reconstruct_values(cta);
+    let mut dv = 0.0f64;
+    let mut v_max = 0.0f64;
+    for j in 0..n {
+        dv = dv.max(row_dist(v_tilde.row(j), exact.v.row(j)));
+        v_max = v_max.max(row_norm(exact.v.row(j)));
+    }
+
+    let per_query_bound: Vec<f64> =
+        deltas.iter().map(|&d| dv + ((2.0 * d).exp() - 1.0) * v_max).collect();
+    let per_query_actual: Vec<f64> = (0..m)
+        .map(|i| row_dist(cta.output.row(i), exact.output.row(i)))
+        .collect();
+
+    ErrorBound {
+        per_query_bound,
+        per_query_actual,
+        max_score_perturbation: deltas.iter().cloned().fold(0.0, f64::max),
+        max_value_perturbation: dv,
+    }
+}
+
+/// The per-position reconstructed values `Ṽⱼ = V̄_{CT₁[j]} + V̄_{k₁+CT₂[j]}`
+/// (paper eq. 4).
+pub fn reconstruct_values(cta: &CtaAttention) -> Matrix {
+    let ct1 = &cta.kv_compression.level1.table;
+    let ct2 = &cta.kv_compression.level2.table;
+    let k1 = cta.k1();
+    Matrix::from_fn(ct1.len(), cta.v_bar.cols(), |j, c| {
+        cta.v_bar[(ct1.cluster_of(j), c)] + cta.v_bar[(k1 + ct2.cluster_of(j), c)]
+    })
+}
+
+fn row_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+fn row_norm(a: &[f32]) -> f64 {
+    a.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attention_exact, cta_forward, AttentionWeights, CtaConfig};
+    use cta_tensor::standard_normal_matrix;
+    use proptest::prelude::*;
+
+    fn run(seed: u64, width: f32) -> (CtaAttention, ExactAttention) {
+        let x = standard_normal_matrix(seed, 24, 8);
+        let w = AttentionWeights::random(8, 4, seed + 1);
+        let cta = cta_forward(&x, &x, &w, &CtaConfig::uniform(width, seed + 2));
+        let exact = attention_exact(&x, &x, &w);
+        (cta, exact)
+    }
+
+    #[test]
+    fn bound_holds_at_moderate_compression() {
+        let (cta, exact) = run(5, 2.0);
+        let b = output_error_bound(&cta, &exact);
+        assert!(b.holds(), "bound violated: tightness {}", b.mean_tightness());
+    }
+
+    #[test]
+    fn bound_is_tiny_in_the_singleton_limit() {
+        let x = standard_normal_matrix(7, 20, 8);
+        let w = AttentionWeights::random(8, 4, 8);
+        let cta = cta_forward(&x, &x, &w, &CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 9));
+        let exact = attention_exact(&x, &x, &w);
+        let b = output_error_bound(&cta, &exact);
+        assert!(b.holds());
+        assert!(b.max_score_perturbation < 1e-3, "δ = {}", b.max_score_perturbation);
+        assert!(b.per_query_bound.iter().all(|&x| x < 0.02));
+    }
+
+    #[test]
+    fn perturbations_grow_with_bucket_width() {
+        let (fine_cta, fine_exact) = run(11, 0.5);
+        let (coarse_cta, coarse_exact) = run(11, 8.0);
+        let fine = output_error_bound(&fine_cta, &fine_exact);
+        let coarse = output_error_bound(&coarse_cta, &coarse_exact);
+        assert!(coarse.max_score_perturbation > fine.max_score_perturbation);
+        assert!(coarse.max_value_perturbation > fine.max_value_perturbation);
+    }
+
+    #[test]
+    fn reconstructed_values_expand_to_sequence_length() {
+        let (cta, exact) = run(13, 2.0);
+        let v = reconstruct_values(&cta);
+        assert_eq!(v.shape(), exact.v.shape());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Soundness: the analytical bound dominates the realised error
+        /// for every query, across seeds and widths.
+        #[test]
+        fn bound_is_sound(seed in 0u64..150, wexp in -2i32..4) {
+            let (cta, exact) = run(seed, 2f32.powi(wexp));
+            let b = output_error_bound(&cta, &exact);
+            prop_assert!(b.holds(), "tightness {}", b.mean_tightness());
+        }
+    }
+}

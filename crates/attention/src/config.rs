@@ -1,0 +1,139 @@
+//! Configuration of the CTA approximation scheme.
+
+/// Hyper-parameters of the CTA token-compression scheme.
+///
+/// `hash_length` is the LSH code length `l` (paper default 6). The three
+/// bucket widths control the aggressiveness of the three clusterings:
+/// `LSH₀` on query tokens, `LSH₁` on key/value tokens, and `LSH₂` on the
+/// level-1 residuals. Wider buckets merge more tokens (fewer centroids,
+/// more speed, more approximation error). Residual tokens are much smaller
+/// in magnitude than raw tokens, so `residual_bucket_width` is typically a
+/// fraction of `kv_bucket_width`.
+///
+/// `seed` determinises the sampled LSH families; two configs with the same
+/// fields produce bit-identical compressions.
+///
+/// ```
+/// use cta_attention::CtaConfig;
+/// let cfg = CtaConfig::uniform(4.0, 7);
+/// assert_eq!(cfg.hash_length, 6);
+/// assert!(cfg.residual_bucket_width < cfg.kv_bucket_width);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtaConfig {
+    /// LSH code length `l`.
+    pub hash_length: usize,
+    /// Bucket width of `LSH₀` (query tokens).
+    pub query_bucket_width: f32,
+    /// Bucket width of `LSH₁` (key/value tokens).
+    pub kv_bucket_width: f32,
+    /// Bucket width of `LSH₂` (level-1 residuals).
+    pub residual_bucket_width: f32,
+    /// Seed for the three sampled LSH families.
+    pub seed: u64,
+}
+
+/// Ratio of `residual_bucket_width` to `kv_bucket_width` used by
+/// [`CtaConfig::uniform`]: residuals are roughly cluster-radius sized, so
+/// they need proportionally finer buckets to carry useful correction.
+pub const DEFAULT_RESIDUAL_RATIO: f32 = 0.5;
+
+impl CtaConfig {
+    /// Fully explicit constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_length == 0` or any width is not strictly positive.
+    pub fn new(
+        hash_length: usize,
+        query_bucket_width: f32,
+        kv_bucket_width: f32,
+        residual_bucket_width: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(hash_length > 0, "hash_length must be positive");
+        for (name, w) in [
+            ("query_bucket_width", query_bucket_width),
+            ("kv_bucket_width", kv_bucket_width),
+            ("residual_bucket_width", residual_bucket_width),
+        ] {
+            assert!(w > 0.0 && w.is_finite(), "{name} must be positive and finite (got {w})");
+        }
+        Self { hash_length, query_bucket_width, kv_bucket_width, residual_bucket_width, seed }
+    }
+
+    /// The common configuration: paper hash length (`l = 6`), one bucket
+    /// width `w` for queries and key/values, and a residual width of
+    /// [`DEFAULT_RESIDUAL_RATIO`]` * w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not strictly positive.
+    pub fn uniform(bucket_width: f32, seed: u64) -> Self {
+        Self::new(6, bucket_width, bucket_width, bucket_width * DEFAULT_RESIDUAL_RATIO, seed)
+    }
+
+    /// Returns a copy with a different hash length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_length == 0`.
+    pub fn with_hash_length(mut self, hash_length: usize) -> Self {
+        assert!(hash_length > 0, "hash_length must be positive");
+        self.hash_length = hash_length;
+        self
+    }
+
+    /// Returns a copy with every bucket width multiplied by `factor` — the
+    /// knob the operating-point search turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled_widths(mut self, factor: f32) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "scale factor must be positive");
+        self.query_bucket_width *= factor;
+        self.kv_bucket_width *= factor;
+        self.residual_bucket_width *= factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_applies_residual_ratio() {
+        let c = CtaConfig::uniform(2.0, 1);
+        assert_eq!(c.query_bucket_width, 2.0);
+        assert_eq!(c.kv_bucket_width, 2.0);
+        assert_eq!(c.residual_bucket_width, 1.0);
+    }
+
+    #[test]
+    fn scaled_widths_scales_all_three() {
+        let c = CtaConfig::uniform(2.0, 1).scaled_widths(3.0);
+        assert_eq!(c.query_bucket_width, 6.0);
+        assert_eq!(c.kv_bucket_width, 6.0);
+        assert_eq!(c.residual_bucket_width, 3.0);
+    }
+
+    #[test]
+    fn with_hash_length_overrides() {
+        let c = CtaConfig::uniform(1.0, 1).with_hash_length(4);
+        assert_eq!(c.hash_length, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_widths() {
+        let _ = CtaConfig::new(6, 1.0, -1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash_length")]
+    fn rejects_zero_hash_length() {
+        let _ = CtaConfig::new(0, 1.0, 1.0, 1.0, 0);
+    }
+}

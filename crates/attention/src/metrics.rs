@@ -1,0 +1,128 @@
+//! Fidelity metrics: how close is a CTA output to exact attention?
+
+use cta_tensor::{cosine_similarity, relative_error, Matrix};
+
+use crate::aggregate::reconstruct_full_scores;
+use crate::{CtaAttention, ExactAttention};
+
+/// All fidelity numbers for one (input, config) pair.
+///
+/// These are the raw signals the workload crate converts into task-level
+/// proxy accuracy; the paper's 0% / 0.5% / 1% accuracy-loss operating
+/// points are found by sweeping bucket widths against such metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// Relative Frobenius error of the output matrix.
+    pub output_relative_error: f64,
+    /// Mean per-query cosine similarity between CTA and exact outputs.
+    pub mean_output_cosine: f64,
+    /// Fraction of queries whose strongest attended key (arg-max of the
+    /// attention probability row) is preserved by the approximation.
+    pub top1_agreement: f64,
+}
+
+/// Compares a CTA forward pass against exact attention on the same inputs.
+///
+/// # Panics
+///
+/// Panics if the two outputs have different shapes (different inputs).
+pub fn fidelity(cta: &CtaAttention, exact: &ExactAttention) -> FidelityReport {
+    let output_relative_error = relative_error(&cta.output, &exact.output);
+    let m = exact.output.rows();
+    let mut cos_sum = 0.0f64;
+    for i in 0..m {
+        cos_sum += cosine_similarity(cta.output.row(i), exact.output.row(i));
+    }
+    let mean_output_cosine = cos_sum / m as f64;
+    let top1_agreement = top1_agreement(cta, &exact.probabilities);
+    FidelityReport { output_relative_error, mean_output_cosine, top1_agreement }
+}
+
+/// Fraction of queries for which the approximated attention distribution
+/// and the exact one agree on the most-attended key.
+///
+/// The approximated per-query scores are reconstructed via paper eq. 6 —
+/// quadratic cost, metrics-only.
+///
+/// # Panics
+///
+/// Panics if `exact_probabilities` has a different shape from the
+/// reconstruction implied by `cta`'s cluster tables.
+pub fn top1_agreement(cta: &CtaAttention, exact_probabilities: &Matrix) -> f64 {
+    let approx_scores = reconstruct_full_scores(
+        &cta.scores_bar,
+        &cta.query_compression.table,
+        &cta.kv_compression.level1.table,
+        &cta.kv_compression.level2.table,
+        cta.k1(),
+    );
+    assert_eq!(
+        approx_scores.shape(),
+        exact_probabilities.shape(),
+        "shape mismatch between reconstruction and exact probabilities"
+    );
+    let m = approx_scores.rows();
+    let mut agree = 0usize;
+    for i in 0..m {
+        if argmax(approx_scores.row(i)) == argmax(exact_probabilities.row(i)) {
+            agree += 1;
+        }
+    }
+    agree as f64 / m as f64
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attention_exact, cta_forward, AttentionWeights, CtaConfig};
+    use cta_tensor::standard_normal_matrix;
+
+    #[test]
+    fn perfect_fidelity_in_the_singleton_limit() {
+        let x = standard_normal_matrix(3, 20, 8);
+        let w = AttentionWeights::random(8, 4, 4);
+        let cta = cta_forward(&x, &x, &w, &CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 9));
+        let exact = attention_exact(&x, &x, &w);
+        let f = fidelity(&cta, &exact);
+        assert!(f.output_relative_error < 1e-4);
+        assert!(f.mean_output_cosine > 0.99999);
+        assert_eq!(f.top1_agreement, 1.0);
+    }
+
+    #[test]
+    fn fidelity_degrades_with_aggressive_compression() {
+        let x = standard_normal_matrix(5, 32, 8);
+        let w = AttentionWeights::random(8, 4, 6);
+        let exact = attention_exact(&x, &x, &w);
+        let fine = fidelity(&cta_forward(&x, &x, &w, &CtaConfig::new(6, 0.01, 0.01, 0.005, 7)), &exact);
+        let coarse = fidelity(&cta_forward(&x, &x, &w, &CtaConfig::uniform(100.0, 7)), &exact);
+        assert!(fine.output_relative_error <= coarse.output_relative_error);
+        assert!(fine.mean_output_cosine >= coarse.mean_output_cosine - 1e-9);
+    }
+
+    #[test]
+    fn top1_agreement_bounded() {
+        let x = standard_normal_matrix(8, 16, 6);
+        let w = AttentionWeights::random(6, 4, 2);
+        let cta = cta_forward(&x, &x, &w, &CtaConfig::uniform(2.0, 3));
+        let exact = attention_exact(&x, &x, &w);
+        let a = top1_agreement(&cta, &exact.probabilities);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn argmax_picks_first_of_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! An A³-style approximate-attention *algorithm* baseline (Ham et al.,
+//! HPCA 2020) — the query-specific relation-pruning approach the CTA
+//! paper contrasts itself with (Fig. 1b).
+//!
+//! A³'s candidate-selection core: for each query, instead of computing all
+//! `n` dot products, walk per-dimension *sorted* key lists greedily —
+//! always expanding the (dimension, rank) pair with the largest remaining
+//! `|q_d · K[key][d]|` contribution — accumulating partial scores for the
+//! keys touched; after a fixed iteration budget, keep the keys with the
+//! largest partial scores and run exact softmax-attention over only those.
+//!
+//! Two properties matter for the comparison with CTA:
+//!
+//! * the candidate set is *per query*, so the work is irregular and the
+//!   scheme processes queries one at a time (the parallelism objection of
+//!   CTA §I);
+//! * the preprocessing (sorting keys per dimension) is `O(d·n log n)` and
+//!   the search saves only the score computation — the output computation
+//!   still touches `candidates` full value rows per query.
+
+use cta_attention::{AttentionWeights, OpCounts};
+use cta_tensor::{softmax_rows, Matrix};
+
+/// Configuration of the A³-style approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct A3Config {
+    /// Greedy search iterations per query (the A³ paper's "M").
+    pub search_iterations: usize,
+    /// Candidate keys kept per query after the search.
+    pub candidates: usize,
+}
+
+impl A3Config {
+    /// A conservative setting: touch half the score space, keep a quarter
+    /// of the keys.
+    pub fn conservative(n: usize) -> Self {
+        Self { search_iterations: n * 2, candidates: (n / 2).max(1) }
+    }
+
+    /// An aggressive setting mirroring A³'s high-approximation mode.
+    pub fn aggressive(n: usize) -> Self {
+        Self { search_iterations: n, candidates: (n / 8).max(1) }
+    }
+}
+
+/// Result of an A³-style forward pass.
+#[derive(Debug, Clone)]
+pub struct A3Attention {
+    /// `m × d` attention output.
+    pub output: Matrix,
+    /// Per-query candidate sets (sorted ascending), exposing the
+    /// irregularity of query-specific pruning.
+    pub candidates: Vec<Vec<usize>>,
+    /// Operation counts actually spent (search + exact part).
+    pub ops: OpCounts,
+}
+
+/// Runs A³-style approximate attention.
+///
+/// # Panics
+///
+/// Panics if the token dimensions mismatch the weights, the inputs are
+/// empty, or `config.candidates == 0`.
+pub fn a3_attention(
+    queries: &Matrix,
+    keys_values: &Matrix,
+    weights: &AttentionWeights,
+    config: &A3Config,
+) -> A3Attention {
+    assert!(queries.rows() > 0 && keys_values.rows() > 0, "empty inputs");
+    assert_eq!(queries.cols(), weights.token_dim(), "query token dim mismatch");
+    assert_eq!(keys_values.cols(), weights.token_dim(), "kv token dim mismatch");
+    assert!(config.candidates > 0, "need at least one candidate");
+
+    let q = queries.matmul(weights.wq());
+    let k = keys_values.matmul(weights.wk());
+    let v = keys_values.matmul(weights.wv());
+    let (m, n, d) = (q.rows(), k.rows(), k.cols());
+    let keep = config.candidates.min(n);
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let mut ops = OpCounts::default();
+    // Preprocessing: per-dimension key order (descending by value), shared
+    // by all queries. Counted as n·d comparisons ~ adds.
+    let mut sorted_desc: Vec<Vec<usize>> = Vec::with_capacity(d);
+    let mut sorted_asc: Vec<Vec<usize>> = Vec::with_capacity(d);
+    for dim in 0..d {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| k[(b, dim)].partial_cmp(&k[(a, dim)]).expect("finite keys"));
+        sorted_asc.push(idx.iter().rev().cloned().collect());
+        sorted_desc.push(idx);
+    }
+    ops.adds += (n * d) as u64;
+
+    let mut output = Matrix::zeros(m, v.cols());
+    let mut candidate_sets = Vec::with_capacity(m);
+
+    for qi in 0..m {
+        let qrow = q.row(qi);
+        // Greedy search state: for each dimension, the next rank to expand
+        // in the direction that maximises q_d · k_d.
+        let mut rank = vec![0usize; d];
+        let mut partial = vec![0.0f32; n];
+        let mut touched = vec![false; n];
+        for _ in 0..config.search_iterations {
+            // Pick the dimension whose next entry contributes most.
+            let mut best_dim = usize::MAX;
+            let mut best_gain = f32::NEG_INFINITY;
+            for dim in 0..d {
+                if rank[dim] >= n {
+                    continue;
+                }
+                let list = if qrow[dim] >= 0.0 { &sorted_desc[dim] } else { &sorted_asc[dim] };
+                let key = list[rank[dim]];
+                let gain = qrow[dim] * k[(key, dim)];
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_dim = dim;
+                }
+            }
+            if best_dim == usize::MAX {
+                break;
+            }
+            let list = if qrow[best_dim] >= 0.0 { &sorted_desc[best_dim] } else { &sorted_asc[best_dim] };
+            let key = list[rank[best_dim]];
+            rank[best_dim] += 1;
+            partial[key] += best_gain;
+            touched[key] = true;
+            ops.macs += 1; // one multiply-accumulate per expanded entry
+        }
+
+        // Keep the `keep` keys with the largest partial scores (untouched
+        // keys rank last).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let pa = if touched[a] { partial[a] } else { f32::NEG_INFINITY };
+            let pb = if touched[b] { partial[b] } else { f32::NEG_INFINITY };
+            pb.partial_cmp(&pa).expect("finite partials")
+        });
+        let mut kept: Vec<usize> = order[..keep].to_vec();
+        kept.sort_unstable();
+
+        // Exact attention over the candidates only.
+        let mut scores = Matrix::zeros(1, keep);
+        for (j, &key) in kept.iter().enumerate() {
+            scores[(0, j)] = Matrix::dot(qrow, k.row(key)) * scale;
+        }
+        ops.macs += (keep * d) as u64;
+        let probs = softmax_rows(&scores);
+        ops.exps += keep as u64;
+        ops.divs += keep as u64;
+        let out_row = output.row_mut(qi);
+        for (j, &key) in kept.iter().enumerate() {
+            let p = probs[(0, j)];
+            for (o, &vv) in out_row.iter_mut().zip(v.row(key)) {
+                *o += p * vv;
+            }
+        }
+        ops.macs += (keep * v.cols()) as u64;
+        candidate_sets.push(kept);
+    }
+    // Linears (shared with exact attention).
+    ops.macs += ((m + 2 * n) * weights.token_dim() * d) as u64;
+
+    A3Attention { output, candidates: candidate_sets, ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_attention::attention_exact;
+    use cta_tensor::{relative_error, standard_normal_matrix};
+
+    fn setup(n: usize) -> (Matrix, AttentionWeights) {
+        (standard_normal_matrix(3, n, 16), AttentionWeights::random(16, 8, 4))
+    }
+
+    #[test]
+    fn full_candidates_recover_exact_attention() {
+        let (x, w) = setup(24);
+        let cfg = A3Config { search_iterations: 24 * 16, candidates: 24 };
+        let a3 = a3_attention(&x, &x, &w, &cfg);
+        let exact = attention_exact(&x, &x, &w);
+        assert!(relative_error(&a3.output, &exact.output) < 1e-5);
+    }
+
+    #[test]
+    fn pruning_works_when_attention_concentrates() {
+        // Top-k pruning rests on softmax concentrating its mass on a few
+        // keys; scale the tokens so scores are peaked (diffuse
+        // near-uniform attention is pruning's worst case and is *not*
+        // required to be accurate).
+        let (x, w) = setup(64);
+        let x = x.scale(2.5);
+        let a3 = a3_attention(&x, &x, &w, &A3Config::conservative(64));
+        let exact = attention_exact(&x, &x, &w);
+        let err = relative_error(&a3.output, &exact.output);
+        assert!(err < 0.15, "error {err}");
+    }
+
+    #[test]
+    fn candidate_sets_are_query_specific() {
+        let (x, w) = setup(48);
+        let a3 = a3_attention(&x, &x, &w, &A3Config::aggressive(48));
+        let first = &a3.candidates[0];
+        assert!(a3.candidates.iter().any(|c| c != first), "identical candidate sets");
+        assert!(a3.candidates.iter().all(|c| c.len() == 6));
+    }
+
+    #[test]
+    fn fewer_candidates_means_fewer_ops() {
+        let (x, w) = setup(64);
+        let big = a3_attention(&x, &x, &w, &A3Config::conservative(64));
+        let small = a3_attention(&x, &x, &w, &A3Config::aggressive(64));
+        assert!(small.ops.total() < big.ops.total());
+    }
+
+    #[test]
+    fn search_finds_high_score_keys() {
+        // The greedy search should recover most of the true top keys.
+        let (x, w) = setup(64);
+        let exact = attention_exact(&x, &x, &w);
+        let cfg = A3Config { search_iterations: 64 * 4, candidates: 16 };
+        let a3 = a3_attention(&x, &x, &w, &cfg);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for qi in 0..x.rows() {
+            // True top-16 keys by exact score.
+            let mut order: Vec<usize> = (0..64).collect();
+            order.sort_by(|&a, &b| {
+                exact.scores[(qi, b)].partial_cmp(&exact.scores[(qi, a)]).expect("finite")
+            });
+            let top: Vec<usize> = order[..16].to_vec();
+            hits += a3.candidates[qi].iter().filter(|k| top.contains(k)).count();
+            total += 16;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.5, "top-key recall {recall}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn zero_candidates_rejected() {
+        let (x, w) = setup(8);
+        let _ = a3_attention(&x, &x, &w, &A3Config { search_iterations: 8, candidates: 0 });
+    }
+}

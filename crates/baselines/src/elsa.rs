@@ -1,0 +1,242 @@
+//! Cycle/energy/memory model of the ELSA accelerator (Ham et al.,
+//! ISCA'21), the paper's main accelerator baseline.
+//!
+//! The paper *reproduces* ELSA's latency rather than running its RTL
+//! (§VI-C); we do the same, modelling the published microarchitecture:
+//!
+//! * per-query **candidate selection**: a sign-random-projection hash of
+//!   the query is compared against the precomputed hashes of all `n` keys
+//!   (Hamming distance + norm threshold), one key per cycle through the
+//!   pipelined estimator;
+//! * surviving candidates go through an exact `d`-wide dot-product unit,
+//!   softmax, and a `d`-wide weighted accumulation — one candidate per
+//!   cycle each, overlapped with screening;
+//! * **query-serial processing**: every query re-reads the candidate keys
+//!   and values from memory, which is the structural reason ELSA's memory
+//!   traffic scales quadratically (paper Fig. 16 discussion).
+
+use cta_attention::AttentionDims;
+
+/// ELSA's approximation setting: the fraction of keys surviving candidate
+/// selection (the ISCA'21 paper sweeps conservative → aggressive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElsaApproximation {
+    /// Keeps most candidates; nearly exact.
+    Conservative,
+    /// Middle setting.
+    Moderate,
+    /// Prunes hard; ~1% accuracy loss per the ELSA paper.
+    Aggressive,
+}
+
+impl ElsaApproximation {
+    /// Fraction of keys that survive candidate selection.
+    pub fn candidate_fraction(self) -> f64 {
+        match self {
+            ElsaApproximation::Conservative => 0.55,
+            ElsaApproximation::Moderate => 0.40,
+            ElsaApproximation::Aggressive => 0.25,
+        }
+    }
+}
+
+/// One ELSA unit (the paper compares 12×CTA against 12×ELSA, iso-area).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElsaModel {
+    /// Approximation setting.
+    pub approximation: ElsaApproximation,
+    /// Clock, GHz (ELSA also runs at 1 GHz in its paper).
+    pub clock_ghz: f64,
+    /// Hash signature length in bits.
+    pub hash_bits: usize,
+    /// Per-candidate-screen energy (hash compare + norm check), pJ.
+    pub screen_pj: f64,
+    /// Per-MAC energy of the exact dot-product/output units, pJ.
+    pub mac_pj: f64,
+    /// Per-element memory access energy (keys/values re-streamed per
+    /// query from its key/value SRAMs), pJ.
+    pub mem_pj: f64,
+    /// Static power, watts.
+    pub static_w: f64,
+}
+
+impl ElsaModel {
+    /// ELSA with the given approximation setting and ISCA'21-like
+    /// parameters.
+    pub fn new(approximation: ElsaApproximation) -> Self {
+        Self {
+            approximation,
+            clock_ghz: 1.0,
+            hash_bits: 8,
+            screen_pj: 0.9,
+            mac_pj: 0.45,
+            mem_pj: 0.55,
+            static_w: 0.01,
+        }
+    }
+
+    /// Cycles for one head of the *attention core* (ELSA does not
+    /// accelerate the linear transformations).
+    ///
+    /// Screening processes one key per cycle per query; the exact pipeline
+    /// handles one surviving candidate per cycle (dot product) plus one for
+    /// the output accumulation, overlapped with screening — so each query
+    /// costs `max(n, 2·kept·n)` cycles plus pipeline fill. Hash
+    /// precomputation of the keys streams once per head.
+    pub fn attention_cycles(&self, dims: &AttentionDims) -> u64 {
+        let m = dims.num_queries as u64;
+        let n = dims.num_keys as u64;
+        let d = dims.head_dim as u64;
+        let kept = (self.approximation.candidate_fraction() * n as f64).ceil() as u64;
+        let per_query = n.max(2 * kept) + d; // screen vs exact+output, plus fill
+        let key_hash_precompute = n; // one key hash per cycle
+        key_hash_precompute + m * per_query
+    }
+
+    /// Attention-core latency in seconds for `heads` heads on one unit
+    /// (heads are processed back to back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`.
+    pub fn attention_latency_s(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        assert!(heads > 0, "at least one head");
+        self.attention_cycles(dims) as f64 * heads as f64 * 1e-9 / self.clock_ghz
+    }
+
+    /// Memory accesses (elements) of one head: per query, every key is
+    /// screened from its hash store and the surviving keys *and* values are
+    /// re-read at full width — the query-serial pattern CTA's systolic
+    /// reuse avoids.
+    pub fn memory_accesses(&self, dims: &AttentionDims) -> u64 {
+        let m = dims.num_queries as u64;
+        let n = dims.num_keys as u64;
+        let d = dims.head_dim as u64;
+        let kept = (self.approximation.candidate_fraction() * n as f64).ceil() as u64;
+        let per_query = n /* hash words screened */ + 2 * kept * d /* keys+values */;
+        let preload = 2 * n * d /* keys and values written once */ + n * d /* hashed once */;
+        preload + m * per_query + m * d /* output writes */
+    }
+
+    /// Energy of one head's attention core, joules.
+    pub fn attention_energy_j(&self, dims: &AttentionDims) -> f64 {
+        let m = dims.num_queries as f64;
+        let n = dims.num_keys as f64;
+        let d = dims.head_dim as f64;
+        let kept = self.approximation.candidate_fraction() * n;
+        let screen = m * n * self.screen_pj;
+        let exact = m * kept * 2.0 * d * self.mac_pj;
+        let memory = self.memory_accesses(dims) as f64 * self.mem_pj;
+        let static_e = self.static_w * self.attention_cycles(dims) as f64 * 1e-9 / self.clock_ghz * 1e12;
+        (screen + exact + memory + static_e) * 1e-12
+    }
+}
+
+/// The ELSA+GPU system of the paper's comparison: linears on the GPU,
+/// attention core on `units` ELSA instances in parallel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElsaGpuSystem {
+    /// The ELSA units.
+    pub elsa: ElsaModel,
+    /// The GPU running the linear transformations.
+    pub gpu: crate::GpuModel,
+    /// Number of parallel ELSA units (12 in the paper's iso-area setup).
+    pub units: usize,
+}
+
+impl ElsaGpuSystem {
+    /// The paper's configuration: 12×ELSA + V100.
+    pub fn paper(approximation: ElsaApproximation) -> Self {
+        Self { elsa: ElsaModel::new(approximation), gpu: crate::GpuModel::v100(), units: 12 }
+    }
+
+    /// End-to-end attention latency for `heads` heads: GPU linears plus
+    /// the ELSA units working heads in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0` or `units == 0`.
+    pub fn attention_latency_s(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        assert!(self.units > 0, "at least one ELSA unit");
+        let rounds = heads.div_ceil(self.units);
+        self.gpu.linears_latency_s(dims, heads)
+            + self.elsa.attention_latency_s(dims, 1) * rounds as f64
+    }
+
+    /// Energy for `heads` heads, joules. The GPU draws its sustained power
+    /// over the *whole* system runtime — it cannot sleep while the ELSA
+    /// units process the attention core it fed — plus the ELSA units'
+    /// own energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`.
+    pub fn attention_energy_j(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        self.attention_latency_s(dims, heads) * self.gpu.sustained_power_w
+            + self.elsa.attention_energy_j(dims) * heads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuModel;
+
+    fn dims() -> AttentionDims {
+        AttentionDims::self_attention(512, 64, 64)
+    }
+
+    #[test]
+    fn aggressive_is_faster_than_conservative() {
+        let cons = ElsaModel::new(ElsaApproximation::Conservative);
+        let aggr = ElsaModel::new(ElsaApproximation::Aggressive);
+        assert!(aggr.attention_cycles(&dims()) <= cons.attention_cycles(&dims()));
+        assert!(aggr.attention_energy_j(&dims()) < cons.attention_energy_j(&dims()));
+    }
+
+    #[test]
+    fn memory_traffic_scales_quadratically() {
+        let elsa = ElsaModel::new(ElsaApproximation::Aggressive);
+        let short = elsa.memory_accesses(&AttentionDims::self_attention(128, 64, 64));
+        let long = elsa.memory_accesses(&AttentionDims::self_attention(512, 64, 64));
+        // 4× the sequence → ~16× the traffic (query-serial re-reads).
+        assert!(long as f64 / short as f64 > 10.0, "ratio {}", long as f64 / short as f64);
+    }
+
+    #[test]
+    fn query_serial_cycles_scale_with_m_times_n() {
+        let elsa = ElsaModel::new(ElsaApproximation::Conservative);
+        let c = elsa.attention_cycles(&dims());
+        // Lower bound: m·n screening cycles.
+        assert!(c >= 512 * 512);
+    }
+
+    #[test]
+    fn system_latency_includes_gpu_linears() {
+        let sys = ElsaGpuSystem::paper(ElsaApproximation::Aggressive);
+        let lin = GpuModel::v100().linears_latency_s(&dims(), 12);
+        assert!(sys.attention_latency_s(&dims(), 12) > lin);
+    }
+
+    #[test]
+    fn elsa_gpu_beats_gpu_but_modestly() {
+        // Paper Fig. 12: ELSA+GPU throughput varies only slightly with the
+        // approximation setting because GPU linears bound the system
+        // (~half the measured computation).
+        let gpu = GpuModel::v100();
+        let sys = ElsaGpuSystem::paper(ElsaApproximation::Aggressive);
+        let gpu_t = gpu.attention_latency_s(&dims(), 12);
+        let sys_t = sys.attention_latency_s(&dims(), 12);
+        let speedup = gpu_t / sys_t;
+        assert!(speedup > 1.0 && speedup < 3.0, "ELSA+GPU speedup {speedup}");
+    }
+
+    #[test]
+    fn approximation_barely_moves_the_system() {
+        let d = dims();
+        let cons = ElsaGpuSystem::paper(ElsaApproximation::Conservative).attention_latency_s(&d, 12);
+        let aggr = ElsaGpuSystem::paper(ElsaApproximation::Aggressive).attention_latency_s(&d, 12);
+        let ratio = cons / aggr;
+        assert!(ratio > 1.0 && ratio < 1.6, "ratio {ratio}");
+    }
+}

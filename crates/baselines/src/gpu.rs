@@ -1,0 +1,177 @@
+//! Analytical roofline model of the GPU baseline (paper §VI-C measures an
+//! NVIDIA V100-SXM2 with PyTorch; see `DESIGN.md` for the substitution
+//! note).
+
+use cta_attention::AttentionDims;
+
+/// A roofline GPU model: peak compute, memory bandwidth, and achieved
+/// efficiencies representative of attention kernels.
+///
+/// Per-head attention at sequence length ≤ 512 consists of *small* batched
+/// GEMMs (64-dimensional heads) and memory-bound softmax kernels; published
+/// profiles of such workloads on V100 show single-digit-percent FP32
+/// utilisation, which is what `gemm_efficiency` encodes. Power is the
+/// sustained draw `nvidia-smi` reports for attention inference, well below
+/// TDP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Device name for reports.
+    pub name: &'static str,
+    /// Peak FP32 throughput, TFLOP/s.
+    pub peak_fp32_tflops: f64,
+    /// Peak memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Sustained power during attention inference, watts.
+    pub sustained_power_w: f64,
+    /// Achieved fraction of peak FLOP/s on attention-sized batched GEMMs.
+    pub gemm_efficiency: f64,
+    /// Achieved fraction of peak bandwidth on elementwise/softmax kernels.
+    pub elementwise_efficiency: f64,
+}
+
+impl GpuModel {
+    /// The paper's baseline: V100-SXM2 32 GB.
+    pub fn v100() -> Self {
+        Self {
+            name: "NVIDIA V100-SXM2",
+            peak_fp32_tflops: 15.7,
+            mem_bw_gbs: 900.0,
+            sustained_power_w: 160.0,
+            gemm_efficiency: 0.075,
+            elementwise_efficiency: 0.45,
+        }
+    }
+
+    /// Latency of the attention mechanism (linears + scores + softmax +
+    /// output, the same scope CTA accelerates) for `heads` heads at the
+    /// given per-head dimensions, assuming throughput-optimal batching
+    /// (kernel-launch overheads amortised away, as the paper's
+    /// "batch size chosen for best throughput" methodology does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`.
+    pub fn attention_latency_s(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        assert!(heads > 0, "at least one head");
+        self.linears_latency_s(dims, heads) + self.attention_core_latency_s(dims, heads)
+    }
+
+    /// Latency of only the Q/K/V linear transformations — the part that
+    /// stays on the GPU in the ELSA+GPU system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`.
+    pub fn linears_latency_s(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        assert!(heads > 0, "at least one head");
+        let m = dims.num_queries as f64;
+        let n = dims.num_keys as f64;
+        let dw = dims.token_dim as f64;
+        let d = dims.head_dim as f64;
+        let h = heads as f64;
+        let flops = 2.0 * (m + 2.0 * n) * dw * d * h;
+        let bytes = 4.0 * ((m + 2.0 * n) * dw + 3.0 * dw * d + (m + 2.0 * n) * d) * h;
+        self.kernel_time_s(flops, bytes)
+    }
+
+    /// Latency of the quadratic part: `QKᵀ`, softmax, `PV`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`.
+    pub fn attention_core_latency_s(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        assert!(heads > 0, "at least one head");
+        let m = dims.num_queries as f64;
+        let n = dims.num_keys as f64;
+        let d = dims.head_dim as f64;
+        let h = heads as f64;
+        // QKᵀ and PV batched GEMMs.
+        let gemm_flops = 2.0 * 2.0 * m * n * d * h;
+        let gemm_bytes = 4.0 * (2.0 * (m + n) * d + 2.0 * m * n) * h;
+        // Softmax: read + write the score matrix twice (max/sub/exp, sum/div).
+        let softmax_bytes = 4.0 * 4.0 * m * n * h;
+        self.kernel_time_s(gemm_flops, gemm_bytes) + softmax_bytes / (self.mem_bw_gbs * 1e9 * self.elementwise_efficiency)
+    }
+
+    /// Attention throughput in heads/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`.
+    pub fn attention_heads_per_second(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        heads as f64 / self.attention_latency_s(dims, heads)
+    }
+
+    /// Energy of one attention pass, joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0`.
+    pub fn attention_energy_j(&self, dims: &AttentionDims, heads: usize) -> f64 {
+        self.attention_latency_s(dims, heads) * self.sustained_power_w
+    }
+
+    fn kernel_time_s(&self, flops: f64, bytes: f64) -> f64 {
+        let compute = flops / (self.peak_fp32_tflops * 1e12 * self.gemm_efficiency);
+        let memory = bytes / (self.mem_bw_gbs * 1e9 * self.elementwise_efficiency);
+        compute.max(memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> AttentionDims {
+        AttentionDims::self_attention(512, 64, 64)
+    }
+
+    #[test]
+    fn latency_positive_and_subsecond() {
+        let gpu = GpuModel::v100();
+        let t = gpu.attention_latency_s(&dims(), 12);
+        assert!(t > 1e-6 && t < 1.0, "latency {t}");
+    }
+
+    #[test]
+    fn latency_splits_into_parts() {
+        let gpu = GpuModel::v100();
+        let whole = gpu.attention_latency_s(&dims(), 12);
+        let parts = gpu.linears_latency_s(&dims(), 12) + gpu.attention_core_latency_s(&dims(), 12);
+        assert!((whole - parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_part_dominates_at_long_sequences() {
+        // The paper motivates CTA with attention becoming ~50% of model
+        // time at 512 and growing: the quadratic core must outweigh the
+        // linears at n = 512 and d_w = d = 64.
+        let gpu = GpuModel::v100();
+        let lin = gpu.linears_latency_s(&dims(), 12);
+        let core = gpu.attention_core_latency_s(&dims(), 12);
+        assert!(core > lin, "core {core} vs linears {lin}");
+    }
+
+    #[test]
+    fn latency_grows_superlinearly_with_sequence_length() {
+        let gpu = GpuModel::v100();
+        let short = gpu.attention_latency_s(&AttentionDims::self_attention(128, 64, 64), 12);
+        let long = gpu.attention_latency_s(&AttentionDims::self_attention(512, 64, 64), 12);
+        assert!(long / short > 4.0, "scaling {}", long / short);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let gpu = GpuModel::v100();
+        let t = gpu.attention_latency_s(&dims(), 12);
+        assert!((gpu.attention_energy_j(&dims(), 12) - t * 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heads_scale_latency_linearly() {
+        let gpu = GpuModel::v100();
+        let one = gpu.attention_latency_s(&dims(), 1);
+        let twelve = gpu.attention_latency_s(&dims(), 12);
+        assert!((twelve / one - 12.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,68 @@
+//! The "ideal accelerator" baseline (paper §VI-C): same multiplier count
+//! as CTA, 1 GHz, always at peak throughput, computing *normal* attention
+//! with none of CTA's optimisations.
+
+use cta_attention::{normal_ops, AttentionDims};
+
+/// An idealised accelerator: every multiplier busy every cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealAccelerator {
+    /// Number of multipliers (matched to CTA's for iso-resource
+    /// comparison).
+    pub multipliers: usize,
+    /// Clock, GHz.
+    pub clock_ghz: f64,
+}
+
+impl IdealAccelerator {
+    /// Matches a CTA configuration's multiplier count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multipliers == 0`.
+    pub fn matching(multipliers: usize) -> Self {
+        assert!(multipliers > 0, "at least one multiplier");
+        Self { multipliers, clock_ghz: 1.0 }
+    }
+
+    /// Cycles to run one head of *exact* attention at peak: total MACs
+    /// divided by the multiplier count (exponentials and divisions are
+    /// generously assumed free).
+    pub fn attention_cycles(&self, dims: &AttentionDims) -> u64 {
+        let ops = normal_ops(dims);
+        let macs = ops.linears.macs + ops.attention.macs;
+        macs.div_ceil(self.multipliers as u64)
+    }
+
+    /// Latency of one head, seconds.
+    pub fn head_latency_s(&self, dims: &AttentionDims) -> f64 {
+        self.attention_cycles(dims) as f64 * 1e-9 / self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_are_macs_over_multipliers() {
+        let ideal = IdealAccelerator::matching(520);
+        let dims = AttentionDims::self_attention(512, 64, 64);
+        let macs = 3 * 512 * 64 * 64 + 2 * 512 * 512 * 64;
+        assert_eq!(ideal.attention_cycles(&dims), (macs as u64).div_ceil(520));
+    }
+
+    #[test]
+    fn more_multipliers_less_time() {
+        let dims = AttentionDims::self_attention(256, 64, 64);
+        let small = IdealAccelerator::matching(128).attention_cycles(&dims);
+        let big = IdealAccelerator::matching(1024).attention_cycles(&dims);
+        assert!(big < small);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one multiplier")]
+    fn zero_multipliers_rejected() {
+        let _ = IdealAccelerator::matching(0);
+    }
+}

@@ -1,0 +1,38 @@
+#![deny(missing_docs)]
+
+//! Baseline hardware models CTA is compared against (paper §VI):
+//!
+//! * [`GpuModel`] — an analytical roofline model of the NVIDIA V100-SXM2
+//!   (the paper measures the real card; `DESIGN.md` documents the
+//!   substitution);
+//! * [`ElsaModel`] / [`ElsaGpuSystem`] — a cycle/energy/memory model of
+//!   the ELSA accelerator (ISCA'21) with GPU-resident linears, at the
+//!   same reproduce-from-the-paper level of abstraction the CTA authors
+//!   used;
+//! * [`IdealAccelerator`] — the iso-multiplier, always-at-peak
+//!   upper-bound machine running exact attention;
+//! * [`a3_attention`] — an A³-style query-specific top-k pruning
+//!   *algorithm*, the Fig. 1(b) approach CTA argues against.
+//!
+//! # Example
+//!
+//! ```
+//! use cta_attention::AttentionDims;
+//! use cta_baselines::GpuModel;
+//!
+//! let dims = AttentionDims::self_attention(512, 64, 64);
+//! let gpu = GpuModel::v100();
+//! assert!(gpu.attention_latency_s(&dims, 12) > 0.0);
+//! ```
+
+mod a3;
+mod elsa;
+mod elsa_algorithm;
+mod gpu;
+mod ideal;
+
+pub use a3::{a3_attention, A3Attention, A3Config};
+pub use elsa::{ElsaApproximation, ElsaGpuSystem, ElsaModel};
+pub use elsa_algorithm::{elsa_attention, ElsaAlgorithmConfig, ElsaAttention};
+pub use gpu::GpuModel;
+pub use ideal::IdealAccelerator;

@@ -1,0 +1,53 @@
+//! Software-path microbenchmark: exact attention vs the CTA scheme on a
+//! general-purpose core.
+//!
+//! This is the §IV observation that motivates the accelerator: even with
+//! optimized kernels, CTA on general-purpose hardware is only
+//! 1.0–2.1× normal attention (varying with compression ratio) because the
+//! token-compression logic is sequential — the algorithmic savings only
+//! pay off with specialized hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cta_attention::{
+    attention_exact, attention_exact_causal, cta_forward, cta_forward_causal, AttentionWeights,
+    CausalCtaConfig, CtaConfig,
+};
+use cta_workloads::{bert_large, generate_tokens, squad11};
+use std::hint::black_box;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_software");
+    group.sample_size(20);
+
+    for n in [128usize, 256, 512] {
+        let model = bert_large();
+        let dataset = squad11().with_seq_len(n);
+        let tokens = generate_tokens(&model, &dataset, n, 42);
+        let weights = AttentionWeights::random(64, 64, 7);
+        let cfg = CtaConfig::uniform(4.0, 9);
+
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| black_box(attention_exact(black_box(&tokens), &tokens, &weights)))
+        });
+        group.bench_with_input(BenchmarkId::new("cta", n), &n, |b, _| {
+            b.iter(|| black_box(cta_forward(black_box(&tokens), &tokens, &weights, &cfg)))
+        });
+    }
+    group.finish();
+
+    let mut causal = c.benchmark_group("causal_software");
+    causal.sample_size(15);
+    let tokens = generate_tokens(&bert_large(), &squad11().with_seq_len(256), 256, 42);
+    let weights = AttentionWeights::random(64, 64, 7);
+    causal.bench_function("exact/256", |b| {
+        b.iter(|| black_box(attention_exact_causal(black_box(&tokens), &weights)))
+    });
+    let ccfg = CausalCtaConfig { block: 32, inner: CtaConfig::uniform(4.0, 9) };
+    causal.bench_function("cta_blocked/256", |b| {
+        b.iter(|| black_box(cta_forward_causal(black_box(&tokens), &weights, &ccfg)))
+    });
+    causal.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

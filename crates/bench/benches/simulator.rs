@@ -1,0 +1,38 @@
+//! Microbenchmarks of the simulator itself: the analytical mapping
+//! schedule (fast path used by sweeps) and the functional datapath
+//! (validation path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cta_attention::{AttentionWeights, CtaConfig};
+use cta_sim::{run_functional_datapath, schedule, AttentionTask, HwConfig, RtlArray};
+use cta_tensor::standard_normal_matrix;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let hw = HwConfig::paper();
+    let task = AttentionTask::from_counts(512, 512, 64, 200, 180, 40, 6);
+
+    c.bench_function("sim/mapping_schedule_n512", |b| {
+        b.iter(|| black_box(schedule(black_box(&hw), &task)))
+    });
+
+    let x = standard_normal_matrix(5, 64, 8);
+    let w = AttentionWeights::random(8, 8, 6);
+    let cfg = CtaConfig::uniform(2.0, 7);
+    let small_hw = HwConfig { sa_height: 8, ..HwConfig::paper() };
+    c.bench_function("sim/functional_datapath_n64_d8", |b| {
+        b.iter(|| black_box(run_functional_datapath(black_box(&x), &x, &w, &cfg, &small_hw)))
+    });
+
+    let stationary = standard_normal_matrix(9, 16, 8);
+    let inputs = standard_normal_matrix(10, 64, 16);
+    c.bench_function("sim/rtl_dataflow1_16x8_64inputs", |b| {
+        b.iter(|| {
+            let mut rtl = RtlArray::new(8, 16);
+            black_box(rtl.run_dataflow1(black_box(&stationary), &inputs))
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

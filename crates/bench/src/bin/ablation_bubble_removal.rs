@@ -1,0 +1,37 @@
+//! Ablation: the Fig. 10 bubble-removal schedule. With it disabled, every
+//! mapping step pays the full SA pipeline fill.
+
+use cta_bench::{banner, case_operating_points, row};
+use cta_sim::{schedule, HwConfig};
+use cta_workloads::{bert_large, imdb, squad11, TestCase};
+
+fn main() {
+    banner("Ablation — Fig. 10 bubble removal on/off");
+    row(&[
+        "case".into(),
+        "cycles (on)".into(),
+        "cycles (off)".into(),
+        "saved".into(),
+    ]);
+
+    let on = HwConfig::paper();
+    let off = HwConfig { bubble_removal: false, ..HwConfig::paper() };
+
+    for case in [
+        TestCase::new(bert_large(), squad11()),
+        TestCase::new(bert_large(), imdb()),
+    ] {
+        let op = &case_operating_points(&case)[0];
+        let task = op.task(&case);
+        let c_on = schedule(&on, &task).total_cycles;
+        let c_off = schedule(&off, &task).total_cycles;
+        row(&[
+            case.name(),
+            format!("{c_on}"),
+            format!("{c_off}"),
+            format!("{:.1}%", (1.0 - c_on as f64 / c_off as f64) * 100.0),
+        ]);
+    }
+    println!();
+    println!("expected: bubble removal recovers the per-step pipeline fills");
+}

@@ -1,0 +1,27 @@
+//! Fig. 2: proportion of effective relations in attention vs sequence
+//! length (256 / 384 / 512) for the three discriminative models on SQuAD,
+//! at a clustering strategy inducing < 1% accuracy loss.
+//!
+//! Paper result: over half the relations are redundant everywhere, and the
+//! effective proportion *decreases* as sequences grow.
+
+use cta_bench::{banner, row, DEFAULT_SAMPLES};
+use cta_workloads::{
+    albert_large, bert_large, find_operating_point, roberta_large, squad11, CtaClass, TestCase,
+};
+
+fn main() {
+    banner("Figure 2 — proportion of effective relations (CTA-1 clustering, <1% loss)");
+    row(&["model".into(), "n=256".into(), "n=384".into(), "n=512".into()]);
+    for model in [bert_large(), roberta_large(), albert_large()] {
+        let mut cells = vec![model.name.to_string()];
+        for n in [256usize, 384, 512] {
+            let case = TestCase::new(model, squad11().with_seq_len(n));
+            let op = find_operating_point(&case, CtaClass::Cta1, DEFAULT_SAMPLES);
+            cells.push(format!("{:.1}%", op.evaluation.complexity.effective_relations * 100.0));
+        }
+        row(&cells);
+    }
+    println!();
+    println!("paper: all points below 50% and decreasing with sequence length");
+}

@@ -1,0 +1,54 @@
+//! Fig. 11: model accuracy (lines) and the RL / RA computation ratios
+//! (bars) for CTA-0 / CTA-0.5 / CTA-1 over the 10 model-dataset
+//! combinations.
+//!
+//! Paper result (averages): RL = 58.3% / 52.2% / 44.4% and
+//! RA = 35.2% / 27.5% / 18.4% for CTA-0 / CTA-0.5 / CTA-1.
+
+use cta_bench::{banner, case_operating_points, row, Table};
+use cta_tensor::mean;
+use cta_workloads::{paper_cases, CtaClass};
+
+fn main() {
+    banner("Figure 11 — accuracy and RL/RA per test case");
+    let mut table = Table::new("fig11_accuracy_compression", &["case", "class", "loss_pct", "rl_pct", "ra_pct", "k0", "k1", "k2"]);
+
+    let mut rl: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    let mut ra: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    let mut loss: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+
+    for case in paper_cases() {
+        let points = case_operating_points(&case);
+        for (i, op) in points.iter().enumerate() {
+            let e = &op.evaluation;
+            table.row(&[
+                case.name(),
+                op.class.label().into(),
+                format!("{:.2}", e.accuracy_loss_pct),
+                format!("{:.1}", e.complexity.rl * 100.0),
+                format!("{:.1}", e.complexity.ra * 100.0),
+                format!("{:.0}", e.mean_k0),
+                format!("{:.0}", e.mean_k1),
+                format!("{:.0}", e.mean_k2),
+            ]);
+            rl[i].push(e.complexity.rl * 100.0);
+            ra[i].push(e.complexity.ra * 100.0);
+            loss[i].push(e.accuracy_loss_pct);
+        }
+    }
+
+    table.save();
+    println!();
+    row(&["average".into(), "class".into(), "loss%".into(), "RL%".into(), "RA%".into()]);
+    for (i, class) in CtaClass::all().iter().enumerate() {
+        row(&[
+            "".into(),
+            class.label().into(),
+            format!("{:.2}", mean(&loss[i])),
+            format!("{:.1}", mean(&rl[i])),
+            format!("{:.1}", mean(&ra[i])),
+        ]);
+    }
+    println!();
+    println!("paper averages: RL 58.3/52.2/44.4%  RA 35.2/27.5/18.4% (CTA-0/-0.5/-1)");
+}

@@ -1,0 +1,43 @@
+//! Table I: the chronological mapping procedure of one CTA attention head
+//! on the proposed hardware, with per-step cycle costs from the
+//! cycle-level simulator.
+
+use cta_bench::{banner, case_operating_points, row};
+use cta_sim::{schedule, HwConfig, PhaseKind};
+use cta_workloads::{bert_large, imdb, TestCase};
+
+fn main() {
+    banner("Table I — mapping procedure trace (one head, BERT-large/IMDB @ CTA-0)");
+
+    let case = TestCase::new(bert_large(), imdb());
+    let op = &case_operating_points(&case)[0];
+    let task = op.task(&case);
+    println!(
+        "task: m = n = {}, d = {}, k = ({}, {}, {}), l = {}",
+        task.num_keys, task.head_dim, task.k0, task.k1, task.k2, task.hash_length
+    );
+    println!();
+
+    let sched = schedule(&HwConfig::paper(), &task);
+    row(&["step".into(), "category".into(), "cycles".into(), "share".into()]);
+    for step in &sched.steps {
+        let cat = match step.category {
+            PhaseKind::Compression => "compress",
+            PhaseKind::Linear => "linear",
+            PhaseKind::Attention => "attention",
+        };
+        row(&[
+            step.name.clone(),
+            cat.into(),
+            format!("{}", step.cycles),
+            format!("{:.1}%", step.cycles as f64 / sched.total_cycles as f64 * 100.0),
+        ]);
+    }
+    println!();
+    row(&["total".into(), "".into(), format!("{}", sched.total_cycles), "100%".into()]);
+    println!(
+        "category split: compression {} / linear {} / attention {} cycles (PAG stalls: {})",
+        sched.compression_cycles, sched.linear_cycles, sched.attention_cycles, sched.pag_stall_cycles
+    );
+    println!("latency at 1 GHz: {:.1} us per head", sched.total_cycles as f64 / 1000.0);
+}

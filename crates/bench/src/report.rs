@@ -1,0 +1,147 @@
+//! Structured result export: the harness binaries print human-readable
+//! tables *and* append machine-readable CSV under `results/` so runs can
+//! be diffed and plotted.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A CSV table under construction.
+///
+/// ```
+/// use cta_bench::CsvTable;
+/// let mut t = CsvTable::new("demo", &["n", "speedup"]);
+/// t.push(&["512".into(), "23.0".into()]);
+/// assert_eq!(t.to_csv(), "n,speedup\n512,23.0\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Starts a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Self {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row width {} != {} columns", cells.len(), self.columns.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-style CSV (quoting cells containing commas,
+    /// quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    out.push('"');
+                    out.push_str(&c.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&self.columns, &mut out);
+        for r in &self.rows {
+            write_row(r, &mut out);
+        }
+        out
+    }
+
+    /// Writes `results/<name>.csv` under `dir`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn write_under(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes to the workspace-level `results/` directory, logging the
+    /// destination; I/O failures are reported, not fatal (the printed
+    /// table is the primary output).
+    pub fn save(&self) {
+        match self.write_under(Path::new("results")) {
+            Ok(path) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[could not save results/{}.csv: {e}]", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_simple() {
+        let mut t = CsvTable::new("t", &["a", "b"]);
+        t.push(&["1".into(), "2".into()]);
+        t.push(&["3".into(), "4".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = CsvTable::new("t", &["x"]);
+        t.push(&["a,b".into()]);
+        t.push(&["say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = CsvTable::new("t", &["a", "b"]);
+        t.push(&["only-one".into()]);
+    }
+
+    #[test]
+    fn write_under_creates_file() {
+        let dir = std::env::temp_dir().join(format!("cta-bench-test-{}", std::process::id()));
+        let mut t = CsvTable::new("unit", &["k"]);
+        t.push(&["7".into()]);
+        let path = t.write_under(&dir).expect("write");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(content, "k\n7\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

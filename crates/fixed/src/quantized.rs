@@ -1,0 +1,265 @@
+//! Matrices of raw fixed-point words with integer arithmetic.
+
+use cta_tensor::Matrix;
+
+use crate::qformat::rescale;
+use crate::QFormat;
+
+/// A matrix stored as raw fixed-point words in a single [`QFormat`].
+///
+/// This mirrors what lives in the accelerator's SRAMs: token memory holds
+/// Q6.7 words, weight memory holds 12-bit words, and the systolic array
+/// multiplies raw words with wide accumulators before requantising results
+/// on the way back to memory. All arithmetic here is integer arithmetic —
+/// bit-exact with a fixed-point RTL implementation of the same widths.
+///
+/// ```
+/// use cta_fixed::{formats, QuantizedMatrix};
+/// use cta_tensor::Matrix;
+///
+/// let a = QuantizedMatrix::quantize(&Matrix::from_rows(&[&[1.0, 2.0]]), formats::TOKEN);
+/// let b = QuantizedMatrix::quantize(&Matrix::from_rows(&[&[3.0], &[4.0]]), formats::CENTROID);
+/// let c = a.matmul(&b, formats::SCORE);
+/// assert_eq!(c.dequantize()[(0, 0)], 11.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    raw: Vec<i64>,
+    format: QFormat,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a real matrix into `format`.
+    pub fn quantize(m: &Matrix, format: QFormat) -> Self {
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            raw: m.as_slice().iter().map(|&x| format.quantize(x)).collect(),
+            format,
+        }
+    }
+
+    /// Builds a quantized matrix directly from raw words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len() != rows * cols` or any word is outside the
+    /// format's representable range.
+    pub fn from_raw(rows: usize, cols: usize, raw: Vec<i64>, format: QFormat) -> Self {
+        assert_eq!(raw.len(), rows * cols, "raw data length mismatch");
+        for &r in &raw {
+            assert!(
+                (format.min_raw()..=format.max_raw()).contains(&r),
+                "raw word {r} out of range for {format}"
+            );
+        }
+        Self { rows, cols, raw, format }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The storage format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The raw words, row-major.
+    pub fn raw(&self) -> &[i64] {
+        &self.raw
+    }
+
+    /// Raw word at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn raw_at(&self, r: usize, c: usize) -> i64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.raw[r * self.cols + c]
+    }
+
+    /// Reconstructs the real-valued matrix the raw words represent.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.raw.iter().map(|&r| self.format.dequantize(r)).collect(),
+        )
+    }
+
+    /// Integer matrix product, requantised into `out_format`.
+    ///
+    /// Accumulation is exact (i128 partial sums with
+    /// `self.frac + other.frac` fractional bits); only the final write-back
+    /// rounds and saturates, which matches a systolic array with wide
+    /// accumulators in each PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &QuantizedMatrix, out_format: QFormat) -> QuantizedMatrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "quantized matmul dimension mismatch: {}x{} . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let in_frac = self.format.frac_bits() + other.format.frac_bits();
+        let mut raw = vec![0i64; self.rows * other.cols];
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc: i128 = 0;
+                for k in 0..self.cols {
+                    acc += self.raw[i * self.cols + k] as i128 * other.raw[k * other.cols + j] as i128;
+                }
+                raw[i * other.cols + j] = rescale(acc, in_frac, out_format);
+            }
+        }
+        QuantizedMatrix { rows: self.rows, cols: other.cols, raw, format: out_format }
+    }
+
+    /// Element-wise saturating subtraction (both operands must share a
+    /// format). Models the adder column on the left edge of the SA that
+    /// computes residual tokens (paper Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or formats differ.
+    pub fn sub(&self, other: &QuantizedMatrix) -> QuantizedMatrix {
+        assert_eq!(self.format, other.format, "sub requires matching formats");
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub shape mismatch");
+        let raw = self
+            .raw
+            .iter()
+            .zip(&other.raw)
+            .map(|(&a, &b)| self.format.saturating_add(a, -b))
+            .collect();
+        QuantizedMatrix { rows: self.rows, cols: self.cols, raw, format: self.format }
+    }
+
+    /// Re-quantises into a different format (round-to-nearest, saturating).
+    pub fn convert(&self, format: QFormat) -> QuantizedMatrix {
+        let raw = self
+            .raw
+            .iter()
+            .map(|&r| rescale(r as i128, self.format.frac_bits(), format))
+            .collect();
+        QuantizedMatrix { rows: self.rows, cols: self.cols, raw, format }
+    }
+
+    /// Maximum absolute quantisation error of representing `m` in `format`,
+    /// i.e. `max |round_trip(x) - x|`. Diagnostic used by the quantisation
+    /// ablation.
+    pub fn max_quantization_error(m: &Matrix, format: QFormat) -> f32 {
+        m.as_slice().iter().map(|&x| (format.round_trip(x) - x).abs()).fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantize_dequantize_round_trip_within_resolution() {
+        let m = Matrix::from_rows(&[&[0.3, -1.7, 5.25], &[-0.01, 30.0, -31.0]]);
+        let q = QuantizedMatrix::quantize(&m, formats::TOKEN);
+        assert!(q.dequantize().approx_eq(&m, formats::TOKEN.resolution()));
+    }
+
+    #[test]
+    fn matmul_matches_float_for_exactly_representable_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.25]]);
+        let qa = QuantizedMatrix::quantize(&a, formats::TOKEN);
+        let qb = QuantizedMatrix::quantize(&b, formats::CENTROID);
+        let qc = qa.matmul(&qb, formats::SCORE);
+        assert!(qc.dequantize().approx_eq(&a.matmul(&b), 1e-6));
+    }
+
+    #[test]
+    fn matmul_saturates_on_overflow() {
+        let big = Matrix::filled(1, 8, 30.0);
+        let qa = QuantizedMatrix::quantize(&big, formats::TOKEN);
+        let qb = QuantizedMatrix::quantize(&big.transpose(), formats::TOKEN);
+        // 8 * 900 = 7200 overflows SCORE's Q8.8 max of ~127.996.
+        let qc = qa.matmul(&qb, formats::SCORE);
+        assert_eq!(qc.raw_at(0, 0), formats::SCORE.max_raw());
+    }
+
+    #[test]
+    fn sub_computes_residuals() {
+        let x = Matrix::from_rows(&[&[1.5, -2.0]]);
+        let c = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let qx = QuantizedMatrix::quantize(&x, formats::TOKEN);
+        let qc = QuantizedMatrix::quantize(&c, formats::TOKEN);
+        let r = qx.sub(&qc);
+        assert!(r.dequantize().approx_eq(&x.sub(&c), 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "matching formats")]
+    fn sub_rejects_format_mismatch() {
+        let m = Matrix::zeros(1, 1);
+        let a = QuantizedMatrix::quantize(&m, formats::TOKEN);
+        let b = QuantizedMatrix::quantize(&m, formats::CENTROID);
+        let _ = a.sub(&b);
+    }
+
+    #[test]
+    fn convert_preserves_value_when_widening() {
+        let m = Matrix::from_rows(&[&[1.25, -0.5]]);
+        let q = QuantizedMatrix::quantize(&m, formats::CENTROID);
+        let w = q.convert(formats::SCORE);
+        assert!(w.dequantize().approx_eq(&q.dequantize(), 1e-9));
+    }
+
+    #[test]
+    fn from_raw_validates_range() {
+        let q = QuantizedMatrix::from_raw(1, 2, vec![0, 100], formats::CENTROID);
+        assert_eq!(q.raw_at(0, 1), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_raw_rejects_out_of_range_words() {
+        let _ = QuantizedMatrix::from_raw(1, 1, vec![1 << 20], formats::CENTROID);
+    }
+
+    #[test]
+    fn max_quantization_error_bounded_by_half_lsb() {
+        let m = Matrix::from_rows(&[&[0.123, -4.567, 9.999]]);
+        let err = QuantizedMatrix::max_quantization_error(&m, formats::TOKEN);
+        assert!(err <= formats::TOKEN.resolution() / 2.0 + 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn quantized_matmul_close_to_float_matmul(
+            seed in 0u64..1000,
+        ) {
+            use cta_tensor::MatrixRng;
+            let mut rng = MatrixRng::new(seed);
+            let a = rng.normal_matrix(3, 5, 0.0, 1.0);
+            let b = rng.normal_matrix(5, 2, 0.0, 0.2);
+            let qa = QuantizedMatrix::quantize(&a, formats::TOKEN);
+            let qb = QuantizedMatrix::quantize(&b, formats::LINEAR_WEIGHT);
+            let qc = qa.matmul(&qb, formats::SCORE).dequantize();
+            let c = a.matmul(&b);
+            // Error per element is bounded by accumulated rounding noise.
+            let tol = 5.0 * (formats::TOKEN.resolution() + formats::LINEAR_WEIGHT.resolution())
+                + formats::SCORE.resolution();
+            prop_assert!(qc.approx_eq(&c, tol), "qc={qc:?} c={c:?}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! A scalar fixed-point value type.
+//!
+//! [`QuantizedMatrix`](crate::QuantizedMatrix) covers the bulk datapath;
+//! [`Fixed`] is the scalar companion for modelling individual hardware
+//! registers (PPE accumulators, LUT inputs, counter values) where carrying
+//! the format with the value keeps unit mismatches impossible.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::QFormat;
+
+/// A fixed-point scalar: a raw two's-complement word plus its format.
+///
+/// Arithmetic is *saturating* and format-checked: operands of different
+/// formats must be aligned explicitly with [`Fixed::convert`], mirroring
+/// the explicit width adapters a hardware datapath needs.
+///
+/// ```
+/// use cta_fixed::{formats, Fixed};
+///
+/// let a = Fixed::from_f32(1.5, formats::TOKEN);
+/// let b = Fixed::from_f32(0.25, formats::TOKEN);
+/// assert_eq!((a + b).to_f32(), 1.75);
+/// assert_eq!(a.mul(b, formats::TOKEN).to_f32(), 0.375);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Quantizes a real value into `format` (round-to-nearest,
+    /// saturating).
+    pub fn from_f32(x: f32, format: QFormat) -> Self {
+        Self { raw: format.quantize(x), format }
+    }
+
+    /// Builds from a raw word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is outside the format's representable range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        assert!(
+            (format.min_raw()..=format.max_raw()).contains(&raw),
+            "raw word {raw} out of range for {format}"
+        );
+        Self { raw, format }
+    }
+
+    /// The zero value in `format`.
+    pub fn zero(format: QFormat) -> Self {
+        Self { raw: 0, format }
+    }
+
+    /// The raw word.
+    pub fn raw(self) -> i64 {
+        self.raw
+    }
+
+    /// The format.
+    pub fn format(self) -> QFormat {
+        self.format
+    }
+
+    /// The represented real value.
+    pub fn to_f32(self) -> f32 {
+        self.format.dequantize(self.raw)
+    }
+
+    /// Multiplication, requantised into `out` (round-to-nearest on the
+    /// discarded bits, saturating).
+    pub fn mul(self, rhs: Fixed, out: QFormat) -> Fixed {
+        Fixed { raw: self.format.multiply_into(self.raw, rhs.format, rhs.raw, out), format: out }
+    }
+
+    /// Re-quantises into another format.
+    pub fn convert(self, format: QFormat) -> Fixed {
+        Fixed::from_f32(self.to_f32(), format)
+    }
+}
+
+/// Saturating addition (the hardware adder's semantics).
+///
+/// # Panics
+///
+/// Panics if the formats differ (align with [`Fixed::convert`] first).
+impl std::ops::Add for Fixed {
+    type Output = Fixed;
+
+    fn add(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "add requires matching formats");
+        Fixed { raw: self.format.saturating_add(self.raw, rhs.raw), format: self.format }
+    }
+}
+
+/// Saturating subtraction.
+///
+/// # Panics
+///
+/// Panics if the formats differ.
+impl std::ops::Sub for Fixed {
+    type Output = Fixed;
+
+    fn sub(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.format, rhs.format, "sub requires matching formats");
+        Fixed { raw: self.format.saturating_add(self.raw, -rhs.raw), format: self.format }
+    }
+}
+
+impl PartialEq for Fixed {
+    fn eq(&self, other: &Self) -> bool {
+        self.format == other.format && self.raw == other.raw
+    }
+}
+
+impl Eq for Fixed {}
+
+impl PartialOrd for Fixed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.format == other.format {
+            Some(self.raw.cmp(&other.raw))
+        } else {
+            None // values in different formats are deliberately unordered
+        }
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f32(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_exact_values() {
+        let x = Fixed::from_f32(2.5, formats::TOKEN);
+        assert_eq!(x.to_f32(), 2.5);
+        assert_eq!(x.raw(), 320);
+    }
+
+    #[test]
+    fn add_saturates_at_the_rails() {
+        let big = Fixed::from_f32(30.0, formats::TOKEN);
+        let sum = big + big;
+        assert_eq!(sum.raw(), formats::TOKEN.max_raw());
+    }
+
+    #[test]
+    fn mul_requantises_into_target() {
+        let a = Fixed::from_f32(1.5, formats::TOKEN);
+        let b = Fixed::from_f32(-2.0, formats::CENTROID);
+        let p = a.mul(b, formats::SCORE);
+        assert_eq!(p.to_f32(), -3.0);
+        assert_eq!(p.format(), formats::SCORE);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching formats")]
+    fn mixed_format_add_rejected() {
+        let a = Fixed::from_f32(1.0, formats::TOKEN);
+        let b = Fixed::from_f32(1.0, formats::CENTROID);
+        let _ = a + b;
+    }
+
+    #[test]
+    fn convert_aligns_formats() {
+        let a = Fixed::from_f32(1.25, formats::TOKEN).convert(formats::CENTROID);
+        let b = Fixed::from_f32(1.25, formats::CENTROID);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ordering_only_within_a_format() {
+        let a = Fixed::from_f32(1.0, formats::TOKEN);
+        let b = Fixed::from_f32(2.0, formats::TOKEN);
+        assert!(a < b);
+        let c = Fixed::from_f32(2.0, formats::CENTROID);
+        assert_eq!(a.partial_cmp(&c), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", Fixed::from_f32(0.5, formats::TOKEN));
+        assert!(s.contains("0.5") && s.contains("Q6.7"));
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -15.0f32..15.0, b in -15.0f32..15.0) {
+            let fa = Fixed::from_f32(a, formats::TOKEN);
+            let fb = Fixed::from_f32(b, formats::TOKEN);
+            prop_assert_eq!(fa + fb, fb + fa);
+        }
+
+        #[test]
+        fn sub_is_add_of_negation(a in -15.0f32..15.0, b in -15.0f32..15.0) {
+            let fa = Fixed::from_f32(a, formats::TOKEN);
+            let fb = Fixed::from_f32(b, formats::TOKEN);
+            let neg_b = Fixed::zero(formats::TOKEN) - fb;
+            prop_assert_eq!(fa - fb, fa + neg_b);
+        }
+    }
+}

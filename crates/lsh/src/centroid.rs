@@ -1,0 +1,149 @@
+//! Centroid aggregation (paper Fig. 4b).
+
+use cta_tensor::Matrix;
+
+use crate::ClusterTable;
+
+/// Cluster centroids with their populations.
+///
+/// `matrix` is `k × d`, row `c` being the mean of the tokens assigned to
+/// cluster `c`; `counts[c]` is that cluster's population. Produced by
+/// [`aggregate_centroids`] and consumed by the compression schemes and the
+/// CAG hardware model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Centroids {
+    /// `k × d` centroid matrix (`C` in the paper).
+    pub matrix: Matrix,
+    /// Per-cluster populations (`cntr` in the paper).
+    pub counts: Vec<usize>,
+}
+
+impl Centroids {
+    /// Number of clusters `k`.
+    pub fn k(&self) -> usize {
+        self.matrix.rows()
+    }
+}
+
+/// Computes cluster centroids as per-cluster means (paper Fig. 4b):
+/// accumulate every token into its cluster's row, then divide by the
+/// population.
+///
+/// # Panics
+///
+/// Panics if `table.len() != tokens.rows()`.
+pub fn aggregate_centroids(tokens: &Matrix, table: &ClusterTable) -> Centroids {
+    assert_eq!(table.len(), tokens.rows(), "cluster table covers {} tokens but matrix has {} rows", table.len(), tokens.rows());
+    let k = table.cluster_count();
+    let d = tokens.cols();
+    let mut acc = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    // Accumulation loop (Fig. 4b lines 4-6).
+    for t in 0..tokens.rows() {
+        let c = table.cluster_of(t);
+        let row = tokens.row(t);
+        let acc_row = acc.row_mut(c);
+        for (a, &x) in acc_row.iter_mut().zip(row) {
+            *a += x;
+        }
+        counts[c] += 1;
+    }
+    // Averaging loop (Fig. 4b lines 7-9).
+    for (c, &count) in counts.iter().enumerate() {
+        let inv = 1.0 / count as f32;
+        for a in acc.row_mut(c) {
+            *a *= inv;
+        }
+    }
+    Centroids { matrix: acc, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn centroid_is_cluster_mean() {
+        let tokens = Matrix::from_rows(&[&[1.0, 0.0], &[3.0, 0.0], &[0.0, 8.0]]);
+        let ct = ClusterTable::new(vec![0, 0, 1], 2);
+        let c = aggregate_centroids(&tokens, &ct);
+        assert_eq!(c.matrix.row(0), &[2.0, 0.0]);
+        assert_eq!(c.matrix.row(1), &[0.0, 8.0]);
+        assert_eq!(c.counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn singleton_clusters_reproduce_tokens() {
+        let tokens = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let ct = ClusterTable::new(vec![0, 1], 2);
+        let c = aggregate_centroids(&tokens, &ct);
+        assert_eq!(c.matrix, tokens);
+    }
+
+    #[test]
+    fn single_cluster_gives_global_mean() {
+        let tokens = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0], &[6.0]]);
+        let ct = ClusterTable::new(vec![0, 0, 0, 0], 1);
+        let c = aggregate_centroids(&tokens, &ct);
+        assert_eq!(c.matrix.row(0), &[3.0]);
+        assert_eq!(c.k(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster table covers")]
+    fn rejects_table_token_mismatch() {
+        let tokens = Matrix::zeros(3, 2);
+        let ct = ClusterTable::new(vec![0, 0], 1);
+        let _ = aggregate_centroids(&tokens, &ct);
+    }
+
+    proptest! {
+        /// The centroid is the L2-optimal single representative: total
+        /// squared error to centroids never exceeds error to any other
+        /// single point per cluster (checked against the cluster's first
+        /// member as the alternative representative).
+        #[test]
+        fn centroid_beats_first_member_representative(seed in 0u64..300) {
+            let mut rng = MatrixRng::new(seed);
+            let n = 2 + rng.index(20);
+            let d = 1 + rng.index(6);
+            let k = 1 + rng.index(n.min(5));
+            let tokens = rng.normal_matrix(n, d, 0.0, 1.0);
+            // Random dense assignment.
+            let mut indices: Vec<usize> = (0..k).collect();
+            for _ in k..n { indices.push(rng.index(k)); }
+            let ct = ClusterTable::new(indices.clone(), k);
+            let cents = aggregate_centroids(&tokens, &ct);
+
+            let mut first_member = vec![usize::MAX; k];
+            for (t, &c) in indices.iter().enumerate() {
+                if first_member[c] == usize::MAX { first_member[c] = t; }
+            }
+            let mut err_centroid = 0.0f64;
+            let mut err_first = 0.0f64;
+            for (t, &c) in indices.iter().enumerate() {
+                for j in 0..d {
+                    err_centroid += ((tokens[(t, j)] - cents.matrix[(c, j)]) as f64).powi(2);
+                    err_first += ((tokens[(t, j)] - tokens[(first_member[c], j)]) as f64).powi(2);
+                }
+            }
+            prop_assert!(err_centroid <= err_first + 1e-6);
+        }
+
+        /// Counts always sum to the number of tokens.
+        #[test]
+        fn counts_partition_tokens(seed in 0u64..300) {
+            let mut rng = MatrixRng::new(seed);
+            let n = 1 + rng.index(30);
+            let k = 1 + rng.index(n);
+            let tokens = rng.normal_matrix(n, 3, 0.0, 1.0);
+            let mut indices: Vec<usize> = (0..k).collect();
+            for _ in k..n { indices.push(rng.index(k)); }
+            let ct = ClusterTable::new(indices, k);
+            let c = aggregate_centroids(&tokens, &ct);
+            prop_assert_eq!(c.counts.iter().sum::<usize>(), n);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The cluster tree (paper Fig. 4a): streaming hash-code → cluster-index
+//! assignment.
+
+use std::collections::HashMap;
+
+use crate::{ClusterTable, HashCodes};
+
+/// Where a tree edge leads: an internal node (layers `0..l-1`) or a leaf
+/// holding a cluster index (layer `l-1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Child {
+    Internal(usize),
+    Leaf(usize),
+}
+
+/// A node's outgoing edges, keyed by hash value.
+///
+/// The hardware stores `(hash value, child address)` pairs in per-layer
+/// memory blocks with linearly allocated addresses; a `HashMap` models the
+/// same associative lookup.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: HashMap<i32, Child>,
+}
+
+/// The dynamic cluster tree of paper Fig. 4(a).
+///
+/// A root plus `l` layers; each root-to-leaf path spells out one hash code,
+/// and each leaf records the cluster index allocated when that code was
+/// first seen. Feeding the codes of a token sequence through the tree in
+/// order yields the cluster table `CT` with first-appearance numbering.
+///
+/// This is the *reference* software implementation; the cycle-level model
+/// of the Cluster Index Module in `cta-sim` replays the same logic with
+/// `l` hardware threads and checks itself against this structure.
+///
+/// ```
+/// use cta_lsh::ClusterTree;
+///
+/// let mut tree = ClusterTree::new(2);
+/// assert_eq!(tree.assign(&[4, 7]), 0); // new code -> new cluster
+/// assert_eq!(tree.assign(&[4, 8]), 1); // differs in last value
+/// assert_eq!(tree.assign(&[4, 7]), 0); // existing leaf found again
+/// assert_eq!(tree.cluster_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterTree {
+    hash_length: usize,
+    /// Arena of internal nodes; index 0 is the root.
+    nodes: Vec<Node>,
+    cluster_count: usize,
+}
+
+impl ClusterTree {
+    /// Creates an empty tree for codes of length `hash_length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_length == 0`.
+    pub fn new(hash_length: usize) -> Self {
+        assert!(hash_length > 0, "hash length must be positive");
+        Self { hash_length, nodes: vec![Node::default()], cluster_count: 0 }
+    }
+
+    /// Code length `l` this tree consumes.
+    pub fn hash_length(&self) -> usize {
+        self.hash_length
+    }
+
+    /// Number of clusters allocated so far.
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
+    }
+
+    /// Number of internal nodes (root included) — a hardware memory-budget
+    /// proxy for the CIM layer memories.
+    pub fn internal_node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Walks (and extends) the tree along `code`, returning the cluster
+    /// index — existing if the leaf was already present, freshly allocated
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len() != self.hash_length()`.
+    pub fn assign(&mut self, code: &[i32]) -> usize {
+        assert_eq!(code.len(), self.hash_length, "hash code length mismatch: {} vs {}", code.len(), self.hash_length);
+        let mut node = 0usize;
+        // Layers 0..l-1: internal transitions (Fig. 4a lines 17-20).
+        for &hv in &code[..self.hash_length - 1] {
+            let next = self.nodes.len();
+            let entry = self.nodes[node].children.entry(hv).or_insert(Child::Internal(next));
+            match *entry {
+                Child::Internal(idx) => {
+                    if idx == next {
+                        self.nodes.push(Node::default());
+                    }
+                    node = idx;
+                }
+                Child::Leaf(_) => unreachable!("leaf encountered before final layer"),
+            }
+        }
+        // Final layer: leaf lookup or creation (Fig. 4a lines 7-15).
+        let last = code[self.hash_length - 1];
+        match self.nodes[node].children.get(&last) {
+            Some(&Child::Leaf(idx)) => idx,
+            Some(&Child::Internal(_)) => unreachable!("internal child in final layer"),
+            None => {
+                let idx = self.cluster_count;
+                self.cluster_count += 1;
+                self.nodes[node].children.insert(last, Child::Leaf(idx));
+                idx
+            }
+        }
+    }
+
+    /// Assigns every code in sequence order and returns the cluster table.
+    pub fn assign_all(&mut self, codes: &HashCodes) -> ClusterTable {
+        assert_eq!(codes.hash_length(), self.hash_length, "hash length mismatch");
+        let indices: Vec<usize> = codes.iter().map(|c| self.assign(c)).collect();
+        ClusterTable::new(indices, self.cluster_count)
+    }
+}
+
+/// Reference clustering via a flat code → index map.
+///
+/// Used to cross-check the tree: both must produce identical tables for
+/// identical input order (first appearance ⇒ next dense index).
+pub fn cluster_by_code_map(codes: &HashCodes) -> ClusterTable {
+    let mut map: HashMap<&[i32], usize> = HashMap::new();
+    let mut indices = Vec::with_capacity(codes.len());
+    for code in codes.iter() {
+        let next = map.len();
+        let idx = *map.entry(code).or_insert(next);
+        indices.push(idx);
+    }
+    ClusterTable::new(indices, map.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_appearance_numbering() {
+        let mut tree = ClusterTree::new(3);
+        assert_eq!(tree.assign(&[1, 2, 3]), 0);
+        assert_eq!(tree.assign(&[1, 2, 4]), 1);
+        assert_eq!(tree.assign(&[0, 2, 3]), 2);
+        assert_eq!(tree.assign(&[1, 2, 3]), 0);
+        assert_eq!(tree.cluster_count(), 3);
+    }
+
+    #[test]
+    fn shared_prefixes_share_internal_nodes() {
+        let mut tree = ClusterTree::new(3);
+        tree.assign(&[5, 5, 1]);
+        let nodes_after_first = tree.internal_node_count();
+        tree.assign(&[5, 5, 2]); // same prefix, only a new leaf
+        assert_eq!(tree.internal_node_count(), nodes_after_first);
+        tree.assign(&[6, 5, 1]); // new prefix from the root
+        assert!(tree.internal_node_count() > nodes_after_first);
+    }
+
+    #[test]
+    fn negative_hash_values_are_valid_edges() {
+        let mut tree = ClusterTree::new(2);
+        assert_eq!(tree.assign(&[-3, -7]), 0);
+        assert_eq!(tree.assign(&[-3, -7]), 0);
+        assert_eq!(tree.assign(&[-3, 7]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assign_rejects_wrong_length() {
+        let mut tree = ClusterTree::new(2);
+        let _ = tree.assign(&[1]);
+    }
+
+    #[test]
+    fn assign_all_matches_reference_on_random_codes() {
+        let mut rng = MatrixRng::new(77);
+        for _ in 0..20 {
+            let n = 1 + rng.index(64);
+            let l = 1 + rng.index(6);
+            let values: Vec<i32> = (0..n * l).map(|_| rng.index(4) as i32 - 2).collect();
+            let codes = HashCodes::from_flat(n, l, values);
+            let mut tree = ClusterTree::new(l);
+            assert_eq!(tree.assign_all(&codes), cluster_by_code_map(&codes));
+        }
+    }
+
+    #[test]
+    fn hash_length_one_degenerates_to_value_map() {
+        let codes = HashCodes::from_flat(4, 1, vec![9, 8, 9, 7]);
+        let mut tree = ClusterTree::new(1);
+        let ct = tree.assign_all(&codes);
+        assert_eq!(ct.indices(), &[0, 1, 0, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn tree_equals_reference(
+            n in 1usize..50,
+            l in 1usize..6,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = MatrixRng::new(seed);
+            let values: Vec<i32> = (0..n * l).map(|_| rng.index(3) as i32).collect();
+            let codes = HashCodes::from_flat(n, l, values);
+            let mut tree = ClusterTree::new(l);
+            prop_assert_eq!(tree.assign_all(&codes), cluster_by_code_map(&codes));
+        }
+
+        #[test]
+        fn cluster_count_bounded_by_tokens(
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = MatrixRng::new(seed);
+            let l = 3;
+            let values: Vec<i32> = (0..n * l).map(|_| rng.index(5) as i32).collect();
+            let codes = HashCodes::from_flat(n, l, values);
+            let mut tree = ClusterTree::new(l);
+            let ct = tree.assign_all(&codes);
+            prop_assert!(ct.cluster_count() <= n);
+            prop_assert!(ct.cluster_count() >= 1);
+        }
+    }
+}

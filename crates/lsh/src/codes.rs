@@ -1,0 +1,109 @@
+//! Hash-code containers.
+
+/// The hash codes of a token sequence: one `l`-dimensional integer code per
+/// token, stored flat and row-major (token-major).
+///
+/// The paper's eq. 1 produces codes as *columns* of `H`; we store them as
+/// rows so that `code(t)` is a contiguous slice, which is also the order in
+/// which the systolic array streams hash values into the Cluster Index
+/// Module (one token's values arrive staggered across `l` consecutive
+/// cycles).
+///
+/// ```
+/// use cta_lsh::HashCodes;
+/// let codes = HashCodes::from_flat(2, 3, vec![1, 2, 3, 1, 2, 4]);
+/// assert_eq!(codes.code(1), &[1, 2, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashCodes {
+    n: usize,
+    l: usize,
+    values: Vec<i32>,
+}
+
+impl HashCodes {
+    /// Builds from a flat token-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n * l` or `l == 0`.
+    pub fn from_flat(n: usize, l: usize, values: Vec<i32>) -> Self {
+        assert!(l > 0, "hash length must be positive");
+        assert_eq!(values.len(), n * l, "flat hash values length mismatch");
+        Self { n, l, values }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Code length `l`.
+    pub fn hash_length(&self) -> usize {
+        self.l
+    }
+
+    /// The code of token `t` as a slice of `l` hash values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn code(&self, t: usize) -> &[i32] {
+        assert!(t < self.n, "token index {t} out of bounds for {} tokens", self.n);
+        &self.values[t * self.l..(t + 1) * self.l]
+    }
+
+    /// Iterates over per-token codes.
+    pub fn iter(&self) -> impl Iterator<Item = &[i32]> {
+        self.values.chunks_exact(self.l)
+    }
+
+    /// The flat token-major values (the order the SA streams them out).
+    pub fn as_flat(&self) -> &[i32] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_slices_are_token_major() {
+        let c = HashCodes::from_flat(3, 2, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.code(0), &[0, 1]);
+        assert_eq!(c.code(2), &[4, 5]);
+    }
+
+    #[test]
+    fn iter_yields_all_tokens() {
+        let c = HashCodes::from_flat(2, 2, vec![7, 8, 9, 10]);
+        let collected: Vec<&[i32]> = c.iter().collect();
+        assert_eq!(collected, vec![&[7, 8][..], &[9, 10][..]]);
+    }
+
+    #[test]
+    fn empty_sequence_is_allowed() {
+        let c = HashCodes::from_flat(0, 4, vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_flat_validates_length() {
+        let _ = HashCodes::from_flat(2, 3, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn code_bounds_checked() {
+        let c = HashCodes::from_flat(1, 1, vec![0]);
+        let _ = c.code(1);
+    }
+}

@@ -1,0 +1,277 @@
+//! p-stable locality-sensitive hash families (paper §III-A).
+
+use cta_tensor::{Matrix, MatrixRng};
+
+use crate::HashCodes;
+
+/// Hyper-parameters for sampling an [`LshFamily`].
+///
+/// `hash_length` is the code length `l` (the paper uses `l = 6`);
+/// `bucket_width` is the projection interval width `w`, the main knob
+/// trading compression ratio against approximation accuracy — larger `w`
+/// merges more tokens per cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshParams {
+    /// Code length `l` (number of sampled directions).
+    pub hash_length: usize,
+    /// Bucket width `w` for the floor quantisation.
+    pub bucket_width: f32,
+}
+
+impl LshParams {
+    /// Creates parameters, validating them eagerly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_length == 0` or `bucket_width <= 0`.
+    pub fn new(hash_length: usize, bucket_width: f32) -> Self {
+        assert!(hash_length > 0, "hash_length must be positive");
+        assert!(bucket_width > 0.0 && bucket_width.is_finite(), "bucket_width must be positive and finite");
+        Self { hash_length, bucket_width }
+    }
+
+    /// The paper's default code length, `l = 6` (§IV-C).
+    pub fn with_paper_length(bucket_width: f32) -> Self {
+        Self::new(6, bucket_width)
+    }
+}
+
+/// A sampled p-stable LSH family.
+///
+/// Holds the direction matrix `A` (`l × d`, rows drawn from `N(0,1)`), the
+/// bias vector `b` (entries drawn from `U[0, w)`) and the bucket width `w`.
+/// A `d`-dimensional vector `x` hashes to the `l`-dimensional integer code
+///
+/// ```text
+/// h(x) = floor((A·x + b) / w)        (paper eq. 1)
+/// ```
+///
+/// Vectors whose codes are equal land in the same cluster.
+///
+/// ```
+/// use cta_lsh::{LshFamily, LshParams};
+///
+/// let fam = LshFamily::sample(4, LshParams::new(6, 1.0), 42);
+/// let x = [0.1, 0.2, 0.3, 0.4];
+/// // Hash codes are deterministic for a given family.
+/// assert_eq!(fam.hash_code(&x), fam.hash_code(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LshFamily {
+    /// `l × d` direction matrix; row `i` is direction `aᵢ`.
+    a: Matrix,
+    /// `l` biases.
+    b: Vec<f32>,
+    /// Bucket width.
+    w: f32,
+}
+
+impl LshFamily {
+    /// Samples a family for `dim`-dimensional inputs from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn sample(dim: usize, params: LshParams, seed: u64) -> Self {
+        assert!(dim > 0, "input dimension must be positive");
+        let mut rng = MatrixRng::new(seed);
+        Self::sample_with(dim, params, &mut rng)
+    }
+
+    /// Samples a family using an existing random stream (so experiments can
+    /// derive LSH₀, LSH₁, LSH₂ from one experiment seed).
+    pub fn sample_with(dim: usize, params: LshParams, rng: &mut MatrixRng) -> Self {
+        assert!(dim > 0, "input dimension must be positive");
+        let a = rng.normal_matrix(params.hash_length, dim, 0.0, 1.0);
+        let b = (0..params.hash_length).map(|_| rng.uniform(0.0, params.bucket_width)).collect();
+        Self { a, b, w: params.bucket_width }
+    }
+
+    /// Builds a family from explicit parameters (used by tests and by the
+    /// hardware simulator, which loads `A`, `b`, `1/w` from weight memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != a.rows()` or `w <= 0`.
+    pub fn from_parts(a: Matrix, b: Vec<f32>, w: f32) -> Self {
+        assert_eq!(b.len(), a.rows(), "bias length must equal the number of directions");
+        assert!(w > 0.0 && w.is_finite(), "bucket width must be positive and finite");
+        Self { a, b, w }
+    }
+
+    /// Code length `l`.
+    pub fn hash_length(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Input dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Bucket width `w`.
+    pub fn bucket_width(&self) -> f32 {
+        self.w
+    }
+
+    /// The direction matrix `A` (`l × d`).
+    pub fn directions(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The bias vector `b`.
+    pub fn biases(&self) -> &[f32] {
+        &self.b
+    }
+
+    /// Hashes a single vector to its `l`-dimensional integer code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn hash_code(&self, x: &[f32]) -> Vec<i32> {
+        assert_eq!(x.len(), self.dim(), "vector dimension mismatch: {} vs {}", x.len(), self.dim());
+        (0..self.hash_length()).map(|i| self.hash_value(i, x)).collect()
+    }
+
+    /// The `i`-th component of the hash code: `floor((⟨aᵢ,x⟩ + bᵢ)/w)`.
+    ///
+    /// Exposed separately because the hardware streams hash values one
+    /// direction at a time out of the systolic array (§IV-B(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.hash_length()` or the dimension mismatches.
+    pub fn hash_value(&self, i: usize, x: &[f32]) -> i32 {
+        let proj = Matrix::dot(self.a.row(i), x) + self.b[i];
+        (proj / self.w).floor() as i32
+    }
+
+    /// Hashes every row of a token matrix (paper eq. 1, `H = ⌊(A·Xᵀ+B)/w⌋`),
+    /// returning one code per token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.cols() != self.dim()`.
+    pub fn hash_matrix(&self, tokens: &Matrix) -> HashCodes {
+        assert_eq!(tokens.cols(), self.dim(), "token dimension mismatch: {} vs {}", tokens.cols(), self.dim());
+        let n = tokens.rows();
+        let l = self.hash_length();
+        let mut values = Vec::with_capacity(n * l);
+        for t in 0..n {
+            let row = tokens.row(t);
+            for i in 0..l {
+                values.push(self.hash_value(i, row));
+            }
+        }
+        HashCodes::from_flat(n, l, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn family() -> LshFamily {
+        LshFamily::sample(8, LshParams::new(6, 2.0), 123)
+    }
+
+    #[test]
+    fn params_validate() {
+        let p = LshParams::with_paper_length(1.5);
+        assert_eq!(p.hash_length, 6);
+        assert_eq!(p.bucket_width, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_width")]
+    fn params_reject_zero_width() {
+        let _ = LshParams::new(6, 0.0);
+    }
+
+    #[test]
+    fn identical_vectors_share_codes() {
+        let fam = family();
+        let x = vec![0.5; 8];
+        assert_eq!(fam.hash_code(&x), fam.hash_code(&x));
+    }
+
+    #[test]
+    fn hash_matrix_rows_match_hash_code() {
+        let fam = family();
+        let tokens = cta_tensor::standard_normal_matrix(7, 5, 8);
+        let codes = fam.hash_matrix(&tokens);
+        for t in 0..5 {
+            assert_eq!(codes.code(t), fam.hash_code(tokens.row(t)).as_slice());
+        }
+    }
+
+    #[test]
+    fn bias_shifts_bucket_boundaries() {
+        // With w=1, b=0.5 and a single direction (1.0), x=0.6 projects to
+        // 1.1 -> bucket 1, while x=0.4 projects to 0.9 -> bucket 0.
+        let fam = LshFamily::from_parts(Matrix::from_rows(&[&[1.0]]), vec![0.5], 1.0);
+        assert_eq!(fam.hash_code(&[0.6]), vec![1]);
+        assert_eq!(fam.hash_code(&[0.4]), vec![0]);
+    }
+
+    #[test]
+    fn negative_projections_floor_downwards() {
+        let fam = LshFamily::from_parts(Matrix::from_rows(&[&[1.0]]), vec![0.0], 1.0);
+        assert_eq!(fam.hash_code(&[-0.5]), vec![-1]);
+        assert_eq!(fam.hash_code(&[-1.0]), vec![-1]);
+        assert_eq!(fam.hash_code(&[-1.5]), vec![-2]);
+    }
+
+    #[test]
+    fn wider_buckets_collide_more() {
+        // Two nearby points: with a tiny bucket they separate, with a huge
+        // bucket they collide (statistically certain for these magnitudes).
+        let narrow = LshFamily::sample(4, LshParams::new(8, 0.001), 9);
+        let wide = LshFamily::sample(4, LshParams::new(8, 1000.0), 9);
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let y = [0.11, 0.21, 0.29, 0.41];
+        assert_ne!(narrow.hash_code(&x), narrow.hash_code(&y));
+        assert_eq!(wide.hash_code(&x), wide.hash_code(&y));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn hash_code_rejects_wrong_dim() {
+        let _ = family().hash_code(&[1.0]);
+    }
+
+    proptest! {
+        /// LSH locality: a point always collides with itself, and moving a
+        /// point by less than w/(2·‖a‖·√d)... is hard to bound exactly, so
+        /// we check the weaker structural property that collision is
+        /// translation-covariant along bucket multiples of each direction.
+        #[test]
+        fn codes_are_deterministic(seed in 0u64..500) {
+            let fam = LshFamily::sample(6, LshParams::new(4, 1.0), seed);
+            let x: Vec<f32> = (0..6).map(|i| (i as f32) * 0.37 - 1.0).collect();
+            prop_assert_eq!(fam.hash_code(&x), fam.hash_code(&x));
+        }
+
+        /// Closer pairs collide at least as often as far pairs on average —
+        /// the defining property of a locality-sensitive family. Checked in
+        /// aggregate over the family seed.
+        #[test]
+        fn locality_in_aggregate(base_seed in 0u64..20) {
+            let mut near_hits = 0usize;
+            let mut far_hits = 0usize;
+            let trials = 40;
+            for s in 0..trials {
+                let fam = LshFamily::sample(4, LshParams::new(2, 4.0), base_seed * 1000 + s);
+                let x = [0.0f32, 0.0, 0.0, 0.0];
+                let near = [0.1f32, -0.1, 0.1, -0.1];
+                let far = [3.0f32, -3.0, 3.0, -3.0];
+                if fam.hash_code(&x) == fam.hash_code(&near) { near_hits += 1; }
+                if fam.hash_code(&x) == fam.hash_code(&far) { far_hits += 1; }
+            }
+            prop_assert!(near_hits >= far_hits,
+                "near collided {near_hits}, far collided {far_hits}");
+        }
+    }
+}

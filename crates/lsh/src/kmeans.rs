@@ -1,0 +1,209 @@
+//! Lloyd's k-means — the quality reference for LSH clustering.
+//!
+//! The paper picks LSH clustering because it is *cheap and hardware
+//! friendly* (one matrix product + a tree walk), not because it is the
+//! best clustering. This module provides the classical quality reference:
+//! k-means with k-means++-style seeding, used by the clustering-quality
+//! ablation to measure how much approximation error the LSH shortcut
+//! costs relative to an L2-optimised clustering at the same `k` — and how
+//! much more computation that optimisation would burn.
+
+use cta_tensor::{Matrix, MatrixRng};
+
+use crate::{aggregate_centroids, ClusterTable, Compression};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansRun {
+    /// The final clustering as a [`Compression`] (centroids + table).
+    pub compression: Compression,
+    /// Lloyd iterations executed (≤ the configured maximum).
+    pub iterations: usize,
+    /// Total distance computations spent (the cost LSH avoids).
+    pub distance_evals: u64,
+}
+
+/// Runs Lloyd's k-means with k-means++-style seeding.
+///
+/// Empty clusters are re-seeded on the farthest point from its centroid,
+/// so the result always has exactly `k` populated clusters (assuming
+/// `k ≤ n`). Iteration stops when assignments stabilise or after
+/// `max_iterations`.
+///
+/// # Panics
+///
+/// Panics if `tokens` is empty, `k == 0`, or `k > tokens.rows()`.
+pub fn kmeans(tokens: &Matrix, k: usize, max_iterations: usize, seed: u64) -> KMeansRun {
+    let n = tokens.rows();
+    assert!(n > 0, "k-means requires at least one token");
+    assert!(k > 0 && k <= n, "k must be in 1..=n (got {k} for n = {n})");
+    let mut rng = MatrixRng::new(seed);
+    let mut distance_evals = 0u64;
+
+    // k-means++-style seeding: first center uniform, then proportional to
+    // squared distance from the nearest chosen center.
+    let mut centers: Vec<usize> = vec![rng.index(n)];
+    let mut d2 = vec![0.0f64; n];
+    while centers.len() < k {
+        let mut total = 0.0f64;
+        for (t, slot) in d2.iter_mut().enumerate() {
+            let mut best = f64::INFINITY;
+            for &c in &centers {
+                best = best.min(sq_dist(tokens.row(t), tokens.row(c)));
+                distance_evals += 1;
+            }
+            *slot = best;
+            total += best;
+        }
+        let next = if total <= 0.0 {
+            // All remaining points coincide with chosen centers: pick any
+            // index not yet chosen to keep k distinct slots.
+            (0..n).find(|t| !centers.contains(t)).unwrap_or(0)
+        } else {
+            let mut u = rng.uniform(0.0, 1.0) as f64 * total;
+            let mut pick = n - 1;
+            for (t, &w) in d2.iter().enumerate() {
+                if u < w {
+                    pick = t;
+                    break;
+                }
+                u -= w;
+            }
+            pick
+        };
+        centers.push(next);
+    }
+    let mut centroids = tokens.gather_rows(&centers);
+
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0usize;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (t, slot) in assignment.iter_mut().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for c in 0..k {
+                let d = sq_dist(tokens.row(t), centroids.row(c));
+                distance_evals += 1;
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            if *slot != best.0 {
+                *slot = best.0;
+                changed = true;
+            }
+        }
+        // Update step (re-seed empty clusters on the worst-fit point).
+        let mut counts = vec![0usize; k];
+        for &a in &assignment {
+            counts[a] += 1;
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                let worst = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(tokens.row(a), centroids.row(assignment[a]))
+                            .partial_cmp(&sq_dist(tokens.row(b), centroids.row(assignment[b])))
+                            .expect("finite distances")
+                    })
+                    .expect("non-empty tokens");
+                distance_evals += 2 * n as u64;
+                assignment[worst] = c;
+                changed = true;
+            }
+        }
+        let table = ClusterTable::new(assignment.clone(), k);
+        centroids = aggregate_centroids(tokens, &table).matrix;
+        if !changed {
+            break;
+        }
+    }
+
+    let table = ClusterTable::new(assignment, k);
+    let cents = aggregate_centroids(tokens, &table);
+    KMeansRun {
+        compression: Compression { centroids: cents.matrix, counts: cents.counts, table },
+        iterations,
+        distance_evals,
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + i as f32 * 0.01, 0.0]);
+            rows.push(vec![10.0 + i as f32 * 0.01, 10.0]);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let run = kmeans(&two_blobs(), 2, 20, 3);
+        let t = &run.compression.table;
+        // All near-origin points share a cluster; all far points the other.
+        let a = t.cluster_of(0);
+        for i in (0..20).step_by(2) {
+            assert_eq!(t.cluster_of(i), a);
+        }
+        for i in (1..20).step_by(2) {
+            assert_ne!(t.cluster_of(i), a);
+        }
+        assert!(run.compression.approximation_error(&two_blobs()) < 0.01);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_error() {
+        let tokens = cta_tensor::standard_normal_matrix(5, 8, 4);
+        let run = kmeans(&tokens, 8, 30, 7);
+        assert_eq!(run.compression.k(), 8);
+        assert!(run.compression.approximation_error(&tokens) < 1e-5);
+    }
+
+    #[test]
+    fn beats_or_matches_lsh_at_same_k() {
+        use crate::{compress, LshFamily, LshParams};
+        let tokens = cta_tensor::standard_normal_matrix(11, 64, 8);
+        let lsh = compress(&tokens, &LshFamily::sample(8, LshParams::new(6, 3.0), 9));
+        let km = kmeans(&tokens, lsh.k(), 30, 13);
+        assert!(
+            km.compression.approximation_error(&tokens)
+                <= lsh.approximation_error(&tokens) + 1e-6,
+            "k-means should not lose to LSH at equal k"
+        );
+    }
+
+    #[test]
+    fn all_clusters_populated() {
+        let tokens = cta_tensor::standard_normal_matrix(17, 40, 6);
+        let run = kmeans(&tokens, 10, 25, 19);
+        assert!(run.compression.counts.iter().all(|&c| c > 0));
+        assert_eq!(run.compression.counts.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tokens = cta_tensor::standard_normal_matrix(23, 30, 5);
+        let a = kmeans(&tokens, 5, 15, 1);
+        let b = kmeans(&tokens, 5, 15, 1);
+        assert_eq!(a.compression, b.compression);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_larger_than_n_rejected() {
+        let tokens = Matrix::zeros(3, 2);
+        let _ = kmeans(&tokens, 4, 5, 0);
+    }
+}

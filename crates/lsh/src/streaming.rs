@@ -1,0 +1,189 @@
+//! Incremental token compression for generative decoding.
+//!
+//! The paper evaluates GPT-2, where inference is *incremental*: each
+//! decode step appends one token to the key/value sequence. The cluster
+//! tree is naturally incremental — assigning a new token touches one
+//! root-to-leaf path and the centroid update is a running mean — so the
+//! whole compression state can be maintained in O(l + d) per token instead
+//! of recompressing the growing prefix every step. This module provides
+//! that maintenance; batch equivalence with [`compress`](crate::compress)
+//! is the defining property (tested below).
+
+use cta_tensor::Matrix;
+
+use crate::{ClusterTable, ClusterTree, Compression, LshFamily};
+
+/// An incrementally maintained one-level compression.
+///
+/// ```
+/// use cta_lsh::{compress, LshFamily, LshParams, StreamingCompressor};
+/// use cta_tensor::standard_normal_matrix;
+///
+/// let family = LshFamily::sample(8, LshParams::new(4, 2.0), 1);
+/// let tokens = standard_normal_matrix(2, 10, 8);
+///
+/// let mut stream = StreamingCompressor::new(family.clone());
+/// for t in 0..tokens.rows() {
+///     stream.push(tokens.row(t));
+/// }
+/// // Identical to compressing the batch at once.
+/// assert_eq!(stream.snapshot(), compress(&tokens, &family));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingCompressor {
+    family: LshFamily,
+    tree: ClusterTree,
+    /// Per-cluster running sums, flattened `k × d`.
+    sums: Vec<f32>,
+    counts: Vec<usize>,
+    assignments: Vec<usize>,
+}
+
+impl StreamingCompressor {
+    /// Creates an empty compressor for the given family.
+    pub fn new(family: LshFamily) -> Self {
+        let l = family.hash_length();
+        Self { family, tree: ClusterTree::new(l), sums: Vec::new(), counts: Vec::new(), assignments: Vec::new() }
+    }
+
+    /// Number of tokens pushed so far.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether no tokens have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Current cluster count `k`.
+    pub fn cluster_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Appends one token, returning its cluster index. Cost: `l` hash
+    /// values, one tree walk, one `d`-wide sum update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token.len() != family.dim()`.
+    pub fn push(&mut self, token: &[f32]) -> usize {
+        let code = self.family.hash_code(token);
+        let cluster = self.tree.assign(&code);
+        let d = self.family.dim();
+        if cluster == self.counts.len() {
+            self.counts.push(0);
+            self.sums.extend(std::iter::repeat_n(0.0, d));
+        }
+        self.counts[cluster] += 1;
+        for (s, &x) in self.sums[cluster * d..(cluster + 1) * d].iter_mut().zip(token) {
+            *s += x;
+        }
+        self.assignments.push(cluster);
+        cluster
+    }
+
+    /// The current centroid matrix (`k × d`, running means).
+    pub fn centroids(&self) -> Matrix {
+        let d = self.family.dim();
+        let k = self.counts.len();
+        // Multiply by the reciprocal (not divide) so results are
+        // bit-identical to `aggregate_centroids`' averaging loop.
+        Matrix::from_fn(k, d, |c, j| self.sums[c * d + j] * (1.0 / self.counts[c] as f32))
+    }
+
+    /// The current cluster table.
+    pub fn table(&self) -> ClusterTable {
+        ClusterTable::new(self.assignments.clone(), self.counts.len())
+    }
+
+    /// A full [`Compression`] snapshot of the current state.
+    pub fn snapshot(&self) -> Compression {
+        Compression { centroids: self.centroids(), counts: self.counts.clone(), table: self.table() }
+    }
+
+    /// Scalar operations spent per pushed token: `l·d` hash MACs plus the
+    /// `d` centroid-sum additions (the tree walk is `l` pointer steps).
+    pub fn ops_per_token(&self) -> u64 {
+        (self.family.hash_length() * self.family.dim() + self.family.dim()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compress, LshParams};
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    fn family(seed: u64) -> LshFamily {
+        LshFamily::sample(6, LshParams::new(4, 1.5), seed)
+    }
+
+    #[test]
+    fn streaming_equals_batch_compression() {
+        let mut rng = MatrixRng::new(3);
+        let tokens = rng.normal_matrix(40, 6, 0.0, 1.0);
+        let fam = family(9);
+        let mut stream = StreamingCompressor::new(fam.clone());
+        for t in 0..tokens.rows() {
+            stream.push(tokens.row(t));
+        }
+        assert_eq!(stream.snapshot(), compress(&tokens, &fam));
+    }
+
+    #[test]
+    fn snapshots_are_consistent_at_every_prefix() {
+        let mut rng = MatrixRng::new(5);
+        let tokens = rng.normal_matrix(24, 6, 0.0, 1.0);
+        let fam = family(11);
+        let mut stream = StreamingCompressor::new(fam.clone());
+        for t in 0..tokens.rows() {
+            stream.push(tokens.row(t));
+            let prefix = tokens.slice_rows(0, t + 1);
+            assert_eq!(stream.snapshot(), compress(&prefix, &fam), "prefix {t}");
+        }
+    }
+
+    #[test]
+    fn push_returns_tree_assignment() {
+        let fam = family(13);
+        let mut stream = StreamingCompressor::new(fam);
+        let a = stream.push(&[0.0; 6]);
+        let b = stream.push(&[0.0; 6]);
+        let c = stream.push(&[10.0; 6]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 0);
+        assert_eq!(c, 1);
+        assert_eq!(stream.cluster_count(), 2);
+        assert_eq!(stream.len(), 3);
+    }
+
+    #[test]
+    fn ops_per_token_is_constant_in_sequence_length() {
+        let fam = family(17);
+        let mut stream = StreamingCompressor::new(fam);
+        let before = stream.ops_per_token();
+        for _ in 0..50 {
+            stream.push(&[1.0; 6]);
+        }
+        assert_eq!(stream.ops_per_token(), before);
+        assert_eq!(before, (4 * 6 + 6) as u64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn equivalence_with_batch(seed in 0u64..500, n in 1usize..60) {
+            let mut rng = MatrixRng::new(seed);
+            let tokens = rng.normal_matrix(n, 6, 0.0, 1.5);
+            let fam = family(seed + 1);
+            let mut stream = StreamingCompressor::new(fam.clone());
+            for t in 0..n {
+                stream.push(tokens.row(t));
+            }
+            prop_assert_eq!(stream.snapshot(), compress(&tokens, &fam));
+        }
+    }
+}

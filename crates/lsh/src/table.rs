@@ -1,0 +1,134 @@
+//! Cluster tables (`CT` in the paper).
+
+/// A cluster index table: `CT[i]` is the cluster index of token `i`.
+///
+/// Cluster indices are dense, `0..cluster_count()`, assigned in order of
+/// first appearance — exactly the order the hardware cluster tree allocates
+/// leaves (paper Fig. 4a increments a shared `cl_cnt`; we number from 0
+/// instead of 1).
+///
+/// ```
+/// use cta_lsh::ClusterTable;
+/// let ct = ClusterTable::new(vec![0, 1, 0, 2], 3);
+/// assert_eq!(ct.cluster_of(2), 0);
+/// assert_eq!(ct.cluster_count(), 3);
+/// assert_eq!(ct.population(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTable {
+    indices: Vec<usize>,
+    cluster_count: usize,
+}
+
+impl ClusterTable {
+    /// Builds a table from explicit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= cluster_count`, or if `cluster_count > 0`
+    /// while some cluster in `0..cluster_count` never appears (indices must
+    /// be dense).
+    pub fn new(indices: Vec<usize>, cluster_count: usize) -> Self {
+        let mut seen = vec![false; cluster_count];
+        for &i in &indices {
+            assert!(i < cluster_count, "cluster index {i} out of range 0..{cluster_count}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "cluster indices must be dense in 0..{cluster_count}");
+        Self { indices, cluster_count }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of clusters `k`.
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
+    }
+
+    /// The cluster index of token `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of bounds.
+    pub fn cluster_of(&self, t: usize) -> usize {
+        self.indices[t]
+    }
+
+    /// All per-token indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of tokens assigned to cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cluster_count()`.
+    pub fn population(&self, c: usize) -> usize {
+        assert!(c < self.cluster_count, "cluster {c} out of range");
+        self.indices.iter().filter(|&&i| i == c).count()
+    }
+
+    /// Per-cluster populations (`cntr` in paper Fig. 4b).
+    pub fn populations(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cluster_count];
+        for &i in &self.indices {
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    /// The compression ratio `k/n` (1.0 for an empty table).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.indices.is_empty() {
+            1.0
+        } else {
+            self.cluster_count as f64 / self.indices.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_sum_to_token_count() {
+        let ct = ClusterTable::new(vec![0, 1, 1, 2, 0], 3);
+        assert_eq!(ct.populations(), vec![2, 2, 1]);
+        assert_eq!(ct.populations().iter().sum::<usize>(), ct.len());
+    }
+
+    #[test]
+    fn compression_ratio_reflects_cluster_count() {
+        let ct = ClusterTable::new(vec![0, 0, 0, 0], 1);
+        assert_eq!(ct.compression_ratio(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_indices() {
+        let _ = ClusterTable::new(vec![0, 3], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn rejects_sparse_indices() {
+        let _ = ClusterTable::new(vec![0, 2], 3);
+    }
+
+    #[test]
+    fn empty_table_is_valid() {
+        let ct = ClusterTable::new(vec![], 0);
+        assert!(ct.is_empty());
+        assert_eq!(ct.compression_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! A classification head for stack-level accuracy measurements.
+//!
+//! The per-head proxy task (`cta_workloads::ProxyTask`) scores a single
+//! attention output; this head scores a whole model: mean-pool the
+//! stack's final activations, apply a linear classifier, and compare the
+//! exact and CTA paths' predicted labels — the closest analogue of the
+//! paper's end-task accuracy that a reproduction without checkpoints can
+//! measure at full model scope.
+
+use cta_tensor::{Matrix, MatrixRng};
+
+/// A linear classifier over mean-pooled sequence representations.
+#[derive(Debug, Clone)]
+pub struct ClassifierHead {
+    weights: Matrix,
+}
+
+impl ClassifierHead {
+    /// Random head mapping `d_model` features to `classes` logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model == 0` or `classes < 2`.
+    pub fn random(d_model: usize, classes: usize, seed: u64) -> Self {
+        assert!(d_model > 0, "d_model must be positive");
+        assert!(classes >= 2, "a classifier needs at least 2 classes");
+        let mut rng = MatrixRng::new(seed);
+        Self { weights: rng.normal_matrix(d_model, classes, 0.0, 1.0) }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Mean-pools `activations` (`n × d_model`) and returns the class
+    /// logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths mismatch or `activations` is empty.
+    pub fn logits(&self, activations: &Matrix) -> Vec<f32> {
+        assert_eq!(activations.cols(), self.weights.rows(), "activation width mismatch");
+        assert!(activations.rows() > 0, "empty activations");
+        let n = activations.rows() as f32;
+        let mut pooled = vec![0.0f32; activations.cols()];
+        for r in 0..activations.rows() {
+            for (p, &x) in pooled.iter_mut().zip(activations.row(r)) {
+                *p += x / n;
+            }
+        }
+        (0..self.classes())
+            .map(|c| pooled.iter().enumerate().map(|(j, &p)| p * self.weights[(j, c)]).sum())
+            .collect()
+    }
+
+    /// The predicted class of a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ClassifierHead::logits`].
+    pub fn predict(&self, activations: &Matrix) -> usize {
+        let logits = self.logits(activations);
+        let mut best = 0usize;
+        for (i, &x) in logits.iter().enumerate() {
+            if x > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Whether two activation matrices yield the same prediction — the
+    /// stack-level accuracy-agreement signal.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ClassifierHead::logits`].
+    pub fn agree(&self, exact: &Matrix, approx: &Matrix) -> bool {
+        self.predict(exact) == self.predict(approx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransformerStack;
+    use cta_attention::CtaConfig;
+    use cta_tensor::standard_normal_matrix;
+
+    #[test]
+    fn logits_have_one_entry_per_class() {
+        let head = ClassifierHead::random(16, 5, 1);
+        let x = standard_normal_matrix(2, 10, 16);
+        assert_eq!(head.logits(&x).len(), 5);
+        assert!(head.predict(&x) < 5);
+    }
+
+    #[test]
+    fn identical_activations_always_agree() {
+        let head = ClassifierHead::random(8, 3, 2);
+        let x = standard_normal_matrix(3, 6, 8);
+        assert!(head.agree(&x, &x));
+    }
+
+    #[test]
+    fn stack_level_agreement_in_the_singleton_limit() {
+        let stack = TransformerStack::random(2, 4, 8, 64, 4);
+        let head = ClassifierHead::random(stack.d_model(), 4, 5);
+        let x = standard_normal_matrix(6, 16, 32);
+        let cmp = stack.compare(&x, &CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 7));
+        assert!(head.agree(&cmp.exact_output, &cmp.cta_output));
+    }
+
+    #[test]
+    fn pooling_is_order_invariant() {
+        let head = ClassifierHead::random(4, 2, 8);
+        let x = standard_normal_matrix(9, 5, 4);
+        let reversed = x.gather_rows(&[4, 3, 2, 1, 0]);
+        let a = head.logits(&x);
+        let b = head.logits(&reversed);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 classes")]
+    fn single_class_rejected() {
+        let _ = ClassifierHead::random(4, 1, 0);
+    }
+}

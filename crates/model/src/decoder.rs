@@ -1,0 +1,129 @@
+//! Decoder layers: self-attention plus cross-attention over an encoded
+//! source — the encoder-decoder shape CTA's cross-attention analysis
+//! (paper §II-A, §III-D) covers.
+
+use cta_tensor::{Matrix, MatrixRng};
+
+use crate::{AttentionMode, FeedForward, HeadStats, LayerNorm, MultiHeadAttention};
+
+/// One post-norm transformer decoder layer:
+/// `LN(x + SelfAttn(x))`, `LN(y + CrossAttn(y, memory))`,
+/// `LN(z + FFN(z))`.
+#[derive(Debug, Clone)]
+pub struct DecoderLayer {
+    self_attn: MultiHeadAttention,
+    cross_attn: MultiHeadAttention,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    ln3: LayerNorm,
+}
+
+/// Output of one decoder-layer pass.
+#[derive(Debug, Clone)]
+pub struct DecoderOutput {
+    /// `m × d_model` layer output.
+    pub output: Matrix,
+    /// Per-head compression stats of the self-attention (empty in exact
+    /// mode).
+    pub self_stats: Vec<HeadStats>,
+    /// Per-head compression stats of the cross-attention.
+    pub cross_stats: Vec<HeadStats>,
+}
+
+impl DecoderLayer {
+    /// Randomly initialised decoder layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn random(heads: usize, head_dim: usize, d_ffn: usize, rng: &mut MatrixRng) -> Self {
+        let self_attn = MultiHeadAttention::random(heads, head_dim, rng);
+        let cross_attn = MultiHeadAttention::random(heads, head_dim, rng);
+        let d_model = self_attn.d_model();
+        Self {
+            self_attn,
+            cross_attn,
+            ffn: FeedForward::random(d_model, d_ffn, rng),
+            ln1: LayerNorm::identity(d_model),
+            ln2: LayerNorm::identity(d_model),
+            ln3: LayerNorm::identity(d_model),
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.self_attn.d_model()
+    }
+
+    /// Runs the layer: decoder state `x` (`m × d_model`) attending over
+    /// the encoded `memory` (`n × d_model`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input's width differs from `self.d_model()` or
+    /// either is empty.
+    pub fn forward(&self, x: &Matrix, memory: &Matrix, mode: AttentionMode) -> DecoderOutput {
+        let sa = self.self_attn.forward(x, mode);
+        let y = self.ln1.forward(&x.add(&sa.output));
+        let ca = self.cross_attn.forward_cross(&y, memory, mode);
+        let z = self.ln2.forward(&y.add(&ca.output));
+        let output = self.ln3.forward(&z.add(&self.ffn.forward(&z)));
+        DecoderOutput { output, self_stats: sa.head_stats, cross_stats: ca.head_stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_attention::CtaConfig;
+    use cta_tensor::{relative_error, standard_normal_matrix};
+
+    fn layer() -> DecoderLayer {
+        DecoderLayer::random(4, 8, 64, &mut MatrixRng::new(31))
+    }
+
+    #[test]
+    fn decoder_shapes() {
+        let l = layer();
+        let x = standard_normal_matrix(1, 10, 32);
+        let memory = standard_normal_matrix(2, 40, 32);
+        let out = l.forward(&x, &memory, AttentionMode::Exact);
+        assert_eq!(out.output.shape(), (10, 32));
+        assert!(out.self_stats.is_empty() && out.cross_stats.is_empty());
+    }
+
+    #[test]
+    fn cta_mode_reports_both_attention_stats() {
+        let l = layer();
+        let x = standard_normal_matrix(3, 12, 32);
+        let memory = standard_normal_matrix(4, 48, 32);
+        let out = l.forward(&x, &memory, AttentionMode::Cta(CtaConfig::uniform(2.0, 5)));
+        assert_eq!(out.self_stats.len(), 4);
+        assert_eq!(out.cross_stats.len(), 4);
+        // Cross-attention compresses against the 48-token memory.
+        assert!(out.cross_stats.iter().all(|s| s.k1 <= 48));
+    }
+
+    #[test]
+    fn singleton_limit_matches_exact_through_decoder() {
+        let l = layer();
+        let x = standard_normal_matrix(5, 12, 32);
+        let memory = standard_normal_matrix(6, 32, 32);
+        let exact = l.forward(&x, &memory, AttentionMode::Exact);
+        let cta = l.forward(&x, &memory, AttentionMode::Cta(CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 7)));
+        let err = relative_error(&cta.output, &exact.output);
+        assert!(err < 1e-3, "decoder singleton-limit error {err}");
+    }
+
+    #[test]
+    fn memory_actually_matters() {
+        let l = layer();
+        let x = standard_normal_matrix(7, 8, 32);
+        let m1 = standard_normal_matrix(8, 24, 32);
+        let m2 = standard_normal_matrix(9, 24, 32);
+        let a = l.forward(&x, &m1, AttentionMode::Exact);
+        let b = l.forward(&x, &m2, AttentionMode::Exact);
+        assert!(!a.output.approx_eq(&b.output, 1e-3), "cross-attention must read the memory");
+    }
+}

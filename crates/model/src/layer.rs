@@ -1,0 +1,199 @@
+//! One transformer encoder layer: multi-head attention + FFN with
+//! residuals and layer normalisation.
+
+use cta_tensor::{gelu_matrix, layer_norm_rows, Matrix, MatrixRng};
+
+use crate::{AttentionMode, HeadStats, MultiHeadAttention};
+
+/// The position-wise feed-forward block: `GELU(x·W₁ + b₁)·W₂ + b₂`.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    w1: Matrix,
+    b1: Vec<f32>,
+    w2: Matrix,
+    b2: Vec<f32>,
+}
+
+impl FeedForward {
+    /// Random initialisation with the usual `1/sqrt(fan_in)` scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero.
+    pub fn random(d_model: usize, d_ffn: usize, rng: &mut MatrixRng) -> Self {
+        assert!(d_model > 0 && d_ffn > 0, "widths must be positive");
+        Self {
+            w1: rng.normal_matrix(d_model, d_ffn, 0.0, 1.0 / (d_model as f32).sqrt()),
+            b1: vec![0.0; d_ffn],
+            w2: rng.normal_matrix(d_ffn, d_model, 0.0, 1.0 / (d_ffn as f32).sqrt()),
+            b2: vec![0.0; d_model],
+        }
+    }
+
+    /// Applies the block row-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` mismatches the block's input width.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.w1.rows(), "FFN input width mismatch");
+        let mut hidden = x.matmul(&self.w1);
+        for r in 0..hidden.rows() {
+            for (v, b) in hidden.row_mut(r).iter_mut().zip(&self.b1) {
+                *v += b;
+            }
+        }
+        let mut out = gelu_matrix(&hidden).matmul(&self.w2);
+        for r in 0..out.rows() {
+            for (v, b) in out.row_mut(r).iter_mut().zip(&self.b2) {
+                *v += b;
+            }
+        }
+        out
+    }
+}
+
+/// Learned layer-norm parameters.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Identity-initialised normalisation of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn identity(width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self { gamma: vec![1.0; width], beta: vec![0.0; width] }
+    }
+
+    /// Applies the normalisation row-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` mismatches the parameter width.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        layer_norm_rows(x, &self.gamma, &self.beta)
+    }
+}
+
+/// One post-norm transformer encoder layer.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    mha: MultiHeadAttention,
+    ffn: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+}
+
+/// Output of one layer pass.
+#[derive(Debug, Clone)]
+pub struct LayerOutput {
+    /// `n × d_model` layer output.
+    pub output: Matrix,
+    /// Per-head compression stats (empty in exact mode).
+    pub head_stats: Vec<HeadStats>,
+}
+
+impl EncoderLayer {
+    /// Randomly initialised layer with `heads` heads of `head_dim` and an
+    /// FFN of width `d_ffn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn random(heads: usize, head_dim: usize, d_ffn: usize, rng: &mut MatrixRng) -> Self {
+        let mha = MultiHeadAttention::random(heads, head_dim, rng);
+        let d_model = mha.d_model();
+        Self {
+            mha,
+            ffn: FeedForward::random(d_model, d_ffn, rng),
+            ln1: LayerNorm::identity(d_model),
+            ln2: LayerNorm::identity(d_model),
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.mha.d_model()
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.mha.num_heads()
+    }
+
+    /// Runs the layer: `LN(x + MHA(x))`, then `LN(y + FFN(y))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_model()` or `x` is empty.
+    pub fn forward(&self, x: &Matrix, mode: AttentionMode) -> LayerOutput {
+        let mha = self.mha.forward(x, mode);
+        let y = self.ln1.forward(&x.add(&mha.output));
+        let output = self.ln2.forward(&y.add(&self.ffn.forward(&y)));
+        LayerOutput { output, head_stats: mha.head_stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_attention::CtaConfig;
+    use cta_tensor::{relative_error, standard_normal_matrix};
+
+    fn layer() -> EncoderLayer {
+        EncoderLayer::random(4, 8, 64, &mut MatrixRng::new(11))
+    }
+
+    #[test]
+    fn ffn_shapes_and_nonlinearity() {
+        let mut rng = MatrixRng::new(1);
+        let ffn = FeedForward::random(8, 32, &mut rng);
+        let x = standard_normal_matrix(2, 4, 8);
+        let y = ffn.forward(&x);
+        assert_eq!(y.shape(), (4, 8));
+        // Non-linearity: f(2x) != 2 f(x).
+        let y2 = ffn.forward(&x.scale(2.0));
+        assert!(!y2.approx_eq(&y.scale(2.0), 1e-3));
+    }
+
+    #[test]
+    fn layer_output_is_normalised() {
+        let l = layer();
+        let x = standard_normal_matrix(3, 10, 32);
+        let out = l.forward(&x, AttentionMode::Exact);
+        for r in 0..out.output.rows() {
+            let mean: f32 = out.output.row(r).iter().sum::<f32>() / 32.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn cta_layer_stays_close_to_exact_layer() {
+        let l = layer();
+        let x = standard_normal_matrix(5, 16, 32);
+        let exact = l.forward(&x, AttentionMode::Exact);
+        let cta = l.forward(&x, AttentionMode::Cta(CtaConfig::new(6, 1e-4, 1e-4, 1e-4, 7)));
+        let err = relative_error(&cta.output, &exact.output);
+        assert!(err < 1e-3, "layer singleton-limit error {err}");
+    }
+
+    #[test]
+    fn layer_norm_identity_params() {
+        let ln = LayerNorm::identity(4);
+        let x = standard_normal_matrix(9, 3, 4);
+        let y = ln.forward(&x);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn layer_norm_rejects_zero_width() {
+        let _ = LayerNorm::identity(0);
+    }
+}

@@ -1,0 +1,39 @@
+#![deny(missing_docs)]
+
+//! Transformer encoder layers with CTA inside every attention head.
+//!
+//! The paper evaluates CTA embedded in full models (BERT/RoBERTa/ALBERT/
+//! GPT-2); this crate supplies the corresponding substrate for the
+//! reproduction: multi-head attention over head-sliced inputs
+//! ([`MultiHeadAttention`]), complete encoder layers with FFN, residuals
+//! and layer norms ([`EncoderLayer`]), and multi-layer stacks with a
+//! side-by-side exact/CTA comparison mode ([`TransformerStack::compare`])
+//! that answers the question single-head experiments cannot: does the
+//! approximation error *compound* across layers? Decoder layers with
+//! cross-attention over an encoded source ([`DecoderLayer`]) cover the
+//! encoder-decoder shape.
+//!
+//! # Example
+//!
+//! ```
+//! use cta_attention::CtaConfig;
+//! use cta_model::TransformerStack;
+//! use cta_tensor::standard_normal_matrix;
+//!
+//! let stack = TransformerStack::random(2, 4, 8, 64, 1);
+//! let x = standard_normal_matrix(0, 16, 32);
+//! let cmp = stack.compare(&x, &CtaConfig::uniform(2.0, 2));
+//! assert_eq!(cmp.layer_errors.len(), 2);
+//! ```
+
+mod classifier;
+mod decoder;
+mod layer;
+mod mha;
+mod stack;
+
+pub use classifier::ClassifierHead;
+pub use decoder::{DecoderLayer, DecoderOutput};
+pub use layer::{EncoderLayer, FeedForward, LayerNorm, LayerOutput};
+pub use mha::{AttentionMode, HeadStats, MhaOutput, MultiHeadAttention};
+pub use stack::{StackComparison, TransformerStack};

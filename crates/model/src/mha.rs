@@ -1,0 +1,223 @@
+//! Multi-head attention with CTA available inside every head.
+
+use cta_attention::{attention_exact, cta_forward, AttentionWeights, CtaAttention, CtaConfig};
+use cta_tensor::{Matrix, MatrixRng};
+
+/// How attention is computed inside a layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttentionMode {
+    /// Exact scaled-dot-product attention in every head.
+    Exact,
+    /// The CTA approximation in every head, at this configuration. Each
+    /// head derives its own LSH seed from the config seed so heads do not
+    /// share hash functions.
+    Cta(CtaConfig),
+}
+
+/// Per-head compression statistics of one CTA multi-head pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadStats {
+    /// Compressed query count.
+    pub k0: usize,
+    /// Level-1 KV cluster count.
+    pub k1: usize,
+    /// Level-2 KV cluster count.
+    pub k2: usize,
+}
+
+impl HeadStats {
+    fn from_cta(cta: &CtaAttention) -> Self {
+        Self { k0: cta.k0(), k1: cta.k1(), k2: cta.k2() }
+    }
+}
+
+/// Multi-head attention over head-sliced inputs.
+///
+/// Following the CTA hardware model (the accelerator ingests 64-dimensional
+/// tokens per head, §IV-C), the `d_model`-wide input is split into `heads`
+/// contiguous slices of `head_dim` and each head attends over its own
+/// slice with `head_dim × head_dim` projections; head outputs are
+/// concatenated and mixed by the `d_model × d_model` output projection.
+/// This is the per-head workload the rest of the repository models, wired
+/// into a full layer.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    heads: Vec<AttentionWeights>,
+    w_out: Matrix,
+    head_dim: usize,
+}
+
+/// Output of a multi-head pass.
+#[derive(Debug, Clone)]
+pub struct MhaOutput {
+    /// `n × d_model` attention output (after the output projection).
+    pub output: Matrix,
+    /// Per-head compression stats (empty in exact mode).
+    pub head_stats: Vec<HeadStats>,
+}
+
+impl MultiHeadAttention {
+    /// Builds randomly initialised multi-head attention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads == 0` or `head_dim == 0`.
+    pub fn random(heads: usize, head_dim: usize, rng: &mut MatrixRng) -> Self {
+        assert!(heads > 0 && head_dim > 0, "heads and head_dim must be positive");
+        let d_model = heads * head_dim;
+        let heads_w = (0..heads)
+            .map(|_| {
+                let std = 1.0 / (head_dim as f32).sqrt();
+                AttentionWeights::new(
+                    rng.normal_matrix(head_dim, head_dim, 0.0, std),
+                    rng.normal_matrix(head_dim, head_dim, 0.0, std),
+                    rng.normal_matrix(head_dim, head_dim, 0.0, std),
+                )
+            })
+            .collect();
+        let w_out = rng.normal_matrix(d_model, d_model, 0.0, 1.0 / (d_model as f32).sqrt());
+        Self { heads: heads_w, w_out, head_dim }
+    }
+
+    /// Builds multi-head attention from explicit per-head weights and an
+    /// output projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is empty, the heads disagree on dimensions, or
+    /// `w_out` is not `d_model × d_model`.
+    pub fn from_heads(heads: Vec<AttentionWeights>, w_out: Matrix) -> Self {
+        assert!(!heads.is_empty(), "at least one head");
+        let head_dim = heads[0].head_dim();
+        assert!(
+            heads.iter().all(|h| h.head_dim() == head_dim && h.token_dim() == head_dim),
+            "heads must share head_dim and use head-sliced inputs (token_dim == head_dim)"
+        );
+        let d_model = heads.len() * head_dim;
+        assert_eq!(w_out.shape(), (d_model, d_model), "w_out must be d_model x d_model");
+        Self { heads, w_out, head_dim }
+    }
+
+    /// Number of heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Model width `heads · head_dim`.
+    pub fn d_model(&self) -> usize {
+        self.heads.len() * self.head_dim
+    }
+
+    /// Runs multi-head self-attention over `x` (`n × d_model`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_model()` or `x` is empty.
+    pub fn forward(&self, x: &Matrix, mode: AttentionMode) -> MhaOutput {
+        self.forward_cross(x, x, mode)
+    }
+
+    /// Runs multi-head *cross*-attention: queries from `x_q`
+    /// (`m × d_model`), keys/values from `x_kv` (`n × d_model`) — the
+    /// decoder-over-source shape. Self-attention is the `x_q == x_kv`
+    /// special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input's width differs from `self.d_model()` or
+    /// either is empty.
+    pub fn forward_cross(&self, x_q: &Matrix, x_kv: &Matrix, mode: AttentionMode) -> MhaOutput {
+        assert_eq!(x_q.cols(), self.d_model(), "query width {} != d_model {}", x_q.cols(), self.d_model());
+        assert_eq!(x_kv.cols(), self.d_model(), "kv width {} != d_model {}", x_kv.cols(), self.d_model());
+        assert!(x_q.rows() > 0 && x_kv.rows() > 0, "empty input");
+        let m = x_q.rows();
+        let mut concat = Matrix::zeros(m, self.d_model());
+        let mut head_stats = Vec::new();
+
+        for (h, weights) in self.heads.iter().enumerate() {
+            let lo = h * self.head_dim;
+            let q_slice = Matrix::from_fn(m, self.head_dim, |r, c| x_q[(r, lo + c)]);
+            let kv_slice = Matrix::from_fn(x_kv.rows(), self.head_dim, |r, c| x_kv[(r, lo + c)]);
+            let head_out = match mode {
+                AttentionMode::Exact => attention_exact(&q_slice, &kv_slice, weights).output,
+                AttentionMode::Cta(cfg) => {
+                    // Distinct hash functions per head.
+                    let head_cfg = CtaConfig { seed: cfg.seed.wrapping_add(h as u64), ..cfg };
+                    let cta = cta_forward(&q_slice, &kv_slice, weights, &head_cfg);
+                    head_stats.push(HeadStats::from_cta(&cta));
+                    cta.output
+                }
+            };
+            for r in 0..m {
+                concat.row_mut(r)[lo..lo + self.head_dim].copy_from_slice(head_out.row(r));
+            }
+        }
+
+        MhaOutput { output: concat.matmul(&self.w_out), head_stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_tensor::{relative_error, standard_normal_matrix};
+
+    fn mha() -> MultiHeadAttention {
+        MultiHeadAttention::random(4, 8, &mut MatrixRng::new(3))
+    }
+
+    #[test]
+    fn output_shape_is_n_by_d_model() {
+        let m = mha();
+        let x = standard_normal_matrix(1, 12, 32);
+        let out = m.forward(&x, AttentionMode::Exact);
+        assert_eq!(out.output.shape(), (12, 32));
+        assert!(out.head_stats.is_empty());
+    }
+
+    #[test]
+    fn cta_mode_reports_per_head_stats() {
+        let m = mha();
+        let x = standard_normal_matrix(2, 16, 32);
+        let out = m.forward(&x, AttentionMode::Cta(CtaConfig::uniform(2.0, 5)));
+        assert_eq!(out.head_stats.len(), 4);
+        assert!(out.head_stats.iter().all(|s| s.k0 <= 16 && s.k1 <= 16));
+    }
+
+    #[test]
+    fn cta_singleton_limit_matches_exact() {
+        let m = mha();
+        let x = standard_normal_matrix(4, 16, 32);
+        let exact = m.forward(&x, AttentionMode::Exact);
+        let cta = m.forward(&x, AttentionMode::Cta(CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 9)));
+        let err = relative_error(&cta.output, &exact.output);
+        assert!(err < 1e-4, "multi-head singleton error {err}");
+    }
+
+    #[test]
+    fn heads_use_distinct_hash_seeds() {
+        // Build heads with *identical* weights and feed an input whose
+        // head slices are identical: if heads shared one hash seed, every
+        // head's compression stats would necessarily coincide; distinct
+        // per-head seeds decorrelate them at a borderline bucket width.
+        let mut rng = MatrixRng::new(13);
+        let shared = AttentionWeights::random(8, 8, 99);
+        let m = MultiHeadAttention::from_heads(
+            vec![shared.clone(), shared.clone(), shared.clone(), shared],
+            rng.normal_matrix(32, 32, 0.0, 0.2),
+        );
+        let slice = standard_normal_matrix(6, 24, 8);
+        let x = cta_tensor::Matrix::from_fn(24, 32, |r, c| slice[(r, c % 8)]);
+        let out = m.forward(&x, AttentionMode::Cta(CtaConfig::uniform(2.5, 7)));
+        let first = out.head_stats[0];
+        assert!(out.head_stats.iter().any(|s| *s != first), "stats: {:?}", out.head_stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_model")]
+    fn wrong_width_rejected() {
+        let m = mha();
+        let x = standard_normal_matrix(1, 4, 16);
+        let _ = m.forward(&x, AttentionMode::Exact);
+    }
+}

@@ -1,0 +1,208 @@
+//! Multi-layer transformer stacks and layer-wise error propagation.
+//!
+//! The paper evaluates CTA inside full finetuned models; the corresponding
+//! question for this reproduction is whether per-head approximation error
+//! *compounds* across layers or is washed out by the layer norms and
+//! mixing. [`TransformerStack::compare`] runs the exact and CTA paths side
+//! by side and reports the divergence after every layer.
+
+use cta_sim::AttentionTask;
+use cta_tensor::{relative_error, Matrix, MatrixRng};
+use cta_workloads::ModelSpec;
+
+use crate::{AttentionMode, EncoderLayer, HeadStats};
+
+/// A stack of encoder layers.
+#[derive(Debug, Clone)]
+pub struct TransformerStack {
+    layers: Vec<EncoderLayer>,
+    head_dim: usize,
+    hash_length: usize,
+}
+
+/// The trace of a side-by-side exact/CTA run.
+#[derive(Debug, Clone)]
+pub struct StackComparison {
+    /// Exact-path final output.
+    pub exact_output: Matrix,
+    /// CTA-path final output.
+    pub cta_output: Matrix,
+    /// Relative error of the CTA activations after each layer.
+    pub layer_errors: Vec<f64>,
+    /// Per-layer, per-head compression stats of the CTA path.
+    pub head_stats: Vec<Vec<HeadStats>>,
+}
+
+impl StackComparison {
+    /// Relative error at the stack output.
+    pub fn final_error(&self) -> f64 {
+        *self.layer_errors.last().expect("at least one layer")
+    }
+
+    /// Accelerator tasks for every (layer, head) of the CTA run.
+    pub fn attention_tasks(&self, seq_len: usize, head_dim: usize, hash_length: usize) -> Vec<AttentionTask> {
+        self.head_stats
+            .iter()
+            .flatten()
+            .map(|s| {
+                AttentionTask::from_counts(
+                    seq_len,
+                    seq_len,
+                    head_dim,
+                    s.k0.clamp(1, seq_len),
+                    s.k1.clamp(1, seq_len),
+                    s.k2.clamp(1, seq_len),
+                    hash_length,
+                )
+            })
+            .collect()
+    }
+}
+
+impl TransformerStack {
+    /// A randomly initialised stack of `layers` encoder layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn random(layers: usize, heads: usize, head_dim: usize, d_ffn: usize, seed: u64) -> Self {
+        assert!(layers > 0, "at least one layer");
+        let mut rng = MatrixRng::new(seed);
+        Self {
+            layers: (0..layers).map(|_| EncoderLayer::random(heads, head_dim, d_ffn, &mut rng)).collect(),
+            head_dim,
+            hash_length: 6,
+        }
+    }
+
+    /// A stack with a model-zoo shape, truncated to `layers` layers (full
+    /// 24-layer BERT-large stacks are available but slow in debug builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    pub fn from_spec(spec: &ModelSpec, layers: usize, seed: u64) -> Self {
+        Self::random(layers, spec.heads, spec.head_dim, spec.ffn_dim.min(4 * spec.d_model), seed)
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.layers[0].d_model()
+    }
+
+    /// Runs the stack in one mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_model()`.
+    pub fn forward(&self, x: &Matrix, mode: AttentionMode) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h, mode).output;
+        }
+        h
+    }
+
+    /// Runs exact and CTA paths side by side, reporting per-layer
+    /// divergence. Each path propagates its *own* activations (the CTA
+    /// path sees its own accumulated error, as a deployed model would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.d_model()`.
+    pub fn compare(&self, x: &Matrix, config: &cta_attention::CtaConfig) -> StackComparison {
+        let mut exact = x.clone();
+        let mut cta = x.clone();
+        let mut layer_errors = Vec::with_capacity(self.layers.len());
+        let mut head_stats = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            exact = layer.forward(&exact, AttentionMode::Exact).output;
+            let cfg = cta_attention::CtaConfig {
+                seed: config.seed.wrapping_add((i as u64) << 32),
+                ..*config
+            };
+            let out = layer.forward(&cta, AttentionMode::Cta(cfg));
+            cta = out.output;
+            head_stats.push(out.head_stats);
+            layer_errors.push(relative_error(&cta, &exact));
+        }
+        StackComparison { exact_output: exact, cta_output: cta, layer_errors, head_stats }
+    }
+
+    /// The hash length tasks derived from this stack report.
+    pub fn hash_length(&self) -> usize {
+        self.hash_length
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_attention::CtaConfig;
+    use cta_tensor::standard_normal_matrix;
+
+    fn stack() -> TransformerStack {
+        TransformerStack::random(3, 4, 8, 64, 21)
+    }
+
+    #[test]
+    fn forward_preserves_shape_across_layers() {
+        let s = stack();
+        let x = standard_normal_matrix(2, 12, 32);
+        let y = s.forward(&x, AttentionMode::Exact);
+        assert_eq!(y.shape(), (12, 32));
+    }
+
+    #[test]
+    fn compare_reports_one_error_per_layer() {
+        let s = stack();
+        let x = standard_normal_matrix(4, 16, 32);
+        let cmp = s.compare(&x, &CtaConfig::uniform(2.0, 5));
+        assert_eq!(cmp.layer_errors.len(), 3);
+        assert_eq!(cmp.head_stats.len(), 3);
+        assert_eq!(cmp.head_stats[0].len(), 4);
+        assert!(cmp.final_error().is_finite());
+    }
+
+    #[test]
+    fn singleton_limit_is_exact_through_the_whole_stack() {
+        let s = stack();
+        let x = standard_normal_matrix(6, 16, 32);
+        let cmp = s.compare(&x, &CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 7));
+        assert!(cmp.final_error() < 1e-3, "stack error {}", cmp.final_error());
+    }
+
+    #[test]
+    fn attention_tasks_cover_every_layer_head() {
+        let s = stack();
+        let x = standard_normal_matrix(8, 16, 32);
+        let cmp = s.compare(&x, &CtaConfig::uniform(2.0, 9));
+        let tasks = cmp.attention_tasks(16, 8, 6);
+        assert_eq!(tasks.len(), 3 * 4);
+        assert!(tasks.iter().all(|t| t.num_keys == 16 && t.head_dim == 8));
+    }
+
+    #[test]
+    fn from_spec_matches_model_shape() {
+        let spec = cta_workloads::bert_large();
+        let s = TransformerStack::from_spec(&spec, 2, 3);
+        assert_eq!(s.num_layers(), 2);
+        assert_eq!(s.d_model(), spec.heads * spec.head_dim);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_stack_rejected() {
+        let _ = TransformerStack::random(0, 2, 4, 16, 1);
+    }
+}

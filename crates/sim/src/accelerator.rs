@@ -1,0 +1,170 @@
+//! The top-level CTA accelerator model: one call simulates a full head and
+//! returns latency, energy, memory-access and area reports.
+
+use crate::{
+    area_breakdown, schedule, AreaModel, AreaReport, AttentionTask, EnergyModel, EnergyReport,
+    HwConfig, MappingSchedule,
+};
+
+/// A configured CTA accelerator instance.
+///
+/// ```
+/// use cta_sim::{AttentionTask, CtaAccelerator, HwConfig};
+///
+/// let acc = CtaAccelerator::new(HwConfig::paper());
+/// let task = AttentionTask::from_counts(512, 512, 64, 128, 96, 48, 6);
+/// let report = acc.simulate_head(&task);
+/// assert!(report.cycles > 0);
+/// assert!(report.energy.total_pj() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtaAccelerator {
+    hw: HwConfig,
+    energy_model: EnergyModel,
+    area_model: AreaModel,
+}
+
+/// Everything the simulator reports about one attention head.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Wall-clock latency in seconds at the configured clock.
+    pub latency_s: f64,
+    /// The full schedule (step traces, category split, memory counters).
+    pub schedule: MappingSchedule,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+}
+
+impl SimReport {
+    /// Heads per second this unit sustains on identical tasks.
+    pub fn heads_per_second(&self) -> f64 {
+        1.0 / self.latency_s
+    }
+
+    /// Average power in watts over the run.
+    pub fn average_power_w(&self) -> f64 {
+        self.energy.total_j() / self.latency_s
+    }
+}
+
+impl CtaAccelerator {
+    /// Creates an accelerator with default energy and area models.
+    pub fn new(hw: HwConfig) -> Self {
+        hw.validate();
+        Self { hw, energy_model: EnergyModel::default(), area_model: AreaModel::default() }
+    }
+
+    /// Overrides the energy model (calibration / sensitivity studies).
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// Overrides the area model.
+    pub fn with_area_model(mut self, model: AreaModel) -> Self {
+        self.area_model = model;
+        self
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.hw
+    }
+
+    /// Simulates one attention head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task does not fit the hardware (see
+    /// [`schedule`](crate::schedule)).
+    pub fn simulate_head(&self, task: &AttentionTask) -> SimReport {
+        let sched = schedule(&self.hw, task);
+        let latency_s = sched.latency_s(&self.hw);
+        let e = &self.energy_model;
+        let ops = &sched.ops;
+        let sa_pj = ops.pe_macs as f64 * e.pe_mac_pj
+            + ops.ppe_ops as f64 * e.ppe_op_pj
+            + ops.adds as f64 * e.add_pj;
+        let aux_pj = ops.cim_steps as f64 * e.cim_step_pj
+            + ops.lut_lookups as f64 * e.lut_pj
+            + ops.pag_adds as f64 * e.pag_add_pj;
+        let memory_pj = sched.memory.total_energy_pj();
+        let static_pj = e.static_w * latency_s * 1e12;
+        let energy = EnergyReport { sa_pj, aux_pj, memory_pj, static_pj };
+        SimReport { cycles: sched.total_cycles, latency_s, schedule: sched, energy }
+    }
+
+    /// Area of this configuration.
+    pub fn area(&self) -> AreaReport {
+        area_breakdown(&self.hw, &self.area_model)
+    }
+
+    /// Throughput (heads/s) of a multi-unit deployment (`units` copies
+    /// processing independent heads — the paper evaluates 12×CTA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or the task does not fit the hardware.
+    pub fn multi_unit_throughput(&self, task: &AttentionTask, units: usize) -> f64 {
+        assert!(units > 0, "at least one unit required");
+        self.simulate_head(task).heads_per_second() * units as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 300, 200, 90, 6)
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let acc = CtaAccelerator::new(HwConfig::paper());
+        let r = acc.simulate_head(&task());
+        assert_eq!(r.cycles, r.schedule.total_cycles);
+        assert!((r.latency_s - r.cycles as f64 * 1e-9).abs() < 1e-15);
+        assert!((r.heads_per_second() * r.latency_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_breakdown_matches_paper_shape() {
+        // Fig. 14 right: SA ~62%, memory ~29%, aux ~9%. Allow generous
+        // slack — we check the ordering and rough magnitudes.
+        let acc = CtaAccelerator::new(HwConfig::paper());
+        let r = acc.simulate_head(&task());
+        let sa = r.energy.sa_fraction();
+        let mem = r.energy.memory_fraction();
+        let aux = r.energy.aux_fraction();
+        assert!(sa > mem && mem > aux, "sa {sa:.2} mem {mem:.2} aux {aux:.2}");
+        assert!((sa - 0.62).abs() < 0.15, "sa fraction {sa:.2}");
+        assert!((mem - 0.29).abs() < 0.15, "mem fraction {mem:.2}");
+    }
+
+    #[test]
+    fn average_power_is_plausible_for_40nm_accelerator() {
+        let acc = CtaAccelerator::new(HwConfig::paper());
+        let p = acc.simulate_head(&task()).average_power_w();
+        assert!(p > 0.05 && p < 5.0, "power {p} W");
+    }
+
+    #[test]
+    fn multi_unit_scales_linearly() {
+        let acc = CtaAccelerator::new(HwConfig::paper());
+        let one = acc.multi_unit_throughput(&task(), 1);
+        let twelve = acc.multi_unit_throughput(&task(), 12);
+        assert!((twelve / one - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_energy_model_changes_totals() {
+        let base = CtaAccelerator::new(HwConfig::paper()).simulate_head(&task());
+        let hot = CtaAccelerator::new(HwConfig::paper())
+            .with_energy_model(EnergyModel { pe_mac_pj: 5.0, ..EnergyModel::default() })
+            .simulate_head(&task());
+        assert!(hot.energy.total_pj() > base.energy.total_pj());
+    }
+}

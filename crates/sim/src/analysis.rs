@@ -1,0 +1,110 @@
+//! Utilization and roofline analysis of mapping schedules.
+//!
+//! Answers the "where did the cycles go" question behind Fig. 12's
+//! ideal-accelerator comparison: how many of the SA's multipliers did
+//! useful work each cycle, phase by phase, and which phases leave the
+//! array idle (the paper's own explanation for the sub-linear Fig. 13
+//! width scaling).
+
+use crate::{schedule, AttentionTask, HwConfig, MappingSchedule};
+
+/// Utilization figures of one scheduled head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationReport {
+    /// Useful PE MACs divided by (total cycles × PEs): overall multiplier
+    /// utilisation.
+    pub overall: f64,
+    /// Utilisation during the token-compression phase (hashing only uses
+    /// `l` of `b` columns).
+    pub compression: f64,
+    /// Utilisation during the linear phase.
+    pub linear: f64,
+    /// Utilisation during the attention phase (score + output).
+    pub attention: f64,
+    /// Cycles per useful MAC × PEs — the slowdown factor vs an
+    /// always-at-peak machine with the same multipliers (the Fig. 12
+    /// "ideal accelerator" denominator).
+    pub vs_peak: f64,
+}
+
+/// Computes utilisation from a schedule by attributing the §III-D op
+/// counts to their phases.
+pub fn utilization(hw: &HwConfig, task: &AttentionTask, sched: &MappingSchedule) -> UtilizationReport {
+    let pes = hw.num_pes() as f64;
+    let d = task.head_dim as u64;
+    let dw = task.head_dim as u64; // token dim == head dim on this hardware
+    let (m, n) = (task.num_queries as u64, task.num_keys as u64);
+    let (k0, kc) = (task.k0 as u64, task.k_cat() as u64);
+    let l = task.hash_length as u64;
+
+    let hash_macs = (l * (m + 2 * n) * dw) as f64;
+    let linear_macs = ((k0 + 2 * kc) * dw * d) as f64;
+    let attention_macs = (2 * k0 * kc * d) as f64;
+
+    let per_phase = |macs: f64, cycles: u64| {
+        if cycles == 0 {
+            0.0
+        } else {
+            macs / (cycles as f64 * pes)
+        }
+    };
+    let total_macs = hash_macs + linear_macs + attention_macs;
+    let overall = per_phase(total_macs, sched.total_cycles);
+    UtilizationReport {
+        overall,
+        compression: per_phase(hash_macs, sched.compression_cycles),
+        linear: per_phase(linear_macs, sched.linear_cycles),
+        attention: per_phase(attention_macs, sched.attention_cycles),
+        vs_peak: 1.0 / overall.max(1e-12),
+    }
+}
+
+/// Convenience: schedule + utilisation in one call.
+pub fn analyze(hw: &HwConfig, task: &AttentionTask) -> (MappingSchedule, UtilizationReport) {
+    let sched = schedule(hw, task);
+    let report = utilization(hw, task, &sched);
+    (sched, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 220, 210, 40, 6)
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        let (_, u) = analyze(&HwConfig::paper(), &task());
+        for v in [u.overall, u.compression, u.linear, u.attention] {
+            assert!((0.0..=1.0).contains(&v), "utilisation {v}");
+        }
+        assert!(u.vs_peak >= 1.0);
+    }
+
+    #[test]
+    fn compression_utilization_bounded_by_column_occupancy() {
+        // Hashing occupies l = 6 of b = 8 columns, so compression-phase
+        // utilisation can never exceed l/b.
+        let t = task();
+        let (_, u) = analyze(&HwConfig::paper(), &t);
+        let bound = t.hash_length as f64 / HwConfig::paper().sa_width as f64;
+        assert!(u.compression <= bound + 1e-9, "compression {} > bound {bound}", u.compression);
+    }
+
+    #[test]
+    fn wider_arrays_idle_more_during_compression() {
+        // The Fig. 13 sub-linearity mechanism, measured directly.
+        let t = task();
+        let (_, narrow) = analyze(&HwConfig::paper().with_sa_width(8), &t);
+        let (_, wide) = analyze(&HwConfig::paper().with_sa_width(32), &t);
+        assert!(wide.compression < narrow.compression);
+    }
+
+    #[test]
+    fn vs_peak_is_reciprocal_of_overall() {
+        let (_, u) = analyze(&HwConfig::paper(), &task());
+        assert!((u.vs_peak * u.overall - 1.0).abs() < 1e-9);
+    }
+}

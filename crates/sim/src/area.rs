@@ -1,0 +1,118 @@
+//! Area model at 40 nm (paper Fig. 15: total 2.150 mm², SA 74.6%).
+
+use crate::{HwConfig, MemorySubsystem};
+
+/// Per-unit area constants (µm²) for the 40 nm standard-cell library.
+///
+/// Calibrated so that the paper configuration reproduces Fig. 15's totals:
+/// a 13×12-bit PE (multiplier, adder, value/result/port registers, config
+/// muxes) at ~3.0 kµm² puts the 512-PE SA at ~1.6 mm² (74.6% of 2.15 mm²),
+/// with SRAM density ~300 µm²/Kb including peripherals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// One PE.
+    pub pe_um2: f64,
+    /// One PPE (adder + multiplier + max/LUT logic).
+    pub ppe_um2: f64,
+    /// One residual-column adder.
+    pub residual_adder_um2: f64,
+    /// One CIM thread unit (registers + decoder share).
+    pub cim_thread_um2: f64,
+    /// CACC/CAVG control (the arithmetic is reused from the SA).
+    pub cag_um2: f64,
+    /// One PAG tile (2×ADD_EXP + 2×merge units).
+    pub pag_tile_um2: f64,
+    /// The shared exponent LUT.
+    pub exp_lut_um2: f64,
+    /// SRAM density, µm² per kilobit.
+    pub sram_um2_per_kb: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            pe_um2: 3000.0,
+            ppe_um2: 9000.0,
+            residual_adder_um2: 250.0,
+            cim_thread_um2: 6000.0,
+            cag_um2: 25_000.0,
+            pag_tile_um2: 9000.0,
+            exp_lut_um2: 18_000.0,
+            sram_um2_per_kb: 280.0,
+        }
+    }
+}
+
+/// Area of each module, mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Systolic array (PEs + PPEs + residual adders).
+    pub sa_mm2: f64,
+    /// Cluster Index Module.
+    pub cim_mm2: f64,
+    /// Centroid Aggregation module.
+    pub cag_mm2: f64,
+    /// Probability Aggregation module.
+    pub pag_mm2: f64,
+    /// All SRAMs.
+    pub memory_mm2: f64,
+}
+
+impl AreaReport {
+    /// Total area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.sa_mm2 + self.cim_mm2 + self.cag_mm2 + self.pag_mm2 + self.memory_mm2
+    }
+
+    /// SA fraction of the total (paper: 74.6%).
+    pub fn sa_fraction(&self) -> f64 {
+        self.sa_mm2 / self.total_mm2()
+    }
+}
+
+/// Computes the area breakdown of a configuration.
+pub fn area_breakdown(hw: &HwConfig, model: &AreaModel) -> AreaReport {
+    let mem = MemorySubsystem::for_config(hw);
+    let sa_um2 = hw.num_pes() as f64 * model.pe_um2
+        + hw.sa_width as f64 * model.ppe_um2
+        + hw.sa_height as f64 * model.residual_adder_um2;
+    let cim_um2 = hw.hash_length as f64 * model.cim_thread_um2;
+    let pag_um2 = hw.pag_tiles as f64 * model.pag_tile_um2 + model.exp_lut_um2;
+    let memory_um2 = mem.total_capacity_kb() * 8.0 * model.sram_um2_per_kb;
+    AreaReport {
+        sa_mm2: sa_um2 / 1e6,
+        cim_mm2: cim_um2 / 1e6,
+        cag_mm2: model.cag_um2 / 1e6,
+        pag_mm2: pag_um2 / 1e6,
+        memory_mm2: memory_um2 / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_lands_near_reported_totals() {
+        let r = area_breakdown(&HwConfig::paper(), &AreaModel::default());
+        let total = r.total_mm2();
+        // Fig. 15: total 2.150 mm², SA 74.6%. Allow ±10% model slack.
+        assert!((total - 2.15).abs() / 2.15 < 0.10, "total {total} mm²");
+        assert!((r.sa_fraction() - 0.746).abs() < 0.05, "SA fraction {}", r.sa_fraction());
+    }
+
+    #[test]
+    fn auxiliary_modules_are_small() {
+        let r = area_breakdown(&HwConfig::paper(), &AreaModel::default());
+        let aux = r.cim_mm2 + r.cag_mm2 + r.pag_mm2;
+        assert!(aux / r.total_mm2() < 0.12, "aux fraction {}", aux / r.total_mm2());
+    }
+
+    #[test]
+    fn area_grows_with_sa_width() {
+        let small = area_breakdown(&HwConfig::paper().with_sa_width(4), &AreaModel::default());
+        let big = area_breakdown(&HwConfig::paper().with_sa_width(32), &AreaModel::default());
+        assert!(big.total_mm2() > small.total_mm2());
+        assert!(big.sa_mm2 > 4.0 * small.sa_mm2 * 0.9);
+    }
+}

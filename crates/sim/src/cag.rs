@@ -1,0 +1,196 @@
+//! Functional cycle-level model of the Centroid Aggregation module
+//! (paper §IV-B(3)): CACC (accumulate) and CAVG (average).
+
+use cta_fixed::ReciprocalLut;
+use cta_lsh::ClusterTable;
+use cta_tensor::Matrix;
+
+/// Outcome of streaming a token sequence through CACC.
+///
+/// CACC reuses `d` adders from one SA column: at cycle `i` the column reads
+/// token `i` while CACC supplies the partial centroid sum for that token's
+/// cluster. A single-row buffer holds the last partial sum; when the next
+/// token belongs to the *same* cluster the buffered row is reused (a
+/// "buffer hit", no memory traffic), otherwise the buffer is written back
+/// to result memory and the next cluster's partial row is read in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaccRun {
+    /// `k × d` per-cluster *sums* (not yet averaged).
+    pub sums: Matrix,
+    /// Per-cluster populations.
+    pub counts: Vec<usize>,
+    /// Cycles: one token per cycle.
+    pub cycles: u64,
+    /// Tokens whose cluster matched the previous token's (buffered row
+    /// reused).
+    pub buffer_hits: u64,
+    /// Partial-sum rows read from result memory.
+    pub mem_row_reads: u64,
+    /// Partial-sum rows written back to result memory.
+    pub mem_row_writes: u64,
+}
+
+/// Streams `tokens` with their cluster assignments through the CACC model.
+///
+/// # Panics
+///
+/// Panics if `table.len() != tokens.rows()` or the input is empty.
+pub fn simulate_cacc(tokens: &Matrix, table: &ClusterTable) -> CaccRun {
+    assert_eq!(table.len(), tokens.rows(), "cluster table/token count mismatch");
+    assert!(tokens.rows() > 0, "CACC requires at least one token");
+    let k = table.cluster_count();
+    let d = tokens.cols();
+    let mut sums = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    let mut buffer_hits = 0u64;
+    let mut mem_row_reads = 0u64;
+    let mut mem_row_writes = 0u64;
+    let mut buffered: Option<usize> = None;
+
+    for t in 0..tokens.rows() {
+        let c = table.cluster_of(t);
+        match buffered {
+            Some(prev) if prev == c => buffer_hits += 1,
+            Some(_) => {
+                // Write back the old partial row, read the new one.
+                mem_row_writes += 1;
+                mem_row_reads += 1;
+                buffered = Some(c);
+            }
+            None => {
+                mem_row_reads += 1;
+                buffered = Some(c);
+            }
+        }
+        let row = tokens.row(t);
+        for (s, &x) in sums.row_mut(c).iter_mut().zip(row) {
+            *s += x;
+        }
+        counts[c] += 1;
+    }
+    // Final write-back of the live buffer.
+    mem_row_writes += 1;
+
+    CaccRun { sums, counts, cycles: tokens.rows() as u64, buffer_hits, mem_row_reads, mem_row_writes }
+}
+
+/// Outcome of the CAVG averaging pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CavgRun {
+    /// `k × d` centroids (sums multiplied by LUT reciprocals).
+    pub centroids: Matrix,
+    /// Cycles: one cluster row per cycle (reusing `d` SA multipliers).
+    pub cycles: u64,
+}
+
+/// Averages accumulated sums by multiplying with reciprocal-LUT entries.
+///
+/// # Panics
+///
+/// Panics if `counts.len() != sums.rows()`, any count is zero, or a count
+/// exceeds the LUT range.
+pub fn simulate_cavg(sums: &Matrix, counts: &[usize], lut: &ReciprocalLut) -> CavgRun {
+    assert_eq!(counts.len(), sums.rows(), "counts/sums mismatch");
+    let mut centroids = sums.clone();
+    for (c, &count) in counts.iter().enumerate() {
+        let r = lut.lookup(count);
+        for x in centroids.row_mut(c) {
+            *x *= r;
+        }
+    }
+    CavgRun { centroids, cycles: sums.rows() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_lsh::aggregate_centroids;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    fn random_table(n: usize, k: usize, seed: u64) -> ClusterTable {
+        let mut rng = MatrixRng::new(seed);
+        let mut idx: Vec<usize> = (0..k).collect();
+        for _ in k..n {
+            idx.push(rng.index(k));
+        }
+        ClusterTable::new(idx, k)
+    }
+
+    #[test]
+    fn cacc_plus_cavg_equals_software_centroids() {
+        let mut rng = MatrixRng::new(7);
+        let tokens = rng.normal_matrix(30, 5, 0.0, 1.0);
+        let table = random_table(30, 6, 8);
+        let lut = ReciprocalLut::new(64);
+        let acc = simulate_cacc(&tokens, &table);
+        let avg = simulate_cavg(&acc.sums, &acc.counts, &lut);
+        let reference = aggregate_centroids(&tokens, &table);
+        assert!(avg.centroids.approx_eq(&reference.matrix, 1e-4));
+        assert_eq!(acc.counts, reference.counts);
+    }
+
+    #[test]
+    fn sorted_assignment_maximises_buffer_hits() {
+        let tokens = Matrix::zeros(6, 2);
+        let sorted = ClusterTable::new(vec![0, 0, 0, 1, 1, 2], 3);
+        let run = simulate_cacc(&tokens, &sorted);
+        // Hits: tokens 1,2 (cluster 0), token 4 (cluster 1) = 3.
+        assert_eq!(run.buffer_hits, 3);
+        assert_eq!(run.mem_row_reads, 3); // one read per cluster switch
+        assert_eq!(run.mem_row_writes, 3); // two switches + final flush
+    }
+
+    #[test]
+    fn alternating_assignment_has_no_hits() {
+        let tokens = Matrix::zeros(4, 2);
+        let alternating = ClusterTable::new(vec![0, 1, 0, 1], 2);
+        let run = simulate_cacc(&tokens, &alternating);
+        assert_eq!(run.buffer_hits, 0);
+        assert_eq!(run.mem_row_reads, 4);
+        assert_eq!(run.mem_row_writes, 4);
+    }
+
+    #[test]
+    fn cavg_cycles_one_per_cluster() {
+        let sums = Matrix::from_rows(&[&[2.0, 4.0], &[9.0, 3.0]]);
+        let run = simulate_cavg(&sums, &[2, 3], &ReciprocalLut::new(8));
+        assert_eq!(run.cycles, 2);
+        assert_eq!(run.centroids.row(0), &[1.0, 2.0]);
+        assert_eq!(run.centroids.row(1), &[3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn cacc_rejects_empty() {
+        let _ = simulate_cacc(&Matrix::zeros(0, 2), &ClusterTable::new(vec![], 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn centroid_equivalence(n in 1usize..40, kmax in 1usize..8, seed in 0u64..300) {
+            let mut rng = MatrixRng::new(seed);
+            let k = kmax.min(n);
+            let tokens = rng.normal_matrix(n, 4, 0.0, 1.0);
+            let table = random_table(n, k, seed + 1);
+            let acc = simulate_cacc(&tokens, &table);
+            let avg = simulate_cavg(&acc.sums, &acc.counts, &ReciprocalLut::new(n.max(1)));
+            let reference = aggregate_centroids(&tokens, &table);
+            prop_assert!(avg.centroids.approx_eq(&reference.matrix, 1e-3));
+        }
+
+        /// Memory traffic conservation: reads = cluster switches + 1 and
+        /// writes = reads (every read-in is eventually written back).
+        #[test]
+        fn traffic_conservation(n in 1usize..40, kmax in 1usize..6, seed in 0u64..300) {
+            let k = kmax.min(n);
+            let tokens = Matrix::zeros(n, 2);
+            let table = random_table(n, k, seed);
+            let run = simulate_cacc(&tokens, &table);
+            prop_assert_eq!(run.buffer_hits + run.mem_row_reads, n as u64);
+            prop_assert_eq!(run.mem_row_writes, run.mem_row_reads);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Cycle-stepped model of the CACC accumulation pipeline (paper
+//! §IV-B(3)).
+//!
+//! The event model ([`simulate_cacc`](crate::simulate_cacc)) counts buffer
+//! hits and row traffic; this model steps the datapath: per cycle one
+//! token row enters the reused SA adder column, the single-row buffer
+//! register either feeds back (same cluster as the previous token) or is
+//! written back to result memory while the next partial row is read in,
+//! and a one-deep write-back queue models the single result-memory write
+//! port. Equivalence with the event model and with the software centroids
+//! is the test payload.
+
+use cta_lsh::ClusterTable;
+use cta_tensor::Matrix;
+
+/// Per-cycle state of the stepped CACC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct BufferState {
+    /// Cluster whose partial row the buffer currently holds.
+    cluster: usize,
+    /// Whether the buffer holds live data.
+    valid: bool,
+}
+
+/// Outcome of the cycle-stepped CACC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaccRtlRun {
+    /// `k × d` accumulated sums (identical to the event model's).
+    pub sums: Matrix,
+    /// Per-cluster populations.
+    pub counts: Vec<usize>,
+    /// Total cycles (one token per cycle, plus the final flush).
+    pub cycles: u64,
+    /// Result-memory row reads issued.
+    pub row_reads: u64,
+    /// Result-memory row writes issued.
+    pub row_writes: u64,
+    /// Peak outstanding write-backs (must be ≤ 1 for the single write
+    /// port to suffice — asserted by tests).
+    pub peak_outstanding_writes: u64,
+}
+
+/// Steps the CACC pipeline over a token stream.
+///
+/// # Panics
+///
+/// Panics if `table.len() != tokens.rows()` or the input is empty.
+pub fn simulate_cacc_rtl(tokens: &Matrix, table: &ClusterTable) -> CaccRtlRun {
+    assert_eq!(table.len(), tokens.rows(), "cluster table/token count mismatch");
+    assert!(tokens.rows() > 0, "CACC requires at least one token");
+    let k = table.cluster_count();
+    let d = tokens.cols();
+
+    // Result memory content (partial rows) and the buffer register.
+    let mut memory = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    let mut buffer_row = vec![0.0f32; d];
+    let mut buffer = BufferState::default();
+
+    let mut row_reads = 0u64;
+    let mut row_writes = 0u64;
+    let mut outstanding: u64 = 0;
+    let mut peak_outstanding = 0u64;
+    let mut cycles = 0u64;
+
+    for t in 0..tokens.rows() {
+        let c = table.cluster_of(t);
+        // Pipeline stage 1: buffer management.
+        if !(buffer.valid && buffer.cluster == c) {
+            if buffer.valid {
+                // Issue write-back of the old partial row.
+                memory.row_mut(buffer.cluster).copy_from_slice(&buffer_row);
+                row_writes += 1;
+                outstanding += 1;
+            }
+            // Read the new cluster's partial row.
+            buffer_row.copy_from_slice(memory.row(c));
+            row_reads += 1;
+            buffer = BufferState { cluster: c, valid: true };
+        }
+        // Pipeline stage 2: the SA adder column accumulates the token.
+        for (b, &x) in buffer_row.iter_mut().zip(tokens.row(t)) {
+            *b += x;
+        }
+        counts[c] += 1;
+        // The single write port retires at most one write-back per cycle.
+        peak_outstanding = peak_outstanding.max(outstanding);
+        outstanding = outstanding.saturating_sub(1);
+        cycles += 1;
+    }
+    // Final flush of the live buffer.
+    if buffer.valid {
+        memory.row_mut(buffer.cluster).copy_from_slice(&buffer_row);
+        row_writes += 1;
+        cycles += 1;
+    }
+
+    CaccRtlRun {
+        sums: memory,
+        counts,
+        cycles,
+        row_reads,
+        row_writes,
+        peak_outstanding_writes: peak_outstanding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_cacc;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    fn random_table(n: usize, k: usize, seed: u64) -> ClusterTable {
+        let mut rng = MatrixRng::new(seed);
+        let mut idx: Vec<usize> = (0..k).collect();
+        for _ in k..n {
+            idx.push(rng.index(k));
+        }
+        ClusterTable::new(idx, k)
+    }
+
+    #[test]
+    fn sums_match_event_model() {
+        let mut rng = MatrixRng::new(3);
+        let tokens = rng.normal_matrix(40, 5, 0.0, 1.0);
+        let table = random_table(40, 7, 4);
+        let rtl = simulate_cacc_rtl(&tokens, &table);
+        let event = simulate_cacc(&tokens, &table);
+        assert!(rtl.sums.approx_eq(&event.sums, 1e-5));
+        assert_eq!(rtl.counts, event.counts);
+        assert_eq!(rtl.row_reads, event.mem_row_reads);
+        assert_eq!(rtl.row_writes, event.mem_row_writes);
+    }
+
+    #[test]
+    fn single_write_port_suffices() {
+        // The paper's buffered design never needs more than one in-flight
+        // write-back: a switch writes one row and reads one row per cycle.
+        let mut rng = MatrixRng::new(9);
+        let tokens = rng.normal_matrix(64, 4, 0.0, 1.0);
+        let table = random_table(64, 9, 10);
+        let rtl = simulate_cacc_rtl(&tokens, &table);
+        assert!(rtl.peak_outstanding_writes <= 1, "peak {}", rtl.peak_outstanding_writes);
+    }
+
+    #[test]
+    fn sorted_stream_never_writes_back_midway() {
+        let tokens = Matrix::filled(9, 3, 1.0);
+        let table = ClusterTable::new(vec![0, 0, 0, 1, 1, 1, 2, 2, 2], 3);
+        let rtl = simulate_cacc_rtl(&tokens, &table);
+        assert_eq!(rtl.row_reads, 3);
+        assert_eq!(rtl.row_writes, 3);
+        assert_eq!(rtl.sums.row(0), &[3.0, 3.0, 3.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn rtl_event_equivalence(n in 1usize..50, kmax in 1usize..8, seed in 0u64..300) {
+            let k = kmax.min(n);
+            let mut rng = MatrixRng::new(seed);
+            let tokens = rng.normal_matrix(n, 4, 0.0, 1.0);
+            let table = random_table(n, k, seed + 1);
+            let rtl = simulate_cacc_rtl(&tokens, &table);
+            let event = simulate_cacc(&tokens, &table);
+            prop_assert!(rtl.sums.approx_eq(&event.sums, 1e-4));
+            prop_assert_eq!(rtl.row_reads, event.mem_row_reads);
+            prop_assert_eq!(rtl.row_writes, event.mem_row_writes);
+            prop_assert!(rtl.peak_outstanding_writes <= 1);
+        }
+    }
+}

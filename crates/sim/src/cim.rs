@@ -1,0 +1,162 @@
+//! Functional cycle-level model of the Cluster Index Module (paper
+//! §IV-B(2)).
+//!
+//! The CIM holds the cluster tree in per-layer memory blocks and runs `l`
+//! thread units. The SA's column skew means that, at any cycle, the `l`
+//! PPEs emit hash values of `l` *different* tokens at `l` *different* tree
+//! depths, so the `l` threads can each own one in-flight token and never
+//! contend for a layer memory. Token `t` is handled by thread `t mod l`
+//! over `l` consecutive cycles; when token `t+1` needs a node that token
+//! `t` created in the immediately preceding cycle, the write has not
+//! committed yet and the thread-to-thread *bypass* path forwards it.
+//!
+//! The model reproduces the exact assignment the software
+//! [`ClusterTree`](cta_lsh::ClusterTree) computes (verified by tests) and
+//! reports timing plus layer-memory traffic and bypass events.
+
+use cta_lsh::{ClusterTable, ClusterTree, HashCodes};
+
+/// The outcome of streaming one token sequence through the CIM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CimRun {
+    /// The produced cluster table (identical to the software tree's).
+    pub table: ClusterTable,
+    /// Cycles to drain the stream: `n + l` (one token enters per cycle,
+    /// the last spends `l` cycles walking to its leaf).
+    pub cycles: u64,
+    /// Node/leaf lookups served from layer memories.
+    pub layer_reads: u64,
+    /// Node/leaf creations written to layer memories.
+    pub layer_writes: u64,
+    /// Reads satisfied by the thread-to-thread bypass (the consumed node
+    /// was created by the previous token one cycle earlier).
+    pub bypasses: u64,
+}
+
+/// Streams `codes` through the CIM model.
+///
+/// # Panics
+///
+/// Panics if `codes` is empty (the hardware is never invoked without
+/// tokens).
+pub fn simulate_cim(codes: &HashCodes) -> CimRun {
+    assert!(!codes.is_empty(), "CIM requires at least one token");
+    let l = codes.hash_length();
+    let n = codes.len();
+
+    // Reference tree for the functional result.
+    let mut tree = ClusterTree::new(l);
+    let table = tree.assign_all(codes);
+
+    // Re-walk the codes tracking which token created each tree node so we
+    // can attribute bypasses. Nodes are identified by their path prefix.
+    use std::collections::HashMap;
+    let mut created_by: HashMap<Vec<i32>, usize> = HashMap::new();
+    let mut layer_reads = 0u64;
+    let mut layer_writes = 0u64;
+    let mut bypasses = 0u64;
+
+    for (t, code) in codes.iter().enumerate() {
+        for depth in 1..=l {
+            let prefix = code[..depth].to_vec();
+            layer_reads += 1; // every step issues a layer-memory read
+            match created_by.get(&prefix) {
+                Some(&creator) => {
+                    // Bypass happens when the node was created by the
+                    // immediately preceding token: thread (t mod l) reads
+                    // layer `depth` exactly one cycle after thread
+                    // ((t-1) mod l) wrote it.
+                    if creator + 1 == t {
+                        bypasses += 1;
+                    }
+                }
+                None => {
+                    created_by.insert(prefix, t);
+                    layer_writes += 1;
+                }
+            }
+        }
+    }
+
+    CimRun { table, cycles: (n + l) as u64, layer_reads, layer_writes, bypasses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_lsh::cluster_by_code_map;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    fn random_codes(n: usize, l: usize, radix: usize, seed: u64) -> HashCodes {
+        let mut rng = MatrixRng::new(seed);
+        let values = (0..n * l).map(|_| rng.index(radix) as i32).collect();
+        HashCodes::from_flat(n, l, values)
+    }
+
+    #[test]
+    fn table_matches_software_tree() {
+        for seed in 0..10 {
+            let codes = random_codes(40, 4, 3, seed);
+            let run = simulate_cim(&codes);
+            assert_eq!(run.table, cluster_by_code_map(&codes));
+        }
+    }
+
+    #[test]
+    fn cycles_are_stream_length_plus_depth() {
+        let codes = random_codes(100, 6, 2, 1);
+        assert_eq!(simulate_cim(&codes).cycles, 106);
+    }
+
+    #[test]
+    fn identical_tokens_write_once_read_always() {
+        let codes = HashCodes::from_flat(5, 3, vec![1, 2, 3].repeat(5));
+        let run = simulate_cim(&codes);
+        assert_eq!(run.layer_writes, 3); // one path created
+        assert_eq!(run.layer_reads, 15); // every step reads
+        // Tokens 1..4 each reuse nodes created by token 0; only token 1
+        // reads nodes written one token earlier.
+        assert_eq!(run.bypasses, 3);
+        assert_eq!(run.table.cluster_count(), 1);
+    }
+
+    #[test]
+    fn all_distinct_tokens_write_full_paths() {
+        let codes = HashCodes::from_flat(4, 2, vec![0, 0, 1, 0, 2, 0, 3, 0]);
+        let run = simulate_cim(&codes);
+        // Each token creates a fresh depth-1 node and a fresh leaf.
+        assert_eq!(run.layer_writes, 8);
+        assert_eq!(run.bypasses, 0);
+        assert_eq!(run.table.cluster_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_stream_rejected() {
+        let _ = simulate_cim(&HashCodes::from_flat(0, 3, vec![]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn equals_reference_clustering(n in 1usize..60, l in 1usize..6, seed in 0u64..500) {
+            let codes = random_codes(n, l, 3, seed);
+            let run = simulate_cim(&codes);
+            prop_assert_eq!(run.table, cluster_by_code_map(&codes));
+        }
+
+        /// Reads always equal n·l; writes are between l (all identical) and
+        /// n·l (all distinct paths).
+        #[test]
+        fn traffic_bounds(n in 1usize..60, l in 1usize..6, seed in 0u64..500) {
+            let codes = random_codes(n, l, 2, seed);
+            let run = simulate_cim(&codes);
+            prop_assert_eq!(run.layer_reads, (n * l) as u64);
+            prop_assert!(run.layer_writes >= l as u64);
+            prop_assert!(run.layer_writes <= (n * l) as u64);
+            prop_assert!(run.bypasses <= run.layer_reads);
+        }
+    }
+}

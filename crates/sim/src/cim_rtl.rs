@@ -1,0 +1,246 @@
+//! Cycle-stepped model of the Cluster Index Module with explicit layer
+//! memories (paper §IV-B(2)).
+//!
+//! Where [`simulate_cim`](crate::simulate_cim) replays the cluster-tree
+//! semantics and *counts* events, this model steps the hardware: `l`
+//! thread units each own one in-flight token (token `t` is processed at
+//! depths `0..l` during cycles `t..t+l`), per-layer memory blocks store
+//! `(hash value, child address)` entries with **linearly allocated**
+//! addresses (the paper notes this makes the pointers of Fig. 4(a)
+//! convenient to implement), writes commit with a one-cycle latency, and
+//! the thread-to-thread **bypass** network forwards a just-issued write to
+//! the thread that needs it in the very next cycle.
+
+use cta_lsh::{ClusterTable, HashCodes};
+
+/// One layer's node memory: each node is a small list of
+/// `(hash value, child address)` pairs, stored at a linear address.
+#[derive(Debug, Clone, Default)]
+struct LayerMemory {
+    nodes: Vec<Vec<(i32, usize)>>,
+}
+
+impl LayerMemory {
+    fn alloc(&mut self) -> usize {
+        self.nodes.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn lookup(&self, addr: usize, hash: i32) -> Option<usize> {
+        self.nodes[addr].iter().find(|(h, _)| *h == hash).map(|&(_, c)| c)
+    }
+}
+
+/// A write issued this cycle, visible in memory one cycle later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingWrite {
+    layer: usize,
+    addr: usize,
+    hash: i32,
+    child: usize,
+}
+
+/// Outcome of the cycle-stepped CIM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CimRtlRun {
+    /// The produced cluster table.
+    pub table: ClusterTable,
+    /// Total cycles: `n + l` (the last token drains through `l` layers).
+    pub cycles: u64,
+    /// Layer-memory lookups.
+    pub reads: u64,
+    /// Layer-memory entry writes (node/leaf creations).
+    pub writes: u64,
+    /// Lookups satisfied by the bypass network (the needed entry was
+    /// written in the immediately preceding cycle and had not committed).
+    pub bypasses: u64,
+    /// Peak number of thread units active in one cycle (≤ `l`).
+    pub peak_active_threads: usize,
+}
+
+/// Streams hash codes through the cycle-stepped CIM.
+///
+/// # Panics
+///
+/// Panics if `codes` is empty.
+pub fn simulate_cim_rtl(codes: &HashCodes) -> CimRtlRun {
+    assert!(!codes.is_empty(), "CIM requires at least one token");
+    let n = codes.len();
+    let l = codes.hash_length();
+
+    // Layer memories for depths 0..l-1 (the depth-(l-1) lookup resolves to
+    // leaf slots holding cluster indices; we fold leaves into the same
+    // address space with a separate allocator).
+    let mut layers: Vec<LayerMemory> = (0..l).map(|_| LayerMemory::default()).collect();
+    // Root node: address 0 in layer 0's memory.
+    layers[0].alloc();
+    // Per-token current node address within its current layer.
+    let mut cursor = vec![0usize; n];
+    let mut assignments = vec![usize::MAX; n];
+    let mut cluster_count = 0usize;
+
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut bypasses = 0u64;
+    let mut peak_active_threads = 0usize;
+    let mut pending: Vec<PendingWrite> = Vec::new();
+
+    let total_cycles = n + l;
+    for cycle in 0..total_cycles {
+        let mut issued: Vec<PendingWrite> = Vec::new();
+        let mut active = 0usize;
+        // Tokens with depth = cycle - t in 0..l are in flight; process in
+        // token order — thread (t mod l) at depth cycle - t. Processing in
+        // ascending t matches descending depth, so a token never consumes
+        // a same-cycle write from a *later* token (the hardware's layer
+        // staggering guarantees the same).
+        for t in cycle.saturating_sub(l - 1)..=cycle.min(n.saturating_sub(1)) {
+            let depth = cycle - t;
+            if depth >= l {
+                continue;
+            }
+            active += 1;
+            let hash = codes.code(t)[depth];
+            let addr = cursor[t];
+            reads += 1;
+
+            // Committed-memory lookup, then the bypass network over writes
+            // issued in the previous cycle (not yet committed).
+            let mut child = layers[depth].lookup(addr, hash);
+            if child.is_none() {
+                if let Some(pw) = pending
+                    .iter()
+                    .find(|w| w.layer == depth && w.addr == addr && w.hash == hash)
+                {
+                    child = Some(pw.child);
+                    bypasses += 1;
+                }
+            }
+            // Writes issued earlier in this same cycle by shallower-...
+            // deeper tokens cannot target the same (layer, node) because
+            // every in-flight token sits at a distinct depth.
+
+            let next = match child {
+                Some(c) => c,
+                None => {
+                    // Allocate: an internal node in the next layer, or a
+                    // leaf (cluster index) at the last layer.
+                    let c = if depth + 1 < l {
+                        layers[depth + 1].alloc()
+                    } else {
+                        cluster_count += 1;
+                        cluster_count - 1
+                    };
+                    issued.push(PendingWrite { layer: depth, addr, hash, child: c });
+                    writes += 1;
+                    c
+                }
+            };
+
+            if depth + 1 == l {
+                assignments[t] = next;
+            } else {
+                cursor[t] = next;
+            }
+        }
+        peak_active_threads = peak_active_threads.max(active);
+
+        // Commit last cycle's writes, stage this cycle's.
+        for w in pending.drain(..) {
+            layers[w.layer].nodes[w.addr].push((w.hash, w.child));
+        }
+        pending = issued;
+    }
+    for w in pending.drain(..) {
+        layers[w.layer].nodes[w.addr].push((w.hash, w.child));
+    }
+
+    assert!(assignments.iter().all(|&a| a != usize::MAX), "every token must reach a leaf");
+    CimRtlRun {
+        table: ClusterTable::new(assignments, cluster_count),
+        cycles: total_cycles as u64,
+        reads,
+        writes,
+        bypasses,
+        peak_active_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_cim;
+    use cta_lsh::cluster_by_code_map;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    fn random_codes(n: usize, l: usize, radix: usize, seed: u64) -> HashCodes {
+        let mut rng = MatrixRng::new(seed);
+        let values = (0..n * l).map(|_| rng.index(radix) as i32).collect();
+        HashCodes::from_flat(n, l, values)
+    }
+
+    #[test]
+    fn matches_reference_clustering() {
+        for seed in 0..10 {
+            let codes = random_codes(50, 4, 3, seed);
+            let run = simulate_cim_rtl(&codes);
+            assert_eq!(run.table, cluster_by_code_map(&codes), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_event_model_counters() {
+        for seed in 0..10 {
+            let codes = random_codes(40, 5, 2, seed);
+            let rtl = simulate_cim_rtl(&codes);
+            let event = simulate_cim(&codes);
+            assert_eq!(rtl.table, event.table);
+            assert_eq!(rtl.cycles, event.cycles);
+            assert_eq!(rtl.reads, event.layer_reads);
+            assert_eq!(rtl.writes, event.layer_writes);
+            assert_eq!(rtl.bypasses, event.bypasses);
+        }
+    }
+
+    #[test]
+    fn identical_consecutive_tokens_exercise_the_bypass() {
+        // Token 1 needs the nodes token 0 writes one cycle earlier at
+        // every layer: l bypasses.
+        let codes = HashCodes::from_flat(2, 4, vec![7, 7, 7, 7, 7, 7, 7, 7]);
+        let run = simulate_cim_rtl(&codes);
+        assert_eq!(run.bypasses, 4);
+        assert_eq!(run.table.cluster_count(), 1);
+    }
+
+    #[test]
+    fn all_threads_active_in_steady_state() {
+        let codes = random_codes(30, 6, 2, 3);
+        let run = simulate_cim_rtl(&codes);
+        assert_eq!(run.peak_active_threads, 6);
+    }
+
+    #[test]
+    fn single_token_walks_alone() {
+        let codes = HashCodes::from_flat(1, 3, vec![1, 2, 3]);
+        let run = simulate_cim_rtl(&codes);
+        assert_eq!(run.peak_active_threads, 1);
+        assert_eq!(run.cycles, 4);
+        assert_eq!(run.writes, 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn rtl_equals_event_model(n in 1usize..60, l in 1usize..6, seed in 0u64..400) {
+            let codes = random_codes(n, l, 3, seed);
+            let rtl = simulate_cim_rtl(&codes);
+            let event = simulate_cim(&codes);
+            prop_assert_eq!(rtl.table, event.table);
+            prop_assert_eq!(rtl.reads, event.layer_reads);
+            prop_assert_eq!(rtl.writes, event.layer_writes);
+            prop_assert_eq!(rtl.bypasses, event.bypasses);
+        }
+    }
+}

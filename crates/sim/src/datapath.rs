@@ -1,0 +1,260 @@
+//! Functional end-to-end datapath validation: the whole CTA head executed
+//! through the hardware building blocks (SA dataflows, CIM, CAG, PAG) and
+//! checked against the algorithm crate.
+//!
+//! This is the simulator's self-test layer: it proves that the machine
+//! described by the cycle model *computes the right thing*, so the cycle
+//! model's counts can be trusted to describe the real dataflow.
+
+use cta_attention::{sample_families, AttentionWeights, CtaConfig};
+use cta_fixed::ReciprocalLut;
+use cta_lsh::{ClusterTable, Compression, HashCodes, TwoLevelCompression};
+use cta_tensor::Matrix;
+
+use crate::{simulate_cacc, simulate_cavg, simulate_cim, simulate_pag, HwConfig, SystolicArray};
+
+/// The functional datapath's result: the CTA output plus the aggregate
+/// cycle counts observed on each hardware block.
+#[derive(Debug, Clone)]
+pub struct DatapathRun {
+    /// Final per-query output (`m × d`), bit-comparable to
+    /// [`cta_forward`](cta_attention::cta_forward)'s.
+    pub output: Matrix,
+    /// Cycles spent in SA passes (sum over all dataflow runs; no overlap
+    /// modelling — the mapping schedule handles that).
+    pub sa_cycles: u64,
+    /// Cycles spent in CIM streams.
+    pub cim_cycles: u64,
+    /// Cycles spent in CACC/CAVG.
+    pub cag_cycles: u64,
+    /// Cycles spent in PAG.
+    pub pag_cycles: u64,
+    /// Measured cluster counts `(k₀, k₁, k₂)`.
+    pub cluster_counts: (usize, usize, usize),
+}
+
+/// Executes one CTA head entirely through the functional hardware models.
+///
+/// Every stage is computed by the block that owns it in Fig. 7:
+/// hashing/linears/scores on the SA (dataflow 1), cluster indices in the
+/// CIM, centroids in CAG, probabilities in PAG, outputs on the SA
+/// (dataflow 2).
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, dimensions mismatch the weights, or the
+/// head does not fit the hardware (token dim > SA height).
+pub fn run_functional_datapath(
+    queries: &Matrix,
+    keys_values: &Matrix,
+    weights: &AttentionWeights,
+    config: &CtaConfig,
+    hw: &HwConfig,
+) -> DatapathRun {
+    assert!(queries.rows() > 0 && keys_values.rows() > 0, "empty token matrices");
+    let d = weights.token_dim();
+    assert_eq!(weights.head_dim(), d, "this hardware assumes token dim == head dim");
+    assert!(d <= hw.sa_height, "token dim {d} exceeds SA height {}", hw.sa_height);
+
+    let mut sa = SystolicArray::new(hw.sa_width.max(config.hash_length), d);
+    let mut cim_cycles = 0u64;
+    let mut cag_cycles = 0u64;
+    let recip = ReciprocalLut::new(queries.rows().max(keys_values.rows()));
+
+    let [f0, f1, f2] = sample_families(config, d);
+
+    // --- Hash + cluster + centroid for one level (SA dataflow 1 computes
+    // the projections; the PPE applies bias and 1/w and floors).
+    let mut level = |tokens: &Matrix, family: &cta_lsh::LshFamily| -> Compression {
+        let a_t = family.directions().transpose(); // d × l stationary columns
+        let run = sa.run_dataflow1(&a_t, tokens);
+        let l = family.hash_length();
+        let mut values = Vec::with_capacity(tokens.rows() * l);
+        for t in 0..tokens.rows() {
+            for i in 0..l {
+                let proj = run.outputs[(t, i)] + family.biases()[i];
+                values.push((proj / family.bucket_width()).floor() as i32);
+            }
+        }
+        let codes = HashCodes::from_flat(tokens.rows(), l, values);
+        let cim = simulate_cim(&codes);
+        cim_cycles += cim.cycles;
+        let acc = simulate_cacc(tokens, &cim.table);
+        let avg = simulate_cavg(&acc.sums, &acc.counts, &recip);
+        cag_cycles += acc.cycles + avg.cycles;
+        Compression { centroids: avg.centroids, counts: acc.counts, table: cim.table }
+    };
+
+    let query_compression = level(queries, &f0);
+    let level1 = level(keys_values, &f1);
+    // Residuals through the SA's left adder column (functionally a
+    // subtraction of the CT₁-addressed centroid row).
+    let residuals = keys_values.sub(&level1.centroids.gather_rows(level1.table.indices()));
+    let level2 = level(&residuals, &f2);
+    let kv = TwoLevelCompression { level1, level2 };
+    let k1 = kv.k1();
+
+    // --- Linears on the SA, batched by SA width (dataflow 1 with the
+    // weight matrix streamed against stationary centroid batches).
+    let mut linear = |centroids: &Matrix, w: &Matrix| -> Matrix {
+        let mut out = Matrix::zeros(centroids.rows(), w.cols());
+        let b = hw.sa_width;
+        let mut start = 0usize;
+        while start < centroids.rows() {
+            let end = (start + b).min(centroids.rows());
+            let batch = centroids.slice_rows(start, end); // bb × d
+            // Stationary: batch rows as columns (d × bb); stream: W rows
+            // as inputs (each weight column is one streamed vector).
+            let run = sa.run_dataflow1(&batch.transpose(), &w.transpose());
+            // run.outputs[j][c] = ⟨centroid c, weight column j⟩.
+            for c in 0..end - start {
+                for j in 0..w.cols() {
+                    out[(start + c, j)] = run.outputs[(j, c)];
+                }
+            }
+            start = end;
+        }
+        out
+    };
+
+    let c_cat = kv.concatenated_centroids();
+    let q_bar = linear(&query_compression.centroids, weights.wq());
+    let k_bar = linear(&c_cat, weights.wk());
+    let v_bar = linear(&c_cat, weights.wv());
+
+    // --- Scores on the SA: stationary query batch, streamed keys; PPE
+    // applies the 1/√d scale and the level-1 max subtraction.
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut scores_bar = Matrix::zeros(q_bar.rows(), k_bar.rows());
+    {
+        let b = hw.sa_width;
+        let mut start = 0usize;
+        while start < q_bar.rows() {
+            let end = (start + b).min(q_bar.rows());
+            let batch = q_bar.slice_rows(start, end);
+            let run = sa.run_dataflow1(&batch.transpose(), &k_bar);
+            for c in 0..end - start {
+                for j in 0..k_bar.rows() {
+                    scores_bar[(start + c, j)] = run.outputs[(j, c)] * scale;
+                }
+            }
+            start = end;
+        }
+    }
+    for r in 0..scores_bar.rows() {
+        let row = scores_bar.row_mut(r);
+        let max = row[..k1].iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        for x in &mut row[k1..] {
+            *x -= max;
+        }
+    }
+
+    // --- Probability aggregation in PAG.
+    let pag = simulate_pag(
+        &scores_bar,
+        &kv.level1.table,
+        &kv.level2.table,
+        k1,
+        hw.pag_tiles,
+        hw.pag_iters_per_tile,
+        f32::exp,
+    );
+
+    // --- Outputs on the SA (dataflow 2), batched; PPE divides by ΣAP/2.
+    let ap = &pag.ap;
+    let mut output_bar = Matrix::zeros(ap.rows(), d);
+    {
+        let b = hw.sa_width;
+        let mut start = 0usize;
+        while start < ap.rows() {
+            let end = (start + b).min(ap.rows());
+            let run = sa.run_dataflow2(&ap.slice_rows(start, end), &v_bar);
+            for r in 0..end - start {
+                output_bar.row_mut(start + r).copy_from_slice(run.outputs.row(r));
+            }
+            start = end;
+        }
+    }
+    let denominators: Vec<f32> = (0..ap.rows()).map(|c| ap.row(c).iter().sum::<f32>() / 2.0).collect();
+    let ct0: &ClusterTable = &query_compression.table;
+    let mut output = Matrix::zeros(queries.rows(), d);
+    for i in 0..queries.rows() {
+        let c = ct0.cluster_of(i);
+        for (o, &x) in output.row_mut(i).iter_mut().zip(output_bar.row(c)) {
+            *o = x / denominators[c];
+        }
+    }
+
+    DatapathRun {
+        output,
+        sa_cycles: sa.total_cycles(),
+        cim_cycles,
+        cag_cycles,
+        pag_cycles: pag.cycles,
+        cluster_counts: (query_compression.k(), kv.k1(), kv.k2()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_attention::cta_forward;
+    use cta_tensor::{relative_error, standard_normal_matrix};
+    use proptest::prelude::*;
+
+    fn hw() -> HwConfig {
+        HwConfig { sa_height: 8, ..HwConfig::paper() }
+    }
+
+    #[test]
+    fn datapath_matches_algorithm_output() {
+        let x = standard_normal_matrix(5, 24, 8);
+        let w = AttentionWeights::random(8, 8, 6);
+        let cfg = CtaConfig::uniform(2.0, 7);
+        let hwc = hw();
+        let dp = run_functional_datapath(&x, &x, &w, &cfg, &hwc);
+        let sw = cta_forward(&x, &x, &w, &cfg);
+        let err = relative_error(&dp.output, &sw.output);
+        assert!(err < 1e-4, "datapath vs software error {err}");
+        assert_eq!(dp.cluster_counts, (sw.k0(), sw.k1(), sw.k2()));
+    }
+
+    #[test]
+    fn datapath_handles_cross_attention() {
+        let xq = standard_normal_matrix(1, 10, 8);
+        let xkv = standard_normal_matrix(2, 20, 8);
+        let w = AttentionWeights::random(8, 8, 3);
+        let cfg = CtaConfig::uniform(1.5, 4);
+        let dp = run_functional_datapath(&xq, &xkv, &w, &cfg, &hw());
+        let sw = cta_forward(&xq, &xkv, &w, &cfg);
+        assert!(relative_error(&dp.output, &sw.output) < 1e-4);
+        assert_eq!(dp.output.shape(), (10, 8));
+    }
+
+    #[test]
+    fn all_blocks_report_cycles() {
+        let x = standard_normal_matrix(9, 16, 8);
+        let w = AttentionWeights::random(8, 8, 2);
+        let dp = run_functional_datapath(&x, &x, &w, &CtaConfig::uniform(1.0, 5), &hw());
+        assert!(dp.sa_cycles > 0);
+        assert!(dp.cim_cycles > 0);
+        assert!(dp.cag_cycles > 0);
+        assert!(dp.pag_cycles > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The hardware datapath and the software scheme agree on random
+        /// inputs across bucket widths.
+        #[test]
+        fn datapath_software_equivalence(seed in 0u64..100, wexp in -1i32..3) {
+            let x = standard_normal_matrix(seed, 16, 8);
+            let w = AttentionWeights::random(8, 8, seed + 1);
+            let cfg = CtaConfig::uniform(2f32.powi(wexp), seed + 2);
+            let dp = run_functional_datapath(&x, &x, &w, &cfg, &hw());
+            let sw = cta_forward(&x, &x, &w, &cfg);
+            prop_assert!(relative_error(&dp.output, &sw.output) < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Design-space exploration helpers (paper Fig. 13).
+
+use crate::{AttentionTask, CtaAccelerator, HwConfig};
+
+/// One DSE sample point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsePoint {
+    /// SA width `b`.
+    pub sa_width: usize,
+    /// PAG degree of parallelism (iterations retired per cycle).
+    pub pag_parallelism: usize,
+    /// Throughput in heads/second for the probed task.
+    pub heads_per_second: f64,
+    /// Cycles of one head.
+    pub cycles: u64,
+    /// Cycles lost to PAG stalls.
+    pub pag_stall_cycles: u64,
+}
+
+/// Sweeps SA width × PAG parallelism over a task, reproducing the Fig. 13
+/// grid.
+///
+/// # Panics
+///
+/// Panics if any sweep list is empty or contains zero/odd parallelism
+/// values, or if the task does not fit some configuration.
+pub fn sweep(
+    base: &HwConfig,
+    task: &AttentionTask,
+    sa_widths: &[usize],
+    pag_parallelisms: &[usize],
+) -> Vec<DsePoint> {
+    assert!(!sa_widths.is_empty() && !pag_parallelisms.is_empty(), "sweep lists must be non-empty");
+    let mut points = Vec::with_capacity(sa_widths.len() * pag_parallelisms.len());
+    for &b in sa_widths {
+        for &p in pag_parallelisms {
+            let hw = base.with_sa_width(b).with_pag_parallelism(p);
+            let acc = CtaAccelerator::new(hw);
+            let report = acc.simulate_head(task);
+            points.push(DsePoint {
+                sa_width: b,
+                pag_parallelism: p,
+                heads_per_second: report.heads_per_second(),
+                cycles: report.cycles,
+                pag_stall_cycles: report.schedule.pag_stall_cycles,
+            });
+        }
+    }
+    points
+}
+
+/// For a given SA width, the smallest PAG parallelism achieving within
+/// `tolerance` (e.g. 0.01 = 1%) of that width's best throughput — the
+/// "best design practice" question Fig. 13 answers (the paper finds 2·b).
+///
+/// # Panics
+///
+/// Panics if `points` contains no entry for `sa_width`.
+pub fn best_pag_parallelism(points: &[DsePoint], sa_width: usize, tolerance: f64) -> usize {
+    let candidates: Vec<&DsePoint> = points.iter().filter(|p| p.sa_width == sa_width).collect();
+    assert!(!candidates.is_empty(), "no DSE points for SA width {sa_width}");
+    let best = candidates.iter().map(|p| p.heads_per_second).fold(f64::MIN, f64::max);
+    candidates
+        .iter()
+        .filter(|p| p.heads_per_second >= best * (1.0 - tolerance))
+        .map(|p| p.pag_parallelism)
+        .min()
+        .expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 300, 200, 90, 6)
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let pts = sweep(&HwConfig::paper(), &task(), &[4, 8], &[4, 8, 16]);
+        assert_eq!(pts.len(), 6);
+    }
+
+    #[test]
+    fn paper_rule_pag_twice_sa_width() {
+        // Fig. 13 conclusion: parallelism 2·b is the knee — little gain
+        // beyond, real loss below.
+        let pts = sweep(&HwConfig::paper(), &task(), &[8], &[4, 8, 16, 32, 64, 128]);
+        let knee = best_pag_parallelism(&pts, 8, 0.01);
+        assert_eq!(knee, 16, "points: {pts:?}");
+    }
+
+    #[test]
+    fn throughput_improves_with_width_sublinearly() {
+        let pts = sweep(&HwConfig::paper(), &task(), &[4, 8, 16, 32], &[64]);
+        let t: Vec<f64> = pts.iter().map(|p| p.heads_per_second).collect();
+        assert!(t[1] > t[0] && t[2] > t[1] && t[3] > t[2], "monotone: {t:?}");
+        // Sub-linear: 8× width gives < 8× throughput (idle LSH columns and
+        // register-update overhead — the paper's own observation).
+        assert!(t[3] / t[0] < 8.0, "scaling {:.2}", t[3] / t[0]);
+    }
+
+    #[test]
+    fn starved_pag_shows_stalls() {
+        let pts = sweep(&HwConfig::paper(), &task(), &[16], &[4, 64]);
+        assert!(pts[0].pag_stall_cycles > pts[1].pag_stall_cycles);
+    }
+}

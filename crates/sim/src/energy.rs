@@ -1,0 +1,110 @@
+//! Per-operation energy model at 40 nm (paper §VI-D synthesises with the
+//! SMIC 40 nm library; we substitute literature per-op constants —
+//! Horowitz, ISSCC'14, scaled to the paper's 12/13-bit datapath — and
+//! calibrate the breakdown against the paper's reported 62% SA / 29%
+//! memory / 9% auxiliary split).
+
+/// Per-operation dynamic energies (pJ) and static power for the 40 nm
+/// fixed-point datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One 13×12-bit multiply-accumulate in a PE (multiplier + adder +
+    /// local register movement).
+    pub pe_mac_pj: f64,
+    /// One PPE post-processing operation (add + multiply + control).
+    pub ppe_op_pj: f64,
+    /// One standalone adder operation (residual column, CACC adders).
+    pub add_pj: f64,
+    /// One LUT lookup (exp or reciprocal) including output register.
+    pub lut_pj: f64,
+    /// One CIM thread-unit step (compare + pointer update, excluding the
+    /// layer-memory access, which is counted by the SRAM model).
+    pub cim_step_pj: f64,
+    /// One PAG merge/accumulate operation.
+    pub pag_add_pj: f64,
+    /// Total static (leakage) power in watts, charged per cycle.
+    pub static_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            pe_mac_pj: 0.72,
+            ppe_op_pj: 1.44,
+            add_pj: 0.11,
+            lut_pj: 4.5,
+            cim_step_pj: 2.7,
+            pag_add_pj: 0.27,
+            static_w: 0.022,
+        }
+    }
+}
+
+/// Energy totals of one simulated attention head, split the way the paper's
+/// Fig. 14 (right) splits them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Systolic-array compute energy (PEs + PPEs), pJ.
+    pub sa_pj: f64,
+    /// Auxiliary-module energy (CIM + CAG + PAG logic), pJ.
+    pub aux_pj: f64,
+    /// Memory access energy, pJ.
+    pub memory_pj: f64,
+    /// Leakage over the run, pJ.
+    pub static_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.sa_pj + self.aux_pj + self.memory_pj + self.static_pj
+    }
+
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+
+    /// Fraction of total energy spent in the SA.
+    pub fn sa_fraction(&self) -> f64 {
+        self.sa_pj / self.total_pj()
+    }
+
+    /// Fraction of total energy spent on memory accesses.
+    pub fn memory_fraction(&self) -> f64 {
+        self.memory_pj / self.total_pj()
+    }
+
+    /// Fraction of total energy spent in auxiliary modules (leakage folded
+    /// in, as the paper's breakdown has only three slices).
+    pub fn aux_fraction(&self) -> f64 {
+        (self.aux_pj + self.static_pj) / self.total_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_orders_operations_sensibly() {
+        let m = EnergyModel::default();
+        assert!(m.pe_mac_pj > m.add_pj, "a MAC costs more than an add");
+        assert!(m.lut_pj > m.add_pj);
+        assert!(m.static_w > 0.0);
+    }
+
+    #[test]
+    fn report_fractions_sum_to_one() {
+        let r = EnergyReport { sa_pj: 62.0, aux_pj: 5.0, memory_pj: 29.0, static_pj: 4.0 };
+        let sum = r.sa_fraction() + r.memory_fraction() + r.aux_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(r.total_pj(), 100.0);
+    }
+
+    #[test]
+    fn total_j_converts_units() {
+        let r = EnergyReport { sa_pj: 1e12, ..Default::default() };
+        assert!((r.total_j() - 1.0).abs() < 1e-12);
+    }
+}

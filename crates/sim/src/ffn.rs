@@ -1,0 +1,148 @@
+//! FFN acceleration on the CTA systolic array — the paper's stated
+//! extension (§VI-C: "our systolic array-based architecture could be
+//! easily extended to accelerate FFN, in which case the end-to-end
+//! speedup is further promoted").
+//!
+//! The FFN is two GEMMs with an elementwise GELU between them. A GEMM
+//! `X(n×K) · W(K×N)` maps onto the `b×d` array exactly like the linear
+//! phase: a batch of `b` input rows is held stationary (one row per
+//! column, `d` elements at a time), the corresponding `d`-row slice of `W`
+//! streams from the left, and partial results accumulate across
+//! `ceil(K/d)` passes. The GELU rides through the PPEs via the same LUT
+//! mechanism as the exponent.
+
+use crate::{HwConfig, PhaseKind, StepTrace};
+
+/// Cycle/op model of one GEMM tiled onto the SA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmSchedule {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Useful multiply-accumulates.
+    pub macs: u64,
+    /// Input-row batches processed.
+    pub row_batches: u64,
+    /// Reduction passes per batch (`ceil(K/d)`).
+    pub k_passes: u64,
+}
+
+impl GemmSchedule {
+    /// Multiplier utilisation: useful MACs over (cycles × PEs).
+    pub fn utilization(&self, hw: &HwConfig) -> f64 {
+        self.macs as f64 / (self.cycles as f64 * hw.num_pes() as f64)
+    }
+}
+
+/// Schedules `X(n×K) · W(K×N)` on the array.
+///
+/// Per batch of `b` input rows and per `d`-slice of the reduction
+/// dimension: load the stationary slice (`d` cycles) and stream the `N`
+/// weight columns (`N` cycles). Partial outputs accumulate in the PPEs'
+/// result path across slices, so no extra write/read cycles are charged
+/// between passes (bubble removal applies between consecutive passes as in
+/// the attention mapping).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn schedule_gemm(hw: &HwConfig, n: usize, k: usize, out: usize) -> GemmSchedule {
+    assert!(n > 0 && k > 0 && out > 0, "GEMM dimensions must be positive");
+    hw.validate();
+    let b = hw.sa_width as u64;
+    let d = hw.sa_height as u64;
+    let (n, k, out) = (n as u64, k as u64, out as u64);
+    let row_batches = n.div_ceil(b);
+    let k_passes = k.div_ceil(d);
+    let per_pass = d /* load stationary slice */ + out /* stream weight columns */;
+    let fill = if hw.bubble_removal { d + b } else { (d + b) * row_batches * k_passes };
+    GemmSchedule {
+        cycles: row_batches * k_passes * per_pass + fill,
+        macs: n * k * out,
+        row_batches,
+        k_passes,
+    }
+}
+
+/// Cycle model of a whole FFN block (`GEMM → GELU → GEMM`) on one unit.
+#[derive(Debug, Clone)]
+pub struct FfnSchedule {
+    /// The up-projection GEMM.
+    pub up: GemmSchedule,
+    /// The down-projection GEMM.
+    pub down: GemmSchedule,
+    /// Total cycles (GELU is absorbed by the PPE LUT path).
+    pub total_cycles: u64,
+    /// Trace entries for reporting.
+    pub steps: Vec<StepTrace>,
+}
+
+/// Schedules an FFN block `n × d_model → d_ffn → d_model`.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+pub fn schedule_ffn(hw: &HwConfig, n: usize, d_model: usize, d_ffn: usize) -> FfnSchedule {
+    let up = schedule_gemm(hw, n, d_model, d_ffn);
+    let down = schedule_gemm(hw, n, d_ffn, d_model);
+    let steps = vec![
+        StepTrace { name: "FFN up-projection + GELU (PPE LUT)".into(), category: PhaseKind::Linear, cycles: up.cycles },
+        StepTrace { name: "FFN down-projection".into(), category: PhaseKind::Linear, cycles: down.cycles },
+    ];
+    FfnSchedule { up, down, total_cycles: up.cycles + down.cycles, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_cycles_track_work() {
+        let hw = HwConfig::paper();
+        let small = schedule_gemm(&hw, 128, 512, 512);
+        let big = schedule_gemm(&hw, 512, 1024, 4096);
+        assert!(big.cycles > small.cycles);
+        assert_eq!(big.macs, 512 * 1024 * 4096);
+    }
+
+    #[test]
+    fn big_gemms_run_near_peak() {
+        // The whole point of the extension: FFN GEMMs are large and
+        // regular, so the SA runs them at high utilisation.
+        let hw = HwConfig::paper();
+        let g = schedule_gemm(&hw, 512, 1024, 4096);
+        let u = g.utilization(&hw);
+        assert!(u > 0.9, "utilization {u}");
+    }
+
+    #[test]
+    fn small_gemms_pay_load_overhead() {
+        let hw = HwConfig::paper();
+        let g = schedule_gemm(&hw, 8, 64, 8);
+        assert!(g.utilization(&hw) < 0.5);
+    }
+
+    #[test]
+    fn ffn_is_two_gemms() {
+        let hw = HwConfig::paper();
+        let f = schedule_ffn(&hw, 512, 1024, 4096);
+        assert_eq!(f.total_cycles, f.up.cycles + f.down.cycles);
+        assert_eq!(f.steps.len(), 2);
+        // Up and down projections move the same MAC volume.
+        assert_eq!(f.up.macs, f.down.macs);
+    }
+
+    #[test]
+    fn bubble_removal_matters_more_for_many_small_tiles() {
+        let on = HwConfig::paper();
+        let off = HwConfig { bubble_removal: false, ..HwConfig::paper() };
+        let g_on = schedule_gemm(&on, 512, 1024, 64);
+        let g_off = schedule_gemm(&off, 512, 1024, 64);
+        assert!(g_off.cycles as f64 / g_on.cycles as f64 > 1.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dims_rejected() {
+        let _ = schedule_gemm(&HwConfig::paper(), 0, 64, 64);
+    }
+}

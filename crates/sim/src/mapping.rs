@@ -1,0 +1,504 @@
+//! The Table-I mapping schedule: cycle counts, step traces, operation
+//! tallies and memory traffic for one attention head (paper §V).
+//!
+//! The paper's performance methodology is a cycle-level simulator that
+//! "sums the latency of all mapping steps in Table I" (§VI-C); this module
+//! is that simulator. Each step's latency follows from the SA dataflow
+//! equations validated by the functional models in
+//! [`systolic`](crate::SystolicArray) /[`cim`](crate::simulate_cim)/
+//! [`cag`](crate::simulate_cacc)/[`pag`](crate::simulate_pag), composed
+//! with the Fig. 10 bubble-removal rules and the auxiliary-module overlap
+//! of §V-B.
+
+use crate::{AttentionTask, HwConfig, MemorySubsystem};
+
+/// Which of the paper's three latency categories a step belongs to
+/// (Fig. 12 right: token compression / linear transformations / attention
+/// calculations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// LSH hashing, cluster indexing, centroid aggregation.
+    Compression,
+    /// Q/K/V linear transformations on compressed tokens.
+    Linear,
+    /// Score calculation, probability aggregation, output calculation.
+    Attention,
+}
+
+/// One scheduled step with its cycle cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepTrace {
+    /// Human-readable step name (mirrors Table I rows).
+    pub name: String,
+    /// Latency category.
+    pub category: PhaseKind,
+    /// Cycles charged to this step.
+    pub cycles: u64,
+}
+
+/// Scalar operation tallies, used by the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTally {
+    /// PE multiply-accumulates (incl. CAVG multiplies reusing SA columns).
+    pub pe_macs: u64,
+    /// PPE post-processing operations.
+    pub ppe_ops: u64,
+    /// Standalone adds (residual column + CACC accumulation).
+    pub adds: u64,
+    /// LUT lookups (PAG exponent + CAVG reciprocal + PPE denominator).
+    pub lut_lookups: u64,
+    /// CIM thread-unit steps.
+    pub cim_steps: u64,
+    /// PAG accumulate/merge additions.
+    pub pag_adds: u64,
+}
+
+/// The complete schedule of one head.
+#[derive(Debug, Clone)]
+pub struct MappingSchedule {
+    /// Per-step trace (Table I order).
+    pub steps: Vec<StepTrace>,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Cycles in the compression category.
+    pub compression_cycles: u64,
+    /// Cycles in the linear category.
+    pub linear_cycles: u64,
+    /// Cycles in the attention category.
+    pub attention_cycles: u64,
+    /// Cycles the SA stalled waiting for PAG (included in attention).
+    pub pag_stall_cycles: u64,
+    /// Operation tallies for the energy model.
+    pub ops: OpTally,
+    /// SRAM traffic of the run.
+    pub memory: MemorySubsystem,
+}
+
+impl MappingSchedule {
+    /// Latency in seconds at the configured clock.
+    pub fn latency_s(&self, hw: &HwConfig) -> f64 {
+        self.total_cycles as f64 * hw.cycle_time_s()
+    }
+}
+
+/// Builds the schedule of one head.
+///
+/// # Panics
+///
+/// Panics if the task exceeds the hardware's sizing (`head_dim >
+/// sa_height`, sequence lengths above `max_seq_len`, or a hash length
+/// mismatching the CIM thread count).
+pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
+    hw.validate();
+    assert!(
+        task.head_dim <= hw.sa_height,
+        "head dim {} exceeds SA height {}",
+        task.head_dim,
+        hw.sa_height
+    );
+    assert!(task.num_keys <= hw.max_seq_len, "n = {} exceeds max_seq_len {}", task.num_keys, hw.max_seq_len);
+    assert!(task.num_queries <= hw.max_seq_len, "m = {} exceeds max_seq_len {}", task.num_queries, hw.max_seq_len);
+    assert!(
+        task.hash_length <= hw.hash_length,
+        "task hash length {} exceeds CIM thread count {}",
+        task.hash_length,
+        hw.hash_length
+    );
+
+    let b = hw.sa_width as u64;
+    let d = task.head_dim as u64; // token dim == head dim on this hardware
+    let l = task.hash_length as u64;
+    let m = task.num_queries as u64;
+    let n = task.num_keys as u64;
+    let (k0, k1, k2) = (task.k0 as u64, task.k1 as u64, task.k2 as u64);
+    let k_cat = k1 + k2;
+
+    // During LSH steps two SA columns are reserved for CACC/CAVG reuse
+    // (Table I columns 6-7), so only b-2 columns hash directions; if l
+    // exceeds that, the token stream is re-run in passes.
+    let lsh_cols = (b.saturating_sub(2)).max(1).min(l);
+    let lsh_passes = l.div_ceil(lsh_cols);
+
+    let mut steps: Vec<StepTrace> = Vec::new();
+    let mut mem = MemorySubsystem::for_config(hw);
+    let mut pag_stall_cycles = 0u64;
+
+    // Pipeline fill of the very first step (later fills are hidden by the
+    // Fig. 10 bubble-removal schedule, or charged per-step when disabled).
+    let fill = d + lsh_cols;
+    let per_step_fill = if hw.bubble_removal { 0 } else { fill };
+    let push = |steps: &mut Vec<StepTrace>, name: &str, category: PhaseKind, cycles: u64| {
+        steps.push(StepTrace { name: name.to_string(), category, cycles: cycles + per_step_fill });
+    };
+
+    steps.push(StepTrace { name: "initial pipeline fill".into(), category: PhaseKind::Compression, cycles: fill });
+
+    // ---- Step 1: LSH₁ over X^KV; CIM builds CT₁; CACC(C¹) overlapped.
+    let step1 = d /* load A into value registers */ + lsh_passes * n;
+    push(&mut steps, "LSH1(A, X_KV) + CIM(CT1) + CACC(C1)", PhaseKind::Compression, step1);
+    mem.weight.read_words(l * d + l); // A and biases
+    mem.token_kv.read_words(lsh_passes * n * d);
+    mem.weight.write_words(n); // CT₁
+    cacc_traffic(&mut mem, n, k1, d);
+    cim_traffic(&mut mem, n, l, k1);
+
+    // ---- Step 2: LSH₀ over X^Q; CAVG(C¹) on the spare column.
+    let step2 = (lsh_passes * m).max(k1);
+    push(&mut steps, "LSH0(A, X_Q) + CIM(CT0) + CACC(C0) | CAVG(C1)", PhaseKind::Compression, step2);
+    mem.token_kv.read_words(lsh_passes * m * d);
+    mem.weight.write_words(m); // CT₀
+    cacc_traffic(&mut mem, m, k0, d);
+    cim_traffic(&mut mem, m, l, k0);
+    cavg_traffic(&mut mem, k1, d);
+
+    // ---- Step 3: LSH₂ over residual tokens; CAVG(C⁰) on the spare column.
+    let step3 = (lsh_passes * n).max(k0);
+    push(&mut steps, "LSH2(A, rX_KV) + CIM(CT2) + CACC(C2) | CAVG(C0)", PhaseKind::Compression, step3);
+    mem.token_kv.read_words(lsh_passes * n * d); // tokens re-streamed
+    mem.result.read_words(n * d); // C¹ rows addressed by CT₁
+    mem.weight.read_words(n); // CT₁ lookups for addressing
+    mem.weight.write_words(n); // CT₂
+    cacc_traffic(&mut mem, n, k2, d);
+    cim_traffic(&mut mem, n, l, k2);
+    cavg_traffic(&mut mem, k0, d);
+
+    // ---- Step 4: CAVG(C²) drains alone.
+    push(&mut steps, "CAVG(C2)", PhaseKind::Compression, k2);
+    cavg_traffic(&mut mem, k2, d);
+
+    // ---- Steps 5-6: K̄/V̄ linears, batched b rows at a time. Pairing K
+    // and V on the same loaded centroids halves the value-register loads
+    // (§V-B "reduce memory overhead").
+    let kv_batches = k_cat.div_ceil(b);
+    // With the §V-B pairing the same loaded centroids serve both the K
+    // and V streams; without it each linear reloads its own copy.
+    let kv_loads = if hw.kv_pairing { 1 } else { 2 };
+    // Without bubble removal each batch pays two extra pipeline fills
+    // (the K and V passes are separate SA configurations).
+    let step56 = kv_batches * (kv_loads * d /* load centroid batch(es) */ + 2 * d /* stream W^K then W^V */)
+        + if hw.bubble_removal { 0 } else { kv_batches * 2 * fill };
+    push(&mut steps, "LIN(K_bar) + LIN(V_bar) batched", PhaseKind::Linear, step56);
+    mem.result.read_words(kv_loads * k_cat * d); // centroid batches
+    mem.weight.read_words(kv_batches * 2 * d * d); // weight streams per batch
+    mem.token_kv.write_words(2 * k_cat * d); // K̄,V̄ into recycled token memory
+
+    // ---- Steps 7-13: query loop. Per batch: LIN(Q̄) via shortcut, SCORE,
+    // OUT of the previous batch; PAG overlaps with the next batch's
+    // LIN+SCORE window.
+    let q_batches = k0.div_ceil(b);
+    // With the shortcut, query results broadcast straight into the value
+    // registers (one pause cycle); without it each batch is written to
+    // result memory and reloaded before the score pass.
+    let lin_q = if hw.query_shortcut {
+        d /* load C⁰ batch */ + d /* stream W^Q */ + 1 /* shortcut pause */
+    } else {
+        d + d + d /* write Q̄ batch out */ + d /* reload into value registers */
+    };
+    let score = k_cat;
+    let out = k_cat;
+    // PAG latency per batch of b rows: rows are unrolled across tiles
+    // (waves of `tiles` rows), each tile retiring `iters_per_tile` inner
+    // iterations per cycle — the formula the functional model
+    // (`simulate_pag`) validates.
+    let pag_cycles = {
+        let waves = b.div_ceil(hw.pag_tiles as u64);
+        let inner = n.div_ceil(hw.pag_iters_per_tile as u64);
+        waves * inner
+    };
+
+    // Per-iteration fills when bubble removal is off: LIN(Q̄), SCORE and
+    // OUT are three distinct SA configurations.
+    let iter_fill = if hw.bubble_removal { 0 } else { fill };
+    let mut linear_loop = 0u64;
+    let mut attention_loop = 0u64;
+    for t in 0..q_batches {
+        linear_loop += lin_q + iter_fill;
+        attention_loop += score + iter_fill;
+        if t > 0 {
+            // OUT of batch t-1; PAG(t-1) ran during this batch's LIN+SCORE.
+            let window = lin_q + score;
+            let stall = pag_cycles.saturating_sub(window);
+            pag_stall_cycles += stall;
+            attention_loop += out + stall + iter_fill;
+        }
+    }
+    // Final OUT: PAG of the last batch only has the previous OUT to hide
+    // behind.
+    let last_stall = pag_cycles.saturating_sub(out);
+    pag_stall_cycles += if q_batches > 1 { last_stall } else { pag_cycles };
+    attention_loop += out + if q_batches > 1 { last_stall } else { pag_cycles };
+
+    push(&mut steps, "LIN(Q_bar) per batch (shortcut)", PhaseKind::Linear, linear_loop);
+    push(&mut steps, "SCORE + PAG + OUT per batch", PhaseKind::Attention, attention_loop);
+
+    mem.result.read_words(k0 * d); // C⁰ batches
+    if !hw.query_shortcut {
+        // Q̄ spilled to result memory and reloaded (the traffic §V-B's
+        // shortcut eliminates).
+        mem.result.write_words(k0 * d);
+        mem.result.read_words(k0 * d);
+    }
+    mem.weight.read_words(q_batches * d * d); // W^Q stream per batch
+    mem.token_kv.read_words(q_batches * k_cat * d); // K̄ streamed per batch
+    mem.cs_buffer.write_words(k0 * k_cat); // S̄ batches
+    mem.cs_buffer.read_words(2 * k0 * n); // PAG score pair reads
+    mem.weight.read_words(2 * k0 * n); // PAG CT₁/CT₂ reads
+    mem.ap_buffer.read_words(2 * k0 * n); // AP read-modify-write
+    mem.ap_buffer.write_words(2 * k0 * n);
+    mem.ap_buffer.read_words(k0 * k_cat); // AP streamed into OUT
+    mem.token_kv.read_words(q_batches * k_cat * d); // V̄ streamed per batch
+    mem.result.write_words(k0 * d); // outputs
+
+    // ---- Operation tally (for the energy model).
+    let ops = OpTally {
+        pe_macs: l * (m + 2 * n) * d            // hashing
+            + (k0 + 2 * k_cat) * d * d          // linears
+            + k0 * k_cat * d                    // scores
+            + k0 * k_cat * d                    // outputs
+            + (k0 + k1 + k2) * d,               // CAVG multiplies (SA reuse)
+        ppe_ops: l * (m + 2 * n)                // hash bias + 1/w
+            + k0 * k_cat                        // score max logic
+            + k0 * d,                           // output denominator scaling
+        adds: n * d                             // residual column
+            + (m + 2 * n) * d,                  // CACC accumulation (SA adder reuse)
+        lut_lookups: k0 * n                     // PAG exponent
+            + (k0 + k1 + k2)                    // CAVG reciprocal
+            + k0,                               // PPE softmax-denominator LUT
+        cim_steps: (m + 2 * n) * l,
+        pag_adds: 3 * k0 * n,
+    };
+
+    let total_cycles: u64 = steps.iter().map(|s| s.cycles).sum();
+    let mut compression_cycles = 0u64;
+    let mut linear_cycles = 0u64;
+    let mut attention_cycles = 0u64;
+    for s in &steps {
+        match s.category {
+            PhaseKind::Compression => compression_cycles += s.cycles,
+            PhaseKind::Linear => linear_cycles += s.cycles,
+            PhaseKind::Attention => attention_cycles += s.cycles,
+        }
+    }
+
+    MappingSchedule {
+        steps,
+        total_cycles,
+        compression_cycles,
+        linear_cycles,
+        attention_cycles,
+        pag_stall_cycles,
+        ops,
+        memory: mem,
+    }
+}
+
+/// CACC result-memory traffic: per cluster switch one partial row is
+/// written back and the next read in. With first-appearance cluster order
+/// the expected consecutive-hit rate on unsorted token streams is ~1/k, so
+/// we charge the (pessimistic) full switch rate; the functional model
+/// ([`simulate_cacc`](crate::simulate_cacc)) measures the exact figure
+/// when token data is available.
+fn cacc_traffic(mem: &mut MemorySubsystem, tokens: u64, k: u64, d: u64) {
+    let switches = if k <= 1 { 1 } else { tokens };
+    mem.result.read_words(switches * d);
+    mem.result.write_words(switches * d);
+}
+
+/// CAVG traffic: read each accumulated row, write the averaged centroid.
+fn cavg_traffic(mem: &mut MemorySubsystem, k: u64, d: u64) {
+    mem.result.read_words(k * d);
+    mem.result.write_words(k * d);
+}
+
+/// CIM layer-memory traffic: one read per (token, layer); writes
+/// approximated as one fresh path per new cluster (`k·l`), the upper bound
+/// the functional model refines.
+fn cim_traffic(mem: &mut MemorySubsystem, tokens: u64, l: u64, k: u64) {
+    mem.cim_layers.read_words(tokens * l);
+    mem.cim_layers.write_words(k * l);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 322, 200, 87, 6)
+    }
+
+    #[test]
+    fn totals_equal_step_sum_and_category_sum() {
+        let s = schedule(&HwConfig::paper(), &paper_task());
+        let step_sum: u64 = s.steps.iter().map(|x| x.cycles).sum();
+        assert_eq!(s.total_cycles, step_sum);
+        assert_eq!(
+            s.total_cycles,
+            s.compression_cycles + s.linear_cycles + s.attention_cycles
+        );
+    }
+
+    #[test]
+    fn paper_like_breakdown_shape() {
+        // Paper Fig. 12 right: on average 59% attention, 34% linears, 7%
+        // compression. A CTA-0-like operating point must land in that
+        // regime: attention dominant, compression small.
+        let s = schedule(&HwConfig::paper(), &paper_task());
+        let total = s.total_cycles as f64;
+        let comp = s.compression_cycles as f64 / total;
+        let lin = s.linear_cycles as f64 / total;
+        let att = s.attention_cycles as f64 / total;
+        assert!(att > lin && lin > comp, "att {att:.2} lin {lin:.2} comp {comp:.2}");
+        assert!(comp < 0.15, "compression fraction {comp:.2}");
+    }
+
+    #[test]
+    fn more_compression_means_fewer_cycles() {
+        let hw = HwConfig::paper();
+        let loose = schedule(&hw, &AttentionTask::from_counts(512, 512, 64, 400, 300, 100, 6));
+        let tight = schedule(&hw, &AttentionTask::from_counts(512, 512, 64, 100, 80, 40, 6));
+        assert!(tight.total_cycles < loose.total_cycles);
+    }
+
+    #[test]
+    fn cycles_monotone_in_sequence_length() {
+        let hw = HwConfig::paper();
+        let short = schedule(&hw, &AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6));
+        let long = schedule(&hw, &AttentionTask::from_counts(512, 512, 64, 50, 40, 20, 6));
+        assert!(long.total_cycles > short.total_cycles);
+    }
+
+    #[test]
+    fn bubble_removal_saves_cycles() {
+        let on = schedule(&HwConfig::paper(), &paper_task());
+        let off = schedule(
+            &HwConfig { bubble_removal: false, ..HwConfig::paper() },
+            &paper_task(),
+        );
+        assert!(off.total_cycles > on.total_cycles);
+    }
+
+    #[test]
+    fn undersized_pag_stalls_the_sa() {
+        let task = paper_task();
+        let balanced = schedule(&HwConfig::paper(), &task); // parallelism 16
+        let starved = schedule(&HwConfig::paper().with_pag_parallelism(2), &task);
+        assert!(starved.pag_stall_cycles > balanced.pag_stall_cycles);
+        assert!(starved.total_cycles > balanced.total_cycles);
+    }
+
+    #[test]
+    fn oversized_pag_does_not_help_beyond_balance() {
+        let task = paper_task();
+        let balanced = schedule(&HwConfig::paper().with_pag_parallelism(16), &task);
+        let huge = schedule(&HwConfig::paper().with_pag_parallelism(128), &task);
+        // Beyond the balance point extra PAG parallelism buys (almost)
+        // nothing — the Fig. 13 observation.
+        let gain = balanced.total_cycles as f64 / huge.total_cycles as f64;
+        assert!(gain < 1.05, "gain {gain}");
+    }
+
+    #[test]
+    fn kv_pairing_saves_loads_and_traffic() {
+        let on = schedule(&HwConfig::paper(), &paper_task());
+        let off = schedule(&HwConfig { kv_pairing: false, ..HwConfig::paper() }, &paper_task());
+        assert!(off.total_cycles > on.total_cycles);
+        assert!(off.memory.result.reads() > on.memory.result.reads());
+    }
+
+    #[test]
+    fn query_shortcut_saves_cycles_and_result_traffic() {
+        let on = schedule(&HwConfig::paper(), &paper_task());
+        let off = schedule(&HwConfig { query_shortcut: false, ..HwConfig::paper() }, &paper_task());
+        assert!(off.total_cycles > on.total_cycles);
+        assert!(off.memory.result.writes() > on.memory.result.writes());
+    }
+
+    #[test]
+    fn memory_traffic_present_in_all_memories() {
+        let s = schedule(&HwConfig::paper(), &paper_task());
+        for sram in s.memory.all() {
+            assert!(sram.reads() + sram.writes() > 0, "{} has no traffic", sram.name());
+        }
+    }
+
+    #[test]
+    fn op_tally_matches_complexity_formulas() {
+        let t = paper_task();
+        let s = schedule(&HwConfig::paper(), &t);
+        let (n, d, l) = (512u64, 64u64, 6u64);
+        let (k0, kc) = (t.k0 as u64, t.k_cat() as u64);
+        assert_eq!(s.ops.cim_steps, 3 * n * l);
+        assert_eq!(s.ops.pag_adds, 3 * k0 * n);
+        // Hashing MACs (3lnd) appear inside pe_macs.
+        assert!(s.ops.pe_macs > 3 * l * n * d);
+        assert!(s.ops.pe_macs > (k0 + 2 * kc) * d * d);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq_len")]
+    fn oversized_sequence_rejected() {
+        let _ = schedule(&HwConfig::paper(), &AttentionTask::from_counts(1024, 1024, 64, 10, 10, 10, 6));
+    }
+
+    #[test]
+    fn latency_uses_clock() {
+        let s = schedule(&HwConfig::paper(), &paper_task());
+        let hw = HwConfig::paper();
+        assert!((s.latency_s(&hw) - s.total_cycles as f64 * 1e-9).abs() < 1e-15);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_task() -> impl Strategy<Value = AttentionTask> {
+            (32usize..=512, 1usize..=512, 1usize..=512, 1usize..=512).prop_map(|(n, a, b, c)| {
+                AttentionTask::from_counts(n, n, 64, a.min(n), b.min(n), c.min(n), 6)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// More clusters never cost fewer cycles (monotonicity in k₀).
+            #[test]
+            fn monotone_in_k0(t in arb_task()) {
+                if t.k0 + 1 <= t.num_queries {
+                    let bigger = AttentionTask { k0: t.k0 + 1, ..t };
+                    let hw = HwConfig::paper();
+                    prop_assert!(schedule(&hw, &bigger).total_cycles >= schedule(&hw, &t).total_cycles);
+                }
+            }
+
+            /// Monotonicity in the KV cluster counts.
+            #[test]
+            fn monotone_in_k_cat(t in arb_task()) {
+                if t.k1 + 1 <= t.num_keys {
+                    let bigger = AttentionTask { k1: t.k1 + 1, ..t };
+                    let hw = HwConfig::paper();
+                    prop_assert!(schedule(&hw, &bigger).total_cycles >= schedule(&hw, &t).total_cycles);
+                }
+            }
+
+            /// Categories always partition the total and traffic is
+            /// non-zero in the data memories.
+            #[test]
+            fn schedule_well_formed(t in arb_task()) {
+                let s = schedule(&HwConfig::paper(), &t);
+                prop_assert_eq!(
+                    s.total_cycles,
+                    s.compression_cycles + s.linear_cycles + s.attention_cycles
+                );
+                prop_assert!(s.memory.data_accesses() > 0);
+            }
+
+            /// A wider array is never slower at the paper's PAG sizing.
+            #[test]
+            fn monotone_in_width(t in arb_task()) {
+                let narrow = schedule(&HwConfig::paper().with_sa_width(8), &t).total_cycles;
+                let wide = schedule(&HwConfig::paper().with_sa_width(16), &t).total_cycles;
+                prop_assert!(wide <= narrow);
+            }
+        }
+    }
+}

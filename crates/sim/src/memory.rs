@@ -1,0 +1,212 @@
+//! SRAM models with access counting (paper §VI-D uses CACTI for the same
+//! purpose; see `DESIGN.md` for the substitution note).
+
+use crate::HwConfig;
+
+/// One on-chip SRAM: capacity bookkeeping plus read/write counters.
+///
+/// Counts are in *elements* (one token/weight/score word), matching how
+/// the paper reports "number of read/write" in Fig. 16.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sram {
+    name: &'static str,
+    capacity_bits: u64,
+    word_bits: u32,
+    reads: u64,
+    writes: u64,
+}
+
+impl Sram {
+    /// Creates an SRAM of `words` words of `word_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0` or `word_bits == 0`.
+    pub fn new(name: &'static str, words: u64, word_bits: u32) -> Self {
+        assert!(words > 0 && word_bits > 0, "SRAM must have positive capacity");
+        Self { name, capacity_bits: words * word_bits as u64, word_bits, reads: 0, writes: 0 }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Capacity in kilobytes.
+    pub fn capacity_kb(&self) -> f64 {
+        self.capacity_bits as f64 / 8192.0
+    }
+
+    /// Word width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Records `n` element reads.
+    pub fn read_words(&mut self, n: u64) {
+        self.reads += n;
+    }
+
+    /// Records `n` element writes.
+    pub fn write_words(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// Total element reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total element writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Per-element access energy in pJ — a CACTI-style size-dependent
+    /// estimate at 40 nm: energy grows roughly with the square root of
+    /// capacity (bitline/wordline length), normalised per accessed bit.
+    pub fn access_energy_pj(&self) -> f64 {
+        // 0.017 pJ/bit for a ~1 KB macro, scaling with sqrt(capacity/1KB).
+        let kb = (self.capacity_bits as f64 / 8192.0).max(0.125);
+        0.017 * kb.sqrt().max(1.0) * self.word_bits as f64
+    }
+
+    /// Total access energy so far in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        (self.reads + self.writes) as f64 * self.access_energy_pj()
+    }
+}
+
+/// The accelerator's memory subsystem (paper Fig. 7): token/KV memory,
+/// weight memory, result memory, the CS/AP buffers shared with PAG, and
+/// the CIM layer memories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemorySubsystem {
+    /// Token/KV memory: holds `X^Q`/`X^KV`, recycled for `K̄`,`V̄`.
+    pub token_kv: Sram,
+    /// Weight memory: linear weights, LSH parameters, cluster tables.
+    pub weight: Sram,
+    /// Result memory: centroids, then outputs (recycled).
+    pub result: Sram,
+    /// Compressed-score buffer feeding PAG.
+    pub cs_buffer: Sram,
+    /// Aggregated-probability buffer written by PAG.
+    pub ap_buffer: Sram,
+    /// CIM per-layer cluster-tree memories.
+    pub cim_layers: Sram,
+}
+
+impl MemorySubsystem {
+    /// Sizes every SRAM from the hardware configuration, using the paper's
+    /// word widths (13-bit tokens, 12-bit weights/centroids, 16-bit scores).
+    pub fn for_config(hw: &HwConfig) -> Self {
+        let n = hw.max_seq_len as u64;
+        let d = hw.sa_height as u64;
+        let b = hw.sa_width as u64;
+        Self {
+            token_kv: Sram::new("token/KV memory", n * d, 13),
+            // 3 weight matrices (d×d), LSH parameters (l×d + biases), and
+            // three cluster tables of up to n entries.
+            weight: Sram::new("weight memory", 3 * d * d + (hw.hash_length as u64 + 1) * d + 3 * n, 12),
+            result: Sram::new("result memory", n * d, 12),
+            cs_buffer: Sram::new("CS buffer", 2 * b * n, 16),
+            ap_buffer: Sram::new("AP buffer", 2 * b * n, 16),
+            cim_layers: Sram::new("CIM layer memory", hw.hash_length as u64 * 2 * n, 24),
+        }
+    }
+
+    /// Every SRAM, for iteration in reports.
+    pub fn all(&self) -> [&Sram; 6] {
+        [&self.token_kv, &self.weight, &self.result, &self.cs_buffer, &self.ap_buffer, &self.cim_layers]
+    }
+
+    /// Total element reads across all SRAMs.
+    pub fn total_reads(&self) -> u64 {
+        self.all().iter().map(|s| s.reads()).sum()
+    }
+
+    /// Total element writes across all SRAMs.
+    pub fn total_writes(&self) -> u64 {
+        self.all().iter().map(|s| s.writes()).sum()
+    }
+
+    /// Total access energy in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.all().iter().map(|s| s.energy_pj()).sum()
+    }
+
+    /// Total capacity in kilobytes.
+    pub fn total_capacity_kb(&self) -> f64 {
+        self.all().iter().map(|s| s.capacity_kb()).sum()
+    }
+
+    /// Accesses (reads + writes) to the *data* memories — token/KV,
+    /// weight and result — the quantity comparable with ELSA's published
+    /// read/write counts (ELSA's pipeline registers, like CTA's CS/AP
+    /// scratch buffers and CIM layer memories, are not part of either
+    /// paper's Fig. 16 accounting).
+    pub fn data_accesses(&self) -> u64 {
+        let d = [&self.token_kv, &self.weight, &self.result];
+        d.iter().map(|s| s.reads() + s.writes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Sram::new("t", 1024, 13);
+        s.read_words(10);
+        s.read_words(5);
+        s.write_words(3);
+        assert_eq!(s.reads(), 15);
+        assert_eq!(s.writes(), 3);
+    }
+
+    #[test]
+    fn energy_scales_with_accesses() {
+        let mut s = Sram::new("t", 4096, 12);
+        s.read_words(100);
+        let e1 = s.energy_pj();
+        s.read_words(100);
+        assert!((s.energy_pj() - 2.0 * e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_srams_cost_more_per_access() {
+        let small = Sram::new("s", 1024, 13);
+        let big = Sram::new("b", 1024 * 256, 13);
+        assert!(big.access_energy_pj() > small.access_energy_pj());
+    }
+
+    #[test]
+    fn paper_config_capacities_are_sensible() {
+        let mem = MemorySubsystem::for_config(&HwConfig::paper());
+        // Token memory: 512×64 13-bit words ≈ 52 KB.
+        assert!((mem.token_kv.capacity_kb() - 52.0).abs() < 1.0, "{}", mem.token_kv.capacity_kb());
+        assert!(mem.total_capacity_kb() > 100.0 && mem.total_capacity_kb() < 200.0, "{}", mem.total_capacity_kb());
+    }
+
+    #[test]
+    fn subsystem_totals_sum_modules() {
+        let mut mem = MemorySubsystem::for_config(&HwConfig::paper());
+        mem.token_kv.read_words(7);
+        mem.weight.write_words(3);
+        assert_eq!(mem.total_reads(), 7);
+        assert_eq!(mem.total_writes(), 3);
+        assert!(mem.total_energy_pj() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Sram::new("t", 0, 13);
+    }
+}

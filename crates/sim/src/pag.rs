@@ -1,0 +1,212 @@
+//! Functional cycle-level model of the Probability Aggregation module
+//! (paper §IV-B(4), Fig. 9 right).
+//!
+//! PAG is tile-based: iterations of the *outer* loop of Fig. 6 (one per
+//! compressed query row) are unrolled across tiles, while each tile walks
+//! the *inner* loop (one iteration per original key position) retiring
+//! `iters_per_tile` consecutive iterations per cycle. Each retired
+//! iteration adds two scores, looks the sum's exponent up in the shared
+//! LUT, and accumulates the probability into the two contributing `AP`
+//! entries; when the two iterations of one cycle target the same `AP`
+//! entry (e.g. `CT₁[j] = CT₁[j+1]`), the Probability-merge unit folds the
+//! two additions into one write.
+
+use cta_lsh::ClusterTable;
+use cta_tensor::Matrix;
+
+/// Outcome of one PAG pass over a block of compressed-query rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PagRun {
+    /// The aggregated probabilities for the processed rows
+    /// (`rows × (k₁+k₂)`).
+    pub ap: Matrix,
+    /// Cycles: `ceil(rows / tiles) · ceil(n / iters_per_tile)`.
+    pub cycles: u64,
+    /// Exponent-LUT lookups performed (`rows · n`).
+    pub lut_lookups: u64,
+    /// Same-cycle accumulations folded by the merge units.
+    pub merges: u64,
+}
+
+/// Runs the PAG model over `scores_bar` rows.
+///
+/// `exp` is the exponent implementation (LUT lookup on the hardware path).
+///
+/// # Panics
+///
+/// Panics if the tables disagree in length, `scores_bar.cols() != k1 +
+/// ct2.cluster_count()`, `ct1.cluster_count() != k1`, or `tiles`/
+/// `iters_per_tile` is zero.
+pub fn simulate_pag(
+    scores_bar: &Matrix,
+    ct1: &ClusterTable,
+    ct2: &ClusterTable,
+    k1: usize,
+    tiles: usize,
+    iters_per_tile: usize,
+    mut exp: impl FnMut(f32) -> f32,
+) -> PagRun {
+    assert!(tiles > 0 && iters_per_tile > 0, "PAG parallelism must be positive");
+    assert_eq!(ct1.len(), ct2.len(), "CT₁ and CT₂ cover different token counts");
+    assert_eq!(ct1.cluster_count(), k1, "k₁ mismatch");
+    assert_eq!(scores_bar.cols(), k1 + ct2.cluster_count(), "S̄ column count mismatch");
+
+    let rows = scores_bar.rows();
+    let n = ct1.len();
+    let mut ap = Matrix::zeros(rows, scores_bar.cols());
+    let mut lut_lookups = 0u64;
+    let mut merges = 0u64;
+
+    for i in 0..rows {
+        let cs = scores_bar.row(i);
+        let ap_row = ap.row_mut(i);
+        // The tile walks the inner loop in groups of `iters_per_tile`.
+        let mut j = 0usize;
+        while j < n {
+            let group_end = (j + iters_per_tile).min(n);
+            // Collect the group's (index, probability) pairs, then count
+            // how many writes the merge units fold together.
+            let mut writes: Vec<(usize, f32)> = Vec::with_capacity(2 * iters_per_tile);
+            for jj in j..group_end {
+                let x1 = ct1.cluster_of(jj);
+                let x2 = k1 + ct2.cluster_of(jj);
+                let p = exp(cs[x1] + cs[x2]);
+                lut_lookups += 1;
+                writes.push((x1, p));
+                writes.push((x2, p));
+            }
+            // Merge-unit accounting: writes within one cycle to the same
+            // AP entry coalesce.
+            let mut seen: Vec<usize> = Vec::with_capacity(writes.len());
+            for &(x, p) in &writes {
+                if seen.contains(&x) {
+                    merges += 1;
+                } else {
+                    seen.push(x);
+                }
+                ap_row[x] += p;
+            }
+            j = group_end;
+        }
+    }
+
+    let row_waves = rows.div_ceil(tiles);
+    let inner_cycles = n.div_ceil(iters_per_tile);
+    PagRun { ap, cycles: (row_waves * inner_cycles) as u64, lut_lookups, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_attention::aggregate_probabilities_with;
+    use cta_fixed::ExpLut;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    fn tables(n: usize, k1: usize, k2: usize, seed: u64) -> (ClusterTable, ClusterTable) {
+        let mut rng = MatrixRng::new(seed);
+        let mut i1: Vec<usize> = (0..k1).collect();
+        let mut i2: Vec<usize> = (0..k2).collect();
+        for _ in k1..n {
+            i1.push(rng.index(k1));
+        }
+        for _ in k2..n {
+            i2.push(rng.index(k2));
+        }
+        (ClusterTable::new(i1, k1), ClusterTable::new(i2, k2))
+    }
+
+    #[test]
+    fn matches_software_aggregation() {
+        let mut rng = MatrixRng::new(4);
+        let (k0, k1, k2, n) = (6usize, 5usize, 3usize, 20usize);
+        let s = rng.normal_matrix(k0, k1 + k2, 0.0, 1.0);
+        let (ct1, ct2) = tables(n, k1, k2, 5);
+        let run = simulate_pag(&s, &ct1, &ct2, k1, 4, 2, f32::exp);
+        let reference = aggregate_probabilities_with(&s, &ct1, &ct2, k1, f32::exp);
+        assert!(run.ap.approx_eq(&reference, 1e-4));
+        assert_eq!(run.lut_lookups, (k0 * n) as u64);
+    }
+
+    #[test]
+    fn matches_software_aggregation_with_lut_exp() {
+        let mut rng = MatrixRng::new(6);
+        let (k0, k1, k2, n) = (3usize, 4usize, 2usize, 12usize);
+        let s = rng.normal_matrix(k0, k1 + k2, -1.0, 0.5);
+        let (ct1, ct2) = tables(n, k1, k2, 7);
+        let lut = ExpLut::pag_default();
+        let run = simulate_pag(&s, &ct1, &ct2, k1, 2, 2, |x| lut.lookup(x));
+        let reference = aggregate_probabilities_with(&s, &ct1, &ct2, k1, |x| lut.lookup(x));
+        assert!(run.ap.approx_eq(&reference, 1e-5));
+    }
+
+    #[test]
+    fn cycle_formula() {
+        let s = Matrix::zeros(8, 6);
+        let (ct1, ct2) = tables(20, 4, 2, 1);
+        // 8 rows over 4 tiles = 2 waves; 20 iterations at 2/cycle = 10.
+        let run = simulate_pag(&s, &ct1, &ct2, 4, 4, 2, f32::exp);
+        assert_eq!(run.cycles, 20);
+        // More tiles than rows: a single wave.
+        let run2 = simulate_pag(&s, &ct1, &ct2, 4, 16, 2, f32::exp);
+        assert_eq!(run2.cycles, 10);
+    }
+
+    #[test]
+    fn merges_counted_when_pair_shares_target() {
+        // Two consecutive tokens in the same level-1 cluster AND the same
+        // level-2 cluster: both writes of the pair collide.
+        let s = Matrix::zeros(1, 3); // k1=2, k2=1
+        let ct1 = ClusterTable::new(vec![0, 0, 1, 1], 2);
+        let ct2 = ClusterTable::new(vec![0, 0, 0, 0], 1);
+        let run = simulate_pag(&s, &ct1, &ct2, 2, 1, 2, f32::exp);
+        // Pairs (0,1) and (2,3): each pair shares x1 (1 merge) and x2
+        // (1 merge) => 4 merges total.
+        assert_eq!(run.merges, 4);
+        // AP must still be exact.
+        let reference = aggregate_probabilities_with(&s, &ct1, &ct2, 2, f32::exp);
+        assert!(run.ap.approx_eq(&reference, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be positive")]
+    fn zero_tiles_rejected() {
+        let s = Matrix::zeros(1, 2);
+        let ct = ClusterTable::new(vec![0], 1);
+        let _ = simulate_pag(&s, &ct, &ct, 1, 0, 2, f32::exp);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Functional equivalence with the reference for arbitrary tiling.
+        #[test]
+        fn equivalence_any_tiling(
+            seed in 0u64..300,
+            tiles in 1usize..9,
+            iters in 1usize..4,
+        ) {
+            let mut rng = MatrixRng::new(seed);
+            let (k0, k1, k2) = (1 + rng.index(6), 1 + rng.index(5), 1 + rng.index(4));
+            let n = (k1.max(k2)) + rng.index(20);
+            let s = rng.normal_matrix(k0, k1 + k2, 0.0, 1.0);
+            let (ct1, ct2) = tables(n, k1, k2, seed + 9);
+            let run = simulate_pag(&s, &ct1, &ct2, k1, tiles, iters, f32::exp);
+            let reference = aggregate_probabilities_with(&s, &ct1, &ct2, k1, f32::exp);
+            prop_assert!(run.ap.approx_eq(&reference, 1e-3));
+        }
+
+        /// More parallelism never increases cycles.
+        #[test]
+        fn cycles_monotone_in_parallelism(seed in 0u64..100) {
+            let mut rng = MatrixRng::new(seed);
+            let (k0, k1, k2) = (1 + rng.index(8), 1 + rng.index(5), 1 + rng.index(4));
+            let n = (k1.max(k2)) + rng.index(30);
+            let s = rng.normal_matrix(k0, k1 + k2, 0.0, 1.0);
+            let (ct1, ct2) = tables(n, k1, k2, seed + 3);
+            let slow = simulate_pag(&s, &ct1, &ct2, k1, 1, 1, f32::exp).cycles;
+            let fast = simulate_pag(&s, &ct1, &ct2, k1, 8, 2, f32::exp).cycles;
+            prop_assert!(fast <= slow);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Cycle-stepped model of the Probability Aggregation module's tiles
+//! (paper Fig. 9 right).
+//!
+//! Where [`simulate_pag`](crate::simulate_pag) computes the tile
+//! arithmetic and the cycle formula, this model steps the tiles: each
+//! cycle every active tile issues its two ADD_EXP operations (score pair
+//! read from the CS buffer, sum, shared-LUT exponent), routes the four
+//! resulting accumulations through the Probability-merge units (same-cycle
+//! writes to one `AP` entry coalesce into a single read-modify-write), and
+//! retires two inner-loop iterations. Rows of `S̄` are dealt to tiles
+//! round-robin; a new wave starts when every tile has drained its row.
+//!
+//! Equivalence with the event model — identical `AP`, identical cycle
+//! count, identical merge tally — is the test payload.
+
+use cta_lsh::ClusterTable;
+use cta_tensor::Matrix;
+
+/// Per-cycle port activity of the stepped PAG (peak-bandwidth sizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PagPortStats {
+    /// Peak CS-buffer reads in one cycle.
+    pub peak_cs_reads: u64,
+    /// Peak AP-buffer read-modify-writes in one cycle (after merging).
+    pub peak_ap_rmw: u64,
+    /// Peak shared-LUT lookups in one cycle.
+    pub peak_lut_lookups: u64,
+}
+
+/// Outcome of the cycle-stepped PAG run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PagRtlRun {
+    /// The aggregated probabilities (`rows × (k₁+k₂)`).
+    pub ap: Matrix,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Same-cycle accumulations folded by the merge units.
+    pub merges: u64,
+    /// Peak per-cycle port activity.
+    pub ports: PagPortStats,
+}
+
+/// Steps the PAG tiles over `scores_bar`.
+///
+/// # Panics
+///
+/// Same conditions as [`simulate_pag`](crate::simulate_pag).
+pub fn simulate_pag_rtl(
+    scores_bar: &Matrix,
+    ct1: &ClusterTable,
+    ct2: &ClusterTable,
+    k1: usize,
+    tiles: usize,
+    iters_per_tile: usize,
+    mut exp: impl FnMut(f32) -> f32,
+) -> PagRtlRun {
+    assert!(tiles > 0 && iters_per_tile > 0, "PAG parallelism must be positive");
+    assert_eq!(ct1.len(), ct2.len(), "CT₁ and CT₂ cover different token counts");
+    assert_eq!(ct1.cluster_count(), k1, "k₁ mismatch");
+    assert_eq!(scores_bar.cols(), k1 + ct2.cluster_count(), "S̄ column count mismatch");
+
+    let rows = scores_bar.rows();
+    let n = ct1.len();
+    let mut ap = Matrix::zeros(rows, scores_bar.cols());
+    let mut merges = 0u64;
+    let mut ports = PagPortStats::default();
+    let mut cycles = 0u64;
+
+    // Waves of `tiles` rows.
+    let mut wave_start = 0usize;
+    while wave_start < rows {
+        let wave_end = (wave_start + tiles).min(rows);
+        // Every tile in the wave walks the inner loop in lockstep; tiles
+        // whose row is exhausted idle (rows all have length n, so in this
+        // design they drain together).
+        let mut j = 0usize;
+        while j < n {
+            let group_end = (j + iters_per_tile).min(n);
+            let mut cycle_cs_reads = 0u64;
+            let mut cycle_lut = 0u64;
+            let mut cycle_ap_rmw = 0u64;
+            for row in wave_start..wave_end {
+                // One tile: `iters_per_tile` consecutive iterations.
+                let cs = scores_bar.row(row);
+                let mut writes: Vec<(usize, f32)> = Vec::with_capacity(2 * iters_per_tile);
+                for jj in j..group_end {
+                    let x1 = ct1.cluster_of(jj);
+                    let x2 = k1 + ct2.cluster_of(jj);
+                    // ADD_EXP: two CS reads, one add, one shared-LUT
+                    // lookup.
+                    cycle_cs_reads += 2;
+                    cycle_lut += 1;
+                    let p = exp(cs[x1] + cs[x2]);
+                    writes.push((x1, p));
+                    writes.push((x2, p));
+                }
+                // Probability-merge units: coalesce same-target writes
+                // issued this cycle by this tile.
+                let mut seen: Vec<usize> = Vec::with_capacity(writes.len());
+                for &(x, p) in &writes {
+                    if seen.contains(&x) {
+                        merges += 1;
+                    } else {
+                        seen.push(x);
+                        cycle_ap_rmw += 1;
+                    }
+                    ap[(row, x)] += p;
+                }
+            }
+            ports.peak_cs_reads = ports.peak_cs_reads.max(cycle_cs_reads);
+            ports.peak_lut_lookups = ports.peak_lut_lookups.max(cycle_lut);
+            ports.peak_ap_rmw = ports.peak_ap_rmw.max(cycle_ap_rmw);
+            cycles += 1;
+            j = group_end;
+        }
+        wave_start = wave_end;
+    }
+
+    PagRtlRun { ap, cycles, merges, ports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_pag;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    fn tables(n: usize, k1: usize, k2: usize, seed: u64) -> (ClusterTable, ClusterTable) {
+        let mut rng = MatrixRng::new(seed);
+        let mut i1: Vec<usize> = (0..k1).collect();
+        let mut i2: Vec<usize> = (0..k2).collect();
+        for _ in k1..n {
+            i1.push(rng.index(k1));
+        }
+        for _ in k2..n {
+            i2.push(rng.index(k2));
+        }
+        (ClusterTable::new(i1, k1), ClusterTable::new(i2, k2))
+    }
+
+    #[test]
+    fn rtl_matches_event_model() {
+        let mut rng = MatrixRng::new(4);
+        let (k0, k1, k2, n) = (7usize, 5usize, 3usize, 22usize);
+        let s = rng.normal_matrix(k0, k1 + k2, 0.0, 1.0);
+        let (ct1, ct2) = tables(n, k1, k2, 5);
+        let rtl = simulate_pag_rtl(&s, &ct1, &ct2, k1, 4, 2, f32::exp);
+        let event = simulate_pag(&s, &ct1, &ct2, k1, 4, 2, f32::exp);
+        assert!(rtl.ap.approx_eq(&event.ap, 1e-4));
+        assert_eq!(rtl.cycles, event.cycles);
+        assert_eq!(rtl.merges, event.merges);
+    }
+
+    #[test]
+    fn port_peaks_bounded_by_hardware_width() {
+        let mut rng = MatrixRng::new(7);
+        let (k0, k1, k2, n) = (16usize, 6usize, 4usize, 40usize);
+        let s = rng.normal_matrix(k0, k1 + k2, 0.0, 1.0);
+        let (ct1, ct2) = tables(n, k1, k2, 8);
+        let (tiles, iters) = (8usize, 2usize);
+        let run = simulate_pag_rtl(&s, &ct1, &ct2, k1, tiles, iters, f32::exp);
+        let per_cycle = (tiles * iters) as u64;
+        assert!(run.ports.peak_cs_reads <= 2 * per_cycle);
+        assert!(run.ports.peak_lut_lookups <= per_cycle);
+        assert!(run.ports.peak_ap_rmw <= 2 * per_cycle);
+        assert!(run.ports.peak_ap_rmw >= 1);
+    }
+
+    #[test]
+    fn merging_reduces_ap_port_pressure() {
+        // All tokens in one level-1 cluster and one level-2 cluster: every
+        // pair of iterations merges, halving AP writes.
+        let s = Matrix::zeros(2, 2); // k1 = 1, k2 = 1
+        let ct1 = ClusterTable::new(vec![0; 8], 1);
+        let ct2 = ClusterTable::new(vec![0; 8], 1);
+        let run = simulate_pag_rtl(&s, &ct1, &ct2, 1, 2, 2, f32::exp);
+        // Per tile-cycle: 4 writes issued, 2 distinct targets.
+        assert_eq!(run.ports.peak_ap_rmw, 2 * 2); // two tiles active
+        assert!(run.merges > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn rtl_event_equivalence(
+            seed in 0u64..200,
+            tiles in 1usize..6,
+            iters in 1usize..4,
+        ) {
+            let mut rng = MatrixRng::new(seed);
+            let (k0, k1, k2) = (1 + rng.index(6), 1 + rng.index(5), 1 + rng.index(4));
+            let n = (k1.max(k2)) + rng.index(16);
+            let s = rng.normal_matrix(k0, k1 + k2, 0.0, 1.0);
+            let (ct1, ct2) = tables(n, k1, k2, seed + 9);
+            let rtl = simulate_pag_rtl(&s, &ct1, &ct2, k1, tiles, iters, f32::exp);
+            let event = simulate_pag(&s, &ct1, &ct2, k1, tiles, iters, f32::exp);
+            prop_assert!(rtl.ap.approx_eq(&event.ap, 1e-3));
+            prop_assert_eq!(rtl.cycles, event.cycles);
+            prop_assert_eq!(rtl.merges, event.merges);
+        }
+    }
+}

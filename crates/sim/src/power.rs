@@ -1,0 +1,162 @@
+//! Per-phase power traces of a mapping schedule.
+//!
+//! The energy model charges operations to the whole run; this module
+//! distributes them over the Table-I steps to produce a power-vs-time
+//! trace — the view that answers "what is the *peak* power draw?"
+//! (thermal/delivery sizing) rather than only the average the energy
+//! totals give.
+
+use crate::{EnergyModel, HwConfig, MappingSchedule, PhaseKind};
+
+/// One step of the power trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSample {
+    /// The step name (Table-I row).
+    pub step: String,
+    /// The step's latency category.
+    pub category: PhaseKind,
+    /// Step duration in seconds.
+    pub duration_s: f64,
+    /// Average power during the step, watts.
+    pub watts: f64,
+}
+
+/// A whole run's power trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTrace {
+    /// Per-step samples, in schedule order.
+    pub samples: Vec<PowerSample>,
+    /// Peak step power, watts.
+    pub peak_w: f64,
+    /// Run-average power, watts.
+    pub average_w: f64,
+}
+
+/// Builds the power trace of a schedule.
+///
+/// Dynamic energy is attributed to categories in proportion to the §III-D
+/// op counts each category performs (hashing + aggregation to
+/// compression, linears to linear, scores/PAG/output to attention), then
+/// spread uniformly over that category's cycles; leakage is flat.
+///
+/// # Panics
+///
+/// Panics if the schedule has no steps.
+pub fn power_trace(hw: &HwConfig, sched: &MappingSchedule, energy: &EnergyModel) -> PowerTrace {
+    assert!(!sched.steps.is_empty(), "empty schedule");
+    let ops = &sched.ops;
+
+    // Category energies (pJ), mirroring the accelerator's attribution.
+    // Hash MACs are the l·(m+2n)·d share of pe_macs; the remainder splits
+    // between linears and attention per the op model. We reconstruct the
+    // shares from the tallies the schedule carries.
+    let cim_pj = ops.cim_steps as f64 * energy.cim_step_pj;
+    let pag_pj = ops.pag_adds as f64 * energy.pag_add_pj + ops.lut_lookups as f64 * energy.lut_pj;
+    let adds_pj = ops.adds as f64 * energy.add_pj;
+    let ppe_pj = ops.ppe_ops as f64 * energy.ppe_op_pj;
+    let mac_pj = ops.pe_macs as f64 * energy.pe_mac_pj;
+    // MAC split: proportionally to cycles is the best schedule-level
+    // estimate without re-deriving the task (compression does few MACs
+    // per cycle, so weight it at 1/4 of the dense phases' rate).
+    let comp_cycles = sched.compression_cycles.max(1) as f64;
+    let lin_cycles = sched.linear_cycles.max(1) as f64;
+    let att_cycles = sched.attention_cycles.max(1) as f64;
+    let weight_sum = 0.25 * comp_cycles + lin_cycles + att_cycles;
+    let mac_comp = mac_pj * (0.25 * comp_cycles) / weight_sum;
+    let mac_lin = mac_pj * lin_cycles / weight_sum;
+    let mac_att = mac_pj * att_cycles / weight_sum;
+
+    let mem_pj = sched.memory.total_energy_pj();
+    let mem_per_cycle = mem_pj / sched.total_cycles.max(1) as f64;
+
+    let energy_of = |category: PhaseKind| -> f64 {
+        match category {
+            PhaseKind::Compression => mac_comp + cim_pj + adds_pj,
+            PhaseKind::Linear => mac_lin,
+            PhaseKind::Attention => mac_att + pag_pj + ppe_pj,
+        }
+    };
+    let cycles_of = |category: PhaseKind| -> f64 {
+        match category {
+            PhaseKind::Compression => comp_cycles,
+            PhaseKind::Linear => lin_cycles,
+            PhaseKind::Attention => att_cycles,
+        }
+    };
+
+    let cycle_s = hw.cycle_time_s();
+    let mut samples = Vec::with_capacity(sched.steps.len());
+    let mut peak = 0.0f64;
+    for step in &sched.steps {
+        let duration_s = step.cycles as f64 * cycle_s;
+        // pJ per cycle for this step's category + memory + leakage.
+        let dyn_per_cycle = energy_of(step.category) / cycles_of(step.category) + mem_per_cycle;
+        let watts = dyn_per_cycle * 1e-12 / cycle_s + energy.static_w;
+        peak = peak.max(watts);
+        samples.push(PowerSample {
+            step: step.name.clone(),
+            category: step.category,
+            duration_s,
+            watts,
+        });
+    }
+
+    let total_s: f64 = samples.iter().map(|s| s.duration_s).sum();
+    let total_j: f64 = samples.iter().map(|s| s.watts * s.duration_s).sum();
+    PowerTrace { samples, peak_w: peak, average_w: total_j / total_s.max(1e-18) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{schedule, AttentionTask, CtaAccelerator};
+
+    fn setup() -> (HwConfig, MappingSchedule) {
+        let hw = HwConfig::paper();
+        let task = AttentionTask::from_counts(512, 512, 64, 220, 210, 40, 6);
+        let sched = schedule(&hw, &task);
+        (hw, sched)
+    }
+
+    #[test]
+    fn trace_energy_matches_report_energy() {
+        let (hw, sched) = setup();
+        let model = EnergyModel::default();
+        let trace = power_trace(&hw, &sched, &model);
+        let trace_j: f64 = trace.samples.iter().map(|s| s.watts * s.duration_s).sum();
+        let task = AttentionTask::from_counts(512, 512, 64, 220, 210, 40, 6);
+        let report = CtaAccelerator::new(hw).simulate_head(&task);
+        let rel = (trace_j - report.energy.total_j()).abs() / report.energy.total_j();
+        assert!(rel < 0.02, "trace {} vs report {} J", trace_j, report.energy.total_j());
+    }
+
+    #[test]
+    fn peak_exceeds_average() {
+        let (hw, sched) = setup();
+        let trace = power_trace(&hw, &sched, &EnergyModel::default());
+        assert!(trace.peak_w > trace.average_w);
+        assert!(trace.peak_w < 10.0, "peak {} W is implausible", trace.peak_w);
+    }
+
+    #[test]
+    fn compression_steps_draw_less_than_attention_steps() {
+        let (hw, sched) = setup();
+        let trace = power_trace(&hw, &sched, &EnergyModel::default());
+        let max_of = |cat: PhaseKind| {
+            trace
+                .samples
+                .iter()
+                .filter(|s| s.category == cat)
+                .map(|s| s.watts)
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_of(PhaseKind::Compression) < max_of(PhaseKind::Attention));
+    }
+
+    #[test]
+    fn one_sample_per_step() {
+        let (hw, sched) = setup();
+        let trace = power_trace(&hw, &sched, &EnergyModel::default());
+        assert_eq!(trace.samples.len(), sched.steps.len());
+    }
+}

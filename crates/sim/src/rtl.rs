@@ -1,0 +1,383 @@
+//! Register-transfer-level model of the systolic array.
+//!
+//! Where [`SystolicArray`](crate::SystolicArray) evaluates the dataflow
+//! *equations* (which output appears where, at which cycle), this module
+//! steps an explicit register file cycle by cycle: every PE holds a value
+//! register, a result register and two port registers, and each simulated
+//! cycle computes combinational outputs from the *latched* state and then
+//! latches the next state — exactly what synthesised RTL would do. It
+//! exists to validate the dataflow equations the rest of the simulator is
+//! built on; the equivalence tests at the bottom (and the cross-model
+//! tests in `tests/`) are the point.
+//!
+//! Layout conventions (paper Fig. 8): `width` columns × `height` rows, row
+//! 0 at the bottom; data from the left enters column 0 and moves right one
+//! column per cycle; partial sums / bottom streams enter row 0 and move up
+//! one row per cycle; a PPE sits on top of each column.
+
+use cta_tensor::Matrix;
+
+/// One processing element's architectural state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pe {
+    /// Stationary operand (dataflow 1) — loaded before a pass.
+    value: f32,
+    /// Output-stationary accumulator (dataflow 2).
+    result: f32,
+    /// Port register: operand arriving from the left neighbour.
+    left: f32,
+    /// Port register: operand/partial sum arriving from below.
+    bottom: f32,
+}
+
+/// The RTL-level systolic array.
+///
+/// ```
+/// use cta_sim::RtlArray;
+/// use cta_tensor::Matrix;
+///
+/// let mut sa = RtlArray::new(2, 2);
+/// let stationary = Matrix::identity(2);
+/// let inputs = Matrix::from_rows(&[&[3.0, 4.0]]);
+/// let run = sa.run_dataflow1(&stationary, &inputs);
+/// assert_eq!(run.outputs.row(0), &[3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtlArray {
+    width: usize,
+    height: usize,
+    pes: Vec<Pe>,
+    cycle: u64,
+}
+
+/// Result of an RTL pass (either dataflow).
+#[derive(Debug, Clone)]
+pub struct RtlRun {
+    /// Dataflow 1: `T × cols` PPE outputs. Dataflow 2: `rows × height`
+    /// result-register contents after drain.
+    pub outputs: Matrix,
+    /// Cycles this pass advanced the array.
+    pub cycles: u64,
+    /// Dataflow 2 only: per-row sums of the streamed bottom operand
+    /// accumulated by the PPEs (the `ΣAP` the output phase needs for the
+    /// softmax denominator). Empty for dataflow 1.
+    pub ppe_sums: Vec<f32>,
+}
+
+impl RtlArray {
+    /// Creates an array of `width × height` PEs with zeroed registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "array dimensions must be positive");
+        Self { width, height, pes: vec![Pe::default(); width * height], cycle: 0 }
+    }
+
+    /// Total simulated cycles so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.width + col
+    }
+
+    /// Loads stationary values: `stationary[(r, c)]` into PE `(r, c)`.
+    ///
+    /// The real array streams these over `height` cycles through the port
+    /// registers; the mapping simulator charges those cycles, here we load
+    /// architecturally (the register *contents* after loading are what
+    /// matters for the dataflow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stationary` exceeds the array dimensions.
+    pub fn load_values(&mut self, stationary: &Matrix) {
+        assert!(stationary.rows() <= self.height && stationary.cols() <= self.width, "stationary operand larger than the array");
+        for p in &mut self.pes {
+            p.value = 0.0;
+        }
+        for r in 0..stationary.rows() {
+            for c in 0..stationary.cols() {
+                let i = self.idx(r, c);
+                self.pes[i].value = stationary[(r, c)];
+            }
+        }
+    }
+
+    /// Dataflow 1 (Fig. 8a): stationary columns, inputs streamed from the
+    /// left with one-cycle skew per row and per column hop; partial sums
+    /// climb the columns; PPEs emit one dot product per (input, column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes exceed the array or `inputs.cols() != height`.
+    pub fn run_dataflow1(&mut self, stationary: &Matrix, inputs: &Matrix) -> RtlRun {
+        assert_eq!(stationary.rows(), self.height, "stationary must have one row per PE row");
+        assert!(stationary.cols() <= self.width, "too many stationary columns");
+        assert_eq!(inputs.cols(), self.height, "input vectors must match array height");
+        self.load_values(stationary);
+
+        let cols = stationary.cols();
+        let t_count = inputs.rows();
+        // Input t completes in column c at local cycle t + height + c;
+        // the pass drains after t_count-1 + height + cols cycles.
+        let pass_cycles = t_count + self.height + cols;
+        let mut outputs = Matrix::zeros(t_count, cols);
+
+        for local in 0..pass_cycles {
+            // --- Combinational phase: from latched registers.
+            // up_out[r][c] = bottom + value*left ; right_out = left.
+            let mut up_out = vec![0.0f32; self.width * self.height];
+            let mut right_out = vec![0.0f32; self.width * self.height];
+            for r in 0..self.height {
+                for c in 0..cols {
+                    let i = self.idx(r, c);
+                    let pe = self.pes[i];
+                    up_out[i] = pe.bottom + pe.value * pe.left;
+                    right_out[i] = pe.left;
+                }
+            }
+            // PPE sampling: input t is fed into row r's port register at
+            // the end of cycle t + r, so row r computes its partial sum
+            // during cycle t + r + 1 + c, and the complete sum leaves the
+            // top of column c during cycle t + height + c.
+            for c in 0..cols {
+                let top = self.idx(self.height - 1, c);
+                let shift = self.height + c;
+                if local >= shift {
+                    let t = local - shift;
+                    if t < t_count {
+                        outputs[(t, c)] = up_out[top];
+                    }
+                }
+            }
+
+            // --- Latch phase: next-cycle port registers.
+            let mut next = self.pes.clone();
+            for r in 0..self.height {
+                for c in 0..cols {
+                    let i = self.idx(r, c);
+                    // Left port: external feed at column 0 (row r receives
+                    // inputs[t][r] at local cycle t + r), neighbour
+                    // pass-through elsewhere.
+                    next[i].left = if c == 0 {
+                        if local >= r && local - r < t_count {
+                            inputs[(local - r, r)]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        right_out[self.idx(r, c - 1)]
+                    };
+                    // Bottom port: zero at row 0, neighbour's sum above.
+                    next[i].bottom = if r == 0 { 0.0 } else { up_out[self.idx(r - 1, c)] };
+                }
+            }
+            self.pes = next;
+            self.cycle += 1;
+        }
+
+        RtlRun { outputs, cycles: pass_cycles as u64, ppe_sums: Vec::new() }
+    }
+
+    /// Dataflow 2 (Fig. 8b): output-stationary accumulation. The left
+    /// operand's rows stream along the PE *rows* (`bottom_matrix[s][j]`
+    /// enters row `j` at cycle `s + j`), the bottom operand's rows stream
+    /// up the *columns* (`left_matrix[i][s]` enters column `i` at cycle
+    /// `s + i`), and PE `(col i, row j)` accumulates
+    /// `Σ_s left_matrix[i][s] · bottom_matrix[s][j]` — the paper's
+    /// `Ō = AP·V̄` with `left_matrix = AP` and `bottom_matrix = V̄`.
+    /// PPEs accumulate the passing `AP` values into per-column sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes exceed the array or inner dimensions mismatch.
+    pub fn run_dataflow2(&mut self, left_matrix: &Matrix, bottom_matrix: &Matrix) -> RtlRun {
+        let rows_out = left_matrix.rows(); // output rows, one per column used
+        assert!(rows_out <= self.width, "too many output rows for array width");
+        assert_eq!(bottom_matrix.cols(), self.height, "bottom operand must match array height");
+        assert_eq!(left_matrix.cols(), bottom_matrix.rows(), "inner dimension mismatch");
+
+        let t_count = left_matrix.cols();
+        for p in &mut self.pes {
+            p.result = 0.0;
+            p.left = 0.0;
+            p.bottom = 0.0;
+        }
+        let mut ppe_sums = vec![0.0f32; rows_out];
+        let pass_cycles = t_count + rows_out + self.height;
+
+        for local in 0..pass_cycles {
+            // Combinational: result accumulation and forwards.
+            let mut right_out = vec![0.0f32; self.width * self.height];
+            let mut up_out = vec![0.0f32; self.width * self.height];
+            for j in 0..self.height {
+                for i in 0..rows_out {
+                    let idx = self.idx(j, i);
+                    let pe = self.pes[idx];
+                    right_out[idx] = pe.left; // V̄ value moving right
+                    up_out[idx] = pe.bottom; // AP value moving up
+                }
+            }
+            // Accumulate into result registers and latch ports.
+            let mut next = self.pes.clone();
+            for j in 0..self.height {
+                for i in 0..rows_out {
+                    let idx = self.idx(j, i);
+                    let pe = self.pes[idx];
+                    next[idx].result = pe.result + pe.left * pe.bottom;
+                    // V̄[s][j] enters row j (column 0) at cycle s + j.
+                    next[idx].left = if i == 0 {
+                        if local >= j && local - j < t_count {
+                            bottom_matrix[(local - j, j)]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        right_out[self.idx(j, i - 1)]
+                    };
+                    // AP[i][s] enters column i (row 0) at cycle s + i.
+                    next[idx].bottom = if j == 0 {
+                        if local >= i && local - i < t_count {
+                            left_matrix[(i, local - i)]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        up_out[self.idx(j - 1, i)]
+                    };
+                }
+            }
+            // PPEs see the AP values leaving the top of each column.
+            for (i, sum) in ppe_sums.iter_mut().enumerate() {
+                let top = (self.height - 1) * self.width + i;
+                *sum += up_out[top];
+            }
+            self.pes = next;
+            self.cycle += 1;
+        }
+
+        // Read out the result registers (the real array shifts them up a
+        // separate chain, overlapped with the next pass).
+        let mut outputs = Matrix::zeros(rows_out, self.height);
+        for i in 0..rows_out {
+            for j in 0..self.height {
+                outputs[(i, j)] = self.pes[self.idx(j, i)].result;
+            }
+        }
+
+        RtlRun { outputs, cycles: pass_cycles as u64, ppe_sums }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystolicArray;
+    use cta_tensor::MatrixRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dataflow1_identity_passthrough() {
+        let mut sa = RtlArray::new(3, 3);
+        let run = sa.run_dataflow1(&Matrix::identity(3), &Matrix::from_rows(&[&[7.0, 8.0, 9.0]]));
+        assert_eq!(run.outputs.row(0), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn dataflow1_matches_closed_form_model() {
+        let mut rng = MatrixRng::new(5);
+        let stationary = rng.normal_matrix(5, 3, 0.0, 1.0);
+        let inputs = rng.normal_matrix(7, 5, 0.0, 1.0);
+        let mut rtl = RtlArray::new(4, 5);
+        let mut model = SystolicArray::new(4, 5);
+        let r = rtl.run_dataflow1(&stationary, &inputs);
+        let m = model.run_dataflow1(&stationary, &inputs);
+        assert!(r.outputs.approx_eq(&m.outputs, 1e-5));
+        assert_eq!(r.cycles, m.cycles);
+    }
+
+    #[test]
+    fn dataflow2_matches_matrix_product_and_ppe_sums() {
+        let mut rng = MatrixRng::new(9);
+        let ap = rng.normal_matrix(3, 6, 0.0, 1.0);
+        let v = rng.normal_matrix(6, 4, 0.0, 1.0);
+        let mut rtl = RtlArray::new(4, 4);
+        let run = rtl.run_dataflow2(&ap, &v);
+        assert!(run.outputs.approx_eq(&ap.matmul(&v), 1e-5));
+        for (i, &s) in run.ppe_sums.iter().enumerate() {
+            let expect: f32 = ap.row(i).iter().sum();
+            assert!((s - expect).abs() < 1e-4, "column {i}: {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn dataflow2_matches_closed_form_cycles() {
+        let ap = Matrix::zeros(2, 5);
+        let v = Matrix::zeros(5, 3);
+        let mut rtl = RtlArray::new(3, 3);
+        let mut model = SystolicArray::new(3, 3);
+        assert_eq!(rtl.run_dataflow2(&ap, &v).cycles, model.run_dataflow2(&ap, &v).cycles);
+    }
+
+    #[test]
+    fn back_to_back_passes_are_independent() {
+        let mut sa = RtlArray::new(2, 2);
+        let s = Matrix::identity(2);
+        let x1 = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let x2 = Matrix::from_rows(&[&[5.0, 6.0]]);
+        let a = sa.run_dataflow1(&s, &x1);
+        let b = sa.run_dataflow1(&s, &x2);
+        assert_eq!(a.outputs.row(0), &[1.0, 2.0]);
+        assert_eq!(b.outputs.row(0), &[5.0, 6.0]);
+        assert_eq!(sa.cycle(), a.cycles + b.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_size_rejected() {
+        let _ = RtlArray::new(0, 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The RTL register machine and the closed-form dataflow equations
+        /// agree on results and timing for arbitrary shapes.
+        #[test]
+        fn rtl_equals_model_dataflow1(
+            seed in 0u64..200,
+            t in 1usize..8,
+            c in 1usize..4,
+            h in 1usize..6,
+        ) {
+            let mut rng = MatrixRng::new(seed);
+            let stationary = rng.normal_matrix(h, c, 0.0, 1.0);
+            let inputs = rng.normal_matrix(t, h, 0.0, 1.0);
+            let mut rtl = RtlArray::new(c, h);
+            let mut model = SystolicArray::new(c, h);
+            let r = rtl.run_dataflow1(&stationary, &inputs);
+            let m = model.run_dataflow1(&stationary, &inputs);
+            prop_assert!(r.outputs.approx_eq(&m.outputs, 1e-4));
+            prop_assert_eq!(r.cycles, m.cycles);
+        }
+
+        #[test]
+        fn rtl_equals_model_dataflow2(
+            seed in 0u64..200,
+            rows in 1usize..4,
+            t in 1usize..8,
+            h in 1usize..6,
+        ) {
+            let mut rng = MatrixRng::new(seed);
+            let ap = rng.normal_matrix(rows, t, 0.0, 1.0);
+            let v = rng.normal_matrix(t, h, 0.0, 1.0);
+            let mut rtl = RtlArray::new(rows, h);
+            let r = rtl.run_dataflow2(&ap, &v);
+            prop_assert!(r.outputs.approx_eq(&ap.matmul(&v), 1e-4));
+        }
+    }
+}

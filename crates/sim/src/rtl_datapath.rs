@@ -1,0 +1,238 @@
+//! Full-head execution on the register-transfer-level block models.
+//!
+//! The deepest validation tier: one CTA head computed entirely by
+//! [`RtlArray`] passes (explicit per-PE registers) and the cycle-stepped
+//! [`simulate_cim_rtl`] cluster indexer, composed with the CAG/PAG
+//! functional blocks. Its output must match
+//! [`cta_forward`](cta_attention::cta_forward) bit-for-near — the tests at
+//! the bottom and in `tests/` enforce it — which closes the chain
+//!
+//! ```text
+//! algorithm  ==  functional models  ==  RTL register machines
+//! ```
+//!
+//! so the mapping simulator's cycle arithmetic rests on dataflows that are
+//! proven correct at register level.
+
+use cta_attention::{sample_families, AttentionWeights, CtaConfig};
+use cta_fixed::ReciprocalLut;
+use cta_lsh::{Compression, HashCodes, TwoLevelCompression};
+use cta_tensor::Matrix;
+
+use crate::{simulate_cacc, simulate_cavg, simulate_cim_rtl, simulate_pag, HwConfig, RtlArray};
+
+/// Result of the RTL-tier head execution.
+#[derive(Debug, Clone)]
+pub struct RtlDatapathRun {
+    /// Final per-query output (`m × d`).
+    pub output: Matrix,
+    /// Total RTL array cycles across all passes.
+    pub sa_cycles: u64,
+    /// Total cycle-stepped CIM cycles.
+    pub cim_cycles: u64,
+    /// Measured cluster counts `(k₀, k₁, k₂)`.
+    pub cluster_counts: (usize, usize, usize),
+}
+
+/// Executes one CTA head on the RTL block models.
+///
+/// # Panics
+///
+/// Panics if inputs are empty, dimensions mismatch, or the head does not
+/// fit the hardware (`token dim > SA height`).
+pub fn run_rtl_datapath(
+    queries: &Matrix,
+    keys_values: &Matrix,
+    weights: &AttentionWeights,
+    config: &CtaConfig,
+    hw: &HwConfig,
+) -> RtlDatapathRun {
+    assert!(queries.rows() > 0 && keys_values.rows() > 0, "empty token matrices");
+    let d = weights.token_dim();
+    assert_eq!(weights.head_dim(), d, "this hardware assumes token dim == head dim");
+    assert!(d <= hw.sa_height, "token dim {d} exceeds SA height {}", hw.sa_height);
+
+    let mut sa = RtlArray::new(hw.sa_width.max(config.hash_length), d);
+    let mut cim_cycles = 0u64;
+    let recip = ReciprocalLut::new(queries.rows().max(keys_values.rows()));
+    let [f0, f1, f2] = sample_families(config, d);
+
+    // Hash + cluster + centroid, one level, all on RTL blocks.
+    let mut level = |tokens: &Matrix, family: &cta_lsh::LshFamily| -> Compression {
+        let run = sa.run_dataflow1(&family.directions().transpose(), tokens);
+        let l = family.hash_length();
+        let mut values = Vec::with_capacity(tokens.rows() * l);
+        for t in 0..tokens.rows() {
+            for i in 0..l {
+                // PPE: add bias, multiply 1/w, keep integer bits.
+                let proj = run.outputs[(t, i)] + family.biases()[i];
+                values.push((proj / family.bucket_width()).floor() as i32);
+            }
+        }
+        let cim = simulate_cim_rtl(&HashCodes::from_flat(tokens.rows(), l, values));
+        cim_cycles += cim.cycles;
+        let acc = simulate_cacc(tokens, &cim.table);
+        let avg = simulate_cavg(&acc.sums, &acc.counts, &recip);
+        Compression { centroids: avg.centroids, counts: acc.counts, table: cim.table }
+    };
+
+    let query_compression = level(queries, &f0);
+    let level1 = level(keys_values, &f1);
+    let residuals = keys_values.sub(&level1.centroids.gather_rows(level1.table.indices()));
+    let level2 = level(&residuals, &f2);
+    let kv = TwoLevelCompression { level1, level2 };
+    let k1 = kv.k1();
+
+    // Linears: batched dataflow-1 passes with centroid batches stationary.
+    let mut linear = |centroids: &Matrix, w: &Matrix| -> Matrix {
+        let mut out = Matrix::zeros(centroids.rows(), w.cols());
+        let b = hw.sa_width;
+        let mut start = 0usize;
+        while start < centroids.rows() {
+            let end = (start + b).min(centroids.rows());
+            let run = sa.run_dataflow1(&centroids.slice_rows(start, end).transpose(), &w.transpose());
+            for c in 0..end - start {
+                for j in 0..w.cols() {
+                    out[(start + c, j)] = run.outputs[(j, c)];
+                }
+            }
+            start = end;
+        }
+        out
+    };
+    let c_cat = kv.concatenated_centroids();
+    let q_bar = linear(&query_compression.centroids, weights.wq());
+    let k_bar = linear(&c_cat, weights.wk());
+    let v_bar = linear(&c_cat, weights.wv());
+
+    // Scores with the PPE scale + max subtraction.
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut scores_bar = Matrix::zeros(q_bar.rows(), k_bar.rows());
+    {
+        let b = hw.sa_width;
+        let mut start = 0usize;
+        while start < q_bar.rows() {
+            let end = (start + b).min(q_bar.rows());
+            let run = sa.run_dataflow1(&q_bar.slice_rows(start, end).transpose(), &k_bar);
+            for c in 0..end - start {
+                for j in 0..k_bar.rows() {
+                    scores_bar[(start + c, j)] = run.outputs[(j, c)] * scale;
+                }
+            }
+            start = end;
+        }
+    }
+    for r in 0..scores_bar.rows() {
+        let row = scores_bar.row_mut(r);
+        let max = row[..k1].iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        for x in &mut row[k1..] {
+            *x -= max;
+        }
+    }
+
+    let pag = simulate_pag(
+        &scores_bar,
+        &kv.level1.table,
+        &kv.level2.table,
+        k1,
+        hw.pag_tiles,
+        hw.pag_iters_per_tile,
+        f32::exp,
+    );
+
+    // Output phase: dataflow-2 RTL passes; the PPE sums give ΣAP directly.
+    let ap = &pag.ap;
+    let mut output_bar = Matrix::zeros(ap.rows(), d);
+    let mut denominators = vec![0.0f32; ap.rows()];
+    {
+        let b = hw.sa_width;
+        let mut start = 0usize;
+        while start < ap.rows() {
+            let end = (start + b).min(ap.rows());
+            let run = sa.run_dataflow2(&ap.slice_rows(start, end), &v_bar);
+            for r in 0..end - start {
+                output_bar.row_mut(start + r).copy_from_slice(run.outputs.row(r));
+                denominators[start + r] = run.ppe_sums[r] / 2.0;
+            }
+            start = end;
+        }
+    }
+
+    let ct0 = &query_compression.table;
+    let mut output = Matrix::zeros(queries.rows(), d);
+    for i in 0..queries.rows() {
+        let c = ct0.cluster_of(i);
+        for (o, &x) in output.row_mut(i).iter_mut().zip(output_bar.row(c)) {
+            *o = x / denominators[c];
+        }
+    }
+
+    RtlDatapathRun {
+        output,
+        sa_cycles: sa.cycle(),
+        cim_cycles,
+        cluster_counts: (query_compression.k(), kv.k1(), kv.k2()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_functional_datapath;
+    use cta_attention::cta_forward;
+    use cta_tensor::{relative_error, standard_normal_matrix};
+    use proptest::prelude::*;
+
+    fn hw() -> HwConfig {
+        HwConfig { sa_height: 8, ..HwConfig::paper() }
+    }
+
+    #[test]
+    fn rtl_head_matches_software() {
+        let x = standard_normal_matrix(5, 20, 8);
+        let w = AttentionWeights::random(8, 8, 6);
+        let cfg = CtaConfig::uniform(2.0, 7);
+        let rtl = run_rtl_datapath(&x, &x, &w, &cfg, &hw());
+        let sw = cta_forward(&x, &x, &w, &cfg);
+        let err = relative_error(&rtl.output, &sw.output);
+        assert!(err < 1e-4, "RTL vs software error {err}");
+        assert_eq!(rtl.cluster_counts, (sw.k0(), sw.k1(), sw.k2()));
+    }
+
+    #[test]
+    fn rtl_head_matches_functional_tier() {
+        let x = standard_normal_matrix(9, 16, 8);
+        let w = AttentionWeights::random(8, 8, 2);
+        let cfg = CtaConfig::uniform(1.5, 3);
+        let hwc = hw();
+        let rtl = run_rtl_datapath(&x, &x, &w, &cfg, &hwc);
+        let fun = run_functional_datapath(&x, &x, &w, &cfg, &hwc);
+        assert!(rtl.output.approx_eq(&fun.output, 1e-4));
+        assert_eq!(rtl.cluster_counts, fun.cluster_counts);
+    }
+
+    #[test]
+    fn ppe_sums_supply_the_denominator() {
+        // The softmax denominator comes from the PPEs in the output phase;
+        // the division must still normalise correctly (outputs inside the
+        // convex hull of the compressed values).
+        let x = standard_normal_matrix(13, 12, 8);
+        let w = AttentionWeights::random(8, 8, 14);
+        let rtl = run_rtl_datapath(&x, &x, &w, &CtaConfig::uniform(2.0, 15), &hw());
+        assert!(rtl.output.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn rtl_software_equivalence(seed in 0u64..60) {
+            let x = standard_normal_matrix(seed, 12, 8);
+            let w = AttentionWeights::random(8, 8, seed + 1);
+            let cfg = CtaConfig::uniform(2.0, seed + 2);
+            let rtl = run_rtl_datapath(&x, &x, &w, &cfg, &hw());
+            let sw = cta_forward(&x, &x, &w, &cfg);
+            prop_assert!(relative_error(&rtl.output, &sw.output) < 1e-3);
+        }
+    }
+}

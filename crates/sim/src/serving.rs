@@ -1,0 +1,187 @@
+//! Request-level serving simulation on the CTA system.
+//!
+//! An inference service receives requests over time; each request runs a
+//! whole model's attention on the unit pool. This module plays a seeded
+//! arrival trace through a FIFO queue over [`CtaSystem`], producing the
+//! latency distribution and sustained throughput — the deployment-facing
+//! view of the paper's throughput numbers.
+
+use crate::{AttentionTask, CtaSystem};
+
+/// One inference request: an arrival time plus the per-layer head tasks
+/// of its model.
+#[derive(Debug, Clone)]
+pub struct ServingRequest {
+    /// Arrival time, seconds from trace start.
+    pub arrival_s: f64,
+    /// Per-layer head tasks (layer-major, as `CtaSystem::run_layers`
+    /// takes them).
+    pub layer_tasks: Vec<Vec<AttentionTask>>,
+}
+
+impl ServingRequest {
+    /// A request whose every layer runs `heads` copies of one head task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`, `heads == 0`, or `arrival_s < 0`.
+    pub fn uniform(arrival_s: f64, task: AttentionTask, layers: usize, heads: usize) -> Self {
+        assert!(layers > 0 && heads > 0, "layers and heads must be positive");
+        assert!(arrival_s >= 0.0, "arrival time must be non-negative");
+        Self { arrival_s, layer_tasks: vec![vec![task; heads]; layers] }
+    }
+}
+
+/// Latency/throughput statistics of a served trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingMetrics {
+    /// Requests completed.
+    pub completed: usize,
+    /// Completions per second over the busy interval.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency (queueing + service), seconds.
+    pub mean_latency_s: f64,
+    /// Median latency.
+    pub p50_s: f64,
+    /// 95th-percentile latency.
+    pub p95_s: f64,
+    /// 99th-percentile latency.
+    pub p99_s: f64,
+    /// Fraction of the trace during which the pool was busy.
+    pub busy_fraction: f64,
+}
+
+/// Plays `requests` (must be sorted by arrival) through a FIFO queue over
+/// the system.
+///
+/// # Panics
+///
+/// Panics if `requests` is empty or not sorted by arrival time.
+pub fn simulate_serving(system: &CtaSystem, requests: &[ServingRequest]) -> ServingMetrics {
+    assert!(!requests.is_empty(), "at least one request");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival time"
+    );
+
+    let mut clock = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(requests.len());
+    for r in requests {
+        let start = clock.max(r.arrival_s);
+        let service = system.run_layers(&r.layer_tasks).total_s;
+        clock = start + service;
+        busy += service;
+        latencies.push(clock - r.arrival_s);
+    }
+    let span = clock.max(f64::EPSILON);
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    ServingMetrics {
+        completed: requests.len(),
+        throughput_rps: requests.len() as f64 / span,
+        mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
+        p50_s: pct(0.50),
+        p95_s: pct(0.95),
+        p99_s: pct(0.99),
+        busy_fraction: busy / span,
+    }
+}
+
+/// Generates a seeded Poisson-like arrival trace of `count` identical
+/// requests at `rate_rps` mean arrivals/second (exponential inter-arrival
+/// times via inverse transform).
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `rate_rps <= 0`.
+pub fn poisson_trace(
+    count: usize,
+    rate_rps: f64,
+    task: AttentionTask,
+    layers: usize,
+    heads: usize,
+    seed: u64,
+) -> Vec<ServingRequest> {
+    assert!(count > 0, "at least one request");
+    assert!(rate_rps > 0.0, "rate must be positive");
+    let mut rng = cta_tensor::MatrixRng::new(seed);
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.uniform(1e-6, 1.0) as f64;
+            t += -u.ln() / rate_rps;
+            ServingRequest::uniform(t, task, layers, heads)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+
+    fn system() -> CtaSystem {
+        CtaSystem::new(SystemConfig::paper())
+    }
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 200, 180, 40, 6)
+    }
+
+    #[test]
+    fn single_request_latency_is_pure_service() {
+        let sys = system();
+        let r = ServingRequest::uniform(0.0, task(), 4, 12);
+        let service = sys.run_layers(&r.layer_tasks).total_s;
+        let m = simulate_serving(&sys, &[r]);
+        assert!((m.mean_latency_s - service).abs() < 1e-12);
+        assert_eq!(m.completed, 1);
+        assert!((m.busy_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_grows_tail_latency() {
+        let sys = system();
+        let service = sys.run_layers(&vec![vec![task(); 12]; 4]).total_s;
+        // Arrivals at 3x the service rate: queue builds, p99 >> p50 of a
+        // light load.
+        let heavy = poisson_trace(60, 3.0 / service, task(), 4, 12, 1);
+        let light = poisson_trace(60, 0.2 / service, task(), 4, 12, 2);
+        let mh = simulate_serving(&sys, &heavy);
+        let ml = simulate_serving(&sys, &light);
+        assert!(mh.p99_s > ml.p99_s * 2.0, "heavy p99 {} vs light p99 {}", mh.p99_s, ml.p99_s);
+        assert!(mh.busy_fraction > ml.busy_fraction);
+    }
+
+    #[test]
+    fn throughput_saturates_at_service_rate() {
+        let sys = system();
+        let service = sys.run_layers(&vec![vec![task(); 12]; 4]).total_s;
+        let heavy = poisson_trace(80, 10.0 / service, task(), 4, 12, 3);
+        let m = simulate_serving(&sys, &heavy);
+        assert!(m.throughput_rps <= 1.0 / service * 1.01);
+        assert!(m.throughput_rps > 1.0 / service * 0.9);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let sys = system();
+        let trace = poisson_trace(50, 1000.0, task(), 2, 12, 4);
+        let m = simulate_serving(&sys, &trace);
+        assert!(m.p50_s <= m.p95_s && m.p95_s <= m.p99_s);
+        assert!(m.mean_latency_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_trace_rejected() {
+        let sys = system();
+        let a = ServingRequest::uniform(1.0, task(), 1, 1);
+        let b = ServingRequest::uniform(0.0, task(), 1, 1);
+        let _ = simulate_serving(&sys, &[a, b]);
+    }
+}

@@ -1,0 +1,252 @@
+//! System-level model: a pool of CTA units serving whole models.
+//!
+//! The paper's deployment (Fig. 7, §VI-C) attaches CTA units to a host
+//! device that feeds tokens and weights and consumes outputs: 12 units
+//! process the heads of a layer in parallel, layers run back to back, and
+//! host transfers can overlap the previous layer's compute. This module
+//! schedules arbitrary per-layer head tasks onto `units` accelerators and
+//! accounts for host-link traffic, producing the end-to-end attention
+//! timeline that the §VI-C speedups compose with GPU-resident FFN time.
+
+use crate::{AttentionTask, CtaAccelerator, HwConfig};
+
+/// Configuration of the multi-unit system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Number of CTA units (the paper evaluates 12).
+    pub units: usize,
+    /// Effective host-link bandwidth, GB/s (PCIe 3.0 x16 sustains ~12).
+    pub host_link_gbs: f64,
+    /// Host-link energy per transferred bit, pJ.
+    pub link_pj_per_bit: f64,
+    /// Per-unit hardware configuration.
+    pub hw: HwConfig,
+    /// Whether layer `l+1`'s input transfer overlaps layer `l`'s compute
+    /// (double-buffered token memory).
+    pub overlap_transfers: bool,
+}
+
+impl SystemConfig {
+    /// The paper's system: 12 units at the reference configuration.
+    pub fn paper() -> Self {
+        Self {
+            units: 12,
+            host_link_gbs: 12.0,
+            link_pj_per_bit: 10.0,
+            hw: HwConfig::paper(),
+            overlap_transfers: true,
+        }
+    }
+}
+
+/// Timeline and energy of one model's attention running on the system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemRun {
+    /// One-time weight upload (linear weights + LSH parameters for every
+    /// unit) before the first layer, seconds.
+    pub weight_upload_s: f64,
+    /// Pure accelerator compute time, seconds (sum over layers of the
+    /// slowest unit).
+    pub compute_s: f64,
+    /// Host-link transfer time, seconds (total bits over bandwidth).
+    pub transfer_s: f64,
+    /// End-to-end time with the configured overlap policy.
+    pub total_s: f64,
+    /// Per-layer critical-path times.
+    pub per_layer_s: Vec<f64>,
+    /// Accelerator + link energy, joules.
+    pub energy_j: f64,
+    /// Mean unit utilisation during compute phases, in `(0, 1]`.
+    pub utilization: f64,
+}
+
+/// A pool of CTA units plus the host link.
+#[derive(Debug, Clone)]
+pub struct CtaSystem {
+    config: SystemConfig,
+    accelerator: CtaAccelerator,
+}
+
+impl CtaSystem {
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or the bandwidth is not positive.
+    pub fn new(config: SystemConfig) -> Self {
+        assert!(config.units > 0, "at least one unit");
+        assert!(config.host_link_gbs > 0.0, "host link bandwidth must be positive");
+        Self { accelerator: CtaAccelerator::new(config.hw), config }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Schedules one layer's head tasks across the units (longest-
+    /// processing-time-first), returning `(critical path seconds,
+    /// summed compute seconds, summed energy joules)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or a task does not fit the hardware.
+    pub fn schedule_layer(&self, tasks: &[AttentionTask]) -> (f64, f64, f64) {
+        assert!(!tasks.is_empty(), "a layer needs at least one head task");
+        let mut reports: Vec<(f64, f64)> = tasks
+            .iter()
+            .map(|t| {
+                let r = self.accelerator.simulate_head(t);
+                (r.latency_s, r.energy.total_j())
+            })
+            .collect();
+        // LPT list scheduling onto `units` machines.
+        reports.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite latencies"));
+        let mut unit_time = vec![0.0f64; self.config.units];
+        let mut energy = 0.0;
+        let mut busy = 0.0;
+        for (lat, e) in reports {
+            let u = unit_time
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .map(|(i, _)| i)
+                .expect("non-empty units");
+            unit_time[u] += lat;
+            energy += e;
+            busy += lat;
+        }
+        let critical = unit_time.iter().cloned().fold(0.0, f64::max);
+        (critical, busy, energy)
+    }
+
+    /// Runs a whole model: `layer_tasks[l]` holds the per-head tasks of
+    /// layer `l`. Transfers move the layer's token activations in and out
+    /// (13-bit tokens, `n × heads·d` each way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer is empty.
+    pub fn run_layers(&self, layer_tasks: &[Vec<AttentionTask>]) -> SystemRun {
+        assert!(!layer_tasks.is_empty(), "at least one layer");
+        // One-time upload: per unit, three d×d 12-bit weight matrices plus
+        // the shared LSH parameters (paper Fig. 7: weight memory "fetches
+        // tokens and weights from host device").
+        let d = self.config.hw.sa_height as f64;
+        let l = self.config.hw.hash_length as f64;
+        let weight_bits = self.config.units as f64 * (3.0 * d * d + (l + 1.0) * d) * 12.0;
+        let weight_upload_s = weight_bits / (self.config.host_link_gbs * 8e9);
+        let mut compute_s = 0.0;
+        let mut busy_s = 0.0;
+        let mut transfer_s = 0.0;
+        let mut energy_j = 0.0;
+        let mut per_layer_s = Vec::with_capacity(layer_tasks.len());
+
+        for tasks in layer_tasks {
+            let (critical, busy, energy) = self.schedule_layer(tasks);
+            // Transfer: activations in + out, 13 bits per element.
+            let elems: u64 = tasks.iter().map(|t| (t.num_queries * t.head_dim) as u64).sum();
+            let bits = 2.0 * elems as f64 * 13.0;
+            let t_xfer = bits / (self.config.host_link_gbs * 8e9);
+            let layer_time = if self.config.overlap_transfers {
+                critical.max(t_xfer)
+            } else {
+                critical + t_xfer
+            };
+            compute_s += critical;
+            busy_s += busy;
+            transfer_s += t_xfer;
+            energy_j += energy + bits * self.config.link_pj_per_bit * 1e-12;
+            per_layer_s.push(layer_time);
+        }
+
+        let total_s: f64 = weight_upload_s + per_layer_s.iter().sum::<f64>();
+        let utilization = busy_s / (compute_s * self.config.units as f64);
+        energy_j += weight_bits * self.config.link_pj_per_bit * 1e-12;
+        SystemRun { weight_upload_s, compute_s, transfer_s, total_s, per_layer_s, energy_j, utilization }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 200, 180, 40, 6)
+    }
+
+    fn uniform_layers(layers: usize, heads: usize) -> Vec<Vec<AttentionTask>> {
+        (0..layers).map(|_| vec![task(); heads]).collect()
+    }
+
+    #[test]
+    fn twelve_identical_heads_fill_twelve_units() {
+        let sys = CtaSystem::new(SystemConfig::paper());
+        let run = sys.run_layers(&uniform_layers(1, 12));
+        // One wave: layer time = one head's latency; full utilisation.
+        let single = CtaAccelerator::new(HwConfig::paper()).simulate_head(&task()).latency_s;
+        assert!((run.compute_s - single).abs() / single < 1e-9);
+        assert!((run.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sixteen_heads_take_two_waves() {
+        let sys = CtaSystem::new(SystemConfig::paper());
+        let run = sys.run_layers(&uniform_layers(1, 16));
+        let single = CtaAccelerator::new(HwConfig::paper()).simulate_head(&task()).latency_s;
+        assert!((run.compute_s - 2.0 * single).abs() / single < 1e-9);
+        assert!(run.utilization < 1.0);
+    }
+
+    #[test]
+    fn layers_accumulate() {
+        let sys = CtaSystem::new(SystemConfig::paper());
+        let one = sys.run_layers(&uniform_layers(1, 12));
+        let four = sys.run_layers(&uniform_layers(4, 12));
+        let one_layer = one.total_s - one.weight_upload_s;
+        let four_layers = four.total_s - four.weight_upload_s;
+        assert!((four_layers - 4.0 * one_layer).abs() / one_layer < 1e-6);
+        assert_eq!(four.per_layer_s.len(), 4);
+        assert!(four.weight_upload_s > 0.0);
+        assert_eq!(four.weight_upload_s, one.weight_upload_s);
+    }
+
+    #[test]
+    fn overlap_hides_transfers_when_compute_bound() {
+        let overlapped = CtaSystem::new(SystemConfig::paper());
+        let serial = CtaSystem::new(SystemConfig { overlap_transfers: false, ..SystemConfig::paper() });
+        let layers = uniform_layers(2, 12);
+        let a = overlapped.run_layers(&layers);
+        let b = serial.run_layers(&layers);
+        assert!(a.total_s < b.total_s);
+        assert_eq!(a.transfer_s, b.transfer_s);
+    }
+
+    #[test]
+    fn lpt_balances_mixed_head_sizes() {
+        // Two big and many small heads on 2 units: LPT puts the big ones
+        // on different units.
+        let sys = CtaSystem::new(SystemConfig { units: 2, ..SystemConfig::paper() });
+        let big = AttentionTask::from_counts(512, 512, 64, 400, 380, 80, 6);
+        let small = AttentionTask::from_counts(512, 512, 64, 60, 50, 20, 6);
+        let acc = CtaAccelerator::new(HwConfig::paper());
+        let (critical, _, _) = sys.schedule_layer(&[big, big, small, small]);
+        let big_t = acc.simulate_head(&big).latency_s;
+        let small_t = acc.simulate_head(&small).latency_s;
+        assert!((critical - (big_t + small_t)).abs() / big_t < 1e-9, "critical {critical}");
+    }
+
+    #[test]
+    fn energy_includes_link_energy() {
+        let expensive_link = CtaSystem::new(SystemConfig { link_pj_per_bit: 1000.0, ..SystemConfig::paper() });
+        let cheap_link = CtaSystem::new(SystemConfig { link_pj_per_bit: 0.0, ..SystemConfig::paper() });
+        let layers = uniform_layers(1, 12);
+        assert!(expensive_link.run_layers(&layers).energy_j > cheap_link.run_layers(&layers).energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_units_rejected() {
+        let _ = CtaSystem::new(SystemConfig { units: 0, ..SystemConfig::paper() });
+    }
+}

@@ -1,0 +1,127 @@
+//! The workload descriptor the simulator consumes.
+
+use cta_attention::CtaAttention;
+
+/// One head of CTA attention as seen by the accelerator: problem sizes plus
+/// the measured cluster counts of the compression.
+///
+/// The cycle model only needs shapes — the *data* was validated by the
+/// functional hardware models — so a task is cheap to construct either
+/// from a real [`CtaAttention`] forward pass or from synthetic counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionTask {
+    /// Number of query tokens `m`.
+    pub num_queries: usize,
+    /// Number of key/value tokens `n`.
+    pub num_keys: usize,
+    /// Head dimension `d` (the accelerator assumes embedded tokens of the
+    /// same dimension, matching the paper's `d = 64` hardware sizing).
+    pub head_dim: usize,
+    /// Compressed query count `k₀`.
+    pub k0: usize,
+    /// Level-1 KV cluster count `k₁`.
+    pub k1: usize,
+    /// Level-2 (residual) KV cluster count `k₂`.
+    pub k2: usize,
+    /// Hash code length `l` used by the compression.
+    pub hash_length: usize,
+}
+
+impl AttentionTask {
+    /// Builds a task from explicit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, or if a cluster count exceeds its
+    /// token count (`k₀ ≤ m`, `k₁ ≤ n`, `k₂ ≤ n`).
+    pub fn from_counts(
+        num_queries: usize,
+        num_keys: usize,
+        head_dim: usize,
+        k0: usize,
+        k1: usize,
+        k2: usize,
+        hash_length: usize,
+    ) -> Self {
+        assert!(num_queries > 0 && num_keys > 0 && head_dim > 0, "dimensions must be positive");
+        assert!(k0 > 0 && k1 > 0 && k2 > 0, "cluster counts must be positive");
+        assert!(hash_length > 0, "hash length must be positive");
+        assert!(k0 <= num_queries, "k₀ = {k0} exceeds m = {num_queries}");
+        assert!(k1 <= num_keys, "k₁ = {k1} exceeds n = {num_keys}");
+        assert!(k2 <= num_keys, "k₂ = {k2} exceeds n = {num_keys}");
+        Self { num_queries, num_keys, head_dim, k0, k1, k2, hash_length }
+    }
+
+    /// Extracts the task of a completed CTA forward pass.
+    ///
+    /// `hash_length` comes from the [`CtaConfig`](cta_attention::CtaConfig)
+    /// that produced `cta`.
+    pub fn from_cta(cta: &CtaAttention, hash_length: usize) -> Self {
+        Self::from_counts(
+            cta.num_queries(),
+            cta.num_keys(),
+            cta.v_bar.cols(),
+            cta.k0(),
+            cta.k1(),
+            cta.k2(),
+            hash_length,
+        )
+    }
+
+    /// A task describing *uncompressed* attention at the same sizes
+    /// (`k₀ = m`, `k₁ = n`, `k₂ = 1`); the degenerate point used by
+    /// speed-of-light sanity checks.
+    pub fn uncompressed(seq_len: usize, head_dim: usize, hash_length: usize) -> Self {
+        Self::from_counts(seq_len, seq_len, head_dim, seq_len, seq_len, 1, hash_length)
+    }
+
+    /// Total compressed KV centroid count `k₁ + k₂`.
+    pub fn k_cat(&self) -> usize {
+        self.k1 + self.k2
+    }
+
+    /// The proportion of effective relations (Fig. 2 metric).
+    pub fn effective_relations(&self) -> f64 {
+        self.k0 as f64 * self.k_cat() as f64 / (self.num_queries as f64 * self.num_keys as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_validates() {
+        let t = AttentionTask::from_counts(512, 512, 64, 64, 96, 48, 6);
+        assert_eq!(t.k_cat(), 144);
+        assert!((t.effective_relations() - 64.0 * 144.0 / (512.0 * 512.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds m")]
+    fn k0_cannot_exceed_queries() {
+        let _ = AttentionTask::from_counts(8, 8, 4, 9, 4, 2, 6);
+    }
+
+    #[test]
+    fn uncompressed_task_has_full_relations() {
+        let t = AttentionTask::uncompressed(128, 64, 6);
+        assert_eq!(t.k0, 128);
+        assert_eq!(t.k1, 128);
+        assert!(t.effective_relations() > 1.0); // (n·(n+1))/n² slightly above 1
+    }
+
+    #[test]
+    fn from_cta_matches_artifacts() {
+        use cta_attention::{cta_forward, AttentionWeights, CtaConfig};
+        use cta_tensor::standard_normal_matrix;
+        let x = standard_normal_matrix(3, 16, 8);
+        let w = AttentionWeights::random(8, 8, 4);
+        let cfg = CtaConfig::uniform(2.0, 5);
+        let cta = cta_forward(&x, &x, &w, &cfg);
+        let task = AttentionTask::from_cta(&cta, cfg.hash_length);
+        assert_eq!(task.num_queries, 16);
+        assert_eq!(task.k0, cta.k0());
+        assert_eq!(task.head_dim, 8);
+    }
+}

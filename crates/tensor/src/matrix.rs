@@ -1,0 +1,394 @@
+//! The dense row-major matrix type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f32` matrix.
+///
+/// This is the workhorse value type of the whole workspace: token matrices,
+/// weight matrices, centroid tables, attention scores and outputs are all
+/// `Matrix` values. Storage is a single contiguous `Vec<f32>` so that row
+/// slices can be handed out as `&[f32]` without copies.
+///
+/// # Example
+///
+/// ```
+/// use cta_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// ```
+    /// use cta_tensor::Matrix;
+    /// let z = Matrix::zeros(2, 2);
+    /// assert_eq!(z[(0, 0)], 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length, or if `rows` is
+    /// empty (an empty matrix has no well-defined column count).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "Matrix::from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {i} has length {} but row 0 has {cols}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length {} does not match {rows}x{cols}", data.len());
+        Self { rows, cols, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        let c = self.cols;
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// The flat row-major element slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat row-major element slice, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix consisting of the given rows of `self`, in order.
+    ///
+    /// Indices may repeat; this is how cluster tables (`CT`) expand centroid
+    /// matrices back to full token-sequence length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Returns the sub-matrix of rows `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "invalid row range {start}..{end} for {} rows", self.rows);
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// This implements the row-dimension concatenation `C^cat = [C¹; C²]`
+    /// used by the CTA linear transformations (paper eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack requires equal column counts ({} vs {})", self.cols, other.cols);
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Maximum absolute element value (0.0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm: `sqrt(sum of squared elements)`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Element-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        // Show at most 8 rows / 8 cols to keep assertion failures readable.
+        let show_r = self.rows.min(8);
+        let show_c = self.cols.min(8);
+        for r in 0..show_r {
+            write!(f, "  [")?;
+            for c in 0..show_c {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(r, c)])?;
+            }
+            if show_c < self.cols {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if show_r < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_from_fn() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_fn(2, 2, |r, c| (r * 2 + c + 1) as f32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat data length")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn row_access_and_mutation() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(1).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(m.row(1), &[5.0, 6.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.row(2);
+    }
+
+    #[test]
+    fn gather_rows_repeats_and_reorders() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(1), &[1.0, 1.0]);
+        assert_eq!(g.row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0]]);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (3, 1));
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn slice_rows_extracts_window() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let s = m.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[1.0, 1.0]);
+        assert_eq!(s.row(1), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let m2 = m.map(f32::abs);
+        assert_eq!(m2.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit_rows() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let b = Matrix::from_rows(&[&[1.0005]]);
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let m = Matrix::zeros(1, 1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+
+    #[test]
+    fn rows_iter_yields_all_rows() {
+        let m = Matrix::from_fn(3, 2, |r, _| r as f32);
+        let rows: Vec<&[f32]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[2.0, 2.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Neural-network elementwise operations used by the transformer-layer
+//! substrate: layer normalisation and GELU.
+
+use crate::Matrix;
+
+/// Row-wise layer normalisation: each row is standardised to zero mean and
+/// unit variance, then scaled by `gamma` and shifted by `beta`.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from the column count.
+///
+/// ```
+/// use cta_tensor::{layer_norm_rows, Matrix};
+/// let x = Matrix::from_rows(&[&[1.0, 3.0]]);
+/// let y = layer_norm_rows(&x, &[1.0, 1.0], &[0.0, 0.0]);
+/// assert!((y[(0, 0)] + 1.0).abs() < 1e-3);
+/// assert!((y[(0, 1)] - 1.0).abs() < 1e-3);
+/// ```
+pub fn layer_norm_rows(x: &Matrix, gamma: &[f32], beta: &[f32]) -> Matrix {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    const EPS: f32 = 1e-5;
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let n = row.len() as f32;
+        let mean: f32 = row.iter().sum::<f32>() / n;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var + EPS).sqrt();
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+    out
+}
+
+/// The GELU activation (tanh approximation, as transformer stacks use).
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Element-wise GELU over a matrix.
+pub fn gelu_matrix(x: &Matrix) -> Matrix {
+    x.map(gelu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_norm_standardises_rows() {
+        let x = Matrix::from_rows(&[&[2.0, 4.0, 6.0], &[-1.0, 0.0, 1.0]]);
+        let y = layer_norm_rows(&x, &[1.0; 3], &[0.0; 3]);
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 3.0;
+            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_applies_gamma_beta() {
+        let x = Matrix::from_rows(&[&[1.0, 3.0]]);
+        let y = layer_norm_rows(&x, &[2.0, 2.0], &[10.0, 10.0]);
+        assert!((y[(0, 0)] - 8.0).abs() < 1e-3);
+        assert!((y[(0, 1)] - 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma length")]
+    fn layer_norm_rejects_bad_gamma() {
+        let _ = layer_norm_rows(&Matrix::zeros(1, 3), &[1.0], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-5.0).abs() < 1e-3);
+        assert!((gelu(5.0) - 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gelu_is_monotone_on_positive_axis() {
+        let mut prev = gelu(0.0);
+        for i in 1..50 {
+            let v = gelu(i as f32 * 0.2);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn gelu_matrix_applies_elementwise() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let y = gelu_matrix(&x);
+        assert_eq!(y[(0, 0)], 0.0);
+        assert!((y[(0, 1)] - gelu(1.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Seeded random matrix initialisation.
+//!
+//! All randomness in the workspace flows through [`MatrixRng`] so that every
+//! experiment is reproducible from a single `u64` seed: workload generation,
+//! LSH parameter sampling and weight initialisation each derive their own
+//! stream from the experiment seed.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Matrix;
+
+/// A seeded random source for matrix initialisation.
+///
+/// Thin wrapper over [`StdRng`] that adds the matrix constructors the CTA
+/// crates need. Two `MatrixRng`s built from the same seed produce identical
+/// streams.
+///
+/// ```
+/// use cta_tensor::MatrixRng;
+/// let a = MatrixRng::new(7).normal_matrix(2, 2, 0.0, 1.0);
+/// let b = MatrixRng::new(7).normal_matrix(2, 2, 0.0, 1.0);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixRng {
+    rng: StdRng,
+}
+
+impl MatrixRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; used to give each module of
+    /// an experiment (workload, LSH₀, LSH₁, LSH₂, weights) its own stream.
+    pub fn fork(&mut self) -> MatrixRng {
+        MatrixRng::new(self.rng.gen())
+    }
+
+    /// A `rows × cols` matrix with elements drawn from `N(mean, std²)`.
+    ///
+    /// Uses the Box–Muller transform so the only `rand` surface we rely on
+    /// is the uniform generator.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        while data.len() < rows * cols {
+            let (z0, z1) = self.box_muller();
+            data.push(mean + std * z0);
+            if data.len() < rows * cols {
+                data.push(mean + std * z1);
+            }
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// A `rows × cols` matrix with elements drawn from `U[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_matrix(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        assert!(lo < hi, "uniform_matrix requires lo < hi (got {lo}..{hi})");
+        Matrix::from_fn(rows, cols, |_, _| self.rng.gen_range(lo..hi))
+    }
+
+    /// A single standard-normal draw.
+    pub fn normal(&mut self) -> f32 {
+        self.box_muller().0
+    }
+
+    /// A single uniform draw from `U[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "uniform requires lo < hi (got {lo}..{hi})");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A uniform integer in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index requires a non-empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Samples from an arbitrary `rand` distribution.
+    pub fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+        dist.sample(&mut self.rng)
+    }
+
+    fn box_muller(&mut self) -> (f32, f32) {
+        // u0 in (0, 1] so ln(u0) is finite.
+        let u0: f32 = 1.0 - self.rng.gen::<f32>();
+        let u1: f32 = self.rng.gen();
+        let r = (-2.0 * u0.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u1;
+        (r * theta.cos(), r * theta.sin())
+    }
+}
+
+/// Convenience constructor for a standard-normal matrix from a fresh seed.
+pub fn standard_normal_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    MatrixRng::new(seed).normal_matrix(rows, cols, 0.0, 1.0)
+}
+
+/// Convenience constructor for a uniform matrix from a fresh seed.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform_matrix(seed: u64, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    MatrixRng::new(seed).uniform_matrix(rows, cols, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_matrix() {
+        let a = standard_normal_matrix(42, 4, 4);
+        let b = standard_normal_matrix(42, 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = standard_normal_matrix(1, 4, 4);
+        let b = standard_normal_matrix(2, 4, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_matrix_has_roughly_zero_mean_unit_std() {
+        let m = standard_normal_matrix(7, 100, 100);
+        let n = m.len() as f64;
+        let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_matrix_respects_bounds() {
+        let m = uniform_matrix(3, 50, 50, 2.0, 5.0);
+        assert!(m.as_slice().iter().all(|&x| (2.0..5.0).contains(&x)));
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = MatrixRng::new(9);
+        let a = root.fork().normal_matrix(2, 2, 0.0, 1.0);
+        let b = root.fork().normal_matrix(2, 2, 0.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let mut rng = MatrixRng::new(5);
+        for _ in 0..100 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_empty_range() {
+        let mut rng = MatrixRng::new(0);
+        let _ = rng.uniform(1.0, 1.0);
+    }
+}

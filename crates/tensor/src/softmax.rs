@@ -1,0 +1,119 @@
+//! Numerically stable row-wise softmax.
+
+use crate::Matrix;
+
+/// Row-wise softmax with max-subtraction, returning a new matrix.
+///
+/// This is the reference normalisation of attention scores (paper §II-A,
+/// `P = Softmax(S)`). The max of each row is subtracted before
+/// exponentiation — the same trick the CTA PPEs apply in hardware during the
+/// score-calculation phase to keep LUT inputs small (paper §IV-B).
+///
+/// ```
+/// use cta_tensor::{softmax_rows, Matrix};
+/// let p = softmax_rows(&Matrix::from_rows(&[&[0.0, 0.0]]));
+/// assert!((p[(0, 0)] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(scores: &Matrix) -> Matrix {
+    let mut out = scores.clone();
+    softmax_rows_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax_rows`].
+pub fn softmax_rows_in_place(scores: &mut Matrix) {
+    let cols = scores.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..scores.rows() {
+        let row = scores.row_mut(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Numerically stable `log(Σ exp(xᵢ))` of a slice.
+///
+/// Used by perplexity-style proxy metrics in the workload crate.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "log_sum_exp of an empty slice");
+    let max = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    if max.is_infinite() {
+        return max;
+    }
+    let sum: f32 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = softmax_rows(&m);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn uniform_scores_give_uniform_probabilities() {
+        let p = softmax_rows(&Matrix::filled(1, 4, 3.0));
+        for c in 0..4 {
+            assert!((p[(0, c)] - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let b = a.map(|x| x + 100.0);
+        assert!(softmax_rows(&a).approx_eq(&softmax_rows(&b), 1e-6));
+    }
+
+    #[test]
+    fn large_scores_do_not_overflow() {
+        let p = softmax_rows(&Matrix::from_rows(&[&[1000.0, 999.0]]));
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        assert!(p[(0, 0)] > p[(0, 1)]);
+    }
+
+    #[test]
+    fn monotone_in_scores() {
+        let p = softmax_rows(&Matrix::from_rows(&[&[0.0, 1.0, 2.0]]));
+        assert!(p[(0, 0)] < p[(0, 1)] && p[(0, 1)] < p[(0, 2)]);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_for_small_values() {
+        let xs = [0.1f32, 0.2, 0.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_values() {
+        assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + 2.0f32.ln())).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn log_sum_exp_rejects_empty() {
+        let _ = log_sum_exp(&[]);
+    }
+}

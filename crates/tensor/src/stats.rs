@@ -1,0 +1,160 @@
+//! Scalar statistics shared by the accuracy metrics and the bench harness.
+
+use crate::Matrix;
+
+/// Arithmetic mean of a slice. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// The paper reports geomean speedups (e.g. "27.7× geomean speedup over
+/// GPU", §VI-C), so the harness aggregates per-testcase ratios with this.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values (got {x})");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Relative Frobenius error `‖approx − exact‖_F / ‖exact‖_F`.
+///
+/// The core fidelity metric for CTA outputs versus exact attention. Returns
+/// the absolute norm of `approx` when `exact` is (numerically) zero.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn relative_error(approx: &Matrix, exact: &Matrix) -> f64 {
+    assert_eq!(approx.shape(), exact.shape(), "relative_error shape mismatch");
+    let diff = approx.sub(exact).frobenius_norm() as f64;
+    let denom = exact.frobenius_norm() as f64;
+    if denom < 1e-20 {
+        diff
+    } else {
+        diff / denom
+    }
+}
+
+/// Cosine similarity of two equal-length vectors; 1.0 when either is zero
+/// (a zero attention output approximated by zero is a perfect match).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine_similarity length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
+    let na: f64 = a.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+    if na < 1e-20 || nb < 1e-20 {
+        1.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Five-number-style summary of a sample, used by harness output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarises a sample. Returns an all-zero summary for an empty slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary { mean: 0.0, min: 0.0, max: 0.0, count: 0 };
+        }
+        Summary {
+            mean: mean(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            count: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mean {:.4} (min {:.4}, max {:.4}, n={})", self.mean, self.min, self.max, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(relative_error(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn relative_error_scales_with_perturbation() {
+        let exact = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let approx = Matrix::from_rows(&[&[1.1, 0.0]]);
+        assert!((relative_error(&approx, &exact) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_of_parallel_vectors_is_one() {
+        assert!((cosine_similarity(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_of_orthogonal_vectors_is_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_reports_extremes() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(!format!("{s}").is_empty());
+    }
+}

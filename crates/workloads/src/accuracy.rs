@@ -1,0 +1,233 @@
+//! The proxy accuracy task and per-case evaluation.
+//!
+//! The paper measures end-to-end task metrics (F1, accuracy, perplexity)
+//! on finetuned checkpoints; without models we measure the same *signal* —
+//! "how much task-relevant information does the approximation destroy?" —
+//! with a linear-probe classification task on the attention outputs: a
+//! fixed random readout maps each query's output vector to one of `C`
+//! classes; the exact attention output defines the label; the approximate
+//! output scores the fraction of labels preserved. `accuracy loss` is the
+//! disagreement percentage, playing the role of the paper's 0% / 0.5% /
+//! 1% accuracy-loss budgets.
+
+use cta_attention::{
+    attention_exact, cta_forward, fidelity, report_from_counts, AttentionWeights,
+    ComplexityReport, CtaConfig, FidelityReport,
+};
+use cta_tensor::{Matrix, MatrixRng};
+
+use crate::{generate_tokens, TestCase};
+
+/// The linear-probe readout of a test case.
+#[derive(Debug, Clone)]
+pub struct ProxyTask {
+    readout: Matrix,
+}
+
+impl ProxyTask {
+    /// Builds the (deterministic) readout for a case: `head_dim × classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes < 2`.
+    pub fn for_case(case: &TestCase, classes: usize) -> Self {
+        assert!(classes >= 2, "a classification probe needs at least 2 classes");
+        let mut rng = MatrixRng::new(case.seed() ^ 0x5EED_CAFE);
+        Self { readout: rng.normal_matrix(case.model.head_dim, classes, 0.0, 1.0) }
+    }
+
+    /// Class labels of an output matrix: per row, the arg-max of
+    /// `output · readout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs.cols() != head_dim`.
+    pub fn labels(&self, outputs: &Matrix) -> Vec<usize> {
+        let logits = outputs.matmul(&self.readout);
+        (0..logits.rows())
+            .map(|r| {
+                let row = logits.row(r);
+                let mut best = 0usize;
+                for (i, &x) in row.iter().enumerate() {
+                    if x > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Fraction of rows whose labels agree between two output matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn agreement(&self, exact: &Matrix, approx: &Matrix) -> f64 {
+        assert_eq!(exact.shape(), approx.shape(), "output shape mismatch");
+        let a = self.labels(exact);
+        let b = self.labels(approx);
+        let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        agree as f64 / a.len().max(1) as f64
+    }
+}
+
+/// Aggregated measurement of one (case, config) pair over several sampled
+/// sequences.
+#[derive(Debug, Clone)]
+pub struct CaseEvaluation {
+    /// `"model/dataset"`.
+    pub case_name: String,
+    /// Proxy accuracy loss, percent (0 = lossless).
+    pub accuracy_loss_pct: f64,
+    /// Mean output-fidelity metrics.
+    pub fidelity: FidelityReport,
+    /// Complexity report at the mean cluster counts (RL, RA, effective
+    /// relations).
+    pub complexity: ComplexityReport,
+    /// Per-sample accuracy losses (percent), for spread diagnostics.
+    pub sample_losses: Vec<f64>,
+    /// Mean cluster counts across samples.
+    pub mean_k0: f64,
+    /// Mean level-1 KV cluster count.
+    pub mean_k1: f64,
+    /// Mean level-2 KV cluster count.
+    pub mean_k2: f64,
+}
+
+/// Evaluates a CTA configuration on a test case over `samples` generated
+/// sequences.
+///
+/// # Panics
+///
+/// Panics if `samples == 0`.
+pub fn evaluate_case(case: &TestCase, config: &CtaConfig, samples: usize) -> CaseEvaluation {
+    assert!(samples > 0, "at least one sample");
+    let dims = case.dims();
+    let weights = AttentionWeights::random(case.model.head_dim, case.model.head_dim, case.seed() ^ 0xBEEF);
+    let probe = ProxyTask::for_case(case, 8);
+
+    let mut sample_losses = Vec::with_capacity(samples);
+    let mut err_sum = 0.0;
+    let mut cos_sum = 0.0;
+    let mut top1_sum = 0.0;
+    let (mut k0_sum, mut k1_sum, mut k2_sum) = (0usize, 0usize, 0usize);
+
+    for s in 0..samples {
+        let tokens = generate_tokens(&case.model, &case.dataset, case.dataset.seq_len, case.seed().wrapping_add(s as u64));
+        let exact = attention_exact(&tokens, &tokens, &weights);
+        let cta = cta_forward(&tokens, &tokens, &weights, config);
+        let fid = fidelity(&cta, &exact);
+        sample_losses.push((1.0 - probe.agreement(&exact.output, &cta.output)) * 100.0);
+        err_sum += fid.output_relative_error;
+        cos_sum += fid.mean_output_cosine;
+        top1_sum += fid.top1_agreement;
+        k0_sum += cta.k0();
+        k1_sum += cta.k1();
+        k2_sum += cta.k2();
+    }
+
+    let nf = samples as f64;
+    let mean_k0 = k0_sum as f64 / nf;
+    let mean_k1 = k1_sum as f64 / nf;
+    let mean_k2 = k2_sum as f64 / nf;
+    let complexity = report_from_counts(
+        &dims,
+        mean_k0.round().max(1.0) as usize,
+        mean_k1.round().max(1.0) as usize,
+        mean_k2.round().max(1.0) as usize,
+        config.hash_length,
+    );
+    CaseEvaluation {
+        case_name: case.name(),
+        accuracy_loss_pct: sample_losses.iter().sum::<f64>() / nf,
+        fidelity: FidelityReport {
+            output_relative_error: err_sum / nf,
+            mean_output_cosine: cos_sum / nf,
+            top1_agreement: top1_sum / nf,
+        },
+        complexity,
+        sample_losses,
+        mean_k0,
+        mean_k1,
+        mean_k2,
+    }
+}
+
+impl CaseEvaluation {
+    /// Standard deviation of the per-sample accuracy losses (0 for a
+    /// single sample).
+    pub fn loss_stddev(&self) -> f64 {
+        let n = self.sample_losses.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.accuracy_loss_pct;
+        let var = self
+            .sample_losses
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini_case;
+
+    #[test]
+    fn lossless_in_the_singleton_limit() {
+        let case = mini_case();
+        let cfg = CtaConfig::new(6, 1e-4, 1e-4, 1e-4, 1);
+        let eval = evaluate_case(&case, &cfg, 2);
+        assert!(eval.accuracy_loss_pct < 1e-9, "loss {}", eval.accuracy_loss_pct);
+        assert!(eval.fidelity.output_relative_error < 1e-4);
+        assert!((eval.complexity.rl - 1.0).abs() < 0.5); // near-uncompressed
+    }
+
+    #[test]
+    fn aggressive_compression_loses_accuracy_but_gains_reduction() {
+        let case = mini_case();
+        let fine = evaluate_case(&case, &CtaConfig::uniform(0.5, 1), 2);
+        let coarse = evaluate_case(&case, &CtaConfig::uniform(50.0, 1), 2);
+        assert!(coarse.complexity.ra < fine.complexity.ra);
+        assert!(coarse.accuracy_loss_pct >= fine.accuracy_loss_pct);
+        assert!(coarse.mean_k0 < fine.mean_k0);
+    }
+
+    #[test]
+    fn loss_spread_is_reported() {
+        let case = mini_case();
+        let e = evaluate_case(&case, &CtaConfig::uniform(8.0, 1), 3);
+        assert_eq!(e.sample_losses.len(), 3);
+        assert!(e.loss_stddev() >= 0.0);
+        let single = evaluate_case(&case, &CtaConfig::uniform(8.0, 1), 1);
+        assert_eq!(single.loss_stddev(), 0.0);
+    }
+
+    #[test]
+    fn probe_is_deterministic_per_case() {
+        let case = mini_case();
+        let a = ProxyTask::for_case(&case, 4);
+        let b = ProxyTask::for_case(&case, 4);
+        let outputs = cta_tensor::standard_normal_matrix(3, 10, case.model.head_dim);
+        assert_eq!(a.labels(&outputs), b.labels(&outputs));
+    }
+
+    #[test]
+    fn agreement_is_one_for_identical_outputs() {
+        let case = mini_case();
+        let probe = ProxyTask::for_case(&case, 8);
+        let o = cta_tensor::standard_normal_matrix(5, 12, case.model.head_dim);
+        assert_eq!(probe.agreement(&o, &o), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 classes")]
+    fn probe_rejects_single_class() {
+        let _ = ProxyTask::for_case(&mini_case(), 1);
+    }
+}

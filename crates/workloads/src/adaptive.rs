@@ -1,0 +1,124 @@
+//! Per-head adaptive operating points.
+//!
+//! The paper picks one compression aggressiveness per test case (then
+//! finetunes). Different heads of the same layer cluster differently,
+//! though — a head extracting positional structure may tolerate far wider
+//! buckets than one extracting rare lexical features. This extension
+//! assigns every head its *own* bucket width under a shared per-head
+//! fidelity budget, and measures how much average computation that
+//! recovers compared to the one-width-fits-all configuration.
+
+use cta_attention::{attention_exact, cta_forward, AttentionWeights, CtaConfig};
+
+use crate::{generate_tokens, ProxyTask, TestCase};
+
+/// The per-head adaptation outcome.
+#[derive(Debug, Clone)]
+pub struct AdaptiveResult {
+    /// Chosen bucket width per head.
+    pub widths: Vec<f32>,
+    /// Measured per-head accuracy loss (percent) at the chosen width.
+    pub losses: Vec<f64>,
+    /// Per-head attention-computation ratio (RA) at the chosen width.
+    pub head_ra: Vec<f64>,
+    /// Mean RA across heads.
+    pub mean_ra: f64,
+}
+
+/// Width grid for the per-head search, most aggressive first (matches the
+/// global operating-point search's grid).
+fn width_grid() -> Vec<f32> {
+    let mut widths = Vec::new();
+    let mut w = 48.0f32;
+    while w > 0.08 {
+        widths.push(w);
+        w /= 1.3;
+    }
+    widths
+}
+
+/// Adapts bucket widths per head: head `h` gets its own weights (seeded
+/// from the case) and the widest width whose measured proxy loss meets
+/// `budget_loss_pct`.
+///
+/// # Panics
+///
+/// Panics if `heads == 0`.
+pub fn adapt_per_head(case: &TestCase, heads: usize, budget_loss_pct: f64) -> AdaptiveResult {
+    assert!(heads > 0, "at least one head");
+    let dims = case.dims();
+    let tokens = generate_tokens(&case.model, &case.dataset, case.dataset.seq_len, case.seed());
+    let probe = ProxyTask::for_case(case, 8);
+
+    let mut widths = Vec::with_capacity(heads);
+    let mut losses = Vec::with_capacity(heads);
+    let mut head_ra = Vec::with_capacity(heads);
+
+    for h in 0..heads {
+        let weights = AttentionWeights::random(
+            case.model.head_dim,
+            case.model.head_dim,
+            case.seed() ^ 0xBEEF ^ ((h as u64) << 17),
+        );
+        let exact = attention_exact(&tokens, &tokens, &weights);
+        let mut chosen = (*width_grid().last().expect("non-empty grid"), 0.0f64, 1.0f64);
+        for w in width_grid() {
+            let cfg = CtaConfig::uniform(w, case.seed().wrapping_add(h as u64));
+            let cta = cta_forward(&tokens, &tokens, &weights, &cfg);
+            let loss = (1.0 - probe.agreement(&exact.output, &cta.output)) * 100.0;
+            let report = cta_attention::complexity_report(&dims, &cta, cfg.hash_length);
+            chosen = (w, loss, report.ra);
+            if loss <= budget_loss_pct {
+                break;
+            }
+        }
+        widths.push(chosen.0);
+        losses.push(chosen.1);
+        head_ra.push(chosen.2);
+    }
+
+    let mean_ra = head_ra.iter().sum::<f64>() / heads as f64;
+    AdaptiveResult { widths, losses, head_ra, mean_ra }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini_case;
+
+    #[test]
+    fn adapts_one_width_per_head() {
+        let r = adapt_per_head(&mini_case(), 3, 1.0);
+        assert_eq!(r.widths.len(), 3);
+        assert_eq!(r.losses.len(), 3);
+        assert!(r.mean_ra > 0.0 && r.mean_ra <= 1.2);
+    }
+
+    #[test]
+    fn budgets_are_respected_or_grid_exhausted() {
+        let r = adapt_per_head(&mini_case(), 2, 2.0);
+        for (h, &loss) in r.losses.iter().enumerate() {
+            let at_floor = r.widths[h] <= 0.11;
+            assert!(loss <= 2.0 + 1e-9 || at_floor, "head {h}: loss {loss} width {}", r.widths[h]);
+        }
+    }
+
+    #[test]
+    fn heads_differ_in_chosen_widths() {
+        // Heads have independent weights, so their sensitivity — and the
+        // adapted widths — generally differ.
+        let r = adapt_per_head(&mini_case(), 4, 0.5);
+        let first = r.widths[0];
+        assert!(
+            r.widths.iter().any(|&w| (w - first).abs() > 1e-6),
+            "all heads chose {first}: {:?}",
+            r.widths
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one head")]
+    fn zero_heads_rejected() {
+        let _ = adapt_per_head(&mini_case(), 0, 1.0);
+    }
+}

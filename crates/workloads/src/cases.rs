@@ -1,0 +1,117 @@
+//! The evaluation test cases: the 10 model×dataset combinations of paper
+//! Fig. 11.
+
+use cta_attention::AttentionDims;
+
+use crate::{
+    albert_large, bert_large, gpt2_large, imdb, roberta_large, squad11, squad20, wikitext2,
+    DatasetSpec, ModelSpec,
+};
+
+/// One model×dataset evaluation combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestCase {
+    /// The evaluated model.
+    pub model: ModelSpec,
+    /// The evaluation dataset.
+    pub dataset: DatasetSpec,
+}
+
+impl TestCase {
+    /// Creates a test case.
+    pub fn new(model: ModelSpec, dataset: DatasetSpec) -> Self {
+        Self { model, dataset }
+    }
+
+    /// A human-readable name, e.g. `"BERT-large/SQuAD1.1"`.
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.model.name, self.dataset.name)
+    }
+
+    /// Per-head self-attention dimensions at the dataset's sequence
+    /// length. The accelerator operates per head, so `token_dim =
+    /// head_dim` (the paper's hardware assumption, §IV-C).
+    pub fn dims(&self) -> AttentionDims {
+        AttentionDims::self_attention(self.dataset.seq_len, self.model.head_dim, self.model.head_dim)
+    }
+
+    /// A deterministic per-case seed for workload generation.
+    pub fn seed(&self) -> u64 {
+        // FNV-1a over the case name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The paper's 10 test cases (Fig. 11): the three discriminative models on
+/// SQuAD 1.1 / SQuAD 2.0 / IMDB, plus GPT-2-large on WikiText-2.
+pub fn paper_cases() -> Vec<TestCase> {
+    let mut cases = Vec::with_capacity(10);
+    for model in [bert_large(), roberta_large(), albert_large()] {
+        for dataset in [squad11(), squad20(), imdb()] {
+            cases.push(TestCase::new(model, dataset));
+        }
+    }
+    cases.push(TestCase::new(gpt2_large(), wikitext2()));
+    cases
+}
+
+/// A scaled-down case for fast unit tests: 64-token sequences, 16-dim
+/// heads, SQuAD-like statistics.
+pub fn mini_case() -> TestCase {
+    let model = ModelSpec { head_dim: 16, ..bert_large() };
+    let dataset = squad11().with_seq_len(64);
+    TestCase::new(model, dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_ten_cases() {
+        let cases = paper_cases();
+        assert_eq!(cases.len(), 10);
+        assert_eq!(cases.iter().filter(|c| c.model.name == "GPT-2-large").count(), 1);
+        assert_eq!(cases.iter().filter(|c| c.dataset.name == "IMDB").count(), 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let cases = paper_cases();
+        let mut names: Vec<String> = cases.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_stable() {
+        let cases = paper_cases();
+        let seeds: Vec<u64> = cases.iter().map(|c| c.seed()).collect();
+        let mut unique = seeds.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(cases[0].seed(), paper_cases()[0].seed());
+    }
+
+    #[test]
+    fn dims_reflect_dataset_length() {
+        let case = TestCase::new(bert_large(), imdb());
+        let dims = case.dims();
+        assert_eq!(dims.num_keys, 512);
+        assert_eq!(dims.head_dim, 64);
+        assert_eq!(dims.token_dim, 64);
+    }
+
+    #[test]
+    fn mini_case_is_small() {
+        let c = mini_case();
+        assert!(c.dataset.seq_len <= 64 && c.model.head_dim <= 16);
+    }
+}

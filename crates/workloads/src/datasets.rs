@@ -1,0 +1,101 @@
+//! Dataset proxies: the four evaluation datasets of paper §VI-A, carried
+//! as sequence-length and redundancy descriptors.
+
+/// Statistical descriptor of an evaluation dataset.
+///
+/// `redundancy` is the fraction of token positions that repeat semantic
+/// features already present in the sequence — the property the paper's
+/// motivation (§II-B) rests on ("human languages contain lots of synonyms
+/// and similar expressions"). It controls how many distinct semantic
+/// clusters the generator plants: `clusters ≈ seq_len · (1 − redundancy)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as reported in the paper.
+    pub name: &'static str,
+    /// Characteristic (maximum) evaluation sequence length.
+    pub seq_len: usize,
+    /// Fraction of semantically repeating positions, in `(0, 1)`.
+    pub redundancy: f64,
+    /// Fraction of outlier tokens that belong to no cluster (rare words,
+    /// punctuation artifacts).
+    pub outlier_fraction: f64,
+}
+
+/// SQuAD 1.1 (question answering; paragraphs + question).
+pub fn squad11() -> DatasetSpec {
+    DatasetSpec { name: "SQuAD1.1", seq_len: 384, redundancy: 0.72, outlier_fraction: 0.04 }
+}
+
+/// SQuAD 2.0 (adds unanswerable questions; same text statistics).
+pub fn squad20() -> DatasetSpec {
+    DatasetSpec { name: "SQuAD2.0", seq_len: 384, redundancy: 0.72, outlier_fraction: 0.04 }
+}
+
+/// IMDB movie reviews (long, repetitive opinion text).
+pub fn imdb() -> DatasetSpec {
+    DatasetSpec { name: "IMDB", seq_len: 512, redundancy: 0.80, outlier_fraction: 0.03 }
+}
+
+/// WikiText-2 (language modelling over encyclopedic text).
+pub fn wikitext2() -> DatasetSpec {
+    DatasetSpec { name: "WikiText-2", seq_len: 512, redundancy: 0.70, outlier_fraction: 0.05 }
+}
+
+/// All four datasets.
+pub fn all_datasets() -> Vec<DatasetSpec> {
+    vec![squad11(), squad20(), imdb(), wikitext2()]
+}
+
+impl DatasetSpec {
+    /// Returns a copy at a different sequence length (Fig. 2 sweeps 256 /
+    /// 384 / 512 on the SQuAD datasets; Fig. 16 sweeps 128..512).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq_len == 0`.
+    pub fn with_seq_len(mut self, seq_len: usize) -> Self {
+        assert!(seq_len > 0, "sequence length must be positive");
+        self.seq_len = seq_len;
+        self
+    }
+
+    /// Number of semantic clusters the generator plants at this dataset's
+    /// redundancy and the given sequence length.
+    pub fn semantic_clusters(&self, seq_len: usize) -> usize {
+        ((seq_len as f64 * (1.0 - self.redundancy)).round() as usize).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_datasets_with_paper_lengths() {
+        let ds = all_datasets();
+        assert_eq!(ds.len(), 4);
+        assert!(ds.iter().all(|d| d.seq_len <= 512));
+        assert_eq!(imdb().seq_len, 512);
+        assert_eq!(squad11().seq_len, 384);
+    }
+
+    #[test]
+    fn redundancy_above_half_everywhere() {
+        // Fig. 2: over half the relations are redundant on all datasets.
+        assert!(all_datasets().iter().all(|d| d.redundancy > 0.5));
+    }
+
+    #[test]
+    fn cluster_count_scales_with_length_and_redundancy() {
+        let d = squad11();
+        assert!(d.semantic_clusters(512) > d.semantic_clusters(256));
+        assert!(imdb().semantic_clusters(512) < wikitext2().semantic_clusters(512));
+    }
+
+    #[test]
+    fn with_seq_len_overrides() {
+        let d = squad11().with_seq_len(256);
+        assert_eq!(d.seq_len, 256);
+        assert_eq!(d.name, "SQuAD1.1");
+    }
+}

@@ -1,0 +1,127 @@
+//! The model zoo: the four transformer models of the paper's evaluation
+//! (§VI-A), carried as dimension/structure descriptors.
+
+/// Architecture descriptor of an evaluated model.
+///
+/// Real checkpoints are not used (see `DESIGN.md`); what the CTA
+/// experiments need from a model is its *shape* (layers, heads, widths —
+/// which set the amount of attention vs FFN work) and the clustering
+/// tendency of its per-head token representations, encoded as
+/// `noise_scale`: the within-cluster jitter relative to the cluster-center
+/// spread. Weight-sharing models like ALBERT produce more
+/// tightly-clustered representations (lower noise); larger generative
+/// models somewhat looser ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpec {
+    /// Model name as reported in the paper's figures.
+    pub name: &'static str,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Model (embedding) width.
+    pub d_model: usize,
+    /// Per-head dimension (64 for every evaluated model — the hardware's
+    /// SA height).
+    pub head_dim: usize,
+    /// Feed-forward inner width (used by the end-to-end model).
+    pub ffn_dim: usize,
+    /// Within-cluster token jitter relative to center spread.
+    pub noise_scale: f32,
+}
+
+/// BERT-large (24 layers, 16 heads, 1024 wide).
+pub fn bert_large() -> ModelSpec {
+    ModelSpec { name: "BERT-large", layers: 24, heads: 16, d_model: 1024, head_dim: 64, ffn_dim: 4096, noise_scale: 0.15 }
+}
+
+/// RoBERTa-large (same shape as BERT-large, different pretraining).
+pub fn roberta_large() -> ModelSpec {
+    ModelSpec { name: "RoBERTa-large", layers: 24, heads: 16, d_model: 1024, head_dim: 64, ffn_dim: 4096, noise_scale: 0.18 }
+}
+
+/// ALBERT-large (cross-layer weight sharing concentrates representations).
+pub fn albert_large() -> ModelSpec {
+    ModelSpec { name: "ALBERT-large", layers: 24, heads: 16, d_model: 1024, head_dim: 64, ffn_dim: 4096, noise_scale: 0.12 }
+}
+
+/// GPT-2-large (36 layers, 20 heads, 1280 wide).
+pub fn gpt2_large() -> ModelSpec {
+    ModelSpec { name: "GPT-2-large", layers: 36, heads: 20, d_model: 1280, head_dim: 64, ffn_dim: 5120, noise_scale: 0.20 }
+}
+
+/// All four evaluated models.
+pub fn model_zoo() -> Vec<ModelSpec> {
+    vec![bert_large(), roberta_large(), albert_large(), gpt2_large()]
+}
+
+impl ModelSpec {
+    /// FLOPs of one full transformer layer at sequence length `n`
+    /// (attention incl. projections + output projection + FFN), used by
+    /// the end-to-end speedup model.
+    pub fn layer_flops(&self, n: usize) -> f64 {
+        let n = n as f64;
+        let dm = self.d_model as f64;
+        let ffn = self.ffn_dim as f64;
+        let h = self.heads as f64;
+        let dh = self.head_dim as f64;
+        let qkv = 2.0 * 3.0 * n * dm * dm;
+        let attn = 2.0 * 2.0 * n * n * dh * h;
+        let proj = 2.0 * n * dm * dm;
+        let ffn_flops = 2.0 * 2.0 * n * dm * ffn;
+        qkv + attn + proj + ffn_flops
+    }
+
+    /// Fraction of a layer's FLOPs inside the attention mechanism
+    /// (QKV projections + score/softmax/output), the part CTA accelerates.
+    pub fn attention_flop_fraction(&self, n: usize) -> f64 {
+        let nf = n as f64;
+        let dm = self.d_model as f64;
+        let h = self.heads as f64;
+        let dh = self.head_dim as f64;
+        let qkv = 2.0 * 3.0 * nf * dm * dm;
+        let attn = 2.0 * 2.0 * nf * nf * dh * h;
+        (qkv + attn) / self.layer_flops(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_four_models() {
+        let zoo = model_zoo();
+        assert_eq!(zoo.len(), 4);
+        assert!(zoo.iter().all(|m| m.head_dim == 64));
+        assert_eq!(zoo.iter().filter(|m| m.name.starts_with("GPT")).count(), 1);
+    }
+
+    #[test]
+    fn gpt2_is_the_biggest() {
+        assert!(gpt2_large().layers > bert_large().layers);
+        assert!(gpt2_large().d_model > bert_large().d_model);
+    }
+
+    #[test]
+    fn attention_fraction_grows_with_sequence_length() {
+        let m = bert_large();
+        let short = m.attention_flop_fraction(128);
+        let long = m.attention_flop_fraction(2048);
+        assert!(long > short);
+        assert!(short > 0.0 && long < 1.0);
+    }
+
+    #[test]
+    fn attention_is_roughly_half_at_512() {
+        // The paper's intro: attention accounts for up to ~50% of
+        // inference at these scales.
+        let f = bert_large().attention_flop_fraction(512);
+        assert!((0.3..0.6).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn albert_clusters_tighter_than_gpt2() {
+        assert!(albert_large().noise_scale < gpt2_large().noise_scale);
+    }
+}

@@ -1,0 +1,153 @@
+//! Vision-transformer workloads: patch-grid tokens with spatial
+//! redundancy.
+//!
+//! The paper's introduction motivates attention in computer vision as well
+//! as NLP; the redundancy CTA exploits appears there as *uniform image
+//! regions* — sky, walls, out-of-focus background — whose patches embed to
+//! near-identical tokens. This generator produces ViT-style token
+//! matrices with a segmentation-like structure: the patch grid is divided
+//! into blocky regions (one feature vector per region), every patch takes
+//! its region's vector plus tiny jitter, and a detail fraction of patches
+//! (object boundaries, texture) gets unique features. Higher `smoothness`
+//! means fewer, larger regions and fewer detail patches — and therefore a
+//! more compressible sequence.
+
+use cta_tensor::{Matrix, MatrixRng};
+
+/// A ViT-like workload descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisionCase {
+    /// Patch grid side; the sequence length is `grid²` (ViT-Base at 224²
+    /// with 16-pixel patches gives a 14×14 grid = 196 tokens).
+    pub grid: usize,
+    /// Per-head token dimension (64, the hardware's SA height).
+    pub head_dim: usize,
+    /// How uniform the image is, in `(0, 1)`: controls both the region
+    /// count (`≈ grid·(1 − smoothness)` per side) and the fraction of
+    /// unique detail patches. 0.9 ≈ mostly-smooth photographs, 0.5 ≈
+    /// high-detail texture.
+    pub smoothness: f32,
+}
+
+impl VisionCase {
+    /// ViT-Base-like: 14×14 patches, 64-dim heads, photographic
+    /// smoothness.
+    pub fn vit_base() -> Self {
+        Self { grid: 14, head_dim: 64, smoothness: 0.85 }
+    }
+
+    /// Sequence length `grid²`.
+    pub fn seq_len(&self) -> usize {
+        self.grid * self.grid
+    }
+}
+
+/// Generates one per-head patch-token matrix (`grid² × head_dim`).
+///
+/// Deterministic in `(case, seed)`.
+///
+/// # Panics
+///
+/// Panics if `grid < 2`, `head_dim == 0`, or `smoothness` is outside
+/// `(0, 1)`.
+pub fn generate_patch_tokens(case: &VisionCase, seed: u64) -> Matrix {
+    assert!(case.grid >= 2, "patch grid must be at least 2x2");
+    assert!(case.head_dim > 0, "head_dim must be positive");
+    assert!(
+        case.smoothness > 0.0 && case.smoothness < 1.0,
+        "smoothness must be in (0, 1)"
+    );
+    let g = case.grid;
+    let d = case.head_dim;
+    let mut rng = MatrixRng::new(seed);
+
+    // Blocky region grid: smoother images have fewer, larger regions.
+    let regions_per_side = ((g as f32 * (1.0 - case.smoothness)).round() as usize).clamp(2, g);
+    let region_features = rng.normal_matrix(regions_per_side * regions_per_side, d, 0.0, 2.0);
+
+    // Each patch inherits its region's feature plus tiny within-region
+    // jitter (sensor noise, sub-patch variation).
+    let mut tokens = Matrix::zeros(g * g, d);
+    for y in 0..g {
+        for x in 0..g {
+            let ry = y * regions_per_side / g;
+            let rx = x * regions_per_side / g;
+            let feature = region_features.row(ry * regions_per_side + rx);
+            tokens.row_mut(y * g + x).copy_from_slice(feature);
+        }
+    }
+    let jitter = rng.normal_matrix(g * g, d, 0.0, 0.05);
+    tokens.add_assign(&jitter);
+
+    // Detail patches (boundaries, texture) get unique features.
+    let detail_count = ((1.0 - case.smoothness) * (g * g) as f32 * 0.5).round() as usize;
+    for _ in 0..detail_count {
+        let pos = rng.index(g * g);
+        let unique = rng.normal_matrix(1, d, 0.0, 2.0);
+        tokens.row_mut(pos).copy_from_slice(unique.row(0));
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_lsh::{compress, LshFamily, LshParams};
+
+    #[test]
+    fn shape_and_determinism() {
+        let case = VisionCase::vit_base();
+        let a = generate_patch_tokens(&case, 3);
+        let b = generate_patch_tokens(&case, 3);
+        assert_eq!(a.shape(), (196, 64));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn neighbouring_patches_are_similar() {
+        let case = VisionCase { smoothness: 0.9, ..VisionCase::vit_base() };
+        let t = generate_patch_tokens(&case, 5);
+        let g = case.grid;
+        // Mean distance to the right neighbour vs to a far patch.
+        let mut near = 0.0f64;
+        let mut far = 0.0f64;
+        let mut count = 0usize;
+        for y in 0..g {
+            for x in 0..g - 1 {
+                let a = t.row(y * g + x);
+                let b = t.row(y * g + x + 1);
+                let c = t.row((g - 1 - y) * g + (g - 1 - x));
+                near += dist(a, b);
+                far += dist(a, c);
+                count += 1;
+            }
+        }
+        assert!(near / count as f64 * 2.0 < far / count as f64, "near {near} far {far}");
+    }
+
+    #[test]
+    fn smoother_images_compress_better() {
+        let fam = LshFamily::sample(64, LshParams::with_paper_length(6.0), 7);
+        let smooth = generate_patch_tokens(&VisionCase { smoothness: 0.92, ..VisionCase::vit_base() }, 9);
+        let detailed = generate_patch_tokens(&VisionCase { smoothness: 0.4, ..VisionCase::vit_base() }, 9);
+        let k_smooth = compress(&smooth, &fam).k();
+        let k_detail = compress(&detailed, &fam).k();
+        assert!(k_smooth < k_detail, "smooth k={k_smooth}, detailed k={k_detail}");
+    }
+
+    #[test]
+    fn tokens_fit_the_token_format() {
+        let t = generate_patch_tokens(&VisionCase::vit_base(), 11);
+        assert!(t.max_abs() < 31.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothness")]
+    fn out_of_range_smoothness_rejected() {
+        let _ = generate_patch_tokens(&VisionCase { smoothness: 1.0, ..VisionCase::vit_base() }, 1);
+    }
+
+    fn dist(a: &[f32], b: &[f32]) -> f64 {
+        a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum::<f64>().sqrt()
+    }
+}

@@ -1,0 +1,44 @@
+//! Accelerator design-space explorer: size the systolic array and the
+//! probability-aggregation module for a target workload, weighing
+//! throughput against silicon area (the Fig. 13 + Fig. 15 questions).
+//!
+//! ```text
+//! cargo run --release --example accelerator_explorer
+//! ```
+
+use cta::sim::{best_pag_parallelism, sweep, AttentionTask, CtaAccelerator, HwConfig};
+
+fn main() {
+    // A CTA-0-grade task at the hardware design point (n = 512).
+    let task = AttentionTask::from_counts(512, 512, 64, 220, 210, 40, 6);
+    println!("probe task: n = 512, k = (220, 210, 40)");
+    println!();
+
+    let widths = [4usize, 8, 16, 32];
+    let parallelisms = [4usize, 8, 16, 32, 64, 128];
+    let points = sweep(&HwConfig::paper(), &task, &widths, &parallelisms);
+
+    println!(
+        "{:>8} {:>10} {:>14} {:>12} {:>12} {:>14}",
+        "SA width", "best PAG", "heads/s", "area mm^2", "power W", "heads/s/mm^2"
+    );
+    for &b in &widths {
+        let knee = best_pag_parallelism(&points, b, 0.01);
+        let hw = HwConfig::paper().with_sa_width(b).with_pag_parallelism(knee);
+        let acc = CtaAccelerator::new(hw);
+        let report = acc.simulate_head(&task);
+        let area = acc.area().total_mm2();
+        println!(
+            "{:>8} {:>10} {:>14.0} {:>12.3} {:>12.2} {:>14.0}",
+            b,
+            knee,
+            report.heads_per_second(),
+            area,
+            report.average_power_w(),
+            report.heads_per_second() / area
+        );
+    }
+    println!();
+    println!("the knee sits at PAG parallelism = 2 x SA width (the paper's rule);");
+    println!("throughput/area favours moderate widths — the paper picks b = 8.");
+}

@@ -1,0 +1,95 @@
+//! Generative decoding with incremental token compression.
+//!
+//! GPT-2-style inference appends one token per step. The cluster tree is
+//! incremental by construction, so the CTA compression state can be
+//! maintained in O(l + d) per generated token — this example decodes a
+//! growing WikiText-2-like context and reports how the compressed KV set
+//! and the per-step attention cost evolve compared to exact decoding.
+//!
+//! ```text
+//! cargo run --release --example generative_decode
+//! ```
+
+use cta::attention::{AttentionWeights, CtaConfig};
+use cta::lsh::StreamingCompressor;
+use cta::tensor::{softmax_rows, Matrix};
+use cta::workloads::{generate_tokens, gpt2_large, wikitext2};
+
+fn main() {
+    let model = gpt2_large();
+    let dataset = wikitext2();
+    let max_len = 512usize;
+    let tokens = generate_tokens(&model, &dataset, max_len, 123);
+    let weights = AttentionWeights::random(model.head_dim, model.head_dim, 7);
+    let cfg = CtaConfig::uniform(4.0, 9);
+
+    // Incremental compressor over the key/value stream.
+    let [_, f1, _] = cta::attention::sample_families(&cfg, model.head_dim);
+    let mut stream = StreamingCompressor::new(f1);
+
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>12}",
+        "step", "k", "exact MACs", "CTA MACs", "output err"
+    );
+
+    for t in 0..max_len {
+        stream.push(tokens.row(t));
+        let report_at = [64usize, 128, 256, 384, 512];
+        let n = t + 1;
+        if !report_at.contains(&n) {
+            continue;
+        }
+
+        // One decode step: the newest token queries the full context.
+        let query = tokens.slice_rows(t, t + 1);
+        let q = query.matmul(weights.wq());
+        let context = tokens.slice_rows(0, n);
+        let scale = 1.0 / (model.head_dim as f32).sqrt();
+
+        // Exact decode attention.
+        let k_full = context.matmul(weights.wk());
+        let v_full = context.matmul(weights.wv());
+        let p = softmax_rows(&q.matmul_transpose_b(&k_full).scale(scale));
+        let exact_out = p.matmul(&v_full);
+        let exact_macs = 2 * n * model.head_dim /* k,v linears for the new token amortised */
+            + 2 * n * model.head_dim; /* scores + output */
+
+        // CTA decode attention over the maintained centroids.
+        let snap = stream.snapshot();
+        let k_bar = snap.centroids.matmul(weights.wk());
+        let v_bar = snap.centroids.matmul(weights.wv());
+        let mut scores = q.matmul_transpose_b(&k_bar).scale(scale);
+        // Population-weighted softmax: cluster c stands for counts[c] keys.
+        let row = scores.row_mut(0);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut den = 0.0f32;
+        let mut weights_row: Vec<f32> = Vec::with_capacity(row.len());
+        for (j, s) in row.iter().enumerate() {
+            let wgt = snap.counts[j] as f32 * (s - max).exp();
+            weights_row.push(wgt);
+            den += wgt;
+        }
+        let mut cta_out = Matrix::zeros(1, model.head_dim);
+        for (j, wgt) in weights_row.iter().enumerate() {
+            for (o, &vv) in cta_out.row_mut(0).iter_mut().zip(v_bar.row(j)) {
+                *o += wgt / den * vv;
+            }
+        }
+        let k = snap.centroids.rows();
+        let cta_macs = stream.ops_per_token() as usize /* incremental compression */
+            + 2 * k * model.head_dim; /* scores + output over centroids */
+
+        let err = cta::tensor::relative_error(&cta_out, &exact_out);
+        println!(
+            "{:>6} {:>8} {:>12} {:>14} {:>12.4}",
+            n,
+            k,
+            exact_macs,
+            cta_macs,
+            err
+        );
+    }
+    println!();
+    println!("the compressed KV set grows sub-linearly with the context, so the");
+    println!("per-step decode cost flattens while exact decoding keeps growing.");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run exact attention and the CTA approximation on a small
+//! synthetic workload, compare them, and simulate the accelerator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cta::attention::{attention_exact, cta_forward, fidelity, AttentionWeights, CtaConfig};
+use cta::sim::{AttentionTask, CtaAccelerator, HwConfig};
+use cta::workloads::{bert_large, generate_tokens, squad11};
+
+fn main() {
+    // 1. A per-head token matrix with SQuAD-like redundancy statistics.
+    let model = bert_large();
+    let dataset = squad11().with_seq_len(256);
+    let tokens = generate_tokens(&model, &dataset, dataset.seq_len, 42);
+    let weights = AttentionWeights::random(model.head_dim, model.head_dim, 7);
+
+    // 2. Exact attention (the reference) and the CTA scheme.
+    let exact = attention_exact(&tokens, &tokens, &weights);
+    let config = CtaConfig::uniform(4.0, 1);
+    let cta = cta_forward(&tokens, &tokens, &weights, &config);
+
+    println!("sequence length: {}", tokens.rows());
+    println!(
+        "compressed to k0 = {} queries, k1 + k2 = {} + {} key/value centroids",
+        cta.k0(),
+        cta.k1(),
+        cta.k2()
+    );
+    println!("effective relations: {:.1}%", cta.effective_relations() * 100.0);
+
+    // 3. How close is the approximation?
+    let report = fidelity(&cta, &exact);
+    println!("output relative error: {:.4}", report.output_relative_error);
+    println!("mean output cosine:    {:.5}", report.mean_output_cosine);
+    println!("top-1 attention match: {:.1}%", report.top1_agreement * 100.0);
+
+    // 4. What does this head cost on the CTA accelerator?
+    let acc = CtaAccelerator::new(HwConfig::paper());
+    let task = AttentionTask::from_cta(&cta, config.hash_length);
+    let sim = acc.simulate_head(&task);
+    println!(
+        "accelerator: {} cycles ({:.1} us @ 1 GHz), {:.2} uJ",
+        sim.cycles,
+        sim.latency_s * 1e6,
+        sim.energy.total_j() * 1e6
+    );
+    println!(
+        "latency split: {} compression / {} linear / {} attention cycles",
+        sim.schedule.compression_cycles, sim.schedule.linear_cycles, sim.schedule.attention_cycles
+    );
+}

@@ -1,0 +1,46 @@
+//! Inference serving: latency percentiles under load for a BERT-large
+//! QA service whose attention runs on a 12-unit CTA pool.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use cta::sim::{poisson_trace, simulate_serving, AttentionTask, CtaSystem, SystemConfig};
+
+fn main() {
+    // BERT-large: 24 layers × 16 heads, sequences of 384 tokens at a
+    // CTA-0-grade compression.
+    let task = AttentionTask::from_counts(384, 384, 64, 190, 185, 35, 6);
+    let (layers, heads) = (24usize, 16usize);
+    let sys = CtaSystem::new(SystemConfig::paper());
+    let service = sys.run_layers(&vec![vec![task; heads]; layers]).total_s;
+    println!(
+        "per-request attention service time: {:.2} ms ({} layers x {} heads on 12 units)",
+        service * 1e3,
+        layers,
+        heads
+    );
+    println!();
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "load", "thru rps", "p50 ms", "p95 ms", "p99 ms", "busy"
+    );
+
+    for load in [0.2f64, 0.5, 0.8, 0.95, 1.2] {
+        let rate = load / service;
+        let trace = poisson_trace(400, rate, task, layers, heads, 42);
+        let m = simulate_serving(&sys, &trace);
+        println!(
+            "{:>7.0}% {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>7.0}%",
+            load * 100.0,
+            m.throughput_rps,
+            m.p50_s * 1e3,
+            m.p95_s * 1e3,
+            m.p99_s * 1e3,
+            m.busy_fraction * 100.0
+        );
+    }
+    println!();
+    println!("classic queueing shape: tails explode past ~80% load; the CTA pool's");
+    println!("headroom comes directly from the compressed per-head service times.");
+}

@@ -1,0 +1,68 @@
+//! Full-stack scenario: a multi-layer transformer with CTA inside every
+//! head, scheduled onto a 12-unit CTA system.
+//!
+//! ```text
+//! cargo run --release --example transformer_layer
+//! ```
+
+use cta::attention::CtaConfig;
+use cta::model::TransformerStack;
+use cta::sim::{CtaSystem, SystemConfig};
+use cta::tensor::Matrix;
+use cta::workloads::{bert_large, generate_tokens, squad11};
+
+fn main() {
+    // A 4-layer, 8-head (512-wide) encoder stack.
+    let model = bert_large();
+    let seq_len = 128;
+    let stack = TransformerStack::random(4, 8, model.head_dim, 1024, 11);
+    let slice = generate_tokens(&model, &squad11().with_seq_len(seq_len), seq_len, 5);
+    let x = Matrix::from_fn(seq_len, stack.d_model(), |r, c| slice[(r, c % model.head_dim)]);
+
+    // Run exact and CTA paths side by side.
+    let config = CtaConfig::uniform(3.0, 9);
+    let cmp = stack.compare(&x, &config);
+    println!("{} layers x {} heads, d_model = {}", stack.num_layers(), 8, stack.d_model());
+    println!();
+    println!("activation divergence per layer (CTA vs exact):");
+    for (i, err) in cmp.layer_errors.iter().enumerate() {
+        println!("  layer {}: {:.4}", i + 1, err);
+    }
+
+    // Average compression across all (layer, head) pairs.
+    let stats: Vec<_> = cmp.head_stats.iter().flatten().collect();
+    let mean_k0: f64 = stats.iter().map(|s| s.k0 as f64).sum::<f64>() / stats.len() as f64;
+    println!();
+    println!("mean k0 across {} heads: {:.0} of {} tokens", stats.len(), mean_k0, seq_len);
+
+    // Schedule the whole model's attention on the 12-unit system.
+    let hw = cta::sim::HwConfig { max_seq_len: seq_len, ..cta::sim::HwConfig::paper() };
+    let sys = CtaSystem::new(SystemConfig { hw, ..SystemConfig::paper() });
+    let layer_tasks: Vec<Vec<_>> = cmp
+        .head_stats
+        .iter()
+        .map(|layer| {
+            layer
+                .iter()
+                .map(|s| {
+                    cta::sim::AttentionTask::from_counts(
+                        seq_len,
+                        seq_len,
+                        model.head_dim,
+                        s.k0.max(1),
+                        s.k1.max(1),
+                        s.k2.max(1),
+                        config.hash_length,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let run = sys.run_layers(&layer_tasks);
+    println!();
+    println!("12-unit CTA system, whole model attention:");
+    println!("  compute   {:.1} us", run.compute_s * 1e6);
+    println!("  transfers {:.1} us (overlapped)", run.transfer_s * 1e6);
+    println!("  total     {:.1} us at {:.0}% unit utilisation", run.total_s * 1e6, run.utilization * 100.0);
+    println!("  energy    {:.2} uJ", run.energy_j * 1e6);
+}

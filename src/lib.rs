@@ -1,0 +1,29 @@
+#![deny(missing_docs)]
+
+//! # CTA — Compressed Token Attention
+//!
+//! A from-scratch Rust reproduction of *"CTA: Hardware-Software Co-design
+//! for Compressed Token Attention Mechanism"* (HPCA 2023).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense matrix substrate;
+//! * [`fixed`] — fixed-point formats, quantized matrices, hardware LUTs;
+//! * [`lsh`] — p-stable LSH, the cluster tree, token compression;
+//! * [`attention`] — exact attention and the CTA approximation scheme;
+//! * [`model`] — transformer encoder layers with CTA in every head;
+//! * [`sim`] — the cycle-level CTA accelerator model;
+//! * [`baselines`] — V100 GPU, ELSA and ideal-accelerator models;
+//! * [`workloads`] — synthetic transformer workloads and the model zoo.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction map.
+
+pub use cta_attention as attention;
+pub use cta_baselines as baselines;
+pub use cta_fixed as fixed;
+pub use cta_lsh as lsh;
+pub use cta_model as model;
+pub use cta_sim as sim;
+pub use cta_tensor as tensor;
+pub use cta_workloads as workloads;

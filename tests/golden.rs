@@ -1,0 +1,80 @@
+//! Golden regression tests: the calibrated headline numbers recorded in
+//! `EXPERIMENTS.md`, pinned with tolerances so model-constant drift is
+//! caught by `cargo test` instead of silently invalidating the
+//! documentation.
+
+use cta::attention::AttentionDims;
+use cta::baselines::{ElsaApproximation, ElsaGpuSystem, GpuModel};
+use cta::sim::{analyze, area_breakdown, AreaModel, AttentionTask, CtaAccelerator, HwConfig};
+
+/// The Table-I trace task of EXPERIMENTS.md (BERT-large/IMDB @ CTA-0).
+fn trace_task() -> AttentionTask {
+    AttentionTask::from_counts(512, 512, 64, 312, 308, 54, 6)
+}
+
+#[test]
+fn golden_area() {
+    let a = area_breakdown(&HwConfig::paper(), &AreaModel::default());
+    assert!((a.total_mm2() - 2.158).abs() < 0.01, "total {}", a.total_mm2());
+    assert!((a.sa_fraction() - 0.753).abs() < 0.005, "sa fraction {}", a.sa_fraction());
+}
+
+#[test]
+fn golden_table1_cycles() {
+    let r = CtaAccelerator::new(HwConfig::paper()).simulate_head(&trace_task());
+    assert_eq!(r.cycles, 43_823, "Table-I trace cycle count drifted");
+    assert_eq!(r.schedule.compression_cycles, 1_724);
+    assert_eq!(r.schedule.linear_cycles, 13_863);
+    assert_eq!(r.schedule.attention_cycles, 28_236);
+    assert_eq!(r.schedule.pag_stall_cycles, 0);
+}
+
+#[test]
+fn golden_energy_breakdown() {
+    let r = CtaAccelerator::new(HwConfig::paper()).simulate_head(&trace_task());
+    assert!((r.energy.sa_fraction() - 0.65).abs() < 0.03, "sa {}", r.energy.sa_fraction());
+    assert!((r.energy.memory_fraction() - 0.26).abs() < 0.03, "mem {}", r.energy.memory_fraction());
+    assert!((r.energy.aux_fraction() - 0.09).abs() < 0.03, "aux {}", r.energy.aux_fraction());
+}
+
+#[test]
+fn golden_gpu_reference_point() {
+    // The Fig. 12 normalisation anchor: 12-head attention at n = 384.
+    let gpu = GpuModel::v100();
+    let dims = AttentionDims::self_attention(384, 64, 64);
+    let t = gpu.attention_latency_s(&dims, 12);
+    assert!((t * 1e6 - 550.8).abs() < 1.0, "GPU anchor {} us", t * 1e6);
+}
+
+#[test]
+fn golden_elsa_system_band() {
+    let dims = AttentionDims::self_attention(512, 64, 64);
+    let gpu = GpuModel::v100();
+    let sys = ElsaGpuSystem::paper(ElsaApproximation::Aggressive);
+    let speedup = gpu.attention_latency_s(&dims, 12) / sys.attention_latency_s(&dims, 12);
+    assert!((speedup - 2.21).abs() < 0.05, "ELSA+GPU speedup {speedup}");
+}
+
+#[test]
+fn golden_speedup_band_for_cta0_grade_task() {
+    // A CTA-0-grade point must stay in the paper's order-of-magnitude band.
+    let r = CtaAccelerator::new(HwConfig::paper()).simulate_head(&trace_task());
+    let gpu = GpuModel::v100();
+    let dims = AttentionDims::self_attention(512, 64, 64);
+    let speedup = gpu.attention_latency_s(&dims, 12) / r.latency_s;
+    assert!((10.0..60.0).contains(&speedup), "speedup {speedup}");
+}
+
+#[test]
+fn golden_dse_knee() {
+    let points = cta::sim::sweep(&HwConfig::paper(), &trace_task(), &[8], &[4, 8, 16, 32, 64, 128]);
+    assert_eq!(cta::sim::best_pag_parallelism(&points, 8, 0.01), 16);
+}
+
+#[test]
+fn golden_utilization_band() {
+    let (_, u) = analyze(&HwConfig::paper(), &trace_task());
+    // Recorded overall multiplier utilisation of the (lightly compressed)
+    // trace task — attention GEMMs dominate and run close to peak.
+    assert!((u.overall - 0.86).abs() < 0.10, "overall utilisation {}", u.overall);
+}

@@ -1,0 +1,112 @@
+//! Integration: the functional hardware models compute exactly what the
+//! algorithm crates compute, on realistic workload data.
+
+use cta::attention::{cta_forward, cta_forward_quantized, sample_families, AttentionWeights, CtaConfig, QuantizationConfig};
+use cta::fixed::ReciprocalLut;
+use cta::lsh::{aggregate_centroids, cluster_by_code_map};
+use cta::sim::{
+    run_functional_datapath, run_rtl_datapath, simulate_cacc, simulate_cavg, simulate_cim,
+    simulate_cim_rtl, simulate_pag, HwConfig,
+};
+use cta::tensor::relative_error;
+use cta::workloads::{generate_tokens, gpt2_large, wikitext2, ModelSpec};
+
+fn tokens_16d(seq_len: usize, seed: u64) -> cta::tensor::Matrix {
+    // A 16-dim head keeps the functional SA fast while exercising real
+    // workload statistics.
+    let model = ModelSpec { head_dim: 16, ..gpt2_large() };
+    generate_tokens(&model, &wikitext2().with_seq_len(seq_len), seq_len, seed)
+}
+
+#[test]
+fn functional_datapath_matches_software_on_workload_data() {
+    let tokens = tokens_16d(96, 3);
+    let weights = AttentionWeights::random(16, 16, 4);
+    let cfg = CtaConfig::uniform(2.0, 5);
+    let hw = HwConfig { sa_height: 16, ..HwConfig::paper() };
+    let dp = run_functional_datapath(&tokens, &tokens, &weights, &cfg, &hw);
+    let sw = cta_forward(&tokens, &tokens, &weights, &cfg);
+    let err = relative_error(&dp.output, &sw.output);
+    assert!(err < 1e-4, "datapath error {err}");
+    assert_eq!(dp.cluster_counts, (sw.k0(), sw.k1(), sw.k2()));
+}
+
+#[test]
+fn cim_matches_software_clustering_on_workload_hashes() {
+    let tokens = tokens_16d(128, 7);
+    let cfg = CtaConfig::uniform(2.0, 9);
+    let [f0, _, _] = sample_families(&cfg, 16);
+    let codes = f0.hash_matrix(&tokens);
+    let run = simulate_cim(&codes);
+    assert_eq!(run.table, cluster_by_code_map(&codes));
+    assert_eq!(run.cycles, (tokens.rows() + cfg.hash_length) as u64);
+}
+
+#[test]
+fn cag_matches_software_centroids_on_workload_clusters() {
+    let tokens = tokens_16d(128, 11);
+    let cfg = CtaConfig::uniform(2.0, 13);
+    let [f0, _, _] = sample_families(&cfg, 16);
+    let codes = f0.hash_matrix(&tokens);
+    let table = cluster_by_code_map(&codes);
+    let acc = simulate_cacc(&tokens, &table);
+    let avg = simulate_cavg(&acc.sums, &acc.counts, &ReciprocalLut::new(tokens.rows()));
+    let reference = aggregate_centroids(&tokens, &table);
+    assert!(avg.centroids.approx_eq(&reference.matrix, 1e-3));
+}
+
+#[test]
+fn pag_matches_software_aggregation_inside_full_forward() {
+    let tokens = tokens_16d(96, 17);
+    let weights = AttentionWeights::random(16, 16, 18);
+    let cfg = CtaConfig::uniform(2.0, 19);
+    let cta = cta_forward(&tokens, &tokens, &weights, &cfg);
+    let run = simulate_pag(
+        &cta.scores_bar,
+        &cta.kv_compression.level1.table,
+        &cta.kv_compression.level2.table,
+        cta.k1(),
+        8,
+        2,
+        f32::exp,
+    );
+    assert!(run.ap.approx_eq(&cta.ap, 1e-3));
+    assert_eq!(run.lut_lookups, (cta.k0() * tokens.rows()) as u64);
+}
+
+#[test]
+fn rtl_datapath_matches_functional_on_workload_data() {
+    let tokens = tokens_16d(64, 29);
+    let weights = AttentionWeights::random(16, 16, 30);
+    let cfg = CtaConfig::uniform(2.0, 31);
+    let hw = HwConfig { sa_height: 16, ..HwConfig::paper() };
+    let rtl = run_rtl_datapath(&tokens, &tokens, &weights, &cfg, &hw);
+    let fun = run_functional_datapath(&tokens, &tokens, &weights, &cfg, &hw);
+    assert!(rtl.output.approx_eq(&fun.output, 1e-4));
+    assert_eq!(rtl.cluster_counts, fun.cluster_counts);
+}
+
+#[test]
+fn rtl_cim_matches_event_cim_on_workload_hashes() {
+    let tokens = tokens_16d(96, 33);
+    let cfg = CtaConfig::uniform(2.0, 34);
+    let [f0, _, _] = sample_families(&cfg, 16);
+    let codes = f0.hash_matrix(&tokens);
+    let rtl = simulate_cim_rtl(&codes);
+    let event = simulate_cim(&codes);
+    assert_eq!(rtl.table, event.table);
+    assert_eq!(rtl.reads, event.layer_reads);
+    assert_eq!(rtl.writes, event.layer_writes);
+    assert_eq!(rtl.bypasses, event.bypasses);
+}
+
+#[test]
+fn quantized_path_tracks_float_path_on_workload_data() {
+    let tokens = tokens_16d(96, 23);
+    let weights = AttentionWeights::random(16, 16, 24);
+    let cfg = CtaConfig::uniform(2.0, 25);
+    let float = cta_forward(&tokens, &tokens, &weights, &cfg);
+    let fixed = cta_forward_quantized(&tokens, &tokens, &weights, &cfg, &QuantizationConfig::default());
+    let err = relative_error(&fixed.output, &float.output);
+    assert!(err < 0.05, "quantisation error {err}");
+}

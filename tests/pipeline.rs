@@ -1,0 +1,103 @@
+//! Integration: the full pipeline from workload generation through the
+//! CTA algorithm to the accelerator simulator and the baselines.
+
+use cta::attention::{attention_exact, cta_forward, fidelity, AttentionWeights, CtaConfig};
+use cta::baselines::{ElsaApproximation, ElsaGpuSystem, GpuModel, IdealAccelerator};
+use cta::sim::{AttentionTask, CtaAccelerator, HwConfig};
+use cta::workloads::{bert_large, generate_tokens, imdb, squad11, TestCase};
+
+fn head_setup(seq_len: usize) -> (cta::tensor::Matrix, AttentionWeights) {
+    let model = bert_large();
+    let dataset = squad11().with_seq_len(seq_len);
+    let tokens = generate_tokens(&model, &dataset, seq_len, 99);
+    let weights = AttentionWeights::random(model.head_dim, model.head_dim, 100);
+    (tokens, weights)
+}
+
+#[test]
+fn workload_to_algorithm_to_simulator() {
+    let (tokens, weights) = head_setup(256);
+    let cfg = CtaConfig::uniform(4.0, 5);
+    let cta = cta_forward(&tokens, &tokens, &weights, &cfg);
+
+    // The algorithm compresses a redundant workload meaningfully.
+    assert!(cta.k0() < tokens.rows(), "no query compression happened");
+    assert!(cta.effective_relations() < 0.6);
+
+    // Its output stays close to exact attention.
+    let exact = attention_exact(&tokens, &tokens, &weights);
+    let report = fidelity(&cta, &exact);
+    assert!(report.output_relative_error < 0.1, "error {}", report.output_relative_error);
+    assert!(report.mean_output_cosine > 0.99);
+
+    // The derived task simulates and beats both ideal-normal-attention and
+    // the GPU on this compressible workload.
+    let task = AttentionTask::from_cta(&cta, cfg.hash_length);
+    let acc = CtaAccelerator::new(HwConfig::paper());
+    let sim = acc.simulate_head(&task);
+    assert!(sim.cycles > 0);
+
+    let dims = cta::attention::AttentionDims::self_attention(256, 64, 64);
+    let gpu = GpuModel::v100();
+    assert!(
+        gpu.attention_latency_s(&dims, 12) > sim.latency_s,
+        "CTA should beat the GPU on a compressible head"
+    );
+}
+
+#[test]
+fn compression_reduces_simulated_latency_and_energy() {
+    let acc = CtaAccelerator::new(HwConfig::paper());
+    let loose = acc.simulate_head(&AttentionTask::from_counts(512, 512, 64, 450, 400, 100, 6));
+    let tight = acc.simulate_head(&AttentionTask::from_counts(512, 512, 64, 120, 100, 30, 6));
+    assert!(tight.cycles < loose.cycles);
+    assert!(tight.energy.total_pj() < loose.energy.total_pj());
+    assert!(tight.schedule.memory.total_reads() < loose.schedule.memory.total_reads());
+}
+
+#[test]
+fn cta_beats_elsa_gpu_system_on_paper_workload() {
+    let case = TestCase::new(bert_large(), imdb());
+    let dims = case.dims();
+    let elsa = ElsaGpuSystem::paper(ElsaApproximation::Aggressive);
+    // A mid-compression CTA task.
+    let task = AttentionTask::from_counts(512, 512, 64, 200, 180, 40, 6);
+    let sim = CtaAccelerator::new(HwConfig::paper()).simulate_head(&task);
+    let elsa_t = elsa.attention_latency_s(&dims, 12);
+    assert!(elsa_t / sim.latency_s > 2.0, "CTA/ELSA ratio {}", elsa_t / sim.latency_s);
+}
+
+#[test]
+fn cta_with_compression_beats_ideal_uncompressed_accelerator() {
+    // The Fig. 12 (right) claim: computation reduction lets CTA undercut
+    // an always-at-peak accelerator running exact attention.
+    let dims = cta::attention::AttentionDims::self_attention(512, 64, 64);
+    let ideal = IdealAccelerator::matching(HwConfig::paper().num_multipliers());
+    let task = AttentionTask::from_counts(512, 512, 64, 130, 130, 13, 6);
+    let sim = CtaAccelerator::new(HwConfig::paper()).simulate_head(&task);
+    assert!(
+        sim.latency_s < ideal.head_latency_s(&dims),
+        "CTA {} vs ideal {}",
+        sim.latency_s,
+        ideal.head_latency_s(&dims)
+    );
+}
+
+#[test]
+fn longer_sequences_favour_cta_more() {
+    // Fig. 16 / end-to-end trend: the CTA advantage grows with n because
+    // exact attention is quadratic while compressed counts grow slowly.
+    let gpu = GpuModel::v100();
+    let acc = CtaAccelerator::new(HwConfig::paper());
+    let mut last_ratio = 0.0;
+    for n in [128usize, 256, 512] {
+        let (tokens, weights) = head_setup(n);
+        let cta = cta_forward(&tokens, &tokens, &weights, &CtaConfig::uniform(4.0, 5));
+        let task = AttentionTask::from_cta(&cta, 6);
+        let sim = acc.simulate_head(&task);
+        let dims = cta::attention::AttentionDims::self_attention(n, 64, 64);
+        let ratio = gpu.attention_latency_s(&dims, 12) / sim.latency_s;
+        assert!(ratio > last_ratio, "speedup should grow with n: {ratio} after {last_ratio}");
+        last_ratio = ratio;
+    }
+}
