@@ -141,10 +141,10 @@ pub fn cta_forward_causal(
             // scores vs in-block past tokens.
             let mut terms: Vec<(f32, f32, usize, bool)> = Vec::new(); // (score, weight_count, idx, is_centroid)
             let mut max = f32::NEG_INFINITY;
-            for c in 0..k_bar.rows() {
+            for (c, &cnt) in counts.iter().enumerate().take(k_bar.rows()) {
                 let s = Matrix::dot(qrow, k_bar.row(c)) * scale;
                 max = max.max(s);
-                terms.push((s, counts[c] as f32, c, true));
+                terms.push((s, cnt as f32, c, true));
                 score_evals += 1;
             }
             for j in block_start..=i {

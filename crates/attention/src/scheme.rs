@@ -245,7 +245,7 @@ mod tests {
         let centers = rng.normal_matrix(clusters, d, 0.0, 2.0);
         let mut idx = Vec::new();
         for c in 0..clusters {
-            idx.extend(std::iter::repeat(c).take(per));
+            idx.extend(std::iter::repeat_n(c, per));
         }
         let base = centers.gather_rows(&idx);
         let jitter = rng.normal_matrix(base.rows(), d, 0.0, noise);
@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn identical_tokens_reproduce_exact_attention() {
         let row = standard_normal_matrix(5, 1, 8);
-        let x = row.gather_rows(&vec![0; 16]);
+        let x = row.gather_rows(&[0; 16]);
         let w = AttentionWeights::random(8, 4, 6);
         let cta = cta_forward(&x, &x, &w, &CtaConfig::uniform(1.0, 3));
         assert_eq!(cta.k0(), 1);

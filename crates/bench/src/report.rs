@@ -1,6 +1,6 @@
 //! Structured result export: the harness binaries print human-readable
-//! tables *and* append machine-readable CSV under `results/` so runs can
-//! be diffed and plotted.
+//! tables *and* write machine-readable CSV ([`CsvTable`]) and JSON
+//! ([`JsonReport`]) under `results/` so runs can be diffed and plotted.
 
 use std::fs;
 use std::io::Write as _;
@@ -106,6 +106,146 @@ impl CsvTable {
     }
 }
 
+/// A JSON value as the report writer understands it: enough of the format
+/// for flat-to-moderately-nested experiment reports, with deterministic
+/// (insertion-order) object keys so reports diff cleanly across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept apart from [`JsonValue::Num`] so counts never
+    /// print a decimal point).
+    Int(i64),
+    /// A float; non-finite values serialise as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialises to compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => out.push_str(&i.to_string()),
+            JsonValue::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps round-trip precision and always marks
+                    // the value as a float.
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A named JSON report under construction: a top-level object written to
+/// `results/<name>.json`, mirroring [`CsvTable`]'s conventions.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    name: String,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonReport {
+    /// Starts an empty report.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), fields: Vec::new() }
+    }
+
+    /// Appends one top-level field (keys keep insertion order; duplicate
+    /// keys are the caller's bug and serialise as given).
+    pub fn set(&mut self, key: &str, value: JsonValue) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Serialises the report to compact JSON.
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(self.fields.clone()).to_json()
+    }
+
+    /// Writes `<name>.json` under `dir`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn write_under(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+
+    /// Writes to the workspace-level `results/` directory, logging the
+    /// destination; I/O failures are reported, not fatal.
+    pub fn save(&self) {
+        match self.write_under(Path::new("results")) {
+            Ok(path) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[could not save results/{}.json: {e}]", self.name),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +272,40 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut t = CsvTable::new("t", &["a", "b"]);
         t.push(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_serialises_all_value_kinds() {
+        let v = JsonValue::obj(vec![
+            ("n", JsonValue::Int(3)),
+            ("x", JsonValue::Num(0.25)),
+            ("nan", JsonValue::Num(f64::NAN)),
+            ("ok", JsonValue::Bool(true)),
+            ("name", JsonValue::Str("a \"b\"\n".into())),
+            ("xs", JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Null])),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            r#"{"n":3,"x":0.25,"nan":null,"ok":true,"name":"a \"b\"\n","xs":[1,null]}"#
+        );
+    }
+
+    #[test]
+    fn json_report_keeps_insertion_order() {
+        let mut r = JsonReport::new("t");
+        r.set("z", JsonValue::Int(1)).set("a", JsonValue::Int(2));
+        assert_eq!(r.to_json(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn json_report_write_under_creates_file() {
+        let dir = std::env::temp_dir().join(format!("cta-bench-json-{}", std::process::id()));
+        let mut r = JsonReport::new("unit");
+        r.set("k", JsonValue::Num(1.5));
+        let path = r.write_under(&dir).expect("write");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(content, "{\"k\":1.5}\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

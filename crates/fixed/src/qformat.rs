@@ -158,7 +158,7 @@ mod tests {
         assert_eq!(TOKEN.max_raw(), 4095);
         assert_eq!(TOKEN.min_raw(), -4096);
         assert_eq!(TOKEN.min_value(), -32.0);
-        assert!((TOKEN.max_value() - 31.9921875).abs() < 1e-6);
+        assert!((TOKEN.max_value() - 31.992_188).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Fleet serving sweep: throughput, tail latency, goodput and shed rate
+//! across offered-load points and replica counts.
+//!
+//! For each (replica count, load multiplier) pair the harness generates a
+//! seeded Poisson trace at `multiplier × replicas / solo_service` requests
+//! per second — i.e. load is expressed relative to the fleet's aggregate
+//! no-queueing capacity — plays it through [`cta_serve::simulate_fleet`],
+//! and reports the aggregate metrics. Output follows the `cta-bench`
+//! conventions: an aligned stdout table plus `results/serve_sweep.csv`
+//! and `results/serve_sweep.json`.
+//!
+//! ```text
+//! serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.1,1.5]
+//!             [--requests 200] [--seed 7] [--routing jsq]
+//!             [--batch 4] [--queue-depth 64]
+//! ```
+//!
+//! Everything is deterministic for a fixed `--seed`: running the sweep
+//! twice produces byte-identical tables.
+
+use cta_bench::{banner, JsonReport, JsonValue, Table};
+use cta_serve::{
+    poisson_requests, simulate_fleet, AdmissionPolicy, BatchPolicy, CostModel, FleetConfig,
+    LoadSpec, RoutingPolicy,
+};
+use cta_sim::{CtaSystem, SystemConfig};
+use cta_workloads::{case_task, mini_case};
+
+struct Args {
+    replicas: Vec<usize>,
+    loads: Vec<f64>,
+    requests: usize,
+    seed: u64,
+    routing: RoutingPolicy,
+    batch: usize,
+    queue_depth: usize,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            replicas: vec![1, 4],
+            loads: vec![0.2, 0.5, 0.8, 1.1, 1.5],
+            requests: 200,
+            seed: 7,
+            routing: RoutingPolicy::JoinShortestQueue,
+            batch: 4,
+            queue_depth: 64,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| panic!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--replicas" => {
+                    args.replicas = value("--replicas")
+                        .split(',')
+                        .map(|s| s.parse().expect("--replicas takes integers"))
+                        .collect();
+                }
+                "--loads" => {
+                    args.loads = value("--loads")
+                        .split(',')
+                        .map(|s| s.parse().expect("--loads takes floats"))
+                        .collect();
+                }
+                "--requests" => {
+                    args.requests = value("--requests").parse().expect("--requests takes an integer");
+                }
+                "--seed" => {
+                    args.seed = value("--seed").parse().expect("--seed takes an integer");
+                }
+                "--routing" => {
+                    let v = value("--routing");
+                    args.routing = RoutingPolicy::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown routing policy {v:?} (rr|jsq|low)"));
+                }
+                "--batch" => {
+                    args.batch = value("--batch").parse().expect("--batch takes an integer");
+                }
+                "--queue-depth" => {
+                    args.queue_depth =
+                        value("--queue-depth").parse().expect("--queue-depth takes an integer");
+                }
+                other => panic!("unknown flag {other:?}"),
+            }
+        }
+        assert!(!args.replicas.is_empty() && !args.loads.is_empty(), "empty sweep");
+        args
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let case = mini_case();
+    let spec = LoadSpec::standard(case_task(&case), case.model.layers, case.model.heads);
+
+    // Fleet capacity normalisation: one replica serves one request every
+    // `solo` seconds when nothing queues.
+    let system = CtaSystem::new(SystemConfig::paper());
+    let mut cost = CostModel::new();
+    let probe = poisson_requests(&spec, 1, 1.0, args.seed);
+    let solo = cost.request_service_s(&system, &probe[0]);
+
+    banner(&format!(
+        "Fleet serving sweep — {}×{} heads/layer, solo service {:.3} ms, routing {}",
+        case.model.layers,
+        case.model.heads,
+        solo * 1e3,
+        args.routing.label()
+    ));
+
+    let mut table = Table::new(
+        "serve_sweep",
+        &[
+            "replicas", "load", "offered_rps", "completed", "shed", "tput_rps",
+            "goodput_rps", "p50_ms", "p99_ms", "util",
+        ],
+    );
+    let mut points: Vec<JsonValue> = Vec::new();
+
+    for &replicas in &args.replicas {
+        let mut cfg = FleetConfig::sharded(SystemConfig::paper(), replicas);
+        cfg.routing = args.routing;
+        cfg.batch = BatchPolicy::up_to(args.batch);
+        cfg.admission = AdmissionPolicy::bounded(args.queue_depth);
+        for &load in &args.loads {
+            let rate = load * replicas as f64 / solo;
+            let requests = poisson_requests(&spec, args.requests, rate, args.seed);
+            let report = simulate_fleet(&cfg, &requests);
+            let m = &report.metrics;
+            let (p50, p99, tput) = m
+                .latency
+                .as_ref()
+                .map_or((f64::NAN, f64::NAN, 0.0), |l| (l.p50_s, l.p99_s, l.throughput_rps));
+            let util = m.per_replica_utilization.iter().sum::<f64>()
+                / m.per_replica_utilization.len() as f64;
+            table.row(&[
+                replicas.to_string(),
+                format!("{load:.2}"),
+                format!("{rate:.1}"),
+                m.completed.to_string(),
+                m.shed.to_string(),
+                format!("{tput:.1}"),
+                format!("{:.1}", m.goodput_rps),
+                format!("{:.3}", p50 * 1e3),
+                format!("{:.3}", p99 * 1e3),
+                format!("{util:.2}"),
+            ]);
+            points.push(JsonValue::obj(vec![
+                ("replicas", JsonValue::Int(replicas as i64)),
+                ("load", JsonValue::Num(load)),
+                ("offered_rps", JsonValue::Num(rate)),
+                ("offered", JsonValue::Int(m.offered as i64)),
+                ("completed", JsonValue::Int(m.completed as i64)),
+                ("shed", JsonValue::Int(m.shed as i64)),
+                ("shed_rate", JsonValue::Num(m.shed_rate)),
+                ("throughput_rps", JsonValue::Num(tput)),
+                ("goodput_rps", JsonValue::Num(m.goodput_rps)),
+                ("p50_s", JsonValue::Num(p50)),
+                ("p99_s", JsonValue::Num(p99)),
+                ("mean_utilization", JsonValue::Num(util)),
+                ("makespan_s", JsonValue::Num(m.makespan_s)),
+            ]));
+        }
+    }
+    table.save();
+
+    let mut json = JsonReport::new("serve_sweep");
+    json.set("experiment", JsonValue::Str("serve_sweep".into()))
+        .set("case", JsonValue::Str(case.name()))
+        .set("layers", JsonValue::Int(case.model.layers as i64))
+        .set("heads", JsonValue::Int(case.model.heads as i64))
+        .set("solo_service_s", JsonValue::Num(solo))
+        .set("routing", JsonValue::Str(args.routing.label().into()))
+        .set("batch", JsonValue::Int(args.batch as i64))
+        .set("queue_depth", JsonValue::Int(args.queue_depth as i64))
+        .set("requests_per_point", JsonValue::Int(args.requests as i64))
+        .set("seed", JsonValue::Int(args.seed as i64))
+        .set("distinct_task_shapes", JsonValue::Int(cost.distinct_shapes() as i64))
+        .set("points", JsonValue::Arr(points));
+    json.save();
+}

@@ -1,0 +1,145 @@
+//! Memoised per-task cost estimation.
+//!
+//! Scheduling decisions (routing, admission, batch assembly) need task
+//! costs *without* re-running the cycle-level simulator on every dispatch.
+//! [`cta_sim::CtaSystem::head_cost`] depends only on the task shape and
+//! the hardware configuration, so a fleet of identical-configuration
+//! replicas can share one memo: each distinct `AttentionTask` shape is
+//! simulated exactly once per sweep, no matter how many requests,
+//! replicas, or layer dispatches reference it.
+
+use std::collections::HashMap;
+
+use cta_sim::{AttentionTask, CtaSystem, LayerStep, TaskCost};
+
+use crate::ServeRequest;
+
+/// A memo of per-task costs for one hardware configuration.
+///
+/// All replicas in a [`FleetConfig`](crate::FleetConfig) share the same
+/// [`cta_sim::SystemConfig`], so the cache is keyed by task shape alone.
+#[derive(Debug, Default, Clone)]
+pub struct CostModel {
+    cache: HashMap<AttentionTask, TaskCost>,
+}
+
+impl CostModel {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct task shapes simulated so far.
+    pub fn distinct_shapes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The cost of one head task, simulating it on first sight.
+    pub fn head(&mut self, system: &CtaSystem, task: &AttentionTask) -> TaskCost {
+        *self.cache.entry(*task).or_insert_with(|| system.head_cost(task))
+    }
+
+    /// Executes one layer dispatch through
+    /// [`CtaSystem::step_layer_costed`] using cached head costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn step_layer(&mut self, system: &CtaSystem, tasks: &[AttentionTask]) -> LayerStep {
+        let costs: Vec<TaskCost> = tasks.iter().map(|t| self.head(system, t)).collect();
+        system.step_layer_costed(tasks, &costs)
+    }
+
+    /// Estimated *solo* service time of a request on an idle replica: the
+    /// one-time weight upload plus every layer's step time, with no
+    /// batching. Under continuous batching the realised service time can
+    /// only be this or longer (merging head tasks never shortens a layer's
+    /// critical path), so the estimate is a valid admissibility lower
+    /// bound.
+    pub fn request_service_s(&mut self, system: &CtaSystem, request: &ServeRequest) -> f64 {
+        system.weight_upload_s()
+            + request
+                .layer_tasks
+                .iter()
+                .map(|tasks| self.step_layer(system, tasks).elapsed_s)
+                .sum::<f64>()
+    }
+
+    /// Estimated remaining service of a request whose first `cursor`
+    /// layers have already been dispatched (weight upload counted only at
+    /// `cursor == 0`).
+    pub fn remaining_service_s(
+        &mut self,
+        system: &CtaSystem,
+        request: &ServeRequest,
+        cursor: usize,
+    ) -> f64 {
+        let upload = if cursor == 0 { system.weight_upload_s() } else { 0.0 };
+        upload
+            + request
+                .layer_tasks
+                .iter()
+                .skip(cursor)
+                .map(|tasks| self.step_layer(system, tasks).elapsed_s)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosClass;
+    use cta_sim::SystemConfig;
+
+    fn system() -> CtaSystem {
+        CtaSystem::new(SystemConfig::paper())
+    }
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6)
+    }
+
+    #[test]
+    fn memo_simulates_each_shape_once() {
+        let sys = system();
+        let mut cost = CostModel::new();
+        let r = ServeRequest::uniform(0, 0.0, QosClass::standard(), task(), 6, 16);
+        let _ = cost.request_service_s(&sys, &r);
+        assert_eq!(cost.distinct_shapes(), 1);
+        let other = AttentionTask::from_counts(256, 256, 64, 80, 70, 30, 6);
+        let _ = cost.head(&sys, &other);
+        assert_eq!(cost.distinct_shapes(), 2);
+    }
+
+    #[test]
+    fn cached_costs_match_direct_simulation() {
+        let sys = system();
+        let mut cost = CostModel::new();
+        assert_eq!(cost.head(&sys, &task()), sys.head_cost(&task()));
+        // Second lookup hits the memo and must agree.
+        assert_eq!(cost.head(&sys, &task()), sys.head_cost(&task()));
+    }
+
+    #[test]
+    fn solo_estimate_equals_run_layers_total() {
+        let sys = system();
+        let mut cost = CostModel::new();
+        let r = ServeRequest::uniform(0, 0.0, QosClass::standard(), task(), 4, 12);
+        let est = cost.request_service_s(&sys, &r);
+        let run = sys.run_layers(&r.layer_tasks);
+        assert!((est - run.total_s).abs() < 1e-15, "est {est} vs run {}", run.total_s);
+    }
+
+    #[test]
+    fn remaining_service_decreases_with_cursor() {
+        let sys = system();
+        let mut cost = CostModel::new();
+        let r = ServeRequest::uniform(0, 0.0, QosClass::standard(), task(), 4, 12);
+        let full = cost.remaining_service_s(&sys, &r, 0);
+        let half = cost.remaining_service_s(&sys, &r, 2);
+        let none = cost.remaining_service_s(&sys, &r, 4);
+        assert!(full > half && half > none);
+        assert_eq!(none, 0.0);
+        assert_eq!(full, cost.request_service_s(&sys, &r));
+    }
+}

@@ -1,0 +1,60 @@
+#![deny(missing_docs)]
+
+//! `cta-serve`: a request-level serving runtime over the CTA system model.
+//!
+//! `cta-sim` answers "how fast does one request run on the pool?"
+//! (`CtaSystem::run_layers`) and carries a deliberately minimal FIFO
+//! serving path (`cta_sim::simulate_serving`). This crate answers the
+//! deployment question — what does a *fleet* of CTA pools sustain under
+//! an open-loop arrival process? — with three mechanisms the FIFO path
+//! lacks:
+//!
+//! * **continuous batching** ([`BatchPolicy`]) — replicas advance in
+//!   layer steps and merge the current layers of all active requests into
+//!   one dispatch, so short requests are never stuck behind long ones for
+//!   more than a layer;
+//! * **multi-replica sharding** ([`RoutingPolicy`]) — N independent
+//!   `CtaSystem` instances behind round-robin, join-shortest-queue, or
+//!   least-outstanding-work routing;
+//! * **SLO-aware admission** ([`AdmissionPolicy`]) — queue-depth shedding
+//!   with priority exemptions plus deadline shedding driven by the
+//!   memoised [`CostModel`].
+//!
+//! Everything is deterministic: seeded load generators
+//! ([`poisson_requests`], [`mmpp_requests`], [`replay_trace`]),
+//! tie-broken event ordering ([`simulate_fleet`]), and exact (not
+//! sampled) percentile metrics ([`FleetMetrics`]). Configured down to one replica
+//! with batching off and admission disabled ([`FleetConfig::single_fifo`]),
+//! [`simulate_fleet`] reproduces `cta_sim::simulate_serving` exactly —
+//! the `equivalence` integration test pins that.
+//!
+//! # Example
+//!
+//! ```
+//! use cta_serve::{simulate_fleet, FleetConfig, LoadSpec, poisson_requests};
+//! use cta_sim::{AttentionTask, SystemConfig};
+//!
+//! let spec = LoadSpec::standard(
+//!     AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6), 2, 4);
+//! let requests = poisson_requests(&spec, 20, 500.0, 1);
+//! let report = simulate_fleet(&FleetConfig::sharded(SystemConfig::paper(), 2), &requests);
+//! assert_eq!(report.metrics.completed + report.metrics.shed, 20);
+//! ```
+
+mod admission;
+mod cost;
+mod loadgen;
+mod metrics;
+mod replica;
+mod request;
+mod routing;
+mod runtime;
+
+pub use admission::{AdmissionPolicy, ShedReason};
+pub use cost::CostModel;
+pub use loadgen::{mmpp_requests, poisson_requests, replay_trace, LoadSpec, MmppParams};
+pub use metrics::FleetMetrics;
+pub use replica::{BatchPolicy, Completion};
+pub use request::{QosClass, ServeRequest};
+pub use routing::RoutingPolicy;
+pub use runtime::{simulate_fleet, FleetConfig, FleetReport, Shed};

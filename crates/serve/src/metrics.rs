@@ -1,0 +1,148 @@
+//! Fleet-level serving metrics.
+//!
+//! Latency percentiles are exact (computed over every completion through
+//! [`cta_sim::latency_percentile`] — the same nearest-rank method the
+//! single-replica path uses), not approximated from histogram buckets.
+
+use cta_sim::ServingMetrics;
+
+use crate::replica::Completion;
+use crate::Shed;
+
+/// Aggregate metrics of one fleet simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Requests offered to the fleet.
+    pub offered: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// Completions that met their class deadline (deadline-free classes
+    /// always count) per second of makespan.
+    pub goodput_rps: f64,
+    /// Latency distribution over completions (`None` when everything was
+    /// shed). Identical in definition to the single-replica
+    /// [`ServingMetrics`]: its `busy_fraction` is the mean replica
+    /// utilization.
+    pub latency: Option<ServingMetrics>,
+    /// Trace start to last completion, seconds.
+    pub makespan_s: f64,
+    /// Per-replica fraction of the makespan spent executing steps.
+    pub per_replica_utilization: Vec<f64>,
+    /// Per-replica completion counts.
+    pub per_replica_completed: Vec<usize>,
+}
+
+impl FleetMetrics {
+    /// Builds the aggregate from raw outcomes. `replica_busy_s[i]` is the
+    /// wall-clock time replica `i` spent executing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed + shed != offered` (the runtime's conservation
+    /// invariant) or `replica_busy_s` is empty.
+    pub fn from_outcomes(
+        offered: usize,
+        completions: &[Completion],
+        shed: &[Shed],
+        replica_busy_s: &[f64],
+    ) -> Self {
+        assert_eq!(completions.len() + shed.len(), offered, "request conservation violated");
+        assert!(!replica_busy_s.is_empty(), "at least one replica");
+        let makespan_s = completions.iter().map(|c| c.finish_s).fold(0.0, f64::max);
+        let span = makespan_s.max(f64::EPSILON);
+        let latencies: Vec<f64> = completions.iter().map(|c| c.latency_s()).collect();
+        let busy_total: f64 = replica_busy_s.iter().sum();
+        let latency = if latencies.is_empty() {
+            None
+        } else {
+            // busy fraction = mean over replicas of busy/span.
+            Some(ServingMetrics::from_latencies(
+                &latencies,
+                span,
+                busy_total / replica_busy_s.len() as f64,
+            ))
+        };
+        let good = completions.iter().filter(|c| c.deadline_met.unwrap_or(true)).count();
+        let mut per_replica_completed = vec![0usize; replica_busy_s.len()];
+        for c in completions {
+            per_replica_completed[c.replica] += 1;
+        }
+        Self {
+            offered,
+            completed: completions.len(),
+            shed: shed.len(),
+            shed_rate: shed.len() as f64 / offered.max(1) as f64,
+            goodput_rps: good as f64 / span,
+            latency,
+            makespan_s,
+            per_replica_utilization: replica_busy_s.iter().map(|b| b / span).collect(),
+            per_replica_completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShedReason;
+
+    fn completion(id: u64, arrival: f64, finish: f64, replica: usize) -> Completion {
+        Completion {
+            id,
+            class: "standard",
+            arrival_s: arrival,
+            finish_s: finish,
+            replica,
+            deadline_met: None,
+        }
+    }
+
+    #[test]
+    fn aggregates_counts_and_percentiles() {
+        let completions =
+            vec![completion(0, 0.0, 1.0, 0), completion(1, 0.0, 3.0, 1), completion(2, 1.0, 5.0, 0)];
+        let shed = vec![Shed { id: 3, class: "standard", arrival_s: 2.0, reason: ShedReason::QueueFull }];
+        let m = FleetMetrics::from_outcomes(4, &completions, &shed, &[2.0, 3.0]);
+        assert_eq!((m.offered, m.completed, m.shed), (4, 3, 1));
+        assert_eq!(m.shed_rate, 0.25);
+        assert_eq!(m.makespan_s, 5.0);
+        let lat = m.latency.expect("has completions");
+        assert_eq!(lat.completed, 3);
+        assert_eq!(lat.p50_s, 3.0); // latencies 1, 3, 4 -> median 3
+        assert_eq!(lat.p99_s, 4.0);
+        assert_eq!(m.per_replica_completed, vec![2, 1]);
+        assert_eq!(m.per_replica_utilization, vec![0.4, 0.6]);
+    }
+
+    #[test]
+    fn goodput_counts_deadline_misses_out() {
+        let mut ok = completion(0, 0.0, 1.0, 0);
+        ok.deadline_met = Some(true);
+        let mut miss = completion(1, 0.0, 2.0, 0);
+        miss.deadline_met = Some(false);
+        let m = FleetMetrics::from_outcomes(2, &[ok, miss], &[], &[2.0]);
+        assert_eq!(m.goodput_rps, 0.5); // 1 good completion / 2 s
+        assert_eq!(m.completed, 2);
+    }
+
+    #[test]
+    fn all_shed_yields_no_latency_distribution() {
+        let shed: Vec<Shed> = (0..3)
+            .map(|id| Shed { id, class: "standard", arrival_s: 0.0, reason: ShedReason::QueueFull })
+            .collect();
+        let m = FleetMetrics::from_outcomes(3, &[], &shed, &[0.0]);
+        assert!(m.latency.is_none());
+        assert_eq!(m.shed_rate, 1.0);
+        assert_eq!(m.goodput_rps, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation")]
+    fn lost_requests_rejected() {
+        let _ = FleetMetrics::from_outcomes(5, &[], &[], &[1.0]);
+    }
+}

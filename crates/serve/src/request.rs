@@ -1,0 +1,162 @@
+//! Requests and service classes as the runtime sees them.
+
+use cta_sim::{AttentionTask, ServingRequest};
+
+/// A quality-of-service class: a scheduling priority plus an optional
+/// completion deadline.
+///
+/// Priorities order replica queues (higher first); the deadline, when
+/// present and enforced by the [`AdmissionPolicy`](crate::AdmissionPolicy),
+/// is a *relative* latency budget from the request's arrival, used both to
+/// shed requests that cannot meet it and to score goodput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosClass {
+    /// Human-readable class name (reported in metrics breakdowns).
+    pub name: &'static str,
+    /// Scheduling priority; higher is served first within a queue.
+    pub priority: u8,
+    /// End-to-end latency budget from arrival, seconds, if the class has
+    /// an SLO.
+    pub deadline_s: Option<f64>,
+}
+
+impl QosClass {
+    /// An interactive class: high priority with a deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_s <= 0`.
+    pub fn interactive(deadline_s: f64) -> Self {
+        assert!(deadline_s > 0.0, "deadline must be positive");
+        Self { name: "interactive", priority: 200, deadline_s: Some(deadline_s) }
+    }
+
+    /// The default class: mid priority, no deadline.
+    pub fn standard() -> Self {
+        Self { name: "standard", priority: 100, deadline_s: None }
+    }
+
+    /// A throughput-oriented background class: lowest priority, no
+    /// deadline.
+    pub fn batch() -> Self {
+        Self { name: "batch", priority: 0, deadline_s: None }
+    }
+}
+
+/// One inference request as admitted to the fleet: identity, arrival,
+/// class, and the per-layer head tasks of its model (layer-major, exactly
+/// as [`cta_sim::CtaSystem::run_layers`] takes them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Unique request id; used as the deterministic tie-breaker wherever
+    /// two events coincide in time.
+    pub id: u64,
+    /// Arrival time, seconds from trace start.
+    pub arrival_s: f64,
+    /// The request's service class.
+    pub class: QosClass,
+    /// Per-layer head tasks.
+    pub layer_tasks: Vec<Vec<AttentionTask>>,
+}
+
+impl ServeRequest {
+    /// Builds a request, validating its shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_s < 0`, `layer_tasks` is empty, or any layer has
+    /// no head tasks.
+    pub fn new(
+        id: u64,
+        arrival_s: f64,
+        class: QosClass,
+        layer_tasks: Vec<Vec<AttentionTask>>,
+    ) -> Self {
+        assert!(arrival_s >= 0.0, "arrival time must be non-negative");
+        assert!(!layer_tasks.is_empty(), "a request needs at least one layer");
+        assert!(layer_tasks.iter().all(|l| !l.is_empty()), "every layer needs at least one head");
+        Self { id, arrival_s, class, layer_tasks }
+    }
+
+    /// A request whose every layer runs `heads` copies of one head task
+    /// (mirror of [`ServingRequest::uniform`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`, `heads == 0`, or `arrival_s < 0`.
+    pub fn uniform(
+        id: u64,
+        arrival_s: f64,
+        class: QosClass,
+        task: AttentionTask,
+        layers: usize,
+        heads: usize,
+    ) -> Self {
+        assert!(layers > 0 && heads > 0, "layers and heads must be positive");
+        Self::new(id, arrival_s, class, vec![vec![task; heads]; layers])
+    }
+
+    /// Adopts a `cta-sim` serving request under a class, keeping its
+    /// arrival time and layer tasks.
+    pub fn from_serving(id: u64, class: QosClass, r: &ServingRequest) -> Self {
+        Self::new(id, r.arrival_s, class, r.layer_tasks.clone())
+    }
+
+    /// Number of layers the request still owes from `cursor` (layers
+    /// already dispatched).
+    pub(crate) fn remaining_layers(&self, cursor: usize) -> usize {
+        self.layer_tasks.len().saturating_sub(cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6)
+    }
+
+    #[test]
+    fn uniform_builds_layer_major_tasks() {
+        let r = ServeRequest::uniform(7, 1.5, QosClass::standard(), task(), 3, 4);
+        assert_eq!(r.layer_tasks.len(), 3);
+        assert!(r.layer_tasks.iter().all(|l| l.len() == 4));
+        assert_eq!(r.remaining_layers(0), 3);
+        assert_eq!(r.remaining_layers(2), 1);
+        assert_eq!(r.remaining_layers(5), 0);
+    }
+
+    #[test]
+    fn from_serving_preserves_arrival_and_shape() {
+        let s = ServingRequest::uniform(2.0, task(), 2, 3);
+        let r = ServeRequest::from_serving(1, QosClass::batch(), &s);
+        assert_eq!(r.arrival_s, 2.0);
+        assert_eq!(r.layer_tasks, s.layer_tasks);
+    }
+
+    #[test]
+    fn class_constructors_order_priorities() {
+        assert!(QosClass::interactive(0.1).priority > QosClass::standard().priority);
+        assert!(QosClass::standard().priority > QosClass::batch().priority);
+        assert_eq!(QosClass::interactive(0.1).deadline_s, Some(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_request_rejected() {
+        let _ = ServeRequest::new(0, 0.0, QosClass::standard(), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every layer needs at least one head")]
+    fn empty_layer_rejected() {
+        let _ = ServeRequest::new(0, 0.0, QosClass::standard(), vec![vec![task()], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn non_positive_deadline_rejected() {
+        let _ = QosClass::interactive(0.0);
+    }
+}

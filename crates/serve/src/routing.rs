@@ -1,0 +1,171 @@
+//! Replica-selection policies.
+
+use crate::replica::Replica;
+use crate::CostModel;
+
+/// How arriving requests are assigned to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Cycle through replicas in index order, ignoring state.
+    RoundRobin,
+    /// Send to the replica with the fewest requests in flight (queued +
+    /// active); ties break to the lowest index.
+    JoinShortestQueue,
+    /// Send to the replica with the least estimated outstanding work in
+    /// seconds (committed schedule + remaining layers + queued service);
+    /// ties break to the lowest index. Costs come from the shared
+    /// [`CostModel`], so the decision never re-runs the simulator.
+    LeastOutstandingWork,
+}
+
+impl RoutingPolicy {
+    /// Short identifier used in reports and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "rr",
+            RoutingPolicy::JoinShortestQueue => "jsq",
+            RoutingPolicy::LeastOutstandingWork => "low",
+        }
+    }
+
+    /// Parses a CLI label (`rr` / `jsq` / `low`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rr" | "round-robin" => Some(RoutingPolicy::RoundRobin),
+            "jsq" | "join-shortest-queue" => Some(RoutingPolicy::JoinShortestQueue),
+            "low" | "least-outstanding-work" => Some(RoutingPolicy::LeastOutstandingWork),
+            _ => None,
+        }
+    }
+
+    /// Selects the replica for a request arriving at `now`. `rr_cursor`
+    /// is the round-robin state, advanced only by that policy.
+    pub(crate) fn choose(
+        &self,
+        replicas: &mut [Replica],
+        cost: &mut CostModel,
+        now: f64,
+        rr_cursor: &mut usize,
+    ) -> usize {
+        match self {
+            RoutingPolicy::RoundRobin => {
+                let i = *rr_cursor % replicas.len();
+                *rr_cursor = (*rr_cursor + 1) % replicas.len();
+                i
+            }
+            RoutingPolicy::JoinShortestQueue => replicas
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, r)| (r.load(), *i))
+                .map(|(i, _)| i)
+                .expect("at least one replica"),
+            RoutingPolicy::LeastOutstandingWork => {
+                let mut best = 0usize;
+                let mut best_work = f64::INFINITY;
+                for (i, r) in replicas.iter_mut().enumerate() {
+                    let work = r.outstanding_s(cost, now);
+                    if work < best_work {
+                        best_work = work;
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::Pending;
+    use crate::{QosClass, ServeRequest};
+    use cta_sim::{AttentionTask, CtaSystem, SystemConfig};
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6)
+    }
+
+    fn replicas(n: usize) -> Vec<Replica> {
+        (0..n).map(|i| Replica::new(i, CtaSystem::new(SystemConfig::paper()))).collect()
+    }
+
+    fn queued(id: u64, layers: usize) -> Pending {
+        Pending {
+            request: ServeRequest::uniform(id, 0.0, QosClass::standard(), task(), layers, 4),
+            est_service_s: layers as f64,
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for p in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::LeastOutstandingWork,
+        ] {
+            assert_eq!(RoutingPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(RoutingPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rs = replicas(3);
+        let mut cost = CostModel::new();
+        let mut cursor = 0;
+        let picks: Vec<usize> = (0..6)
+            .map(|_| RoutingPolicy::RoundRobin.choose(&mut rs, &mut cost, 0.0, &mut cursor))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_prefers_emptier_replica() {
+        let mut rs = replicas(2);
+        rs[0].enqueue(queued(0, 1));
+        rs[0].enqueue(queued(1, 1));
+        let mut cost = CostModel::new();
+        let mut cursor = 0;
+        let pick =
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor);
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn low_sees_work_not_just_counts() {
+        // Replica 0 queues one LONG request, replica 1 queues two short
+        // ones: JSQ picks 0, LOW picks 1... unless the short pair still
+        // outweighs the long one. Make the long request 10 layers vs two
+        // 1-layer shorts so the work comparison is unambiguous.
+        let mut rs = replicas(2);
+        rs[0].enqueue(queued(0, 10));
+        rs[1].enqueue(queued(1, 1));
+        rs[1].enqueue(queued(2, 1));
+        let mut cost = CostModel::new();
+        let mut cursor = 0;
+        assert_eq!(
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            0
+        );
+        assert_eq!(
+            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            1
+        );
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        let mut rs = replicas(4);
+        let mut cost = CostModel::new();
+        let mut cursor = 0;
+        assert_eq!(
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            0
+        );
+        assert_eq!(
+            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            0
+        );
+    }
+}

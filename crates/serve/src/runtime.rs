@@ -1,0 +1,263 @@
+//! The discrete-event fleet runtime.
+//!
+//! The simulation interleaves two event sources in time order: request
+//! arrivals (routed and admission-checked the instant they occur) and
+//! per-replica layer steps (each replica dispatches its active batch one
+//! layer at a time; see [`crate::replica`]). Ties are deterministic:
+//! an arrival coinciding with a step is processed first — so it can still
+//! join that step's batch — and coincident replica steps run in replica
+//! index order. All state evolution is pure `f64` arithmetic over the
+//! trace, so a fixed trace and configuration always reproduce the same
+//! report.
+
+use cta_sim::CtaSystem;
+
+use crate::replica::{Completion, Pending, Replica};
+use crate::{
+    AdmissionPolicy, BatchPolicy, CostModel, FleetMetrics, RoutingPolicy, ServeRequest, ShedReason,
+};
+
+/// A request rejected by admission control.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shed {
+    /// The request id.
+    pub id: u64,
+    /// Class name of the request.
+    pub class: &'static str,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Why it was shed.
+    pub reason: ShedReason,
+}
+
+/// Full fleet configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Per-replica system (all replicas share one configuration, so task
+    /// costs are memoised fleet-wide).
+    pub system: cta_sim::SystemConfig,
+    /// Number of independent replicas.
+    pub replicas: usize,
+    /// Arrival routing policy.
+    pub routing: RoutingPolicy,
+    /// Admission control.
+    pub admission: AdmissionPolicy,
+    /// Continuous-batching width.
+    pub batch: BatchPolicy,
+}
+
+impl FleetConfig {
+    /// The compatibility configuration: one replica, round-robin (trivial)
+    /// routing, batching off, admit everything. In this configuration
+    /// [`simulate_fleet`] reproduces `cta_sim::simulate_serving` exactly.
+    pub fn single_fifo(system: cta_sim::SystemConfig) -> Self {
+        Self {
+            system,
+            replicas: 1,
+            routing: RoutingPolicy::RoundRobin,
+            admission: AdmissionPolicy::admit_all(),
+            batch: BatchPolicy::off(),
+        }
+    }
+
+    /// A sharded fleet at the given width with sensible production
+    /// defaults: least-outstanding-work routing, bounded queues, batching
+    /// up to 4 requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn sharded(system: cta_sim::SystemConfig, replicas: usize) -> Self {
+        assert!(replicas > 0, "at least one replica");
+        Self {
+            system,
+            replicas,
+            routing: RoutingPolicy::LeastOutstandingWork,
+            admission: AdmissionPolicy::bounded(64),
+            batch: BatchPolicy::up_to(4),
+        }
+    }
+}
+
+/// Everything a fleet simulation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Aggregate metrics.
+    pub metrics: FleetMetrics,
+    /// Every completion, in completion order.
+    pub completions: Vec<Completion>,
+    /// Every shed request, in arrival order.
+    pub shed: Vec<Shed>,
+}
+
+/// Plays `requests` (sorted by arrival) through the fleet.
+///
+/// # Panics
+///
+/// Panics if `cfg.replicas == 0`, `requests` is empty, or `requests` is
+/// not sorted by arrival time.
+pub fn simulate_fleet(cfg: &FleetConfig, requests: &[ServeRequest]) -> FleetReport {
+    assert!(cfg.replicas > 0, "at least one replica");
+    assert!(!requests.is_empty(), "at least one request");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival time"
+    );
+
+    let system = CtaSystem::new(cfg.system);
+    let mut replicas: Vec<Replica> =
+        (0..cfg.replicas).map(|i| Replica::new(i, system.clone())).collect();
+    let mut cost = CostModel::new();
+    let mut completions: Vec<Completion> = Vec::with_capacity(requests.len());
+    let mut shed: Vec<Shed> = Vec::new();
+    let mut rr_cursor = 0usize;
+    let mut next_arrival = 0usize;
+
+    loop {
+        // Earliest replica step, ties to the lowest index.
+        let next_step: Option<(f64, usize)> = replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.next_step_time().map(|t| (t, i)))
+            .min_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("finite step times").then(a.1.cmp(&b.1))
+            });
+
+        let arrival_due = next_arrival < requests.len()
+            && next_step.is_none_or(|(t, _)| requests[next_arrival].arrival_s <= t);
+
+        if arrival_due {
+            let request = &requests[next_arrival];
+            next_arrival += 1;
+            let now = request.arrival_s;
+            let target = cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor);
+            let est_service_s = cost.request_service_s(&system, request);
+            let est_wait_s = replicas[target].outstanding_s(&mut cost, now);
+            match cfg.admission.admit(
+                &request.class,
+                replicas[target].queue_depth(),
+                est_wait_s + est_service_s,
+            ) {
+                Ok(()) => replicas[target]
+                    .enqueue(Pending { request: request.clone(), est_service_s }),
+                Err(reason) => shed.push(Shed {
+                    id: request.id,
+                    class: request.class.name,
+                    arrival_s: now,
+                    reason,
+                }),
+            }
+        } else if let Some((_, i)) = next_step {
+            replicas[i].execute_step(&cfg.batch, &mut cost, &mut completions);
+        } else {
+            break;
+        }
+    }
+
+    let busy: Vec<f64> = replicas.iter().map(|r| r.busy_s).collect();
+    let metrics = FleetMetrics::from_outcomes(requests.len(), &completions, &shed, &busy);
+    FleetReport { metrics, completions, shed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QosClass;
+    use cta_sim::{AttentionTask, SystemConfig};
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6)
+    }
+
+    fn trace(n: usize, gap_s: f64) -> Vec<ServeRequest> {
+        (0..n)
+            .map(|i| {
+                ServeRequest::uniform(i as u64, i as f64 * gap_s, QosClass::standard(), task(), 2, 4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let cfg = FleetConfig::sharded(SystemConfig::paper(), 3);
+        let report = simulate_fleet(&cfg, &trace(40, 1e-5));
+        assert_eq!(report.metrics.completed + report.metrics.shed, 40);
+        assert_eq!(report.completions.len() + report.shed.len(), 40);
+    }
+
+    #[test]
+    fn more_replicas_cut_tail_latency_under_load() {
+        let requests = trace(60, 1e-5); // heavy burst
+        let one = simulate_fleet(&FleetConfig::single_fifo(SystemConfig::paper()), &requests);
+        let mut cfg4 = FleetConfig::single_fifo(SystemConfig::paper());
+        cfg4.replicas = 4;
+        cfg4.routing = RoutingPolicy::JoinShortestQueue;
+        let four = simulate_fleet(&cfg4, &requests);
+        let p99_1 = one.metrics.latency.as_ref().expect("completions").p99_s;
+        let p99_4 = four.metrics.latency.as_ref().expect("completions").p99_s;
+        assert!(p99_4 < p99_1 / 2.0, "4 replicas p99 {p99_4} vs 1 replica {p99_1}");
+    }
+
+    #[test]
+    fn deadline_shedding_caps_tail_and_reports_shed() {
+        let mut requests = trace(50, 1e-5);
+        for r in &mut requests {
+            r.class = QosClass { name: "tight", priority: 100, deadline_s: Some(5e-4) };
+        }
+        let mut cfg = FleetConfig::single_fifo(SystemConfig::paper());
+        cfg.admission.enforce_deadlines = true;
+        let report = simulate_fleet(&cfg, &requests);
+        assert!(report.metrics.shed > 0, "overload with tight deadline must shed");
+        // Everything that did complete met the deadline (admission only
+        // admits meetable work, and estimates are solo lower bounds that
+        // are exact when batching is off and queue estimates are exact).
+        for c in &report.completions {
+            assert_eq!(c.deadline_met, Some(true), "completion {} missed", c.id);
+        }
+    }
+
+    #[test]
+    fn queue_depth_shedding_triggers_under_burst() {
+        let mut cfg = FleetConfig::single_fifo(SystemConfig::paper());
+        cfg.admission = AdmissionPolicy::bounded(2);
+        let report = simulate_fleet(&cfg, &trace(30, 1e-6));
+        assert!(report.metrics.shed > 0);
+        assert!(report.shed.iter().all(|s| s.reason == ShedReason::QueueFull));
+    }
+
+    #[test]
+    fn interactive_class_overtakes_batch_backlog() {
+        // 10 batch requests arrive at t=0; an interactive one arrives
+        // just after. With priorities it should complete far earlier than
+        // the batch tail.
+        let mut requests: Vec<ServeRequest> = (0..10)
+            .map(|i| ServeRequest::uniform(i, 0.0, QosClass::batch(), task(), 2, 4))
+            .collect();
+        requests.push(ServeRequest::uniform(10, 1e-6, QosClass::interactive(10.0), task(), 2, 4));
+        requests.sort_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).expect("finite"));
+        let cfg = FleetConfig::single_fifo(SystemConfig::paper());
+        let report = simulate_fleet(&cfg, &requests);
+        let finish =
+            |id: u64| report.completions.iter().find(|c| c.id == id).expect("completed").finish_s;
+        let batch_last = (0..10).map(finish).fold(0.0, f64::max);
+        assert!(finish(10) < batch_last, "interactive must not wait out the batch backlog");
+    }
+
+    #[test]
+    fn deterministic_for_identical_inputs() {
+        let cfg = FleetConfig::sharded(SystemConfig::paper(), 2);
+        let requests = trace(25, 1e-4);
+        let a = simulate_fleet(&cfg, &requests);
+        let b = simulate_fleet(&cfg, &requests);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_requests_rejected() {
+        let cfg = FleetConfig::single_fifo(SystemConfig::paper());
+        let a = ServeRequest::uniform(0, 1.0, QosClass::standard(), task(), 1, 1);
+        let b = ServeRequest::uniform(1, 0.0, QosClass::standard(), task(), 1, 1);
+        let _ = simulate_fleet(&cfg, &[a, b]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Pins the fleet runtime to `cta_sim::simulate_serving`: configured down
+//! to a single replica with batching off and everything admitted
+//! ([`FleetConfig::single_fifo`]), `simulate_fleet` must reproduce the
+//! FIFO path's metrics **bit for bit** — both paths are built from the
+//! same `CtaSystem` step primitives and accumulate time in the same
+//! order, so any divergence is a scheduler bug, not round-off.
+
+use cta_serve::{replay_trace, simulate_fleet, FleetConfig, QosClass};
+use cta_sim::{poisson_trace, simulate_serving, AttentionTask, CtaSystem, SystemConfig};
+
+fn task() -> AttentionTask {
+    AttentionTask::from_counts(256, 256, 64, 100, 90, 20, 6)
+}
+
+#[test]
+fn single_fifo_fleet_matches_simulate_serving_bitwise() {
+    for (rate, seed) in [(50.0, 1u64), (2_000.0, 2), (20_000.0, 3)] {
+        let trace = poisson_trace(40, rate, task(), 3, 8, seed);
+        let serving = simulate_serving(&CtaSystem::new(SystemConfig::paper()), &trace);
+
+        let requests = replay_trace(&trace, QosClass::standard());
+        let report =
+            simulate_fleet(&FleetConfig::single_fifo(SystemConfig::paper()), &requests);
+
+        assert_eq!(report.metrics.shed, 0, "single_fifo admits everything");
+        let fleet = report.metrics.latency.as_ref().expect("has completions");
+        assert_eq!(
+            fleet, &serving,
+            "rate {rate}: fleet metrics must equal the FIFO path bit for bit"
+        );
+    }
+}
+
+#[test]
+fn single_fifo_serves_in_arrival_order() {
+    let trace = poisson_trace(30, 5_000.0, task(), 2, 4, 9);
+    let requests = replay_trace(&trace, QosClass::standard());
+    let report = simulate_fleet(&FleetConfig::single_fifo(SystemConfig::paper()), &requests);
+    let ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+    let expected: Vec<u64> = (0..30).collect();
+    assert_eq!(ids, expected, "FIFO completion order is arrival order");
+}

@@ -1,0 +1,129 @@
+//! Property tests of the fleet runtime's scheduler invariants.
+//!
+//! Across randomly drawn fleet shapes, load levels and policies:
+//!
+//! * **conservation** — every offered request is accounted for exactly
+//!   once (completed + shed == offered), with no duplicated ids;
+//! * **causality** — a completion never precedes its own arrival plus its
+//!   solo service time (the cost model's admissibility lower bound);
+//! * **determinism** — a fixed seed reproduces the full report bitwise.
+
+use cta_serve::{
+    mmpp_requests, poisson_requests, simulate_fleet, AdmissionPolicy, BatchPolicy, CostModel,
+    FleetConfig, LoadSpec, MmppParams, RoutingPolicy,
+};
+use cta_sim::{AttentionTask, CtaSystem, SystemConfig};
+use proptest::prelude::*;
+
+fn spec() -> LoadSpec {
+    LoadSpec::standard(AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6), 3, 4)
+}
+
+fn routing(choice: u8) -> RoutingPolicy {
+    match choice % 3 {
+        0 => RoutingPolicy::RoundRobin,
+        1 => RoutingPolicy::JoinShortestQueue,
+        _ => RoutingPolicy::LeastOutstandingWork,
+    }
+}
+
+fn config(replicas: usize, route: u8, batch: usize, depth: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::sharded(SystemConfig::paper(), replicas);
+    cfg.routing = routing(route);
+    cfg.batch = BatchPolicy::up_to(batch);
+    cfg.admission = AdmissionPolicy::bounded(depth);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    fn no_request_is_lost_or_duplicated(
+        replicas in 1usize..5,
+        route in 0u8..3,
+        batch in 1usize..5,
+        depth in 1usize..8,
+        count in 1usize..60,
+        rate in 100.0f64..40_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let requests = poisson_requests(&spec(), count, rate, seed);
+        let report = simulate_fleet(&config(replicas, route, batch, depth), &requests);
+
+        prop_assert_eq!(report.completions.len() + report.shed.len(), count);
+        prop_assert_eq!(report.metrics.completed + report.metrics.shed, count);
+        prop_assert_eq!(
+            report.metrics.per_replica_completed.iter().sum::<usize>(),
+            report.metrics.completed
+        );
+
+        let mut ids: Vec<u64> = report
+            .completions.iter().map(|c| c.id)
+            .chain(report.shed.iter().map(|s| s.id))
+            .collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..count as u64).collect();
+        prop_assert_eq!(ids, expected, "every id exactly once across outcomes");
+    }
+
+    fn completions_respect_causality_and_solo_lower_bound(
+        replicas in 1usize..4,
+        route in 0u8..3,
+        batch in 1usize..4,
+        count in 1usize..40,
+        rate in 100.0f64..20_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let s = spec();
+        let requests = poisson_requests(&s, count, rate, seed);
+        // Unbounded admission: everything completes, so the bound is
+        // checked on every request.
+        let mut cfg = config(replicas, route, batch, 1);
+        cfg.admission = AdmissionPolicy::admit_all();
+        let report = simulate_fleet(&cfg, &requests);
+        prop_assert_eq!(report.completions.len(), count);
+
+        let system = CtaSystem::new(SystemConfig::paper());
+        let mut cost = CostModel::new();
+        let solo = cost.request_service_s(&system, &requests[0]);
+        for c in &report.completions {
+            prop_assert!(c.finish_s >= c.arrival_s, "finish before arrival");
+            // Merging never shortens a layer's critical path, so realised
+            // latency is at least the solo service time (tolerance for
+            // step-granular float accumulation).
+            prop_assert!(
+                c.latency_s() >= solo * (1.0 - 1e-9),
+                "request {} latency {} below solo service {}",
+                c.id, c.latency_s(), solo
+            );
+        }
+        // Completion times are non-decreasing in report order per replica.
+        for r in 0..replicas {
+            let finishes: Vec<f64> = report
+                .completions.iter().filter(|c| c.replica == r).map(|c| c.finish_s).collect();
+            prop_assert!(
+                finishes.windows(2).all(|w| w[0] <= w[1]),
+                "replica {} completions out of order", r
+            );
+        }
+    }
+
+    fn fixed_seed_reproduces_the_report_bitwise(
+        replicas in 1usize..4,
+        route in 0u8..3,
+        batch in 1usize..4,
+        depth in 1usize..6,
+        count in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let s = spec();
+        let params = MmppParams::new(2_000.0, 50_000.0, 0.1);
+        let requests = mmpp_requests(&s, count, params, seed);
+        prop_assert_eq!(&requests, &mmpp_requests(&s, count, params, seed));
+
+        let cfg = config(replicas, route, batch, depth);
+        let a = simulate_fleet(&cfg, &requests);
+        let b = simulate_fleet(&cfg, &requests);
+        prop_assert_eq!(a, b);
+    }
+}

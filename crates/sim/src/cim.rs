@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn identical_tokens_write_once_read_always() {
-        let codes = HashCodes::from_flat(5, 3, vec![1, 2, 3].repeat(5));
+        let codes = HashCodes::from_flat(5, 3, [1, 2, 3].repeat(5));
         let run = simulate_cim(&codes);
         assert_eq!(run.layer_writes, 3); // one path created
         assert_eq!(run.layer_reads, 15); // every step reads

@@ -5,6 +5,16 @@
 //! arrival trace through a FIFO queue over [`CtaSystem`], producing the
 //! latency distribution and sustained throughput — the deployment-facing
 //! view of the paper's throughput numbers.
+//!
+//! This is the *compatibility surface*: a single replica, strict FIFO
+//! order, one request in flight at a time, and no shedding. The full
+//! runtime — continuous batching, multi-replica routing and SLO-aware
+//! admission — lives in the `cta-serve` crate, which is built from the
+//! same primitives used here ([`CtaSystem::weight_upload_s`],
+//! [`CtaSystem::step_layer`], [`ServingMetrics::from_latencies`]) so the
+//! two paths cannot drift; `cta-serve` carries an equivalence test pinning
+//! its single-replica FIFO configuration to [`simulate_serving`] bit for
+//! bit.
 
 use crate::{AttentionTask, CtaSystem};
 
@@ -32,7 +42,42 @@ impl ServingRequest {
     }
 }
 
+/// Exact percentile over an ascending-sorted latency sample.
+///
+/// The quantile method is **nearest-rank on the `(n − 1)·p` index scale
+/// with round-half-away-from-zero** (the continuous index `(n − 1)·p` is
+/// rounded to the closest integer sample position; `.5` rounds up). Every
+/// returned value is therefore an observed sample — there is no
+/// interpolation. Consequences worth knowing at small `n`:
+///
+/// * `n = 1`: every percentile is the single sample;
+/// * `n = 2`: `p50` lands on index `round(0.5) = 1`, i.e. the **upper**
+///   sample (not the mid-point average), and `p95`/`p99` also return the
+///   upper sample;
+/// * `n = 3`: `p50` is the middle sample, `p95`/`p99` the maximum.
+///
+/// Both this module and the `cta-serve` runtime compute their reported
+/// percentiles through this one function.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, not ascending, or `p` is outside `[0, 1]`.
+pub fn latency_percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "percentile rank must be in [0, 1]");
+    assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted ascending"
+    );
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
 /// Latency/throughput statistics of a served trace.
+///
+/// Percentiles are computed by [`latency_percentile`]; see its
+/// documentation for the exact (nearest-rank) quantile method and its
+/// small-sample behaviour.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingMetrics {
     /// Requests completed.
@@ -51,8 +96,41 @@ pub struct ServingMetrics {
     pub busy_fraction: f64,
 }
 
+impl ServingMetrics {
+    /// Builds the statistics from raw completion latencies: `span_s` is
+    /// the wall-clock extent of the trace (start of first arrival to last
+    /// completion) and `busy_s` the time the pool spent serving. Both the
+    /// FIFO path here and the `cta-serve` runtime report through this
+    /// constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latencies` is empty or `span_s <= 0`.
+    pub fn from_latencies(latencies: &[f64], span_s: f64, busy_s: f64) -> Self {
+        assert!(!latencies.is_empty(), "at least one completion");
+        assert!(span_s > 0.0, "span must be positive");
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        ServingMetrics {
+            completed: sorted.len(),
+            throughput_rps: sorted.len() as f64 / span_s,
+            mean_latency_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: latency_percentile(&sorted, 0.50),
+            p95_s: latency_percentile(&sorted, 0.95),
+            p99_s: latency_percentile(&sorted, 0.99),
+            busy_fraction: busy_s / span_s,
+        }
+    }
+}
+
 /// Plays `requests` (must be sorted by arrival) through a FIFO queue over
-/// the system.
+/// the system: one replica, one request in flight at a time, nothing shed.
+///
+/// Thin adapter over the steppable execution primitives: each request's
+/// service time is the one-time [`CtaSystem::weight_upload_s`] plus its
+/// [`CtaSystem::step_layer`] times, folded through a single-server queue.
+/// The `cta-serve` fleet runtime reduces to exactly this when configured
+/// with one replica, FIFO routing, batching off and no admission control.
 ///
 /// # Panics
 ///
@@ -64,31 +142,25 @@ pub fn simulate_serving(system: &CtaSystem, requests: &[ServingRequest]) -> Serv
         "requests must be sorted by arrival time"
     );
 
+    let upload_s = system.weight_upload_s();
     let mut clock = 0.0f64;
     let mut busy = 0.0f64;
     let mut latencies: Vec<f64> = Vec::with_capacity(requests.len());
     for r in requests {
-        let start = clock.max(r.arrival_s);
-        let service = system.run_layers(&r.layer_tasks).total_s;
-        clock = start + service;
-        busy += service;
+        // Accumulate layer by layer (the upload folded into the first
+        // step), mirroring the `cta-serve` runtime's step-granular clock
+        // exactly — same additions in the same order, so the equivalence
+        // between the two paths holds bit for bit, not just to round-off.
+        let mut t = clock.max(r.arrival_s);
+        for (i, tasks) in r.layer_tasks.iter().enumerate() {
+            let elapsed = if i == 0 { upload_s } else { 0.0 } + system.step_layer(tasks).elapsed_s;
+            t += elapsed;
+            busy += elapsed;
+        }
+        clock = t;
         latencies.push(clock - r.arrival_s);
     }
-    let span = clock.max(f64::EPSILON);
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pct = |p: f64| -> f64 {
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx]
-    };
-    ServingMetrics {
-        completed: requests.len(),
-        throughput_rps: requests.len() as f64 / span,
-        mean_latency_s: latencies.iter().sum::<f64>() / latencies.len() as f64,
-        p50_s: pct(0.50),
-        p95_s: pct(0.95),
-        p99_s: pct(0.99),
-        busy_fraction: busy / span,
-    }
+    ServingMetrics::from_latencies(&latencies, clock.max(f64::EPSILON), busy)
 }
 
 /// Generates a seeded Poisson-like arrival trace of `count` identical
@@ -183,5 +255,87 @@ mod tests {
         let a = ServingRequest::uniform(1.0, task(), 1, 1);
         let b = ServingRequest::uniform(0.0, task(), 1, 1);
         let _ = simulate_serving(&sys, &[a, b]);
+    }
+
+    // --- quantile method pins (small-n edge cases) -----------------------
+
+    #[test]
+    fn percentile_of_one_sample_is_that_sample() {
+        let s = [3.5];
+        assert_eq!(latency_percentile(&s, 0.50), 3.5);
+        assert_eq!(latency_percentile(&s, 0.95), 3.5);
+        assert_eq!(latency_percentile(&s, 0.99), 3.5);
+        assert_eq!(latency_percentile(&s, 0.0), 3.5);
+        assert_eq!(latency_percentile(&s, 1.0), 3.5);
+    }
+
+    #[test]
+    fn percentile_of_two_samples_rounds_half_up_to_the_upper() {
+        // Index scale (n-1)·p = 1·0.5 = 0.5 → rounds away from zero → the
+        // upper sample, NOT the mid-point average. This is the documented
+        // nearest-rank behaviour.
+        let s = [1.0, 9.0];
+        assert_eq!(latency_percentile(&s, 0.50), 9.0);
+        assert_eq!(latency_percentile(&s, 0.95), 9.0);
+        assert_eq!(latency_percentile(&s, 0.99), 9.0);
+        assert_eq!(latency_percentile(&s, 0.49), 1.0);
+        assert_eq!(latency_percentile(&s, 0.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_of_three_samples_pins_middle_and_max() {
+        let s = [1.0, 2.0, 10.0];
+        assert_eq!(latency_percentile(&s, 0.50), 2.0); // round(1.0) = 1
+        assert_eq!(latency_percentile(&s, 0.74), 2.0); // round(1.48) = 1
+        assert_eq!(latency_percentile(&s, 0.75), 10.0); // round(1.5) = 2
+        assert_eq!(latency_percentile(&s, 0.95), 10.0);
+        assert_eq!(latency_percentile(&s, 0.99), 10.0);
+    }
+
+    #[test]
+    fn metrics_from_latencies_pins_small_n() {
+        let m1 = ServingMetrics::from_latencies(&[2.0], 4.0, 2.0);
+        assert_eq!(m1.completed, 1);
+        assert_eq!((m1.p50_s, m1.p95_s, m1.p99_s), (2.0, 2.0, 2.0));
+        assert_eq!(m1.throughput_rps, 0.25);
+        assert_eq!(m1.busy_fraction, 0.5);
+
+        // Unsorted input is sorted internally; n=2 percentiles all land on
+        // the upper sample per the nearest-rank method.
+        let m2 = ServingMetrics::from_latencies(&[9.0, 1.0], 10.0, 10.0);
+        assert_eq!((m2.p50_s, m2.p95_s, m2.p99_s), (9.0, 9.0, 9.0));
+        assert_eq!(m2.mean_latency_s, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_of_empty_sample_rejected() {
+        let _ = latency_percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn percentile_of_unsorted_sample_rejected() {
+        let _ = latency_percentile(&[2.0, 1.0], 0.5);
+    }
+
+    // --- ServingRequest::uniform panic-contract coverage -----------------
+
+    #[test]
+    #[should_panic(expected = "layers and heads must be positive")]
+    fn uniform_rejects_zero_layers() {
+        let _ = ServingRequest::uniform(0.0, task(), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "layers and heads must be positive")]
+    fn uniform_rejects_zero_heads() {
+        let _ = ServingRequest::uniform(0.0, task(), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival time must be non-negative")]
+    fn uniform_rejects_negative_arrival() {
+        let _ = ServingRequest::uniform(-0.5, task(), 1, 1);
     }
 }

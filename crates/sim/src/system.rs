@@ -60,6 +60,39 @@ pub struct SystemRun {
     pub utilization: f64,
 }
 
+/// Latency and energy of one head task on a single unit, as used by the
+/// layer scheduler. Obtainable from [`CtaSystem::head_cost`] and reusable
+/// across calls (tasks with equal shapes always cost the same), so callers
+/// that dispatch many identical heads — e.g. the `cta-serve` runtime — can
+/// memoise instead of re-simulating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCost {
+    /// Single-unit latency of the head, seconds.
+    pub latency_s: f64,
+    /// Accelerator energy of the head, joules.
+    pub energy_j: f64,
+}
+
+/// One layer's worth of execution on the system: the unit of the
+/// steppable API ([`CtaSystem::step_layer`]) that request-level schedulers
+/// advance one dispatch at a time. [`CtaSystem::run_layers`] is a fold of
+/// these steps plus the one-time [`CtaSystem::weight_upload_s`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerStep {
+    /// Critical-path compute time across the units, seconds.
+    pub critical_s: f64,
+    /// Summed per-unit compute time (for utilisation accounting), seconds.
+    pub busy_s: f64,
+    /// Host-link activation transfer time (in + out), seconds.
+    pub transfer_s: f64,
+    /// Accelerator + link energy of the step, joules.
+    pub energy_j: f64,
+    /// Wall-clock time the step occupies under the configured overlap
+    /// policy: `max(critical, transfer)` when transfers are
+    /// double-buffered, `critical + transfer` otherwise.
+    pub elapsed_s: f64,
+}
+
 /// A pool of CTA units plus the host link.
 #[derive(Debug, Clone)]
 pub struct CtaSystem {
@@ -84,6 +117,22 @@ impl CtaSystem {
         &self.config
     }
 
+    /// Simulates one head task on a single unit and returns its cost.
+    ///
+    /// This is the per-task estimate request-level schedulers use to make
+    /// admission and routing decisions without running a whole layer. The
+    /// result depends only on the task shapes and the hardware
+    /// configuration, so callers may cache it (`AttentionTask` is
+    /// `Hash + Eq`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task does not fit the hardware.
+    pub fn head_cost(&self, task: &AttentionTask) -> TaskCost {
+        let r = self.accelerator.simulate_head(task);
+        TaskCost { latency_s: r.latency_s, energy_j: r.energy.total_j() }
+    }
+
     /// Schedules one layer's head tasks across the units (longest-
     /// processing-time-first), returning `(critical path seconds,
     /// summed compute seconds, summed energy joules)`.
@@ -93,14 +142,23 @@ impl CtaSystem {
     /// Panics if `tasks` is empty or a task does not fit the hardware.
     pub fn schedule_layer(&self, tasks: &[AttentionTask]) -> (f64, f64, f64) {
         assert!(!tasks.is_empty(), "a layer needs at least one head task");
-        let mut reports: Vec<(f64, f64)> = tasks
-            .iter()
-            .map(|t| {
-                let r = self.accelerator.simulate_head(t);
-                (r.latency_s, r.energy.total_j())
-            })
-            .collect();
+        let costs: Vec<TaskCost> = tasks.iter().map(|t| self.head_cost(t)).collect();
+        self.schedule_layer_costed(&costs)
+    }
+
+    /// [`schedule_layer`](Self::schedule_layer) with pre-computed per-task
+    /// costs, so callers holding a [`TaskCost`] memo (one `simulate_head`
+    /// per distinct shape instead of one per dispatch) can schedule without
+    /// re-simulating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty.
+    pub fn schedule_layer_costed(&self, costs: &[TaskCost]) -> (f64, f64, f64) {
+        assert!(!costs.is_empty(), "a layer needs at least one head task");
         // LPT list scheduling onto `units` machines.
+        let mut reports: Vec<(f64, f64)> =
+            costs.iter().map(|c| (c.latency_s, c.energy_j)).collect();
         reports.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite latencies"));
         let mut unit_time = vec![0.0f64; self.config.units];
         let mut energy = 0.0;
@@ -120,6 +178,63 @@ impl CtaSystem {
         (critical, busy, energy)
     }
 
+    /// One-time weight upload (linear weights + LSH parameters for every
+    /// unit) before a model's first layer, seconds. Paper Fig. 7: the
+    /// weight memory "fetches tokens and weights from host device".
+    pub fn weight_upload_s(&self) -> f64 {
+        self.weight_upload_bits() / (self.config.host_link_gbs * 8e9)
+    }
+
+    /// Bits of the one-time weight upload: per unit, three d×d 12-bit
+    /// weight matrices plus the shared LSH parameters.
+    fn weight_upload_bits(&self) -> f64 {
+        let d = self.config.hw.sa_height as f64;
+        let l = self.config.hw.hash_length as f64;
+        self.config.units as f64 * (3.0 * d * d + (l + 1.0) * d) * 12.0
+    }
+
+    /// Executes one layer dispatch: schedules `tasks` across the units and
+    /// accounts the activation transfer (13-bit tokens, `n × heads·d` each
+    /// way) under the configured overlap policy.
+    ///
+    /// This is the incremental unit of execution: a request-level
+    /// scheduler (see the `cta-serve` crate) advances a model one
+    /// `step_layer` at a time, which lets it coalesce head tasks from
+    /// several queued requests into one dispatch at every layer boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or a task does not fit the hardware.
+    pub fn step_layer(&self, tasks: &[AttentionTask]) -> LayerStep {
+        assert!(!tasks.is_empty(), "a layer needs at least one head task");
+        let costs: Vec<TaskCost> = tasks.iter().map(|t| self.head_cost(t)).collect();
+        self.step_layer_costed(tasks, &costs)
+    }
+
+    /// [`step_layer`](Self::step_layer) with pre-computed per-task costs
+    /// (`costs[i]` must be `head_cost(&tasks[i])` — shapes are still taken
+    /// from `tasks` for the transfer model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty or `costs.len() != tasks.len()`.
+    pub fn step_layer_costed(&self, tasks: &[AttentionTask], costs: &[TaskCost]) -> LayerStep {
+        assert!(!tasks.is_empty(), "a layer needs at least one head task");
+        assert_eq!(costs.len(), tasks.len(), "one cost per task");
+        let (critical_s, busy_s, compute_energy) = self.schedule_layer_costed(costs);
+        // Transfer: activations in + out, 13 bits per element.
+        let elems: u64 = tasks.iter().map(|t| (t.num_queries * t.head_dim) as u64).sum();
+        let bits = 2.0 * elems as f64 * 13.0;
+        let transfer_s = bits / (self.config.host_link_gbs * 8e9);
+        let elapsed_s = if self.config.overlap_transfers {
+            critical_s.max(transfer_s)
+        } else {
+            critical_s + transfer_s
+        };
+        let energy_j = compute_energy + bits * self.config.link_pj_per_bit * 1e-12;
+        LayerStep { critical_s, busy_s, transfer_s, energy_j, elapsed_s }
+    }
+
     /// Runs a whole model: `layer_tasks[l]` holds the per-head tasks of
     /// layer `l`. Transfers move the layer's token activations in and out
     /// (13-bit tokens, `n × heads·d` each way).
@@ -129,13 +244,7 @@ impl CtaSystem {
     /// Panics if any layer is empty.
     pub fn run_layers(&self, layer_tasks: &[Vec<AttentionTask>]) -> SystemRun {
         assert!(!layer_tasks.is_empty(), "at least one layer");
-        // One-time upload: per unit, three d×d 12-bit weight matrices plus
-        // the shared LSH parameters (paper Fig. 7: weight memory "fetches
-        // tokens and weights from host device").
-        let d = self.config.hw.sa_height as f64;
-        let l = self.config.hw.hash_length as f64;
-        let weight_bits = self.config.units as f64 * (3.0 * d * d + (l + 1.0) * d) * 12.0;
-        let weight_upload_s = weight_bits / (self.config.host_link_gbs * 8e9);
+        let weight_upload_s = self.weight_upload_s();
         let mut compute_s = 0.0;
         let mut busy_s = 0.0;
         let mut transfer_s = 0.0;
@@ -143,26 +252,17 @@ impl CtaSystem {
         let mut per_layer_s = Vec::with_capacity(layer_tasks.len());
 
         for tasks in layer_tasks {
-            let (critical, busy, energy) = self.schedule_layer(tasks);
-            // Transfer: activations in + out, 13 bits per element.
-            let elems: u64 = tasks.iter().map(|t| (t.num_queries * t.head_dim) as u64).sum();
-            let bits = 2.0 * elems as f64 * 13.0;
-            let t_xfer = bits / (self.config.host_link_gbs * 8e9);
-            let layer_time = if self.config.overlap_transfers {
-                critical.max(t_xfer)
-            } else {
-                critical + t_xfer
-            };
-            compute_s += critical;
-            busy_s += busy;
-            transfer_s += t_xfer;
-            energy_j += energy + bits * self.config.link_pj_per_bit * 1e-12;
-            per_layer_s.push(layer_time);
+            let step = self.step_layer(tasks);
+            compute_s += step.critical_s;
+            busy_s += step.busy_s;
+            transfer_s += step.transfer_s;
+            energy_j += step.energy_j;
+            per_layer_s.push(step.elapsed_s);
         }
 
         let total_s: f64 = weight_upload_s + per_layer_s.iter().sum::<f64>();
         let utilization = busy_s / (compute_s * self.config.units as f64);
-        energy_j += weight_bits * self.config.link_pj_per_bit * 1e-12;
+        energy_j += self.weight_upload_bits() * self.config.link_pj_per_bit * 1e-12;
         SystemRun { weight_upload_s, compute_s, transfer_s, total_s, per_layer_s, energy_j, utilization }
     }
 }
@@ -248,5 +348,40 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn zero_units_rejected() {
         let _ = CtaSystem::new(SystemConfig { units: 0, ..SystemConfig::paper() });
+    }
+
+    #[test]
+    fn stepped_execution_matches_run_layers() {
+        // The steppable API must fold back into exactly the monolithic
+        // run: same elapsed time per layer, same totals.
+        let sys = CtaSystem::new(SystemConfig::paper());
+        let layers = uniform_layers(3, 16);
+        let run = sys.run_layers(&layers);
+        let mut elapsed = sys.weight_upload_s();
+        for (i, tasks) in layers.iter().enumerate() {
+            let step = sys.step_layer(tasks);
+            assert_eq!(step.elapsed_s, run.per_layer_s[i]);
+            elapsed += step.elapsed_s;
+        }
+        assert!((elapsed - run.total_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn costed_step_matches_uncached_step() {
+        let sys = CtaSystem::new(SystemConfig::paper());
+        let tasks = vec![task(); 5];
+        let costs: Vec<TaskCost> = tasks.iter().map(|t| sys.head_cost(t)).collect();
+        assert_eq!(sys.step_layer(&tasks), sys.step_layer_costed(&tasks, &costs));
+        // Identical shapes cost identically, so one simulation can stand
+        // in for all five.
+        assert_eq!(costs[0], costs[4]);
+    }
+
+    #[test]
+    fn weight_upload_is_positive_and_scales_with_units() {
+        let small = CtaSystem::new(SystemConfig { units: 1, ..SystemConfig::paper() });
+        let big = CtaSystem::new(SystemConfig::paper());
+        assert!(small.weight_upload_s() > 0.0);
+        assert!((big.weight_upload_s() - 12.0 * small.weight_upload_s()).abs() < 1e-18);
     }
 }

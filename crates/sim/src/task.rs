@@ -8,7 +8,7 @@ use cta_attention::CtaAttention;
 /// The cycle model only needs shapes — the *data* was validated by the
 /// functional hardware models — so a task is cheap to construct either
 /// from a real [`CtaAttention`] forward pass or from synthetic counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AttentionTask {
     /// Number of query tokens `m`.
     pub num_queries: usize,

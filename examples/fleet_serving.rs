@@ -1,0 +1,77 @@
+//! Fleet serving: a sharded CTA deployment under mixed-class bursty load,
+//! contrasted with the single-replica FIFO baseline.
+//!
+//! ```text
+//! cargo run --release --example fleet_serving
+//! ```
+//!
+//! A BERT-large-shaped service runs on four 12-unit CTA pools behind
+//! least-outstanding-work routing with continuous batching and bounded
+//! queues. Interactive requests carry a latency SLO and outrank a
+//! background batch class; a two-state MMPP arrival process supplies the
+//! bursts that make admission control earn its keep.
+
+use cta::serve::{
+    mmpp_requests, simulate_fleet, FleetConfig, LoadSpec, MmppParams, QosClass, RoutingPolicy,
+};
+use cta::sim::{AttentionTask, SystemConfig};
+
+fn main() {
+    // BERT-large shape at a CTA-0-grade compression (as in the `serving`
+    // example), scaled to 6 layers to keep the demo fast.
+    let task = AttentionTask::from_counts(384, 384, 64, 190, 185, 35, 6);
+    let (layers, heads) = (6usize, 16usize);
+
+    // Mixed traffic: bursty interactive requests with a 5 ms budget over
+    // a steady background batch stream.
+    let mut spec = LoadSpec::standard(task, layers, heads);
+    spec.class = QosClass::interactive(0.005);
+    let mut requests = mmpp_requests(&spec, 300, MmppParams::new(4_000.0, 60_000.0, 0.08), 11);
+    spec.class = QosClass::batch();
+    for (i, r) in mmpp_requests(&spec, 100, MmppParams::new(2_000.0, 2_000.1, 1.0), 12)
+        .into_iter()
+        .enumerate()
+    {
+        let mut r = r;
+        r.id = 300 + i as u64;
+        requests.push(r);
+    }
+    requests.sort_by(|a, b| {
+        a.arrival_s.partial_cmp(&b.arrival_s).expect("finite arrivals").then(a.id.cmp(&b.id))
+    });
+
+    println!(
+        "{:>22} {:>9} {:>6} {:>10} {:>9} {:>9} {:>6}",
+        "configuration", "completed", "shed", "goodput/s", "p50 ms", "p99 ms", "util"
+    );
+    for (label, cfg) in [
+        ("1 replica, FIFO", FleetConfig::single_fifo(SystemConfig::paper())),
+        ("4 replicas, LOW+batch", {
+            let mut c = FleetConfig::sharded(SystemConfig::paper(), 4);
+            c.routing = RoutingPolicy::LeastOutstandingWork;
+            c
+        }),
+    ] {
+        let report = simulate_fleet(&cfg, &requests);
+        let m = &report.metrics;
+        let (p50, p99) =
+            m.latency.as_ref().map_or((f64::NAN, f64::NAN), |l| (l.p50_s, l.p99_s));
+        let util = m.per_replica_utilization.iter().sum::<f64>()
+            / m.per_replica_utilization.len() as f64;
+        println!(
+            "{:>22} {:>9} {:>6} {:>10.0} {:>9.3} {:>9.3} {:>5.0}%",
+            label,
+            m.completed,
+            m.shed,
+            m.goodput_rps,
+            p50 * 1e3,
+            p99 * 1e3,
+            util * 100.0
+        );
+    }
+    println!();
+    println!("both configurations shed interactive arrivals whose 5 ms budget is");
+    println!("already unmeetable, but sharding + continuous batching + work-aware");
+    println!("routing serve several times more of the burst before that point —");
+    println!("more completions, fewer sheds, higher goodput at a lower p50.");
+}

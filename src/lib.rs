@@ -14,7 +14,9 @@
 //! * [`model`] — transformer encoder layers with CTA in every head;
 //! * [`sim`] — the cycle-level CTA accelerator model;
 //! * [`baselines`] — V100 GPU, ELSA and ideal-accelerator models;
-//! * [`workloads`] — synthetic transformer workloads and the model zoo.
+//! * [`workloads`] — synthetic transformer workloads and the model zoo;
+//! * [`serve`] — the fleet serving runtime: continuous batching,
+//!   multi-replica routing, SLO-aware admission.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
@@ -24,6 +26,7 @@ pub use cta_baselines as baselines;
 pub use cta_fixed as fixed;
 pub use cta_lsh as lsh;
 pub use cta_model as model;
+pub use cta_serve as serve;
 pub use cta_sim as sim;
 pub use cta_tensor as tensor;
 pub use cta_workloads as workloads;
