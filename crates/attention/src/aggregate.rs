@@ -130,7 +130,10 @@ mod tests {
             let direct: f32 = (0..n)
                 .map(|j| (s_bar[(i, ct1.cluster_of(j))] + s_bar[(i, k1 + ct2.cluster_of(j))]).exp())
                 .sum();
-            assert!((ap_sum - 2.0 * direct).abs() < 1e-3 * direct.max(1.0), "row {i}: {ap_sum} vs 2*{direct}");
+            assert!(
+                (ap_sum - 2.0 * direct).abs() < 1e-3 * direct.max(1.0),
+                "row {i}: {ap_sum} vs 2*{direct}"
+            );
         }
     }
 

@@ -110,9 +110,8 @@ pub fn output_error_bound(cta: &CtaAttention, exact: &ExactAttention) -> ErrorBo
 
     let per_query_bound: Vec<f64> =
         deltas.iter().map(|&d| dv + ((2.0 * d).exp() - 1.0) * v_max).collect();
-    let per_query_actual: Vec<f64> = (0..m)
-        .map(|i| row_dist(cta.output.row(i), exact.output.row(i)))
-        .collect();
+    let per_query_actual: Vec<f64> =
+        (0..m).map(|i| row_dist(cta.output.row(i), exact.output.row(i))).collect();
 
     ErrorBound {
         per_query_bound,

@@ -49,11 +49,14 @@ pub fn attention_exact_causal(tokens: &Matrix, weights: &AttentionWeights) -> Ma
             scores.push(s);
         }
         let mut den = 0.0f32;
-        let weights_row: Vec<f32> = scores.iter().map(|&s| {
-            let w = (s - max).exp();
-            den += w;
-            w
-        }).collect();
+        let weights_row: Vec<f32> = scores
+            .iter()
+            .map(|&s| {
+                let w = (s - max).exp();
+                den += w;
+                w
+            })
+            .collect();
         let out = output.row_mut(i);
         for (j, &w) in weights_row.iter().enumerate() {
             for (o, &vv) in out.iter_mut().zip(v.row(j)) {
@@ -127,11 +130,7 @@ pub fn cta_forward_causal(
             (Matrix::zeros(0, d), Matrix::zeros(0, d), Vec::new())
         } else {
             let snap = past.snapshot();
-            (
-                snap.centroids.matmul(weights.wk()),
-                snap.centroids.matmul(weights.wv()),
-                snap.counts,
-            )
+            (snap.centroids.matmul(weights.wk()), snap.centroids.matmul(weights.wv()), snap.counts)
         };
         final_centroids = k_bar.rows();
 
@@ -255,7 +254,11 @@ mod tests {
         let cfg = CausalCtaConfig { block: 8, inner: CtaConfig::uniform(1.0, 13) };
         let cta = cta_forward_causal(&x, &w, &cfg);
         let exact_evals = (64 * 65 / 2) as u64;
-        assert!(cta.score_evals < exact_evals / 2, "evals {} vs exact {exact_evals}", cta.score_evals);
+        assert!(
+            cta.score_evals < exact_evals / 2,
+            "evals {} vs exact {exact_evals}",
+            cta.score_evals
+        );
         let exact = attention_exact_causal(&x, &w);
         let err = relative_error(&cta.output, &exact);
         assert!(err < 0.05, "causal error {err}");
@@ -265,6 +268,10 @@ mod tests {
     #[should_panic(expected = "block size must be positive")]
     fn zero_block_rejected() {
         let (x, w) = setup(4);
-        let _ = cta_forward_causal(&x, &w, &CausalCtaConfig { block: 0, inner: CtaConfig::uniform(1.0, 1) });
+        let _ = cta_forward_causal(
+            &x,
+            &w,
+            &CausalCtaConfig { block: 0, inner: CtaConfig::uniform(1.0, 1) },
+        );
     }
 }

@@ -80,7 +80,7 @@ pub fn normal_ops(dims: &AttentionDims) -> NormalOps {
     NormalOps {
         linears: OpCounts { macs: (m + 2 * n) * dw * d, ..Default::default() },
         attention: OpCounts {
-            macs: m * n * d /* scores */ + m * n * d /* output */,
+            macs: m * n * d /* scores */ + m * n * d, /* output */
             adds: 0,
             exps: m * n,
             divs: m * n,
@@ -139,11 +139,8 @@ pub fn cta_ops(
     // 2) Centroid aggregation: every token row accumulated once per level
     //    ((m + 2n)·d_w adds), then one multiply per centroid element by the
     //    LUT reciprocal ((k₀+k₁+k₂)·d_w).
-    let centroids = OpCounts {
-        macs: (k0 + k1 + k2) * dw,
-        adds: (m + 2 * n) * dw,
-        ..Default::default()
-    };
+    let centroids =
+        OpCounts { macs: (k0 + k1 + k2) * dw, adds: (m + 2 * n) * dw, ..Default::default() };
     // 3) Probability aggregation: per compressed query row, n score
     //    additions + 2n accumulations (3·k₀·n adds, Fig. 6), and k₀·n
     //    exponent lookups.
@@ -153,9 +150,9 @@ pub fn cta_ops(
         compression: hashing.plus(&centroids).plus(&pag),
         linears: OpCounts { macs: (k0 + 2 * kk) * dw * d, ..Default::default() },
         attention: OpCounts {
-            macs: k0 * kk * d /* scores */ + k0 * kk * d /* output */,
+            macs: k0 * kk * d /* scores */ + k0 * kk * d, /* output */
             adds: 0,
-            exps: 0, // counted in the PAG overhead above
+            exps: 0,      // counted in the PAG overhead above
             divs: k0 * d, // output division by ΣAP/2
         },
     }
@@ -200,8 +197,8 @@ pub fn report_from_counts(
     let normal = normal_ops(dims);
     let cta = cta_ops(dims, k0, k1, k2, hash_length);
     let rl = cta.linears.total() as f64 / normal.linears.total() as f64;
-    let ra = (cta.attention.total() + cta.compression.total()) as f64
-        / normal.attention.total() as f64;
+    let ra =
+        (cta.attention.total() + cta.compression.total()) as f64 / normal.attention.total() as f64;
     let effective_relations =
         k0 as f64 * (k1 + k2) as f64 / (dims.num_queries as f64 * dims.num_keys as f64);
     ComplexityReport { rl, ra, effective_relations, normal, cta }
@@ -211,7 +208,8 @@ pub fn report_from_counts(
 mod tests {
     use super::*;
 
-    const DIMS: AttentionDims = AttentionDims { num_queries: 512, num_keys: 512, token_dim: 64, head_dim: 64 };
+    const DIMS: AttentionDims =
+        AttentionDims { num_queries: 512, num_keys: 512, token_dim: 64, head_dim: 64 };
 
     #[test]
     fn normal_ops_match_paper_self_attention_formulas() {

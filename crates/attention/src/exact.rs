@@ -93,8 +93,20 @@ pub fn attention_exact(
     keys_values: &Matrix,
     weights: &AttentionWeights,
 ) -> ExactAttention {
-    assert_eq!(queries.cols(), weights.token_dim(), "query token dim {} != weight token dim {}", queries.cols(), weights.token_dim());
-    assert_eq!(keys_values.cols(), weights.token_dim(), "kv token dim {} != weight token dim {}", keys_values.cols(), weights.token_dim());
+    assert_eq!(
+        queries.cols(),
+        weights.token_dim(),
+        "query token dim {} != weight token dim {}",
+        queries.cols(),
+        weights.token_dim()
+    );
+    assert_eq!(
+        keys_values.cols(),
+        weights.token_dim(),
+        "kv token dim {} != weight token dim {}",
+        keys_values.cols(),
+        weights.token_dim()
+    );
     let q = queries.matmul(weights.wq());
     let k = keys_values.matmul(weights.wk());
     let v = keys_values.matmul(weights.wv());

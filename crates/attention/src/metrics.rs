@@ -104,7 +104,8 @@ mod tests {
         let x = standard_normal_matrix(5, 32, 8);
         let w = AttentionWeights::random(8, 4, 6);
         let exact = attention_exact(&x, &x, &w);
-        let fine = fidelity(&cta_forward(&x, &x, &w, &CtaConfig::new(6, 0.01, 0.01, 0.005, 7)), &exact);
+        let fine =
+            fidelity(&cta_forward(&x, &x, &w, &CtaConfig::new(6, 0.01, 0.01, 0.005, 7)), &exact);
         let coarse = fidelity(&cta_forward(&x, &x, &w, &CtaConfig::uniform(100.0, 7)), &exact);
         assert!(fine.output_relative_error <= coarse.output_relative_error);
         assert!(fine.mean_output_cosine >= coarse.mean_output_cosine - 1e-9);

@@ -83,7 +83,8 @@ pub fn cta_forward_quantized(
     assert_eq!(queries.cols(), weights.token_dim(), "query token dim mismatch");
     assert_eq!(keys_values.cols(), weights.token_dim(), "kv token dim mismatch");
 
-    let recip = ReciprocalLut::new(qcfg.reciprocal_lut_max.max(queries.rows()).max(keys_values.rows()));
+    let recip =
+        ReciprocalLut::new(qcfg.reciprocal_lut_max.max(queries.rows()).max(keys_values.rows()));
     let exp_lut = ExpLut::new(qcfg.exp_lut_entries, qcfg.exp_lut_min);
 
     // Quantize the inputs as they enter token/weight memory.
@@ -125,11 +126,9 @@ pub fn cta_forward_quantized(
     let qkt = QuantizedMatrix::quantize(&k_bar.transpose(), qcfg.centroid);
     let wide = QFormat::new(24, qcfg.score.frac_bits());
     let scale = 1.0 / (weights.head_dim() as f32).sqrt();
-    let mut scores_bar = QuantizedMatrix::quantize(
-        &qq.matmul(&qkt, wide).dequantize().scale(scale),
-        qcfg.score,
-    )
-    .dequantize();
+    let mut scores_bar =
+        QuantizedMatrix::quantize(&qq.matmul(&qkt, wide).dequantize().scale(scale), qcfg.score)
+            .dequantize();
     let k1 = kv_compression.k1();
     for r in 0..scores_bar.rows() {
         let row = scores_bar.row_mut(r);
@@ -269,7 +268,13 @@ mod tests {
     #[test]
     fn quantized_outputs_are_finite_and_shaped() {
         let (x, w) = setup(19, 20, 6, 4);
-        let out = cta_forward_quantized(&x, &x, &w, &CtaConfig::uniform(1.0, 2), &QuantizationConfig::default());
+        let out = cta_forward_quantized(
+            &x,
+            &x,
+            &w,
+            &CtaConfig::uniform(1.0, 2),
+            &QuantizationConfig::default(),
+        );
         assert_eq!(out.output.shape(), (20, 4));
         assert!(out.output.as_slice().iter().all(|v| v.is_finite()));
     }

@@ -1,6 +1,8 @@
 //! The end-to-end CTA approximation scheme (paper §III).
 
-use cta_lsh::{compress, compress_two_level, Compression, LshFamily, LshParams, TwoLevelCompression};
+use cta_lsh::{
+    compress, compress_two_level, Compression, LshFamily, LshParams, TwoLevelCompression,
+};
 use cta_tensor::{Matrix, MatrixRng};
 
 use crate::aggregate::aggregate_probabilities_with;
@@ -193,9 +195,8 @@ pub(crate) fn finish_forward(
     let m = query_compression.table.len();
     let mut output = Matrix::zeros(m, v_bar.cols());
     // Precompute per-compressed-query softmax denominators ΣAP/2.
-    let denominators: Vec<f32> = (0..ap.rows())
-        .map(|c| ap.row(c).iter().sum::<f32>() / 2.0)
-        .collect();
+    let denominators: Vec<f32> =
+        (0..ap.rows()).map(|c| ap.row(c).iter().sum::<f32>() / 2.0).collect();
     for i in 0..m {
         let c = query_compression.table.cluster_of(i);
         let den = denominators[c];
@@ -316,7 +317,8 @@ mod tests {
         let k_bar = c_cat.matmul(w.wk());
         let v_bar = c_cat.matmul(w.wv());
         let scores = q_bar.matmul_transpose_b(&k_bar).scale(1.0 / 2.0);
-        let ap = crate::aggregate_probabilities(&scores, &kvc.level1.table, &kvc.level2.table, kvc.k1());
+        let ap =
+            crate::aggregate_probabilities(&scores, &kvc.level1.table, &kvc.level2.table, kvc.k1());
         let o_bar = ap.matmul(&v_bar);
         let mut out = Matrix::zeros(x.rows(), 4);
         for i in 0..x.rows() {

@@ -121,7 +121,8 @@ pub fn a3_attention(
             if best_dim == usize::MAX {
                 break;
             }
-            let list = if qrow[best_dim] >= 0.0 { &sorted_desc[best_dim] } else { &sorted_asc[best_dim] };
+            let list =
+                if qrow[best_dim] >= 0.0 { &sorted_desc[best_dim] } else { &sorted_asc[best_dim] };
             let key = list[rank[best_dim]];
             rank[best_dim] += 1;
             partial[key] += best_gain;

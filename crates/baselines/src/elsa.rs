@@ -127,7 +127,8 @@ impl ElsaModel {
         let screen = m * n * self.screen_pj;
         let exact = m * kept * 2.0 * d * self.mac_pj;
         let memory = self.memory_accesses(dims) as f64 * self.mem_pj;
-        let static_e = self.static_w * self.attention_cycles(dims) as f64 * 1e-9 / self.clock_ghz * 1e12;
+        let static_e =
+            self.static_w * self.attention_cycles(dims) as f64 * 1e-9 / self.clock_ghz * 1e12;
         (screen + exact + memory + static_e) * 1e-12
     }
 }
@@ -234,7 +235,8 @@ mod tests {
     #[test]
     fn approximation_barely_moves_the_system() {
         let d = dims();
-        let cons = ElsaGpuSystem::paper(ElsaApproximation::Conservative).attention_latency_s(&d, 12);
+        let cons =
+            ElsaGpuSystem::paper(ElsaApproximation::Conservative).attention_latency_s(&d, 12);
         let aggr = ElsaGpuSystem::paper(ElsaApproximation::Aggressive).attention_latency_s(&d, 12);
         let ratio = cons / aggr;
         assert!(ratio > 1.0 && ratio < 1.6, "ratio {ratio}");

@@ -92,9 +92,8 @@ pub fn elsa_attention(
         (0..config.signature_bits).map(|i| Matrix::dot(r.row(i), x) >= 0.0).collect()
     };
     let key_sigs: Vec<Vec<bool>> = (0..n).map(|j| signature(k.row(j))).collect();
-    let key_norms: Vec<f32> = (0..n)
-        .map(|j| k.row(j).iter().map(|&x| x * x).sum::<f32>().sqrt())
-        .collect();
+    let key_norms: Vec<f32> =
+        (0..n).map(|j| k.row(j).iter().map(|&x| x * x).sum::<f32>().sqrt()).collect();
 
     let mut output = Matrix::zeros(m, v.cols());
     let mut kept_per_query = Vec::with_capacity(m);
@@ -135,8 +134,7 @@ pub fn elsa_attention(
         }
     }
 
-    let kept_fraction =
-        kept_per_query.iter().sum::<usize>() as f64 / (m as f64 * n as f64);
+    let kept_fraction = kept_per_query.iter().sum::<usize>() as f64 / (m as f64 * n as f64);
     ElsaAttention { output, kept_fraction, kept_per_query }
 }
 
@@ -176,8 +174,12 @@ mod tests {
         let (x, w) = setup(64);
         let cons = elsa_attention(&x, &x, &w, &ElsaAlgorithmConfig::conservative(2));
         let aggr = elsa_attention(&x, &x, &w, &ElsaAlgorithmConfig::aggressive(2));
-        assert!(aggr.kept_fraction < cons.kept_fraction,
-            "aggressive {} vs conservative {}", aggr.kept_fraction, cons.kept_fraction);
+        assert!(
+            aggr.kept_fraction < cons.kept_fraction,
+            "aggressive {} vs conservative {}",
+            aggr.kept_fraction,
+            cons.kept_fraction
+        );
     }
 
     #[test]
@@ -209,8 +211,18 @@ mod tests {
         // checked at a single seed pair with generous margin).
         let (x, w) = setup(64);
         let exact = attention_exact(&x, &x, &w);
-        let coarse = elsa_attention(&x, &x, &w, &ElsaAlgorithmConfig { signature_bits: 4, score_margin: 2.0, seed: 7 });
-        let fine = elsa_attention(&x, &x, &w, &ElsaAlgorithmConfig { signature_bits: 64, score_margin: 2.0, seed: 7 });
+        let coarse = elsa_attention(
+            &x,
+            &x,
+            &w,
+            &ElsaAlgorithmConfig { signature_bits: 4, score_margin: 2.0, seed: 7 },
+        );
+        let fine = elsa_attention(
+            &x,
+            &x,
+            &w,
+            &ElsaAlgorithmConfig { signature_bits: 64, score_margin: 2.0, seed: 7 },
+        );
         let e_coarse = relative_error(&coarse.output, &exact.output);
         let e_fine = relative_error(&fine.output, &exact.output);
         assert!(e_fine < e_coarse * 1.5, "fine {e_fine} vs coarse {e_coarse}");
@@ -220,6 +232,11 @@ mod tests {
     #[should_panic(expected = "score margin must be positive")]
     fn non_positive_margin_rejected() {
         let (x, w) = setup(8);
-        let _ = elsa_attention(&x, &x, &w, &ElsaAlgorithmConfig { signature_bits: 8, score_margin: 0.0, seed: 0 });
+        let _ = elsa_attention(
+            &x,
+            &x,
+            &w,
+            &ElsaAlgorithmConfig { signature_bits: 8, score_margin: 0.0, seed: 0 },
+        );
     }
 }

@@ -90,7 +90,8 @@ impl GpuModel {
         let gemm_bytes = 4.0 * (2.0 * (m + n) * d + 2.0 * m * n) * h;
         // Softmax: read + write the score matrix twice (max/sub/exp, sum/div).
         let softmax_bytes = 4.0 * 4.0 * m * n * h;
-        self.kernel_time_s(gemm_flops, gemm_bytes) + softmax_bytes / (self.mem_bw_gbs * 1e9 * self.elementwise_efficiency)
+        self.kernel_time_s(gemm_flops, gemm_bytes)
+            + softmax_bytes / (self.mem_bw_gbs * 1e9 * self.elementwise_efficiency)
     }
 
     /// Attention throughput in heads/second.

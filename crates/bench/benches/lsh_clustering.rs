@@ -2,7 +2,9 @@
 //! tree, centroid aggregation, full two-level compression.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cta_lsh::{aggregate_centroids, compress_two_level, ClusterTree, LshFamily, LshParams, StreamingCompressor};
+use cta_lsh::{
+    aggregate_centroids, compress_two_level, ClusterTree, LshFamily, LshParams, StreamingCompressor,
+};
 use cta_workloads::{bert_large, generate_tokens, imdb};
 use std::hint::black_box;
 

@@ -7,20 +7,12 @@ use cta_workloads::{bert_large, imdb, squad11, TestCase};
 
 fn main() {
     banner("Ablation — Fig. 10 bubble removal on/off");
-    row(&[
-        "case".into(),
-        "cycles (on)".into(),
-        "cycles (off)".into(),
-        "saved".into(),
-    ]);
+    row(&["case".into(), "cycles (on)".into(), "cycles (off)".into(), "saved".into()]);
 
     let on = HwConfig::paper();
     let off = HwConfig { bubble_removal: false, ..HwConfig::paper() };
 
-    for case in [
-        TestCase::new(bert_large(), squad11()),
-        TestCase::new(bert_large(), imdb()),
-    ] {
+    for case in [TestCase::new(bert_large(), squad11()), TestCase::new(bert_large(), imdb())] {
         let op = &case_operating_points(&case)[0];
         let task = op.task(&case);
         let c_on = schedule(&on, &task).total_cycles;

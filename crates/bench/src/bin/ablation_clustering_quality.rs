@@ -9,7 +9,9 @@
 //! cheaper and streaming-friendly.
 
 use cta_bench::{banner, row};
-use cta_lsh::{aggregate_centroids, compress, kmeans, ClusterTable, Compression, LshFamily, LshParams};
+use cta_lsh::{
+    aggregate_centroids, compress, kmeans, ClusterTable, Compression, LshFamily, LshParams,
+};
 use cta_tensor::MatrixRng;
 use cta_workloads::{bert_large, generate_tokens, imdb};
 

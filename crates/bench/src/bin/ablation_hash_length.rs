@@ -13,13 +13,7 @@ use cta_workloads::{bert_large, evaluate_case, squad11, CtaClass, TestCase};
 
 fn main() {
     banner("Ablation — hash code length l (compression at the CTA-1 budget)");
-    row(&[
-        "l".into(),
-        "width".into(),
-        "loss%".into(),
-        "RL%".into(),
-        "RA%".into(),
-    ]);
+    row(&["l".into(), "width".into(), "loss%".into(), "RL%".into(), "RA%".into()]);
 
     let case = TestCase::new(bert_large(), squad11());
     let budget = CtaClass::Cta1.target_loss_pct();

@@ -18,12 +18,7 @@ fn main() {
     let task = case_operating_points(&case)[0].task(&case);
     println!("task: {} @ CTA-0, k = ({}, {}, {})", case.name(), task.k0, task.k1, task.k2);
     println!();
-    row(&[
-        "configuration".into(),
-        "cycles".into(),
-        "vs full".into(),
-        "data accesses".into(),
-    ]);
+    row(&["configuration".into(), "cycles".into(), "vs full".into(), "data accesses".into()]);
 
     let full = HwConfig::paper();
     let variants: [(&str, HwConfig); 4] = [

@@ -16,12 +16,7 @@ use cta_workloads::{bert_large, generate_tokens, squad11, ProxyTask, TestCase};
 
 fn main() {
     banner("Ablation — fixed-point quantization scheme");
-    row(&[
-        "datapath".into(),
-        "vs f32 err".into(),
-        "vs exact err".into(),
-        "label flips%".into(),
-    ]);
+    row(&["datapath".into(), "vs f32 err".into(), "vs exact err".into(), "label flips%".into()]);
 
     let case = TestCase::new(bert_large(), squad11());
     let tokens = generate_tokens(&case.model, &case.dataset, case.dataset.seq_len, case.seed());

@@ -5,7 +5,9 @@
 //! `cta_attention::output_error_bound`), and the realised error — the
 //! bound is sound everywhere and tightens as compression loosens.
 
-use cta_attention::{attention_exact, cta_forward, output_error_bound, AttentionWeights, CtaConfig};
+use cta_attention::{
+    attention_exact, cta_forward, output_error_bound, AttentionWeights, CtaConfig,
+};
 use cta_bench::{banner, row};
 use cta_workloads::{bert_large, generate_tokens, squad11, TestCase};
 

@@ -15,10 +15,7 @@ use cta_workloads::{bert_large, generate_layer_tokens, squad11};
 
 fn main() {
     banner("Analysis — per-layer compression through BERT-large (24 layers)");
-    let mut table = Table::new(
-        "analysis_layerwise",
-        &["layer", "k1", "k2", "eff_rel_pct"],
-    );
+    let mut table = Table::new("analysis_layerwise", &["layer", "k1", "k2", "eff_rel_pct"]);
 
     let model = bert_large();
     let dataset = squad11();

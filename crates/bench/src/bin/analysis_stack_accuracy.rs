@@ -15,11 +15,7 @@ use cta_workloads::{bert_large, generate_tokens, squad11};
 
 fn main() {
     banner("Analysis — stack-level prediction agreement (4 layers x 8 heads)");
-    row(&[
-        "width".into(),
-        "agreement".into(),
-        "final act err".into(),
-    ]);
+    row(&["width".into(), "agreement".into(), "final act err".into()]);
 
     let model = bert_large();
     let dataset = squad11().with_seq_len(96);

@@ -18,12 +18,7 @@ const REST_EFFICIENCY: f64 = 0.62;
 
 fn main() {
     banner("End-to-end speedup (attention on 12xCTA at CTA-0, rest on GPU)");
-    row(&[
-        "model".into(),
-        "n".into(),
-        "att frac".into(),
-        "speedup".into(),
-    ]);
+    row(&["model".into(), "n".into(), "att frac".into(), "speedup".into()]);
 
     let gpu = GpuModel::v100();
 

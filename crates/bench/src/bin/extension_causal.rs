@@ -16,12 +16,7 @@ use cta_workloads::{generate_tokens, gpt2_large, wikitext2};
 
 fn main() {
     banner("Extension — blocked-causal CTA (GPT-2/WikiText-2, n = 512)");
-    row(&[
-        "block".into(),
-        "centroids".into(),
-        "score work".into(),
-        "output err".into(),
-    ]);
+    row(&["block".into(), "centroids".into(), "score work".into(), "output err".into()]);
 
     let model = gpt2_large();
     let dataset = wikitext2();

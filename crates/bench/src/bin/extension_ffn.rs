@@ -16,12 +16,7 @@ const REST_EFFICIENCY: f64 = 0.62;
 
 fn main() {
     banner("Extension — FFN on the systolic array (end-to-end, n = 512)");
-    row(&[
-        "model".into(),
-        "att+GPU-FFN".into(),
-        "all-on-CTA".into(),
-        "FFN util".into(),
-    ]);
+    row(&["model".into(), "att+GPU-FFN".into(), "all-on-CTA".into(), "FFN util".into()]);
 
     let gpu = GpuModel::v100();
     let hw = HwConfig::paper();

@@ -30,14 +30,20 @@ fn main() {
     println!("(a) normal attention computes {} x {} = 36 relations", 6, 6);
 
     // (b) Query-specific pruning: each query keeps its own top-3 keys.
-    let a3 = a3_attention(&tokens, &tokens, &weights, &A3Config { search_iterations: 24, candidates: 3 });
-    println!(
-        "(b) per-query pruning keeps 6 x 3 = 18 relations, each query its own set:"
+    let a3 = a3_attention(
+        &tokens,
+        &tokens,
+        &weights,
+        &A3Config { search_iterations: 24, candidates: 3 },
     );
+    println!("(b) per-query pruning keeps 6 x 3 = 18 relations, each query its own set:");
     for (q, c) in a3.candidates.iter().enumerate() {
         println!("      query {q} -> keys {c:?}");
     }
-    println!("      output error {:.4} (and the sets above break inter-query parallelism)", relative_error(&a3.output, &exact.output));
+    println!(
+        "      output error {:.4} (and the sets above break inter-query parallelism)",
+        relative_error(&a3.output, &exact.output)
+    );
 
     // (c) CTA: compress the two repeated features first.
     let cta = cta_forward(&tokens, &tokens, &weights, &CtaConfig::uniform(1.0, 2));
@@ -55,5 +61,8 @@ fn main() {
     );
     println!("      query clusters: {:?}", cta.query_compression.table.indices());
     println!("      kv clusters:    {:?}", cta.kv_compression.level1.table.indices());
-    println!("      output error {:.4}, with every stage still a dense matrix product", relative_error(&cta.output, &exact.output));
+    println!(
+        "      output error {:.4}, with every stage still a dense matrix product",
+        relative_error(&cta.output, &exact.output)
+    );
 }

@@ -11,7 +11,10 @@ use cta_workloads::{paper_cases, CtaClass};
 
 fn main() {
     banner("Figure 11 — accuracy and RL/RA per test case");
-    let mut table = Table::new("fig11_accuracy_compression", &["case", "class", "loss_pct", "rl_pct", "ra_pct", "k0", "k1", "k2"]);
+    let mut table = Table::new(
+        "fig11_accuracy_compression",
+        &["case", "class", "loss_pct", "rl_pct", "ra_pct", "k0", "k1", "k2"],
+    );
 
     let mut rl: [Vec<f64>; 3] = [vec![], vec![], vec![]];
     let mut ra: [Vec<f64>; 3] = [vec![], vec![], vec![]];

@@ -74,7 +74,13 @@ fn main() {
     );
 
     banner("Figure 12 (right) — CTA latency breakdown and vs ideal accelerator");
-    row(&["class".into(), "compress%".into(), "linear%".into(), "attention%".into(), "vs ideal%".into()]);
+    row(&[
+        "class".into(),
+        "compress%".into(),
+        "linear%".into(),
+        "attention%".into(),
+        "vs ideal%".into(),
+    ]);
     for (i, label) in ["CTA-0", "CTA-0.5", "CTA-1"].iter().enumerate() {
         let nf = case_count as f64;
         row(&[

@@ -19,13 +19,7 @@ fn main() {
     let case = TestCase::new(bert_large(), imdb());
     let op = &case_operating_points(&case)[0];
     let task = op.task(&case);
-    println!(
-        "probe task: {} at CTA-0, k = ({}, {}, {})",
-        case.name(),
-        task.k0,
-        task.k1,
-        task.k2
-    );
+    println!("probe task: {} at CTA-0, k = ({}, {}, {})", case.name(), task.k0, task.k1, task.k2);
     println!();
 
     let widths = [4usize, 8, 16, 32];

@@ -37,7 +37,10 @@ fn main() {
     row(&["total".into(), "".into(), format!("{}", sched.total_cycles), "100%".into()]);
     println!(
         "category split: compression {} / linear {} / attention {} cycles (PAG stalls: {})",
-        sched.compression_cycles, sched.linear_cycles, sched.attention_cycles, sched.pag_stall_cycles
+        sched.compression_cycles,
+        sched.linear_cycles,
+        sched.attention_cycles,
+        sched.pag_stall_cycles
     );
     println!("latency at 1 GHz: {:.1} us per head", sched.total_cycles as f64 / 1000.0);
 }

@@ -21,7 +21,7 @@
 
 mod report;
 
-pub use report::{CsvTable, JsonReport, JsonValue};
+pub use report::{CsvTable, JsonReport, JsonValue, SCHEMA_VERSION};
 
 use cta_sim::{AttentionTask, CtaAccelerator, HwConfig, SimReport};
 use cta_workloads::{find_operating_point, CtaClass, OperatingPoint, TestCase};

@@ -6,6 +6,15 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+/// Version of the machine-readable result layout. Bump when a report's
+/// field set or meaning changes incompatibly; downstream tooling keys off
+/// this. Every [`JsonReport`] carries it as its first field, and harness
+/// CSVs that embed it (e.g. `serve_sweep.csv`) repeat it per row.
+///
+/// History: 1 = pre-versioned reports; 2 = `schema_version` stamped into
+/// every JSON report and the serving-sweep CSV.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// A CSV table under construction.
 ///
 /// ```
@@ -42,7 +51,13 @@ impl CsvTable {
     ///
     /// Panics if the cell count differs from the column count.
     pub fn push(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.columns.len(), "row width {} != {} columns", cells.len(), self.columns.len());
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width {} != {} columns",
+            cells.len(),
+            self.columns.len()
+        );
         self.rows.push(cells.to_vec());
     }
 
@@ -205,9 +220,13 @@ pub struct JsonReport {
 }
 
 impl JsonReport {
-    /// Starts an empty report.
+    /// Starts a report pre-stamped with [`SCHEMA_VERSION`] as its first
+    /// field, so every exported JSON identifies its layout generation.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), fields: Vec::new() }
+        Self {
+            name: name.to_string(),
+            fields: vec![("schema_version".to_string(), JsonValue::Int(SCHEMA_VERSION as i64))],
+        }
     }
 
     /// Appends one top-level field (keys keep insertion order; duplicate
@@ -294,7 +313,13 @@ mod tests {
     fn json_report_keeps_insertion_order() {
         let mut r = JsonReport::new("t");
         r.set("z", JsonValue::Int(1)).set("a", JsonValue::Int(2));
-        assert_eq!(r.to_json(), r#"{"z":1,"a":2}"#);
+        assert_eq!(r.to_json(), r#"{"schema_version":2,"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn json_report_stamps_schema_version_first() {
+        let r = JsonReport::new("t");
+        assert_eq!(r.to_json(), format!(r#"{{"schema_version":{SCHEMA_VERSION}}}"#));
     }
 
     #[test]
@@ -304,7 +329,7 @@ mod tests {
         r.set("k", JsonValue::Num(1.5));
         let path = r.write_under(&dir).expect("write");
         let content = std::fs::read_to_string(&path).expect("read back");
-        assert_eq!(content, "{\"k\":1.5}\n");
+        assert_eq!(content, "{\"schema_version\":2,\"k\":1.5}\n");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -33,13 +33,13 @@
 
 mod lut;
 mod qformat;
-mod scalar;
 mod quantized;
+mod scalar;
 
 pub use lut::{ExpLut, ReciprocalLut};
 pub use qformat::QFormat;
-pub use scalar::Fixed;
 pub use quantized::QuantizedMatrix;
+pub use scalar::Fixed;
 
 /// The concrete number formats specified by the paper (§IV-C).
 pub mod formats {

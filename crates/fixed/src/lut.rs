@@ -117,7 +117,11 @@ impl ReciprocalLut {
     /// counter can never exceed the sequence length, so this is a model
     /// invariant violation, not a recoverable error.
     pub fn lookup(&self, count: usize) -> f32 {
-        assert!(count >= 1 && count <= self.table.len(), "count {count} outside LUT range 1..={}", self.table.len());
+        assert!(
+            count >= 1 && count <= self.table.len(),
+            "count {count} outside LUT range 1..={}",
+            self.table.len()
+        );
         self.table[count - 1]
     }
 

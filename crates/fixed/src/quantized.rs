@@ -119,7 +119,8 @@ impl QuantizedMatrix {
             for j in 0..other.cols {
                 let mut acc: i128 = 0;
                 for k in 0..self.cols {
-                    acc += self.raw[i * self.cols + k] as i128 * other.raw[k * other.cols + j] as i128;
+                    acc +=
+                        self.raw[i * self.cols + k] as i128 * other.raw[k * other.cols + j] as i128;
                 }
                 raw[i * other.cols + j] = rescale(acc, in_frac, out_format);
             }
@@ -148,11 +149,8 @@ impl QuantizedMatrix {
 
     /// Re-quantises into a different format (round-to-nearest, saturating).
     pub fn convert(&self, format: QFormat) -> QuantizedMatrix {
-        let raw = self
-            .raw
-            .iter()
-            .map(|&r| rescale(r as i128, self.format.frac_bits(), format))
-            .collect();
+        let raw =
+            self.raw.iter().map(|&r| rescale(r as i128, self.format.frac_bits(), format)).collect();
         QuantizedMatrix { rows: self.rows, cols: self.cols, raw, format }
     }
 

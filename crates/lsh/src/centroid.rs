@@ -33,7 +33,13 @@ impl Centroids {
 ///
 /// Panics if `table.len() != tokens.rows()`.
 pub fn aggregate_centroids(tokens: &Matrix, table: &ClusterTable) -> Centroids {
-    assert_eq!(table.len(), tokens.rows(), "cluster table covers {} tokens but matrix has {} rows", table.len(), tokens.rows());
+    assert_eq!(
+        table.len(),
+        tokens.rows(),
+        "cluster table covers {} tokens but matrix has {} rows",
+        table.len(),
+        tokens.rows()
+    );
     let k = table.cluster_count();
     let d = tokens.cols();
     let mut acc = Matrix::zeros(k, d);

@@ -86,7 +86,13 @@ impl ClusterTree {
     ///
     /// Panics if `code.len() != self.hash_length()`.
     pub fn assign(&mut self, code: &[i32]) -> usize {
-        assert_eq!(code.len(), self.hash_length, "hash code length mismatch: {} vs {}", code.len(), self.hash_length);
+        assert_eq!(
+            code.len(),
+            self.hash_length,
+            "hash code length mismatch: {} vs {}",
+            code.len(),
+            self.hash_length
+        );
         let mut node = 0usize;
         // Layers 0..l-1: internal transitions (Fig. 4a lines 17-20).
         for &hv in &code[..self.hash_length - 1] {

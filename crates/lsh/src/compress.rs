@@ -136,7 +136,13 @@ mod tests {
     use cta_tensor::MatrixRng;
     use proptest::prelude::*;
 
-    fn clustered_tokens(seed: u64, clusters: usize, per_cluster: usize, d: usize, noise: f32) -> Matrix {
+    fn clustered_tokens(
+        seed: u64,
+        clusters: usize,
+        per_cluster: usize,
+        d: usize,
+        noise: f32,
+    ) -> Matrix {
         let mut rng = MatrixRng::new(seed);
         let centers = rng.normal_matrix(clusters, d, 0.0, 4.0);
         let mut rows = Vec::new();

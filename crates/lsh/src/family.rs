@@ -26,7 +26,10 @@ impl LshParams {
     /// Panics if `hash_length == 0` or `bucket_width <= 0`.
     pub fn new(hash_length: usize, bucket_width: f32) -> Self {
         assert!(hash_length > 0, "hash_length must be positive");
-        assert!(bucket_width > 0.0 && bucket_width.is_finite(), "bucket_width must be positive and finite");
+        assert!(
+            bucket_width > 0.0 && bucket_width.is_finite(),
+            "bucket_width must be positive and finite"
+        );
         Self { hash_length, bucket_width }
     }
 
@@ -154,7 +157,13 @@ impl LshFamily {
     ///
     /// Panics if `tokens.cols() != self.dim()`.
     pub fn hash_matrix(&self, tokens: &Matrix) -> HashCodes {
-        assert_eq!(tokens.cols(), self.dim(), "token dimension mismatch: {} vs {}", tokens.cols(), self.dim());
+        assert_eq!(
+            tokens.cols(),
+            self.dim(),
+            "token dimension mismatch: {} vs {}",
+            tokens.cols(),
+            self.dim()
+        );
         let n = tokens.rows();
         let l = self.hash_length();
         let mut values = Vec::with_capacity(n * l);

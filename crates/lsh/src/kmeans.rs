@@ -178,8 +178,7 @@ mod tests {
         let lsh = compress(&tokens, &LshFamily::sample(8, LshParams::new(6, 3.0), 9));
         let km = kmeans(&tokens, lsh.k(), 30, 13);
         assert!(
-            km.compression.approximation_error(&tokens)
-                <= lsh.approximation_error(&tokens) + 1e-6,
+            km.compression.approximation_error(&tokens) <= lsh.approximation_error(&tokens) + 1e-6,
             "k-means should not lose to LSH at equal k"
         );
     }

@@ -43,7 +43,13 @@ impl StreamingCompressor {
     /// Creates an empty compressor for the given family.
     pub fn new(family: LshFamily) -> Self {
         let l = family.hash_length();
-        Self { family, tree: ClusterTree::new(l), sums: Vec::new(), counts: Vec::new(), assignments: Vec::new() }
+        Self {
+            family,
+            tree: ClusterTree::new(l),
+            sums: Vec::new(),
+            counts: Vec::new(),
+            assignments: Vec::new(),
+        }
     }
 
     /// Number of tokens pushed so far.
@@ -99,7 +105,11 @@ impl StreamingCompressor {
 
     /// A full [`Compression`] snapshot of the current state.
     pub fn snapshot(&self) -> Compression {
-        Compression { centroids: self.centroids(), counts: self.counts.clone(), table: self.table() }
+        Compression {
+            centroids: self.centroids(),
+            counts: self.counts.clone(),
+            table: self.table(),
+        }
     }
 
     /// Scalar operations spent per pushed token: `l·d` hash MACs plus the

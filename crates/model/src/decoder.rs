@@ -111,7 +111,8 @@ mod tests {
         let x = standard_normal_matrix(5, 12, 32);
         let memory = standard_normal_matrix(6, 32, 32);
         let exact = l.forward(&x, &memory, AttentionMode::Exact);
-        let cta = l.forward(&x, &memory, AttentionMode::Cta(CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 7)));
+        let cta =
+            l.forward(&x, &memory, AttentionMode::Cta(CtaConfig::new(6, 1e-5, 1e-5, 1e-5, 7)));
         let err = relative_error(&cta.output, &exact.output);
         assert!(err < 1e-3, "decoder singleton-limit error {err}");
     }

@@ -127,8 +127,20 @@ impl MultiHeadAttention {
     /// Panics if either input's width differs from `self.d_model()` or
     /// either is empty.
     pub fn forward_cross(&self, x_q: &Matrix, x_kv: &Matrix, mode: AttentionMode) -> MhaOutput {
-        assert_eq!(x_q.cols(), self.d_model(), "query width {} != d_model {}", x_q.cols(), self.d_model());
-        assert_eq!(x_kv.cols(), self.d_model(), "kv width {} != d_model {}", x_kv.cols(), self.d_model());
+        assert_eq!(
+            x_q.cols(),
+            self.d_model(),
+            "query width {} != d_model {}",
+            x_q.cols(),
+            self.d_model()
+        );
+        assert_eq!(
+            x_kv.cols(),
+            self.d_model(),
+            "kv width {} != d_model {}",
+            x_kv.cols(),
+            self.d_model()
+        );
         assert!(x_q.rows() > 0 && x_kv.rows() > 0, "empty input");
         let m = x_q.rows();
         let mut concat = Matrix::zeros(m, self.d_model());

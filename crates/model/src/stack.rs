@@ -40,7 +40,12 @@ impl StackComparison {
     }
 
     /// Accelerator tasks for every (layer, head) of the CTA run.
-    pub fn attention_tasks(&self, seq_len: usize, head_dim: usize, hash_length: usize) -> Vec<AttentionTask> {
+    pub fn attention_tasks(
+        &self,
+        seq_len: usize,
+        head_dim: usize,
+        hash_length: usize,
+    ) -> Vec<AttentionTask> {
         self.head_stats
             .iter()
             .flatten()
@@ -69,7 +74,9 @@ impl TransformerStack {
         assert!(layers > 0, "at least one layer");
         let mut rng = MatrixRng::new(seed);
         Self {
-            layers: (0..layers).map(|_| EncoderLayer::random(heads, head_dim, d_ffn, &mut rng)).collect(),
+            layers: (0..layers)
+                .map(|_| EncoderLayer::random(heads, head_dim, d_ffn, &mut rng))
+                .collect(),
             head_dim,
             hash_length: 6,
         }

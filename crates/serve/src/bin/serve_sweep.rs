@@ -12,19 +12,50 @@
 //! ```text
 //! serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.1,1.5]
 //!             [--requests 200] [--seed 7] [--routing jsq]
-//!             [--batch 4] [--queue-depth 64]
+//!             [--batch 4] [--queue-depth 64] [--trace <path.json>]
 //! ```
+//!
+//! With `--trace <path>` the harness re-runs the final sweep point with
+//! the telemetry ring buffer attached and writes a Chrome Trace Format
+//! file (open it in `chrome://tracing` or Perfetto): one track group per
+//! replica with SA/CIM/CAG/PAG/host/runtime lanes, request lifecycle
+//! intervals, and queue-depth counters. The trace is validated before it
+//! is written, and tracing never changes the sweep numbers — the sink is
+//! compiled out of the untraced runs.
 //!
 //! Everything is deterministic for a fixed `--seed`: running the sweep
 //! twice produces byte-identical tables.
 
-use cta_bench::{banner, JsonReport, JsonValue, Table};
+use cta_bench::{banner, JsonReport, JsonValue, Table, SCHEMA_VERSION};
 use cta_serve::{
-    poisson_requests, simulate_fleet, AdmissionPolicy, BatchPolicy, CostModel, FleetConfig,
-    LoadSpec, RoutingPolicy,
+    poisson_requests, simulate_fleet, simulate_fleet_traced, AdmissionPolicy, BatchPolicy,
+    CostModel, FleetConfig, LoadSpec, RoutingPolicy,
 };
 use cta_sim::{CtaSystem, SystemConfig};
+use cta_telemetry::{chrome_trace_json, validate_chrome_trace, AggregateReport, RingBufferSink};
 use cta_workloads::{case_task, mini_case};
+
+/// Ring capacity for `--trace`: ~262k events (~15 MB preallocated); long
+/// runs overwrite the oldest window and report the drop count.
+const TRACE_CAPACITY: usize = 1 << 18;
+
+/// CSV/stdout column layout. The trailing `schema_version` column repeats
+/// [`cta_bench::SCHEMA_VERSION`] on every row so a bare
+/// `results/serve_sweep.csv` identifies its layout generation without the
+/// JSON sidecar.
+const SWEEP_COLUMNS: &[&str] = &[
+    "replicas",
+    "load",
+    "offered_rps",
+    "completed",
+    "shed",
+    "tput_rps",
+    "goodput_rps",
+    "p50_ms",
+    "p99_ms",
+    "util",
+    "schema_version",
+];
 
 struct Args {
     replicas: Vec<usize>,
@@ -34,6 +65,7 @@ struct Args {
     routing: RoutingPolicy,
     batch: usize,
     queue_depth: usize,
+    trace: Option<String>,
 }
 
 impl Args {
@@ -46,12 +78,12 @@ impl Args {
             routing: RoutingPolicy::JoinShortestQueue,
             batch: 4,
             queue_depth: 64,
+            trace: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().unwrap_or_else(|| panic!("{name} needs a value"))
-            };
+            let mut value =
+                |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
             match flag.as_str() {
                 "--replicas" => {
                     args.replicas = value("--replicas")
@@ -66,7 +98,8 @@ impl Args {
                         .collect();
                 }
                 "--requests" => {
-                    args.requests = value("--requests").parse().expect("--requests takes an integer");
+                    args.requests =
+                        value("--requests").parse().expect("--requests takes an integer");
                 }
                 "--seed" => {
                     args.seed = value("--seed").parse().expect("--seed takes an integer");
@@ -82,6 +115,9 @@ impl Args {
                 "--queue-depth" => {
                     args.queue_depth =
                         value("--queue-depth").parse().expect("--queue-depth takes an integer");
+                }
+                "--trace" => {
+                    args.trace = Some(value("--trace"));
                 }
                 other => panic!("unknown flag {other:?}"),
             }
@@ -111,13 +147,7 @@ fn main() {
         args.routing.label()
     ));
 
-    let mut table = Table::new(
-        "serve_sweep",
-        &[
-            "replicas", "load", "offered_rps", "completed", "shed", "tput_rps",
-            "goodput_rps", "p50_ms", "p99_ms", "util",
-        ],
-    );
+    let mut table = Table::new("serve_sweep", SWEEP_COLUMNS);
     let mut points: Vec<JsonValue> = Vec::new();
 
     for &replicas in &args.replicas {
@@ -147,6 +177,7 @@ fn main() {
                 format!("{:.3}", p50 * 1e3),
                 format!("{:.3}", p99 * 1e3),
                 format!("{util:.2}"),
+                SCHEMA_VERSION.to_string(),
             ]);
             points.push(JsonValue::obj(vec![
                 ("replicas", JsonValue::Int(replicas as i64)),
@@ -181,4 +212,56 @@ fn main() {
         .set("distinct_task_shapes", JsonValue::Int(cost.distinct_shapes() as i64))
         .set("points", JsonValue::Arr(points));
     json.save();
+
+    // Telemetry pass: re-run the final sweep point with the ring buffer
+    // attached and export a Chrome trace. The traced run reproduces the
+    // untraced one bit for bit (NullSink vs RingBufferSink is pinned by
+    // the determinism-guard test), so the sweep numbers above still
+    // describe exactly what the trace shows.
+    if let Some(path) = &args.trace {
+        let replicas = *args.replicas.last().expect("non-empty sweep");
+        let load = *args.loads.last().expect("non-empty sweep");
+        let mut cfg = FleetConfig::sharded(SystemConfig::paper(), replicas);
+        cfg.routing = args.routing;
+        cfg.batch = BatchPolicy::up_to(args.batch);
+        cfg.admission = AdmissionPolicy::bounded(args.queue_depth);
+        let rate = load * replicas as f64 / solo;
+        let requests = poisson_requests(&spec, args.requests, rate, args.seed);
+
+        let mut sink = RingBufferSink::with_capacity(TRACE_CAPACITY);
+        let _ = simulate_fleet_traced(&cfg, &requests, &mut sink);
+        let events = sink.events();
+        let json = chrome_trace_json(&events);
+        validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("internal: exported trace invalid: {e}"));
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path}: {e}"));
+
+        banner(&format!("Trace — {replicas} replicas @ load {load:.2} → {path}"));
+        print!("{}", AggregateReport::from_events(&events).render(None));
+        if sink.dropped() > 0 {
+            println!(
+                "note: ring buffer wrapped — {} oldest events dropped (capacity {})",
+                sink.dropped(),
+                sink.capacity()
+            );
+        }
+        println!("open in chrome://tracing or https://ui.perfetto.dev");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_header_carries_schema_version() {
+        assert_eq!(SWEEP_COLUMNS.last(), Some(&"schema_version"));
+        assert_eq!(SCHEMA_VERSION, 2, "bump this pin alongside the layout");
+        // Header renders exactly as downstream plotting scripts expect.
+        let t = cta_bench::CsvTable::new("serve_sweep", SWEEP_COLUMNS);
+        assert!(t.to_csv().starts_with(
+            "replicas,load,offered_rps,completed,shed,tput_rps,\
+             goodput_rps,p50_ms,p99_ms,util,schema_version\n"
+        ));
+    }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use cta_sim::{AttentionTask, CtaSystem, LayerStep, TaskCost};
+use cta_sim::{AttentionTask, CtaSystem, LayerStep, PhaseSplit, TaskCost};
 
 use crate::ServeRequest;
 
@@ -21,6 +21,9 @@ use crate::ServeRequest;
 #[derive(Debug, Default, Clone)]
 pub struct CostModel {
     cache: HashMap<AttentionTask, TaskCost>,
+    /// Per-shape phase splits, filled lazily and only when telemetry asks
+    /// for them (the untraced hot path never touches this map).
+    phases: HashMap<AttentionTask, PhaseSplit>,
 }
 
 impl CostModel {
@@ -37,6 +40,14 @@ impl CostModel {
     /// The cost of one head task, simulating it on first sight.
     pub fn head(&mut self, system: &CtaSystem, task: &AttentionTask) -> TaskCost {
         *self.cache.entry(*task).or_insert_with(|| system.head_cost(task))
+    }
+
+    /// The wall-clock phase split of one head task, scheduling it on first
+    /// sight. Used by telemetry to lay phase spans out inside a layer
+    /// step; memoised separately from [`head`](Self::head) so untraced
+    /// runs never pay for it.
+    pub fn phase_split(&mut self, system: &CtaSystem, task: &AttentionTask) -> PhaseSplit {
+        *self.phases.entry(*task).or_insert_with(|| system.head_phase_split(task))
     }
 
     /// Executes one layer dispatch through

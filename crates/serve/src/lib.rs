@@ -57,4 +57,4 @@ pub use metrics::FleetMetrics;
 pub use replica::{BatchPolicy, Completion};
 pub use request::{QosClass, ServeRequest};
 pub use routing::RoutingPolicy;
-pub use runtime::{simulate_fleet, FleetConfig, FleetReport, Shed};
+pub use runtime::{simulate_fleet, simulate_fleet_traced, FleetConfig, FleetReport, Shed};

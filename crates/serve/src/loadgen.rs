@@ -85,7 +85,12 @@ fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `count == 0` or `rate_rps <= 0`.
-pub fn poisson_requests(spec: &LoadSpec, count: usize, rate_rps: f64, seed: u64) -> Vec<ServeRequest> {
+pub fn poisson_requests(
+    spec: &LoadSpec,
+    count: usize,
+    rate_rps: f64,
+    seed: u64,
+) -> Vec<ServeRequest> {
     assert!(count > 0, "at least one request");
     assert!(rate_rps > 0.0, "rate must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -106,7 +111,12 @@ pub fn poisson_requests(spec: &LoadSpec, count: usize, rate_rps: f64, seed: u64)
 /// # Panics
 ///
 /// Panics if `count == 0`.
-pub fn mmpp_requests(spec: &LoadSpec, count: usize, params: MmppParams, seed: u64) -> Vec<ServeRequest> {
+pub fn mmpp_requests(
+    spec: &LoadSpec,
+    count: usize,
+    params: MmppParams,
+    seed: u64,
+) -> Vec<ServeRequest> {
     assert!(count > 0, "at least one request");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = 0.0f64;
@@ -172,8 +182,7 @@ mod tests {
         let params = MmppParams::new(10.0, 10_000.0, 0.05);
         let rs = mmpp_requests(&spec(), 400, params, 7);
         assert!(sorted(&rs));
-        let gaps: Vec<f64> =
-            rs.windows(2).map(|w| w[1].arrival_s - w[0].arrival_s).collect();
+        let gaps: Vec<f64> = rs.windows(2).map(|w| w[1].arrival_s - w[0].arrival_s).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let min = gaps.iter().copied().fold(f64::INFINITY, f64::min);
         // Burst phases produce gaps far below the mean: a plain Poisson

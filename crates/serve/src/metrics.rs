@@ -103,9 +103,13 @@ mod tests {
 
     #[test]
     fn aggregates_counts_and_percentiles() {
-        let completions =
-            vec![completion(0, 0.0, 1.0, 0), completion(1, 0.0, 3.0, 1), completion(2, 1.0, 5.0, 0)];
-        let shed = vec![Shed { id: 3, class: "standard", arrival_s: 2.0, reason: ShedReason::QueueFull }];
+        let completions = vec![
+            completion(0, 0.0, 1.0, 0),
+            completion(1, 0.0, 3.0, 1),
+            completion(2, 1.0, 5.0, 0),
+        ];
+        let shed =
+            vec![Shed { id: 3, class: "standard", arrival_s: 2.0, reason: ShedReason::QueueFull }];
         let m = FleetMetrics::from_outcomes(4, &completions, &shed, &[2.0, 3.0]);
         assert_eq!((m.offered, m.completed, m.shed), (4, 3, 1));
         assert_eq!(m.shed_rate, 0.25);
@@ -144,5 +148,43 @@ mod tests {
     #[should_panic(expected = "conservation")]
     fn lost_requests_rejected() {
         let _ = FleetMetrics::from_outcomes(5, &[], &[], &[1.0]);
+    }
+
+    // --- degenerate completion sets (satellite: percentile hardening) ----
+
+    #[test]
+    fn single_completion_pins_every_percentile_to_that_sample() {
+        let m = FleetMetrics::from_outcomes(1, &[completion(0, 1.0, 3.0, 0)], &[], &[2.0]);
+        let lat = m.latency.expect("one completion");
+        assert_eq!(lat.completed, 1);
+        // n = 1: the 2 s latency IS the whole distribution.
+        assert_eq!((lat.p50_s, lat.p95_s, lat.p99_s), (2.0, 2.0, 2.0));
+        assert_eq!(lat.mean_latency_s, 2.0);
+    }
+
+    #[test]
+    fn two_completions_pin_percentiles_to_the_upper_sample() {
+        // Latencies 1 s and 9 s. Nearest-rank with round-half-away-from-
+        // zero puts p50 (index round(0.5) = 1) on the UPPER sample, and
+        // p95/p99 follow; the mean still sees both.
+        let completions = vec![completion(0, 0.0, 1.0, 0), completion(1, 1.0, 10.0, 0)];
+        let m = FleetMetrics::from_outcomes(2, &completions, &[], &[5.0]);
+        let lat = m.latency.expect("two completions");
+        assert_eq!(lat.completed, 2);
+        assert_eq!((lat.p50_s, lat.p95_s, lat.p99_s), (9.0, 9.0, 9.0));
+        assert_eq!(lat.mean_latency_s, 5.0);
+    }
+
+    #[test]
+    fn three_completions_pin_median_to_middle_and_tails_to_max() {
+        // Latencies 1, 3, 4 s: p50 = middle sample, p95/p99 = max.
+        let completions = vec![
+            completion(0, 0.0, 1.0, 0),
+            completion(1, 0.0, 3.0, 0),
+            completion(2, 1.0, 5.0, 0),
+        ];
+        let m = FleetMetrics::from_outcomes(3, &completions, &[], &[4.0]);
+        let lat = m.latency.expect("three completions");
+        assert_eq!((lat.p50_s, lat.p95_s, lat.p99_s), (3.0, 4.0, 4.0));
     }
 }

@@ -9,6 +9,7 @@
 //! a long request never blocks a short one for more than one layer.
 
 use cta_sim::{AttentionTask, CtaSystem, TaskCost};
+use cta_telemetry::{Module, SpanClass, TraceSink, TrackId};
 
 use crate::{CostModel, ServeRequest};
 
@@ -50,6 +51,9 @@ pub(crate) struct Pending {
 pub(crate) struct Active {
     pub request: ServeRequest,
     pub cursor: usize,
+    /// When the request joined the active set (telemetry: end of its
+    /// queued interval, start of its serving interval).
+    pub joined_s: f64,
 }
 
 /// A finished request, as reported by the runtime.
@@ -93,7 +97,15 @@ pub(crate) struct Replica {
 
 impl Replica {
     pub fn new(index: usize, system: CtaSystem) -> Self {
-        Self { index, system, clock: 0.0, busy_s: 0.0, queue: Vec::new(), active: Vec::new(), completed: 0 }
+        Self {
+            index,
+            system,
+            clock: 0.0,
+            busy_s: 0.0,
+            queue: Vec::new(),
+            active: Vec::new(),
+            completed: 0,
+        }
     }
 
     /// Requests queued but not yet running.
@@ -151,18 +163,25 @@ impl Replica {
     }
 
     /// Executes one layer step at its scheduled time, appending finished
-    /// requests to `completions`. Returns the step's start time.
+    /// requests to `completions` and emitting telemetry to `sink`. Returns
+    /// the step's start time.
+    ///
+    /// The sink is generic so the disabled implementation
+    /// ([`cta_telemetry::NullSink`]) compiles away: with tracing off this
+    /// is the exact pre-telemetry step function, bit for bit.
     ///
     /// # Panics
     ///
     /// Panics if the replica has no work.
-    pub fn execute_step(
+    pub fn execute_step<S: TraceSink>(
         &mut self,
         batch: &BatchPolicy,
         cost: &mut CostModel,
         completions: &mut Vec<Completion>,
+        sink: &mut S,
     ) -> f64 {
         let t0 = self.next_step_time().expect("execute_step needs work");
+        let runtime = TrackId::new(self.index as u32, Module::Runtime);
 
         // Continuous batching: pull arrived queued requests into the
         // active set at this layer boundary, in queue (priority) order.
@@ -174,12 +193,22 @@ impl Replica {
                 // Each joining request pays its one-time weight upload
                 // before its first layer can run.
                 upload_s += self.system.weight_upload_s();
-                self.active.push(Active { request: p.request, cursor: 0 });
+                if S::ENABLED {
+                    // The request's queued interval ends at this batch
+                    // join.
+                    sink.async_span(runtime, "queued", p.request.id, p.request.arrival_s, t0);
+                    sink.instant(runtime, "batch-join", t0);
+                }
+                self.active.push(Active { request: p.request, cursor: 0, joined_s: t0 });
             } else {
                 i += 1;
             }
         }
         assert!(!self.active.is_empty(), "step with an empty active set");
+        if S::ENABLED {
+            sink.counter(runtime, "queue_depth", t0, self.queue.len() as f64);
+            sink.counter(runtime, "active_requests", t0, self.active.len() as f64);
+        }
 
         // Merge every active request's current layer into one dispatch.
         let mut merged: Vec<AttentionTask> = Vec::new();
@@ -194,6 +223,10 @@ impl Replica {
         let elapsed = upload_s + step.elapsed_s;
         self.clock = t0 + elapsed;
         self.busy_s += elapsed;
+
+        if S::ENABLED {
+            self.trace_step(sink, cost, t0, upload_s, &merged, &step);
+        }
 
         // Advance cursors; retire finished requests at the step boundary.
         for a in &mut self.active {
@@ -215,6 +248,10 @@ impl Replica {
         for a in retired {
             let latency = finish - a.request.arrival_s;
             self.completed += 1;
+            if S::ENABLED {
+                sink.async_span(runtime, "serving", a.request.id, a.joined_s, finish);
+                sink.instant(runtime, "complete", finish);
+            }
             completions.push(Completion {
                 id: a.request.id,
                 class: a.request.class.name,
@@ -225,6 +262,75 @@ impl Replica {
             });
         }
         t0
+    }
+
+    /// Emits the telemetry layout of one executed layer step: host-link
+    /// upload/transfer spans, SA phase spans (compression → linear →
+    /// attention, with the PAG-stall tail flagged as a bubble), and
+    /// auxiliary-module overlays. Phase boundaries inside the step's
+    /// critical path follow the merged tasks' memoised
+    /// [`cta_sim::PhaseSplit`] proportions, so summed span seconds per
+    /// class reconcile with `SystemRun` totals (the reconciliation
+    /// integration test pins this).
+    fn trace_step<S: TraceSink>(
+        &self,
+        sink: &mut S,
+        cost: &mut CostModel,
+        t0: f64,
+        upload_s: f64,
+        merged: &[AttentionTask],
+        step: &cta_sim::LayerStep,
+    ) {
+        let replica = self.index as u32;
+        let host = TrackId::new(replica, Module::Host);
+        let sa = TrackId::new(replica, Module::Sa);
+        let c0 = t0 + upload_s;
+        // `self.clock` (already advanced past this step) lower-bounds the
+        // next step's start time; capping span ends there absorbs the
+        // 1-ulp float-associativity drift between `c0 + interval` and the
+        // clock update `t0 + (upload + elapsed)`, keeping per-track spans
+        // non-overlapping.
+        let end_cap = self.clock;
+        sink.span(host, "weight-upload", t0, c0, SpanClass::Upload, false);
+        let transfer_end = (c0 + step.transfer_s).min(end_cap);
+        sink.span(host, "activation-transfer", c0, transfer_end, SpanClass::Transfer, false);
+
+        let mut comp = 0.0;
+        let mut lin = 0.0;
+        let mut att = 0.0;
+        let mut stall = 0.0;
+        for t in merged {
+            let ps = cost.phase_split(&self.system, t);
+            comp += ps.compression_s;
+            lin += ps.linear_s;
+            att += ps.attention_s;
+            stall += ps.pag_stall_s;
+        }
+        let total = comp + lin + att;
+        if total <= 0.0 || step.critical_s <= 0.0 {
+            return;
+        }
+        // Scale the summed per-head phase seconds onto the LPT critical
+        // path; the final boundary is forced exactly to the step end so
+        // successive steps stay non-overlapping.
+        let scale = step.critical_s / total;
+        let end = (c0 + step.critical_s).min(end_cap);
+        let comp_end = (c0 + comp * scale).min(end);
+        let lin_end = (comp_end + lin * scale).min(end);
+        let stall_s = (stall * scale).min(end - lin_end).max(0.0);
+        let att_work_end = end - stall_s;
+        sink.span(sa, "compression", c0, comp_end, SpanClass::Compression, false);
+        sink.span(sa, "linear", comp_end, lin_end, SpanClass::Linear, false);
+        sink.span(sa, "attention", lin_end, att_work_end, SpanClass::Attention, false);
+        sink.span(sa, "pag-stall", att_work_end, end, SpanClass::Attention, true);
+        // Auxiliary-module overlays (visual lanes; phase aggregation only
+        // counts the SA track).
+        let cim = TrackId::new(replica, Module::Cim);
+        let cag = TrackId::new(replica, Module::Cag);
+        let pag = TrackId::new(replica, Module::Pag);
+        sink.span(cim, "cluster-index", c0, comp_end, SpanClass::Compression, false);
+        sink.span(cag, "centroid-agg", c0, comp_end, SpanClass::Compression, false);
+        sink.span(pag, "probability-agg", lin_end, end, SpanClass::Attention, false);
     }
 }
 
@@ -243,7 +349,10 @@ mod tests {
     }
 
     fn pending(id: u64, arrival: f64, class: QosClass) -> Pending {
-        Pending { request: ServeRequest::uniform(id, arrival, class, task(), 2, 4), est_service_s: 0.0 }
+        Pending {
+            request: ServeRequest::uniform(id, arrival, class, task(), 2, 4),
+            est_service_s: 0.0,
+        }
     }
 
     #[test]
@@ -282,12 +391,12 @@ mod tests {
         // 2 layers per request; batching off: 4 steps total, first two
         // steps complete request 0.
         let batch = BatchPolicy::off();
-        r.execute_step(&batch, &mut cost, &mut done);
-        r.execute_step(&batch, &mut cost, &mut done);
+        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, 0);
-        r.execute_step(&batch, &mut cost, &mut done);
-        r.execute_step(&batch, &mut cost, &mut done);
+        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(done.len(), 2);
         assert_eq!(done[1].id, 1);
         assert!(done[1].finish_s > done[0].finish_s);
@@ -301,9 +410,9 @@ mod tests {
         r.enqueue(pending(1, 0.0, QosClass::standard()));
         let mut done = Vec::new();
         let batch = BatchPolicy::up_to(4);
-        r.execute_step(&batch, &mut cost, &mut done);
+        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(r.active.len(), 2, "both requests batched");
-        r.execute_step(&batch, &mut cost, &mut done);
+        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(done.len(), 2, "both finish at the final merged layer");
         assert_eq!(done[0].finish_s, done[1].finish_s);
         assert_eq!((done[0].id, done[1].id), (0, 1));
@@ -329,7 +438,7 @@ mod tests {
             }
             let mut done = Vec::new();
             while r.next_step_time().is_some() {
-                r.execute_step(&batch, &mut cost, &mut done);
+                r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
             }
             done.iter().map(|c| c.finish_s).fold(0.0, f64::max)
         };

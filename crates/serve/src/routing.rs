@@ -127,8 +127,7 @@ mod tests {
         rs[0].enqueue(queued(1, 1));
         let mut cost = CostModel::new();
         let mut cursor = 0;
-        let pick =
-            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor);
+        let pick = RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor);
         assert_eq!(pick, 1);
     }
 

@@ -11,6 +11,7 @@
 //! report.
 
 use cta_sim::CtaSystem;
+use cta_telemetry::{Module, NullSink, TraceSink, TrackId};
 
 use crate::replica::{Completion, Pending, Replica};
 use crate::{
@@ -97,6 +98,27 @@ pub struct FleetReport {
 /// Panics if `cfg.replicas == 0`, `requests` is empty, or `requests` is
 /// not sorted by arrival time.
 pub fn simulate_fleet(cfg: &FleetConfig, requests: &[ServeRequest]) -> FleetReport {
+    simulate_fleet_traced(cfg, requests, &mut NullSink)
+}
+
+/// [`simulate_fleet`] with telemetry: every replica's layer steps, host
+/// transfers, request lifecycle intervals and queue-depth counters are
+/// emitted to `sink`.
+///
+/// The sink is generic over [`TraceSink`], and instrumentation is guarded
+/// by its `ENABLED` constant, so with [`NullSink`] this *is*
+/// [`simulate_fleet`] — same instructions, bitwise-identical report (the
+/// determinism-guard integration test pins this).
+///
+/// # Panics
+///
+/// Panics if `cfg.replicas == 0`, `requests` is empty, or `requests` is
+/// not sorted by arrival time.
+pub fn simulate_fleet_traced<S: TraceSink>(
+    cfg: &FleetConfig,
+    requests: &[ServeRequest],
+    sink: &mut S,
+) -> FleetReport {
     assert!(cfg.replicas > 0, "at least one replica");
     assert!(!requests.is_empty(), "at least one request");
     assert!(
@@ -119,9 +141,7 @@ pub fn simulate_fleet(cfg: &FleetConfig, requests: &[ServeRequest]) -> FleetRepo
             .iter()
             .enumerate()
             .filter_map(|(i, r)| r.next_step_time().map(|t| (t, i)))
-            .min_by(|a, b| {
-                a.0.partial_cmp(&b.0).expect("finite step times").then(a.1.cmp(&b.1))
-            });
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite step times").then(a.1.cmp(&b.1)));
 
         let arrival_due = next_arrival < requests.len()
             && next_step.is_none_or(|(t, _)| requests[next_arrival].arrival_s <= t);
@@ -138,17 +158,34 @@ pub fn simulate_fleet(cfg: &FleetConfig, requests: &[ServeRequest]) -> FleetRepo
                 replicas[target].queue_depth(),
                 est_wait_s + est_service_s,
             ) {
-                Ok(()) => replicas[target]
-                    .enqueue(Pending { request: request.clone(), est_service_s }),
-                Err(reason) => shed.push(Shed {
-                    id: request.id,
-                    class: request.class.name,
-                    arrival_s: now,
-                    reason,
-                }),
+                Ok(()) => {
+                    replicas[target].enqueue(Pending { request: request.clone(), est_service_s });
+                    if S::ENABLED {
+                        let track = TrackId::new(target as u32, Module::Runtime);
+                        sink.instant(track, "enqueue", now);
+                        sink.counter(
+                            track,
+                            "queue_depth",
+                            now,
+                            replicas[target].queue_depth() as f64,
+                        );
+                    }
+                }
+                Err(reason) => {
+                    if S::ENABLED {
+                        let track = TrackId::new(target as u32, Module::Runtime);
+                        sink.instant(track, "shed", now);
+                    }
+                    shed.push(Shed {
+                        id: request.id,
+                        class: request.class.name,
+                        arrival_s: now,
+                        reason,
+                    });
+                }
             }
         } else if let Some((_, i)) = next_step {
-            replicas[i].execute_step(&cfg.batch, &mut cost, &mut completions);
+            replicas[i].execute_step(&cfg.batch, &mut cost, &mut completions, sink);
         } else {
             break;
         }
@@ -172,7 +209,14 @@ mod tests {
     fn trace(n: usize, gap_s: f64) -> Vec<ServeRequest> {
         (0..n)
             .map(|i| {
-                ServeRequest::uniform(i as u64, i as f64 * gap_s, QosClass::standard(), task(), 2, 4)
+                ServeRequest::uniform(
+                    i as u64,
+                    i as f64 * gap_s,
+                    QosClass::standard(),
+                    task(),
+                    2,
+                    4,
+                )
             })
             .collect()
     }

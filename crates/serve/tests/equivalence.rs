@@ -19,8 +19,7 @@ fn single_fifo_fleet_matches_simulate_serving_bitwise() {
         let serving = simulate_serving(&CtaSystem::new(SystemConfig::paper()), &trace);
 
         let requests = replay_trace(&trace, QosClass::standard());
-        let report =
-            simulate_fleet(&FleetConfig::single_fifo(SystemConfig::paper()), &requests);
+        let report = simulate_fleet(&FleetConfig::single_fifo(SystemConfig::paper()), &requests);
 
         assert_eq!(report.metrics.shed, 0, "single_fifo admits everything");
         let fleet = report.metrics.latency.as_ref().expect("has completions");

@@ -29,7 +29,11 @@ pub struct UtilizationReport {
 
 /// Computes utilisation from a schedule by attributing the §III-D op
 /// counts to their phases.
-pub fn utilization(hw: &HwConfig, task: &AttentionTask, sched: &MappingSchedule) -> UtilizationReport {
+pub fn utilization(
+    hw: &HwConfig,
+    task: &AttentionTask,
+    sched: &MappingSchedule,
+) -> UtilizationReport {
     let pes = hw.num_pes() as f64;
     let d = task.head_dim as u64;
     let dw = task.head_dim as u64; // token dim == head dim on this hardware

@@ -71,7 +71,14 @@ pub fn simulate_cacc(tokens: &Matrix, table: &ClusterTable) -> CaccRun {
     // Final write-back of the live buffer.
     mem_row_writes += 1;
 
-    CaccRun { sums, counts, cycles: tokens.rows() as u64, buffer_hits, mem_row_reads, mem_row_writes }
+    CaccRun {
+        sums,
+        counts,
+        cycles: tokens.rows() as u64,
+        buffer_hits,
+        mem_row_reads,
+        mem_row_writes,
+    }
 }
 
 /// Outcome of the CAVG averaging pass.

@@ -115,8 +115,8 @@ mod tests {
         let run = simulate_cim(&codes);
         assert_eq!(run.layer_writes, 3); // one path created
         assert_eq!(run.layer_reads, 15); // every step reads
-        // Tokens 1..4 each reuse nodes created by token 0; only token 1
-        // reads nodes written one token earlier.
+                                         // Tokens 1..4 each reuse nodes created by token 0; only token 1
+                                         // reads nodes written one token earlier.
         assert_eq!(run.bypasses, 3);
         assert_eq!(run.table.cluster_count(), 1);
     }

@@ -108,9 +108,8 @@ pub fn simulate_cim_rtl(codes: &HashCodes) -> CimRtlRun {
             // issued in the previous cycle (not yet committed).
             let mut child = layers[depth].lookup(addr, hash);
             if child.is_none() {
-                if let Some(pw) = pending
-                    .iter()
-                    .find(|w| w.layer == depth && w.addr == addr && w.hash == hash)
+                if let Some(pw) =
+                    pending.iter().find(|w| w.layer == depth && w.addr == addr && w.hash == hash)
                 {
                     child = Some(pw.child);
                     bypasses += 1;

@@ -80,7 +80,10 @@ impl HwConfig {
     /// Panics if `parallelism` is zero or odd (tiles retire 2
     /// iterations/cycle, so parallelism comes in multiples of 2).
     pub fn with_pag_parallelism(mut self, parallelism: usize) -> Self {
-        assert!(parallelism > 0 && parallelism.is_multiple_of(2), "PAG parallelism must be a positive multiple of 2");
+        assert!(
+            parallelism > 0 && parallelism.is_multiple_of(2),
+            "PAG parallelism must be a positive multiple of 2"
+        );
         self.pag_tiles = parallelism / self.pag_iters_per_tile;
         self
     }

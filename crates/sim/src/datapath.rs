@@ -103,8 +103,8 @@ pub fn run_functional_datapath(
         while start < centroids.rows() {
             let end = (start + b).min(centroids.rows());
             let batch = centroids.slice_rows(start, end); // bb × d
-            // Stationary: batch rows as columns (d × bb); stream: W rows
-            // as inputs (each weight column is one streamed vector).
+                                                          // Stationary: batch rows as columns (d × bb); stream: W rows
+                                                          // as inputs (each weight column is one streamed vector).
             let run = sa.run_dataflow1(&batch.transpose(), &w.transpose());
             // run.outputs[j][c] = ⟨centroid c, weight column j⟩.
             for c in 0..end - start {
@@ -175,7 +175,8 @@ pub fn run_functional_datapath(
             start = end;
         }
     }
-    let denominators: Vec<f32> = (0..ap.rows()).map(|c| ap.row(c).iter().sum::<f32>() / 2.0).collect();
+    let denominators: Vec<f32> =
+        (0..ap.rows()).map(|c| ap.row(c).iter().sum::<f32>() / 2.0).collect();
     let ct0: &ClusterTable = &query_compression.table;
     let mut output = Matrix::zeros(queries.rows(), d);
     for i in 0..queries.rows() {

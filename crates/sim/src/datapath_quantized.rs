@@ -47,7 +47,8 @@ pub fn run_quantized_datapath(
     assert_eq!(weights.head_dim(), d, "this hardware assumes token dim == head dim");
     assert!(d <= hw.sa_height, "token dim {d} exceeds SA height {}", hw.sa_height);
 
-    let recip = ReciprocalLut::new(qcfg.reciprocal_lut_max.max(queries.rows()).max(keys_values.rows()));
+    let recip =
+        ReciprocalLut::new(qcfg.reciprocal_lut_max.max(queries.rows()).max(keys_values.rows()));
     let exp_lut = ExpLut::new(qcfg.exp_lut_entries, qcfg.exp_lut_min);
 
     // Token/weight memory contents (quantized on entry).
@@ -81,7 +82,10 @@ pub fn run_quantized_datapath(
     let query_compression = level(&xq, &f0);
     let level1 = level(&xkv, &f1);
     let residual = QuantizedMatrix::quantize(&xkv, qcfg.token)
-        .sub(&QuantizedMatrix::quantize(&level1.centroids.gather_rows(level1.table.indices()), qcfg.token))
+        .sub(&QuantizedMatrix::quantize(
+            &level1.centroids.gather_rows(level1.table.indices()),
+            qcfg.token,
+        ))
         .dequantize();
     let level2 = level(&residual, &f2);
     let kv = TwoLevelCompression { level1, level2 };
@@ -91,7 +95,8 @@ pub fn run_quantized_datapath(
     let c_cat = kv.concatenated_centroids();
     let qw = |m: &Matrix| QuantizedMatrix::quantize(m, qcfg.weight);
     let qc = |m: &Matrix| QuantizedMatrix::quantize(m, qcfg.centroid);
-    let q_bar = qc(&query_compression.centroids).matmul(&qw(weights.wq()), qcfg.centroid).dequantize();
+    let q_bar =
+        qc(&query_compression.centroids).matmul(&qw(weights.wq()), qcfg.centroid).dequantize();
     let k_bar = qc(&c_cat).matmul(&qw(weights.wk()), qcfg.centroid).dequantize();
     let v_bar = qc(&c_cat).matmul(&qw(weights.wv()), qcfg.centroid).dequantize();
 

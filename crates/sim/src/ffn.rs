@@ -11,7 +11,7 @@
 //! `ceil(K/d)` passes. The GELU rides through the PPEs via the same LUT
 //! mechanism as the exponent.
 
-use crate::{HwConfig, PhaseKind, StepTrace};
+use crate::{HwConfig, PhaseKind, StepKind, StepTrace};
 
 /// Cycle/op model of one GEMM tiled onto the SA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,8 +85,18 @@ pub fn schedule_ffn(hw: &HwConfig, n: usize, d_model: usize, d_ffn: usize) -> Ff
     let up = schedule_gemm(hw, n, d_model, d_ffn);
     let down = schedule_gemm(hw, n, d_ffn, d_model);
     let steps = vec![
-        StepTrace { name: "FFN up-projection + GELU (PPE LUT)".into(), category: PhaseKind::Linear, cycles: up.cycles },
-        StepTrace { name: "FFN down-projection".into(), category: PhaseKind::Linear, cycles: down.cycles },
+        StepTrace {
+            name: "FFN up-projection + GELU (PPE LUT)".into(),
+            category: PhaseKind::Linear,
+            kind: StepKind::Work,
+            cycles: up.cycles,
+        },
+        StepTrace {
+            name: "FFN down-projection".into(),
+            category: PhaseKind::Linear,
+            kind: StepKind::Work,
+            cycles: down.cycles,
+        },
     ];
     FfnSchedule { up, down, total_cycles: up.cycles + down.cycles, steps }
 }

@@ -54,6 +54,7 @@ mod serving;
 mod system;
 mod systolic;
 mod task;
+mod trace;
 
 pub use accelerator::{CtaAccelerator, SimReport};
 pub use analysis::{analyze, utilization, UtilizationReport};
@@ -68,14 +69,17 @@ pub use datapath_quantized::{run_quantized_datapath, QuantizedDatapathRun};
 pub use dse::{best_pag_parallelism, sweep, DsePoint};
 pub use energy::{EnergyModel, EnergyReport};
 pub use ffn::{schedule_ffn, schedule_gemm, FfnSchedule, GemmSchedule};
-pub use mapping::{schedule, MappingSchedule, OpTally, PhaseKind, StepTrace};
+pub use mapping::{schedule, MappingSchedule, OpTally, PhaseKind, PhaseSplit, StepKind, StepTrace};
 pub use memory::{MemorySubsystem, Sram};
 pub use pag::{simulate_pag, PagRun};
 pub use pag_rtl::{simulate_pag_rtl, PagPortStats, PagRtlRun};
 pub use power::{power_trace, PowerSample, PowerTrace};
 pub use rtl::{RtlArray, RtlRun};
 pub use rtl_datapath::{run_rtl_datapath, RtlDatapathRun};
-pub use serving::{latency_percentile, poisson_trace, simulate_serving, ServingMetrics, ServingRequest};
+pub use serving::{
+    latency_percentile, poisson_trace, simulate_serving, ServingMetrics, ServingRequest,
+};
 pub use system::{CtaSystem, LayerStep, SystemConfig, SystemRun, TaskCost};
 pub use systolic::{Dataflow1Run, Dataflow2Run, SystolicArray};
 pub use task::AttentionTask;
+pub use trace::trace_schedule;

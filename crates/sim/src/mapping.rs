@@ -25,6 +25,20 @@ pub enum PhaseKind {
     Attention,
 }
 
+/// What role a step plays on the systolic array, beyond its latency
+/// category: real work, or an occupied-but-idle bubble. Telemetry uses
+/// this to attribute bubbles without string-matching step names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Pipeline fill — the SA is occupied but produces nothing.
+    Fill,
+    /// Useful SA work.
+    Work,
+    /// An auxiliary module drains while the SA idles (e.g. the final
+    /// CAVG pass).
+    Drain,
+}
+
 /// One scheduled step with its cycle cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepTrace {
@@ -32,6 +46,8 @@ pub struct StepTrace {
     pub name: String,
     /// Latency category.
     pub category: PhaseKind,
+    /// Bubble classification of the step.
+    pub kind: StepKind,
     /// Cycles charged to this step.
     pub cycles: u64,
 }
@@ -74,10 +90,39 @@ pub struct MappingSchedule {
     pub memory: MemorySubsystem,
 }
 
+/// Per-phase wall-clock split of a schedule at a given clock — the
+/// seconds-domain mirror of the cycle categories, used by telemetry to lay
+/// spans out inside a fleet-level layer step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSplit {
+    /// Token-compression seconds (bubbles included).
+    pub compression_s: f64,
+    /// Linear-transformation seconds.
+    pub linear_s: f64,
+    /// Attention seconds (PAG stalls included).
+    pub attention_s: f64,
+    /// Of the attention seconds, time the SA stalled on the PAG.
+    pub pag_stall_s: f64,
+    /// Total seconds (sum of the three categories).
+    pub total_s: f64,
+}
+
 impl MappingSchedule {
     /// Latency in seconds at the configured clock.
     pub fn latency_s(&self, hw: &HwConfig) -> f64 {
         self.total_cycles as f64 * hw.cycle_time_s()
+    }
+
+    /// Wall-clock phase split at the configured clock.
+    pub fn phase_split(&self, hw: &HwConfig) -> PhaseSplit {
+        let ct = hw.cycle_time_s();
+        PhaseSplit {
+            compression_s: self.compression_cycles as f64 * ct,
+            linear_s: self.linear_cycles as f64 * ct,
+            attention_s: self.attention_cycles as f64 * ct,
+            pag_stall_s: self.pag_stall_cycles as f64 * ct,
+            total_s: self.total_cycles as f64 * ct,
+        }
     }
 }
 
@@ -96,8 +141,18 @@ pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
         task.head_dim,
         hw.sa_height
     );
-    assert!(task.num_keys <= hw.max_seq_len, "n = {} exceeds max_seq_len {}", task.num_keys, hw.max_seq_len);
-    assert!(task.num_queries <= hw.max_seq_len, "m = {} exceeds max_seq_len {}", task.num_queries, hw.max_seq_len);
+    assert!(
+        task.num_keys <= hw.max_seq_len,
+        "n = {} exceeds max_seq_len {}",
+        task.num_keys,
+        hw.max_seq_len
+    );
+    assert!(
+        task.num_queries <= hw.max_seq_len,
+        "m = {} exceeds max_seq_len {}",
+        task.num_queries,
+        hw.max_seq_len
+    );
     assert!(
         task.hash_length <= hw.hash_length,
         "task hash length {} exceeds CIM thread count {}",
@@ -128,10 +183,20 @@ pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
     let fill = d + lsh_cols;
     let per_step_fill = if hw.bubble_removal { 0 } else { fill };
     let push = |steps: &mut Vec<StepTrace>, name: &str, category: PhaseKind, cycles: u64| {
-        steps.push(StepTrace { name: name.to_string(), category, cycles: cycles + per_step_fill });
+        steps.push(StepTrace {
+            name: name.to_string(),
+            category,
+            kind: StepKind::Work,
+            cycles: cycles + per_step_fill,
+        });
     };
 
-    steps.push(StepTrace { name: "initial pipeline fill".into(), category: PhaseKind::Compression, cycles: fill });
+    steps.push(StepTrace {
+        name: "initial pipeline fill".into(),
+        category: PhaseKind::Compression,
+        kind: StepKind::Fill,
+        cycles: fill,
+    });
 
     // ---- Step 1: LSH₁ over X^KV; CIM builds CT₁; CACC(C¹) overlapped.
     let step1 = d /* load A into value registers */ + lsh_passes * n;
@@ -144,7 +209,12 @@ pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
 
     // ---- Step 2: LSH₀ over X^Q; CAVG(C¹) on the spare column.
     let step2 = (lsh_passes * m).max(k1);
-    push(&mut steps, "LSH0(A, X_Q) + CIM(CT0) + CACC(C0) | CAVG(C1)", PhaseKind::Compression, step2);
+    push(
+        &mut steps,
+        "LSH0(A, X_Q) + CIM(CT0) + CACC(C0) | CAVG(C1)",
+        PhaseKind::Compression,
+        step2,
+    );
     mem.token_kv.read_words(lsh_passes * m * d);
     mem.weight.write_words(m); // CT₀
     cacc_traffic(&mut mem, m, k0, d);
@@ -153,7 +223,12 @@ pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
 
     // ---- Step 3: LSH₂ over residual tokens; CAVG(C⁰) on the spare column.
     let step3 = (lsh_passes * n).max(k0);
-    push(&mut steps, "LSH2(A, rX_KV) + CIM(CT2) + CACC(C2) | CAVG(C0)", PhaseKind::Compression, step3);
+    push(
+        &mut steps,
+        "LSH2(A, rX_KV) + CIM(CT2) + CACC(C2) | CAVG(C0)",
+        PhaseKind::Compression,
+        step3,
+    );
     mem.token_kv.read_words(lsh_passes * n * d); // tokens re-streamed
     mem.result.read_words(n * d); // C¹ rows addressed by CT₁
     mem.weight.read_words(n); // CT₁ lookups for addressing
@@ -163,7 +238,12 @@ pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
     cavg_traffic(&mut mem, k0, d);
 
     // ---- Step 4: CAVG(C²) drains alone.
-    push(&mut steps, "CAVG(C2)", PhaseKind::Compression, k2);
+    steps.push(StepTrace {
+        name: "CAVG(C2)".into(),
+        category: PhaseKind::Compression,
+        kind: StepKind::Drain,
+        cycles: k2 + per_step_fill,
+    });
     cavg_traffic(&mut mem, k2, d);
 
     // ---- Steps 5-6: K̄/V̄ linears, batched b rows at a time. Pairing K
@@ -175,7 +255,8 @@ pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
     let kv_loads = if hw.kv_pairing { 1 } else { 2 };
     // Without bubble removal each batch pays two extra pipeline fills
     // (the K and V passes are separate SA configurations).
-    let step56 = kv_batches * (kv_loads * d /* load centroid batch(es) */ + 2 * d /* stream W^K then W^V */)
+    let step56 = kv_batches
+        * (kv_loads * d /* load centroid batch(es) */ + 2 * d/* stream W^K then W^V */)
         + if hw.bubble_removal { 0 } else { kv_batches * 2 * fill };
     push(&mut steps, "LIN(K_bar) + LIN(V_bar) batched", PhaseKind::Linear, step56);
     mem.result.read_words(kv_loads * k_cat * d); // centroid batches
@@ -255,15 +336,15 @@ pub fn schedule(hw: &HwConfig, task: &AttentionTask) -> MappingSchedule {
             + (k0 + 2 * k_cat) * d * d          // linears
             + k0 * k_cat * d                    // scores
             + k0 * k_cat * d                    // outputs
-            + (k0 + k1 + k2) * d,               // CAVG multiplies (SA reuse)
+            + (k0 + k1 + k2) * d, // CAVG multiplies (SA reuse)
         ppe_ops: l * (m + 2 * n)                // hash bias + 1/w
             + k0 * k_cat                        // score max logic
-            + k0 * d,                           // output denominator scaling
+            + k0 * d, // output denominator scaling
         adds: n * d                             // residual column
-            + (m + 2 * n) * d,                  // CACC accumulation (SA adder reuse)
+            + (m + 2 * n) * d, // CACC accumulation (SA adder reuse)
         lut_lookups: k0 * n                     // PAG exponent
             + (k0 + k1 + k2)                    // CAVG reciprocal
-            + k0,                               // PPE softmax-denominator LUT
+            + k0, // PPE softmax-denominator LUT
         cim_steps: (m + 2 * n) * l,
         pag_adds: 3 * k0 * n,
     };
@@ -331,10 +412,7 @@ mod tests {
         let s = schedule(&HwConfig::paper(), &paper_task());
         let step_sum: u64 = s.steps.iter().map(|x| x.cycles).sum();
         assert_eq!(s.total_cycles, step_sum);
-        assert_eq!(
-            s.total_cycles,
-            s.compression_cycles + s.linear_cycles + s.attention_cycles
-        );
+        assert_eq!(s.total_cycles, s.compression_cycles + s.linear_cycles + s.attention_cycles);
     }
 
     #[test]
@@ -370,10 +448,7 @@ mod tests {
     #[test]
     fn bubble_removal_saves_cycles() {
         let on = schedule(&HwConfig::paper(), &paper_task());
-        let off = schedule(
-            &HwConfig { bubble_removal: false, ..HwConfig::paper() },
-            &paper_task(),
-        );
+        let off = schedule(&HwConfig { bubble_removal: false, ..HwConfig::paper() }, &paper_task());
         assert!(off.total_cycles > on.total_cycles);
     }
 
@@ -437,7 +512,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds max_seq_len")]
     fn oversized_sequence_rejected() {
-        let _ = schedule(&HwConfig::paper(), &AttentionTask::from_counts(1024, 1024, 64, 10, 10, 10, 6));
+        let _ = schedule(
+            &HwConfig::paper(),
+            &AttentionTask::from_counts(1024, 1024, 64, 10, 10, 10, 6),
+        );
     }
 
     #[test]

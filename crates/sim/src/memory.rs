@@ -112,7 +112,11 @@ impl MemorySubsystem {
             token_kv: Sram::new("token/KV memory", n * d, 13),
             // 3 weight matrices (d×d), LSH parameters (l×d + biases), and
             // three cluster tables of up to n entries.
-            weight: Sram::new("weight memory", 3 * d * d + (hw.hash_length as u64 + 1) * d + 3 * n, 12),
+            weight: Sram::new(
+                "weight memory",
+                3 * d * d + (hw.hash_length as u64 + 1) * d + 3 * n,
+                12,
+            ),
             result: Sram::new("result memory", n * d, 12),
             cs_buffer: Sram::new("CS buffer", 2 * b * n, 16),
             ap_buffer: Sram::new("AP buffer", 2 * b * n, 16),
@@ -122,7 +126,14 @@ impl MemorySubsystem {
 
     /// Every SRAM, for iteration in reports.
     pub fn all(&self) -> [&Sram; 6] {
-        [&self.token_kv, &self.weight, &self.result, &self.cs_buffer, &self.ap_buffer, &self.cim_layers]
+        [
+            &self.token_kv,
+            &self.weight,
+            &self.result,
+            &self.cs_buffer,
+            &self.ap_buffer,
+            &self.cim_layers,
+        ]
     }
 
     /// Total element reads across all SRAMs.
@@ -191,7 +202,11 @@ mod tests {
         let mem = MemorySubsystem::for_config(&HwConfig::paper());
         // Token memory: 512×64 13-bit words ≈ 52 KB.
         assert!((mem.token_kv.capacity_kb() - 52.0).abs() < 1.0, "{}", mem.token_kv.capacity_kb());
-        assert!(mem.total_capacity_kb() > 100.0 && mem.total_capacity_kb() < 200.0, "{}", mem.total_capacity_kb());
+        assert!(
+            mem.total_capacity_kb() > 100.0 && mem.total_capacity_kb() < 200.0,
+            "{}",
+            mem.total_capacity_kb()
+        );
     }
 
     #[test]

@@ -95,7 +95,10 @@ impl RtlArray {
     ///
     /// Panics if `stationary` exceeds the array dimensions.
     pub fn load_values(&mut self, stationary: &Matrix) {
-        assert!(stationary.rows() <= self.height && stationary.cols() <= self.width, "stationary operand larger than the array");
+        assert!(
+            stationary.rows() <= self.height && stationary.cols() <= self.width,
+            "stationary operand larger than the array"
+        );
         for p in &mut self.pes {
             p.value = 0.0;
         }

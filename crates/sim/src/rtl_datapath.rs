@@ -90,7 +90,8 @@ pub fn run_rtl_datapath(
         let mut start = 0usize;
         while start < centroids.rows() {
             let end = (start + b).min(centroids.rows());
-            let run = sa.run_dataflow1(&centroids.slice_rows(start, end).transpose(), &w.transpose());
+            let run =
+                sa.run_dataflow1(&centroids.slice_rows(start, end).transpose(), &w.transpose());
             for c in 0..end - start {
                 for j in 0..w.cols() {
                     out[(start + c, j)] = run.outputs[(j, c)];

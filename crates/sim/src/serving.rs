@@ -66,9 +66,10 @@ pub fn latency_percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of an empty sample");
     assert!((0.0..=1.0).contains(&p), "percentile rank must be in [0, 1]");
     assert!(
-        sorted.windows(2).all(|w| w[0] <= w[1]),
-        "percentile input must be sorted ascending"
+        sorted.iter().all(|x| x.is_finite()),
+        "percentile input must be finite (NaN/inf latencies indicate corrupted completions)"
     );
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "percentile input must be sorted ascending");
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
 }
@@ -105,9 +106,14 @@ impl ServingMetrics {
     ///
     /// # Panics
     ///
-    /// Panics if `latencies` is empty or `span_s <= 0`.
+    /// Panics if `latencies` is empty or contains a non-finite or negative
+    /// value, or if `span_s <= 0`.
     pub fn from_latencies(latencies: &[f64], span_s: f64, busy_s: f64) -> Self {
         assert!(!latencies.is_empty(), "at least one completion");
+        assert!(
+            latencies.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "latencies must be finite and non-negative"
+        );
         assert!(span_s > 0.0, "span must be positive");
         let mut sorted = latencies.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));

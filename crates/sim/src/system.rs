@@ -8,7 +8,7 @@
 //! accounts for host-link traffic, producing the end-to-end attention
 //! timeline that the §VI-C speedups compose with GPU-resident FFN time.
 
-use crate::{AttentionTask, CtaAccelerator, HwConfig};
+use crate::{AttentionTask, CtaAccelerator, HwConfig, PhaseSplit};
 
 /// Configuration of the multi-unit system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +131,19 @@ impl CtaSystem {
     pub fn head_cost(&self, task: &AttentionTask) -> TaskCost {
         let r = self.accelerator.simulate_head(task);
         TaskCost { latency_s: r.latency_s, energy_j: r.energy.total_j() }
+    }
+
+    /// Wall-clock phase split of one head task on a single unit — how its
+    /// [`TaskCost::latency_s`] divides into compression / linear /
+    /// attention time. Telemetry uses this to lay spans out inside a
+    /// fleet-level layer step; like [`head_cost`](Self::head_cost), the
+    /// result depends only on the task shapes and may be memoised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task does not fit the hardware.
+    pub fn head_phase_split(&self, task: &AttentionTask) -> PhaseSplit {
+        crate::schedule(&self.config.hw, task).phase_split(&self.config.hw)
     }
 
     /// Schedules one layer's head tasks across the units (longest-
@@ -263,7 +276,15 @@ impl CtaSystem {
         let total_s: f64 = weight_upload_s + per_layer_s.iter().sum::<f64>();
         let utilization = busy_s / (compute_s * self.config.units as f64);
         energy_j += self.weight_upload_bits() * self.config.link_pj_per_bit * 1e-12;
-        SystemRun { weight_upload_s, compute_s, transfer_s, total_s, per_layer_s, energy_j, utilization }
+        SystemRun {
+            weight_upload_s,
+            compute_s,
+            transfer_s,
+            total_s,
+            per_layer_s,
+            energy_j,
+            utilization,
+        }
     }
 }
 
@@ -314,7 +335,8 @@ mod tests {
     #[test]
     fn overlap_hides_transfers_when_compute_bound() {
         let overlapped = CtaSystem::new(SystemConfig::paper());
-        let serial = CtaSystem::new(SystemConfig { overlap_transfers: false, ..SystemConfig::paper() });
+        let serial =
+            CtaSystem::new(SystemConfig { overlap_transfers: false, ..SystemConfig::paper() });
         let layers = uniform_layers(2, 12);
         let a = overlapped.run_layers(&layers);
         let b = serial.run_layers(&layers);
@@ -338,10 +360,14 @@ mod tests {
 
     #[test]
     fn energy_includes_link_energy() {
-        let expensive_link = CtaSystem::new(SystemConfig { link_pj_per_bit: 1000.0, ..SystemConfig::paper() });
-        let cheap_link = CtaSystem::new(SystemConfig { link_pj_per_bit: 0.0, ..SystemConfig::paper() });
+        let expensive_link =
+            CtaSystem::new(SystemConfig { link_pj_per_bit: 1000.0, ..SystemConfig::paper() });
+        let cheap_link =
+            CtaSystem::new(SystemConfig { link_pj_per_bit: 0.0, ..SystemConfig::paper() });
         let layers = uniform_layers(1, 12);
-        assert!(expensive_link.run_layers(&layers).energy_j > cheap_link.run_layers(&layers).energy_j);
+        assert!(
+            expensive_link.run_layers(&layers).energy_j > cheap_link.run_layers(&layers).energy_j
+        );
     }
 
     #[test]

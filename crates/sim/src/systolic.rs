@@ -107,8 +107,18 @@ impl SystolicArray {
     /// Panics if `stationary.rows() != height`, `cols_used > width`, or
     /// `inputs.cols() != height`.
     pub fn run_dataflow1(&mut self, stationary: &Matrix, inputs: &Matrix) -> Dataflow1Run {
-        assert_eq!(stationary.rows(), self.height, "stationary vectors must have {} rows", self.height);
-        assert!(stationary.cols() <= self.width, "needs {} columns but SA has {}", stationary.cols(), self.width);
+        assert_eq!(
+            stationary.rows(),
+            self.height,
+            "stationary vectors must have {} rows",
+            self.height
+        );
+        assert!(
+            stationary.cols() <= self.width,
+            "needs {} columns but SA has {}",
+            stationary.cols(),
+            self.width
+        );
         assert_eq!(inputs.cols(), self.height, "input vectors must have length {}", self.height);
         let t_count = inputs.rows();
         let cols = stationary.cols();
@@ -150,9 +160,20 @@ impl SystolicArray {
     /// Panics if `rows > width`, `bottom.cols() != height`, or the inner
     /// dimensions differ.
     pub fn run_dataflow2(&mut self, left: &Matrix, bottom: &Matrix) -> Dataflow2Run {
-        assert!(left.rows() <= self.width, "needs {} columns but SA has {}", left.rows(), self.width);
+        assert!(
+            left.rows() <= self.width,
+            "needs {} columns but SA has {}",
+            left.rows(),
+            self.width
+        );
         assert_eq!(bottom.cols(), self.height, "bottom vectors must have length {}", self.height);
-        assert_eq!(left.cols(), bottom.rows(), "inner dimension mismatch: {} vs {}", left.cols(), bottom.rows());
+        assert_eq!(
+            left.cols(),
+            bottom.rows(),
+            "inner dimension mismatch: {} vs {}",
+            left.cols(),
+            bottom.rows()
+        );
         let outputs = left.matmul(bottom);
         let cycles = (left.cols() + left.rows() + self.height) as u64;
         self.total_cycles += cycles;

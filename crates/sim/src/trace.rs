@@ -1,0 +1,187 @@
+//! Telemetry emission for mapping schedules.
+//!
+//! [`trace_schedule`] lays one head's [`MappingSchedule`] out on a
+//! telemetry track group: every step becomes a span on the **SA** track
+//! (the schedule *is* the SA timeline), bubbles — the initial pipeline
+//! fill, the CAVG drain, and the PAG-stall tail of the attention loop —
+//! are flagged so occupancy reports can separate occupied-but-idle time,
+//! and the CIM/CAG/PAG lanes get overlay spans showing when each
+//! auxiliary module is active alongside the SA.
+//!
+//! Aggregation invariant (pinned by tests here and in `cta-serve`): the
+//! summed SA-track span seconds per [`SpanClass`] equal the schedule's
+//! per-category cycle counts times the cycle time, so an
+//! [`AggregateReport`](cta_telemetry::AggregateReport) over the emitted
+//! events reconciles with `MappingSchedule` / `SystemRun` totals.
+
+use cta_telemetry::{Module, SpanClass, TraceSink, TrackId};
+
+use crate::{HwConfig, MappingSchedule, PhaseKind, StepKind};
+
+/// Span name for a step, derived from its category and kind (span names
+/// must be `'static`; the dynamic Table-I step names stay on
+/// [`StepTrace`](crate::StepTrace)).
+fn span_name(category: PhaseKind, kind: StepKind) -> &'static str {
+    match (kind, category) {
+        (StepKind::Fill, _) => "pipeline-fill",
+        (StepKind::Drain, _) => "cavg-drain",
+        (StepKind::Work, PhaseKind::Compression) => "lsh-compress",
+        (StepKind::Work, PhaseKind::Linear) => "linear",
+        (StepKind::Work, PhaseKind::Attention) => "score-pag-out",
+    }
+}
+
+fn class_of(category: PhaseKind) -> SpanClass {
+    match category {
+        PhaseKind::Compression => SpanClass::Compression,
+        PhaseKind::Linear => SpanClass::Linear,
+        PhaseKind::Attention => SpanClass::Attention,
+    }
+}
+
+/// Emits one head's schedule as spans starting at `t0_s` on `replica`'s
+/// tracks and returns the end time `t0_s + latency`.
+///
+/// With a disabled sink this reduces to the latency addition — the
+/// instrumented and uninstrumented paths produce bitwise-identical
+/// timestamps.
+pub fn trace_schedule<S: TraceSink>(
+    sink: &mut S,
+    hw: &HwConfig,
+    sched: &MappingSchedule,
+    replica: u32,
+    t0_s: f64,
+) -> f64 {
+    let end_s = t0_s + sched.latency_s(hw);
+    if !S::ENABLED {
+        return end_s;
+    }
+    let ct = hw.cycle_time_s();
+    let sa = TrackId::new(replica, Module::Sa);
+    let cim = TrackId::new(replica, Module::Cim);
+    let cag = TrackId::new(replica, Module::Cag);
+    let pag = TrackId::new(replica, Module::Pag);
+
+    // Walk the steps in cycle space so adjacent spans share exact
+    // boundary values.
+    let mut cursor = 0u64;
+    let last_attention = sched
+        .steps
+        .iter()
+        .rposition(|s| s.category == PhaseKind::Attention && s.kind == StepKind::Work);
+    for (i, step) in sched.steps.iter().enumerate() {
+        let start = t0_s + cursor as f64 * ct;
+        cursor += step.cycles;
+        let end = t0_s + cursor as f64 * ct;
+        let class = class_of(step.category);
+        let bubble = step.kind != StepKind::Work;
+        if Some(i) == last_attention && sched.pag_stall_cycles > 0 {
+            // Carve the accumulated PAG stalls out of the attention loop's
+            // tail as an explicit bubble interval.
+            let stall = sched.pag_stall_cycles.min(step.cycles);
+            let split = t0_s + (cursor - stall) as f64 * ct;
+            sink.span(sa, span_name(step.category, step.kind), start, split, class, bubble);
+            sink.span(sa, "pag-stall", split, end, class, true);
+        } else {
+            sink.span(sa, span_name(step.category, step.kind), start, end, class, bubble);
+        }
+
+        // Auxiliary-module overlays (visual lanes; excluded from phase
+        // aggregation, which only counts the SA track).
+        match (step.kind, step.category) {
+            (StepKind::Work, PhaseKind::Compression) => {
+                sink.span(cim, "cluster-index", start, end, SpanClass::Compression, false);
+                sink.span(cag, "centroid-agg", start, end, SpanClass::Compression, false);
+            }
+            (StepKind::Drain, _) => {
+                sink.span(cag, "centroid-agg", start, end, SpanClass::Compression, false);
+            }
+            (StepKind::Work, PhaseKind::Attention) => {
+                sink.span(pag, "probability-agg", start, end, SpanClass::Attention, false);
+            }
+            _ => {}
+        }
+    }
+    end_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttentionTask;
+    use cta_telemetry::{AggregateReport, NullSink, RingBufferSink};
+
+    fn paper_task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 322, 200, 87, 6)
+    }
+
+    #[test]
+    fn null_sink_returns_same_end_time() {
+        let hw = HwConfig::paper();
+        let sched = crate::schedule(&hw, &paper_task());
+        let mut null = NullSink;
+        let mut ring = RingBufferSink::with_capacity(1024);
+        let a = trace_schedule(&mut null, &hw, &sched, 0, 1.25);
+        let b = trace_schedule(&mut ring, &hw, &sched, 0, 1.25);
+        assert_eq!(a.to_bits(), b.to_bits(), "tracing must not perturb time");
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn aggregate_reconciles_with_schedule_categories() {
+        let hw = HwConfig::paper();
+        let sched = crate::schedule(&hw, &paper_task());
+        let mut sink = RingBufferSink::with_capacity(1024);
+        trace_schedule(&mut sink, &hw, &sched, 0, 0.0);
+        assert_eq!(sink.dropped(), 0);
+
+        let report = AggregateReport::from_events(&sink.events());
+        let ct = hw.cycle_time_s();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
+        assert!(close(report.compression_s, sched.compression_cycles as f64 * ct));
+        assert!(close(report.linear_s, sched.linear_cycles as f64 * ct));
+        assert!(close(report.attention_s, sched.attention_cycles as f64 * ct));
+        assert!(close(report.compute_s(), sched.latency_s(&hw)));
+        // Bubble attribution covers fill + drain + PAG stalls.
+        assert!(report.bubbles_s.contains_key("pipeline-fill"));
+        assert!(report.bubbles_s.contains_key("cavg-drain"));
+        let stall = report.bubbles_s.get("pag-stall").copied().unwrap_or(0.0);
+        assert!(close(stall, sched.pag_stall_cycles as f64 * ct));
+    }
+
+    #[test]
+    fn spans_per_track_are_ordered_and_non_overlapping() {
+        let hw = HwConfig::paper();
+        let sched = crate::schedule(&hw, &paper_task());
+        let mut sink = RingBufferSink::with_capacity(1024);
+        trace_schedule(&mut sink, &hw, &sched, 3, 0.5);
+        let events = sink.events();
+        let mut last_end: std::collections::HashMap<TrackId, f64> = Default::default();
+        for e in &events {
+            let prev = last_end.entry(e.track).or_insert(f64::NEG_INFINITY);
+            assert!(e.t_s >= *prev, "span starts before previous ended on {:?}", e.track);
+            assert!(e.end_s() > e.t_s);
+            *prev = e.end_s();
+        }
+        // The exported document passes the structural validator too.
+        let json = cta_telemetry::chrome_trace_json(&events);
+        cta_telemetry::validate_chrome_trace(&json).expect("valid trace");
+    }
+
+    #[test]
+    fn sa_occupancy_excludes_bubbles() {
+        let hw = HwConfig::paper();
+        let sched = crate::schedule(&hw, &paper_task());
+        let mut sink = RingBufferSink::with_capacity(1024);
+        trace_schedule(&mut sink, &hw, &sched, 0, 0.0);
+        let report = AggregateReport::from_events(&sink.events());
+        let r = report.replicas[0];
+        let occ = r.occupancy_pct().expect("non-empty track");
+        assert!(occ > 0.0 && occ < 100.0, "occupancy {occ}");
+        let ct = hw.cycle_time_s();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1e-30);
+        close(r.sa_busy_s + r.sa_bubble_s, sched.latency_s(&hw));
+        assert!(close(r.sa_extent_s, sched.latency_s(&hw)));
+        let _ = ct;
+    }
+}

@@ -1,0 +1,274 @@
+//! Flat aggregation over recorded events.
+//!
+//! Where the Chrome export answers "what does the timeline look like",
+//! [`AggregateReport`] answers "where did the time go": per-phase totals
+//! (compression / linear / attention on the SA track, transfer / upload on
+//! the host link), bubble attribution by span name, and per-replica SA
+//! occupancy.
+//!
+//! Only **SA-track** spans count toward the three phase categories —
+//! the CIM/CAG/PAG lanes are visual overlays of the same schedule window,
+//! so adding them in would double-count. This is what makes the aggregate
+//! reconcile exactly with `MappingSchedule` / `SystemRun` totals (the
+//! `cta-serve` reconciliation test pins it).
+
+use std::collections::BTreeMap;
+
+use crate::{Event, EventKind, Module, SpanClass};
+
+/// Per-replica SA-track statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaStats {
+    /// Replica index.
+    pub replica: u32,
+    /// SA time spent doing useful work (non-bubble spans), seconds.
+    pub sa_busy_s: f64,
+    /// SA time occupied but idle (bubble spans), seconds.
+    pub sa_bubble_s: f64,
+    /// Wall-clock extent of the replica's SA track: last span end minus
+    /// first span start, seconds. Includes gaps (transfers, uploads).
+    pub sa_extent_s: f64,
+}
+
+impl ReplicaStats {
+    /// Useful-work fraction of the SA track's wall-clock extent, in
+    /// percent. `None` when the track is empty.
+    pub fn occupancy_pct(&self) -> Option<f64> {
+        if self.sa_extent_s > 0.0 {
+            Some(100.0 * self.sa_busy_s / self.sa_extent_s)
+        } else {
+            None
+        }
+    }
+}
+
+/// Where the time went, summed over a recorded event stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggregateReport {
+    /// SA-track compression time (LSH, cluster indexing, aggregation),
+    /// bubbles included, seconds.
+    pub compression_s: f64,
+    /// SA-track linear-transformation time, seconds.
+    pub linear_s: f64,
+    /// SA-track attention time (score / PAG / output, stalls included),
+    /// seconds.
+    pub attention_s: f64,
+    /// Host-link activation-transfer time, seconds.
+    pub transfer_s: f64,
+    /// Host-link weight-upload time, seconds.
+    pub upload_s: f64,
+    /// Bubble time by span name (SA track), seconds. Sorted by name for
+    /// deterministic rendering.
+    pub bubbles_s: BTreeMap<&'static str, f64>,
+    /// Per-replica SA statistics, sorted by replica index.
+    pub replicas: Vec<ReplicaStats>,
+    /// Total events aggregated (all kinds, all tracks).
+    pub events: usize,
+    /// Highest counter value seen per counter name.
+    pub counter_peaks: BTreeMap<&'static str, f64>,
+}
+
+impl AggregateReport {
+    /// Builds the report from an event stream (any order).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut report = AggregateReport { events: events.len(), ..AggregateReport::default() };
+        let mut per_replica: BTreeMap<u32, (f64, f64, f64, f64)> = BTreeMap::new();
+        for e in events {
+            match e.kind {
+                EventKind::Span { end_s, class, bubble } => {
+                    let dur = end_s - e.t_s;
+                    match (e.track.module, class) {
+                        (Module::Sa, SpanClass::Compression) => report.compression_s += dur,
+                        (Module::Sa, SpanClass::Linear) => report.linear_s += dur,
+                        (Module::Sa, SpanClass::Attention) => report.attention_s += dur,
+                        (Module::Host, SpanClass::Transfer) => report.transfer_s += dur,
+                        (Module::Host, SpanClass::Upload) => report.upload_s += dur,
+                        _ => {}
+                    }
+                    if e.track.module == Module::Sa {
+                        let entry = per_replica.entry(e.track.replica).or_insert((
+                            0.0,
+                            0.0,
+                            f64::INFINITY,
+                            f64::NEG_INFINITY,
+                        ));
+                        if bubble {
+                            entry.1 += dur;
+                            *report.bubbles_s.entry(e.name).or_insert(0.0) += dur;
+                        } else {
+                            entry.0 += dur;
+                        }
+                        entry.2 = entry.2.min(e.t_s);
+                        entry.3 = entry.3.max(end_s);
+                    }
+                }
+                EventKind::Counter { value } => {
+                    let peak = report.counter_peaks.entry(e.name).or_insert(value);
+                    *peak = peak.max(value);
+                }
+                EventKind::Async { .. } | EventKind::Instant => {}
+            }
+        }
+        report.replicas = per_replica
+            .into_iter()
+            .map(|(replica, (busy, bubble, start, end))| ReplicaStats {
+                replica,
+                sa_busy_s: busy,
+                sa_bubble_s: bubble,
+                sa_extent_s: if end > start { end - start } else { 0.0 },
+            })
+            .collect();
+        report
+    }
+
+    /// Total SA compute time across phases (bubbles included), seconds.
+    pub fn compute_s(&self) -> f64 {
+        self.compression_s + self.linear_s + self.attention_s
+    }
+
+    /// Total bubble time, seconds.
+    pub fn bubble_s(&self) -> f64 {
+        self.bubbles_s.values().sum()
+    }
+
+    /// Renders the report as aligned text. When `cycle_time_s` is given
+    /// (e.g. `HwConfig::cycle_time_s()`), phase rows also show cycle
+    /// counts.
+    pub fn render(&self, cycle_time_s: Option<f64>) -> String {
+        let mut out = String::new();
+        let compute = self.compute_s();
+        let cycles = |s: f64| match cycle_time_s {
+            Some(ct) if ct > 0.0 => format!("  {:>14.0} cyc", s / ct),
+            _ => String::new(),
+        };
+        let pct = |s: f64| if compute > 0.0 { 100.0 * s / compute } else { 0.0 };
+        out.push_str("phase totals (SA track)\n");
+        for (name, s) in [
+            ("compression", self.compression_s),
+            ("linear", self.linear_s),
+            ("attention", self.attention_s),
+        ] {
+            out.push_str(&format!("  {name:<12} {:>12.6e} s  {:>5.1}%{}\n", s, pct(s), cycles(s)));
+        }
+        out.push_str(&format!("  {:<12} {compute:>12.6e} s{}\n", "compute", cycles(compute)));
+        out.push_str("host link\n");
+        out.push_str(&format!("  {:<12} {:>12.6e} s\n", "transfer", self.transfer_s));
+        out.push_str(&format!("  {:<12} {:>12.6e} s\n", "upload", self.upload_s));
+        if !self.bubbles_s.is_empty() {
+            out.push_str("bubble attribution\n");
+            for (name, s) in &self.bubbles_s {
+                out.push_str(&format!("  {name:<28} {:>12.6e} s{}\n", s, cycles(*s)));
+            }
+            out.push_str(&format!(
+                "  {:<28} {:>12.6e} s  ({:.1}% of compute)\n",
+                "total bubbles",
+                self.bubble_s(),
+                pct(self.bubble_s())
+            ));
+        }
+        if !self.replicas.is_empty() {
+            out.push_str("SA occupancy\n");
+            for r in &self.replicas {
+                let occ = r
+                    .occupancy_pct()
+                    .map(|p| format!("{p:.1}%"))
+                    .unwrap_or_else(|| "n/a".to_string());
+                out.push_str(&format!(
+                    "  replica {:<3} busy {:>12.6e} s  bubble {:>12.6e} s  occupancy {occ}\n",
+                    r.replica, r.sa_busy_s, r.sa_bubble_s
+                ));
+            }
+        }
+        if !self.counter_peaks.is_empty() {
+            out.push_str("counter peaks\n");
+            for (name, v) in &self.counter_peaks {
+                out.push_str(&format!("  {name:<28} {v}\n"));
+            }
+        }
+        out.push_str(&format!("events: {}\n", self.events));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RingBufferSink, TraceSink as _, TrackId};
+
+    #[test]
+    fn phase_totals_only_count_sa_track() {
+        let sa = TrackId::new(0, Module::Sa);
+        let pag = TrackId::new(0, Module::Pag);
+        let host = TrackId::new(0, Module::Host);
+        let mut sink = RingBufferSink::with_capacity(16);
+        sink.span(sa, "lsh", 0.0, 2.0, SpanClass::Compression, false);
+        sink.span(sa, "fill", 2.0, 2.5, SpanClass::Compression, true);
+        sink.span(sa, "lin", 2.5, 4.0, SpanClass::Linear, false);
+        sink.span(sa, "attn", 4.0, 7.0, SpanClass::Attention, false);
+        // Overlay lane: must NOT be double-counted in phase totals.
+        sink.span(pag, "pag", 4.0, 6.0, SpanClass::Attention, false);
+        sink.span(host, "xfer", 7.0, 7.5, SpanClass::Transfer, false);
+        sink.span(host, "upload", 0.0, 0.5, SpanClass::Upload, false);
+
+        let report = AggregateReport::from_events(&sink.events());
+        assert_eq!(report.compression_s, 2.5);
+        assert_eq!(report.linear_s, 1.5);
+        assert_eq!(report.attention_s, 3.0);
+        assert_eq!(report.transfer_s, 0.5);
+        assert_eq!(report.upload_s, 0.5);
+        assert_eq!(report.compute_s(), 7.0);
+        assert_eq!(report.bubble_s(), 0.5);
+        assert_eq!(report.bubbles_s.get("fill"), Some(&0.5));
+    }
+
+    #[test]
+    fn replica_occupancy_uses_extent() {
+        let sa0 = TrackId::new(0, Module::Sa);
+        let sa1 = TrackId::new(1, Module::Sa);
+        let mut sink = RingBufferSink::with_capacity(16);
+        // Replica 0: busy 2 s of a 4 s extent → 50%.
+        sink.span(sa0, "a", 0.0, 2.0, SpanClass::Linear, false);
+        sink.span(sa0, "b", 3.0, 4.0, SpanClass::Attention, true);
+        // Replica 1: fully busy.
+        sink.span(sa1, "c", 0.0, 1.0, SpanClass::Linear, false);
+
+        let report = AggregateReport::from_events(&sink.events());
+        assert_eq!(report.replicas.len(), 2);
+        let r0 = report.replicas[0];
+        assert_eq!(r0.replica, 0);
+        assert_eq!(r0.sa_busy_s, 2.0);
+        assert_eq!(r0.sa_bubble_s, 1.0);
+        assert_eq!(r0.sa_extent_s, 4.0);
+        assert_eq!(r0.occupancy_pct(), Some(50.0));
+        assert_eq!(report.replicas[1].occupancy_pct(), Some(100.0));
+    }
+
+    #[test]
+    fn counter_peaks_track_maximum() {
+        let run = TrackId::new(0, Module::Runtime);
+        let mut sink = RingBufferSink::with_capacity(8);
+        sink.counter(run, "queue_depth", 0.0, 1.0);
+        sink.counter(run, "queue_depth", 1.0, 5.0);
+        sink.counter(run, "queue_depth", 2.0, 2.0);
+        let report = AggregateReport::from_events(&sink.events());
+        assert_eq!(report.counter_peaks.get("queue_depth"), Some(&5.0));
+    }
+
+    #[test]
+    fn empty_stream_renders() {
+        let report = AggregateReport::from_events(&[]);
+        assert_eq!(report.events, 0);
+        assert!(report.render(None).contains("events: 0"));
+    }
+
+    #[test]
+    fn render_shows_cycles_when_cycle_time_given() {
+        let sa = TrackId::new(0, Module::Sa);
+        let mut sink = RingBufferSink::with_capacity(4);
+        sink.span(sa, "lin", 0.0, 1e-6, SpanClass::Linear, false);
+        let report = AggregateReport::from_events(&sink.events());
+        let text = report.render(Some(1e-9));
+        assert!(text.contains("cyc"), "{text}");
+        assert!(text.contains("1000"), "1 µs at 1 GHz is 1000 cycles: {text}");
+    }
+}

@@ -77,7 +77,12 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length {} does not match {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length {} does not match {rows}x{cols}",
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
@@ -174,7 +179,11 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > self.rows()`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "invalid row range {start}..{end} for {} rows", self.rows);
+        assert!(
+            start <= end && end <= self.rows,
+            "invalid row range {start}..{end} for {} rows",
+            self.rows
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -191,7 +200,11 @@ impl Matrix {
     ///
     /// Panics if the column counts differ.
     pub fn vstack(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "vstack requires equal column counts ({} vs {})", self.cols, other.cols);
+        assert_eq!(
+            self.cols, other.cols,
+            "vstack requires equal column counts ({} vs {})",
+            self.cols, other.cols
+        );
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
@@ -231,14 +244,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }

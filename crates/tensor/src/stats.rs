@@ -100,7 +100,11 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "mean {:.4} (min {:.4}, max {:.4}, n={})", self.mean, self.min, self.max, self.count)
+        write!(
+            f,
+            "mean {:.4} (min {:.4}, max {:.4}, n={})",
+            self.mean, self.min, self.max, self.count
+        )
     }
 }
 

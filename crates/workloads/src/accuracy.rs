@@ -11,8 +11,8 @@
 //! 1% accuracy-loss budgets.
 
 use cta_attention::{
-    attention_exact, cta_forward, fidelity, report_from_counts, AttentionWeights,
-    ComplexityReport, CtaConfig, FidelityReport,
+    attention_exact, cta_forward, fidelity, report_from_counts, AttentionWeights, ComplexityReport,
+    CtaConfig, FidelityReport,
 };
 use cta_tensor::{Matrix, MatrixRng};
 
@@ -104,7 +104,8 @@ pub struct CaseEvaluation {
 pub fn evaluate_case(case: &TestCase, config: &CtaConfig, samples: usize) -> CaseEvaluation {
     assert!(samples > 0, "at least one sample");
     let dims = case.dims();
-    let weights = AttentionWeights::random(case.model.head_dim, case.model.head_dim, case.seed() ^ 0xBEEF);
+    let weights =
+        AttentionWeights::random(case.model.head_dim, case.model.head_dim, case.seed() ^ 0xBEEF);
     let probe = ProxyTask::for_case(case, 8);
 
     let mut sample_losses = Vec::with_capacity(samples);
@@ -114,7 +115,12 @@ pub fn evaluate_case(case: &TestCase, config: &CtaConfig, samples: usize) -> Cas
     let (mut k0_sum, mut k1_sum, mut k2_sum) = (0usize, 0usize, 0usize);
 
     for s in 0..samples {
-        let tokens = generate_tokens(&case.model, &case.dataset, case.dataset.seq_len, case.seed().wrapping_add(s as u64));
+        let tokens = generate_tokens(
+            &case.model,
+            &case.dataset,
+            case.dataset.seq_len,
+            case.seed().wrapping_add(s as u64),
+        );
         let exact = attention_exact(&tokens, &tokens, &weights);
         let cta = cta_forward(&tokens, &tokens, &weights, config);
         let fid = fidelity(&cta, &exact);
@@ -163,11 +169,7 @@ impl CaseEvaluation {
             return 0.0;
         }
         let mean = self.accuracy_loss_pct;
-        let var = self
-            .sample_losses
-            .iter()
-            .map(|&x| (x - mean) * (x - mean))
-            .sum::<f64>()
+        let var = self.sample_losses.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
             / (n - 1) as f64;
         var.sqrt()
     }

@@ -32,7 +32,11 @@ impl TestCase {
     /// length. The accelerator operates per head, so `token_dim =
     /// head_dim` (the paper's hardware assumption, §IV-C).
     pub fn dims(&self) -> AttentionDims {
-        AttentionDims::self_attention(self.dataset.seq_len, self.model.head_dim, self.model.head_dim)
+        AttentionDims::self_attention(
+            self.dataset.seq_len,
+            self.model.head_dim,
+            self.model.head_dim,
+        )
     }
 
     /// A deterministic per-case seed for workload generation.

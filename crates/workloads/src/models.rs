@@ -32,22 +32,54 @@ pub struct ModelSpec {
 
 /// BERT-large (24 layers, 16 heads, 1024 wide).
 pub fn bert_large() -> ModelSpec {
-    ModelSpec { name: "BERT-large", layers: 24, heads: 16, d_model: 1024, head_dim: 64, ffn_dim: 4096, noise_scale: 0.15 }
+    ModelSpec {
+        name: "BERT-large",
+        layers: 24,
+        heads: 16,
+        d_model: 1024,
+        head_dim: 64,
+        ffn_dim: 4096,
+        noise_scale: 0.15,
+    }
 }
 
 /// RoBERTa-large (same shape as BERT-large, different pretraining).
 pub fn roberta_large() -> ModelSpec {
-    ModelSpec { name: "RoBERTa-large", layers: 24, heads: 16, d_model: 1024, head_dim: 64, ffn_dim: 4096, noise_scale: 0.18 }
+    ModelSpec {
+        name: "RoBERTa-large",
+        layers: 24,
+        heads: 16,
+        d_model: 1024,
+        head_dim: 64,
+        ffn_dim: 4096,
+        noise_scale: 0.18,
+    }
 }
 
 /// ALBERT-large (cross-layer weight sharing concentrates representations).
 pub fn albert_large() -> ModelSpec {
-    ModelSpec { name: "ALBERT-large", layers: 24, heads: 16, d_model: 1024, head_dim: 64, ffn_dim: 4096, noise_scale: 0.12 }
+    ModelSpec {
+        name: "ALBERT-large",
+        layers: 24,
+        heads: 16,
+        d_model: 1024,
+        head_dim: 64,
+        ffn_dim: 4096,
+        noise_scale: 0.12,
+    }
 }
 
 /// GPT-2-large (36 layers, 20 heads, 1280 wide).
 pub fn gpt2_large() -> ModelSpec {
-    ModelSpec { name: "GPT-2-large", layers: 36, heads: 20, d_model: 1280, head_dim: 64, ffn_dim: 5120, noise_scale: 0.20 }
+    ModelSpec {
+        name: "GPT-2-large",
+        layers: 36,
+        heads: 20,
+        d_model: 1280,
+        head_dim: 64,
+        ffn_dim: 5120,
+        noise_scale: 0.20,
+    }
 }
 
 /// All four evaluated models.

@@ -53,10 +53,7 @@ impl VisionCase {
 pub fn generate_patch_tokens(case: &VisionCase, seed: u64) -> Matrix {
     assert!(case.grid >= 2, "patch grid must be at least 2x2");
     assert!(case.head_dim > 0, "head_dim must be positive");
-    assert!(
-        case.smoothness > 0.0 && case.smoothness < 1.0,
-        "smoothness must be in (0, 1)"
-    );
+    assert!(case.smoothness > 0.0 && case.smoothness < 1.0, "smoothness must be in (0, 1)");
     let g = case.grid;
     let d = case.head_dim;
     let mut rng = MatrixRng::new(seed);
@@ -128,8 +125,10 @@ mod tests {
     #[test]
     fn smoother_images_compress_better() {
         let fam = LshFamily::sample(64, LshParams::with_paper_length(6.0), 7);
-        let smooth = generate_patch_tokens(&VisionCase { smoothness: 0.92, ..VisionCase::vit_base() }, 9);
-        let detailed = generate_patch_tokens(&VisionCase { smoothness: 0.4, ..VisionCase::vit_base() }, 9);
+        let smooth =
+            generate_patch_tokens(&VisionCase { smoothness: 0.92, ..VisionCase::vit_base() }, 9);
+        let detailed =
+            generate_patch_tokens(&VisionCase { smoothness: 0.4, ..VisionCase::vit_base() }, 9);
         let k_smooth = compress(&smooth, &fam).k();
         let k_detail = compress(&detailed, &fam).k();
         assert!(k_smooth < k_detail, "smooth k={k_smooth}, detailed k={k_detail}");

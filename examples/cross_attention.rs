@@ -10,7 +10,9 @@
 //! cargo run --release --example cross_attention
 //! ```
 
-use cta::attention::{attention_exact, cta_forward, fidelity, AttentionDims, AttentionWeights, CtaConfig};
+use cta::attention::{
+    attention_exact, cta_forward, fidelity, AttentionDims, AttentionWeights, CtaConfig,
+};
 use cta::sim::{AttentionTask, CtaAccelerator, HwConfig};
 use cta::workloads::{bert_large, generate_tokens, imdb, squad11};
 
@@ -21,7 +23,11 @@ fn main() {
     let decoder = generate_tokens(&model, &squad11().with_seq_len(48), 48, 32);
     let weights = AttentionWeights::random(model.head_dim, model.head_dim, 33);
 
-    println!("cross-attention: {} decoder queries over {} source tokens", decoder.rows(), source.rows());
+    println!(
+        "cross-attention: {} decoder queries over {} source tokens",
+        decoder.rows(),
+        source.rows()
+    );
 
     let exact = attention_exact(&decoder, &source, &weights);
     let config = CtaConfig::uniform(4.0, 34);
@@ -29,7 +35,14 @@ fn main() {
     let report = fidelity(&cta, &exact);
 
     println!();
-    println!("compression: k0 = {} of {}, k1+k2 = {}+{} of {}", cta.k0(), decoder.rows(), cta.k1(), cta.k2(), source.rows());
+    println!(
+        "compression: k0 = {} of {}, k1+k2 = {}+{} of {}",
+        cta.k0(),
+        decoder.rows(),
+        cta.k1(),
+        cta.k2(),
+        source.rows()
+    );
     println!("effective relations: {:.1}%", cta.effective_relations() * 100.0);
     println!("output relative error: {:.4}", report.output_relative_error);
     println!("top-1 attention match: {:.1}%", report.top1_agreement * 100.0);
@@ -41,8 +54,10 @@ fn main() {
     let dims = AttentionDims { num_queries: 48, num_keys: 512, token_dim: 64, head_dim: 64 };
     let gpu = cta::baselines::GpuModel::v100();
     println!();
-    println!("one head on CTA: {:.1} us; on V100: {:.1} us ({:.1}x)",
+    println!(
+        "one head on CTA: {:.1} us; on V100: {:.1} us ({:.1}x)",
         sim.latency_s * 1e6,
         gpu.attention_latency_s(&dims, 1) * 1e6,
-        gpu.attention_latency_s(&dims, 1) / sim.latency_s);
+        gpu.attention_latency_s(&dims, 1) / sim.latency_s
+    );
 }

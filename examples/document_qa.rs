@@ -15,7 +15,12 @@ use cta::workloads::{bert_large, find_operating_point, squad11, CtaClass, TestCa
 
 fn main() {
     let case = TestCase::new(bert_large(), squad11());
-    println!("workload: {} (n = {}, {} heads/layer)", case.name(), case.dataset.seq_len, case.model.heads);
+    println!(
+        "workload: {} (n = {}, {} heads/layer)",
+        case.name(),
+        case.dataset.seq_len,
+        case.model.heads
+    );
 
     // Calibrate the approximation to the 1%-loss budget, like the paper's
     // CTA-1 configuration.

@@ -54,10 +54,9 @@ fn main() {
     ] {
         let report = simulate_fleet(&cfg, &requests);
         let m = &report.metrics;
-        let (p50, p99) =
-            m.latency.as_ref().map_or((f64::NAN, f64::NAN), |l| (l.p50_s, l.p99_s));
-        let util = m.per_replica_utilization.iter().sum::<f64>()
-            / m.per_replica_utilization.len() as f64;
+        let (p50, p99) = m.latency.as_ref().map_or((f64::NAN, f64::NAN), |l| (l.p50_s, l.p99_s));
+        let util =
+            m.per_replica_utilization.iter().sum::<f64>() / m.per_replica_utilization.len() as f64;
         println!(
             "{:>22} {:>9} {:>6} {:>10.0} {:>9.3} {:>9.3} {:>5.0}%",
             label,

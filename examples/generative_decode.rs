@@ -80,14 +80,7 @@ fn main() {
             + 2 * k * model.head_dim; /* scores + output over centroids */
 
         let err = cta::tensor::relative_error(&cta_out, &exact_out);
-        println!(
-            "{:>6} {:>8} {:>12} {:>14} {:>12.4}",
-            n,
-            k,
-            exact_macs,
-            cta_macs,
-            err
-        );
+        println!("{:>6} {:>8} {:>12} {:>14} {:>12.4}", n, k, exact_macs, cta_macs, err);
     }
     println!();
     println!("the compressed KV set grows sub-linearly with the context, so the");

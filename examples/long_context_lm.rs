@@ -17,7 +17,10 @@ fn main() {
     let model = gpt2_large();
     println!("model: {} ({} layers, {} heads)", model.name, model.layers, model.heads);
     println!();
-    println!("{:>6} {:>12} {:>12} {:>12} {:>10}", "n", "eff. rel.", "GPU (us)", "CTA (us)", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "n", "eff. rel.", "GPU (us)", "CTA (us)", "speedup"
+    );
 
     let gpu = GpuModel::v100();
     let acc = CtaAccelerator::new(HwConfig::paper());

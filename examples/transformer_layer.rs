@@ -63,6 +63,10 @@ fn main() {
     println!("12-unit CTA system, whole model attention:");
     println!("  compute   {:.1} us", run.compute_s * 1e6);
     println!("  transfers {:.1} us (overlapped)", run.transfer_s * 1e6);
-    println!("  total     {:.1} us at {:.0}% unit utilisation", run.total_s * 1e6, run.utilization * 100.0);
+    println!(
+        "  total     {:.1} us at {:.0}% unit utilisation",
+        run.total_s * 1e6,
+        run.utilization * 100.0
+    );
     println!("  energy    {:.2} uJ", run.energy_j * 1e6);
 }

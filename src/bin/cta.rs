@@ -16,12 +16,14 @@ use std::process::ExitCode;
 
 use cta::baselines::GpuModel;
 use cta::sim::{
-    area_breakdown, poisson_trace, power_trace, schedule_ffn, simulate_serving, sweep, AreaModel,
-    AttentionTask, CtaAccelerator, CtaSystem, EnergyModel, HwConfig, SystemConfig,
+    area_breakdown, poisson_trace, power_trace, schedule, schedule_ffn, simulate_serving, sweep,
+    trace_schedule, AreaModel, AttentionTask, CtaAccelerator, CtaSystem, EnergyModel, HwConfig,
+    SystemConfig,
 };
+use cta::telemetry::{chrome_trace_json, validate_chrome_trace, AggregateReport, RingBufferSink};
 use cta::workloads::{
-    albert_large, bert_large, evaluate_case, find_operating_point, gpt2_large, imdb,
-    roberta_large, squad11, squad20, wikitext2, CtaClass, DatasetSpec, ModelSpec, TestCase,
+    albert_large, bert_large, evaluate_case, find_operating_point, gpt2_large, imdb, roberta_large,
+    squad11, squad20, wikitext2, CtaClass, DatasetSpec, ModelSpec, TestCase,
 };
 
 fn main() -> ExitCode {
@@ -45,6 +47,8 @@ const USAGE: &str = "usage:
   cta sweep --n <len> --k0 <k> --k1 <k> --k2 <k> [--d 64]
   cta ffn --n <len> --d-model <w> --d-ffn <w> [--width-b 8]
   cta serve --n <len> --k0 <k> --k1 <k> --k2 <k> --layers <L> --heads <H> --load <0..1.2>
+  cta trace --n <len> --k0 <k> --k1 <k> --k2 <k> [--d 64] [--l 6] [--out <trace.json>]
+  cta trace --check <trace.json>
 
 models:   bert-large roberta-large albert-large gpt2-large
 datasets: squad1.1 squad2.0 imdb wikitext2";
@@ -60,6 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "sweep" => cmd_sweep(&flags),
         "ffn" => cmd_ffn(&flags),
         "serve" => cmd_serve(&flags),
+        "trace" => cmd_trace(&flags),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -69,9 +74,8 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
-        let name = key
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got `{key}`"))?;
+        let name =
+            key.strip_prefix("--").ok_or_else(|| format!("expected a --flag, got `{key}`"))?;
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
@@ -146,7 +150,12 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let hw = hw_from_flags(flags, n)?;
     let acc = CtaAccelerator::new(hw);
     let r = acc.simulate_head(&task);
-    println!("one head: {} cycles = {:.2} us @ {:.1} GHz", r.cycles, r.latency_s * 1e6, hw.clock_ghz);
+    println!(
+        "one head: {} cycles = {:.2} us @ {:.1} GHz",
+        r.cycles,
+        r.latency_s * 1e6,
+        hw.clock_ghz
+    );
     println!(
         "split: compression {} / linear {} / attention {} cycles (PAG stalls {})",
         r.schedule.compression_cycles,
@@ -166,7 +175,10 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("power: {:.2} W average, {:.2} W peak", trace.average_w, trace.peak_w);
     let gpu = GpuModel::v100();
     let dims = cta::attention::AttentionDims::self_attention(n, d, d);
-    println!("vs V100 (12 heads): {:.1}x speedup", gpu.attention_latency_s(&dims, 12) / r.latency_s);
+    println!(
+        "vs V100 (12 heads): {:.1}x speedup",
+        gpu.attention_latency_s(&dims, 12) / r.latency_s
+    );
     Ok(())
 }
 
@@ -183,9 +195,18 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     let e = evaluate_case(&case, &cfg, samples);
     println!("{} @ width {width}", e.case_name);
     println!("accuracy loss: {:.2}%", e.accuracy_loss_pct);
-    println!("RL {:.1}%  RA {:.1}%  effective relations {:.1}%", e.complexity.rl * 100.0, e.complexity.ra * 100.0, e.complexity.effective_relations * 100.0);
+    println!(
+        "RL {:.1}%  RA {:.1}%  effective relations {:.1}%",
+        e.complexity.rl * 100.0,
+        e.complexity.ra * 100.0,
+        e.complexity.effective_relations * 100.0
+    );
     println!("mean k = ({:.0}, {:.0}, {:.0})", e.mean_k0, e.mean_k1, e.mean_k2);
-    println!("output error {:.4}, top-1 agreement {:.1}%", e.fidelity.output_relative_error, e.fidelity.top1_agreement * 100.0);
+    println!(
+        "output error {:.4}, top-1 agreement {:.1}%",
+        e.fidelity.output_relative_error,
+        e.fidelity.top1_agreement * 100.0
+    );
     Ok(())
 }
 
@@ -198,11 +219,21 @@ fn cmd_operating_point(flags: &HashMap<String, String>) -> Result<(), String> {
     let op = find_operating_point(&case, class, samples);
     let e = &op.evaluation;
     println!("{} {}", e.case_name, class.label());
-    println!("bucket width {:.3}, measured loss {:.2}% (budget {:.1}%)", op.config.kv_bucket_width, e.accuracy_loss_pct, class.target_loss_pct());
+    println!(
+        "bucket width {:.3}, measured loss {:.2}% (budget {:.1}%)",
+        op.config.kv_bucket_width,
+        e.accuracy_loss_pct,
+        class.target_loss_pct()
+    );
     println!("RL {:.1}%  RA {:.1}%", e.complexity.rl * 100.0, e.complexity.ra * 100.0);
     let task = op.task(&case);
     let r = CtaAccelerator::new(HwConfig::paper()).simulate_head(&task);
-    println!("simulated head: {} cycles ({:.1} us), {:.2} uJ", r.cycles, r.latency_s * 1e6, r.energy.total_j() * 1e6);
+    println!(
+        "simulated head: {} cycles ({:.1} us), {:.2} uJ",
+        r.cycles,
+        r.latency_s * 1e6,
+        r.energy.total_j() * 1e6
+    );
     Ok(())
 }
 
@@ -210,7 +241,10 @@ fn cmd_area(flags: &HashMap<String, String>) -> Result<(), String> {
     let hw = hw_from_flags(flags, 512)?;
     let a = area_breakdown(&hw, &AreaModel::default());
     println!("SA {:.3} mm^2 ({:.1}%)", a.sa_mm2, a.sa_fraction() * 100.0);
-    println!("memory {:.3}  PAG {:.3}  CIM {:.3}  CAG {:.3} mm^2", a.memory_mm2, a.pag_mm2, a.cim_mm2, a.cag_mm2);
+    println!(
+        "memory {:.3}  PAG {:.3}  CIM {:.3}  CAG {:.3} mm^2",
+        a.memory_mm2, a.pag_mm2, a.cim_mm2, a.cag_mm2
+    );
     println!("total {:.3} mm^2", a.total_mm2());
     Ok(())
 }
@@ -232,7 +266,10 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
     let points = sweep(&hw, &task, &[4, 8, 16, 32], &[4, 8, 16, 32, 64, 128]);
     println!("{:>6} {:>6} {:>14} {:>12}", "b", "PAG", "heads/s", "stall cyc");
     for p in points {
-        println!("{:>6} {:>6} {:>14.0} {:>12}", p.sa_width, p.pag_parallelism, p.heads_per_second, p.pag_stall_cycles);
+        println!(
+            "{:>6} {:>6} {:>14.0} {:>12}",
+            p.sa_width, p.pag_parallelism, p.heads_per_second, p.pag_stall_cycles
+        );
     }
     Ok(())
 }
@@ -291,6 +328,49 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    // Validation mode: `cta trace --check <path>`.
+    if let Some(path) = flags.get("check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let stats = validate_chrome_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: well-formed Chrome trace ({} events, {} spans, {} async, {} counters, \
+             {} tracks)",
+            stats.events, stats.begins, stats.async_begins, stats.counters, stats.tracks
+        );
+        return Ok(());
+    }
+
+    // Generation mode: trace one head's mapping schedule.
+    let n: usize = get(flags, "n")?;
+    let task = AttentionTask::from_counts(
+        n,
+        n,
+        get_or(flags, "d", 64)?,
+        get(flags, "k0")?,
+        get(flags, "k1")?,
+        get(flags, "k2")?,
+        get_or(flags, "l", 6)?,
+    );
+    let hw = hw_from_flags(flags, n)?;
+    let sched = schedule(&hw, &task);
+    let mut sink = RingBufferSink::with_capacity(4096);
+    trace_schedule(&mut sink, &hw, &sched, 0, 0.0);
+    let events = sink.events();
+
+    let report = AggregateReport::from_events(&events);
+    print!("{}", report.render(Some(hw.cycle_time_s())));
+
+    if let Some(path) = flags.get("out") {
+        let json = chrome_trace_json(&events);
+        validate_chrome_trace(&json)
+            .map_err(|e| format!("internal: exported trace invalid: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path} — open it in chrome://tracing or https://ui.perfetto.dev");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,7 +381,8 @@ mod tests {
 
     #[test]
     fn parse_flags_accepts_pairs() {
-        let args: Vec<String> = ["--n", "512", "--k0", "10"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> =
+            ["--n", "512", "--k0", "10"].iter().map(|s| s.to_string()).collect();
         let f = parse_flags(&args).expect("parse");
         assert_eq!(f["n"], "512");
         assert_eq!(f["k0"], "10");
@@ -367,6 +448,29 @@ mod tests {
             ("load", "0.5"),
         ]);
         cmd_serve(&f).expect("serve");
+    }
+
+    #[test]
+    fn trace_command_generates_and_checks() {
+        let dir = std::env::temp_dir().join("cta-trace-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("head.json");
+        let out = path.to_str().expect("utf-8 path").to_string();
+        let f = flags(&[("n", "128"), ("k0", "40"), ("k1", "30"), ("k2", "10"), ("out", &out)]);
+        cmd_trace(&f).expect("trace generation");
+        cmd_trace(&flags(&[("check", &out)])).expect("trace validation");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_check_rejects_garbage() {
+        let dir = std::env::temp_dir().join("cta-trace-cli-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not a trace").expect("write");
+        let out = path.to_str().expect("utf-8 path").to_string();
+        assert!(cmd_trace(&flags(&[("check", &out)])).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`baselines`] — V100 GPU, ELSA and ideal-accelerator models;
 //! * [`workloads`] — synthetic transformer workloads and the model zoo;
 //! * [`serve`] — the fleet serving runtime: continuous batching,
-//!   multi-replica routing, SLO-aware admission.
+//!   multi-replica routing, SLO-aware admission;
+//! * [`telemetry`] — zero-cost tracing: span/counter events, ring-buffer
+//!   sink, Chrome Trace Format export and aggregation reports.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
@@ -28,5 +30,6 @@ pub use cta_lsh as lsh;
 pub use cta_model as model;
 pub use cta_serve as serve;
 pub use cta_sim as sim;
+pub use cta_telemetry as telemetry;
 pub use cta_tensor as tensor;
 pub use cta_workloads as workloads;

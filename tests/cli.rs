@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn cta(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_cta"))
-        .args(args)
-        .output()
-        .expect("spawn the cta binary")
+    Command::new(env!("CARGO_BIN_EXE_cta")).args(args).output().expect("spawn the cta binary")
 }
 
 #[test]

@@ -2,8 +2,13 @@
 //! hidden global state, no wall-clock, no platform-dependent iteration
 //! order anywhere in the pipeline.
 
-use cta::attention::{cta_forward, cta_forward_quantized, AttentionWeights, CtaConfig, QuantizationConfig};
-use cta::sim::{poisson_trace, simulate_serving, AttentionTask, CtaAccelerator, CtaSystem, HwConfig, SystemConfig};
+use cta::attention::{
+    cta_forward, cta_forward_quantized, AttentionWeights, CtaConfig, QuantizationConfig,
+};
+use cta::sim::{
+    poisson_trace, simulate_serving, AttentionTask, CtaAccelerator, CtaSystem, HwConfig,
+    SystemConfig,
+};
 use cta::workloads::{
     adapt_per_head, evaluate_case, generate_case_tokens, generate_patch_tokens, mini_case,
     VisionCase,

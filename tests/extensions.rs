@@ -7,8 +7,7 @@ use cta::attention::{
 use cta::lsh::{kmeans, StreamingCompressor};
 use cta::model::{AttentionMode, DecoderLayer, TransformerStack};
 use cta::sim::{
-    poisson_trace, schedule_ffn, simulate_serving, AttentionTask, CtaSystem, HwConfig,
-    SystemConfig,
+    poisson_trace, schedule_ffn, simulate_serving, AttentionTask, CtaSystem, HwConfig, SystemConfig,
 };
 use cta::tensor::{relative_error, MatrixRng};
 use cta::workloads::{
@@ -89,9 +88,7 @@ fn kmeans_bounds_lsh_quality_on_real_workload_tokens() {
     let [_, f1, _] = cta::attention::sample_families(&cfg, case.model.head_dim);
     let lsh = cta::lsh::compress(&tokens, &f1);
     let km = kmeans(&tokens, lsh.k(), 20, 19);
-    assert!(
-        km.compression.approximation_error(&tokens) <= lsh.approximation_error(&tokens) + 1e-6
-    );
+    assert!(km.compression.approximation_error(&tokens) <= lsh.approximation_error(&tokens) + 1e-6);
 }
 
 #[test]

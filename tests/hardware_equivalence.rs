@@ -1,7 +1,10 @@
 //! Integration: the functional hardware models compute exactly what the
 //! algorithm crates compute, on realistic workload data.
 
-use cta::attention::{cta_forward, cta_forward_quantized, sample_families, AttentionWeights, CtaConfig, QuantizationConfig};
+use cta::attention::{
+    cta_forward, cta_forward_quantized, sample_families, AttentionWeights, CtaConfig,
+    QuantizationConfig,
+};
 use cta::fixed::ReciprocalLut;
 use cta::lsh::{aggregate_centroids, cluster_by_code_map};
 use cta::sim::{
@@ -106,7 +109,8 @@ fn quantized_path_tracks_float_path_on_workload_data() {
     let weights = AttentionWeights::random(16, 16, 24);
     let cfg = CtaConfig::uniform(2.0, 25);
     let float = cta_forward(&tokens, &tokens, &weights, &cfg);
-    let fixed = cta_forward_quantized(&tokens, &tokens, &weights, &cfg, &QuantizationConfig::default());
+    let fixed =
+        cta_forward_quantized(&tokens, &tokens, &weights, &cfg, &QuantizationConfig::default());
     let err = relative_error(&fixed.output, &float.output);
     assert!(err < 0.05, "quantisation error {err}");
 }

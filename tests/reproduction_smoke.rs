@@ -4,9 +4,7 @@
 
 use cta::baselines::{ElsaApproximation, ElsaModel, GpuModel};
 use cta::sim::{area_breakdown, sweep, AreaModel, AttentionTask, CtaAccelerator, HwConfig};
-use cta::workloads::{
-    find_operating_point, mini_case, paper_cases, squad11, CtaClass, TestCase,
-};
+use cta::workloads::{find_operating_point, mini_case, paper_cases, squad11, CtaClass, TestCase};
 
 #[test]
 fn fig2_effective_relations_below_half_at_budget() {

@@ -153,7 +153,11 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
     f(&mut b);
     let total = t0.elapsed();
     match b.stats {
-        Some(s) => println!(" {:>12.1} ns/iter  ({:>10.3} ms total)", s.median_ns, total.as_secs_f64() * 1e3),
+        Some(s) => println!(
+            " {:>12.1} ns/iter  ({:>10.3} ms total)",
+            s.median_ns,
+            total.as_secs_f64() * 1e3
+        ),
         None => println!(" done in {:>10.3} ms", total.as_secs_f64() * 1e3),
     }
 }
