@@ -249,6 +249,40 @@ mod tests {
                 <= one.approximation_error(&tokens) + 1e-5);
         }
 
+        /// Extreme (but finite) token magnitudes survive the hash path:
+        /// the p-stable projections are signed, and the float→i32 bucket
+        /// conversion saturates at the rails instead of wrapping, so
+        /// compression keeps its structural invariants all the way to
+        /// magnitudes that floor far past the i32 range. (Non-finite
+        /// tokens are rejected by `hash_value` with an explicit panic —
+        /// pinned in the family tests.)
+        #[test]
+        fn extreme_token_magnitudes_keep_compression_well_formed(
+            seed in 0u64..100,
+            exponent in 0i32..16,
+            sign in 0u8..2,
+        ) {
+            let mut rng = MatrixRng::new(seed);
+            let n = 4 + rng.index(12);
+            let scale = if sign == 1 { -1.0f32 } else { 1.0 } * 10f32.powi(exponent);
+            let base = rng.normal_matrix(n, 4, 0.0, 1.0);
+            let tokens = Matrix::from_fn(n, 4, |r, c| base.row(r)[c] * scale);
+            let fam = LshFamily::sample(4, LshParams::new(3, 1.5), seed + 7);
+
+            let comp = compress(&tokens, &fam);
+            prop_assert!(comp.k() >= 1 && comp.k() <= n);
+            prop_assert_eq!(comp.counts.iter().sum::<usize>(), n);
+            prop_assert_eq!(comp.reconstruct().shape(), tokens.shape());
+            // The hash path is deterministic even at the saturation rails.
+            prop_assert_eq!(&compress(&tokens, &fam), &comp);
+            // Centroids are population means of finite tokens: finite.
+            for r in 0..comp.k() {
+                for &v in comp.centroids.row(r) {
+                    prop_assert!(v.is_finite(), "centroid entry {v} not finite");
+                }
+            }
+        }
+
         /// Reconstruction always has the original shape and k <= n at both
         /// levels.
         #[test]

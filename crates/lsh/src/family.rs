@@ -142,11 +142,32 @@ impl LshFamily {
     /// Exposed separately because the hardware streams hash values one
     /// direction at a time out of the systolic array (§IV-B(1)).
     ///
+    /// Bucket indices are `i32`. The float→int conversion *saturates* at
+    /// the `i32` rails rather than wrapping, so a finite but astronomically
+    /// large projection maps to `i32::MAX`/`i32::MIN` — distant outliers
+    /// can only collide with each other at the rails, never alias back
+    /// into interior buckets. On the hardware-representative path this is
+    /// unreachable: Q6.7 tokens and Q3.9 LSH parameters bound `|proj/w|`
+    /// far below 2³¹. Non-finite projections (NaN/inf tokens) have no
+    /// bucket semantics at all — `NaN as i32` would silently produce
+    /// bucket 0 and corrupt the cluster tables — so they are rejected
+    /// eagerly here.
+    ///
     /// # Panics
     ///
-    /// Panics if `i >= self.hash_length()` or the dimension mismatches.
+    /// Panics if `i >= self.hash_length()`, the dimension mismatches, or
+    /// the projection is not finite (the token vector contains NaN/inf or
+    /// overflows the dot product).
     pub fn hash_value(&self, i: usize, x: &[f32]) -> i32 {
         let proj = Matrix::dot(self.a.row(i), x) + self.b[i];
+        assert!(
+            proj.is_finite(),
+            "LSH projection for direction {i} is not finite ({proj}): \
+             token vector contains NaN/inf or overflows the dot product"
+        );
+        // `as` on float→int saturates (and never wraps) in Rust; with the
+        // finiteness assert above the result is the mathematical floor
+        // clamped to the i32 range.
         (proj / self.w).floor() as i32
     }
 
@@ -249,6 +270,32 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn hash_code_rejects_wrong_dim() {
         let _ = family().hash_code(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn nan_tokens_rejected_not_hashed_to_bucket_zero() {
+        let fam = LshFamily::from_parts(Matrix::from_rows(&[&[1.0]]), vec![0.0], 1.0);
+        let _ = fam.hash_code(&[f32::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn infinite_tokens_rejected() {
+        let fam = LshFamily::from_parts(Matrix::from_rows(&[&[1.0]]), vec![0.0], 1.0);
+        let _ = fam.hash_code(&[f32::INFINITY]);
+    }
+
+    #[test]
+    fn huge_finite_projections_saturate_at_the_i32_rails() {
+        // |proj/w| far beyond 2^31: the conversion must pin at the rails,
+        // not wrap into an interior bucket.
+        let fam = LshFamily::from_parts(Matrix::from_rows(&[&[1.0]]), vec![0.0], 1.0);
+        assert_eq!(fam.hash_code(&[1e38]), vec![i32::MAX]);
+        assert_eq!(fam.hash_code(&[-1e38]), vec![i32::MIN]);
+        // Interior values are still the exact floor.
+        assert_eq!(fam.hash_code(&[2.5]), vec![2]);
+        assert_eq!(fam.hash_code(&[-2.5]), vec![-3]);
     }
 
     proptest! {

@@ -21,6 +21,10 @@ pub enum ShedReason {
     QueueFull,
     /// The class deadline could not be met even if admitted.
     DeadlineUnmeetable,
+    /// A replica crash orphaned the request and it could not be placed
+    /// again: no healthy replica was available, the retry budget ran out,
+    /// or the deadline could no longer be met after requeueing.
+    ReplicaLost,
 }
 
 /// Admission-control configuration.

@@ -13,7 +13,14 @@
 //! serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.1,1.5]
 //!             [--requests 200] [--seed 7] [--routing jsq]
 //!             [--batch 4] [--queue-depth 64] [--trace <path.json>]
+//!             [--faults <mtbf_s>:<mttr_s>]
 //! ```
+//!
+//! With `--faults` each sweep point injects a seeded MTBF/MTTR crash
+//! schedule ([`cta_serve::FaultPlan::seeded`]) over twice the trace span;
+//! evicted requests are requeued under the default retry budget and
+//! crash-orphaned work that cannot be placed is shed as `ReplicaLost`.
+//! Malformed flags print a usage message to stderr and exit non-zero.
 //!
 //! With `--trace <path>` the harness re-runs the final sweep point with
 //! the telemetry ring buffer attached and writes a Chrome Trace Format
@@ -26,14 +33,22 @@
 //! Everything is deterministic for a fixed `--seed`: running the sweep
 //! twice produces byte-identical tables.
 
+use std::process::ExitCode;
+
 use cta_bench::{banner, JsonReport, JsonValue, Table, SCHEMA_VERSION};
 use cta_serve::{
     poisson_requests, simulate_fleet, simulate_fleet_traced, AdmissionPolicy, BatchPolicy,
-    CostModel, FleetConfig, LoadSpec, RoutingPolicy,
+    CostModel, FaultPlan, FleetConfig, LoadSpec, RoutingPolicy,
 };
 use cta_sim::{CtaSystem, SystemConfig};
 use cta_telemetry::{chrome_trace_json, validate_chrome_trace, AggregateReport, RingBufferSink};
 use cta_workloads::{case_task, mini_case};
+
+/// Usage text printed to stderr on any malformed invocation.
+const USAGE: &str = "usage: serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.1,1.5]
+                   [--requests 200] [--seed 7] [--routing rr|jsq|low]
+                   [--batch 4] [--queue-depth 64] [--trace <path.json>]
+                   [--faults <mtbf_s>:<mttr_s>]";
 
 /// Ring capacity for `--trace`: ~262k events (~15 MB preallocated); long
 /// runs overwrite the oldest window and report the drop count.
@@ -57,6 +72,30 @@ const SWEEP_COLUMNS: &[&str] = &[
     "schema_version",
 ];
 
+/// A parsed `--faults mtbf:mttr` spec (both in seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FaultSpec {
+    mtbf_s: f64,
+    mttr_s: f64,
+}
+
+impl FaultSpec {
+    fn parse(s: &str) -> Result<Self, String> {
+        let (mtbf, mttr) = s
+            .split_once(':')
+            .ok_or_else(|| format!("--faults takes <mtbf_s>:<mttr_s>, got {s:?}"))?;
+        let mtbf_s: f64 =
+            mtbf.parse().map_err(|_| format!("--faults MTBF must be a number, got {mtbf:?}"))?;
+        let mttr_s: f64 =
+            mttr.parse().map_err(|_| format!("--faults MTTR must be a number, got {mttr:?}"))?;
+        if !(mtbf_s > 0.0 && mtbf_s.is_finite() && mttr_s > 0.0 && mttr_s.is_finite()) {
+            return Err(format!("--faults times must be positive and finite, got {s:?}"));
+        }
+        Ok(Self { mtbf_s, mttr_s })
+    }
+}
+
+#[derive(Debug)]
 struct Args {
     replicas: Vec<usize>,
     loads: Vec<f64>,
@@ -66,10 +105,11 @@ struct Args {
     batch: usize,
     queue_depth: usize,
     trace: Option<String>,
+    faults: Option<FaultSpec>,
 }
 
 impl Args {
-    fn parse() -> Self {
+    fn parse(mut it: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut args = Args {
             replicas: vec![1, 4],
             loads: vec![0.2, 0.5, 0.8, 1.1, 1.5],
@@ -79,56 +119,103 @@ impl Args {
             batch: 4,
             queue_depth: 64,
             trace: None,
+            faults: None,
         };
-        let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let mut value =
-                |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match flag.as_str() {
                 "--replicas" => {
-                    args.replicas = value("--replicas")
-                        .split(',')
-                        .map(|s| s.parse().expect("--replicas takes integers"))
-                        .collect();
+                    args.replicas = parse_list(&value("--replicas")?, "--replicas", "integers")?;
                 }
                 "--loads" => {
-                    args.loads = value("--loads")
-                        .split(',')
-                        .map(|s| s.parse().expect("--loads takes floats"))
-                        .collect();
+                    args.loads = parse_list(&value("--loads")?, "--loads", "numbers")?;
                 }
                 "--requests" => {
-                    args.requests =
-                        value("--requests").parse().expect("--requests takes an integer");
+                    args.requests = parse_num(&value("--requests")?, "--requests", "an integer")?;
                 }
                 "--seed" => {
-                    args.seed = value("--seed").parse().expect("--seed takes an integer");
+                    args.seed = parse_num(&value("--seed")?, "--seed", "an integer")?;
                 }
                 "--routing" => {
-                    let v = value("--routing");
+                    let v = value("--routing")?;
                     args.routing = RoutingPolicy::parse(&v)
-                        .unwrap_or_else(|| panic!("unknown routing policy {v:?} (rr|jsq|low)"));
+                        .ok_or_else(|| format!("unknown routing policy {v:?} (rr|jsq|low)"))?;
                 }
                 "--batch" => {
-                    args.batch = value("--batch").parse().expect("--batch takes an integer");
+                    args.batch = parse_num(&value("--batch")?, "--batch", "an integer")?;
                 }
                 "--queue-depth" => {
                     args.queue_depth =
-                        value("--queue-depth").parse().expect("--queue-depth takes an integer");
+                        parse_num(&value("--queue-depth")?, "--queue-depth", "an integer")?;
                 }
                 "--trace" => {
-                    args.trace = Some(value("--trace"));
+                    args.trace = Some(value("--trace")?);
                 }
-                other => panic!("unknown flag {other:?}"),
+                "--faults" => {
+                    args.faults = Some(FaultSpec::parse(&value("--faults")?)?);
+                }
+                other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        assert!(!args.replicas.is_empty() && !args.loads.is_empty(), "empty sweep");
-        args
+        if args.replicas.is_empty() || args.loads.is_empty() {
+            return Err("empty sweep: --replicas and --loads must be non-empty".into());
+        }
+        if args.batch == 0 {
+            return Err("--batch must be positive".into());
+        }
+        if args.queue_depth == 0 {
+            return Err("--queue-depth must be positive".into());
+        }
+        if args.requests == 0 {
+            return Err("--requests must be positive".into());
+        }
+        if args.replicas.contains(&0) {
+            return Err("--replicas entries must be positive".into());
+        }
+        Ok(args)
     }
 }
 
-fn main() {
-    let args = Args::parse();
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str, kind: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag} takes {kind}, got {s:?}"))
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, flag: &str, kind: &str) -> Result<Vec<T>, String> {
+    s.split(',').map(|part| parse_num(part, flag, kind)).collect()
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    run(&args);
+    ExitCode::SUCCESS
+}
+
+/// The fault plan for one sweep point: a seeded MTBF/MTTR schedule over
+/// twice the trace span (so outages can land anywhere in the run),
+/// deterministic in (spec, replicas, trace, seed).
+fn point_faults(
+    spec: Option<FaultSpec>,
+    replicas: usize,
+    requests: &[cta_serve::ServeRequest],
+    seed: u64,
+) -> FaultPlan {
+    match spec {
+        None => FaultPlan::none(),
+        Some(f) => {
+            let span = requests.last().map(|r| r.arrival_s).unwrap_or(0.0).max(1e-6);
+            FaultPlan::seeded(replicas, 2.0 * span, f.mtbf_s, f.mttr_s, seed)
+        }
+    }
+}
+
+fn run(args: &Args) {
     let case = mini_case();
     let spec = LoadSpec::standard(case_task(&case), case.model.layers, case.model.heads);
 
@@ -158,6 +245,7 @@ fn main() {
         for &load in &args.loads {
             let rate = load * replicas as f64 / solo;
             let requests = poisson_requests(&spec, args.requests, rate, args.seed);
+            cfg.faults = point_faults(args.faults, replicas, &requests, args.seed);
             let report = simulate_fleet(&cfg, &requests);
             let m = &report.metrics;
             let (p50, p99, tput) = m
@@ -179,7 +267,7 @@ fn main() {
                 format!("{util:.2}"),
                 SCHEMA_VERSION.to_string(),
             ]);
-            points.push(JsonValue::obj(vec![
+            let mut point = JsonValue::obj(vec![
                 ("replicas", JsonValue::Int(replicas as i64)),
                 ("load", JsonValue::Num(load)),
                 ("offered_rps", JsonValue::Num(rate)),
@@ -193,7 +281,19 @@ fn main() {
                 ("p99_s", JsonValue::Num(p99)),
                 ("mean_utilization", JsonValue::Num(util)),
                 ("makespan_s", JsonValue::Num(m.makespan_s)),
-            ]));
+            ]);
+            // Fault fields ride along only when --faults is given so the
+            // default report layout is byte-identical to the healthy sweep.
+            if args.faults.is_some() {
+                let min_avail =
+                    m.per_replica_availability.iter().copied().fold(f64::INFINITY, f64::min);
+                if let JsonValue::Obj(fields) = &mut point {
+                    fields.push(("retried".into(), JsonValue::Int(m.retried as i64)));
+                    fields.push(("retry_events".into(), JsonValue::Int(m.retry_events as i64)));
+                    fields.push(("min_availability".into(), JsonValue::Num(min_avail)));
+                }
+            }
+            points.push(point);
         }
     }
     table.save();
@@ -209,8 +309,12 @@ fn main() {
         .set("queue_depth", JsonValue::Int(args.queue_depth as i64))
         .set("requests_per_point", JsonValue::Int(args.requests as i64))
         .set("seed", JsonValue::Int(args.seed as i64))
-        .set("distinct_task_shapes", JsonValue::Int(cost.distinct_shapes() as i64))
-        .set("points", JsonValue::Arr(points));
+        .set("distinct_task_shapes", JsonValue::Int(cost.distinct_shapes() as i64));
+    if let Some(f) = args.faults {
+        json.set("fault_mtbf_s", JsonValue::Num(f.mtbf_s))
+            .set("fault_mttr_s", JsonValue::Num(f.mttr_s));
+    }
+    json.set("points", JsonValue::Arr(points));
     json.save();
 
     // Telemetry pass: re-run the final sweep point with the ring buffer
@@ -227,6 +331,7 @@ fn main() {
         cfg.admission = AdmissionPolicy::bounded(args.queue_depth);
         let rate = load * replicas as f64 / solo;
         let requests = poisson_requests(&spec, args.requests, rate, args.seed);
+        cfg.faults = point_faults(args.faults, replicas, &requests, args.seed);
 
         let mut sink = RingBufferSink::with_capacity(TRACE_CAPACITY);
         let _ = simulate_fleet_traced(&cfg, &requests, &mut sink);
@@ -252,6 +357,27 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn args_parse_reports_malformed_flags_instead_of_panicking() {
+        assert!(parse(&[]).is_ok());
+        let ok = parse(&["--routing", "rr", "--faults", "5:0.5"]).expect("valid");
+        assert_eq!(ok.routing, RoutingPolicy::RoundRobin);
+        assert_eq!(ok.faults, Some(FaultSpec { mtbf_s: 5.0, mttr_s: 0.5 }));
+
+        assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--seed"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--routing", "chaotic"]).unwrap_err().contains("unknown routing policy"));
+        assert!(parse(&["--loads", "0.5,oops"]).unwrap_err().contains("--loads"));
+        assert!(parse(&["--faults", "5"]).unwrap_err().contains("mtbf"));
+        assert!(parse(&["--faults", "0:1"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--replicas", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--batch", "0"]).unwrap_err().contains("positive"));
+    }
 
     #[test]
     fn csv_header_carries_schema_version() {

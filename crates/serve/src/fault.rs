@@ -1,0 +1,369 @@
+//! Deterministic fault injection and retry policy.
+//!
+//! A [`FaultPlan`] is a *schedule*, not a random process: every crash
+//! window, step slowdown and host-link stall is a concrete time interval
+//! fixed before the simulation starts. [`FaultPlan::seeded`] draws such a
+//! schedule from a seeded RNG (alternating exponential up/down intervals,
+//! the classic MTBF/MTTR renewal model), so a fault scenario is exactly as
+//! reproducible as the arrival trace it runs against — the same plan and
+//! trace always produce the same [`FleetReport`](crate::FleetReport),
+//! bit for bit.
+//!
+//! Failure semantics (pinned by the `faults` integration tests):
+//!
+//! * layer steps are **atomic** — a step committed before a crash instant
+//!   finishes and retires its completions (the host receives per-layer
+//!   activations as each step streams back, so completed layers are never
+//!   lost);
+//! * at the crash instant the replica's remaining work (mid-flight actives
+//!   and queued requests) is evicted and requeued through routing with a
+//!   bounded [`RetryPolicy`] budget, resuming from the last completed
+//!   layer; requests that exhaust the budget, or whose deadline can no
+//!   longer be met, are shed with
+//!   [`ShedReason::ReplicaLost`](crate::ShedReason::ReplicaLost);
+//! * arrivals never route to a down replica; if *no* replica is up the
+//!   arrival is shed with `ReplicaLost`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One replica outage: down at `down_s`, back at `up_s` (`None` = never).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashWindow {
+    /// Replica index the outage applies to.
+    pub replica: usize,
+    /// Crash instant, seconds.
+    pub down_s: f64,
+    /// Recovery instant, seconds; `None` for a permanent loss.
+    pub up_s: Option<f64>,
+}
+
+/// A transient compute slowdown: layer steps *starting* inside
+/// `[from_s, until_s)` on `replica` take `factor`× their nominal time
+/// (thermal throttling, a noisy neighbour, a degraded unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slowdown {
+    /// Replica index the slowdown applies to.
+    pub replica: usize,
+    /// Window start, seconds (inclusive).
+    pub from_s: f64,
+    /// Window end, seconds (exclusive).
+    pub until_s: f64,
+    /// Multiplier on step time; must be `> 0` (values `> 1` slow down).
+    pub factor: f64,
+}
+
+/// A host-link stall: weight uploads paid by batch joins inside
+/// `[from_s, until_s)` on `replica` take `factor`× their nominal time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkStall {
+    /// Replica index the stall applies to.
+    pub replica: usize,
+    /// Window start, seconds (inclusive).
+    pub from_s: f64,
+    /// Window end, seconds (exclusive).
+    pub until_s: f64,
+    /// Multiplier on upload time; must be `> 0`.
+    pub factor: f64,
+}
+
+/// A deterministic fault schedule for one fleet run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Replica outages. Per replica they must be time-sorted and
+    /// non-overlapping ([`validate`](Self::validate) enforces this).
+    pub crashes: Vec<CrashWindow>,
+    /// Compute slowdown windows.
+    pub slowdowns: Vec<Slowdown>,
+    /// Host-link stall windows.
+    pub link_stalls: Vec<LinkStall>,
+}
+
+impl FaultPlan {
+    /// The healthy plan: no faults. With this plan the runtime reproduces
+    /// the fault-free fleet bitwise (pinned by test).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.slowdowns.is_empty() && self.link_stalls.is_empty()
+    }
+
+    /// Draws a crash schedule from the MTBF/MTTR renewal model: each
+    /// replica alternates exponential up intervals (mean `mtbf_s`) and
+    /// down intervals (mean `mttr_s`), starting up at `t = 0`, until
+    /// `horizon_s`. A window whose repair would land past the horizon is
+    /// kept with its drawn `up_s` (recovery beyond the horizon is
+    /// harmless), so the plan depends only on the arguments, never on the
+    /// trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` or any of `horizon_s`, `mtbf_s`,
+    /// `mttr_s` is not positive and finite.
+    pub fn seeded(replicas: usize, horizon_s: f64, mtbf_s: f64, mttr_s: f64, seed: u64) -> Self {
+        assert!(replicas > 0, "at least one replica");
+        assert!(horizon_s > 0.0 && horizon_s.is_finite(), "horizon must be positive and finite");
+        assert!(mtbf_s > 0.0 && mtbf_s.is_finite(), "MTBF must be positive and finite");
+        assert!(mttr_s > 0.0 && mttr_s.is_finite(), "MTTR must be positive and finite");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut crashes = Vec::new();
+        for replica in 0..replicas {
+            let mut t = 0.0f64;
+            loop {
+                t += exp_sample(&mut rng, mtbf_s);
+                if t >= horizon_s {
+                    break;
+                }
+                let down_s = t;
+                t += exp_sample(&mut rng, mttr_s);
+                crashes.push(CrashWindow { replica, down_s, up_s: Some(t) });
+            }
+        }
+        Self { crashes, slowdowns: Vec::new(), link_stalls: Vec::new() }
+    }
+
+    /// Checks the plan against a fleet of `replicas`: indices in range,
+    /// times finite and non-negative, windows well-ordered, per-replica
+    /// crash windows sorted and non-overlapping, factors positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation (plans are configuration; a malformed one
+    /// is a caller bug, not a runtime condition).
+    pub fn validate(&self, replicas: usize) {
+        let window_ok = |from: f64, until: f64| from.is_finite() && from >= 0.0 && until > from;
+        let mut last_up = vec![0.0f64; replicas];
+        for c in &self.crashes {
+            assert!(c.replica < replicas, "crash replica {} out of range", c.replica);
+            assert!(c.down_s.is_finite() && c.down_s >= 0.0, "crash time must be non-negative");
+            assert!(
+                c.down_s >= last_up[c.replica],
+                "replica {} crash windows must be sorted and non-overlapping",
+                c.replica
+            );
+            match c.up_s {
+                Some(up) => {
+                    assert!(up.is_finite() && up > c.down_s, "recovery must follow the crash");
+                    last_up[c.replica] = up;
+                }
+                // A permanent loss must be the replica's last window.
+                None => last_up[c.replica] = f64::INFINITY,
+            }
+        }
+        for s in &self.slowdowns {
+            assert!(s.replica < replicas, "slowdown replica {} out of range", s.replica);
+            assert!(window_ok(s.from_s, s.until_s), "slowdown window must be well-ordered");
+            assert!(s.factor > 0.0 && s.factor.is_finite(), "slowdown factor must be positive");
+        }
+        for l in &self.link_stalls {
+            assert!(l.replica < replicas, "link stall replica {} out of range", l.replica);
+            assert!(window_ok(l.from_s, l.until_s), "link stall window must be well-ordered");
+            assert!(l.factor > 0.0 && l.factor.is_finite(), "link stall factor must be positive");
+        }
+    }
+
+    /// The crash schedule flattened to a time-sorted event list (ties by
+    /// replica index, down before up).
+    pub(crate) fn timeline(&self) -> Vec<FaultEvent> {
+        let mut events = Vec::with_capacity(self.crashes.len() * 2);
+        for c in &self.crashes {
+            events.push(FaultEvent { t_s: c.down_s, replica: c.replica, up: false });
+            if let Some(up) = c.up_s {
+                events.push(FaultEvent { t_s: up, replica: c.replica, up: true });
+            }
+        }
+        events.sort_by(|a, b| {
+            a.t_s
+                .partial_cmp(&b.t_s)
+                .expect("finite fault times")
+                .then(a.replica.cmp(&b.replica))
+                .then(a.up.cmp(&b.up))
+        });
+        events
+    }
+
+    /// Step-time multiplier for a layer step starting at `t_s` on
+    /// `replica` (product over matching windows; `1.0` when none match).
+    pub(crate) fn step_factor(&self, replica: usize, t_s: f64) -> f64 {
+        let mut f = 1.0;
+        for s in &self.slowdowns {
+            if s.replica == replica && t_s >= s.from_s && t_s < s.until_s {
+                f *= s.factor;
+            }
+        }
+        f
+    }
+
+    /// Upload-time multiplier for batch joins at `t_s` on `replica`.
+    pub(crate) fn link_factor(&self, replica: usize, t_s: f64) -> f64 {
+        let mut f = 1.0;
+        for l in &self.link_stalls {
+            if l.replica == replica && t_s >= l.from_s && t_s < l.until_s {
+                f *= l.factor;
+            }
+        }
+        f
+    }
+}
+
+/// One crash-schedule transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FaultEvent {
+    pub t_s: f64,
+    pub replica: usize,
+    /// `true` = recovery, `false` = crash.
+    pub up: bool,
+}
+
+/// Bounded-retry configuration for requests evicted by a crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum requeue attempts per request before it is shed with
+    /// [`ShedReason::ReplicaLost`](crate::ShedReason::ReplicaLost).
+    pub max_attempts: u32,
+    /// Base delay before the first requeue, seconds.
+    pub backoff_s: f64,
+    /// Multiplier applied to the delay on each further attempt.
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Default production policy: up to 3 attempts with 100 µs base
+    /// backoff doubling per attempt.
+    pub fn standard() -> Self {
+        Self { max_attempts: 3, backoff_s: 1e-4, multiplier: 2.0 }
+    }
+
+    /// No retries: every evicted request is shed immediately.
+    pub fn never() -> Self {
+        Self { max_attempts: 0, backoff_s: 0.0, multiplier: 1.0 }
+    }
+
+    /// Delay before requeue attempt `attempt` (1-based), seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempt == 0`.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        assert!(attempt > 0, "attempts are 1-based");
+        self.backoff_s * self.multiplier.powi(attempt as i32 - 1)
+    }
+}
+
+/// One exponential sample with mean `mean_s` via inverse transform; the
+/// uniform is clamped away from 0 so `ln` stays finite (mirrors the
+/// loadgen sampler).
+fn exp_sample(rng: &mut StdRng, mean_s: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -u.ln() * mean_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty_and_validates() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        plan.validate(1);
+        assert!(plan.timeline().is_empty());
+        assert_eq!(plan.step_factor(0, 1.0), 1.0);
+        assert_eq!(plan.link_factor(0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_well_formed() {
+        let a = FaultPlan::seeded(4, 100.0, 20.0, 2.0, 9);
+        let b = FaultPlan::seeded(4, 100.0, 20.0, 2.0, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::seeded(4, 100.0, 20.0, 2.0, 10));
+        a.validate(4);
+        assert!(!a.is_empty(), "100 s horizon at 20 s MTBF crashes essentially surely");
+        for c in &a.crashes {
+            assert!(c.down_s < 100.0, "crashes start inside the horizon");
+        }
+    }
+
+    #[test]
+    fn timeline_is_sorted_with_down_before_up() {
+        let plan = FaultPlan {
+            crashes: vec![
+                CrashWindow { replica: 1, down_s: 1.0, up_s: Some(3.0) },
+                CrashWindow { replica: 0, down_s: 2.0, up_s: None },
+            ],
+            ..FaultPlan::none()
+        };
+        plan.validate(2);
+        let tl = plan.timeline();
+        let shape: Vec<(f64, usize, bool)> = tl.iter().map(|e| (e.t_s, e.replica, e.up)).collect();
+        assert_eq!(shape, vec![(1.0, 1, false), (2.0, 0, false), (3.0, 1, true)]);
+    }
+
+    #[test]
+    fn factors_multiply_inside_windows_only() {
+        let plan = FaultPlan {
+            slowdowns: vec![
+                Slowdown { replica: 0, from_s: 1.0, until_s: 2.0, factor: 3.0 },
+                Slowdown { replica: 0, from_s: 1.5, until_s: 2.5, factor: 2.0 },
+            ],
+            link_stalls: vec![LinkStall { replica: 1, from_s: 0.0, until_s: 1.0, factor: 10.0 }],
+            ..FaultPlan::none()
+        };
+        plan.validate(2);
+        assert_eq!(plan.step_factor(0, 1.25), 3.0);
+        assert_eq!(plan.step_factor(0, 1.75), 6.0);
+        assert_eq!(plan.step_factor(0, 2.0), 2.0, "windows are end-exclusive");
+        assert_eq!(plan.step_factor(1, 1.25), 1.0, "other replicas unaffected");
+        assert_eq!(plan.link_factor(1, 0.5), 10.0);
+        assert_eq!(plan.link_factor(0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn backoff_grows_geometrically() {
+        let r = RetryPolicy::standard();
+        assert_eq!(r.backoff(1), 1e-4);
+        assert_eq!(r.backoff(2), 2e-4);
+        assert_eq!(r.backoff(3), 4e-4);
+        assert_eq!(RetryPolicy::never().max_attempts, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and non-overlapping")]
+    fn overlapping_crash_windows_rejected() {
+        let plan = FaultPlan {
+            crashes: vec![
+                CrashWindow { replica: 0, down_s: 1.0, up_s: Some(3.0) },
+                CrashWindow { replica: 0, down_s: 2.0, up_s: Some(4.0) },
+            ],
+            ..FaultPlan::none()
+        };
+        plan.validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_replica_rejected() {
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow { replica: 2, down_s: 1.0, up_s: None }],
+            ..FaultPlan::none()
+        };
+        plan.validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and non-overlapping")]
+    fn crash_after_permanent_loss_rejected() {
+        let plan = FaultPlan {
+            crashes: vec![
+                CrashWindow { replica: 0, down_s: 1.0, up_s: None },
+                CrashWindow { replica: 0, down_s: 2.0, up_s: Some(3.0) },
+            ],
+            ..FaultPlan::none()
+        };
+        plan.validate(1);
+    }
+}

@@ -43,6 +43,7 @@
 
 mod admission;
 mod cost;
+mod fault;
 mod loadgen;
 mod metrics;
 mod replica;
@@ -52,7 +53,10 @@ mod runtime;
 
 pub use admission::{AdmissionPolicy, ShedReason};
 pub use cost::CostModel;
-pub use loadgen::{mmpp_requests, poisson_requests, replay_trace, LoadSpec, MmppParams};
+pub use fault::{CrashWindow, FaultPlan, LinkStall, RetryPolicy, Slowdown};
+pub use loadgen::{
+    mmpp_requests, poisson_requests, replay_trace, LoadSpec, MmppParams, TraceError,
+};
 pub use metrics::FleetMetrics;
 pub use replica::{BatchPolicy, Completion};
 pub use request::{QosClass, ServeRequest};

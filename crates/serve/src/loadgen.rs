@@ -133,20 +133,89 @@ pub fn mmpp_requests(
         .collect()
 }
 
+/// Why a replayed arrival trace was rejected.
+///
+/// The fleet runtime assumes arrival times are finite, non-negative and
+/// sorted; a trace violating any of these used to slip through silently
+/// (a NaN timestamp, say, defeats every `<=` event-ordering comparison)
+/// and could wedge or crash the event loop far from the bad input. The
+/// replay constructor now rejects such traces up front with the index of
+/// the first offending entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceError {
+    /// The trace has no requests.
+    Empty,
+    /// `arrival_s` at this index is NaN or infinite.
+    NonFinite {
+        /// Index of the offending request in the trace.
+        index: usize,
+    },
+    /// `arrival_s` at this index is negative.
+    Negative {
+        /// Index of the offending request in the trace.
+        index: usize,
+    },
+    /// `arrival_s` at this index is earlier than its predecessor's.
+    NonMonotonic {
+        /// Index of the offending request in the trace.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "arrival trace is empty"),
+            TraceError::NonFinite { index } => {
+                write!(f, "arrival time at trace index {index} is not finite")
+            }
+            TraceError::Negative { index } => {
+                write!(f, "arrival time at trace index {index} is negative")
+            }
+            TraceError::NonMonotonic { index } => {
+                write!(f, "arrival time at trace index {index} precedes its predecessor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// Adopts a `cta-sim` arrival trace (e.g. from
 /// [`cta_sim::poisson_trace`] or `cta_workloads::case_arrival_trace`)
 /// under one service class, assigning ids in trace order.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `trace` is empty.
-pub fn replay_trace(trace: &[ServingRequest], class: QosClass) -> Vec<ServeRequest> {
-    assert!(!trace.is_empty(), "at least one request");
-    trace
+/// Returns a [`TraceError`] naming the first offending index when the
+/// trace is empty or its arrival times are NaN/infinite, negative, or
+/// non-monotonic — instead of handing the fleet runtime a trace it would
+/// livelock or panic on.
+pub fn replay_trace(
+    trace: &[ServingRequest],
+    class: QosClass,
+) -> Result<Vec<ServeRequest>, TraceError> {
+    if trace.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    let mut prev = 0.0f64;
+    for (index, r) in trace.iter().enumerate() {
+        if !r.arrival_s.is_finite() {
+            return Err(TraceError::NonFinite { index });
+        }
+        if r.arrival_s < 0.0 {
+            return Err(TraceError::Negative { index });
+        }
+        if r.arrival_s < prev {
+            return Err(TraceError::NonMonotonic { index });
+        }
+        prev = r.arrival_s;
+    }
+    Ok(trace
         .iter()
         .enumerate()
         .map(|(id, r)| ServeRequest::from_serving(id as u64, class, r))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -195,7 +264,7 @@ mod tests {
     fn replay_preserves_arrivals_and_assigns_ids() {
         let s = spec();
         let trace = poisson_trace(20, 50.0, s.task, s.layers, s.heads, 3);
-        let rs = replay_trace(&trace, QosClass::batch());
+        let rs = replay_trace(&trace, QosClass::batch()).expect("valid trace");
         assert_eq!(rs.len(), 20);
         for (i, r) in rs.iter().enumerate() {
             assert_eq!(r.id, i as u64);
@@ -203,6 +272,38 @@ mod tests {
             assert_eq!(r.layer_tasks, trace[i].layer_tasks);
             assert_eq!(r.class, QosClass::batch());
         }
+    }
+
+    #[test]
+    fn replay_rejects_malformed_traces_with_typed_errors() {
+        let s = spec();
+        let mut trace = poisson_trace(5, 50.0, s.task, s.layers, s.heads, 3);
+        assert_eq!(replay_trace(&[], QosClass::batch()), Err(TraceError::Empty));
+
+        let good = trace[2].arrival_s;
+        trace[2].arrival_s = f64::NAN;
+        assert_eq!(
+            replay_trace(&trace, QosClass::batch()),
+            Err(TraceError::NonFinite { index: 2 })
+        );
+        trace[2].arrival_s = f64::INFINITY;
+        assert_eq!(
+            replay_trace(&trace, QosClass::batch()),
+            Err(TraceError::NonFinite { index: 2 })
+        );
+        trace[2].arrival_s = good;
+
+        trace[0].arrival_s = -1.0;
+        assert_eq!(replay_trace(&trace, QosClass::batch()), Err(TraceError::Negative { index: 0 }));
+        trace[0].arrival_s = 0.0;
+
+        trace[3].arrival_s = trace[2].arrival_s / 2.0;
+        assert_eq!(
+            replay_trace(&trace, QosClass::batch()),
+            Err(TraceError::NonMonotonic { index: 3 })
+        );
+        // Each error renders a human-readable message naming the index.
+        assert!(TraceError::NonMonotonic { index: 3 }.to_string().contains("index 3"));
     }
 
     #[test]

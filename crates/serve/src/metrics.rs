@@ -34,24 +34,36 @@ pub struct FleetMetrics {
     pub per_replica_utilization: Vec<f64>,
     /// Per-replica completion counts.
     pub per_replica_completed: Vec<usize>,
+    /// Requests that survived at least one crash-eviction requeue
+    /// (completed or eventually shed).
+    pub retried: usize,
+    /// Total crash-eviction requeues across all requests.
+    pub retry_events: usize,
+    /// Per-replica fraction of the makespan the replica was up
+    /// (`1.0` everywhere on a fault-free run).
+    pub per_replica_availability: Vec<f64>,
 }
 
 impl FleetMetrics {
     /// Builds the aggregate from raw outcomes. `replica_busy_s[i]` is the
-    /// wall-clock time replica `i` spent executing.
+    /// wall-clock time replica `i` spent executing; `replica_down_s[i]`
+    /// the time it spent crashed.
     ///
     /// # Panics
     ///
     /// Panics if `completed + shed != offered` (the runtime's conservation
-    /// invariant) or `replica_busy_s` is empty.
+    /// invariant), `replica_busy_s` is empty, or the two per-replica
+    /// slices disagree in length.
     pub fn from_outcomes(
         offered: usize,
         completions: &[Completion],
         shed: &[Shed],
         replica_busy_s: &[f64],
+        replica_down_s: &[f64],
     ) -> Self {
         assert_eq!(completions.len() + shed.len(), offered, "request conservation violated");
         assert!(!replica_busy_s.is_empty(), "at least one replica");
+        assert_eq!(replica_busy_s.len(), replica_down_s.len(), "per-replica slices must agree");
         let makespan_s = completions.iter().map(|c| c.finish_s).fold(0.0, f64::max);
         let span = makespan_s.max(f64::EPSILON);
         let latencies: Vec<f64> = completions.iter().map(|c| c.latency_s()).collect();
@@ -71,6 +83,10 @@ impl FleetMetrics {
         for c in completions {
             per_replica_completed[c.replica] += 1;
         }
+        let retried = completions.iter().filter(|c| c.retries > 0).count()
+            + shed.iter().filter(|s| s.retries > 0).count();
+        let retry_events = completions.iter().map(|c| c.retries as usize).sum::<usize>()
+            + shed.iter().map(|s| s.retries as usize).sum::<usize>();
         Self {
             offered,
             completed: completions.len(),
@@ -81,6 +97,12 @@ impl FleetMetrics {
             makespan_s,
             per_replica_utilization: replica_busy_s.iter().map(|b| b / span).collect(),
             per_replica_completed,
+            retried,
+            retry_events,
+            per_replica_availability: replica_down_s
+                .iter()
+                .map(|d| ((span - d) / span).clamp(0.0, 1.0))
+                .collect(),
         }
     }
 }
@@ -98,6 +120,7 @@ mod tests {
             finish_s: finish,
             replica,
             deadline_met: None,
+            retries: 0,
         }
     }
 
@@ -108,9 +131,14 @@ mod tests {
             completion(1, 0.0, 3.0, 1),
             completion(2, 1.0, 5.0, 0),
         ];
-        let shed =
-            vec![Shed { id: 3, class: "standard", arrival_s: 2.0, reason: ShedReason::QueueFull }];
-        let m = FleetMetrics::from_outcomes(4, &completions, &shed, &[2.0, 3.0]);
+        let shed = vec![Shed {
+            id: 3,
+            class: "standard",
+            arrival_s: 2.0,
+            reason: ShedReason::QueueFull,
+            retries: 0,
+        }];
+        let m = FleetMetrics::from_outcomes(4, &completions, &shed, &[2.0, 3.0], &[0.0, 0.0]);
         assert_eq!((m.offered, m.completed, m.shed), (4, 3, 1));
         assert_eq!(m.shed_rate, 0.25);
         assert_eq!(m.makespan_s, 5.0);
@@ -128,7 +156,7 @@ mod tests {
         ok.deadline_met = Some(true);
         let mut miss = completion(1, 0.0, 2.0, 0);
         miss.deadline_met = Some(false);
-        let m = FleetMetrics::from_outcomes(2, &[ok, miss], &[], &[2.0]);
+        let m = FleetMetrics::from_outcomes(2, &[ok, miss], &[], &[2.0], &[0.0]);
         assert_eq!(m.goodput_rps, 0.5); // 1 good completion / 2 s
         assert_eq!(m.completed, 2);
     }
@@ -136,9 +164,15 @@ mod tests {
     #[test]
     fn all_shed_yields_no_latency_distribution() {
         let shed: Vec<Shed> = (0..3)
-            .map(|id| Shed { id, class: "standard", arrival_s: 0.0, reason: ShedReason::QueueFull })
+            .map(|id| Shed {
+                id,
+                class: "standard",
+                arrival_s: 0.0,
+                reason: ShedReason::QueueFull,
+                retries: 0,
+            })
             .collect();
-        let m = FleetMetrics::from_outcomes(3, &[], &shed, &[0.0]);
+        let m = FleetMetrics::from_outcomes(3, &[], &shed, &[0.0], &[0.0]);
         assert!(m.latency.is_none());
         assert_eq!(m.shed_rate, 1.0);
         assert_eq!(m.goodput_rps, 0.0);
@@ -147,14 +181,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "conservation")]
     fn lost_requests_rejected() {
-        let _ = FleetMetrics::from_outcomes(5, &[], &[], &[1.0]);
+        let _ = FleetMetrics::from_outcomes(5, &[], &[], &[1.0], &[0.0]);
+    }
+
+    #[test]
+    fn retry_and_availability_accounting() {
+        let mut survived = completion(0, 0.0, 4.0, 0);
+        survived.retries = 2;
+        let fresh = completion(1, 0.0, 2.0, 1);
+        let shed = vec![Shed {
+            id: 2,
+            class: "standard",
+            arrival_s: 1.0,
+            reason: ShedReason::ReplicaLost,
+            retries: 3,
+        }];
+        // Makespan 4 s; replica 1 was down for 1 s of it.
+        let m = FleetMetrics::from_outcomes(3, &[survived, fresh], &shed, &[2.0, 1.0], &[0.0, 1.0]);
+        assert_eq!(m.retried, 2, "one retried completion + one retried shed");
+        assert_eq!(m.retry_events, 5);
+        assert_eq!(m.per_replica_availability, vec![1.0, 0.75]);
     }
 
     // --- degenerate completion sets (satellite: percentile hardening) ----
 
     #[test]
     fn single_completion_pins_every_percentile_to_that_sample() {
-        let m = FleetMetrics::from_outcomes(1, &[completion(0, 1.0, 3.0, 0)], &[], &[2.0]);
+        let m = FleetMetrics::from_outcomes(1, &[completion(0, 1.0, 3.0, 0)], &[], &[2.0], &[0.0]);
         let lat = m.latency.expect("one completion");
         assert_eq!(lat.completed, 1);
         // n = 1: the 2 s latency IS the whole distribution.
@@ -168,7 +221,7 @@ mod tests {
         // zero puts p50 (index round(0.5) = 1) on the UPPER sample, and
         // p95/p99 follow; the mean still sees both.
         let completions = vec![completion(0, 0.0, 1.0, 0), completion(1, 1.0, 10.0, 0)];
-        let m = FleetMetrics::from_outcomes(2, &completions, &[], &[5.0]);
+        let m = FleetMetrics::from_outcomes(2, &completions, &[], &[5.0], &[0.0]);
         let lat = m.latency.expect("two completions");
         assert_eq!(lat.completed, 2);
         assert_eq!((lat.p50_s, lat.p95_s, lat.p99_s), (9.0, 9.0, 9.0));
@@ -183,7 +236,7 @@ mod tests {
             completion(1, 0.0, 3.0, 0),
             completion(2, 1.0, 5.0, 0),
         ];
-        let m = FleetMetrics::from_outcomes(3, &completions, &[], &[4.0]);
+        let m = FleetMetrics::from_outcomes(3, &completions, &[], &[4.0], &[0.0]);
         let lat = m.latency.expect("three completions");
         assert_eq!((lat.p50_s, lat.p95_s, lat.p99_s), (3.0, 4.0, 4.0));
     }

@@ -11,7 +11,7 @@
 use cta_sim::{AttentionTask, CtaSystem, TaskCost};
 use cta_telemetry::{Module, SpanClass, TraceSink, TrackId};
 
-use crate::{CostModel, ServeRequest};
+use crate::{CostModel, FaultPlan, ServeRequest};
 
 /// Continuous-batching configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +44,20 @@ pub(crate) struct Pending {
     pub request: ServeRequest,
     /// Solo service estimate, cached at admission for routing decisions.
     pub est_service_s: f64,
+    /// Layer to resume from when the request joins a batch: `0` for fresh
+    /// arrivals, the last completed layer for crash-evicted requeues
+    /// (steps are atomic and the host retains per-layer activations, so
+    /// completed layers survive a crash).
+    pub resume_cursor: usize,
+    /// Requeue attempts consumed so far (0 for fresh arrivals).
+    pub attempt: u32,
+}
+
+impl Pending {
+    /// A freshly admitted request (no crash history).
+    pub fn fresh(request: ServeRequest, est_service_s: f64) -> Self {
+        Self { request, est_service_s, resume_cursor: 0, attempt: 0 }
+    }
 }
 
 /// A request being served (its next layer is `cursor`).
@@ -54,6 +68,8 @@ pub(crate) struct Active {
     /// When the request joined the active set (telemetry: end of its
     /// queued interval, start of its serving interval).
     pub joined_s: f64,
+    /// Requeue attempts consumed so far.
+    pub attempt: u32,
 }
 
 /// A finished request, as reported by the runtime.
@@ -71,6 +87,9 @@ pub struct Completion {
     pub replica: usize,
     /// Whether the class deadline (if any) was met.
     pub deadline_met: Option<bool>,
+    /// Crash-eviction requeues the request survived before finishing
+    /// (0 on the healthy path).
+    pub retries: u32,
 }
 
 impl Completion {
@@ -93,6 +112,13 @@ pub(crate) struct Replica {
     pub queue: Vec<Pending>,
     pub active: Vec<Active>,
     pub completed: usize,
+    /// Whether the replica is healthy. Down replicas hold no work, take
+    /// no arrivals and schedule no steps.
+    pub up: bool,
+    /// When the current outage began (meaningful only while `!up`).
+    pub down_since: f64,
+    /// Total seconds spent down (for availability metrics).
+    pub down_s: f64,
 }
 
 impl Replica {
@@ -105,6 +131,9 @@ impl Replica {
             queue: Vec::new(),
             active: Vec::new(),
             completed: 0,
+            up: true,
+            down_since: 0.0,
+            down_s: 0.0,
         }
     }
 
@@ -149,9 +178,42 @@ impl Replica {
         self.queue.insert(pos, pending);
     }
 
+    /// Marks the replica down at `t`, draining its remaining work for the
+    /// runtime to requeue or shed: mid-flight actives first (keeping their
+    /// layer progress — steps are atomic, so every completed layer's
+    /// activations already reached the host), then the queue in priority
+    /// order.
+    pub fn crash(&mut self, t: f64) -> Vec<Pending> {
+        self.up = false;
+        self.down_since = t;
+        let mut orphans: Vec<Pending> = self
+            .active
+            .drain(..)
+            .map(|a| Pending {
+                request: a.request,
+                est_service_s: 0.0, // re-estimated at requeue
+                resume_cursor: a.cursor,
+                attempt: a.attempt,
+            })
+            .collect();
+        orphans.append(&mut self.queue);
+        orphans
+    }
+
+    /// Brings the replica back at `t`. Its schedule resumes no earlier
+    /// than the recovery instant.
+    pub fn recover(&mut self, t: f64) {
+        self.up = true;
+        self.down_s += t - self.down_since;
+        self.clock = self.clock.max(t);
+    }
+
     /// When the replica will next dispatch a layer step, or `None` if it
-    /// has no work.
+    /// has no work or is down.
     pub fn next_step_time(&self) -> Option<f64> {
+        if !self.up {
+            return None;
+        }
         if !self.active.is_empty() {
             return Some(self.clock);
         }
@@ -176,6 +238,7 @@ impl Replica {
     pub fn execute_step<S: TraceSink>(
         &mut self,
         batch: &BatchPolicy,
+        faults: &FaultPlan,
         cost: &mut CostModel,
         completions: &mut Vec<Completion>,
         sink: &mut S,
@@ -199,9 +262,22 @@ impl Replica {
                     sink.async_span(runtime, "queued", p.request.id, p.request.arrival_s, t0);
                     sink.instant(runtime, "batch-join", t0);
                 }
-                self.active.push(Active { request: p.request, cursor: 0, joined_s: t0 });
+                self.active.push(Active {
+                    request: p.request,
+                    cursor: p.resume_cursor,
+                    joined_s: t0,
+                    attempt: p.attempt,
+                });
             } else {
                 i += 1;
+            }
+        }
+        // Host-link stall: uploads inside a stall window take longer. The
+        // guard keeps the healthy path's arithmetic untouched.
+        if upload_s > 0.0 {
+            let link = faults.link_factor(self.index, t0);
+            if link != 1.0 {
+                upload_s *= link;
             }
         }
         assert!(!self.active.is_empty(), "step with an empty active set");
@@ -220,12 +296,34 @@ impl Replica {
             }
         }
         let step = self.system.step_layer_costed(&merged, &costs);
-        let elapsed = upload_s + step.elapsed_s;
+        // Transient slowdown: steps starting inside a window stretch by
+        // the plan's factor. Guarded so the healthy path's float
+        // arithmetic is bit-for-bit the pre-fault expression.
+        let mut step_elapsed = step.elapsed_s;
+        let slow = faults.step_factor(self.index, t0);
+        if slow != 1.0 {
+            step_elapsed *= slow;
+        }
+        let elapsed = upload_s + step_elapsed;
         self.clock = t0 + elapsed;
         self.busy_s += elapsed;
 
         if S::ENABLED {
             self.trace_step(sink, cost, t0, upload_s, &merged, &step);
+            // The stretch beyond the nominal step lands on the fault lane
+            // as a bubble: time the replica was occupied but degraded.
+            let extra = step_elapsed - step.elapsed_s;
+            if extra > 0.0 {
+                let fault = TrackId::new(self.index as u32, Module::Fault);
+                sink.span(
+                    fault,
+                    "slowdown",
+                    self.clock - extra,
+                    self.clock,
+                    SpanClass::Fault,
+                    true,
+                );
+            }
         }
 
         // Advance cursors; retire finished requests at the step boundary.
@@ -259,6 +357,7 @@ impl Replica {
                 finish_s: finish,
                 replica: index,
                 deadline_met: a.request.class.deadline_s.map(|d| latency <= d),
+                retries: a.attempt,
             });
         }
         t0
@@ -349,10 +448,7 @@ mod tests {
     }
 
     fn pending(id: u64, arrival: f64, class: QosClass) -> Pending {
-        Pending {
-            request: ServeRequest::uniform(id, arrival, class, task(), 2, 4),
-            est_service_s: 0.0,
-        }
+        Pending::fresh(ServeRequest::uniform(id, arrival, class, task(), 2, 4), 0.0)
     }
 
     #[test]
@@ -391,12 +487,13 @@ mod tests {
         // 2 layers per request; batching off: 4 steps total, first two
         // steps complete request 0.
         let batch = BatchPolicy::off();
-        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
-        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        let faults = FaultPlan::none();
+        r.execute_step(&batch, &faults, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        r.execute_step(&batch, &faults, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, 0);
-        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
-        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        r.execute_step(&batch, &faults, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        r.execute_step(&batch, &faults, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(done.len(), 2);
         assert_eq!(done[1].id, 1);
         assert!(done[1].finish_s > done[0].finish_s);
@@ -410,12 +507,46 @@ mod tests {
         r.enqueue(pending(1, 0.0, QosClass::standard()));
         let mut done = Vec::new();
         let batch = BatchPolicy::up_to(4);
-        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        let faults = FaultPlan::none();
+        r.execute_step(&batch, &faults, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(r.active.len(), 2, "both requests batched");
-        r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+        r.execute_step(&batch, &faults, &mut cost, &mut done, &mut cta_telemetry::NullSink);
         assert_eq!(done.len(), 2, "both finish at the final merged layer");
         assert_eq!(done[0].finish_s, done[1].finish_s);
         assert_eq!((done[0].id, done[1].id), (0, 1));
+    }
+
+    #[test]
+    fn crash_evicts_actives_with_progress_then_queue() {
+        let mut r = replica();
+        let mut cost = CostModel::new();
+        r.enqueue(pending(0, 0.0, QosClass::standard()));
+        r.enqueue(pending(1, 0.0, QosClass::standard()));
+        let mut done = Vec::new();
+        // Batching off: one step runs request 0's first layer only.
+        let batch = BatchPolicy::off();
+        r.execute_step(
+            &batch,
+            &FaultPlan::none(),
+            &mut cost,
+            &mut done,
+            &mut cta_telemetry::NullSink,
+        );
+        assert!(done.is_empty());
+        let t = r.clock;
+        let orphans = r.crash(t);
+        assert!(!r.up);
+        assert_eq!(r.next_step_time(), None, "down replica schedules nothing");
+        assert_eq!(orphans.len(), 2);
+        // Mid-flight request first, with its completed layer retained.
+        assert_eq!(orphans[0].request.id, 0);
+        assert_eq!(orphans[0].resume_cursor, 1);
+        assert_eq!(orphans[1].request.id, 1);
+        assert_eq!(orphans[1].resume_cursor, 0);
+        r.recover(t + 1.0);
+        assert!(r.up);
+        assert!((r.down_s - 1.0).abs() < 1e-12, "down for ~1 s, got {}", r.down_s);
+        assert!(r.clock >= t + 1.0);
     }
 
     #[test]
@@ -431,14 +562,15 @@ mod tests {
             let mut r = replica();
             let mut cost = CostModel::new();
             for id in 0..2 {
-                r.enqueue(Pending {
-                    request: ServeRequest::uniform(id, 0.0, QosClass::standard(), heavy, 2, 4),
-                    est_service_s: 0.0,
-                });
+                r.enqueue(Pending::fresh(
+                    ServeRequest::uniform(id, 0.0, QosClass::standard(), heavy, 2, 4),
+                    0.0,
+                ));
             }
             let mut done = Vec::new();
+            let faults = FaultPlan::none();
             while r.next_step_time().is_some() {
-                r.execute_step(&batch, &mut cost, &mut done, &mut cta_telemetry::NullSink);
+                r.execute_step(&batch, &faults, &mut cost, &mut done, &mut cta_telemetry::NullSink);
             }
             done.iter().map(|c| c.finish_s).fold(0.0, f64::max)
         };

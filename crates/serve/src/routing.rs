@@ -38,35 +38,50 @@ impl RoutingPolicy {
         }
     }
 
-    /// Selects the replica for a request arriving at `now`. `rr_cursor`
+    /// Selects the replica for a request arriving at `now`, considering
+    /// only healthy (`up`) replicas — arrivals never land on a down
+    /// replica. Returns `None` when the whole fleet is down. `rr_cursor`
     /// is the round-robin state, advanced only by that policy.
+    ///
+    /// With every replica up (the fault-free path) the picks are
+    /// identical to the health-unaware policies, so healthy runs stay
+    /// bitwise-reproducible.
     pub(crate) fn choose(
         &self,
         replicas: &mut [Replica],
         cost: &mut CostModel,
         now: f64,
         rr_cursor: &mut usize,
-    ) -> usize {
+    ) -> Option<usize> {
         match self {
             RoutingPolicy::RoundRobin => {
-                let i = *rr_cursor % replicas.len();
-                *rr_cursor = (*rr_cursor + 1) % replicas.len();
-                i
+                let n = replicas.len();
+                for k in 0..n {
+                    let i = (*rr_cursor + k) % n;
+                    if replicas[i].up {
+                        *rr_cursor = (i + 1) % n;
+                        return Some(i);
+                    }
+                }
+                None
             }
             RoutingPolicy::JoinShortestQueue => replicas
                 .iter()
                 .enumerate()
+                .filter(|(_, r)| r.up)
                 .min_by_key(|(i, r)| (r.load(), *i))
-                .map(|(i, _)| i)
-                .expect("at least one replica"),
+                .map(|(i, _)| i),
             RoutingPolicy::LeastOutstandingWork => {
-                let mut best = 0usize;
+                let mut best: Option<usize> = None;
                 let mut best_work = f64::INFINITY;
                 for (i, r) in replicas.iter_mut().enumerate() {
+                    if !r.up {
+                        continue;
+                    }
                     let work = r.outstanding_s(cost, now);
                     if work < best_work {
                         best_work = work;
-                        best = i;
+                        best = Some(i);
                     }
                 }
                 best
@@ -91,10 +106,10 @@ mod tests {
     }
 
     fn queued(id: u64, layers: usize) -> Pending {
-        Pending {
-            request: ServeRequest::uniform(id, 0.0, QosClass::standard(), task(), layers, 4),
-            est_service_s: layers as f64,
-        }
+        Pending::fresh(
+            ServeRequest::uniform(id, 0.0, QosClass::standard(), task(), layers, 4),
+            layers as f64,
+        )
     }
 
     #[test]
@@ -114,10 +129,56 @@ mod tests {
         let mut rs = replicas(3);
         let mut cost = CostModel::new();
         let mut cursor = 0;
-        let picks: Vec<usize> = (0..6)
+        let picks: Vec<Option<usize>> = (0..6)
             .map(|_| RoutingPolicy::RoundRobin.choose(&mut rs, &mut cost, 0.0, &mut cursor))
             .collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(picks, vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn round_robin_skips_down_replicas() {
+        let mut rs = replicas(3);
+        rs[1].crash(0.0);
+        let mut cost = CostModel::new();
+        let mut cursor = 0;
+        let picks: Vec<Option<usize>> = (0..4)
+            .map(|_| RoutingPolicy::RoundRobin.choose(&mut rs, &mut cost, 0.0, &mut cursor))
+            .collect();
+        assert_eq!(picks, vec![Some(0), Some(2), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn all_policies_return_none_when_fleet_is_down() {
+        let mut rs = replicas(2);
+        rs[0].crash(0.0);
+        rs[1].crash(0.0);
+        let mut cost = CostModel::new();
+        let mut cursor = 0;
+        for p in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::LeastOutstandingWork,
+        ] {
+            assert_eq!(p.choose(&mut rs, &mut cost, 0.0, &mut cursor), None);
+        }
+    }
+
+    #[test]
+    fn jsq_and_low_never_pick_a_down_replica() {
+        let mut rs = replicas(2);
+        // Replica 0 is idle but down; replica 1 is loaded but up.
+        rs[0].crash(0.0);
+        rs[1].enqueue(queued(0, 10));
+        let mut cost = CostModel::new();
+        let mut cursor = 0;
+        assert_eq!(
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            Some(1)
+        );
+        assert_eq!(
+            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            Some(1)
+        );
     }
 
     #[test]
@@ -128,7 +189,7 @@ mod tests {
         let mut cost = CostModel::new();
         let mut cursor = 0;
         let pick = RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor);
-        assert_eq!(pick, 1);
+        assert_eq!(pick, Some(1));
     }
 
     #[test]
@@ -145,11 +206,11 @@ mod tests {
         let mut cursor = 0;
         assert_eq!(
             RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
-            0
+            Some(0)
         );
         assert_eq!(
             RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
-            1
+            Some(1)
         );
     }
 
@@ -160,11 +221,11 @@ mod tests {
         let mut cursor = 0;
         assert_eq!(
             RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
-            0
+            Some(0)
         );
         assert_eq!(
             RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
-            0
+            Some(0)
         );
     }
 }

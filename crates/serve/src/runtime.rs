@@ -1,24 +1,30 @@
 //! The discrete-event fleet runtime.
 //!
-//! The simulation interleaves two event sources in time order: request
-//! arrivals (routed and admission-checked the instant they occur) and
-//! per-replica layer steps (each replica dispatches its active batch one
-//! layer at a time; see [`crate::replica`]). Ties are deterministic:
-//! an arrival coinciding with a step is processed first — so it can still
-//! join that step's batch — and coincident replica steps run in replica
-//! index order. All state evolution is pure `f64` arithmetic over the
-//! trace, so a fixed trace and configuration always reproduce the same
-//! report.
+//! The simulation interleaves four event sources in time order: fault
+//! transitions (replica crashes and recoveries from the
+//! [`FaultPlan`]), request arrivals (routed and admission-checked the
+//! instant they occur), retry requeues (crash-evicted requests re-entering
+//! routing after their backoff), and per-replica layer steps (each replica
+//! dispatches its active batch one layer at a time; see
+//! [`crate::replica`]). Ties are deterministic: at one instant a fault is
+//! processed before an arrival, an arrival before a retry — so it can
+//! still join a coincident step's batch — and coincident replica steps
+//! run in replica index order. All state evolution is pure `f64`
+//! arithmetic over the trace, so a fixed trace, configuration and fault
+//! plan always reproduce the same report — and with
+//! [`FaultPlan::none`] the fault machinery stays fully dormant, keeping
+//! reports bitwise identical to the fault-free runtime (pinned by test).
 
 use cta_sim::CtaSystem;
-use cta_telemetry::{Module, NullSink, TraceSink, TrackId};
+use cta_telemetry::{Module, NullSink, SpanClass, TraceSink, TrackId};
 
 use crate::replica::{Completion, Pending, Replica};
 use crate::{
-    AdmissionPolicy, BatchPolicy, CostModel, FleetMetrics, RoutingPolicy, ServeRequest, ShedReason,
+    AdmissionPolicy, BatchPolicy, CostModel, FaultPlan, FleetMetrics, RetryPolicy, RoutingPolicy,
+    ServeRequest, ShedReason,
 };
 
-/// A request rejected by admission control.
+/// A request rejected by admission control or orphaned by a crash.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Shed {
     /// The request id.
@@ -29,6 +35,9 @@ pub struct Shed {
     pub arrival_s: f64,
     /// Why it was shed.
     pub reason: ShedReason,
+    /// Crash-eviction requeues the request survived before being shed
+    /// (0 for arrival-time sheds).
+    pub retries: u32,
 }
 
 /// Full fleet configuration.
@@ -45,12 +54,17 @@ pub struct FleetConfig {
     pub admission: AdmissionPolicy,
     /// Continuous-batching width.
     pub batch: BatchPolicy,
+    /// Deterministic fault schedule ([`FaultPlan::none`] = healthy run).
+    pub faults: FaultPlan,
+    /// Retry budget for requests evicted by a crash.
+    pub retry: RetryPolicy,
 }
 
 impl FleetConfig {
     /// The compatibility configuration: one replica, round-robin (trivial)
-    /// routing, batching off, admit everything. In this configuration
-    /// [`simulate_fleet`] reproduces `cta_sim::simulate_serving` exactly.
+    /// routing, batching off, admit everything, no faults. In this
+    /// configuration [`simulate_fleet`] reproduces
+    /// `cta_sim::simulate_serving` exactly.
     pub fn single_fifo(system: cta_sim::SystemConfig) -> Self {
         Self {
             system,
@@ -58,6 +72,8 @@ impl FleetConfig {
             routing: RoutingPolicy::RoundRobin,
             admission: AdmissionPolicy::admit_all(),
             batch: BatchPolicy::off(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::standard(),
         }
     }
 
@@ -76,8 +92,37 @@ impl FleetConfig {
             routing: RoutingPolicy::LeastOutstandingWork,
             admission: AdmissionPolicy::bounded(64),
             batch: BatchPolicy::up_to(4),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::standard(),
         }
     }
+}
+
+/// A crash-evicted request waiting out its backoff before re-entering
+/// routing.
+#[derive(Debug, Clone)]
+struct RetryEntry {
+    /// When the requeue fires, seconds.
+    retry_s: f64,
+    /// Requeue attempts consumed (this entry is attempt number `attempt`).
+    attempt: u32,
+    /// Layer to resume from.
+    cursor: usize,
+    request: ServeRequest,
+}
+
+/// Inserts keeping (retry_s asc, id asc) order.
+fn push_retry(retries: &mut Vec<RetryEntry>, entry: RetryEntry) {
+    let pos = retries
+        .binary_search_by(|probe| {
+            probe
+                .retry_s
+                .partial_cmp(&entry.retry_s)
+                .expect("finite retry times")
+                .then(probe.request.id.cmp(&entry.request.id))
+        })
+        .unwrap_or_else(|e| e);
+    retries.insert(pos, entry);
 }
 
 /// Everything a fleet simulation produced.
@@ -125,6 +170,7 @@ pub fn simulate_fleet_traced<S: TraceSink>(
         requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
         "requests must be sorted by arrival time"
     );
+    cfg.faults.validate(cfg.replicas);
 
     let system = CtaSystem::new(cfg.system);
     let mut replicas: Vec<Replica> =
@@ -134,6 +180,10 @@ pub fn simulate_fleet_traced<S: TraceSink>(
     let mut shed: Vec<Shed> = Vec::new();
     let mut rr_cursor = 0usize;
     let mut next_arrival = 0usize;
+    let fault_events = cfg.faults.timeline();
+    let mut next_fault = 0usize;
+    let mut retries: Vec<RetryEntry> = Vec::new();
+    let mut requeues_total = 0usize;
 
     loop {
         // Earliest replica step, ties to the lowest index.
@@ -143,14 +193,114 @@ pub fn simulate_fleet_traced<S: TraceSink>(
             .filter_map(|(i, r)| r.next_step_time().map(|t| (t, i)))
             .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite step times").then(a.1.cmp(&b.1)));
 
-        let arrival_due = next_arrival < requests.len()
-            && next_step.is_none_or(|(t, _)| requests[next_arrival].arrival_s <= t);
+        // Tie order at one instant: fault < arrival < retry < step. With
+        // an empty fault plan the fault and retry sources never fire and
+        // the arrival condition reduces to the fault-free expression.
+        let fault_due = next_fault < fault_events.len() && {
+            let tf = fault_events[next_fault].t_s;
+            next_step.is_none_or(|(t, _)| tf <= t)
+                && (next_arrival >= requests.len() || tf <= requests[next_arrival].arrival_s)
+                && retries.first().is_none_or(|r| tf <= r.retry_s)
+        };
 
-        if arrival_due {
+        let arrival_due = !fault_due
+            && next_arrival < requests.len()
+            && next_step.is_none_or(|(t, _)| requests[next_arrival].arrival_s <= t)
+            && retries.first().is_none_or(|r| requests[next_arrival].arrival_s <= r.retry_s);
+
+        let retry_due = !fault_due
+            && !arrival_due
+            && retries.first().is_some_and(|r| next_step.is_none_or(|(t, _)| r.retry_s <= t));
+
+        if fault_due {
+            let ev = fault_events[next_fault];
+            next_fault += 1;
+            let track = TrackId::new(ev.replica as u32, Module::Fault);
+            if ev.up {
+                let since = replicas[ev.replica].down_since;
+                replicas[ev.replica].recover(ev.t_s);
+                if S::ENABLED {
+                    sink.span(track, "outage", since, ev.t_s, SpanClass::Fault, true);
+                    sink.instant(track, "replica-up", ev.t_s);
+                }
+            } else {
+                let orphans = replicas[ev.replica].crash(ev.t_s);
+                if S::ENABLED {
+                    sink.instant(track, "replica-down", ev.t_s);
+                }
+                for p in orphans {
+                    let attempt = p.attempt + 1;
+                    if attempt > cfg.retry.max_attempts {
+                        shed.push(Shed {
+                            id: p.request.id,
+                            class: p.request.class.name,
+                            arrival_s: p.request.arrival_s,
+                            reason: ShedReason::ReplicaLost,
+                            retries: p.attempt,
+                        });
+                        continue;
+                    }
+                    let retry_s = ev.t_s + cfg.retry.backoff(attempt);
+                    // Deadline-aware requeue: if even an unobstructed
+                    // resume cannot meet the SLO, shed now instead of
+                    // burning the budget.
+                    if cfg.admission.enforce_deadlines {
+                        if let Some(d) = p.request.class.deadline_s {
+                            let remaining =
+                                cost.remaining_service_s(&system, &p.request, p.resume_cursor)
+                                    + if p.resume_cursor > 0 {
+                                        system.weight_upload_s()
+                                    } else {
+                                        0.0
+                                    };
+                            if retry_s + remaining > p.request.arrival_s + d {
+                                shed.push(Shed {
+                                    id: p.request.id,
+                                    class: p.request.class.name,
+                                    arrival_s: p.request.arrival_s,
+                                    reason: ShedReason::ReplicaLost,
+                                    retries: p.attempt,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    requeues_total += 1;
+                    if S::ENABLED {
+                        sink.instant(track, "requeue", ev.t_s);
+                        sink.counter(track, "retries", ev.t_s, requeues_total as f64);
+                    }
+                    push_retry(
+                        &mut retries,
+                        RetryEntry {
+                            retry_s,
+                            attempt,
+                            cursor: p.resume_cursor,
+                            request: p.request,
+                        },
+                    );
+                }
+            }
+        } else if arrival_due {
             let request = &requests[next_arrival];
             next_arrival += 1;
             let now = request.arrival_s;
-            let target = cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor);
+            let Some(target) = cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor)
+            else {
+                // The whole fleet is down: nothing can take the request.
+                if S::ENABLED {
+                    let track = TrackId::new(0, Module::Fault);
+                    sink.instant(track, "shed-fleet-down", now);
+                }
+                shed.push(Shed {
+                    id: request.id,
+                    class: request.class.name,
+                    arrival_s: now,
+                    reason: ShedReason::ReplicaLost,
+                    retries: 0,
+                });
+                continue;
+            };
             let est_service_s = cost.request_service_s(&system, request);
             let est_wait_s = replicas[target].outstanding_s(&mut cost, now);
             match cfg.admission.admit(
@@ -159,7 +309,7 @@ pub fn simulate_fleet_traced<S: TraceSink>(
                 est_wait_s + est_service_s,
             ) {
                 Ok(()) => {
-                    replicas[target].enqueue(Pending { request: request.clone(), est_service_s });
+                    replicas[target].enqueue(Pending::fresh(request.clone(), est_service_s));
                     if S::ENABLED {
                         let track = TrackId::new(target as u32, Module::Runtime);
                         sink.instant(track, "enqueue", now);
@@ -181,18 +331,88 @@ pub fn simulate_fleet_traced<S: TraceSink>(
                         class: request.class.name,
                         arrival_s: now,
                         reason,
+                        retries: 0,
                     });
                 }
             }
+        } else if retry_due {
+            let entry = retries.remove(0);
+            let now = entry.retry_s;
+            match cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor) {
+                Some(target) => {
+                    // A requeue was already admitted once; it re-enters the
+                    // queue directly (no depth shedding) with a remaining-
+                    // work estimate that charges the fresh weight upload
+                    // its resume will pay.
+                    let est_service_s =
+                        cost.remaining_service_s(&system, &entry.request, entry.cursor)
+                            + if entry.cursor > 0 { system.weight_upload_s() } else { 0.0 };
+                    if S::ENABLED {
+                        let track = TrackId::new(target as u32, Module::Runtime);
+                        sink.instant(track, "requeue-placed", now);
+                    }
+                    replicas[target].enqueue(Pending {
+                        request: entry.request,
+                        est_service_s,
+                        resume_cursor: entry.cursor,
+                        attempt: entry.attempt,
+                    });
+                }
+                None => {
+                    // Still no healthy replica: consume another attempt or
+                    // give up.
+                    let attempt = entry.attempt + 1;
+                    if attempt > cfg.retry.max_attempts {
+                        shed.push(Shed {
+                            id: entry.request.id,
+                            class: entry.request.class.name,
+                            arrival_s: entry.request.arrival_s,
+                            reason: ShedReason::ReplicaLost,
+                            retries: entry.attempt,
+                        });
+                    } else {
+                        requeues_total += 1;
+                        if S::ENABLED {
+                            let track = TrackId::new(0, Module::Fault);
+                            sink.counter(track, "retries", now, requeues_total as f64);
+                        }
+                        push_retry(
+                            &mut retries,
+                            RetryEntry {
+                                retry_s: now + cfg.retry.backoff(attempt),
+                                attempt,
+                                cursor: entry.cursor,
+                                request: entry.request,
+                            },
+                        );
+                    }
+                }
+            }
         } else if let Some((_, i)) = next_step {
-            replicas[i].execute_step(&cfg.batch, &mut cost, &mut completions, sink);
+            replicas[i].execute_step(&cfg.batch, &cfg.faults, &mut cost, &mut completions, sink);
         } else {
             break;
         }
     }
 
+    // Close the books on replicas still down at the end of the run: their
+    // open outage extends to the fleet makespan (or the crash instant if
+    // nothing completed after it).
+    let makespan_s = completions.iter().map(|c| c.finish_s).fold(0.0, f64::max);
+    for r in &mut replicas {
+        if !r.up {
+            let end = makespan_s.max(r.down_since);
+            r.down_s += end - r.down_since;
+            if S::ENABLED {
+                let track = TrackId::new(r.index as u32, Module::Fault);
+                sink.span(track, "outage", r.down_since, end, SpanClass::Fault, true);
+            }
+        }
+    }
+
     let busy: Vec<f64> = replicas.iter().map(|r| r.busy_s).collect();
-    let metrics = FleetMetrics::from_outcomes(requests.len(), &completions, &shed, &busy);
+    let down: Vec<f64> = replicas.iter().map(|r| r.down_s).collect();
+    let metrics = FleetMetrics::from_outcomes(requests.len(), &completions, &shed, &busy, &down);
     FleetReport { metrics, completions, shed }
 }
 
@@ -302,6 +522,19 @@ mod tests {
         let cfg = FleetConfig::single_fifo(SystemConfig::paper());
         let a = ServeRequest::uniform(0, 1.0, QosClass::standard(), task(), 1, 1);
         let b = ServeRequest::uniform(1, 0.0, QosClass::standard(), task(), 1, 1);
+        let _ = simulate_fleet(&cfg, &[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn nan_arrival_rejected_up_front_rather_than_livelocking() {
+        // A NaN timestamp defeats every `<=` the event loop orders by;
+        // the sortedness precondition must reject it before the loop
+        // starts (NaN makes the windows comparison false).
+        let cfg = FleetConfig::single_fifo(SystemConfig::paper());
+        let a = ServeRequest::uniform(0, 0.0, QosClass::standard(), task(), 1, 1);
+        let mut b = ServeRequest::uniform(1, 1.0, QosClass::standard(), task(), 1, 1);
+        b.arrival_s = f64::NAN;
         let _ = simulate_fleet(&cfg, &[a, b]);
     }
 }

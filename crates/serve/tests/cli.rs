@@ -1,0 +1,59 @@
+//! CLI robustness tests: malformed `serve_sweep` / `degradation_sweep`
+//! invocations must print an error plus the usage text to stderr and exit
+//! non-zero — never panic (no `RUST_BACKTRACE` hint, no `panicked at`).
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"))
+}
+
+fn assert_graceful_failure(bin: &str, args: &[&str], expect: &str) {
+    let out = run(bin, args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{args:?} must exit non-zero, got {:?}", out.status);
+    assert!(stderr.contains("error:"), "{args:?} stderr missing error line: {stderr}");
+    assert!(stderr.contains(expect), "{args:?} stderr missing {expect:?}: {stderr}");
+    assert!(stderr.contains("usage:"), "{args:?} stderr missing usage text: {stderr}");
+    assert!(!stderr.contains("panicked at"), "{args:?} must not panic: {stderr}");
+}
+
+const SERVE_SWEEP: &str = env!("CARGO_BIN_EXE_serve_sweep");
+const DEGRADATION_SWEEP: &str = env!("CARGO_BIN_EXE_degradation_sweep");
+
+#[test]
+fn serve_sweep_rejects_unknown_flags() {
+    assert_graceful_failure(SERVE_SWEEP, &["--frobnicate"], "unknown flag");
+}
+
+#[test]
+fn serve_sweep_rejects_missing_values() {
+    assert_graceful_failure(SERVE_SWEEP, &["--replicas"], "needs a value");
+    assert_graceful_failure(SERVE_SWEEP, &["--seed", "1", "--loads"], "needs a value");
+}
+
+#[test]
+fn serve_sweep_rejects_unknown_routing_policies() {
+    assert_graceful_failure(SERVE_SWEEP, &["--routing", "chaotic"], "unknown routing policy");
+}
+
+#[test]
+fn serve_sweep_rejects_unparseable_numbers() {
+    assert_graceful_failure(SERVE_SWEEP, &["--requests", "many"], "--requests");
+    assert_graceful_failure(SERVE_SWEEP, &["--loads", "0.5,oops"], "--loads");
+}
+
+#[test]
+fn serve_sweep_rejects_malformed_fault_specs() {
+    assert_graceful_failure(SERVE_SWEEP, &["--faults", "5"], "mtbf");
+    assert_graceful_failure(SERVE_SWEEP, &["--faults", "abc:1"], "number");
+    assert_graceful_failure(SERVE_SWEEP, &["--faults", "0:1"], "positive");
+}
+
+#[test]
+fn degradation_sweep_rejects_malformed_invocations() {
+    assert_graceful_failure(DEGRADATION_SWEEP, &["--frobnicate"], "unknown flag");
+    assert_graceful_failure(DEGRADATION_SWEEP, &["--load"], "needs a value");
+    assert_graceful_failure(DEGRADATION_SWEEP, &["--routing", "x"], "unknown routing policy");
+    assert_graceful_failure(DEGRADATION_SWEEP, &["--mtbf-factors", "-1"], "positive");
+}

@@ -18,7 +18,7 @@ fn single_fifo_fleet_matches_simulate_serving_bitwise() {
         let trace = poisson_trace(40, rate, task(), 3, 8, seed);
         let serving = simulate_serving(&CtaSystem::new(SystemConfig::paper()), &trace);
 
-        let requests = replay_trace(&trace, QosClass::standard());
+        let requests = replay_trace(&trace, QosClass::standard()).expect("valid trace");
         let report = simulate_fleet(&FleetConfig::single_fifo(SystemConfig::paper()), &requests);
 
         assert_eq!(report.metrics.shed, 0, "single_fifo admits everything");
@@ -33,7 +33,7 @@ fn single_fifo_fleet_matches_simulate_serving_bitwise() {
 #[test]
 fn single_fifo_serves_in_arrival_order() {
     let trace = poisson_trace(30, 5_000.0, task(), 2, 4, 9);
-    let requests = replay_trace(&trace, QosClass::standard());
+    let requests = replay_trace(&trace, QosClass::standard()).expect("valid trace");
     let report = simulate_fleet(&FleetConfig::single_fifo(SystemConfig::paper()), &requests);
     let ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
     let expected: Vec<u64> = (0..30).collect();

@@ -11,8 +11,25 @@
 //! entry (e.g. `CT₁[j] = CT₁[j+1]`), the Probability-merge unit folds the
 //! two additions into one write.
 
+use cta_fixed::formats;
 use cta_lsh::ClusterTable;
 use cta_tensor::Matrix;
+
+/// Saturates a summed score pair to the PAG adder's Q-format domain
+/// (`formats::SCORE`) before it reaches the exponent LUT. The hardware
+/// adder is a two's-complement saturating unit, so a sum past the
+/// representable range pins at the rail instead of wrapping — without
+/// this, an extreme (or non-finite) score feeds the LUT a value outside
+/// the domain it was sized for and the aggregate turns into NaN/garbage
+/// silently. NaN saturates to the negative rail (probability ~0), the
+/// conservative hardware behaviour.
+fn saturate_score(sum: f32) -> f32 {
+    let (lo, hi) = (formats::SCORE.min_value(), formats::SCORE.max_value());
+    if sum.is_nan() {
+        return lo;
+    }
+    sum.clamp(lo, hi)
+}
 
 /// Outcome of one PAG pass over a block of compressed-query rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +87,7 @@ pub fn simulate_pag(
             for jj in j..group_end {
                 let x1 = ct1.cluster_of(jj);
                 let x2 = k1 + ct2.cluster_of(jj);
-                let p = exp(cs[x1] + cs[x2]);
+                let p = exp(saturate_score(cs[x1] + cs[x2]));
                 lut_lookups += 1;
                 writes.push((x1, p));
                 writes.push((x2, p));
@@ -166,6 +183,37 @@ mod tests {
         // AP must still be exact.
         let reference = aggregate_probabilities_with(&s, &ct1, &ct2, 2, f32::exp);
         assert!(run.ap.approx_eq(&reference, 1e-6));
+    }
+
+    #[test]
+    fn extreme_scores_saturate_instead_of_poisoning_ap() {
+        // Score rows holding the f32 extremes: the raw sums overflow any
+        // Q-format, and +inf + -inf is NaN (row 1). The saturating adder
+        // pins them to the SCORE rails, so the LUT path stays inside its
+        // domain and AP stays finite.
+        let s = Matrix::from_rows(&[
+            &[f32::MAX, f32::INFINITY, 0.0],
+            &[f32::INFINITY, f32::MAX, f32::NEG_INFINITY],
+        ]);
+        let ct1 = ClusterTable::new(vec![0, 1, 1], 2); // pairs hit every column mix
+        let ct2 = ClusterTable::new(vec![0, 0, 0], 1);
+        let lut = ExpLut::pag_default();
+        let run = simulate_pag(&s, &ct1, &ct2, 2, 1, 1, |x| lut.lookup(x));
+        for i in 0..run.ap.rows() {
+            for j in 0..run.ap.cols() {
+                let v = run.ap.row(i)[j];
+                assert!(v.is_finite(), "AP[{i}][{j}] = {v} not finite");
+            }
+        }
+        // Positive-rail sums saturate to the format max, which the LUT
+        // clamps to probability 1 per pair contribution; the NaN sum
+        // (+inf + -inf) pins to the negative rail, probability ~0.
+        assert!(run.ap.row(0)[0] >= 1.0, "saturated positive sum must contribute");
+        // The clamp is the identity inside the representable domain.
+        assert_eq!(saturate_score(0.75), 0.75);
+        assert_eq!(saturate_score(-3.5), -3.5);
+        assert_eq!(saturate_score(1e9), cta_fixed::formats::SCORE.max_value());
+        assert_eq!(saturate_score(f32::NAN), cta_fixed::formats::SCORE.min_value());
     }
 
     #[test]

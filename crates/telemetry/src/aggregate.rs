@@ -66,6 +66,14 @@ pub struct AggregateReport {
     pub events: usize,
     /// Highest counter value seen per counter name.
     pub counter_peaks: BTreeMap<&'static str, f64>,
+    /// Per-replica outage time (fault-track [`SpanClass::Fault`] spans
+    /// named `"outage"`), seconds, keyed by replica index.
+    pub outage_s: BTreeMap<u32, f64>,
+    /// Wall-clock extent of the whole event stream (first start to last
+    /// end over every track), seconds. Zero for an empty stream. The
+    /// availability figures in [`render`](Self::render) divide outage time
+    /// by this.
+    pub extent_s: f64,
 }
 
 impl AggregateReport {
@@ -73,7 +81,10 @@ impl AggregateReport {
     pub fn from_events(events: &[Event]) -> Self {
         let mut report = AggregateReport { events: events.len(), ..AggregateReport::default() };
         let mut per_replica: BTreeMap<u32, (f64, f64, f64, f64)> = BTreeMap::new();
+        let (mut first_s, mut last_s) = (f64::INFINITY, f64::NEG_INFINITY);
         for e in events {
+            first_s = first_s.min(e.t_s);
+            last_s = last_s.max(e.end_s());
             match e.kind {
                 EventKind::Span { end_s, class, bubble } => {
                     let dur = end_s - e.t_s;
@@ -83,6 +94,9 @@ impl AggregateReport {
                         (Module::Sa, SpanClass::Attention) => report.attention_s += dur,
                         (Module::Host, SpanClass::Transfer) => report.transfer_s += dur,
                         (Module::Host, SpanClass::Upload) => report.upload_s += dur,
+                        (Module::Fault, SpanClass::Fault) if e.name == "outage" => {
+                            *report.outage_s.entry(e.track.replica).or_insert(0.0) += dur;
+                        }
                         _ => {}
                     }
                     if e.track.module == Module::Sa {
@@ -118,7 +132,19 @@ impl AggregateReport {
                 sa_extent_s: if end > start { end - start } else { 0.0 },
             })
             .collect();
+        report.extent_s = if last_s > first_s { last_s - first_s } else { 0.0 };
         report
+    }
+
+    /// Availability of `replica` over the stream's wall-clock extent:
+    /// `1 - outage / extent`. `None` when the stream is empty.
+    pub fn availability(&self, replica: u32) -> Option<f64> {
+        if self.extent_s > 0.0 {
+            let down = self.outage_s.get(&replica).copied().unwrap_or(0.0);
+            Some((1.0 - down / self.extent_s).max(0.0))
+        } else {
+            None
+        }
     }
 
     /// Total SA compute time across phases (bubbles included), seconds.
@@ -176,6 +202,18 @@ impl AggregateReport {
                 out.push_str(&format!(
                     "  replica {:<3} busy {:>12.6e} s  bubble {:>12.6e} s  occupancy {occ}\n",
                     r.replica, r.sa_busy_s, r.sa_bubble_s
+                ));
+            }
+        }
+        if !self.outage_s.is_empty() {
+            out.push_str("availability\n");
+            for (replica, down) in &self.outage_s {
+                let avail = self
+                    .availability(*replica)
+                    .map(|a| format!("{:.2}%", 100.0 * a))
+                    .unwrap_or_else(|| "n/a".to_string());
+                out.push_str(&format!(
+                    "  replica {replica:<3} down {down:>12.6e} s  availability {avail}\n"
                 ));
             }
         }
@@ -252,6 +290,26 @@ mod tests {
         sink.counter(run, "queue_depth", 2.0, 2.0);
         let report = AggregateReport::from_events(&sink.events());
         assert_eq!(report.counter_peaks.get("queue_depth"), Some(&5.0));
+    }
+
+    #[test]
+    fn outage_spans_accumulate_and_yield_availability() {
+        let sa = TrackId::new(0, Module::Sa);
+        let fault1 = TrackId::new(1, Module::Fault);
+        let mut sink = RingBufferSink::with_capacity(8);
+        // 10 s extent; replica 1 down for 2.5 s of it.
+        sink.span(sa, "lin", 0.0, 10.0, SpanClass::Linear, false);
+        sink.span(fault1, "outage", 2.0, 4.0, SpanClass::Fault, true);
+        sink.span(fault1, "outage", 6.0, 6.5, SpanClass::Fault, true);
+        let report = AggregateReport::from_events(&sink.events());
+        assert_eq!(report.outage_s.get(&1), Some(&2.5));
+        assert_eq!(report.extent_s, 10.0);
+        assert_eq!(report.availability(1), Some(0.75));
+        assert_eq!(report.availability(0), Some(1.0));
+        // Fault spans must not leak into phase totals or SA bubbles.
+        assert_eq!(report.compute_s(), 10.0);
+        assert_eq!(report.bubble_s(), 0.0);
+        assert!(report.render(None).contains("availability"));
     }
 
     #[test]

@@ -22,12 +22,21 @@ pub enum Module {
     Host,
     /// The serving runtime: request lifecycle events and queue counters.
     Runtime,
+    /// The failure lane: replica outages, slowdown bubbles, retry markers.
+    Fault,
 }
 
 impl Module {
     /// All lanes, in display order.
-    pub const ALL: [Module; 6] =
-        [Module::Sa, Module::Cim, Module::Cag, Module::Pag, Module::Host, Module::Runtime];
+    pub const ALL: [Module; 7] = [
+        Module::Sa,
+        Module::Cim,
+        Module::Cag,
+        Module::Pag,
+        Module::Host,
+        Module::Runtime,
+        Module::Fault,
+    ];
 
     /// Human-readable lane name (the Chrome trace thread name).
     pub fn label(self) -> &'static str {
@@ -38,6 +47,7 @@ impl Module {
             Module::Pag => "PAG",
             Module::Host => "host-link",
             Module::Runtime => "runtime",
+            Module::Fault => "fault",
         }
     }
 
@@ -51,6 +61,7 @@ impl Module {
             Module::Pag => 3,
             Module::Host => 4,
             Module::Runtime => 5,
+            Module::Fault => 6,
         }
     }
 }
@@ -89,6 +100,8 @@ pub enum SpanClass {
     Upload,
     /// Serving-runtime lifecycle (queueing, batching).
     Lifecycle,
+    /// Fault intervals: replica outages and injected slowdown stalls.
+    Fault,
 }
 
 impl SpanClass {
@@ -101,6 +114,7 @@ impl SpanClass {
             SpanClass::Transfer => "transfer",
             SpanClass::Upload => "upload",
             SpanClass::Lifecycle => "lifecycle",
+            SpanClass::Fault => "fault",
         }
     }
 }
