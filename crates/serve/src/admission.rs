@@ -109,6 +109,31 @@ mod tests {
     }
 
     #[test]
+    fn priority_exactly_at_the_exemption_threshold_is_exempt() {
+        // The contract is `priority >= depth_exempt_priority`: equality
+        // bypasses depth shedding, one below does not — even against a
+        // queue far past its limit.
+        let mut p = AdmissionPolicy::bounded(2);
+        p.depth_exempt_priority = Some(150);
+        let at = QosClass { name: "edge", priority: 150, deadline_s: None };
+        let below = QosClass { name: "edge", priority: 149, deadline_s: None };
+        assert_eq!(p.admit(&at, 1_000, 0.0), Ok(()));
+        assert_eq!(p.admit(&below, 1_000, 0.0), Err(ShedReason::QueueFull));
+        // The boundary moves with the policy, not the class.
+        p.depth_exempt_priority = Some(151);
+        assert_eq!(p.admit(&at, 1_000, 0.0), Err(ShedReason::QueueFull));
+    }
+
+    #[test]
+    fn exemption_disabled_sheds_even_the_highest_priority() {
+        let mut p = AdmissionPolicy::bounded(1);
+        p.depth_exempt_priority = None;
+        let top = QosClass { name: "edge", priority: u8::MAX, deadline_s: None };
+        assert_eq!(p.admit(&top, 1, 0.0), Err(ShedReason::QueueFull));
+        assert_eq!(p.admit(&top, 0, 0.0), Ok(()));
+    }
+
+    #[test]
     fn interactive_bypasses_depth_but_not_deadline() {
         let p = AdmissionPolicy::bounded(2);
         let c = QosClass::interactive(1.0);

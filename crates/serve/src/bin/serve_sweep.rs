@@ -13,14 +13,20 @@
 //! serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.1,1.5]
 //!             [--requests 200] [--seed 7] [--routing jsq]
 //!             [--batch 4] [--queue-depth 64] [--trace <path.json>]
-//!             [--faults <mtbf_s>:<mttr_s>]
+//!             [--faults <mtbf_s>:<mttr_s>] [--brownout]
 //! ```
 //!
 //! With `--faults` each sweep point injects a seeded MTBF/MTTR crash
 //! schedule ([`cta_serve::FaultPlan::seeded`]) over twice the trace span;
 //! evicted requests are requeued under the default retry budget and
 //! crash-orphaned work that cannot be placed is shed as `ReplicaLost`.
-//! Malformed flags print a usage message to stderr and exit non-zero.
+//! With `--brownout` each sweep point runs under the standard quality-
+//! brownout controller ([`cta_serve::BrownoutConfig::standard`]): replicas
+//! under sustained queueing degrade their CTA cluster budgets along the
+//! calibrated ladder, and the JSON gains per-point quality-loss
+//! attribution fields. Without the flag the output is byte-identical to
+//! the pre-brownout harness. Malformed flags print a usage message to
+//! stderr and exit non-zero.
 //!
 //! With `--trace <path>` the harness re-runs the final sweep point with
 //! the telemetry ring buffer attached and writes a Chrome Trace Format
@@ -38,7 +44,7 @@ use std::process::ExitCode;
 use cta_bench::{banner, JsonReport, JsonValue, Table, SCHEMA_VERSION};
 use cta_serve::{
     poisson_requests, simulate_fleet, simulate_fleet_traced, AdmissionPolicy, BatchPolicy,
-    CostModel, FaultPlan, FleetConfig, LoadSpec, RoutingPolicy,
+    BrownoutConfig, CostModel, FaultPlan, FleetConfig, LoadSpec, OverloadControl, RoutingPolicy,
 };
 use cta_sim::{CtaSystem, SystemConfig};
 use cta_telemetry::{chrome_trace_json, validate_chrome_trace, AggregateReport, RingBufferSink};
@@ -48,7 +54,7 @@ use cta_workloads::{case_task, mini_case};
 const USAGE: &str = "usage: serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.1,1.5]
                    [--requests 200] [--seed 7] [--routing rr|jsq|low]
                    [--batch 4] [--queue-depth 64] [--trace <path.json>]
-                   [--faults <mtbf_s>:<mttr_s>]";
+                   [--faults <mtbf_s>:<mttr_s>] [--brownout]";
 
 /// Ring capacity for `--trace`: ~262k events (~15 MB preallocated); long
 /// runs overwrite the oldest window and report the drop count.
@@ -106,6 +112,7 @@ struct Args {
     queue_depth: usize,
     trace: Option<String>,
     faults: Option<FaultSpec>,
+    brownout: bool,
 }
 
 impl Args {
@@ -120,6 +127,7 @@ impl Args {
             queue_depth: 64,
             trace: None,
             faults: None,
+            brownout: false,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -154,6 +162,9 @@ impl Args {
                 "--faults" => {
                     args.faults = Some(FaultSpec::parse(&value("--faults")?)?);
                 }
+                // A bare switch: the brownout ladder and controller are
+                // the calibrated standards, not CLI-tunable knobs.
+                "--brownout" => args.brownout = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -242,6 +253,12 @@ fn run(args: &Args) {
         cfg.routing = args.routing;
         cfg.batch = BatchPolicy::up_to(args.batch);
         cfg.admission = AdmissionPolicy::bounded(args.queue_depth);
+        if args.brownout {
+            cfg.overload = OverloadControl {
+                brownout: Some(BrownoutConfig::standard()),
+                ..OverloadControl::off()
+            };
+        }
         for &load in &args.loads {
             let rate = load * replicas as f64 / solo;
             let requests = poisson_requests(&spec, args.requests, rate, args.seed);
@@ -293,6 +310,26 @@ fn run(args: &Args) {
                     fields.push(("min_availability".into(), JsonValue::Num(min_avail)));
                 }
             }
+            // Likewise, brownout attribution only with --brownout.
+            if args.brownout {
+                let ov = &m.overload;
+                let brownout_s: f64 = ov.per_replica_brownout_s.iter().sum();
+                if let JsonValue::Obj(fields) = &mut point {
+                    fields.push((
+                        "mean_accuracy_loss_pct".into(),
+                        JsonValue::Num(ov.mean_accuracy_loss_pct),
+                    ));
+                    fields.push((
+                        "max_accuracy_loss_pct".into(),
+                        JsonValue::Num(ov.max_accuracy_loss_pct),
+                    ));
+                    fields.push((
+                        "brownout_transitions".into(),
+                        JsonValue::Int(ov.brownout_transitions as i64),
+                    ));
+                    fields.push(("brownout_s".into(), JsonValue::Num(brownout_s)));
+                }
+            }
             points.push(point);
         }
     }
@@ -314,6 +351,9 @@ fn run(args: &Args) {
         json.set("fault_mtbf_s", JsonValue::Num(f.mtbf_s))
             .set("fault_mttr_s", JsonValue::Num(f.mttr_s));
     }
+    if args.brownout {
+        json.set("brownout", JsonValue::Bool(true));
+    }
     json.set("points", JsonValue::Arr(points));
     json.save();
 
@@ -329,6 +369,12 @@ fn run(args: &Args) {
         cfg.routing = args.routing;
         cfg.batch = BatchPolicy::up_to(args.batch);
         cfg.admission = AdmissionPolicy::bounded(args.queue_depth);
+        if args.brownout {
+            cfg.overload = OverloadControl {
+                brownout: Some(BrownoutConfig::standard()),
+                ..OverloadControl::off()
+            };
+        }
         let rate = load * replicas as f64 / solo;
         let requests = poisson_requests(&spec, args.requests, rate, args.seed);
         cfg.faults = point_faults(args.faults, replicas, &requests, args.seed);
@@ -365,9 +411,13 @@ mod tests {
     #[test]
     fn args_parse_reports_malformed_flags_instead_of_panicking() {
         assert!(parse(&[]).is_ok());
-        let ok = parse(&["--routing", "rr", "--faults", "5:0.5"]).expect("valid");
+        assert!(!parse(&[]).unwrap().brownout);
+        let ok = parse(&["--routing", "rr", "--faults", "5:0.5", "--brownout"]).expect("valid");
         assert_eq!(ok.routing, RoutingPolicy::RoundRobin);
         assert_eq!(ok.faults, Some(FaultSpec { mtbf_s: 5.0, mttr_s: 0.5 }));
+        assert!(ok.brownout);
+        // --brownout is a bare switch: a trailing word is a flag error.
+        assert!(parse(&["--brownout", "yes"]).unwrap_err().contains("unknown flag"));
 
         assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
         assert!(parse(&["--seed"]).unwrap_err().contains("needs a value"));

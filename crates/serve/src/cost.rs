@@ -2,11 +2,20 @@
 //!
 //! Scheduling decisions (routing, admission, batch assembly) need task
 //! costs *without* re-running the cycle-level simulator on every dispatch.
-//! [`cta_sim::CtaSystem::head_cost`] depends only on the task shape and
-//! the hardware configuration, so a fleet of identical-configuration
-//! replicas can share one memo: each distinct `AttentionTask` shape is
-//! simulated exactly once per sweep, no matter how many requests,
-//! replicas, or layer dispatches reference it.
+//! [`cta_sim::CtaSystem::head_cost`] depends only on the task shape, the
+//! hardware configuration, and — since the brownout subsystem — the
+//! operating point the dispatching replica runs at, so a fleet of
+//! identical-configuration replicas can share one memo: each distinct
+//! `(operating point, AttentionTask)` pair is simulated exactly once per
+//! sweep, no matter how many requests, replicas, or layer dispatches
+//! reference it.
+//!
+//! The key carries the operating-point *level* explicitly rather than the
+//! degraded shape: two replicas at different brownout levels can dispatch
+//! the same nominal shape and must never read each other's memo entry
+//! (level 1's cheaper cost for level 0's dispatch would corrupt every
+//! estimate downstream). Level 0 is always the undegraded baseline, so
+//! the pre-brownout entry points delegate to it unchanged.
 
 use std::collections::HashMap;
 
@@ -17,13 +26,17 @@ use crate::ServeRequest;
 /// A memo of per-task costs for one hardware configuration.
 ///
 /// All replicas in a [`FleetConfig`](crate::FleetConfig) share the same
-/// [`cta_sim::SystemConfig`], so the cache is keyed by task shape alone.
+/// [`cta_sim::SystemConfig`], so the cache is keyed by (brownout level,
+/// task shape). `scale` is the level's cluster-budget scale; the memo
+/// trusts the caller to pass the same scale for the same level (the
+/// runtime derives both from one [`BrownoutLadder`](crate::BrownoutLadder)).
 #[derive(Debug, Default, Clone)]
 pub struct CostModel {
-    cache: HashMap<AttentionTask, TaskCost>,
-    /// Per-shape phase splits, filled lazily and only when telemetry asks
-    /// for them (the untraced hot path never touches this map).
-    phases: HashMap<AttentionTask, PhaseSplit>,
+    cache: HashMap<(u8, AttentionTask), TaskCost>,
+    /// Per-(level, shape) phase splits, filled lazily and only when
+    /// telemetry asks for them (the untraced hot path never touches this
+    /// map).
+    phases: HashMap<(u8, AttentionTask), PhaseSplit>,
 }
 
 impl CostModel {
@@ -32,26 +45,66 @@ impl CostModel {
         Self::default()
     }
 
-    /// Number of distinct task shapes simulated so far.
+    /// Number of distinct (operating point, task shape) pairs simulated so
+    /// far.
     pub fn distinct_shapes(&self) -> usize {
         self.cache.len()
     }
 
-    /// The cost of one head task, simulating it on first sight.
+    /// The cost of one head task at the baseline operating point,
+    /// simulating it on first sight.
     pub fn head(&mut self, system: &CtaSystem, task: &AttentionTask) -> TaskCost {
-        *self.cache.entry(*task).or_insert_with(|| system.head_cost(task))
+        self.head_at(system, 0, 1.0, task)
     }
 
-    /// The wall-clock phase split of one head task, scheduling it on first
-    /// sight. Used by telemetry to lay phase spans out inside a layer
-    /// step; memoised separately from [`head`](Self::head) so untraced
-    /// runs never pay for it.
+    /// The cost of one head task at operating point `level` whose
+    /// cluster-budget scale is `scale` (1.0 at level 0). The memo entry is
+    /// keyed by `(level, *task)` — the *nominal* shape — so distinct
+    /// operating points can never alias.
+    pub fn head_at(
+        &mut self,
+        system: &CtaSystem,
+        level: u8,
+        scale: f64,
+        task: &AttentionTask,
+    ) -> TaskCost {
+        *self.cache.entry((level, *task)).or_insert_with(|| {
+            if scale == 1.0 {
+                system.head_cost(task)
+            } else {
+                system.head_cost(&task.with_budget_scale(scale))
+            }
+        })
+    }
+
+    /// The wall-clock phase split of one head task at the baseline
+    /// operating point, scheduling it on first sight. Used by telemetry to
+    /// lay phase spans out inside a layer step; memoised separately from
+    /// [`head`](Self::head) so untraced runs never pay for it.
     pub fn phase_split(&mut self, system: &CtaSystem, task: &AttentionTask) -> PhaseSplit {
-        *self.phases.entry(*task).or_insert_with(|| system.head_phase_split(task))
+        self.phase_split_at(system, 0, 1.0, task)
+    }
+
+    /// [`phase_split`](Self::phase_split) at operating point `level` /
+    /// budget scale `scale`.
+    pub fn phase_split_at(
+        &mut self,
+        system: &CtaSystem,
+        level: u8,
+        scale: f64,
+        task: &AttentionTask,
+    ) -> PhaseSplit {
+        *self.phases.entry((level, *task)).or_insert_with(|| {
+            if scale == 1.0 {
+                system.head_phase_split(task)
+            } else {
+                system.head_phase_split(&task.with_budget_scale(scale))
+            }
+        })
     }
 
     /// Executes one layer dispatch through
-    /// [`CtaSystem::step_layer_costed`] using cached head costs.
+    /// [`CtaSystem::step_layer_costed`] using cached baseline head costs.
     ///
     /// # Panics
     ///
@@ -61,12 +114,13 @@ impl CostModel {
         system.step_layer_costed(tasks, &costs)
     }
 
-    /// Estimated *solo* service time of a request on an idle replica: the
-    /// one-time weight upload plus every layer's step time, with no
-    /// batching. Under continuous batching the realised service time can
-    /// only be this or longer (merging head tasks never shortens a layer's
-    /// critical path), so the estimate is a valid admissibility lower
-    /// bound.
+    /// Estimated *solo* service time of a request on an idle replica at
+    /// the baseline operating point: the one-time weight upload plus every
+    /// layer's step time, with no batching. Under continuous batching the
+    /// realised service time can only be this or longer (merging head
+    /// tasks never shortens a layer's critical path), so the estimate is a
+    /// valid admissibility lower bound. Degraded replicas run *faster*
+    /// than this, so the bound stays valid fleet-wide under brownout.
     pub fn request_service_s(&mut self, system: &CtaSystem, request: &ServeRequest) -> f64 {
         system.weight_upload_s()
             + request
@@ -129,6 +183,41 @@ mod tests {
         assert_eq!(cost.head(&sys, &task()), sys.head_cost(&task()));
         // Second lookup hits the memo and must agree.
         assert_eq!(cost.head(&sys, &task()), sys.head_cost(&task()));
+    }
+
+    #[test]
+    fn operating_points_get_distinct_cache_entries() {
+        // The satellite guarantee: the same nominal shape at two operating
+        // points yields two distinct cached costs — a degraded replica can
+        // never read (or poison) the baseline memo.
+        let sys = system();
+        let mut cost = CostModel::new();
+        let t = task();
+        let baseline = cost.head_at(&sys, 0, 1.0, &t);
+        let degraded = cost.head_at(&sys, 2, 0.6, &t);
+        assert_eq!(cost.distinct_shapes(), 2, "one entry per operating point");
+        assert!(
+            degraded.latency_s < baseline.latency_s,
+            "smaller budgets must be cheaper: {} vs {}",
+            degraded.latency_s,
+            baseline.latency_s
+        );
+        // Both entries stay live and exact after interleaved lookups.
+        assert_eq!(cost.head_at(&sys, 0, 1.0, &t), baseline);
+        assert_eq!(cost.head_at(&sys, 2, 0.6, &t), degraded);
+        assert_eq!(cost.head_at(&sys, 2, 0.6, &t), sys.head_cost(&t.with_budget_scale(0.6)));
+        assert_eq!(cost.distinct_shapes(), 2, "lookups must hit the memo");
+    }
+
+    #[test]
+    fn degraded_phase_splits_do_not_alias_baseline() {
+        let sys = system();
+        let mut cost = CostModel::new();
+        let t = task();
+        let base = cost.phase_split(&sys, &t);
+        let deg = cost.phase_split_at(&sys, 1, 0.5, &t);
+        assert_eq!(base, sys.head_phase_split(&t));
+        assert_eq!(deg, sys.head_phase_split(&t.with_budget_scale(0.5)));
     }
 
     #[test]

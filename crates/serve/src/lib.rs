@@ -18,7 +18,14 @@
 //!   least-outstanding-work routing;
 //! * **SLO-aware admission** ([`AdmissionPolicy`]) — queue-depth shedding
 //!   with priority exemptions plus deadline shedding driven by the
-//!   memoised [`CostModel`].
+//!   memoised [`CostModel`];
+//! * **closed-loop overload control** ([`OverloadControl`]) — per-replica
+//!   quality brownout over a calibrated ladder of cluster-budget
+//!   operating points ([`BrownoutLadder`]), circuit breakers over the
+//!   fault model ([`CircuitBreaker`]), and hedged dispatch for
+//!   deadline-critical classes ([`HedgePolicy`]). Entirely off by
+//!   default ([`OverloadControl::off`]); the disabled path is bitwise
+//!   identical to the pre-overload runtime.
 //!
 //! Everything is deterministic: seeded load generators
 //! ([`poisson_requests`], [`mmpp_requests`], [`replay_trace`]),
@@ -46,6 +53,7 @@ mod cost;
 mod fault;
 mod loadgen;
 mod metrics;
+mod overload;
 mod replica;
 mod request;
 mod routing;
@@ -57,7 +65,12 @@ pub use fault::{CrashWindow, FaultPlan, LinkStall, RetryPolicy, Slowdown};
 pub use loadgen::{
     mmpp_requests, poisson_requests, replay_trace, LoadSpec, MmppParams, TraceError,
 };
-pub use metrics::FleetMetrics;
+pub use metrics::{FleetMetrics, OverloadStats};
+pub use overload::{
+    BreakerEvent, BreakerPolicy, BreakerState, BrownoutConfig, BrownoutController, BrownoutLadder,
+    BrownoutLevel, CircuitBreaker, ControllerPolicy, HedgePolicy, OverloadControl, Transition,
+    MAX_BROWNOUT_LEVELS,
+};
 pub use replica::{BatchPolicy, Completion};
 pub use request::{QosClass, ServeRequest};
 pub use routing::RoutingPolicy;

@@ -42,6 +42,41 @@ pub struct FleetMetrics {
     /// Per-replica fraction of the makespan the replica was up
     /// (`1.0` everywhere on a fault-free run).
     pub per_replica_availability: Vec<f64>,
+    /// Overload-control accounting (all zero when
+    /// [`OverloadControl::off`](crate::OverloadControl::off) is in force).
+    pub overload: OverloadStats,
+}
+
+/// Accounting for the closed-loop overload controls: quality brownout,
+/// circuit breakers, and hedged dispatch.
+///
+/// [`FleetMetrics::from_outcomes`] derives the accuracy-loss figures from
+/// the completion stream; the runtime fills the event counters in before
+/// publishing the report. With overload control off every field is zero.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OverloadStats {
+    /// Requests that had a hedge copy dispatched.
+    pub hedged: usize,
+    /// Hedged requests whose *hedge copy* finished first.
+    pub hedge_wins: usize,
+    /// Hedge copies cancelled after the sibling finished first (each
+    /// hedged completion cancels exactly one loser, so on a crash-free
+    /// run this equals `hedged` minus any copies still in flight at the
+    /// end).
+    pub hedge_cancelled: usize,
+    /// Brownout ladder transitions (escalations + recoveries) across all
+    /// replicas.
+    pub brownout_transitions: usize,
+    /// Per-replica wall-clock seconds spent executing at a degraded
+    /// operating point (level > 0).
+    pub per_replica_brownout_s: Vec<f64>,
+    /// Circuit-breaker open events across all replicas.
+    pub breaker_opens: usize,
+    /// Mean pre-measured accuracy loss over completions, percent
+    /// (completions served entirely at baseline contribute 0).
+    pub mean_accuracy_loss_pct: f64,
+    /// Largest per-completion accuracy loss observed, percent.
+    pub max_accuracy_loss_pct: f64,
 }
 
 impl FleetMetrics {
@@ -87,6 +122,19 @@ impl FleetMetrics {
             + shed.iter().filter(|s| s.retries > 0).count();
         let retry_events = completions.iter().map(|c| c.retries as usize).sum::<usize>()
             + shed.iter().map(|s| s.retries as usize).sum::<usize>();
+        let overload = OverloadStats {
+            mean_accuracy_loss_pct: if completions.is_empty() {
+                0.0
+            } else {
+                completions.iter().map(|c| c.accuracy_loss_pct).sum::<f64>()
+                    / completions.len() as f64
+            },
+            max_accuracy_loss_pct: completions
+                .iter()
+                .map(|c| c.accuracy_loss_pct)
+                .fold(0.0, f64::max),
+            ..OverloadStats::default()
+        };
         Self {
             offered,
             completed: completions.len(),
@@ -103,6 +151,7 @@ impl FleetMetrics {
                 .iter()
                 .map(|d| ((span - d) / span).clamp(0.0, 1.0))
                 .collect(),
+            overload,
         }
     }
 }
@@ -121,7 +170,21 @@ mod tests {
             replica,
             deadline_met: None,
             retries: 0,
+            accuracy_loss_pct: 0.0,
         }
+    }
+
+    #[test]
+    fn accuracy_loss_aggregates_mean_and_max() {
+        let mut degraded = completion(0, 0.0, 1.0, 0);
+        degraded.accuracy_loss_pct = 1.8;
+        let baseline = completion(1, 0.0, 2.0, 0);
+        let m = FleetMetrics::from_outcomes(2, &[degraded, baseline], &[], &[2.0], &[0.0]);
+        assert_eq!(m.overload.mean_accuracy_loss_pct, 0.9);
+        assert_eq!(m.overload.max_accuracy_loss_pct, 1.8);
+        // Counters the runtime fills in stay zero here.
+        assert_eq!(m.overload.hedged, 0);
+        assert_eq!(m.overload.brownout_transitions, 0);
     }
 
     #[test]

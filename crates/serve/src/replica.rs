@@ -70,6 +70,9 @@ pub(crate) struct Active {
     pub joined_s: f64,
     /// Requeue attempts consumed so far.
     pub attempt: u32,
+    /// Worst (highest) brownout accuracy loss any of this request's
+    /// dispatched layers ran at, percent. 0 on the healthy path.
+    pub loss_pct: f64,
 }
 
 /// A finished request, as reported by the runtime.
@@ -90,6 +93,10 @@ pub struct Completion {
     /// Crash-eviction requeues the request survived before finishing
     /// (0 on the healthy path).
     pub retries: u32,
+    /// Worst brownout accuracy loss any of the request's layers was
+    /// served at, percent (quality-loss attribution; 0.0 when the serving
+    /// replicas stayed at the baseline operating point throughout).
+    pub accuracy_loss_pct: f64,
 }
 
 impl Completion {
@@ -119,6 +126,17 @@ pub(crate) struct Replica {
     pub down_since: f64,
     /// Total seconds spent down (for availability metrics).
     pub down_s: f64,
+    /// Current brownout ladder level (0 = baseline; only the overload
+    /// controller moves it).
+    pub level: u8,
+    /// Cluster-budget scale of the current level (1.0 at baseline).
+    pub level_scale: f64,
+    /// Accuracy loss of the current level, percent (0.0 at baseline).
+    pub level_loss_pct: f64,
+    /// Static display name of the current level (for the trace lane).
+    pub level_name: &'static str,
+    /// Total step wall-clock executed while degraded, seconds.
+    pub brownout_s: f64,
 }
 
 impl Replica {
@@ -134,7 +152,40 @@ impl Replica {
             up: true,
             down_since: 0.0,
             down_s: 0.0,
+            level: 0,
+            level_scale: 1.0,
+            level_loss_pct: 0.0,
+            level_name: crate::overload::LEVEL_NAMES[0],
+            brownout_s: 0.0,
         }
+    }
+
+    /// Moves the replica to brownout `level` of `ladder` (controller
+    /// action; does not touch in-flight work — the next layer step
+    /// dispatches at the new operating point).
+    pub fn set_level(&mut self, ladder: &crate::BrownoutLadder, level: usize) {
+        let point = ladder.level(level);
+        self.level = level as u8;
+        self.level_scale = point.budget_scale;
+        self.level_loss_pct = point.accuracy_loss_pct;
+        self.level_name = ladder.level_name(level);
+    }
+
+    /// Removes every copy of request `id` from the queue and active set
+    /// (hedge-loser cancellation; active copies are cancelled here, i.e.
+    /// at a layer boundary — the runtime only calls this between steps).
+    /// Returns how many copies were removed.
+    pub fn cancel_request(&mut self, id: u64) -> usize {
+        let before = self.queue.len() + self.active.len();
+        self.queue.retain(|p| p.request.id != id);
+        self.active.retain(|a| a.request.id != id);
+        before - (self.queue.len() + self.active.len())
+    }
+
+    /// Whether any copy of request `id` is queued or active here.
+    pub fn holds_request(&self, id: u64) -> bool {
+        self.queue.iter().any(|p| p.request.id == id)
+            || self.active.iter().any(|a| a.request.id == id)
     }
 
     /// Requests queued but not yet running.
@@ -267,6 +318,7 @@ impl Replica {
                     cursor: p.resume_cursor,
                     joined_s: t0,
                     attempt: p.attempt,
+                    loss_pct: 0.0,
                 });
             } else {
                 i += 1;
@@ -286,13 +338,23 @@ impl Replica {
             sink.counter(runtime, "active_requests", t0, self.active.len() as f64);
         }
 
-        // Merge every active request's current layer into one dispatch.
+        // Merge every active request's current layer into one dispatch,
+        // degraded to the replica's brownout operating point when the
+        // controller has moved it off baseline. The `degraded` guard keeps
+        // the baseline path's float arithmetic bit-for-bit the
+        // pre-brownout expression (memo keys changed shape, values did
+        // not).
+        let degraded = self.level != 0;
         let mut merged: Vec<AttentionTask> = Vec::new();
         let mut costs: Vec<TaskCost> = Vec::new();
         for a in &self.active {
             for t in &a.request.layer_tasks[a.cursor] {
-                merged.push(*t);
-                costs.push(cost.head(&self.system, t));
+                if degraded {
+                    merged.push(t.with_budget_scale(self.level_scale));
+                } else {
+                    merged.push(*t);
+                }
+                costs.push(cost.head_at(&self.system, self.level, self.level_scale, t));
             }
         }
         let step = self.system.step_layer_costed(&merged, &costs);
@@ -307,9 +369,19 @@ impl Replica {
         let elapsed = upload_s + step_elapsed;
         self.clock = t0 + elapsed;
         self.busy_s += elapsed;
+        if degraded {
+            self.brownout_s += elapsed;
+        }
 
         if S::ENABLED {
             self.trace_step(sink, cost, t0, upload_s, &merged, &step);
+            if degraded {
+                // The whole degraded step lands on the brownout lane,
+                // named after the operating point, so AggregateReport can
+                // attribute time-in-brownout per replica and per level.
+                let brownout = TrackId::new(self.index as u32, Module::Brownout);
+                sink.span(brownout, self.level_name, t0, self.clock, SpanClass::Control, false);
+            }
             // The stretch beyond the nominal step lands on the fault lane
             // as a bubble: time the replica was occupied but degraded.
             let extra = step_elapsed - step.elapsed_s;
@@ -327,8 +399,12 @@ impl Replica {
         }
 
         // Advance cursors; retire finished requests at the step boundary.
+        let level_loss = self.level_loss_pct;
         for a in &mut self.active {
             a.cursor += 1;
+            if degraded && level_loss > a.loss_pct {
+                a.loss_pct = level_loss;
+            }
         }
         let finish = self.clock;
         let index = self.index;
@@ -358,6 +434,7 @@ impl Replica {
                 replica: index,
                 deadline_met: a.request.class.deadline_s.map(|d| latency <= d),
                 retries: a.attempt,
+                accuracy_loss_pct: a.loss_pct,
             });
         }
         t0
@@ -399,7 +476,10 @@ impl Replica {
         let mut att = 0.0;
         let mut stall = 0.0;
         for t in merged {
-            let ps = cost.phase_split(&self.system, t);
+            // `merged` already holds the degraded shapes, so the split is
+            // keyed at the *degraded* shape under the current level — it
+            // can't alias the baseline entry for the same nominal shape.
+            let ps = cost.phase_split_at(&self.system, self.level, 1.0, t);
             comp += ps.compression_s;
             lin += ps.linear_s;
             att += ps.attention_s;

@@ -40,11 +40,16 @@ impl RoutingPolicy {
 
     /// Selects the replica for a request arriving at `now`, considering
     /// only healthy (`up`) replicas — arrivals never land on a down
-    /// replica. Returns `None` when the whole fleet is down. `rr_cursor`
-    /// is the round-robin state, advanced only by that policy.
+    /// replica. When `routable` is given (the circuit-breaker mask, and
+    /// the hedge dispatcher's primary-exclusion mask), replicas whose
+    /// entry is `false` are skipped too: up but breaker-blocked replicas
+    /// take no routed traffic. Returns `None` when no replica is
+    /// eligible. `rr_cursor` is the round-robin state, advanced only by
+    /// that policy.
     ///
-    /// With every replica up (the fault-free path) the picks are
-    /// identical to the health-unaware policies, so healthy runs stay
+    /// With every replica up and no mask (the fault-free,
+    /// overload-control-off path) the picks are identical to the
+    /// health-unaware policies, so healthy runs stay
     /// bitwise-reproducible.
     pub(crate) fn choose(
         &self,
@@ -52,13 +57,15 @@ impl RoutingPolicy {
         cost: &mut CostModel,
         now: f64,
         rr_cursor: &mut usize,
+        routable: Option<&[bool]>,
     ) -> Option<usize> {
+        let eligible = |i: usize, r: &Replica| r.up && routable.is_none_or(|mask| mask[i]);
         match self {
             RoutingPolicy::RoundRobin => {
                 let n = replicas.len();
                 for k in 0..n {
                     let i = (*rr_cursor + k) % n;
-                    if replicas[i].up {
+                    if eligible(i, &replicas[i]) {
                         *rr_cursor = (i + 1) % n;
                         return Some(i);
                     }
@@ -68,14 +75,14 @@ impl RoutingPolicy {
             RoutingPolicy::JoinShortestQueue => replicas
                 .iter()
                 .enumerate()
-                .filter(|(_, r)| r.up)
+                .filter(|(i, r)| eligible(*i, r))
                 .min_by_key(|(i, r)| (r.load(), *i))
                 .map(|(i, _)| i),
             RoutingPolicy::LeastOutstandingWork => {
                 let mut best: Option<usize> = None;
                 let mut best_work = f64::INFINITY;
                 for (i, r) in replicas.iter_mut().enumerate() {
-                    if !r.up {
+                    if !(r.up && routable.is_none_or(|mask| mask[i])) {
                         continue;
                     }
                     let work = r.outstanding_s(cost, now);
@@ -130,7 +137,7 @@ mod tests {
         let mut cost = CostModel::new();
         let mut cursor = 0;
         let picks: Vec<Option<usize>> = (0..6)
-            .map(|_| RoutingPolicy::RoundRobin.choose(&mut rs, &mut cost, 0.0, &mut cursor))
+            .map(|_| RoutingPolicy::RoundRobin.choose(&mut rs, &mut cost, 0.0, &mut cursor, None))
             .collect();
         assert_eq!(picks, vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]);
     }
@@ -142,7 +149,7 @@ mod tests {
         let mut cost = CostModel::new();
         let mut cursor = 0;
         let picks: Vec<Option<usize>> = (0..4)
-            .map(|_| RoutingPolicy::RoundRobin.choose(&mut rs, &mut cost, 0.0, &mut cursor))
+            .map(|_| RoutingPolicy::RoundRobin.choose(&mut rs, &mut cost, 0.0, &mut cursor, None))
             .collect();
         assert_eq!(picks, vec![Some(0), Some(2), Some(0), Some(2)]);
     }
@@ -159,7 +166,7 @@ mod tests {
             RoutingPolicy::JoinShortestQueue,
             RoutingPolicy::LeastOutstandingWork,
         ] {
-            assert_eq!(p.choose(&mut rs, &mut cost, 0.0, &mut cursor), None);
+            assert_eq!(p.choose(&mut rs, &mut cost, 0.0, &mut cursor, None), None);
         }
     }
 
@@ -172,11 +179,11 @@ mod tests {
         let mut cost = CostModel::new();
         let mut cursor = 0;
         assert_eq!(
-            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor, None),
             Some(1)
         );
         assert_eq!(
-            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor, None),
             Some(1)
         );
     }
@@ -188,7 +195,8 @@ mod tests {
         rs[0].enqueue(queued(1, 1));
         let mut cost = CostModel::new();
         let mut cursor = 0;
-        let pick = RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor);
+        let pick =
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor, None);
         assert_eq!(pick, Some(1));
     }
 
@@ -205,13 +213,39 @@ mod tests {
         let mut cost = CostModel::new();
         let mut cursor = 0;
         assert_eq!(
-            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor, None),
             Some(0)
         );
         assert_eq!(
-            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor, None),
             Some(1)
         );
+    }
+
+    #[test]
+    fn routable_mask_excludes_up_replicas() {
+        // Replica 0 is up but masked out (breaker open): every policy
+        // must skip it; an all-false mask routes nowhere even though the
+        // fleet is up.
+        let mut rs = replicas(2);
+        let mut cost = CostModel::new();
+        for p in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::LeastOutstandingWork,
+        ] {
+            let mut cursor = 0;
+            assert_eq!(
+                p.choose(&mut rs, &mut cost, 0.0, &mut cursor, Some(&[false, true])),
+                Some(1),
+                "{p:?} must skip the masked replica"
+            );
+            assert_eq!(
+                p.choose(&mut rs, &mut cost, 0.0, &mut cursor, Some(&[false, false])),
+                None,
+                "{p:?} must route nowhere under an all-false mask"
+            );
+        }
     }
 
     #[test]
@@ -220,11 +254,11 @@ mod tests {
         let mut cost = CostModel::new();
         let mut cursor = 0;
         assert_eq!(
-            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            RoutingPolicy::JoinShortestQueue.choose(&mut rs, &mut cost, 0.0, &mut cursor, None),
             Some(0)
         );
         assert_eq!(
-            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor),
+            RoutingPolicy::LeastOutstandingWork.choose(&mut rs, &mut cost, 0.0, &mut cursor, None),
             Some(0)
         );
     }

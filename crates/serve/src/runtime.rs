@@ -1,27 +1,34 @@
 //! The discrete-event fleet runtime.
 //!
-//! The simulation interleaves four event sources in time order: fault
+//! The simulation interleaves five event sources in time order: fault
 //! transitions (replica crashes and recoveries from the
 //! [`FaultPlan`]), request arrivals (routed and admission-checked the
 //! instant they occur), retry requeues (crash-evicted requests re-entering
-//! routing after their backoff), and per-replica layer steps (each replica
+//! routing after their backoff), hedge timers (deadline-bearing requests
+//! duplicating to a second replica after the windowed-p99 delay; see
+//! [`crate::OverloadControl`]), and per-replica layer steps (each replica
 //! dispatches its active batch one layer at a time; see
 //! [`crate::replica`]). Ties are deterministic: at one instant a fault is
 //! processed before an arrival, an arrival before a retry — so it can
-//! still join a coincident step's batch — and coincident replica steps
-//! run in replica index order. All state evolution is pure `f64`
-//! arithmetic over the trace, so a fixed trace, configuration and fault
-//! plan always reproduce the same report — and with
-//! [`FaultPlan::none`] the fault machinery stays fully dormant, keeping
-//! reports bitwise identical to the fault-free runtime (pinned by test).
+//! still join a coincident step's batch — a retry before a hedge, and
+//! coincident replica steps run in replica index order. All state
+//! evolution is pure `f64` arithmetic over the trace, so a fixed trace,
+//! configuration and fault plan always reproduce the same report — and
+//! with [`FaultPlan::none`] the fault machinery stays fully dormant and
+//! with [`OverloadControl::off`] the brownout/breaker/hedge machinery
+//! stays fully dormant, keeping reports bitwise identical to the plain
+//! runtime (both pinned by test).
+
+use std::collections::HashMap;
 
 use cta_sim::CtaSystem;
 use cta_telemetry::{Module, NullSink, SpanClass, TraceSink, TrackId};
 
+use crate::overload::{BreakerEvent, BreakerState, CircuitBreaker, Transition};
 use crate::replica::{Completion, Pending, Replica};
 use crate::{
-    AdmissionPolicy, BatchPolicy, CostModel, FaultPlan, FleetMetrics, RetryPolicy, RoutingPolicy,
-    ServeRequest, ShedReason,
+    AdmissionPolicy, BatchPolicy, BrownoutController, BrownoutLadder, CostModel, FaultPlan,
+    FleetMetrics, OverloadControl, RetryPolicy, RoutingPolicy, ServeRequest, ShedReason,
 };
 
 /// A request rejected by admission control or orphaned by a crash.
@@ -58,6 +65,9 @@ pub struct FleetConfig {
     pub faults: FaultPlan,
     /// Retry budget for requests evicted by a crash.
     pub retry: RetryPolicy,
+    /// Closed-loop overload control ([`OverloadControl::off`] = the plain
+    /// fleet, bitwise).
+    pub overload: OverloadControl,
 }
 
 impl FleetConfig {
@@ -74,6 +84,7 @@ impl FleetConfig {
             batch: BatchPolicy::off(),
             faults: FaultPlan::none(),
             retry: RetryPolicy::standard(),
+            overload: OverloadControl::off(),
         }
     }
 
@@ -94,6 +105,7 @@ impl FleetConfig {
             batch: BatchPolicy::up_to(4),
             faults: FaultPlan::none(),
             retry: RetryPolicy::standard(),
+            overload: OverloadControl::off(),
         }
     }
 }
@@ -123,6 +135,75 @@ fn push_retry(retries: &mut Vec<RetryEntry>, entry: RetryEntry) {
         })
         .unwrap_or_else(|e| e);
     retries.insert(pos, entry);
+}
+
+/// A scheduled hedge check: if the request is still in flight when the
+/// timer fires, a copy is dispatched to a second replica.
+#[derive(Debug, Clone)]
+struct HedgeEntry {
+    /// When the check fires, seconds.
+    fire_s: f64,
+    /// Snapshot of the request (the copy restarts from layer 0).
+    request: ServeRequest,
+    /// Solo service estimate cached at admission.
+    est_service_s: f64,
+}
+
+/// Inserts keeping (fire_s asc, id asc) order.
+fn push_hedge(hedges: &mut Vec<HedgeEntry>, entry: HedgeEntry) {
+    let pos = hedges
+        .binary_search_by(|probe| {
+            probe
+                .fire_s
+                .partial_cmp(&entry.fire_s)
+                .expect("finite hedge times")
+                .then(probe.request.id.cmp(&entry.request.id))
+        })
+        .unwrap_or_else(|e| e);
+    hedges.insert(pos, entry);
+}
+
+/// Settles open→half-open breaker transitions as of `now` (emitting the
+/// finished open interval) and returns the routable mask, or `None` when
+/// breakers are disabled.
+fn settle_breakers<S: TraceSink>(
+    breakers: &mut Option<Vec<CircuitBreaker>>,
+    now: f64,
+    sink: &mut S,
+) -> Option<Vec<bool>> {
+    let bs = breakers.as_mut()?;
+    let mut mask = Vec::with_capacity(bs.len());
+    for (i, b) in bs.iter_mut().enumerate() {
+        if let Some(BreakerEvent::HalfOpened { since_s, at_s }) = b.tick(now) {
+            if S::ENABLED {
+                let track = TrackId::new(i as u32, Module::Breaker);
+                sink.span(track, "open", since_s, at_s, SpanClass::Control, true);
+            }
+        }
+        mask.push(b.routable());
+    }
+    Some(mask)
+}
+
+/// Applies a brownout transition to replica `i` and emits the level-change
+/// marks plus the `accuracy_loss_pct` counter the aggregate report
+/// integrates for quality-loss attribution.
+fn apply_transition<S: TraceSink>(
+    replicas: &mut [Replica],
+    ladder: &BrownoutLadder,
+    i: usize,
+    tr: Transition,
+    now: f64,
+    transitions_total: &mut usize,
+    sink: &mut S,
+) {
+    replicas[i].set_level(ladder, tr.to);
+    *transitions_total += 1;
+    if S::ENABLED {
+        let track = TrackId::new(i as u32, Module::Brownout);
+        sink.instant(track, if tr.to > tr.from { "level-up" } else { "level-down" }, now);
+        sink.counter(track, "accuracy_loss_pct", now, ladder.level(tr.to).accuracy_loss_pct);
+    }
 }
 
 /// Everything a fleet simulation produced.
@@ -185,6 +266,33 @@ pub fn simulate_fleet_traced<S: TraceSink>(
     let mut retries: Vec<RetryEntry> = Vec::new();
     let mut requeues_total = 0usize;
 
+    // Overload-control state. Every structure is `None`/empty when the
+    // corresponding mechanism is off, so the disabled path executes the
+    // exact pre-overload event loop (the `is_none_or` guards below reduce
+    // to their old expressions; pinned bitwise by test).
+    let overload_on = !cfg.overload.is_off();
+    let mut controllers: Option<Vec<BrownoutController>> =
+        cfg.overload.brownout.as_ref().map(|b| {
+            (0..cfg.replicas)
+                .map(|_| BrownoutController::new(b.policy, b.ladder.max_level()))
+                .collect()
+        });
+    let mut breakers: Option<Vec<CircuitBreaker>> =
+        cfg.overload.breaker.map(|p| (0..cfg.replicas).map(|_| CircuitBreaker::new(p)).collect());
+    if let Some(hp) = &cfg.overload.hedge {
+        hp.validate();
+    }
+    let mut hedges: Vec<HedgeEntry> = Vec::new();
+    // Hedged requests with two live copies: id → primary replica at
+    // hedge-dispatch time (lookup only, never iterated — determinism).
+    let mut hedged_live: HashMap<u64, usize> = HashMap::new();
+    let mut lat_window: Vec<f64> = Vec::new();
+    let mut lat_next = 0usize;
+    let mut hedged = 0usize;
+    let mut hedge_wins = 0usize;
+    let mut hedge_cancelled = 0usize;
+    let mut transitions_total = 0usize;
+
     loop {
         // Earliest replica step, ties to the lowest index.
         let next_step: Option<(f64, usize)> = replicas
@@ -193,24 +301,35 @@ pub fn simulate_fleet_traced<S: TraceSink>(
             .filter_map(|(i, r)| r.next_step_time().map(|t| (t, i)))
             .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite step times").then(a.1.cmp(&b.1)));
 
-        // Tie order at one instant: fault < arrival < retry < step. With
-        // an empty fault plan the fault and retry sources never fire and
-        // the arrival condition reduces to the fault-free expression.
+        // Tie order at one instant: fault < arrival < retry < hedge <
+        // step. With an empty fault plan the fault and retry sources never
+        // fire, and with hedging off the hedge queue stays empty, so the
+        // conditions reduce to the plain fault-free expressions.
         let fault_due = next_fault < fault_events.len() && {
             let tf = fault_events[next_fault].t_s;
             next_step.is_none_or(|(t, _)| tf <= t)
                 && (next_arrival >= requests.len() || tf <= requests[next_arrival].arrival_s)
                 && retries.first().is_none_or(|r| tf <= r.retry_s)
+                && hedges.first().is_none_or(|h| tf <= h.fire_s)
         };
 
         let arrival_due = !fault_due
             && next_arrival < requests.len()
             && next_step.is_none_or(|(t, _)| requests[next_arrival].arrival_s <= t)
-            && retries.first().is_none_or(|r| requests[next_arrival].arrival_s <= r.retry_s);
+            && retries.first().is_none_or(|r| requests[next_arrival].arrival_s <= r.retry_s)
+            && hedges.first().is_none_or(|h| requests[next_arrival].arrival_s <= h.fire_s);
 
         let retry_due = !fault_due
             && !arrival_due
-            && retries.first().is_some_and(|r| next_step.is_none_or(|(t, _)| r.retry_s <= t));
+            && retries.first().is_some_and(|r| {
+                next_step.is_none_or(|(t, _)| r.retry_s <= t)
+                    && hedges.first().is_none_or(|h| r.retry_s <= h.fire_s)
+            });
+
+        let hedge_due = !fault_due
+            && !arrival_due
+            && !retry_due
+            && hedges.first().is_some_and(|h| next_step.is_none_or(|(t, _)| h.fire_s <= t));
 
         if fault_due {
             let ev = fault_events[next_fault];
@@ -228,7 +347,43 @@ pub fn simulate_fleet_traced<S: TraceSink>(
                 if S::ENABLED {
                     sink.instant(track, "replica-down", ev.t_s);
                 }
+                if let Some(bs) = breakers.as_mut() {
+                    let prev = bs[ev.replica].state();
+                    if let Some(BreakerEvent::Opened { at_s }) =
+                        bs[ev.replica].record_failure(ev.t_s)
+                    {
+                        if S::ENABLED {
+                            let btrack = TrackId::new(ev.replica as u32, Module::Breaker);
+                            // A failed probe closes its half-open interval.
+                            if let BreakerState::HalfOpen { since_s, .. } = prev {
+                                sink.span(
+                                    btrack,
+                                    "half-open",
+                                    since_s,
+                                    at_s,
+                                    SpanClass::Control,
+                                    true,
+                                );
+                            }
+                            sink.instant(btrack, "breaker-open", at_s);
+                        }
+                    }
+                }
                 for p in orphans {
+                    // A hedge copy whose sibling is still live elsewhere is
+                    // dropped silently (accounted as a cancellation): the
+                    // surviving copy carries the request, so requeueing or
+                    // shedding this one would double-resolve it.
+                    if hedged_live.contains_key(&p.request.id)
+                        && replicas.iter().any(|r| r.holds_request(p.request.id))
+                    {
+                        hedge_cancelled += 1;
+                        if S::ENABLED {
+                            let htrack = TrackId::new(ev.replica as u32, Module::Hedge);
+                            sink.instant(htrack, "hedge-cancel", ev.t_s);
+                        }
+                        continue;
+                    }
                     let attempt = p.attempt + 1;
                     if attempt > cfg.retry.max_attempts {
                         shed.push(Shed {
@@ -285,7 +440,9 @@ pub fn simulate_fleet_traced<S: TraceSink>(
             let request = &requests[next_arrival];
             next_arrival += 1;
             let now = request.arrival_s;
-            let Some(target) = cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor)
+            let mask = settle_breakers(&mut breakers, now, sink);
+            let Some(target) =
+                cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor, mask.as_deref())
             else {
                 // The whole fleet is down: nothing can take the request.
                 if S::ENABLED {
@@ -310,6 +467,24 @@ pub fn simulate_fleet_traced<S: TraceSink>(
             ) {
                 Ok(()) => {
                     replicas[target].enqueue(Pending::fresh(request.clone(), est_service_s));
+                    if let Some(bs) = breakers.as_mut() {
+                        bs[target].on_dispatch();
+                    }
+                    // Deadline-bearing admissions arm a hedge timer at the
+                    // windowed-p99 delay; the check fires only if the
+                    // request is still in flight then.
+                    if let Some(hp) = &cfg.overload.hedge {
+                        if request.class.deadline_s.is_some() {
+                            push_hedge(
+                                &mut hedges,
+                                HedgeEntry {
+                                    fire_s: now + hp.delay_s(&lat_window),
+                                    request: request.clone(),
+                                    est_service_s,
+                                },
+                            );
+                        }
+                    }
                     if S::ENABLED {
                         let track = TrackId::new(target as u32, Module::Runtime);
                         sink.instant(track, "enqueue", now);
@@ -335,10 +510,40 @@ pub fn simulate_fleet_traced<S: TraceSink>(
                     });
                 }
             }
+            // Closed-loop sensing: every arrival feeds each up replica's
+            // controller one availability-weighted depth sample, so the
+            // sampling cadence tracks offered load and survivors of a
+            // partial outage see proportionally inflated depth.
+            if let (Some(ctrls), Some(bc)) = (controllers.as_mut(), cfg.overload.brownout.as_ref())
+            {
+                let up_count = replicas.iter().filter(|r| r.up).count();
+                if up_count > 0 {
+                    let up_frac = up_count as f64 / replicas.len() as f64;
+                    for i in 0..replicas.len() {
+                        if !replicas[i].up {
+                            continue;
+                        }
+                        let depth = replicas[i].queue_depth() as f64 / up_frac;
+                        if let Some(tr) = ctrls[i].observe_depth(depth) {
+                            apply_transition(
+                                &mut replicas,
+                                &bc.ladder,
+                                i,
+                                tr,
+                                now,
+                                &mut transitions_total,
+                                sink,
+                            );
+                        }
+                    }
+                }
+            }
         } else if retry_due {
             let entry = retries.remove(0);
             let now = entry.retry_s;
-            match cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor) {
+            let mask = settle_breakers(&mut breakers, now, sink);
+            match cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor, mask.as_deref())
+            {
                 Some(target) => {
                     // A requeue was already admitted once; it re-enters the
                     // queue directly (no depth shedding) with a remaining-
@@ -357,6 +562,9 @@ pub fn simulate_fleet_traced<S: TraceSink>(
                         resume_cursor: entry.cursor,
                         attempt: entry.attempt,
                     });
+                    if let Some(bs) = breakers.as_mut() {
+                        bs[target].on_dispatch();
+                    }
                 }
                 None => {
                     // Still no healthy replica: consume another attempt or
@@ -388,8 +596,122 @@ pub fn simulate_fleet_traced<S: TraceSink>(
                     }
                 }
             }
+        } else if hedge_due {
+            let entry = hedges.remove(0);
+            let now = entry.fire_s;
+            let id = entry.request.id;
+            // Still in flight? (Not found anywhere = completed, shed, or
+            // waiting out a retry backoff — no hedge then.)
+            if let Some(primary) = replicas.iter().position(|r| r.holds_request(id)) {
+                let breaker_mask = settle_breakers(&mut breakers, now, sink);
+                // The copy must land on a *different* replica than the one
+                // holding the slow primary.
+                let mask: Vec<bool> = (0..replicas.len())
+                    .map(|i| i != primary && breaker_mask.as_ref().is_none_or(|m| m[i]))
+                    .collect();
+                if let Some(target) =
+                    cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor, Some(&mask))
+                {
+                    // Hedge copies bypass admission: the request was
+                    // already admitted once; the copy exists purely to cut
+                    // its tail.
+                    replicas[target].enqueue(Pending::fresh(entry.request, entry.est_service_s));
+                    if let Some(bs) = breakers.as_mut() {
+                        bs[target].on_dispatch();
+                    }
+                    hedged += 1;
+                    hedged_live.insert(id, primary);
+                    if S::ENABLED {
+                        let htrack = TrackId::new(target as u32, Module::Hedge);
+                        sink.instant(htrack, "hedge-dispatch", now);
+                    }
+                }
+            }
         } else if let Some((_, i)) = next_step {
+            let before = completions.len();
             replicas[i].execute_step(&cfg.batch, &cfg.faults, &mut cost, &mut completions, sink);
+            if overload_on {
+                for c in completions[before..].iter().cloned() {
+                    // Hedge delay sensing: sliding window of completion
+                    // latencies.
+                    if let Some(hp) = &cfg.overload.hedge {
+                        let lat = c.latency_s();
+                        if lat_window.len() == hp.latency_window {
+                            lat_window[lat_next % hp.latency_window] = lat;
+                        } else {
+                            lat_window.push(lat);
+                        }
+                        lat_next = (lat_next + 1) % hp.latency_window;
+                    }
+                    // A completion is breaker evidence of health (a
+                    // successful half-open probe closes the breaker).
+                    if let Some(bs) = breakers.as_mut() {
+                        if let Some(BreakerEvent::Closed { since_s, at_s }) =
+                            bs[c.replica].record_success(c.finish_s)
+                        {
+                            if S::ENABLED {
+                                let btrack = TrackId::new(c.replica as u32, Module::Breaker);
+                                sink.span(
+                                    btrack,
+                                    "half-open",
+                                    since_s,
+                                    at_s,
+                                    SpanClass::Control,
+                                    false,
+                                );
+                            }
+                        }
+                    }
+                    // ... and brownout evidence (deadline outcome).
+                    if let (Some(ctrls), Some(bc)) =
+                        (controllers.as_mut(), cfg.overload.brownout.as_ref())
+                    {
+                        if let Some(tr) =
+                            ctrls[c.replica].observe_completion(c.deadline_met == Some(false))
+                        {
+                            apply_transition(
+                                &mut replicas,
+                                &bc.ladder,
+                                c.replica,
+                                tr,
+                                c.finish_s,
+                                &mut transitions_total,
+                                sink,
+                            );
+                        }
+                    }
+                    // First outcome wins: cancel every losing copy (other
+                    // replicas' queues/actives at their layer boundary,
+                    // plus any retry backoff entry) the moment the winner
+                    // completes, so exactly one completion is ever
+                    // reported per hedged id.
+                    if let Some(primary) = hedged_live.remove(&c.id) {
+                        for (j, replica) in replicas.iter_mut().enumerate() {
+                            if j == c.replica {
+                                continue;
+                            }
+                            let n = replica.cancel_request(c.id);
+                            if n > 0 {
+                                hedge_cancelled += n;
+                                if S::ENABLED {
+                                    let htrack = TrackId::new(j as u32, Module::Hedge);
+                                    sink.instant(htrack, "hedge-cancel", c.finish_s);
+                                }
+                            }
+                        }
+                        let before_retry = retries.len();
+                        retries.retain(|r| r.request.id != c.id);
+                        hedge_cancelled += before_retry - retries.len();
+                        if c.replica != primary {
+                            hedge_wins += 1;
+                            if S::ENABLED {
+                                let htrack = TrackId::new(c.replica as u32, Module::Hedge);
+                                sink.instant(htrack, "hedge-win", c.finish_s);
+                            }
+                        }
+                    }
+                }
+            }
         } else {
             break;
         }
@@ -410,9 +732,50 @@ pub fn simulate_fleet_traced<S: TraceSink>(
         }
     }
 
+    // Likewise for breakers still open (or probing) at the end of the
+    // run: their blocking interval extends to the makespan.
+    if S::ENABLED {
+        if let Some(bs) = breakers.as_ref() {
+            for (i, b) in bs.iter().enumerate() {
+                let track = TrackId::new(i as u32, Module::Breaker);
+                match b.state() {
+                    BreakerState::Open { since_s, .. } => {
+                        sink.span(
+                            track,
+                            "open",
+                            since_s,
+                            makespan_s.max(since_s),
+                            SpanClass::Control,
+                            true,
+                        );
+                    }
+                    BreakerState::HalfOpen { since_s, .. } => {
+                        sink.span(
+                            track,
+                            "half-open",
+                            since_s,
+                            makespan_s.max(since_s),
+                            SpanClass::Control,
+                            true,
+                        );
+                    }
+                    BreakerState::Closed { .. } => {}
+                }
+            }
+        }
+    }
+
     let busy: Vec<f64> = replicas.iter().map(|r| r.busy_s).collect();
     let down: Vec<f64> = replicas.iter().map(|r| r.down_s).collect();
-    let metrics = FleetMetrics::from_outcomes(requests.len(), &completions, &shed, &busy, &down);
+    let mut metrics =
+        FleetMetrics::from_outcomes(requests.len(), &completions, &shed, &busy, &down);
+    metrics.overload.hedged = hedged;
+    metrics.overload.hedge_wins = hedge_wins;
+    metrics.overload.hedge_cancelled = hedge_cancelled;
+    metrics.overload.brownout_transitions = transitions_total;
+    metrics.overload.per_replica_brownout_s = replicas.iter().map(|r| r.brownout_s).collect();
+    metrics.overload.breaker_opens =
+        breakers.as_ref().map_or(0, |bs| bs.iter().map(|b| b.opens).sum());
     FleetReport { metrics, completions, shed }
 }
 

@@ -1,6 +1,7 @@
-//! CLI robustness tests: malformed `serve_sweep` / `degradation_sweep`
-//! invocations must print an error plus the usage text to stderr and exit
-//! non-zero — never panic (no `RUST_BACKTRACE` hint, no `panicked at`).
+//! CLI robustness tests: malformed `serve_sweep` / `degradation_sweep` /
+//! `brownout_sweep` invocations must print an error plus the usage text
+//! to stderr and exit non-zero — never panic (no `RUST_BACKTRACE` hint,
+//! no `panicked at`).
 
 use std::process::{Command, Output};
 
@@ -20,6 +21,7 @@ fn assert_graceful_failure(bin: &str, args: &[&str], expect: &str) {
 
 const SERVE_SWEEP: &str = env!("CARGO_BIN_EXE_serve_sweep");
 const DEGRADATION_SWEEP: &str = env!("CARGO_BIN_EXE_degradation_sweep");
+const BROWNOUT_SWEEP: &str = env!("CARGO_BIN_EXE_brownout_sweep");
 
 #[test]
 fn serve_sweep_rejects_unknown_flags() {
@@ -48,6 +50,25 @@ fn serve_sweep_rejects_malformed_fault_specs() {
     assert_graceful_failure(SERVE_SWEEP, &["--faults", "5"], "mtbf");
     assert_graceful_failure(SERVE_SWEEP, &["--faults", "abc:1"], "number");
     assert_graceful_failure(SERVE_SWEEP, &["--faults", "0:1"], "positive");
+}
+
+#[test]
+fn serve_sweep_brownout_is_a_bare_switch() {
+    // `--brownout` takes no value, mirroring how `--faults off` is the
+    // only way to spell the default: a stray operand is an unknown flag.
+    assert_graceful_failure(SERVE_SWEEP, &["--brownout", "yes"], "unknown flag");
+}
+
+#[test]
+fn brownout_sweep_rejects_malformed_invocations() {
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--frobnicate"], "unknown flag");
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--control"], "needs a value");
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--control", "chaos"], "unknown control mode");
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--routing", "x"], "unknown routing policy");
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--loads", "0.5,oops"], "--loads");
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--mtbf-factors", "-1"], "positive");
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--deadline-factor", "nan"], "positive");
+    assert_graceful_failure(BROWNOUT_SWEEP, &["--link-gbs", "0"], "positive");
 }
 
 #[test]

@@ -1,0 +1,347 @@
+//! Closed-loop overload control, end to end through `simulate_fleet`,
+//! plus controller properties under proptest:
+//!
+//! * **off-path preservation** — `OverloadControl::off()` (and the
+//!   config-struct default) reproduces the plain fleet bitwise, traced
+//!   and untraced, with nothing on the brownout/breaker/hedge lanes;
+//! * **brownout** — sustained overload walks replicas down the ladder,
+//!   time-in-brownout and accuracy loss are accounted, and conservation
+//!   holds throughout;
+//! * **breaker / hedge** — crash-heavy runs trip breakers; deadline
+//!   traffic hedges, and the win/cancel ledger balances;
+//! * **monotonicity** — the controller's resting level is monotone in
+//!   sustained queue depth;
+//! * **hysteresis** — square-wave load cannot make the controller
+//!   oscillate: transitions are bounded by the regime changes, not the
+//!   flicker rate.
+
+use cta_serve::{
+    poisson_requests, simulate_fleet, simulate_fleet_traced, AdmissionPolicy, BatchPolicy,
+    BrownoutConfig, BrownoutController, ControllerPolicy, CrashWindow, FaultPlan, FleetConfig,
+    LoadSpec, OverloadControl, QosClass, RoutingPolicy,
+};
+use cta_sim::{AttentionTask, CtaSystem, SystemConfig};
+use cta_telemetry::{Module, RingBufferSink};
+use proptest::prelude::*;
+
+fn task() -> AttentionTask {
+    AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6)
+}
+
+fn spec() -> LoadSpec {
+    LoadSpec::standard(task(), 3, 4)
+}
+
+fn config(replicas: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::sharded(SystemConfig::paper(), replicas);
+    cfg.routing = RoutingPolicy::JoinShortestQueue;
+    cfg.batch = BatchPolicy::up_to(4);
+    cfg.admission = AdmissionPolicy::bounded(16);
+    cfg
+}
+
+/// Mean solo service time of the test task, for deriving rates/deadlines.
+fn solo_s() -> f64 {
+    let system = CtaSystem::new(SystemConfig::paper());
+    let mut cost = cta_serve::CostModel::new();
+    let probe = poisson_requests(&spec(), 1, 1.0, 3);
+    cost.request_service_s(&system, &probe[0])
+}
+
+// --- off-path preservation -------------------------------------------------
+
+#[test]
+fn overload_off_reproduces_the_plain_fleet_bitwise() {
+    for replicas in [1usize, 3] {
+        let requests = poisson_requests(&spec(), 48, 1.2 * replicas as f64 / solo_s(), 11);
+        let baseline_cfg = config(replicas);
+        assert!(baseline_cfg.overload.is_off(), "constructors default to control off");
+        let baseline = simulate_fleet(&baseline_cfg, &requests);
+
+        // An explicit off() — and, separately, a traced off() run — must
+        // both reproduce the baseline bit for bit, with silent control
+        // lanes.
+        let mut cfg = baseline_cfg.clone();
+        cfg.overload = OverloadControl::off();
+        assert_eq!(simulate_fleet(&cfg, &requests), baseline);
+
+        let mut sink = RingBufferSink::with_capacity(1 << 16);
+        let traced = simulate_fleet_traced(&cfg, &requests, &mut sink);
+        assert_eq!(traced, baseline);
+        assert!(
+            sink.events().iter().all(|e| !matches!(
+                e.track.module,
+                Module::Brownout | Module::Breaker | Module::Hedge
+            )),
+            "control-off runs must not emit on the overload lanes"
+        );
+
+        let ov = &baseline.metrics.overload;
+        assert_eq!(ov.hedged, 0);
+        assert_eq!(ov.brownout_transitions, 0);
+        assert_eq!(ov.breaker_opens, 0);
+        assert_eq!(ov.mean_accuracy_loss_pct, 0.0);
+        assert!(ov.per_replica_brownout_s.iter().all(|&s| s == 0.0));
+    }
+}
+
+// --- brownout through the fleet -------------------------------------------
+
+#[test]
+fn sustained_overload_browns_out_and_recovers_quality_accounting() {
+    let mut cfg = config(2);
+    cfg.overload =
+        OverloadControl { brownout: Some(BrownoutConfig::standard()), ..OverloadControl::off() };
+    // 3× capacity, enough requests for the depth window to fill many
+    // times over.
+    let requests = poisson_requests(&spec(), 200, 3.0 * 2.0 / solo_s(), 5);
+    let report = simulate_fleet(&cfg, &requests);
+    let ov = &report.metrics.overload;
+
+    assert_eq!(report.metrics.completed + report.metrics.shed, 200, "conservation");
+    assert!(ov.brownout_transitions > 0, "3× overload must move the ladder: {ov:?}");
+    assert!(ov.per_replica_brownout_s.iter().any(|&s| s > 0.0), "degraded time accounted");
+    assert!(
+        ov.mean_accuracy_loss_pct > 0.0 && ov.mean_accuracy_loss_pct <= ov.max_accuracy_loss_pct,
+        "loss accounting must be populated and ordered: {ov:?}"
+    );
+    assert!(
+        ov.max_accuracy_loss_pct <= 1.8 + 1e-12,
+        "loss cannot exceed the deepest ladder point: {ov:?}"
+    );
+
+    // The same trace at comfortable load never engages the ladder.
+    let calm = poisson_requests(&spec(), 200, 0.3 * 2.0 / solo_s(), 5);
+    let calm_report = simulate_fleet(&cfg, &calm);
+    assert_eq!(calm_report.metrics.overload.brownout_transitions, 0);
+    assert_eq!(calm_report.metrics.overload.mean_accuracy_loss_pct, 0.0);
+}
+
+// --- breaker through the fleet --------------------------------------------
+
+#[test]
+fn repeated_crashes_trip_the_breaker_and_conservation_holds() {
+    let mut cfg = config(2);
+    cfg.overload = OverloadControl::standard();
+    let solo = solo_s();
+    // Replica 0 flaps: two short outages early in the trace, each one
+    // orphaning whatever it held. Two consecutive failures is the
+    // standard breaker threshold.
+    let span = 40.0 * solo;
+    cfg.faults = FaultPlan {
+        crashes: vec![
+            CrashWindow { replica: 0, down_s: 2.0 * solo, up_s: Some(2.5 * solo) },
+            CrashWindow { replica: 0, down_s: 4.0 * solo, up_s: Some(4.5 * solo) },
+            CrashWindow { replica: 0, down_s: 6.0 * solo, up_s: Some(span) },
+        ],
+        ..FaultPlan::default()
+    };
+    let requests = poisson_requests(&spec(), 120, 1.5 * 2.0 / solo, 9);
+    let report = simulate_fleet(&cfg, &requests);
+
+    assert_eq!(report.metrics.completed + report.metrics.shed, 120, "conservation");
+    assert!(
+        report.metrics.overload.breaker_opens > 0,
+        "a flapping replica must open its breaker: {:?}",
+        report.metrics.overload
+    );
+}
+
+// --- hedging through the fleet --------------------------------------------
+
+#[test]
+fn deadline_traffic_hedges_and_the_ledger_balances() {
+    let mut cfg = config(3);
+    cfg.overload = OverloadControl::standard();
+    let solo = solo_s();
+    let mut hedge_spec = spec();
+    // A generous deadline: requests qualify for hedging without being
+    // shed as unmeetable.
+    hedge_spec.class = QosClass::interactive(200.0 * solo);
+    // Moderate load so queues stay shallow and the p99-derived delay
+    // actually elapses before completion for a decent fraction.
+    let requests = poisson_requests(&hedge_spec, 150, 0.9 * 3.0 / solo, 21);
+    let report = simulate_fleet(&cfg, &requests);
+    let ov = &report.metrics.overload;
+
+    assert_eq!(report.metrics.completed + report.metrics.shed, 150, "conservation");
+    assert!(ov.hedged > 0, "deadline-bearing traffic must hedge: {ov:?}");
+    assert!(ov.hedge_wins <= ov.hedged, "wins are a subset of hedges: {ov:?}");
+    assert!(
+        ov.hedge_cancelled <= ov.hedged,
+        "every cancellation stems from a dispatched hedge: {ov:?}"
+    );
+    // No request may be counted twice: completions are unique by id.
+    let mut ids: Vec<u64> = report.completions.iter().map(|c| c.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), report.completions.len(), "hedge duplicates leaked to completions");
+}
+
+#[test]
+fn hedging_without_deadlines_is_inert() {
+    let mut cfg = config(3);
+    cfg.overload = OverloadControl::standard();
+    // The standard class has no deadline, so nothing qualifies.
+    let requests = poisson_requests(&spec(), 100, 1.0 * 3.0 / solo_s(), 13);
+    let report = simulate_fleet(&cfg, &requests);
+    assert_eq!(report.metrics.overload.hedged, 0);
+    assert_eq!(report.metrics.overload.hedge_wins, 0);
+    assert_eq!(report.metrics.overload.hedge_cancelled, 0);
+}
+
+// --- controller properties -------------------------------------------------
+
+/// Feeds `depths` through a fresh standard controller and returns
+/// `(final_level, transitions)`.
+fn drive(depths: impl IntoIterator<Item = f64>) -> (usize, usize) {
+    let ladder_levels = 3; // BrownoutLadder::standard().max_level()
+    let mut ctrl = BrownoutController::new(ControllerPolicy::standard(), ladder_levels);
+    let mut transitions = 0;
+    for d in depths {
+        if ctrl.observe_depth(d).is_some() {
+            transitions += 1;
+        }
+    }
+    (ctrl.level(), transitions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under sustained constant depth, the level the controller settles
+    /// at never decreases as the sustained depth grows.
+    #[test]
+    fn resting_level_is_monotone_in_sustained_depth(
+        depth in 0.0f64..40.0,
+        extra in 0.0f64..40.0,
+        samples in 64usize..160,
+    ) {
+        let (lo_level, _) = drive(std::iter::repeat_n(depth, samples));
+        let (hi_level, _) = drive(std::iter::repeat_n(depth + extra, samples));
+        prop_assert!(
+            hi_level >= lo_level,
+            "deeper sustained queues must not rest at a shallower level: \
+             depth {depth} -> {lo_level}, depth {} -> {hi_level}",
+            depth + extra
+        );
+    }
+
+    /// A square wave — however fast it flickers — cannot make the
+    /// controller thrash. Transitions are bounded by the ladder walks the
+    /// *sustained regimes* justify: at most one full climb plus one full
+    /// descent per half-period, and far fewer when the flicker is faster
+    /// than the observation window (the windowed mean never reaches
+    /// either threshold region more often than that).
+    #[test]
+    fn square_wave_load_cannot_oscillate_the_ladder(
+        high in 8.0f64..64.0,
+        half_period in 1usize..64,
+        periods in 1usize..6,
+    ) {
+        let max_level = 3usize;
+        let wave = (0..periods).flat_map(|_| {
+            std::iter::repeat_n(high, half_period).chain(std::iter::repeat_n(0.0, half_period))
+        });
+        let (_, transitions) = drive(wave);
+        // One climb to the top and one descent to the floor per period is
+        // the most any square wave can justify; hysteresis (full-window
+        // evidence + dwell) keeps the realised count at or under it.
+        let bound = 2 * max_level * periods;
+        prop_assert!(
+            transitions <= bound,
+            "square wave (high {high}, half-period {half_period}, {periods} periods) \
+             caused {transitions} transitions > bound {bound}"
+        );
+    }
+
+    /// Hysteresis, sharper: when each half-period is shorter than the
+    /// observation window, the windowed mean hovers near `high/2` and the
+    /// controller must settle — the tail of the run sees no transitions
+    /// at all.
+    #[test]
+    fn fast_flicker_settles_instead_of_tracking_the_wave(
+        high in 8.0f64..64.0,
+        half_period in 1usize..4,
+        tail in 64usize..128,
+    ) {
+        let ladder_levels = 3;
+        let mut ctrl = BrownoutController::new(ControllerPolicy::standard(), ladder_levels);
+        // Warm-up: long enough for any climbing the mean justifies.
+        let warmup = 64;
+        let mut phase_high = true;
+        let mut in_phase = 0;
+        for _ in 0..warmup {
+            let d = if phase_high { high } else { 0.0 };
+            let _ = ctrl.observe_depth(d);
+            in_phase += 1;
+            if in_phase == half_period {
+                phase_high = !phase_high;
+                in_phase = 0;
+            }
+        }
+        // Tail: the wave keeps flickering; the settled controller must
+        // not move again.
+        let mut tail_transitions = 0;
+        for _ in 0..tail {
+            let d = if phase_high { high } else { 0.0 };
+            if ctrl.observe_depth(d).is_some() {
+                tail_transitions += 1;
+            }
+            in_phase += 1;
+            if in_phase == half_period {
+                phase_high = !phase_high;
+                in_phase = 0;
+            }
+        }
+        prop_assert_eq!(
+            tail_transitions, 0,
+            "fast flicker (high {}, half-period {}) kept the ladder moving", high, half_period
+        );
+    }
+}
+
+// --- admission exemption during an outage ----------------------------------
+
+/// During a one-replica outage the surviving replica's queue fills; the
+/// depth-exempt class must still get in (and then be subject only to
+/// deadline shedding), while standard traffic sheds `QueueFull`.
+#[test]
+fn exempt_class_is_admitted_into_a_full_queue_during_an_outage() {
+    let solo = solo_s();
+    let mut cfg = config(2);
+    cfg.admission = AdmissionPolicy::bounded(2);
+    // Replica 1 is down for the whole trace: everything funnels to 0.
+    cfg.faults = FaultPlan {
+        crashes: vec![CrashWindow { replica: 1, down_s: 0.0, up_s: None }],
+        ..FaultPlan::default()
+    };
+
+    // A burst at t=0 deep enough to fill replica 0's queue, then one
+    // exempt (interactive, priority 200 = the bounded() threshold) and
+    // one standard arrival while it is still full.
+    let burst = poisson_requests(&spec(), 64, 50.0 / solo, 17);
+    let mut requests = burst;
+    let mut interactive = spec();
+    interactive.class = QosClass::interactive(1e6 * solo);
+    let probe_time = requests.last().unwrap().arrival_s;
+    let mut vip = poisson_requests(&interactive, 1, 1.0, 23);
+    vip[0].id = 9_000;
+    vip[0].arrival_s = probe_time;
+    let mut pleb = poisson_requests(&spec(), 1, 1.0, 29);
+    pleb[0].id = 9_001;
+    pleb[0].arrival_s = probe_time;
+    requests.push(vip[0].clone());
+    requests.push(pleb[0].clone());
+
+    let report = simulate_fleet(&cfg, &requests);
+    assert_eq!(report.completions.len() + report.shed.len(), 66, "conservation");
+    assert!(
+        report.completions.iter().any(|c| c.id == 9_000),
+        "the exempt interactive request must be admitted past the full queue and complete"
+    );
+    assert!(
+        report.shed.iter().any(|s| s.id == 9_001),
+        "the standard request must shed against the same full queue"
+    );
+}

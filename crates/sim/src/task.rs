@@ -75,6 +75,32 @@ impl AttentionTask {
         Self::from_counts(seq_len, seq_len, head_dim, seq_len, seq_len, 1, hash_length)
     }
 
+    /// The same problem at a degraded compression operating point: cluster
+    /// budgets `k₀, k₁, k₂` scaled by `scale` (clamped to `(0, 1]`, each
+    /// budget floored at 1). Problem sizes and the hash length are
+    /// untouched — the brownout ladder trades accuracy for compute by
+    /// coarsening the clustering, not by dropping tokens, so the degraded
+    /// task is always a valid task over the same inputs.
+    ///
+    /// `scale = 1.0` returns `self` unchanged (bitwise, including the
+    /// cost-model cache key).
+    pub fn with_budget_scale(&self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0 && scale <= 1.0, "budget scale {scale} ∉ (0, 1]");
+        if scale == 1.0 {
+            return *self;
+        }
+        let shrink = |k: usize| (((k as f64) * scale).floor() as usize).max(1);
+        Self::from_counts(
+            self.num_queries,
+            self.num_keys,
+            self.head_dim,
+            shrink(self.k0),
+            shrink(self.k1),
+            shrink(self.k2),
+            self.hash_length,
+        )
+    }
+
     /// Total compressed KV centroid count `k₁ + k₂`.
     pub fn k_cat(&self) -> usize {
         self.k1 + self.k2
@@ -109,6 +135,28 @@ mod tests {
         assert_eq!(t.k0, 128);
         assert_eq!(t.k1, 128);
         assert!(t.effective_relations() > 1.0); // (n·(n+1))/n² slightly above 1
+    }
+
+    #[test]
+    fn budget_scale_shrinks_clusters_and_preserves_shapes() {
+        let t = AttentionTask::from_counts(512, 512, 64, 64, 96, 48, 6);
+        let d = t.with_budget_scale(0.5);
+        assert_eq!((d.k0, d.k1, d.k2), (32, 48, 24));
+        assert_eq!(
+            (d.num_queries, d.num_keys, d.head_dim, d.hash_length),
+            (t.num_queries, t.num_keys, t.head_dim, t.hash_length)
+        );
+        assert!(d.effective_relations() < t.effective_relations());
+        // Identity scale is bitwise identity; tiny scales floor at 1.
+        assert_eq!(t.with_budget_scale(1.0), t);
+        let floor = t.with_budget_scale(1e-6);
+        assert_eq!((floor.k0, floor.k1, floor.k2), (1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget scale")]
+    fn budget_scale_rejects_zero() {
+        let _ = AttentionTask::from_counts(8, 8, 4, 4, 4, 2, 6).with_budget_scale(0.0);
     }
 
     #[test]

@@ -69,6 +69,22 @@ pub struct AggregateReport {
     /// Per-replica outage time (fault-track [`SpanClass::Fault`] spans
     /// named `"outage"`), seconds, keyed by replica index.
     pub outage_s: BTreeMap<u32, f64>,
+    /// Per-replica time spent in a degraded brownout operating point
+    /// (brownout-track [`SpanClass::Control`] spans whose name is not the
+    /// baseline level), seconds, keyed by replica index.
+    pub brownout_s: BTreeMap<u32, f64>,
+    /// Brownout time by operating-point name (all replicas), seconds.
+    pub brownout_level_s: BTreeMap<&'static str, f64>,
+    /// Per-replica time with the circuit breaker open or half-open
+    /// (breaker-track [`SpanClass::Control`] spans), seconds.
+    pub breaker_open_s: BTreeMap<u32, f64>,
+    /// Hedge-lane instant markers by name (`issued` / `won` / `cancelled`).
+    pub hedge_marks: BTreeMap<&'static str, usize>,
+    /// Per-replica time integral of the `accuracy_loss_pct` counter
+    /// (last-value hold between samples, held to the end of the stream),
+    /// in percent-seconds. [`mean_accuracy_loss_pct`](Self::mean_accuracy_loss_pct)
+    /// turns this into a fleet-mean loss.
+    pub quality_loss_pct_s: BTreeMap<u32, f64>,
     /// Wall-clock extent of the whole event stream (first start to last
     /// end over every track), seconds. Zero for an empty stream. The
     /// availability figures in [`render`](Self::render) divide outage time
@@ -81,6 +97,7 @@ impl AggregateReport {
     pub fn from_events(events: &[Event]) -> Self {
         let mut report = AggregateReport { events: events.len(), ..AggregateReport::default() };
         let mut per_replica: BTreeMap<u32, (f64, f64, f64, f64)> = BTreeMap::new();
+        let mut loss_samples: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
         let (mut first_s, mut last_s) = (f64::INFINITY, f64::NEG_INFINITY);
         for e in events {
             first_s = first_s.min(e.t_s);
@@ -96,6 +113,13 @@ impl AggregateReport {
                         (Module::Host, SpanClass::Upload) => report.upload_s += dur,
                         (Module::Fault, SpanClass::Fault) if e.name == "outage" => {
                             *report.outage_s.entry(e.track.replica).or_insert(0.0) += dur;
+                        }
+                        (Module::Brownout, SpanClass::Control) => {
+                            *report.brownout_level_s.entry(e.name).or_insert(0.0) += dur;
+                            *report.brownout_s.entry(e.track.replica).or_insert(0.0) += dur;
+                        }
+                        (Module::Breaker, SpanClass::Control) => {
+                            *report.breaker_open_s.entry(e.track.replica).or_insert(0.0) += dur;
                         }
                         _ => {}
                     }
@@ -119,9 +143,29 @@ impl AggregateReport {
                 EventKind::Counter { value } => {
                     let peak = report.counter_peaks.entry(e.name).or_insert(value);
                     *peak = peak.max(value);
+                    if e.name == "accuracy_loss_pct" {
+                        loss_samples.entry(e.track.replica).or_default().push((e.t_s, value));
+                    }
                 }
-                EventKind::Async { .. } | EventKind::Instant => {}
+                EventKind::Instant => {
+                    if e.track.module == Module::Hedge {
+                        *report.hedge_marks.entry(e.name).or_insert(0) += 1;
+                    }
+                }
+                EventKind::Async { .. } => {}
             }
+        }
+        // Integrate accuracy-loss samples: last-value hold between samples,
+        // held to the end of the stream.
+        for (replica, mut samples) in loss_samples {
+            samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut integral = 0.0;
+            for i in 0..samples.len() {
+                let (t, v) = samples[i];
+                let next_t = samples.get(i + 1).map(|s| s.0).unwrap_or(last_s);
+                integral += v * (next_t - t).max(0.0);
+            }
+            report.quality_loss_pct_s.insert(replica, integral);
         }
         report.replicas = per_replica
             .into_iter()
@@ -150,6 +194,30 @@ impl AggregateReport {
     /// Total SA compute time across phases (bubbles included), seconds.
     pub fn compute_s(&self) -> f64 {
         self.compression_s + self.linear_s + self.attention_s
+    }
+
+    /// Fraction of the stream extent `replica` spent in a degraded
+    /// brownout operating point. `None` when the stream is empty.
+    pub fn brownout_fraction(&self, replica: u32) -> Option<f64> {
+        if self.extent_s > 0.0 {
+            let b = self.brownout_s.get(&replica).copied().unwrap_or(0.0);
+            Some((b / self.extent_s).min(1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Fleet-mean accuracy loss in percent: the time integral of the
+    /// `accuracy_loss_pct` counter averaged over the stream extent and the
+    /// replicas that sampled it. `None` when no replica sampled the
+    /// counter or the stream is empty.
+    pub fn mean_accuracy_loss_pct(&self) -> Option<f64> {
+        if self.extent_s > 0.0 && !self.quality_loss_pct_s.is_empty() {
+            let total: f64 = self.quality_loss_pct_s.values().sum();
+            Some(total / (self.extent_s * self.quality_loss_pct_s.len() as f64))
+        } else {
+            None
+        }
     }
 
     /// Total bubble time, seconds.
@@ -215,6 +283,35 @@ impl AggregateReport {
                 out.push_str(&format!(
                     "  replica {replica:<3} down {down:>12.6e} s  availability {avail}\n"
                 ));
+            }
+        }
+        if !self.brownout_s.is_empty()
+            || !self.breaker_open_s.is_empty()
+            || !self.hedge_marks.is_empty()
+        {
+            out.push_str("overload control\n");
+            for (replica, b) in &self.brownout_s {
+                let frac = self
+                    .brownout_fraction(*replica)
+                    .map(|f| format!("{:.1}%", 100.0 * f))
+                    .unwrap_or_else(|| "n/a".to_string());
+                out.push_str(&format!(
+                    "  replica {replica:<3} brownout {b:>12.6e} s  ({frac} of extent)\n"
+                ));
+            }
+            for (level, s) in &self.brownout_level_s {
+                out.push_str(&format!("  {level:<28} {s:>12.6e} s\n"));
+            }
+            for (replica, open) in &self.breaker_open_s {
+                out.push_str(&format!("  replica {replica:<3} breaker open {open:>12.6e} s\n"));
+            }
+            if let Some(loss) = self.mean_accuracy_loss_pct() {
+                out.push_str(&format!("  {:<28} {loss:.4}%\n", "mean accuracy loss"));
+            }
+            if !self.hedge_marks.is_empty() {
+                for (name, n) in &self.hedge_marks {
+                    out.push_str(&format!("  hedge {name:<22} {n}\n"));
+                }
             }
         }
         if !self.counter_peaks.is_empty() {
@@ -310,6 +407,67 @@ mod tests {
         assert_eq!(report.compute_s(), 10.0);
         assert_eq!(report.bubble_s(), 0.0);
         assert!(report.render(None).contains("availability"));
+    }
+
+    #[test]
+    fn brownout_spans_accumulate_time_in_brownout_per_replica_and_level() {
+        let sa = TrackId::new(0, Module::Sa);
+        let b0 = TrackId::new(0, Module::Brownout);
+        let b1 = TrackId::new(1, Module::Brownout);
+        let mut sink = RingBufferSink::with_capacity(8);
+        // 10 s extent; replica 0 browned out 3 s across two levels,
+        // replica 1 for 1 s.
+        sink.span(sa, "lin", 0.0, 10.0, SpanClass::Linear, false);
+        sink.span(b0, "brownout-1", 2.0, 4.0, SpanClass::Control, false);
+        sink.span(b0, "brownout-2", 4.0, 5.0, SpanClass::Control, false);
+        sink.span(b1, "brownout-1", 6.0, 7.0, SpanClass::Control, false);
+        let report = AggregateReport::from_events(&sink.events());
+        assert_eq!(report.brownout_s.get(&0), Some(&3.0));
+        assert_eq!(report.brownout_s.get(&1), Some(&1.0));
+        assert_eq!(report.brownout_level_s.get("brownout-1"), Some(&3.0));
+        assert_eq!(report.brownout_level_s.get("brownout-2"), Some(&1.0));
+        assert_eq!(report.brownout_fraction(0), Some(0.3));
+        assert_eq!(report.brownout_fraction(1), Some(0.1));
+        // Control spans must not leak into SA phase totals.
+        assert_eq!(report.compute_s(), 10.0);
+        assert!(report.render(None).contains("overload control"));
+    }
+
+    #[test]
+    fn breaker_spans_and_hedge_marks_aggregate() {
+        let sa = TrackId::new(0, Module::Sa);
+        let brk = TrackId::new(1, Module::Breaker);
+        let hedge = TrackId::new(0, Module::Hedge);
+        let mut sink = RingBufferSink::with_capacity(8);
+        sink.span(sa, "lin", 0.0, 8.0, SpanClass::Linear, false);
+        sink.span(brk, "open", 1.0, 3.0, SpanClass::Control, true);
+        sink.span(brk, "half-open", 3.0, 3.5, SpanClass::Control, true);
+        sink.instant(hedge, "issued", 2.0);
+        sink.instant(hedge, "issued", 4.0);
+        sink.instant(hedge, "won", 4.5);
+        let report = AggregateReport::from_events(&sink.events());
+        assert_eq!(report.breaker_open_s.get(&1), Some(&2.5));
+        assert_eq!(report.hedge_marks.get("issued"), Some(&2));
+        assert_eq!(report.hedge_marks.get("won"), Some(&1));
+        let text = report.render(None);
+        assert!(text.contains("breaker open"), "{text}");
+        assert!(text.contains("hedge"), "{text}");
+    }
+
+    #[test]
+    fn accuracy_loss_counter_integrates_with_last_value_hold() {
+        let sa = TrackId::new(0, Module::Sa);
+        let b = TrackId::new(0, Module::Brownout);
+        let mut sink = RingBufferSink::with_capacity(8);
+        // 10 s extent; loss 0% for [0,2), 0.5% for [2,6), 0% after.
+        sink.span(sa, "lin", 0.0, 10.0, SpanClass::Linear, false);
+        sink.counter(b, "accuracy_loss_pct", 0.0, 0.0);
+        sink.counter(b, "accuracy_loss_pct", 2.0, 0.5);
+        sink.counter(b, "accuracy_loss_pct", 6.0, 0.0);
+        let report = AggregateReport::from_events(&sink.events());
+        assert_eq!(report.quality_loss_pct_s.get(&0), Some(&2.0));
+        // 2 %·s over a 10 s extent, one sampled replica → 0.2 % mean.
+        assert!((report.mean_accuracy_loss_pct().unwrap() - 0.2).abs() < 1e-12);
     }
 
     #[test]

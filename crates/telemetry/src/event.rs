@@ -24,11 +24,20 @@ pub enum Module {
     Runtime,
     /// The failure lane: replica outages, slowdown bubbles, retry markers.
     Fault,
+    /// The brownout lane: operating-point intervals and quality-loss
+    /// counters from the overload controller.
+    Brownout,
+    /// The circuit-breaker lane: open / half-open intervals and state
+    /// transitions.
+    Breaker,
+    /// The hedging lane: hedge issue / win / cancel markers and hedged
+    /// request intervals.
+    Hedge,
 }
 
 impl Module {
     /// All lanes, in display order.
-    pub const ALL: [Module; 7] = [
+    pub const ALL: [Module; 10] = [
         Module::Sa,
         Module::Cim,
         Module::Cag,
@@ -36,6 +45,9 @@ impl Module {
         Module::Host,
         Module::Runtime,
         Module::Fault,
+        Module::Brownout,
+        Module::Breaker,
+        Module::Hedge,
     ];
 
     /// Human-readable lane name (the Chrome trace thread name).
@@ -48,6 +60,9 @@ impl Module {
             Module::Host => "host-link",
             Module::Runtime => "runtime",
             Module::Fault => "fault",
+            Module::Brownout => "brownout",
+            Module::Breaker => "breaker",
+            Module::Hedge => "hedge",
         }
     }
 
@@ -62,6 +77,9 @@ impl Module {
             Module::Host => 4,
             Module::Runtime => 5,
             Module::Fault => 6,
+            Module::Brownout => 7,
+            Module::Breaker => 8,
+            Module::Hedge => 9,
         }
     }
 }
@@ -102,6 +120,9 @@ pub enum SpanClass {
     Lifecycle,
     /// Fault intervals: replica outages and injected slowdown stalls.
     Fault,
+    /// Overload-control intervals: brownout operating points, breaker
+    /// open / half-open windows, hedge lifetimes.
+    Control,
 }
 
 impl SpanClass {
@@ -115,6 +136,7 @@ impl SpanClass {
             SpanClass::Upload => "upload",
             SpanClass::Lifecycle => "lifecycle",
             SpanClass::Fault => "fault",
+            SpanClass::Control => "control",
         }
     }
 }
