@@ -6,46 +6,73 @@
 //! nothing, less stalls the SA), and throughput grows *sub-linearly* with
 //! SA width because LSH-phase columns idle and value-register updates
 //! grow.
+//!
+//! The width rows of the design space are swept on the `cta-parallel`
+//! pool (`--jobs N`, default `CTA_JOBS` then available cores); each
+//! width's points come back in the same order `cta_sim::sweep` produces
+//! serially, so the output is identical at any worker count.
 
-use cta_bench::{banner, case_operating_points, row};
+use std::process::ExitCode;
+
+use cta_bench::{banner, case_operating_points, cli_main, parse_jobs_only, row};
+use cta_parallel::par_map;
 use cta_sim::{best_pag_parallelism, sweep, HwConfig};
 use cta_workloads::{bert_large, imdb, TestCase};
 
-fn main() {
-    banner("Figure 13 — throughput vs SA width x PAG parallelism");
+const USAGE: &str = "usage: fig13_dse [--jobs N]";
 
-    // Probe task: the CTA-0 operating point of BERT-large/IMDB (n = 512,
-    // the hardware's design point).
-    let case = TestCase::new(bert_large(), imdb());
-    let op = &case_operating_points(&case)[0];
-    let task = op.task(&case);
-    println!("probe task: {} at CTA-0, k = ({}, {}, {})", case.name(), task.k0, task.k1, task.k2);
-    println!();
+fn main() -> ExitCode {
+    cli_main(USAGE, || {
+        let jobs = parse_jobs_only(std::env::args().skip(1))?;
+        banner("Figure 13 — throughput vs SA width x PAG parallelism");
 
-    let widths = [4usize, 8, 16, 32];
-    let parallelisms = [4usize, 8, 16, 32, 64, 128];
-    let points = sweep(&HwConfig::paper(), &task, &widths, &parallelisms);
+        // Probe task: the CTA-0 operating point of BERT-large/IMDB (n = 512,
+        // the hardware's design point).
+        let case = TestCase::new(bert_large(), imdb());
+        let op = &case_operating_points(&case)[0];
+        let task = op.task(&case);
+        println!(
+            "probe task: {} at CTA-0, k = ({}, {}, {})",
+            case.name(),
+            task.k0,
+            task.k1,
+            task.k2
+        );
+        println!();
 
-    // Normalize to the slowest configuration, as the paper's bars are.
-    let base = points.iter().map(|p| p.heads_per_second).fold(f64::INFINITY, f64::min);
+        let widths = [4usize, 8, 16, 32];
+        let parallelisms = [4usize, 8, 16, 32, 64, 128];
+        // One task per SA width; `sweep` iterates widths in the outer
+        // loop, so concatenating per-width results reproduces the serial
+        // point order exactly.
+        let points: Vec<_> =
+            par_map(jobs, &widths, |&b| sweep(&HwConfig::paper(), &task, &[b], &parallelisms))
+                .into_iter()
+                .flatten()
+                .collect();
 
-    let mut header = vec!["SA width".to_string()];
-    header.extend(parallelisms.iter().map(|p| format!("PAG={p}")));
-    header.push("knee".into());
-    row(&header);
-    for &b in &widths {
-        let mut cells = vec![format!("b={b}")];
-        for &p in &parallelisms {
-            let pt = points
-                .iter()
-                .find(|x| x.sa_width == b && x.pag_parallelism == p)
-                .expect("swept point");
-            cells.push(format!("{:.2}", pt.heads_per_second / base));
+        // Normalize to the slowest configuration, as the paper's bars are.
+        let base = points.iter().map(|p| p.heads_per_second).fold(f64::INFINITY, f64::min);
+
+        let mut header = vec!["SA width".to_string()];
+        header.extend(parallelisms.iter().map(|p| format!("PAG={p}")));
+        header.push("knee".into());
+        row(&header);
+        for &b in &widths {
+            let mut cells = vec![format!("b={b}")];
+            for &p in &parallelisms {
+                let pt = points
+                    .iter()
+                    .find(|x| x.sa_width == b && x.pag_parallelism == p)
+                    .expect("swept point");
+                cells.push(format!("{:.2}", pt.heads_per_second / base));
+            }
+            cells.push(format!("PAG={}", best_pag_parallelism(&points, b, 0.01)));
+            row(&cells);
         }
-        cells.push(format!("PAG={}", best_pag_parallelism(&points, b, 0.01)));
-        row(&cells);
-    }
 
-    println!();
-    println!("paper: knee at PAG = 2x SA width for every width; sub-linear width scaling");
+        println!();
+        println!("paper: knee at PAG = 2x SA width for every width; sub-linear width scaling");
+        Ok(())
+    })
 }

@@ -19,8 +19,10 @@
 //! | `end_to_end` | §VI-C end-to-end performance |
 //! | `ablation_*` | design-choice ablations (DESIGN.md §5) |
 
+pub mod cli;
 mod report;
 
+pub use cli::{cli_main, parse_jobs_only, parse_list, parse_num, FlagParser};
 pub use report::{CsvTable, JsonReport, JsonValue, SCHEMA_VERSION};
 
 use cta_sim::{AttentionTask, CtaAccelerator, HwConfig, SimReport};

@@ -1,0 +1,128 @@
+//! The `Parallelism` knob: one type that every harness layer shares.
+//!
+//! Precedence, highest first: an explicit `--jobs N` flag (parsed with
+//! [`Parallelism::parse_arg`]), the `CTA_JOBS` environment variable, the
+//! machine's available cores. Tests and pinned baselines use
+//! [`Parallelism::serial`], which runs every task inline on the calling
+//! thread — no worker threads are spawned at all.
+
+/// How many workers a pool may use. Always at least one.
+///
+/// `Parallelism` is a plain value (`Copy`), so harness configs can embed
+/// it and thread it through to the tensor kernels without lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    jobs: usize,
+}
+
+/// Environment variable consulted by [`Parallelism::from_env`].
+pub const JOBS_ENV: &str = "CTA_JOBS";
+
+impl Parallelism {
+    /// Exactly one worker: every task runs inline on the calling thread.
+    ///
+    /// This is the deterministic baseline configuration; the pool spawns
+    /// no threads at all under it.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self { jobs: 1 }
+    }
+
+    /// Exactly `n` workers. `0` is clamped to `1` (a pool with no workers
+    /// could never finish).
+    #[must_use]
+    pub fn jobs(n: usize) -> Self {
+        Self { jobs: n.max(1) }
+    }
+
+    /// One worker per available hardware thread (falls back to `1` when
+    /// the platform cannot report a count).
+    #[must_use]
+    pub fn available() -> Self {
+        Self::jobs(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The default for harness binaries: `CTA_JOBS` if it is set to a
+    /// positive integer, otherwise [`Parallelism::available`]. A present
+    /// but unparseable value is ignored (it is a *default*, not an
+    /// argument; `--jobs` is the strict spelling).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(JOBS_ENV) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Self::jobs(n),
+                _ => Self::available(),
+            },
+            Err(_) => Self::available(),
+        }
+    }
+
+    /// Parses a `--jobs` argument: a positive integer.
+    pub fn parse_arg(s: &str) -> Result<Self, String> {
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Self::jobs(n)),
+            _ => Err(format!("--jobs takes a positive integer, got {s:?}")),
+        }
+    }
+
+    /// The worker count (always `>= 1`).
+    pub fn get(self) -> usize {
+        self.jobs
+    }
+
+    /// Whether this configuration runs everything inline.
+    pub fn is_serial(self) -> bool {
+        self.jobs == 1
+    }
+}
+
+impl Default for Parallelism {
+    /// Defaults to [`Parallelism::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Parallelism::jobs(0).get(), 1);
+        assert!(Parallelism::jobs(0).is_serial());
+        assert_eq!(Parallelism::jobs(4).get(), 4);
+        assert!(!Parallelism::jobs(4).is_serial());
+    }
+
+    #[test]
+    fn serial_is_one_worker() {
+        assert_eq!(Parallelism::serial().get(), 1);
+        assert!(Parallelism::serial().is_serial());
+    }
+
+    #[test]
+    fn available_reports_at_least_one() {
+        assert!(Parallelism::available().get() >= 1);
+    }
+
+    #[test]
+    fn parse_arg_accepts_positive_integers_only() {
+        assert_eq!(Parallelism::parse_arg("3").unwrap().get(), 3);
+        assert!(Parallelism::parse_arg("0").is_err());
+        assert!(Parallelism::parse_arg("-2").is_err());
+        assert!(Parallelism::parse_arg("four").is_err());
+        assert!(Parallelism::parse_arg("").is_err());
+    }
+
+    #[test]
+    fn display_is_the_worker_count() {
+        assert_eq!(Parallelism::jobs(6).to_string(), "6");
+    }
+}

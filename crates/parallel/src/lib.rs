@@ -1,0 +1,46 @@
+#![deny(missing_docs)]
+
+//! # cta-parallel — a deterministic scoped work-stealing thread pool
+//!
+//! Every hot path in the workspace — the Fig. 11/12 ten-case grids, the
+//! `serve_sweep`/`degradation_sweep`/`brownout_sweep` replica×load×MTBF
+//! grids, and the row-panel tensor kernels — fans out over *independent*
+//! units of work. This crate supplies the one piece of machinery they all
+//! share: a dependency-free (std-only, the build has no registry access)
+//! scoped thread pool with three invariants:
+//!
+//! 1. **Determinism** — [`ThreadPool::par_map`] returns results in
+//!    submission order no matter which worker finished which task first,
+//!    and [`ThreadPool::par_chunks_mut`] hands each chunk to exactly one
+//!    task. A caller whose per-task function is itself deterministic gets
+//!    bitwise-identical output at any `--jobs` value, which is what lets
+//!    the golden-file sweep pins survive parallelisation.
+//! 2. **Work stealing** — tasks are distributed as per-worker index
+//!    ranges; an idle worker steals the upper half of the richest
+//!    remaining range, so skewed task costs (a slow DSE corner, one
+//!    overloaded sweep point) don't serialise the run.
+//! 3. **Scoped borrows** — everything runs under [`std::thread::scope`],
+//!    so tasks may borrow from the caller's stack; no `'static` bounds,
+//!    no `Arc` plumbing.
+//!
+//! Worker counts come from one place, [`Parallelism`]: `--jobs N` on the
+//! harness CLIs, the `CTA_JOBS` environment variable, or the machine's
+//! available cores, with [`Parallelism::serial`] for tests and pinned
+//! baselines. Pool occupancy is observable: the `_timed` entry points
+//! also return one [`TaskSpan`] per task, which `cta-telemetry` renders
+//! as per-worker Chrome-trace lanes.
+//!
+//! # Example
+//!
+//! ```
+//! use cta_parallel::{par_map, Parallelism};
+//!
+//! let squares = par_map(Parallelism::jobs(4), &[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]); // submission order, always
+//! ```
+
+mod config;
+mod pool;
+
+pub use config::Parallelism;
+pub use pool::{par_map, TaskSpan, ThreadPool};

@@ -1,0 +1,440 @@
+//! The scoped work-stealing pool.
+//!
+//! Work is an index space `0..tasks`. Each worker owns a contiguous range
+//! of it behind a `Mutex`; it pops from the *front* of its own range and,
+//! when empty, steals the *back* half of the richest remaining range.
+//! Ranges only ever shrink or move between workers, so every index is
+//! executed exactly once and the pool terminates when a full scan finds
+//! every range empty (any indices cut out mid-scan are already owned — and
+//! will be finished — by the worker that cut them).
+//!
+//! Determinism contract: the *assignment* of tasks to workers and the
+//! *completion order* are scheduling-dependent, but [`ThreadPool::par_map`]
+//! returns results indexed by submission order and
+//! [`ThreadPool::par_chunks_mut`] gives each chunk to exactly one task, so
+//! a deterministic per-task function yields bitwise-identical output at
+//! any worker count.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::Parallelism;
+
+/// One executed task, for pool-occupancy telemetry: which worker ran which
+/// task index over which wall-clock interval (seconds since the pool
+/// started this batch).
+///
+/// Spans are wall-clock measurements and therefore *not* deterministic;
+/// they never feed back into results, only into observability exports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpan {
+    /// Worker index in `0..workers`.
+    pub worker: u32,
+    /// Task index in `0..tasks` (the `par_map` submission index).
+    pub index: usize,
+    /// Start of execution, seconds since the batch began.
+    pub start_s: f64,
+    /// End of execution, seconds since the batch began.
+    pub end_s: f64,
+}
+
+/// A scoped work-stealing thread pool.
+///
+/// The pool is a lightweight handle (just a worker count): each batch
+/// entry point spawns its workers under [`std::thread::scope`], so tasks
+/// may borrow from the caller's stack and every thread is joined before
+/// the call returns. With [`Parallelism::serial`] (or a single-task
+/// batch) everything runs inline on the calling thread and no thread is
+/// spawned at all.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+/// Locks ignoring poisoning: a panicking task already aborts the batch
+/// (the panic is resumed after join), so surviving workers may keep
+/// draining the queues in the meantime.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The shared index-range deques, one `[lo, hi)` per worker.
+struct Ranges {
+    ranges: Vec<Mutex<(usize, usize)>>,
+}
+
+impl Ranges {
+    /// Splits `0..n` into `k` contiguous near-equal ranges.
+    fn split(n: usize, k: usize) -> Self {
+        let ranges = (0..k).map(|w| Mutex::new((w * n / k, (w + 1) * n / k))).collect();
+        Self { ranges }
+    }
+
+    /// Pops the next index from worker `w`'s own range front.
+    fn pop_own(&self, w: usize) -> Option<usize> {
+        let mut g = lock(&self.ranges[w]);
+        let (lo, hi) = *g;
+        if lo < hi {
+            *g = (lo + 1, hi);
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// Steals the back half of the richest non-empty range, installs the
+    /// remainder as worker `w`'s new range, and returns the first stolen
+    /// index. `None` means every range was observed empty in one full
+    /// scan — all remaining work is in the hands of running workers.
+    fn steal(&self, w: usize) -> Option<usize> {
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (victim, remaining)
+            for v in 0..self.ranges.len() {
+                if v == w {
+                    continue;
+                }
+                let (lo, hi) = *lock(&self.ranges[v]);
+                let rem = hi - lo;
+                if rem > best.map_or(0, |(_, r)| r) {
+                    best = Some((v, rem));
+                }
+            }
+            let (victim, _) = best?;
+            let (mid, hi) = {
+                let mut g = lock(&self.ranges[victim]);
+                let (lo, hi) = *g;
+                if lo >= hi {
+                    // Raced empty between the scan and the cut; rescan.
+                    continue;
+                }
+                // Victim keeps the front half it is already streaming
+                // through; the thief takes [mid, hi). rem == 1 hands the
+                // single pending index to the thief (the victim is busy
+                // running a task anyway).
+                let mid = lo + (hi - lo) / 2;
+                *g = (lo, mid);
+                (mid, hi)
+            };
+            *lock(&self.ranges[w]) = (mid + 1, hi);
+            return Some(mid);
+        }
+    }
+}
+
+/// Runs `n` tasks over `workers` threads, returning per-submission-index
+/// results and (when `timed`) one span per task.
+fn execute<R, F>(workers: usize, n: usize, timed: bool, f: &F) -> (Vec<R>, Vec<TaskSpan>)
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let epoch = Instant::now();
+    let k = workers.min(n).max(1);
+    if k == 1 {
+        // Inline fast path: no threads, no queues, identical call order.
+        let mut out = Vec::with_capacity(n);
+        let mut spans = Vec::new();
+        for i in 0..n {
+            let start_s = timed.then(|| epoch.elapsed().as_secs_f64());
+            out.push(f(0, i));
+            if let Some(start_s) = start_s {
+                spans.push(TaskSpan {
+                    worker: 0,
+                    index: i,
+                    start_s,
+                    end_s: epoch.elapsed().as_secs_f64(),
+                });
+            }
+        }
+        return (out, spans);
+    }
+
+    let ranges = Ranges::split(n, k);
+    let worker_loop = |w: usize| {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        let mut spans: Vec<TaskSpan> = Vec::new();
+        while let Some(idx) = ranges.pop_own(w).or_else(|| ranges.steal(w)) {
+            let start_s = timed.then(|| epoch.elapsed().as_secs_f64());
+            let r = f(w, idx);
+            if let Some(start_s) = start_s {
+                spans.push(TaskSpan {
+                    worker: w as u32,
+                    index: idx,
+                    start_s,
+                    end_s: epoch.elapsed().as_secs_f64(),
+                });
+            }
+            local.push((idx, r));
+        }
+        (local, spans)
+    };
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut spans: Vec<TaskSpan> = Vec::new();
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..k).map(|w| s.spawn(move || worker_loop(w))).collect();
+        for h in handles {
+            match h.join() {
+                Ok((local, local_spans)) => {
+                    for (idx, r) in local {
+                        debug_assert!(slots[idx].is_none(), "index {idx} executed twice");
+                        slots[idx] = Some(r);
+                    }
+                    spans.extend(local_spans);
+                }
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            };
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    let out = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} never ran")))
+        .collect();
+    // Per-worker time order (each worker's spans are already monotonic);
+    // stable across merges so trace export sees ordered lanes.
+    spans.sort_by(|a, b| {
+        (a.worker, a.start_s, a.index)
+            .partial_cmp(&(b.worker, b.start_s, b.index))
+            .expect("finite span times")
+    });
+    (out, spans)
+}
+
+impl ThreadPool {
+    /// A pool handle with `par.get()` workers.
+    #[must_use]
+    pub fn new(par: Parallelism) -> Self {
+        Self { workers: par.get() }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `tasks` indexed tasks to completion across the pool inside a
+    /// thread scope: `f(worker, index)` may borrow from the caller's
+    /// stack. Returns once every task has run; a panicking task is
+    /// propagated after all workers have drained.
+    pub fn scoped<F: Fn(usize, usize) + Sync>(&self, tasks: usize, f: F) {
+        let _ = execute(self.workers, tasks, false, &|w, i| f(w, i));
+    }
+
+    /// [`ThreadPool::scoped`], additionally returning one wall-clock
+    /// [`TaskSpan`] per task for pool-occupancy telemetry.
+    #[must_use]
+    pub fn scoped_timed<F: Fn(usize, usize) + Sync>(&self, tasks: usize, f: F) -> Vec<TaskSpan> {
+        let (_, spans) = execute(self.workers, tasks, true, &|w, i| f(w, i));
+        spans
+    }
+
+    /// Maps `f` over `items` on the pool, returning results **in
+    /// submission order** regardless of completion order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let (out, _) = execute(self.workers, items.len(), false, &|_, i| f(&items[i]));
+        out
+    }
+
+    /// [`ThreadPool::par_map`], additionally returning one wall-clock
+    /// [`TaskSpan`] per task for pool-occupancy telemetry.
+    pub fn par_map_timed<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, Vec<TaskSpan>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        execute(self.workers, items.len(), true, &|_, i| f(&items[i]))
+    }
+
+    /// Splits `data` into contiguous chunks of `chunk_len` elements (the
+    /// last may be shorter) and runs `f(chunk_index, chunk)` for each,
+    /// every chunk touched by exactly one task. This is the row-panel
+    /// entry point the tensor kernels use: one output panel per task,
+    /// with the serial per-row arithmetic order preserved inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "par_chunks_mut requires a positive chunk length");
+        let chunks: Vec<Mutex<Option<&mut [T]>>> =
+            data.chunks_mut(chunk_len).map(|c| Mutex::new(Some(c))).collect();
+        self.scoped(chunks.len(), |_, i| {
+            let chunk = lock(&chunks[i]).take().expect("each chunk is claimed exactly once");
+            f(i, chunk);
+        });
+    }
+}
+
+/// Convenience free function: [`ThreadPool::par_map`] on a fresh pool.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    ThreadPool::new(par).par_map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_submission_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = par_map(Parallelism::jobs(jobs), &items, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_order_survives_skewed_task_costs() {
+        // Early indices sleep, late ones return instantly: completion
+        // order is roughly reversed, submission order must hold anyway.
+        let items: Vec<u64> = (0..16).collect();
+        let out = par_map(Parallelism::jobs(4), &items, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 100
+        });
+        assert_eq!(out, (100..116).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let n = 1000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        ThreadPool::new(Parallelism::jobs(8)).scoped(n, |_, i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn stealing_redistributes_a_skewed_front_range() {
+        // All the slow work sits in worker 0's initial range; with
+        // stealing, other workers finish it in well under the serial time.
+        let pool = ThreadPool::new(Parallelism::jobs(4));
+        let spans = pool.scoped_timed(8, |_, i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        });
+        assert_eq!(spans.len(), 8);
+        let workers: std::collections::HashSet<u32> = spans.iter().map(|s| s.worker).collect();
+        assert!(workers.len() > 1, "skewed load should be spread over several workers");
+    }
+
+    #[test]
+    fn scoped_tasks_may_borrow_the_stack() {
+        let inputs = [2usize, 3, 5, 7];
+        let sums: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        ThreadPool::new(Parallelism::jobs(2)).scoped(4, |_, i| {
+            sums[i].store(inputs[i] * 10, Ordering::Relaxed);
+        });
+        let got: Vec<usize> = sums.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![20, 30, 50, 70]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_exactly_once() {
+        let mut data = vec![0u32; 103];
+        ThreadPool::new(Parallelism::jobs(4)).par_chunks_mut(&mut data, 10, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1 + ci as u32;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, 1 + (i / 10) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_chunks() {
+        let serial: Vec<u64> = {
+            let mut d: Vec<u64> = (0..57).collect();
+            for (ci, chunk) in d.chunks_mut(8).enumerate() {
+                for x in chunk.iter_mut() {
+                    *x = *x * 7 + ci as u64;
+                }
+            }
+            d
+        };
+        let mut parallel: Vec<u64> = (0..57).collect();
+        ThreadPool::new(Parallelism::jobs(3)).par_chunks_mut(&mut parallel, 8, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x = *x * 7 + ci as u64;
+            }
+        });
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive chunk length")]
+    fn par_chunks_mut_rejects_zero_chunk_len() {
+        ThreadPool::new(Parallelism::serial()).par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn timed_spans_cover_every_task_with_ordered_lanes() {
+        let pool = ThreadPool::new(Parallelism::jobs(3));
+        let spans = pool.scoped_timed(24, |_, _| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert_eq!(spans.len(), 24);
+        let mut seen: Vec<usize> = spans.iter().map(|s| s.index).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..24).collect::<Vec<_>>());
+        for s in &spans {
+            assert!(s.end_s >= s.start_s && s.start_s >= 0.0);
+            assert!((s.worker as usize) < 3);
+        }
+        // Within one worker the spans are time-ordered (what the Chrome
+        // exporter requires of a lane).
+        for pair in spans.windows(2) {
+            if pair[0].worker == pair[1].worker {
+                assert!(pair[0].start_s <= pair[1].start_s);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_batches_run_inline() {
+        let out: Vec<u8> = par_map(Parallelism::jobs(8), &[], |_: &u8| unreachable!());
+        assert!(out.is_empty());
+        let one = par_map(Parallelism::jobs(8), &[41u64], |&x| x + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let result = std::panic::catch_unwind(|| {
+            ThreadPool::new(Parallelism::jobs(2)).scoped(8, |_, i| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+            });
+        });
+        assert!(result.is_err(), "pool must re-raise a task panic");
+    }
+}

@@ -35,6 +35,13 @@
 //! [`simulate_fleet`] reproduces `cta_sim::simulate_serving` exactly —
 //! the `equivalence` integration test pins that.
 //!
+//! The sweep binaries (`serve_sweep`, `degradation_sweep`,
+//! `brownout_sweep`) are thin adapters over [`sweeps`], which in turn
+//! builds on the shared [`harness`] API: one [`harness::SweepSpec`]
+//! declaration per experiment, parallel grid evaluation on the
+//! `cta-parallel` pool (`--jobs`), and an ordered reduction that keeps
+//! every output byte independent of the worker count.
+//!
 //! # Example
 //!
 //! ```
@@ -51,6 +58,7 @@
 mod admission;
 mod cost;
 mod fault;
+pub mod harness;
 mod loadgen;
 mod metrics;
 mod overload;
@@ -58,10 +66,12 @@ mod replica;
 mod request;
 mod routing;
 mod runtime;
+pub mod sweeps;
 
 pub use admission::{AdmissionPolicy, ShedReason};
 pub use cost::CostModel;
 pub use fault::{CrashWindow, FaultPlan, LinkStall, RetryPolicy, Slowdown};
+pub use harness::{Harness, PointOutput, SweepSpec};
 pub use loadgen::{
     mmpp_requests, poisson_requests, replay_trace, LoadSpec, MmppParams, TraceError,
 };

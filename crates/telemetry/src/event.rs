@@ -33,11 +33,14 @@ pub enum Module {
     /// The hedging lane: hedge issue / win / cancel markers and hedged
     /// request intervals.
     Hedge,
+    /// A harness thread-pool worker lane: one task-execution interval per
+    /// scheduled task, used by the `--pool-trace` occupancy export.
+    Worker,
 }
 
 impl Module {
     /// All lanes, in display order.
-    pub const ALL: [Module; 10] = [
+    pub const ALL: [Module; 11] = [
         Module::Sa,
         Module::Cim,
         Module::Cag,
@@ -48,6 +51,7 @@ impl Module {
         Module::Brownout,
         Module::Breaker,
         Module::Hedge,
+        Module::Worker,
     ];
 
     /// Human-readable lane name (the Chrome trace thread name).
@@ -63,6 +67,7 @@ impl Module {
             Module::Brownout => "brownout",
             Module::Breaker => "breaker",
             Module::Hedge => "hedge",
+            Module::Worker => "worker",
         }
     }
 
@@ -80,6 +85,7 @@ impl Module {
             Module::Brownout => 7,
             Module::Breaker => 8,
             Module::Hedge => 9,
+            Module::Worker => 10,
         }
     }
 }
@@ -123,6 +129,8 @@ pub enum SpanClass {
     /// Overload-control intervals: brownout operating points, breaker
     /// open / half-open windows, hedge lifetimes.
     Control,
+    /// Thread-pool task execution (worker-lane occupancy intervals).
+    Pool,
 }
 
 impl SpanClass {
@@ -137,6 +145,7 @@ impl SpanClass {
             SpanClass::Lifecycle => "lifecycle",
             SpanClass::Fault => "fault",
             SpanClass::Control => "control",
+            SpanClass::Pool => "pool",
         }
     }
 }

@@ -14,16 +14,21 @@
 //!   in `chrome://tracing` / Perfetto) and [`AggregateReport`] (per-phase
 //!   totals, bubble attribution, SA occupancy);
 //! - a structural validator, [`validate_chrome_trace`], used by CI and by
-//!   `cta trace --check`.
+//!   `cta trace --check`;
+//! - a pool-occupancy bridge, [`pool_occupancy_events`], that turns
+//!   `cta-parallel` task spans into per-worker tracks for `--pool-trace`
+//!   exports.
 
 #![deny(missing_docs)]
 
 mod aggregate;
 mod chrome;
 mod event;
+mod pool;
 mod sink;
 
 pub use aggregate::{AggregateReport, ReplicaStats};
 pub use chrome::{chrome_trace_json, validate_chrome_trace, TraceStats};
 pub use event::{Event, EventKind, Module, SpanClass, TrackId};
+pub use pool::pool_occupancy_events;
 pub use sink::{NullSink, RingBufferSink, TraceSink};

@@ -1,0 +1,136 @@
+//! Pool-occupancy telemetry: thread-pool task spans as trace events.
+//!
+//! [`pool_occupancy_events`] converts the [`TaskSpan`] records emitted by
+//! `cta-parallel`'s timed execution paths into [`Event`]s on one
+//! [`Module::Worker`] track per worker, so a `--pool-trace` export shows
+//! the pool's occupancy timeline in `chrome://tracing` / Perfetto: one
+//! process per worker, one `task` span per executed task, plus an
+//! `active_workers` counter sampled at every task boundary.
+//!
+//! Task wall-clock times are inherently nondeterministic, which is why
+//! occupancy traces are exported to their own file and never byte-pinned —
+//! the deterministic result traces stay on the calling thread.
+
+use cta_parallel::TaskSpan;
+
+use crate::{Event, EventKind, Module, SpanClass, TrackId};
+
+/// Converts timed pool spans into trace events.
+///
+/// Each worker becomes its own track (`replica == worker`,
+/// lane [`Module::Worker`]); each task becomes a non-bubble
+/// [`SpanClass::Pool`] span named `"task"`. An `active_workers` counter on
+/// worker 0's track samples how many workers are mid-task at every span
+/// boundary, so the occupancy ramp is visible without counting rows.
+///
+/// The input order does not matter; events are emitted sorted by worker
+/// and start time (the order `chrome_trace_json` requires per track).
+pub fn pool_occupancy_events(spans: &[TaskSpan]) -> Vec<Event> {
+    let mut spans: Vec<TaskSpan> = spans.to_vec();
+    spans.sort_by(|a, b| {
+        (a.worker, a.start_s, a.index)
+            .partial_cmp(&(b.worker, b.start_s, b.index))
+            .expect("task span times are finite")
+    });
+    let mut events = Vec::with_capacity(spans.len() * 3);
+    for s in &spans {
+        events.push(Event {
+            track: TrackId::new(s.worker, Module::Worker),
+            name: "task",
+            t_s: s.start_s,
+            kind: EventKind::Span { end_s: s.end_s, class: SpanClass::Pool, bubble: false },
+        });
+    }
+    // Occupancy counter: +1 at each start, -1 at each end, sampled on
+    // worker 0's track. Ends sort before starts at equal times so a
+    // back-to-back handoff does not overshoot the worker count.
+    let mut edges: Vec<(f64, i32)> = Vec::with_capacity(spans.len() * 2);
+    for s in &spans {
+        edges.push((s.start_s, 1));
+        edges.push((s.end_s, -1));
+    }
+    edges.sort_by(|a, b| a.partial_cmp(b).expect("finite edge times"));
+    let counter_track = TrackId::new(0, Module::Worker);
+    let mut active = 0i32;
+    for (t_s, delta) in edges {
+        active += delta;
+        events.push(Event {
+            track: counter_track,
+            name: "active_workers",
+            t_s,
+            kind: EventKind::Counter { value: active as f64 },
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chrome_trace_json, validate_chrome_trace};
+    use cta_parallel::{Parallelism, ThreadPool};
+
+    fn spans(raw: &[(u32, usize, f64, f64)]) -> Vec<TaskSpan> {
+        raw.iter()
+            .map(|&(worker, index, start_s, end_s)| TaskSpan { worker, index, start_s, end_s })
+            .collect()
+    }
+
+    #[test]
+    fn one_span_per_task_plus_counter_edges() {
+        let events =
+            pool_occupancy_events(&spans(&[(0, 0, 0.0, 1.0), (1, 1, 0.5, 2.0), (0, 2, 1.5, 2.5)]));
+        let tasks = events.iter().filter(|e| matches!(e.kind, EventKind::Span { .. })).count();
+        let counters =
+            events.iter().filter(|e| matches!(e.kind, EventKind::Counter { .. })).count();
+        assert_eq!(tasks, 3);
+        assert_eq!(counters, 6, "one +1 and one -1 sample per task");
+    }
+
+    #[test]
+    fn counter_peaks_at_concurrent_task_count() {
+        let events =
+            pool_occupancy_events(&spans(&[(0, 0, 0.0, 2.0), (1, 1, 0.5, 2.5), (2, 2, 1.0, 3.0)]));
+        let peak = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Counter { value } => Some(value),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        assert_eq!(peak, 3.0);
+    }
+
+    #[test]
+    fn back_to_back_handoff_does_not_overshoot() {
+        // Worker 0 finishes a task at exactly t=1.0 and worker 1 starts
+        // one at t=1.0: the -1 edge must apply first.
+        let events = pool_occupancy_events(&spans(&[(0, 0, 0.0, 1.0), (1, 1, 1.0, 2.0)]));
+        let peak = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Counter { value } => Some(value),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        assert_eq!(peak, 1.0);
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let pool = ThreadPool::new(Parallelism::jobs(3));
+        let spans = pool.scoped_timed(17, |_worker, index| {
+            std::hint::black_box(index * index);
+        });
+        let events = pool_occupancy_events(&spans);
+        let stats = validate_chrome_trace(&chrome_trace_json(&events)).expect("valid pool trace");
+        assert_eq!(stats.begins, 17);
+        assert_eq!(stats.ends, 17);
+        assert_eq!(stats.counters, 34);
+    }
+
+    #[test]
+    fn empty_span_list_gives_no_events() {
+        assert!(pool_occupancy_events(&[]).is_empty());
+    }
+}

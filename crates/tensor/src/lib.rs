@@ -5,10 +5,12 @@
 //! Every other crate in the workspace (LSH clustering, the attention
 //! algorithms, the accelerator simulator, the baseline hardware models)
 //! computes with the row-major [`Matrix`] type defined here. The crate is
-//! deliberately small and dependency-free apart from `rand`: it provides
-//! exactly the operations attention needs — matrix products, transposes,
-//! row-wise softmax, norms — plus seeded random initialisation and the
-//! scalar statistics helpers used by the benchmark harness.
+//! deliberately small and dependency-free apart from `rand` and
+//! `cta-parallel`: it provides exactly the operations attention needs —
+//! matrix products, transposes, row-wise softmax, norms — plus seeded
+//! random initialisation and the scalar statistics helpers used by the
+//! benchmark harness. The `par_matmul` family runs the same kernels over
+//! row panels on a work-stealing pool with bitwise-identical results.
 //!
 //! # Example
 //!
@@ -24,6 +26,7 @@
 mod matrix;
 mod nn;
 mod ops;
+mod par;
 mod random;
 mod softmax;
 mod stats;

@@ -16,9 +16,13 @@
 //! * [`baselines`] — V100 GPU, ELSA and ideal-accelerator models;
 //! * [`workloads`] — synthetic transformer workloads and the model zoo;
 //! * [`serve`] — the fleet serving runtime: continuous batching,
-//!   multi-replica routing, SLO-aware admission;
+//!   multi-replica routing, SLO-aware admission; plus the shared sweep
+//!   harness ([`SweepSpec`]) behind the sweep binaries;
 //! * [`telemetry`] — zero-cost tracing: span/counter events, ring-buffer
-//!   sink, Chrome Trace Format export and aggregation reports.
+//!   sink, Chrome Trace Format export and aggregation reports;
+//! * [`parallel`] — the deterministic work-stealing thread pool behind
+//!   `--jobs` everywhere ([`Parallelism`], ordered `par_map`,
+//!   row-panel `par_chunks_mut`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
@@ -28,8 +32,12 @@ pub use cta_baselines as baselines;
 pub use cta_fixed as fixed;
 pub use cta_lsh as lsh;
 pub use cta_model as model;
+pub use cta_parallel as parallel;
 pub use cta_serve as serve;
 pub use cta_sim as sim;
 pub use cta_telemetry as telemetry;
 pub use cta_tensor as tensor;
 pub use cta_workloads as workloads;
+
+pub use cta_parallel::Parallelism;
+pub use cta_serve::SweepSpec;
