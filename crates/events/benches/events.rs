@@ -1,0 +1,100 @@
+//! Microbenchmarks of the event core: calendar-queue schedule/pop
+//! throughput at 1e6 events, cancellation, and the heap-of-tuples
+//! baseline for comparison. The fleet-level step-vs-event comparison
+//! lives in the `bench_events` bin (it needs the serving runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cta_events::{CalendarQueue, DetRng, EventKey};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+const N: usize = 1_000_000;
+
+/// Pre-drawn event keys: Poisson-ish arrival times over a 1k-second
+/// horizon with the runtime's five class ranks.
+fn keys() -> Vec<EventKey> {
+    let mut rng = DetRng::seeded(0xE7E27);
+    let mut t = 0.0f64;
+    (0..N)
+        .map(|i| {
+            t += rng.next_f64() * 2e-3;
+            EventKey::new(t, (i % 5) as u8, i as u64)
+        })
+        .collect()
+}
+
+fn bench_events(c: &mut Criterion) {
+    let keys = keys();
+
+    c.bench_function("events/calendar_schedule_pop_1e6", |b| {
+        b.iter(|| {
+            let mut q = CalendarQueue::new();
+            for (i, k) in keys.iter().enumerate() {
+                q.schedule(*k, i as u64);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+
+    type HeapEntry = Reverse<((u64, u8, u64, u64), u64)>;
+    c.bench_function("events/heap_schedule_pop_1e6", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeap<HeapEntry> = BinaryHeap::new();
+            for (i, k) in keys.iter().enumerate() {
+                q.push(Reverse(((k.t.to_bits(), k.class, k.tie, i as u64), i as u64)));
+            }
+            let mut acc = 0u64;
+            while let Some(Reverse((_, v))) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("events/calendar_interleaved_hold_1e5", |b| {
+        // The hold model: steady-state queue of ~1k events, pop one /
+        // schedule one — the pattern the fleet loop produces.
+        b.iter(|| {
+            let mut rng = DetRng::seeded(0x401D);
+            let mut q = CalendarQueue::new();
+            let mut t = 0.0f64;
+            for i in 0..1_000u64 {
+                t += rng.next_f64();
+                q.schedule(EventKey::new(t, 0, i), i);
+            }
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                let (k, v) = q.pop().expect("held at 1k");
+                acc = acc.wrapping_add(v);
+                q.schedule(EventKey::new(k.t + 1_000.0 * rng.next_f64(), 0, i), i);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("events/calendar_cancel_half_1e5", |b| {
+        b.iter(|| {
+            let mut q = CalendarQueue::new();
+            let ids: Vec<_> = keys
+                .iter()
+                .take(100_000)
+                .enumerate()
+                .map(|(i, k)| q.schedule(*k, i as u64))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                black_box(q.cancel(*id));
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

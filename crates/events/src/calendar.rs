@@ -1,0 +1,438 @@
+//! The calendar-queue priority structure.
+//!
+//! A calendar queue (Brown, CACM 1988) hashes events by time into a ring
+//! of `N` buckets of width `w` seconds — bucket `⌊t/w⌋ mod N` — and pops
+//! by walking the ring one *virtual bucket* (one `⌊t/w⌋` value) at a
+//! time, popping bucket heads whose virtual bucket matches the cursor.
+//! With `N` tracking occupancy (the queue doubles above 2 events/bucket
+//! and halves below 1/8) and `w` tracking the mean inter-event gap,
+//! buckets hold O(1) events and both `schedule` and `pop` are O(1)
+//! amortized. When the calendar is sparse relative to the next event
+//! (a far-future timer and nothing else), a full ring scan falls back to
+//! a direct O(N) minimum search and jumps the cursor there — the
+//! hierarchical-overflow behaviour of a timer wheel without a second
+//! level.
+//!
+//! Determinism contract: pops follow the total order
+//! `(t, class, tie, schedule seq)` exactly — see [`EventKey`] — and the
+//! pop sequence is a pure function of the schedule/cancel history. No
+//! hash-map iteration, no address-dependent ordering.
+
+/// Total event ordering key: time, then class rank, then a caller tie.
+///
+/// `class` encodes the serving runtime's coincident-instant contract
+/// (fault `0` < arrival `1` < retry `2` < hedge `3` < step `4`), and
+/// `tie` the within-class ordinal (fault timeline index, arrival index,
+/// request id, replica index). Keys that still compare equal pop in
+/// schedule order (the queue's internal sequence number breaks the tie),
+/// so the order is total and reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventKey {
+    /// Event time, seconds. Must be finite and non-negative.
+    pub t: f64,
+    /// Class rank; smaller pops first at equal time.
+    pub class: u8,
+    /// Within-class tiebreak; smaller pops first at equal time and class.
+    pub tie: u64,
+}
+
+impl EventKey {
+    /// Builds a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN, infinite or negative — an event time that
+    /// defeats `<=` ordering must fail at the schedule site, not wedge
+    /// the loop.
+    pub fn new(t: f64, class: u8, tie: u64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "event time must be finite and non-negative, got {t}");
+        Self { t, class, tie }
+    }
+
+    /// The total order (NaN-free by construction). Named `order` rather
+    /// than implementing `Ord`: the fields are public and `f64`, so the
+    /// trait's totality could be violated by a hand-built NaN key —
+    /// this method panics there instead of lying.
+    pub fn order(&self, other: &Self) -> core::cmp::Ordering {
+        self.t
+            .partial_cmp(&other.t)
+            .expect("finite event times")
+            .then(self.class.cmp(&other.class))
+            .then(self.tie.cmp(&other.tie))
+    }
+}
+
+/// A cancellation token for one scheduled event.
+///
+/// Tokens are generation-checked: cancelling an event that already
+/// popped (or was already cancelled) returns `None` even if its slot was
+/// reused, so stale tokens are harmless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId {
+    slot: u32,
+    generation: u32,
+}
+
+struct Entry<E> {
+    key: EventKey,
+    /// Queue-assigned schedule sequence: the final tiebreak.
+    seq: u64,
+    /// Virtual bucket `⌊t/width⌋` (saturated for far-future times).
+    vb: u64,
+    payload: E,
+}
+
+/// Fewest buckets the ring shrinks to.
+const MIN_BUCKETS: usize = 16;
+/// Width-estimation sample cap (see [`CalendarQueue::rebuild`]).
+const WIDTH_SAMPLE: usize = 64;
+
+/// The calendar queue. See the module docs for the data structure and
+/// the determinism contract.
+pub struct CalendarQueue<E> {
+    /// Slot arena; `None` slots are free.
+    slots: Vec<Option<Entry<E>>>,
+    /// Per-slot generation, bumped on free (token validity check).
+    generations: Vec<u32>,
+    /// Free slot indices.
+    free: Vec<u32>,
+    /// The ring: bucket `b` holds slot indices of events with
+    /// `vb % buckets.len() == b`, sorted by `(key, seq)`.
+    buckets: Vec<Vec<u32>>,
+    /// Bucket width, seconds.
+    width: f64,
+    /// Pop cursor: the virtual bucket currently being drained. Every
+    /// live entry has `vb >= cur_vb` (schedules behind the cursor move
+    /// it back).
+    cur_vb: u64,
+    /// Live events.
+    len: usize,
+    /// Next schedule sequence number.
+    seq: u64,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue (16 buckets, 1 s width until the first resize).
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            buckets: vec![Vec::new(); MIN_BUCKETS],
+            width: 1.0,
+            cur_vb: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Live (scheduled, not yet popped or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The virtual bucket of `t` under `width`, saturating for times so
+    /// far out that `t/width` exceeds `u64` range (they all share the
+    /// last bucket, still sorted by key within it).
+    fn virtual_bucket(t: f64, width: f64) -> u64 {
+        let q = t / width;
+        if q >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            q as u64
+        }
+    }
+
+    /// Compares two live entries by the total order `(key, seq)`.
+    fn entry_cmp(&self, a: u32, b: u32) -> core::cmp::Ordering {
+        let ea = self.slots[a as usize].as_ref().expect("live entry");
+        let eb = self.slots[b as usize].as_ref().expect("live entry");
+        ea.key.order(&eb.key).then(ea.seq.cmp(&eb.seq))
+    }
+
+    /// Schedules an event, returning its cancellation token.
+    ///
+    /// Scheduling *behind* the pop cursor is allowed and moves the
+    /// cursor back: the serving runtime legitimately back-dates work
+    /// (a hedge copy landing on a long-idle replica steps at the copy's
+    /// original arrival time, earlier than the dispatch instant).
+    pub fn schedule(&mut self, key: EventKey, payload: E) -> EventId {
+        assert!(
+            key.t.is_finite() && key.t >= 0.0,
+            "event time must be finite and non-negative, got {}",
+            key.t
+        );
+        if self.len + 1 > 2 * self.buckets.len() {
+            self.rebuild(2 * self.buckets.len());
+        }
+        self.seq += 1;
+        let vb = Self::virtual_bucket(key.t, self.width);
+        self.cur_vb = self.cur_vb.min(vb);
+        let entry = Entry { key, seq: self.seq, vb, payload };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(entry);
+                s
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.generations.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let b = (vb % self.buckets.len() as u64) as usize;
+        let pos = self.buckets[b]
+            .binary_search_by(|&probe| self.entry_cmp(probe, slot))
+            .unwrap_or_else(|e| e);
+        self.buckets[b].insert(pos, slot);
+        self.len += 1;
+        EventId { slot, generation: self.generations[slot as usize] }
+    }
+
+    /// Cancels a scheduled event, returning its payload — or `None` if
+    /// the token is stale (the event already popped or was cancelled).
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        let idx = id.slot as usize;
+        if idx >= self.slots.len()
+            || self.generations[idx] != id.generation
+            || self.slots[idx].is_none()
+        {
+            return None;
+        }
+        let vb = self.slots[idx].as_ref().expect("checked occupied").vb;
+        let b = (vb % self.buckets.len() as u64) as usize;
+        let pos = self.buckets[b]
+            .binary_search_by(|&probe| self.entry_cmp(probe, id.slot))
+            .expect("scheduled event is in its bucket");
+        self.buckets[b].remove(pos);
+        let entry = self.release(id.slot);
+        self.maybe_shrink();
+        Some(entry.payload)
+    }
+
+    /// Pops the minimum-key event.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        let (b, _) = self.find_next()?;
+        let slot = self.buckets[b].remove(0);
+        let entry = self.release(slot);
+        self.maybe_shrink();
+        Some((entry.key, entry.payload))
+    }
+
+    /// The minimum key without popping (advances the internal cursor,
+    /// which is invisible to callers).
+    pub fn peek(&mut self) -> Option<EventKey> {
+        let (b, _) = self.find_next()?;
+        Some(self.slots[self.buckets[b][0] as usize].as_ref().expect("live entry").key)
+    }
+
+    /// Advances `cur_vb` to the next event and returns its
+    /// `(bucket, slot)`; `None` when empty. This is the calendar scan:
+    /// walk the ring one virtual bucket at a time popping matching
+    /// heads; after one fruitless full revolution, direct-search the
+    /// bucket heads and jump (the sparse/far-future fallback).
+    fn find_next(&mut self) -> Option<(usize, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        for _ in 0..self.buckets.len() {
+            let b = (self.cur_vb % n) as usize;
+            if let Some(&head) = self.buckets[b].first() {
+                let head_vb = self.slots[head as usize].as_ref().expect("live entry").vb;
+                debug_assert!(head_vb >= self.cur_vb, "event behind the pop cursor");
+                if head_vb == self.cur_vb {
+                    return Some((b, head));
+                }
+            }
+            self.cur_vb = self.cur_vb.saturating_add(1);
+        }
+        // Sparse year: no event within one revolution. Find the global
+        // minimum head directly and jump the cursor to it.
+        let mut best: Option<(usize, u32)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(&head) = bucket.first() {
+                best = match best {
+                    None => Some((b, head)),
+                    Some((_, cur)) if self.entry_cmp(head, cur).is_lt() => Some((b, head)),
+                    keep => keep,
+                };
+            }
+        }
+        let (b, slot) = best.expect("non-empty queue has a head");
+        self.cur_vb = self.slots[slot as usize].as_ref().expect("live entry").vb;
+        Some((b, slot))
+    }
+
+    /// Frees `slot`, bumping its generation so outstanding tokens die.
+    fn release(&mut self, slot: u32) -> Entry<E> {
+        let entry = self.slots[slot as usize].take().expect("live entry");
+        self.generations[slot as usize] = self.generations[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+        self.len -= 1;
+        entry
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 8 {
+            self.rebuild((self.buckets.len() / 2).max(MIN_BUCKETS));
+        }
+    }
+
+    /// Rebuilds the ring at `new_buckets` buckets, re-estimating the
+    /// width from the mean inter-event gap of a bounded sample. O(len)
+    /// plus the sample sort; triggered only after the occupancy doubled
+    /// or fell 8×, so amortized O(1) per operation.
+    fn rebuild(&mut self, new_buckets: usize) {
+        let mut live: Vec<u32> =
+            (0..self.slots.len() as u32).filter(|&i| self.slots[i as usize].is_some()).collect();
+        // Width: twice the mean positive gap between sampled event
+        // times, so consecutive events land in their own buckets but a
+        // bucket's year rarely needs more than a couple of hops.
+        let mut sample: Vec<f64> = live
+            .iter()
+            .take(WIDTH_SAMPLE)
+            .map(|&i| self.slots[i as usize].as_ref().expect("live entry").key.t)
+            .collect();
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite event times"));
+        let gaps: Vec<f64> = sample.windows(2).map(|w| w[1] - w[0]).filter(|&g| g > 0.0).collect();
+        if !gaps.is_empty() {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let width = 2.0 * mean;
+            if width.is_finite() && width > 0.0 {
+                self.width = width;
+            }
+        }
+        live.sort_by(|&a, &b| self.entry_cmp(a, b));
+        let mut buckets = vec![Vec::new(); new_buckets];
+        let mut min_vb = u64::MAX;
+        for &slot in &live {
+            let entry = self.slots[slot as usize].as_mut().expect("live entry");
+            entry.vb = Self::virtual_bucket(entry.key.t, self.width);
+            min_vb = min_vb.min(entry.vb);
+            // Inserted in global (key, seq) order, so per-bucket order
+            // stays sorted with plain pushes.
+            buckets[(entry.vb % new_buckets as u64) as usize].push(slot);
+        }
+        self.buckets = buckets;
+        self.cur_vb = if self.len == 0 { 0 } else { min_vb };
+    }
+}
+
+impl<E> core::fmt::Debug for CalendarQueue<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("len", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("width", &self.width)
+            .field("cur_vb", &self.cur_vb)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<E>(q: &mut CalendarQueue<E>) -> Vec<(EventKey, E)> {
+        let mut out = Vec::new();
+        while let Some(ev) = q.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_class_tie_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(EventKey::new(1.0, 4, 0), "step");
+        q.schedule(EventKey::new(1.0, 0, 0), "fault");
+        q.schedule(EventKey::new(0.5, 4, 1), "early-step");
+        q.schedule(EventKey::new(1.0, 2, 7), "retry-7");
+        q.schedule(EventKey::new(1.0, 2, 3), "retry-3");
+        let order: Vec<&str> = drain(&mut q).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, ["early-step", "fault", "retry-3", "retry-7", "step"]);
+    }
+
+    #[test]
+    fn identical_keys_pop_in_schedule_order() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10 {
+            q.schedule(EventKey::new(2.0, 1, 0), i);
+        }
+        let order: Vec<i32> = drain(&mut q).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_and_tokens_go_stale() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(EventKey::new(1.0, 0, 0), "a");
+        let b = q.schedule(EventKey::new(2.0, 0, 0), "b");
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None, "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.cancel(b), None, "popped events cannot be cancelled");
+        // Slot reuse must not resurrect the old token.
+        let c = q.schedule(EventKey::new(3.0, 0, 0), "c");
+        assert_eq!(q.cancel(b), None);
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.cancel(c), Some("c"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scheduling_behind_the_cursor_is_supported() {
+        let mut q = CalendarQueue::new();
+        q.schedule(EventKey::new(10.0, 0, 0), "late");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("late"));
+        // The cursor sits at t=10's bucket; a back-dated schedule must
+        // still pop (the runtime back-dates hedge-copy steps).
+        q.schedule(EventKey::new(1.0, 0, 0), "backdated");
+        q.schedule(EventKey::new(11.0, 0, 0), "next");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("backdated"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("next"));
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_heavy_load() {
+        let mut q = CalendarQueue::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            q.schedule(EventKey::new(i as f64 * 1e-4, 0, i), i);
+        }
+        assert!(q.buckets.len() >= n as usize / 2, "ring grew with occupancy");
+        for want in 0..n {
+            let (k, v) = q.pop().expect("still full");
+            assert_eq!(v, want);
+            assert_eq!(k.tie, want);
+        }
+        assert!(q.is_empty());
+        assert!(q.buckets.len() <= 2 * MIN_BUCKETS, "ring shrank after drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_times_are_rejected_at_schedule() {
+        let mut q = CalendarQueue::new();
+        q.schedule(EventKey { t: f64::NAN, class: 0, tie: 0 }, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_times_are_rejected_at_key_construction() {
+        let _ = EventKey::new(-1.0, 0, 0);
+    }
+}

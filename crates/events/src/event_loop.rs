@@ -1,0 +1,134 @@
+//! The event-loop driver surface: a [`Clock`] that follows popped event
+//! times and an [`EventLoop`] wrapping a [`CalendarQueue`].
+
+use crate::calendar::{CalendarQueue, EventId, EventKey};
+
+/// Simulation clock.
+///
+/// The clock follows popped event times. It is **not** monotone: the
+/// serving runtime legitimately back-dates work (a hedge copy landing
+/// on a long-idle replica steps at the copy's original arrival time,
+/// which can precede the dispatch instant), so `now` may move backwards
+/// across consecutive events. Handlers that need a monotone notion of
+/// time must track their own high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Clock {
+    now: f64,
+}
+
+impl Clock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Moves the clock to `t` (backwards allowed; see the type docs).
+    pub fn set(&mut self, t: f64) {
+        self.now = t;
+    }
+}
+
+/// A deterministic event loop: schedule, cancel, pop-and-advance.
+///
+/// `pop` removes the minimum-key event and advances the clock to its
+/// time. The pop order is the total order documented on [`EventKey`];
+/// it is a pure function of the schedule/cancel history.
+#[derive(Debug)]
+pub struct EventLoop<E> {
+    queue: CalendarQueue<E>,
+    clock: Clock,
+}
+
+impl<E> Default for EventLoop<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventLoop<E> {
+    /// An empty loop with the clock at t = 0.
+    pub fn new() -> Self {
+        Self { queue: CalendarQueue::new(), clock: Clock::new() }
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Schedules an event at `(t, class, tie)` — `t` before `now()` is
+    /// allowed (see [`Clock`]) — returning its cancellation token.
+    pub fn schedule(&mut self, t: f64, class: u8, tie: u64, payload: E) -> EventId {
+        self.queue.schedule(EventKey::new(t, class, tie), payload)
+    }
+
+    /// Cancels a scheduled event; `None` if the token is stale.
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        self.queue.cancel(id)
+    }
+
+    /// Pops the next event and advances the clock to its time.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        let (key, payload) = self.queue.pop()?;
+        self.clock.set(key.t);
+        Some((key, payload))
+    }
+
+    /// The next event's key without popping or advancing the clock.
+    pub fn peek(&mut self) -> Option<EventKey> {
+        self.queue.peek()
+    }
+
+    /// Pending (scheduled, not yet popped or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_follows_pops_including_backwards() {
+        let mut el = EventLoop::new();
+        el.schedule(5.0, 4, 0, "step");
+        assert_eq!(el.pop().map(|(_, e)| e), Some("step"));
+        assert_eq!(el.now(), 5.0);
+        // Back-dated schedule: clock moves backwards with the pop.
+        el.schedule(2.0, 4, 1, "backdated");
+        assert_eq!(el.pop().map(|(_, e)| e), Some("backdated"));
+        assert_eq!(el.now(), 2.0);
+        assert!(el.is_empty());
+    }
+
+    #[test]
+    fn cancel_through_the_loop() {
+        let mut el = EventLoop::new();
+        let id = el.schedule(1.0, 2, 42, "retry");
+        el.schedule(2.0, 4, 0, "step");
+        assert_eq!(el.cancel(id), Some("retry"));
+        assert_eq!(el.cancel(id), None);
+        assert_eq!(el.len(), 1);
+        assert_eq!(el.pop().map(|(k, e)| (k.t, e)), Some((2.0, "step")));
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut el: EventLoop<()> = EventLoop::new();
+        el.schedule(3.0, 0, 0, ());
+        assert_eq!(el.peek().map(|k| k.t), Some(3.0));
+        assert_eq!(el.now(), 0.0);
+        assert_eq!(el.len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+#![deny(missing_docs)]
+
+//! `cta-events`: the deterministic discrete-event core of the serving
+//! fleet.
+//!
+//! The fleet simulator's original event loop advanced *step-granularly*:
+//! every iteration re-scanned all replicas for the earliest layer step,
+//! so one simulated event cost O(replicas) and fleet size was capped far
+//! below the "millions of users" target. This crate supplies the
+//! structure that makes cost scale with *events* instead:
+//!
+//! * [`CalendarQueue`] — a Brown-style calendar queue (a hash of
+//!   time-sorted buckets over a rotating "year") with O(1) amortized
+//!   schedule and pop, automatic resize as occupancy grows or shrinks,
+//!   and direct-search fallback for sparse far-future horizons;
+//! * [`EventKey`] — the total event order `(time, class, tie, seq)`.
+//!   The `class` rank reproduces the serving runtime's tie contract
+//!   (fault < arrival < retry < hedge < step at one instant) and `tie`
+//!   carries the per-class ordinal (arrival index, request id, replica
+//!   index), so coincident events pop in exactly the order the
+//!   step-granular loop processed them;
+//! * [`EventId`] — a generation-checked cancellation token returned by
+//!   every schedule, so retries superseded by completions, breaker
+//!   resets and hedge losers can be removed in O(bucket) without
+//!   tombstone scans;
+//! * [`EventLoop`] / [`Clock`] — the driver surface: `schedule`,
+//!   `cancel`, `next`, with the clock following popped event times;
+//! * [`DetRng`] — a SplitMix64 generator for seeded, dependency-free
+//!   event jitter.
+//!
+//! Everything is deterministic: the pop order is a pure function of the
+//! schedule/cancel history (ties beyond `(t, class, tie)` break by
+//! schedule order), which is what lets the event-driven fleet reproduce
+//! the step-granular goldens bit for bit.
+//!
+//! # Example
+//!
+//! ```
+//! use cta_events::{CalendarQueue, EventKey};
+//!
+//! let mut q = CalendarQueue::new();
+//! let id = q.schedule(EventKey::new(2.0, 0, 0), "retry");
+//! q.schedule(EventKey::new(1.0, 1, 0), "arrival");
+//! q.schedule(EventKey::new(1.0, 0, 0), "fault");
+//! assert_eq!(q.cancel(id), Some("retry"));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("fault"));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("arrival"));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+mod calendar;
+mod event_loop;
+mod rng;
+
+pub use calendar::{CalendarQueue, EventId, EventKey};
+pub use event_loop::{Clock, EventLoop};
+pub use rng::DetRng;

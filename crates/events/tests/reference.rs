@@ -1,0 +1,180 @@
+//! The calendar queue against a `BinaryHeap` reference model.
+//!
+//! The reference is the textbook priority queue: a max-heap of
+//! `Reverse((t, class, tie, seq))` tuples. Under random interleavings of
+//! schedule / cancel / pop, the calendar queue must produce exactly the
+//! reference's pop sequence — same keys, same payloads, same lengths —
+//! including under slot reuse, bucket resizes, back-dated schedules and
+//! far-future (virtual-bucket-saturating) timestamps.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cta_events::{CalendarQueue, EventId, EventKey};
+use proptest::prelude::*;
+
+/// A heap key mirroring the calendar's total order. Times are mapped to
+/// their IEEE bit pattern (all finite, non-negative, so the bits order
+/// like the floats) to get a total `Ord`.
+type RefKey = (u64, u8, u64, u64);
+
+struct Reference {
+    heap: BinaryHeap<Reverse<(RefKey, u64)>>,
+    /// payload-id → live? (cancelled entries are dropped lazily)
+    live: Vec<bool>,
+}
+
+impl Reference {
+    fn new() -> Self {
+        Self { heap: BinaryHeap::new(), live: Vec::new() }
+    }
+
+    fn schedule(&mut self, key: EventKey, seq: u64) -> u64 {
+        let id = self.live.len() as u64;
+        self.live.push(true);
+        self.heap.push(Reverse(((key.t.to_bits(), key.class, key.tie, seq), id)));
+        id
+    }
+
+    fn cancel(&mut self, id: u64) -> bool {
+        let was = self.live[id as usize];
+        self.live[id as usize] = false;
+        was
+    }
+
+    fn pop(&mut self) -> Option<(RefKey, u64)> {
+        while let Some(Reverse((key, id))) = self.heap.pop() {
+            if self.live[id as usize] {
+                self.live[id as usize] = false;
+                return Some((key, id));
+            }
+        }
+        None
+    }
+}
+
+/// One drawn operation stream: `seed` drives a SplitMix64 generator; the
+/// op mix is ~60% schedule, ~20% cancel (of a random outstanding token),
+/// ~20% pop. Times cluster around the last popped time with occasional
+/// far-future spikes so the ring exercises both dense years and the
+/// direct-search fallback.
+fn run_interleaving(seed: u64, ops: usize, far_future: bool) {
+    let mut rng = cta_events::DetRng::seeded(seed);
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut reference = Reference::new();
+    // Outstanding (calendar token, reference id) pairs, in issue order.
+    let mut outstanding: Vec<(EventId, u64)> = Vec::new();
+    let mut seq = 0u64;
+    let mut base_t = 0.0f64;
+
+    for _ in 0..ops {
+        let roll = rng.next_u64() % 10;
+        if roll < 6 || outstanding.is_empty() && roll < 8 {
+            // Schedule.
+            let t = if far_future && rng.next_u64().is_multiple_of(16) {
+                // Saturates the virtual-bucket computation.
+                1e300 * (1.0 + rng.next_f64())
+            } else if rng.next_u64().is_multiple_of(8) {
+                // Back-dated (before the last popped time).
+                base_t * rng.next_f64()
+            } else {
+                base_t + rng.next_f64() * 10.0
+            };
+            let class = (rng.next_u64() % 5) as u8;
+            let tie = rng.next_u64() % 16;
+            let key = EventKey::new(t, class, tie);
+            seq += 1;
+            let rid = reference.schedule(key, seq);
+            let cid = cal.schedule(key, rid);
+            outstanding.push((cid, rid));
+        } else if roll < 8 && !outstanding.is_empty() {
+            // Cancel a random outstanding token (possibly already
+            // popped — both sides must agree it is stale).
+            let pick = (rng.next_u64() as usize) % outstanding.len();
+            let (cid, rid) = outstanding.swap_remove(pick);
+            let cal_hit = cal.cancel(cid);
+            let ref_hit = reference.cancel(rid);
+            assert_eq!(cal_hit.is_some(), ref_hit, "cancel liveness must agree");
+            if let Some(payload) = cal_hit {
+                assert_eq!(payload, rid);
+            }
+        } else {
+            // Pop.
+            let got = cal.pop();
+            let want = reference.pop();
+            match (got, want) {
+                (None, None) => {}
+                (Some((k, payload)), Some((wk, wid))) => {
+                    assert_eq!((k.t.to_bits(), k.class, k.tie), (wk.0, wk.1, wk.2));
+                    assert_eq!(payload, wid, "pop order must match the heap reference");
+                    base_t = k.t.min(1e12); // keep later draws finite
+                }
+                (got, want) => panic!("emptiness diverged: calendar {got:?} vs reference {want:?}"),
+            }
+        }
+        assert_eq!(cal.len(), reference.live.iter().filter(|&&l| l).count());
+    }
+
+    // Drain both completely: the tails must match too.
+    loop {
+        let got = cal.pop();
+        let want = reference.pop();
+        match (got, want) {
+            (None, None) => break,
+            (Some((k, payload)), Some((wk, wid))) => {
+                assert_eq!((k.t.to_bits(), k.class, k.tie), (wk.0, wk.1, wk.2));
+                assert_eq!(payload, wid);
+            }
+            (got, want) => panic!("drain diverged: calendar {got:?} vs reference {want:?}"),
+        }
+    }
+    assert!(cal.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn matches_binary_heap_under_random_interleavings(
+        seed in 0u64..1_000_000,
+        ops in 1usize..400,
+    ) {
+        run_interleaving(seed, ops, false);
+    }
+
+    fn matches_binary_heap_with_far_future_spikes(
+        seed in 0u64..1_000_000,
+        ops in 1usize..200,
+    ) {
+        run_interleaving(seed, ops, true);
+    }
+}
+
+/// Far-future timestamps saturate the virtual-bucket index instead of
+/// wrapping: a timer at 1e308 coexists with (and pops after) near-term
+/// events, and equal-saturated times still order by class/tie.
+#[test]
+fn far_future_saturation_orders_correctly() {
+    let mut q = CalendarQueue::new();
+    q.schedule(EventKey::new(f64::MAX, 4, 9), "max-late");
+    q.schedule(EventKey::new(1e308, 1, 0), "huge");
+    q.schedule(EventKey::new(0.5, 4, 0), "soon");
+    q.schedule(EventKey::new(f64::MAX, 1, 2), "max-mid");
+    q.schedule(EventKey::new(f64::MAX, 1, 1), "max-early");
+    let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+    assert_eq!(order, ["soon", "huge", "max-early", "max-mid", "max-late"]);
+}
+
+/// The direct-search fallback: one far-future event behind an empty
+/// year must pop without walking 1e300/width buckets.
+#[test]
+fn sparse_far_future_pops_fast() {
+    let mut q = CalendarQueue::new();
+    q.schedule(EventKey::new(1e15, 0, 0), "eventually");
+    assert_eq!(q.pop().map(|(_, e)| e), Some("eventually"));
+    // And the cursor recovers for ordinary scheduling afterwards.
+    q.schedule(EventKey::new(1e15 + 1.0, 0, 0), "later");
+    q.schedule(EventKey::new(2.0, 0, 0), "backdated");
+    assert_eq!(q.pop().map(|(_, e)| e), Some("backdated"));
+    assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
+    assert!(q.is_empty());
+}

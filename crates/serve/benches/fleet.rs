@@ -1,0 +1,42 @@
+//! Step-granular vs event-driven fleet simulation wall-clock.
+//!
+//! Both engines produce bitwise-identical reports (the `engine`
+//! integration tests pin that); this bench tracks what the calendar
+//! queue buys in wall-clock as the fleet grows. The step engine rescans
+//! all replicas per iteration, so its advantage-to-deficit crossover
+//! moves with the replica count — hence the two fleet sizes.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cta_serve::{
+    poisson_requests, simulate_fleet, AdmissionPolicy, BatchPolicy, FleetConfig, FleetEngine,
+    LoadSpec, RoutingPolicy,
+};
+use cta_sim::{AttentionTask, SystemConfig};
+
+fn config(replicas: usize, engine: FleetEngine) -> FleetConfig {
+    let mut cfg = FleetConfig::sharded(SystemConfig::paper(), replicas);
+    cfg.engine = engine;
+    cfg.routing = RoutingPolicy::RoundRobin;
+    cfg.batch = BatchPolicy::up_to(4);
+    cfg.admission = AdmissionPolicy::bounded(32);
+    cfg
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let spec = LoadSpec::standard(AttentionTask::from_counts(128, 128, 64, 50, 40, 20, 6), 2, 4);
+    for replicas in [8usize, 64] {
+        let requests = poisson_requests(&spec, 4 * replicas, 6_000.0 * replicas as f64, 7);
+        for engine in [FleetEngine::StepGranular, FleetEngine::EventDriven] {
+            let cfg = config(replicas, engine);
+            let name = format!("fleet/{}rep_{}", replicas, engine.label());
+            c.bench_function(&name, |b| {
+                b.iter(|| black_box(simulate_fleet(&cfg, black_box(&requests))));
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,1026 @@
+//! The fleet engine: shared event handlers behind two drivers.
+//!
+//! All five event sources — fault transitions, arrivals, retry requeues,
+//! hedge timers, replica layer steps — are handled by methods on
+//! [`EngineState`], and two drivers decide *which* handler runs next:
+//!
+//! * [`FleetEngine::StepGranular`] — the original loop: every iteration
+//!   scans all replicas for the earliest step and cascades through the
+//!   due-conditions. O(replicas) per event; the reference semantics.
+//! * [`FleetEngine::EventDriven`] — a `cta-events` calendar queue holds
+//!   one event per pending source (the next arrival and next fault are
+//!   chained; each replica keeps at most one scheduled step; every retry
+//!   backoff and hedge timer is an event with a cancellation token).
+//!   O(1) amortized per event, which is what makes 1k+ replica fleets
+//!   tractable.
+//!
+//! Both drivers invoke the *same* handler code, so every floating-point
+//! operation happens in the same order and the reports are bitwise
+//! identical — the `engine` integration test and the golden pins enforce
+//! this. The event order contract is encoded in the class ranks below:
+//! at one instant, fault < arrival < retry < hedge < step, matching the
+//! step-granular cascade's `<=` comparisons; within a class the tie is
+//! the fault timeline index / arrival index / request id / request id /
+//! replica index; and the calendar queue breaks any remaining tie by
+//! schedule order.
+
+use std::collections::HashMap;
+
+use cta_events::{EventId, EventLoop};
+use cta_sim::CtaSystem;
+use cta_telemetry::{Module, SpanClass, TraceSink, TrackId};
+
+use crate::fault::FaultEvent;
+use crate::overload::{BreakerEvent, BreakerState, CircuitBreaker, Transition};
+use crate::replica::{Completion, Pending, Replica};
+use crate::runtime::{FleetConfig, FleetReport, Shed};
+use crate::{
+    BrownoutController, BrownoutLadder, CostModel, FleetMetrics, ServeRequest, ShedReason,
+};
+
+/// Which driver advances the fleet simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetEngine {
+    /// Scan all replicas for the earliest step every iteration (the
+    /// original loop). O(replicas) per event; the reference semantics.
+    #[default]
+    StepGranular,
+    /// Calendar-queue event loop: O(1) amortized per event, bitwise
+    /// identical reports (pinned by test).
+    EventDriven,
+}
+
+impl FleetEngine {
+    /// Short identifier used in reports and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetEngine::StepGranular => "step",
+            FleetEngine::EventDriven => "event",
+        }
+    }
+
+    /// Parses a CLI label (`step` / `event`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "step" | "step-granular" => Some(FleetEngine::StepGranular),
+            "event" | "event-driven" => Some(FleetEngine::EventDriven),
+            _ => None,
+        }
+    }
+}
+
+/// Event class ranks: the pop order at one instant. These mirror the
+/// step-granular cascade (`fault_due` before `arrival_due` before …), so
+/// the two drivers process coincident events identically.
+const CLASS_FAULT: u8 = 0;
+const CLASS_ARRIVAL: u8 = 1;
+const CLASS_RETRY: u8 = 2;
+const CLASS_HEDGE: u8 = 3;
+const CLASS_STEP: u8 = 4;
+
+/// Event payloads for the event-driven driver. The key's `tie` field
+/// identifies the instance (arrival index, request id, replica index);
+/// the payload only routes to the right handler.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Fault,
+    Arrival,
+    Retry,
+    Hedge,
+    Step,
+}
+
+/// A crash-evicted request waiting out its backoff before re-entering
+/// routing.
+#[derive(Debug, Clone)]
+struct RetryEntry {
+    /// When the requeue fires, seconds.
+    retry_s: f64,
+    /// Requeue attempts consumed (this entry is attempt number `attempt`).
+    attempt: u32,
+    /// Layer to resume from.
+    cursor: usize,
+    request: ServeRequest,
+}
+
+/// Inserts keeping (retry_s asc, id asc) order.
+fn push_retry(retries: &mut Vec<RetryEntry>, entry: RetryEntry) {
+    let pos = retries
+        .binary_search_by(|probe| {
+            probe
+                .retry_s
+                .partial_cmp(&entry.retry_s)
+                .expect("finite retry times")
+                .then(probe.request.id.cmp(&entry.request.id))
+        })
+        .unwrap_or_else(|e| e);
+    retries.insert(pos, entry);
+}
+
+/// A scheduled hedge check: if the request is still in flight when the
+/// timer fires, a copy is dispatched to a second replica.
+#[derive(Debug, Clone)]
+struct HedgeEntry {
+    /// When the check fires, seconds.
+    fire_s: f64,
+    /// Snapshot of the request (the copy restarts from layer 0).
+    request: ServeRequest,
+    /// Solo service estimate cached at admission.
+    est_service_s: f64,
+}
+
+/// Inserts keeping (fire_s asc, id asc) order.
+fn push_hedge(hedges: &mut Vec<HedgeEntry>, entry: HedgeEntry) {
+    let pos = hedges
+        .binary_search_by(|probe| {
+            probe
+                .fire_s
+                .partial_cmp(&entry.fire_s)
+                .expect("finite hedge times")
+                .then(probe.request.id.cmp(&entry.request.id))
+        })
+        .unwrap_or_else(|e| e);
+    hedges.insert(pos, entry);
+}
+
+/// Settles open→half-open breaker transitions as of `now` (emitting the
+/// finished open interval) and returns the routable mask, or `None` when
+/// breakers are disabled.
+fn settle_breakers<S: TraceSink>(
+    breakers: &mut Option<Vec<CircuitBreaker>>,
+    now: f64,
+    sink: &mut S,
+) -> Option<Vec<bool>> {
+    let bs = breakers.as_mut()?;
+    let mut mask = Vec::with_capacity(bs.len());
+    for (i, b) in bs.iter_mut().enumerate() {
+        if let Some(BreakerEvent::HalfOpened { since_s, at_s }) = b.tick(now) {
+            if S::ENABLED {
+                let track = TrackId::new(i as u32, Module::Breaker);
+                sink.span(track, "open", since_s, at_s, SpanClass::Control, true);
+            }
+        }
+        mask.push(b.routable());
+    }
+    Some(mask)
+}
+
+/// Applies a brownout transition to replica `i` and emits the level-change
+/// marks plus the `accuracy_loss_pct` counter the aggregate report
+/// integrates for quality-loss attribution.
+fn apply_transition<S: TraceSink>(
+    replicas: &mut [Replica],
+    ladder: &BrownoutLadder,
+    i: usize,
+    tr: Transition,
+    now: f64,
+    transitions_total: &mut usize,
+    sink: &mut S,
+) {
+    replicas[i].set_level(ladder, tr.to);
+    *transitions_total += 1;
+    if S::ENABLED {
+        let track = TrackId::new(i as u32, Module::Brownout);
+        sink.instant(track, if tr.to > tr.from { "level-up" } else { "level-down" }, now);
+        sink.counter(track, "accuracy_loss_pct", now, ladder.level(tr.to).accuracy_loss_pct);
+    }
+}
+
+/// All simulation state, shared by both drivers. The handlers are the
+/// single definition of what each event does; the drivers only decide
+/// ordering — which the class ranks make identical.
+struct EngineState<'a> {
+    cfg: &'a FleetConfig,
+    requests: &'a [ServeRequest],
+    system: CtaSystem,
+    replicas: Vec<Replica>,
+    cost: CostModel,
+    completions: Vec<Completion>,
+    shed: Vec<Shed>,
+    rr_cursor: usize,
+    next_arrival: usize,
+    fault_events: Vec<FaultEvent>,
+    next_fault: usize,
+    retries: Vec<RetryEntry>,
+    requeues_total: usize,
+    overload_on: bool,
+    controllers: Option<Vec<BrownoutController>>,
+    breakers: Option<Vec<CircuitBreaker>>,
+    hedges: Vec<HedgeEntry>,
+    /// Hedged requests with two live copies: id → primary replica at
+    /// hedge-dispatch time (lookup only, never iterated — determinism).
+    hedged_live: HashMap<u64, usize>,
+    lat_window: Vec<f64>,
+    lat_next: usize,
+    hedged: usize,
+    hedge_wins: usize,
+    hedge_cancelled: usize,
+    transitions_total: usize,
+    /// Handler invocations so far (one per simulated event; equal across
+    /// drivers, asserted by the equivalence tests).
+    events_processed: u64,
+    /// Event-driver bookkeeping, recorded only when `record` is set:
+    /// replica indices whose `next_step_time` may have changed, retry
+    /// events to schedule `(retry_s, id)` / cancel by id, and hedge
+    /// events to schedule `(fire_s, id)`. Pure integer bookkeeping — the
+    /// step-granular float stream is untouched.
+    record: bool,
+    touched: Vec<usize>,
+    retry_added: Vec<(f64, u64)>,
+    retry_removed: Vec<u64>,
+    hedge_added: Vec<(f64, u64)>,
+}
+
+impl<'a> EngineState<'a> {
+    fn new(cfg: &'a FleetConfig, requests: &'a [ServeRequest]) -> Self {
+        let system = CtaSystem::new(cfg.system);
+        let replicas: Vec<Replica> =
+            (0..cfg.replicas).map(|i| Replica::new(i, system.clone())).collect();
+        // Overload-control state. Every structure is `None`/empty when the
+        // corresponding mechanism is off, so the disabled path executes the
+        // exact pre-overload event loop (the `is_none_or` guards below
+        // reduce to their old expressions; pinned bitwise by test).
+        let overload_on = !cfg.overload.is_off();
+        let controllers: Option<Vec<BrownoutController>> =
+            cfg.overload.brownout.as_ref().map(|b| {
+                (0..cfg.replicas)
+                    .map(|_| BrownoutController::new(b.policy, b.ladder.max_level()))
+                    .collect()
+            });
+        let breakers: Option<Vec<CircuitBreaker>> = cfg
+            .overload
+            .breaker
+            .map(|p| (0..cfg.replicas).map(|_| CircuitBreaker::new(p)).collect());
+        if let Some(hp) = &cfg.overload.hedge {
+            hp.validate();
+        }
+        Self {
+            cfg,
+            requests,
+            system,
+            replicas,
+            cost: CostModel::new(),
+            completions: Vec::with_capacity(requests.len()),
+            shed: Vec::new(),
+            rr_cursor: 0,
+            next_arrival: 0,
+            fault_events: cfg.faults.timeline(),
+            next_fault: 0,
+            retries: Vec::new(),
+            requeues_total: 0,
+            overload_on,
+            controllers,
+            breakers,
+            hedges: Vec::new(),
+            hedged_live: HashMap::new(),
+            lat_window: Vec::new(),
+            lat_next: 0,
+            hedged: 0,
+            hedge_wins: 0,
+            hedge_cancelled: 0,
+            transitions_total: 0,
+            events_processed: 0,
+            record: false,
+            touched: Vec::new(),
+            retry_added: Vec::new(),
+            retry_removed: Vec::new(),
+            hedge_added: Vec::new(),
+        }
+    }
+
+    /// Queues a retry entry, recording the event for the event driver.
+    fn queue_retry(&mut self, entry: RetryEntry) {
+        if self.record {
+            self.retry_added.push((entry.retry_s, entry.request.id));
+        }
+        push_retry(&mut self.retries, entry);
+    }
+
+    /// Marks replica `i`'s next step time as possibly changed.
+    fn touch(&mut self, i: usize) {
+        if self.record {
+            self.touched.push(i);
+        }
+    }
+
+    /// Processes `fault_events[next_fault]`: a replica crash (orphaning
+    /// its queue into retries or sheds) or recovery.
+    fn handle_fault<S: TraceSink>(&mut self, sink: &mut S) {
+        self.events_processed += 1;
+        let cfg = self.cfg;
+        let ev = self.fault_events[self.next_fault];
+        self.next_fault += 1;
+        self.touch(ev.replica);
+        let track = TrackId::new(ev.replica as u32, Module::Fault);
+        if ev.up {
+            let since = self.replicas[ev.replica].down_since;
+            self.replicas[ev.replica].recover(ev.t_s);
+            if S::ENABLED {
+                sink.span(track, "outage", since, ev.t_s, SpanClass::Fault, true);
+                sink.instant(track, "replica-up", ev.t_s);
+            }
+        } else {
+            let orphans = self.replicas[ev.replica].crash(ev.t_s);
+            if S::ENABLED {
+                sink.instant(track, "replica-down", ev.t_s);
+            }
+            if let Some(bs) = self.breakers.as_mut() {
+                let prev = bs[ev.replica].state();
+                if let Some(BreakerEvent::Opened { at_s }) = bs[ev.replica].record_failure(ev.t_s) {
+                    if S::ENABLED {
+                        let btrack = TrackId::new(ev.replica as u32, Module::Breaker);
+                        // A failed probe closes its half-open interval.
+                        if let BreakerState::HalfOpen { since_s, .. } = prev {
+                            sink.span(btrack, "half-open", since_s, at_s, SpanClass::Control, true);
+                        }
+                        sink.instant(btrack, "breaker-open", at_s);
+                    }
+                }
+            }
+            for p in orphans {
+                // A hedge copy whose sibling is still live elsewhere is
+                // dropped silently (accounted as a cancellation): the
+                // surviving copy carries the request, so requeueing or
+                // shedding this one would double-resolve it.
+                if self.hedged_live.contains_key(&p.request.id)
+                    && self.replicas.iter().any(|r| r.holds_request(p.request.id))
+                {
+                    self.hedge_cancelled += 1;
+                    if S::ENABLED {
+                        let htrack = TrackId::new(ev.replica as u32, Module::Hedge);
+                        sink.instant(htrack, "hedge-cancel", ev.t_s);
+                    }
+                    continue;
+                }
+                let attempt = p.attempt + 1;
+                if attempt > cfg.retry.max_attempts {
+                    self.shed.push(Shed {
+                        id: p.request.id,
+                        class: p.request.class.name,
+                        arrival_s: p.request.arrival_s,
+                        reason: ShedReason::ReplicaLost,
+                        retries: p.attempt,
+                    });
+                    continue;
+                }
+                let retry_s = ev.t_s + cfg.retry.backoff(attempt);
+                // Deadline-aware requeue: if even an unobstructed resume
+                // cannot meet the SLO, shed now instead of burning the
+                // budget.
+                if cfg.admission.enforce_deadlines {
+                    if let Some(d) = p.request.class.deadline_s {
+                        let remaining = self.cost.remaining_service_s(
+                            &self.system,
+                            &p.request,
+                            p.resume_cursor,
+                        ) + if p.resume_cursor > 0 {
+                            self.system.weight_upload_s()
+                        } else {
+                            0.0
+                        };
+                        if retry_s + remaining > p.request.arrival_s + d {
+                            self.shed.push(Shed {
+                                id: p.request.id,
+                                class: p.request.class.name,
+                                arrival_s: p.request.arrival_s,
+                                reason: ShedReason::ReplicaLost,
+                                retries: p.attempt,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                self.requeues_total += 1;
+                if S::ENABLED {
+                    sink.instant(track, "requeue", ev.t_s);
+                    sink.counter(track, "retries", ev.t_s, self.requeues_total as f64);
+                }
+                self.queue_retry(RetryEntry {
+                    retry_s,
+                    attempt,
+                    cursor: p.resume_cursor,
+                    request: p.request,
+                });
+            }
+        }
+    }
+
+    /// Processes `requests[next_arrival]`: routing, admission, hedge
+    /// arming, and the brownout depth observation.
+    fn handle_arrival<S: TraceSink>(&mut self, sink: &mut S) {
+        self.events_processed += 1;
+        let cfg = self.cfg;
+        let requests = self.requests;
+        let request = &requests[self.next_arrival];
+        self.next_arrival += 1;
+        let now = request.arrival_s;
+        let mask = settle_breakers(&mut self.breakers, now, sink);
+        let Some(target) = cfg.routing.choose(
+            &mut self.replicas,
+            &mut self.cost,
+            now,
+            &mut self.rr_cursor,
+            mask.as_deref(),
+        ) else {
+            // The whole fleet is down: nothing can take the request.
+            if S::ENABLED {
+                let track = TrackId::new(0, Module::Fault);
+                sink.instant(track, "shed-fleet-down", now);
+            }
+            self.shed.push(Shed {
+                id: request.id,
+                class: request.class.name,
+                arrival_s: now,
+                reason: ShedReason::ReplicaLost,
+                retries: 0,
+            });
+            return;
+        };
+        let est_service_s = self.cost.request_service_s(&self.system, request);
+        let est_wait_s = self.replicas[target].outstanding_s(&mut self.cost, now);
+        match cfg.admission.admit(
+            &request.class,
+            self.replicas[target].queue_depth(),
+            est_wait_s + est_service_s,
+        ) {
+            Ok(()) => {
+                self.replicas[target].enqueue(Pending::fresh(request.clone(), est_service_s));
+                self.touch(target);
+                if let Some(bs) = self.breakers.as_mut() {
+                    bs[target].on_dispatch();
+                }
+                // Deadline-bearing admissions arm a hedge timer at the
+                // windowed-p99 delay; the check fires only if the request
+                // is still in flight then.
+                if let Some(hp) = &cfg.overload.hedge {
+                    if request.class.deadline_s.is_some() {
+                        let fire_s = now + hp.delay_s(&self.lat_window);
+                        if self.record {
+                            self.hedge_added.push((fire_s, request.id));
+                        }
+                        push_hedge(
+                            &mut self.hedges,
+                            HedgeEntry { fire_s, request: request.clone(), est_service_s },
+                        );
+                    }
+                }
+                if S::ENABLED {
+                    let track = TrackId::new(target as u32, Module::Runtime);
+                    sink.instant(track, "enqueue", now);
+                    sink.counter(
+                        track,
+                        "queue_depth",
+                        now,
+                        self.replicas[target].queue_depth() as f64,
+                    );
+                }
+            }
+            Err(reason) => {
+                if S::ENABLED {
+                    let track = TrackId::new(target as u32, Module::Runtime);
+                    sink.instant(track, "shed", now);
+                }
+                self.shed.push(Shed {
+                    id: request.id,
+                    class: request.class.name,
+                    arrival_s: now,
+                    reason,
+                    retries: 0,
+                });
+            }
+        }
+        // Closed-loop sensing: every arrival feeds each up replica's
+        // controller one availability-weighted depth sample, so the
+        // sampling cadence tracks offered load and survivors of a partial
+        // outage see proportionally inflated depth.
+        if let (Some(ctrls), Some(bc)) = (self.controllers.as_mut(), cfg.overload.brownout.as_ref())
+        {
+            let up_count = self.replicas.iter().filter(|r| r.up).count();
+            if up_count > 0 {
+                let up_frac = up_count as f64 / self.replicas.len() as f64;
+                for (i, ctrl) in ctrls.iter_mut().enumerate() {
+                    if !self.replicas[i].up {
+                        continue;
+                    }
+                    let depth = self.replicas[i].queue_depth() as f64 / up_frac;
+                    if let Some(tr) = ctrl.observe_depth(depth) {
+                        apply_transition(
+                            &mut self.replicas,
+                            &bc.ladder,
+                            i,
+                            tr,
+                            now,
+                            &mut self.transitions_total,
+                            sink,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes `retries[0]`: route the requeue back into a queue, or
+    /// consume another attempt and back off again.
+    fn handle_retry<S: TraceSink>(&mut self, sink: &mut S) {
+        self.events_processed += 1;
+        let cfg = self.cfg;
+        let entry = self.retries.remove(0);
+        let now = entry.retry_s;
+        let mask = settle_breakers(&mut self.breakers, now, sink);
+        match cfg.routing.choose(
+            &mut self.replicas,
+            &mut self.cost,
+            now,
+            &mut self.rr_cursor,
+            mask.as_deref(),
+        ) {
+            Some(target) => {
+                // A requeue was already admitted once; it re-enters the
+                // queue directly (no depth shedding) with a remaining-work
+                // estimate that charges the fresh weight upload its resume
+                // will pay.
+                let est_service_s =
+                    self.cost.remaining_service_s(&self.system, &entry.request, entry.cursor)
+                        + if entry.cursor > 0 { self.system.weight_upload_s() } else { 0.0 };
+                if S::ENABLED {
+                    let track = TrackId::new(target as u32, Module::Runtime);
+                    sink.instant(track, "requeue-placed", now);
+                }
+                self.replicas[target].enqueue(Pending {
+                    request: entry.request,
+                    est_service_s,
+                    resume_cursor: entry.cursor,
+                    attempt: entry.attempt,
+                });
+                self.touch(target);
+                if let Some(bs) = self.breakers.as_mut() {
+                    bs[target].on_dispatch();
+                }
+            }
+            None => {
+                // Still no healthy replica: consume another attempt or
+                // give up.
+                let attempt = entry.attempt + 1;
+                if attempt > cfg.retry.max_attempts {
+                    self.shed.push(Shed {
+                        id: entry.request.id,
+                        class: entry.request.class.name,
+                        arrival_s: entry.request.arrival_s,
+                        reason: ShedReason::ReplicaLost,
+                        retries: entry.attempt,
+                    });
+                } else {
+                    self.requeues_total += 1;
+                    if S::ENABLED {
+                        let track = TrackId::new(0, Module::Fault);
+                        sink.counter(track, "retries", now, self.requeues_total as f64);
+                    }
+                    self.queue_retry(RetryEntry {
+                        retry_s: now + cfg.retry.backoff(attempt),
+                        attempt,
+                        cursor: entry.cursor,
+                        request: entry.request,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Processes `hedges[0]`: if the request is still in flight, dispatch
+    /// a copy to a second replica (excluding the slow primary's).
+    fn handle_hedge<S: TraceSink>(&mut self, sink: &mut S) {
+        self.events_processed += 1;
+        let cfg = self.cfg;
+        let entry = self.hedges.remove(0);
+        let now = entry.fire_s;
+        let id = entry.request.id;
+        // Still in flight? (Not found anywhere = completed, shed, or
+        // waiting out a retry backoff — no hedge then.)
+        if let Some(primary) = self.replicas.iter().position(|r| r.holds_request(id)) {
+            let breaker_mask = settle_breakers(&mut self.breakers, now, sink);
+            // The copy must land on a *different* replica than the one
+            // holding the slow primary.
+            let mask: Vec<bool> = (0..self.replicas.len())
+                .map(|i| i != primary && breaker_mask.as_ref().is_none_or(|m| m[i]))
+                .collect();
+            if let Some(target) = cfg.routing.choose(
+                &mut self.replicas,
+                &mut self.cost,
+                now,
+                &mut self.rr_cursor,
+                Some(&mask),
+            ) {
+                // Hedge copies bypass admission: the request was already
+                // admitted once; the copy exists purely to cut its tail.
+                self.replicas[target].enqueue(Pending::fresh(entry.request, entry.est_service_s));
+                self.touch(target);
+                if let Some(bs) = self.breakers.as_mut() {
+                    bs[target].on_dispatch();
+                }
+                self.hedged += 1;
+                self.hedged_live.insert(id, primary);
+                if S::ENABLED {
+                    let htrack = TrackId::new(target as u32, Module::Hedge);
+                    sink.instant(htrack, "hedge-dispatch", now);
+                }
+            }
+        }
+    }
+
+    /// Executes replica `i`'s next layer step and feeds the resulting
+    /// completions back into the overload controllers, breakers, latency
+    /// window and hedge cancellation.
+    fn handle_step<S: TraceSink>(&mut self, i: usize, sink: &mut S) {
+        self.events_processed += 1;
+        let cfg = self.cfg;
+        let before = self.completions.len();
+        self.replicas[i].execute_step(
+            &cfg.batch,
+            &cfg.faults,
+            &mut self.cost,
+            &mut self.completions,
+            sink,
+        );
+        self.touch(i);
+        if self.overload_on {
+            for idx in before..self.completions.len() {
+                let c = self.completions[idx].clone();
+                // Hedge delay sensing: sliding window of completion
+                // latencies.
+                if let Some(hp) = &cfg.overload.hedge {
+                    let lat = c.latency_s();
+                    if self.lat_window.len() == hp.latency_window {
+                        self.lat_window[self.lat_next % hp.latency_window] = lat;
+                    } else {
+                        self.lat_window.push(lat);
+                    }
+                    self.lat_next = (self.lat_next + 1) % hp.latency_window;
+                }
+                // A completion is breaker evidence of health (a successful
+                // half-open probe closes the breaker).
+                if let Some(bs) = self.breakers.as_mut() {
+                    if let Some(BreakerEvent::Closed { since_s, at_s }) =
+                        bs[c.replica].record_success(c.finish_s)
+                    {
+                        if S::ENABLED {
+                            let btrack = TrackId::new(c.replica as u32, Module::Breaker);
+                            sink.span(
+                                btrack,
+                                "half-open",
+                                since_s,
+                                at_s,
+                                SpanClass::Control,
+                                false,
+                            );
+                        }
+                    }
+                }
+                // ... and brownout evidence (deadline outcome).
+                if let (Some(ctrls), Some(bc)) =
+                    (self.controllers.as_mut(), cfg.overload.brownout.as_ref())
+                {
+                    if let Some(tr) =
+                        ctrls[c.replica].observe_completion(c.deadline_met == Some(false))
+                    {
+                        apply_transition(
+                            &mut self.replicas,
+                            &bc.ladder,
+                            c.replica,
+                            tr,
+                            c.finish_s,
+                            &mut self.transitions_total,
+                            sink,
+                        );
+                    }
+                }
+                // First outcome wins: cancel every losing copy (other
+                // replicas' queues/actives at their layer boundary, plus
+                // any retry backoff entry) the moment the winner completes,
+                // so exactly one completion is ever reported per hedged id.
+                if let Some(primary) = self.hedged_live.remove(&c.id) {
+                    for j in 0..self.replicas.len() {
+                        if j == c.replica {
+                            continue;
+                        }
+                        let n = self.replicas[j].cancel_request(c.id);
+                        if n > 0 {
+                            self.hedge_cancelled += n;
+                            self.touch(j);
+                            if S::ENABLED {
+                                let htrack = TrackId::new(j as u32, Module::Hedge);
+                                sink.instant(htrack, "hedge-cancel", c.finish_s);
+                            }
+                        }
+                    }
+                    let before_retry = self.retries.len();
+                    self.retries.retain(|r| r.request.id != c.id);
+                    if self.retries.len() != before_retry && self.record {
+                        self.retry_removed.push(c.id);
+                    }
+                    self.hedge_cancelled += before_retry - self.retries.len();
+                    if c.replica != primary {
+                        self.hedge_wins += 1;
+                        if S::ENABLED {
+                            let htrack = TrackId::new(c.replica as u32, Module::Hedge);
+                            sink.instant(htrack, "hedge-win", c.finish_s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// End-of-run bookkeeping: close open outages and breaker intervals,
+    /// assemble metrics.
+    fn finish<S: TraceSink>(mut self, sink: &mut S) -> FleetReport {
+        // Close the books on replicas still down at the end of the run:
+        // their open outage extends to the fleet makespan (or the crash
+        // instant if nothing completed after it).
+        let makespan_s = self.completions.iter().map(|c| c.finish_s).fold(0.0, f64::max);
+        for r in &mut self.replicas {
+            if !r.up {
+                let end = makespan_s.max(r.down_since);
+                r.down_s += end - r.down_since;
+                if S::ENABLED {
+                    let track = TrackId::new(r.index as u32, Module::Fault);
+                    sink.span(track, "outage", r.down_since, end, SpanClass::Fault, true);
+                }
+            }
+        }
+
+        // Likewise for breakers still open (or probing) at the end of the
+        // run: their blocking interval extends to the makespan.
+        if S::ENABLED {
+            if let Some(bs) = self.breakers.as_ref() {
+                for (i, b) in bs.iter().enumerate() {
+                    let track = TrackId::new(i as u32, Module::Breaker);
+                    match b.state() {
+                        BreakerState::Open { since_s, .. } => {
+                            sink.span(
+                                track,
+                                "open",
+                                since_s,
+                                makespan_s.max(since_s),
+                                SpanClass::Control,
+                                true,
+                            );
+                        }
+                        BreakerState::HalfOpen { since_s, .. } => {
+                            sink.span(
+                                track,
+                                "half-open",
+                                since_s,
+                                makespan_s.max(since_s),
+                                SpanClass::Control,
+                                true,
+                            );
+                        }
+                        BreakerState::Closed { .. } => {}
+                    }
+                }
+            }
+        }
+
+        let busy: Vec<f64> = self.replicas.iter().map(|r| r.busy_s).collect();
+        let down: Vec<f64> = self.replicas.iter().map(|r| r.down_s).collect();
+        let mut metrics = FleetMetrics::from_outcomes(
+            self.requests.len(),
+            &self.completions,
+            &self.shed,
+            &busy,
+            &down,
+        );
+        metrics.overload.hedged = self.hedged;
+        metrics.overload.hedge_wins = self.hedge_wins;
+        metrics.overload.hedge_cancelled = self.hedge_cancelled;
+        metrics.overload.brownout_transitions = self.transitions_total;
+        metrics.overload.per_replica_brownout_s =
+            self.replicas.iter().map(|r| r.brownout_s).collect();
+        metrics.overload.breaker_opens =
+            self.breakers.as_ref().map_or(0, |bs| bs.iter().map(|b| b.opens).sum());
+        FleetReport {
+            metrics,
+            completions: self.completions,
+            shed: self.shed,
+            events_processed: self.events_processed,
+            event_queue_samples: Vec::new(),
+        }
+    }
+}
+
+/// Validates preconditions, builds the engine state and dispatches to
+/// the configured driver.
+pub(crate) fn run<S: TraceSink>(
+    cfg: &FleetConfig,
+    requests: &[ServeRequest],
+    sink: &mut S,
+) -> FleetReport {
+    assert!(cfg.replicas > 0, "at least one replica");
+    assert!(!requests.is_empty(), "at least one request");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "requests must be sorted by arrival time"
+    );
+    cfg.faults.validate(cfg.replicas);
+
+    let state = EngineState::new(cfg, requests);
+    match cfg.engine {
+        FleetEngine::StepGranular => run_step_granular(state, sink),
+        FleetEngine::EventDriven => run_event_driven(state, sink),
+    }
+}
+
+/// The original driver: scan all replicas for the earliest step every
+/// iteration and cascade through the due-conditions. The cascade's `<=`
+/// comparisons define the coincident-instant tie order the event driver
+/// reproduces through class ranks.
+fn run_step_granular<S: TraceSink>(mut state: EngineState<'_>, sink: &mut S) -> FleetReport {
+    loop {
+        // Earliest replica step, ties to the lowest index.
+        let next_step: Option<(f64, usize)> = state
+            .replicas
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.next_step_time().map(|t| (t, i)))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite step times").then(a.1.cmp(&b.1)));
+
+        // Tie order at one instant: fault < arrival < retry < hedge <
+        // step. With an empty fault plan the fault and retry sources never
+        // fire, and with hedging off the hedge queue stays empty, so the
+        // conditions reduce to the plain fault-free expressions.
+        let fault_due = state.next_fault < state.fault_events.len() && {
+            let tf = state.fault_events[state.next_fault].t_s;
+            next_step.is_none_or(|(t, _)| tf <= t)
+                && (state.next_arrival >= state.requests.len()
+                    || tf <= state.requests[state.next_arrival].arrival_s)
+                && state.retries.first().is_none_or(|r| tf <= r.retry_s)
+                && state.hedges.first().is_none_or(|h| tf <= h.fire_s)
+        };
+
+        let arrival_due = !fault_due
+            && state.next_arrival < state.requests.len()
+            && next_step.is_none_or(|(t, _)| state.requests[state.next_arrival].arrival_s <= t)
+            && state
+                .retries
+                .first()
+                .is_none_or(|r| state.requests[state.next_arrival].arrival_s <= r.retry_s)
+            && state
+                .hedges
+                .first()
+                .is_none_or(|h| state.requests[state.next_arrival].arrival_s <= h.fire_s);
+
+        let retry_due = !fault_due
+            && !arrival_due
+            && state.retries.first().is_some_and(|r| {
+                next_step.is_none_or(|(t, _)| r.retry_s <= t)
+                    && state.hedges.first().is_none_or(|h| r.retry_s <= h.fire_s)
+            });
+
+        let hedge_due = !fault_due
+            && !arrival_due
+            && !retry_due
+            && state.hedges.first().is_some_and(|h| next_step.is_none_or(|(t, _)| h.fire_s <= t));
+
+        if fault_due {
+            state.handle_fault(sink);
+        } else if arrival_due {
+            state.handle_arrival(sink);
+        } else if retry_due {
+            state.handle_retry(sink);
+        } else if hedge_due {
+            state.handle_hedge(sink);
+        } else if let Some((_, i)) = next_step {
+            state.handle_step(i, sink);
+        } else {
+            break;
+        }
+    }
+    state.finish(sink)
+}
+
+/// Pending-event cadence of the occupancy samples (every 64th event).
+const QUEUE_SAMPLE_EVERY: u64 = 64;
+
+/// The calendar-queue driver. The queue holds: the next arrival and the
+/// next fault (chained — scheduled one at a time, which guarantees
+/// index order at coincident timestamps), at most one step event per
+/// replica (rescheduled whenever a handler touches the replica), and one
+/// event per pending retry backoff / hedge timer (retries carry
+/// cancellation tokens so hedge-winner completions can remove them).
+///
+/// Handlers are shared with the step-granular driver, so the float
+/// stream — and therefore the report and any emitted trace — is bitwise
+/// identical; only the *cost* of finding the next event changes, from
+/// O(replicas) to O(1) amortized.
+fn run_event_driven<S: TraceSink>(mut state: EngineState<'_>, sink: &mut S) -> FleetReport {
+    state.record = true;
+    let mut el: EventLoop<Ev> = EventLoop::new();
+    // Per-replica scheduled step: the exact time it was scheduled at plus
+    // its cancellation token (times compare bitwise — both sides computed
+    // by the same `next_step_time`).
+    let mut step_events: Vec<Option<(f64, EventId)>> = vec![None; state.replicas.len()];
+    // Pending retry backoffs: request id → cancellation token. Lookup
+    // only, never iterated — determinism-safe.
+    let mut retry_ids: HashMap<u64, EventId> = HashMap::new();
+    let mut samples: Vec<(f64, usize)> = Vec::new();
+
+    if !state.fault_events.is_empty() {
+        el.schedule(state.fault_events[0].t_s, CLASS_FAULT, 0, Ev::Fault);
+    }
+    el.schedule(state.requests[0].arrival_s, CLASS_ARRIVAL, 0, Ev::Arrival);
+
+    while let Some((key, ev)) = el.pop() {
+        match ev {
+            Ev::Fault => {
+                state.handle_fault(sink);
+                if state.next_fault < state.fault_events.len() {
+                    el.schedule(
+                        state.fault_events[state.next_fault].t_s,
+                        CLASS_FAULT,
+                        state.next_fault as u64,
+                        Ev::Fault,
+                    );
+                }
+            }
+            Ev::Arrival => {
+                state.handle_arrival(sink);
+                if state.next_arrival < state.requests.len() {
+                    el.schedule(
+                        state.requests[state.next_arrival].arrival_s,
+                        CLASS_ARRIVAL,
+                        state.next_arrival as u64,
+                        Ev::Arrival,
+                    );
+                }
+            }
+            Ev::Retry => {
+                retry_ids.remove(&key.tie);
+                debug_assert!(
+                    state
+                        .retries
+                        .first()
+                        .is_some_and(|r| r.retry_s == key.t && r.request.id == key.tie),
+                    "retry event out of sync with the backoff queue"
+                );
+                state.handle_retry(sink);
+            }
+            Ev::Hedge => {
+                debug_assert!(
+                    state
+                        .hedges
+                        .first()
+                        .is_some_and(|h| h.fire_s == key.t && h.request.id == key.tie),
+                    "hedge event out of sync with the timer queue"
+                );
+                state.handle_hedge(sink);
+            }
+            Ev::Step => {
+                let i = key.tie as usize;
+                step_events[i] = None;
+                debug_assert_eq!(
+                    state.replicas[i].next_step_time(),
+                    Some(key.t),
+                    "step event out of sync with replica {i}"
+                );
+                state.handle_step(i, sink);
+            }
+        }
+
+        // Reconcile the queue with what the handler changed: new retry
+        // backoffs, cancelled retries (hedge winners), new hedge timers,
+        // and the step times of every touched replica.
+        for (t, id) in state.retry_added.drain(..) {
+            retry_ids.insert(id, el.schedule(t, CLASS_RETRY, id, Ev::Retry));
+        }
+        for id in state.retry_removed.drain(..) {
+            let eid = retry_ids.remove(&id).expect("cancelled retry was scheduled");
+            el.cancel(eid).expect("cancelled retry token was live");
+        }
+        for (t, id) in state.hedge_added.drain(..) {
+            el.schedule(t, CLASS_HEDGE, id, Ev::Hedge);
+        }
+        state.touched.sort_unstable();
+        state.touched.dedup();
+        for i in std::mem::take(&mut state.touched) {
+            let want = state.replicas[i].next_step_time();
+            let have = step_events[i].map(|(t, _)| t);
+            if want != have {
+                if let Some((_, eid)) = step_events[i].take() {
+                    el.cancel(eid);
+                }
+                if let Some(t) = want {
+                    let eid = el.schedule(t, CLASS_STEP, i as u64, Ev::Step);
+                    step_events[i] = Some((t, eid));
+                }
+            }
+        }
+
+        if state.events_processed % QUEUE_SAMPLE_EVERY == 1 {
+            samples.push((key.t, el.len()));
+        }
+    }
+
+    let mut report = state.finish(sink);
+    report.event_queue_samples = samples;
+    report
+}

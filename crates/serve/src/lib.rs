@@ -57,6 +57,7 @@
 
 mod admission;
 mod cost;
+mod engine;
 mod fault;
 pub mod harness;
 mod loadgen;
@@ -70,6 +71,7 @@ pub mod sweeps;
 
 pub use admission::{AdmissionPolicy, ShedReason};
 pub use cost::CostModel;
+pub use engine::FleetEngine;
 pub use fault::{CrashWindow, FaultPlan, LinkStall, RetryPolicy, Slowdown};
 pub use harness::{Harness, PointOutput, SweepSpec};
 pub use loadgen::{

@@ -185,6 +185,17 @@ impl std::error::Error for TraceError {}
 /// [`cta_sim::poisson_trace`] or `cta_workloads::case_arrival_trace`)
 /// under one service class, assigning ids in trace order.
 ///
+/// # Equal timestamps
+///
+/// Coincident arrivals are legal (the monotonicity check is `<`, not
+/// `<=`): real traces batch and so do replays. Their tie-break is the
+/// assigned id — trace order — which both fleet engines honour
+/// identically: the step-granular scan admits in index order at a due
+/// instant, and the event core orders coincident arrival events by
+/// request id ([`cta_events::EventKey`]'s `tie` field). The `engine`
+/// integration tests pin that a burst of equal-timestamp arrivals
+/// produces bitwise-identical reports on both engines.
+///
 /// # Errors
 ///
 /// Returns a [`TraceError`] naming the first offending index when the

@@ -1,4 +1,5 @@
-//! The discrete-event fleet runtime.
+//! The discrete-event fleet runtime: configuration, report, and the
+//! public simulation entry points.
 //!
 //! The simulation interleaves five event sources in time order: fault
 //! transitions (replica crashes and recoveries from the
@@ -18,17 +19,19 @@
 //! with [`OverloadControl::off`] the brownout/breaker/hedge machinery
 //! stays fully dormant, keeping reports bitwise identical to the plain
 //! runtime (both pinned by test).
+//!
+//! The event *handlers* live in [`crate::engine`], shared by two
+//! drivers selected by [`FleetEngine`]: the step-granular scan loop
+//! (the reference semantics) and the calendar-queue event loop
+//! (O(1) amortized per event; bitwise-identical reports, pinned by the
+//! `engine` integration test and the golden suite).
 
-use std::collections::HashMap;
+use cta_telemetry::{NullSink, TraceSink};
 
-use cta_sim::CtaSystem;
-use cta_telemetry::{Module, NullSink, SpanClass, TraceSink, TrackId};
-
-use crate::overload::{BreakerEvent, BreakerState, CircuitBreaker, Transition};
-use crate::replica::{Completion, Pending, Replica};
+use crate::replica::Completion;
 use crate::{
-    AdmissionPolicy, BatchPolicy, BrownoutController, BrownoutLadder, CostModel, FaultPlan,
-    FleetMetrics, OverloadControl, RetryPolicy, RoutingPolicy, ServeRequest, ShedReason,
+    AdmissionPolicy, BatchPolicy, FaultPlan, FleetEngine, FleetMetrics, OverloadControl,
+    RetryPolicy, RoutingPolicy, ServeRequest, ShedReason,
 };
 
 /// A request rejected by admission control or orphaned by a crash.
@@ -68,6 +71,11 @@ pub struct FleetConfig {
     /// Closed-loop overload control ([`OverloadControl::off`] = the plain
     /// fleet, bitwise).
     pub overload: OverloadControl,
+    /// Which driver advances the simulation
+    /// ([`FleetEngine::StepGranular`] = the original scan loop;
+    /// [`FleetEngine::EventDriven`] produces bitwise-identical reports at
+    /// O(1) amortized cost per event).
+    pub engine: FleetEngine,
 }
 
 impl FleetConfig {
@@ -85,6 +93,7 @@ impl FleetConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::standard(),
             overload: OverloadControl::off(),
+            engine: FleetEngine::StepGranular,
         }
     }
 
@@ -106,103 +115,8 @@ impl FleetConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::standard(),
             overload: OverloadControl::off(),
+            engine: FleetEngine::StepGranular,
         }
-    }
-}
-
-/// A crash-evicted request waiting out its backoff before re-entering
-/// routing.
-#[derive(Debug, Clone)]
-struct RetryEntry {
-    /// When the requeue fires, seconds.
-    retry_s: f64,
-    /// Requeue attempts consumed (this entry is attempt number `attempt`).
-    attempt: u32,
-    /// Layer to resume from.
-    cursor: usize,
-    request: ServeRequest,
-}
-
-/// Inserts keeping (retry_s asc, id asc) order.
-fn push_retry(retries: &mut Vec<RetryEntry>, entry: RetryEntry) {
-    let pos = retries
-        .binary_search_by(|probe| {
-            probe
-                .retry_s
-                .partial_cmp(&entry.retry_s)
-                .expect("finite retry times")
-                .then(probe.request.id.cmp(&entry.request.id))
-        })
-        .unwrap_or_else(|e| e);
-    retries.insert(pos, entry);
-}
-
-/// A scheduled hedge check: if the request is still in flight when the
-/// timer fires, a copy is dispatched to a second replica.
-#[derive(Debug, Clone)]
-struct HedgeEntry {
-    /// When the check fires, seconds.
-    fire_s: f64,
-    /// Snapshot of the request (the copy restarts from layer 0).
-    request: ServeRequest,
-    /// Solo service estimate cached at admission.
-    est_service_s: f64,
-}
-
-/// Inserts keeping (fire_s asc, id asc) order.
-fn push_hedge(hedges: &mut Vec<HedgeEntry>, entry: HedgeEntry) {
-    let pos = hedges
-        .binary_search_by(|probe| {
-            probe
-                .fire_s
-                .partial_cmp(&entry.fire_s)
-                .expect("finite hedge times")
-                .then(probe.request.id.cmp(&entry.request.id))
-        })
-        .unwrap_or_else(|e| e);
-    hedges.insert(pos, entry);
-}
-
-/// Settles open→half-open breaker transitions as of `now` (emitting the
-/// finished open interval) and returns the routable mask, or `None` when
-/// breakers are disabled.
-fn settle_breakers<S: TraceSink>(
-    breakers: &mut Option<Vec<CircuitBreaker>>,
-    now: f64,
-    sink: &mut S,
-) -> Option<Vec<bool>> {
-    let bs = breakers.as_mut()?;
-    let mut mask = Vec::with_capacity(bs.len());
-    for (i, b) in bs.iter_mut().enumerate() {
-        if let Some(BreakerEvent::HalfOpened { since_s, at_s }) = b.tick(now) {
-            if S::ENABLED {
-                let track = TrackId::new(i as u32, Module::Breaker);
-                sink.span(track, "open", since_s, at_s, SpanClass::Control, true);
-            }
-        }
-        mask.push(b.routable());
-    }
-    Some(mask)
-}
-
-/// Applies a brownout transition to replica `i` and emits the level-change
-/// marks plus the `accuracy_loss_pct` counter the aggregate report
-/// integrates for quality-loss attribution.
-fn apply_transition<S: TraceSink>(
-    replicas: &mut [Replica],
-    ladder: &BrownoutLadder,
-    i: usize,
-    tr: Transition,
-    now: f64,
-    transitions_total: &mut usize,
-    sink: &mut S,
-) {
-    replicas[i].set_level(ladder, tr.to);
-    *transitions_total += 1;
-    if S::ENABLED {
-        let track = TrackId::new(i as u32, Module::Brownout);
-        sink.instant(track, if tr.to > tr.from { "level-up" } else { "level-down" }, now);
-        sink.counter(track, "accuracy_loss_pct", now, ladder.level(tr.to).accuracy_loss_pct);
     }
 }
 
@@ -215,6 +129,15 @@ pub struct FleetReport {
     pub completions: Vec<Completion>,
     /// Every shed request, in arrival order.
     pub shed: Vec<Shed>,
+    /// Simulated events processed (handler invocations); equal across
+    /// engines for the same inputs — the equivalence tests assert it.
+    pub events_processed: u64,
+    /// Event-loop occupancy samples `(time_s, pending_events)` taken
+    /// every ~64th event. Only the event-driven engine fills this (the
+    /// step-granular loop has no event queue); it feeds the telemetry
+    /// `events` lane in `planet_sweep` without touching the traced
+    /// handler path, so trace bytes stay engine-independent.
+    pub event_queue_samples: Vec<(f64, usize)>,
 }
 
 /// Plays `requests` (sorted by arrival) through the fleet.
@@ -234,7 +157,9 @@ pub fn simulate_fleet(cfg: &FleetConfig, requests: &[ServeRequest]) -> FleetRepo
 /// The sink is generic over [`TraceSink`], and instrumentation is guarded
 /// by its `ENABLED` constant, so with [`NullSink`] this *is*
 /// [`simulate_fleet`] — same instructions, bitwise-identical report (the
-/// determinism-guard integration test pins this).
+/// determinism-guard integration test pins this). The trace bytes are
+/// also engine-independent: both drivers run the same instrumented
+/// handlers in the same order.
 ///
 /// # Panics
 ///
@@ -245,538 +170,7 @@ pub fn simulate_fleet_traced<S: TraceSink>(
     requests: &[ServeRequest],
     sink: &mut S,
 ) -> FleetReport {
-    assert!(cfg.replicas > 0, "at least one replica");
-    assert!(!requests.is_empty(), "at least one request");
-    assert!(
-        requests.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-        "requests must be sorted by arrival time"
-    );
-    cfg.faults.validate(cfg.replicas);
-
-    let system = CtaSystem::new(cfg.system);
-    let mut replicas: Vec<Replica> =
-        (0..cfg.replicas).map(|i| Replica::new(i, system.clone())).collect();
-    let mut cost = CostModel::new();
-    let mut completions: Vec<Completion> = Vec::with_capacity(requests.len());
-    let mut shed: Vec<Shed> = Vec::new();
-    let mut rr_cursor = 0usize;
-    let mut next_arrival = 0usize;
-    let fault_events = cfg.faults.timeline();
-    let mut next_fault = 0usize;
-    let mut retries: Vec<RetryEntry> = Vec::new();
-    let mut requeues_total = 0usize;
-
-    // Overload-control state. Every structure is `None`/empty when the
-    // corresponding mechanism is off, so the disabled path executes the
-    // exact pre-overload event loop (the `is_none_or` guards below reduce
-    // to their old expressions; pinned bitwise by test).
-    let overload_on = !cfg.overload.is_off();
-    let mut controllers: Option<Vec<BrownoutController>> =
-        cfg.overload.brownout.as_ref().map(|b| {
-            (0..cfg.replicas)
-                .map(|_| BrownoutController::new(b.policy, b.ladder.max_level()))
-                .collect()
-        });
-    let mut breakers: Option<Vec<CircuitBreaker>> =
-        cfg.overload.breaker.map(|p| (0..cfg.replicas).map(|_| CircuitBreaker::new(p)).collect());
-    if let Some(hp) = &cfg.overload.hedge {
-        hp.validate();
-    }
-    let mut hedges: Vec<HedgeEntry> = Vec::new();
-    // Hedged requests with two live copies: id → primary replica at
-    // hedge-dispatch time (lookup only, never iterated — determinism).
-    let mut hedged_live: HashMap<u64, usize> = HashMap::new();
-    let mut lat_window: Vec<f64> = Vec::new();
-    let mut lat_next = 0usize;
-    let mut hedged = 0usize;
-    let mut hedge_wins = 0usize;
-    let mut hedge_cancelled = 0usize;
-    let mut transitions_total = 0usize;
-
-    loop {
-        // Earliest replica step, ties to the lowest index.
-        let next_step: Option<(f64, usize)> = replicas
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.next_step_time().map(|t| (t, i)))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite step times").then(a.1.cmp(&b.1)));
-
-        // Tie order at one instant: fault < arrival < retry < hedge <
-        // step. With an empty fault plan the fault and retry sources never
-        // fire, and with hedging off the hedge queue stays empty, so the
-        // conditions reduce to the plain fault-free expressions.
-        let fault_due = next_fault < fault_events.len() && {
-            let tf = fault_events[next_fault].t_s;
-            next_step.is_none_or(|(t, _)| tf <= t)
-                && (next_arrival >= requests.len() || tf <= requests[next_arrival].arrival_s)
-                && retries.first().is_none_or(|r| tf <= r.retry_s)
-                && hedges.first().is_none_or(|h| tf <= h.fire_s)
-        };
-
-        let arrival_due = !fault_due
-            && next_arrival < requests.len()
-            && next_step.is_none_or(|(t, _)| requests[next_arrival].arrival_s <= t)
-            && retries.first().is_none_or(|r| requests[next_arrival].arrival_s <= r.retry_s)
-            && hedges.first().is_none_or(|h| requests[next_arrival].arrival_s <= h.fire_s);
-
-        let retry_due = !fault_due
-            && !arrival_due
-            && retries.first().is_some_and(|r| {
-                next_step.is_none_or(|(t, _)| r.retry_s <= t)
-                    && hedges.first().is_none_or(|h| r.retry_s <= h.fire_s)
-            });
-
-        let hedge_due = !fault_due
-            && !arrival_due
-            && !retry_due
-            && hedges.first().is_some_and(|h| next_step.is_none_or(|(t, _)| h.fire_s <= t));
-
-        if fault_due {
-            let ev = fault_events[next_fault];
-            next_fault += 1;
-            let track = TrackId::new(ev.replica as u32, Module::Fault);
-            if ev.up {
-                let since = replicas[ev.replica].down_since;
-                replicas[ev.replica].recover(ev.t_s);
-                if S::ENABLED {
-                    sink.span(track, "outage", since, ev.t_s, SpanClass::Fault, true);
-                    sink.instant(track, "replica-up", ev.t_s);
-                }
-            } else {
-                let orphans = replicas[ev.replica].crash(ev.t_s);
-                if S::ENABLED {
-                    sink.instant(track, "replica-down", ev.t_s);
-                }
-                if let Some(bs) = breakers.as_mut() {
-                    let prev = bs[ev.replica].state();
-                    if let Some(BreakerEvent::Opened { at_s }) =
-                        bs[ev.replica].record_failure(ev.t_s)
-                    {
-                        if S::ENABLED {
-                            let btrack = TrackId::new(ev.replica as u32, Module::Breaker);
-                            // A failed probe closes its half-open interval.
-                            if let BreakerState::HalfOpen { since_s, .. } = prev {
-                                sink.span(
-                                    btrack,
-                                    "half-open",
-                                    since_s,
-                                    at_s,
-                                    SpanClass::Control,
-                                    true,
-                                );
-                            }
-                            sink.instant(btrack, "breaker-open", at_s);
-                        }
-                    }
-                }
-                for p in orphans {
-                    // A hedge copy whose sibling is still live elsewhere is
-                    // dropped silently (accounted as a cancellation): the
-                    // surviving copy carries the request, so requeueing or
-                    // shedding this one would double-resolve it.
-                    if hedged_live.contains_key(&p.request.id)
-                        && replicas.iter().any(|r| r.holds_request(p.request.id))
-                    {
-                        hedge_cancelled += 1;
-                        if S::ENABLED {
-                            let htrack = TrackId::new(ev.replica as u32, Module::Hedge);
-                            sink.instant(htrack, "hedge-cancel", ev.t_s);
-                        }
-                        continue;
-                    }
-                    let attempt = p.attempt + 1;
-                    if attempt > cfg.retry.max_attempts {
-                        shed.push(Shed {
-                            id: p.request.id,
-                            class: p.request.class.name,
-                            arrival_s: p.request.arrival_s,
-                            reason: ShedReason::ReplicaLost,
-                            retries: p.attempt,
-                        });
-                        continue;
-                    }
-                    let retry_s = ev.t_s + cfg.retry.backoff(attempt);
-                    // Deadline-aware requeue: if even an unobstructed
-                    // resume cannot meet the SLO, shed now instead of
-                    // burning the budget.
-                    if cfg.admission.enforce_deadlines {
-                        if let Some(d) = p.request.class.deadline_s {
-                            let remaining =
-                                cost.remaining_service_s(&system, &p.request, p.resume_cursor)
-                                    + if p.resume_cursor > 0 {
-                                        system.weight_upload_s()
-                                    } else {
-                                        0.0
-                                    };
-                            if retry_s + remaining > p.request.arrival_s + d {
-                                shed.push(Shed {
-                                    id: p.request.id,
-                                    class: p.request.class.name,
-                                    arrival_s: p.request.arrival_s,
-                                    reason: ShedReason::ReplicaLost,
-                                    retries: p.attempt,
-                                });
-                                continue;
-                            }
-                        }
-                    }
-                    requeues_total += 1;
-                    if S::ENABLED {
-                        sink.instant(track, "requeue", ev.t_s);
-                        sink.counter(track, "retries", ev.t_s, requeues_total as f64);
-                    }
-                    push_retry(
-                        &mut retries,
-                        RetryEntry {
-                            retry_s,
-                            attempt,
-                            cursor: p.resume_cursor,
-                            request: p.request,
-                        },
-                    );
-                }
-            }
-        } else if arrival_due {
-            let request = &requests[next_arrival];
-            next_arrival += 1;
-            let now = request.arrival_s;
-            let mask = settle_breakers(&mut breakers, now, sink);
-            let Some(target) =
-                cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor, mask.as_deref())
-            else {
-                // The whole fleet is down: nothing can take the request.
-                if S::ENABLED {
-                    let track = TrackId::new(0, Module::Fault);
-                    sink.instant(track, "shed-fleet-down", now);
-                }
-                shed.push(Shed {
-                    id: request.id,
-                    class: request.class.name,
-                    arrival_s: now,
-                    reason: ShedReason::ReplicaLost,
-                    retries: 0,
-                });
-                continue;
-            };
-            let est_service_s = cost.request_service_s(&system, request);
-            let est_wait_s = replicas[target].outstanding_s(&mut cost, now);
-            match cfg.admission.admit(
-                &request.class,
-                replicas[target].queue_depth(),
-                est_wait_s + est_service_s,
-            ) {
-                Ok(()) => {
-                    replicas[target].enqueue(Pending::fresh(request.clone(), est_service_s));
-                    if let Some(bs) = breakers.as_mut() {
-                        bs[target].on_dispatch();
-                    }
-                    // Deadline-bearing admissions arm a hedge timer at the
-                    // windowed-p99 delay; the check fires only if the
-                    // request is still in flight then.
-                    if let Some(hp) = &cfg.overload.hedge {
-                        if request.class.deadline_s.is_some() {
-                            push_hedge(
-                                &mut hedges,
-                                HedgeEntry {
-                                    fire_s: now + hp.delay_s(&lat_window),
-                                    request: request.clone(),
-                                    est_service_s,
-                                },
-                            );
-                        }
-                    }
-                    if S::ENABLED {
-                        let track = TrackId::new(target as u32, Module::Runtime);
-                        sink.instant(track, "enqueue", now);
-                        sink.counter(
-                            track,
-                            "queue_depth",
-                            now,
-                            replicas[target].queue_depth() as f64,
-                        );
-                    }
-                }
-                Err(reason) => {
-                    if S::ENABLED {
-                        let track = TrackId::new(target as u32, Module::Runtime);
-                        sink.instant(track, "shed", now);
-                    }
-                    shed.push(Shed {
-                        id: request.id,
-                        class: request.class.name,
-                        arrival_s: now,
-                        reason,
-                        retries: 0,
-                    });
-                }
-            }
-            // Closed-loop sensing: every arrival feeds each up replica's
-            // controller one availability-weighted depth sample, so the
-            // sampling cadence tracks offered load and survivors of a
-            // partial outage see proportionally inflated depth.
-            if let (Some(ctrls), Some(bc)) = (controllers.as_mut(), cfg.overload.brownout.as_ref())
-            {
-                let up_count = replicas.iter().filter(|r| r.up).count();
-                if up_count > 0 {
-                    let up_frac = up_count as f64 / replicas.len() as f64;
-                    for i in 0..replicas.len() {
-                        if !replicas[i].up {
-                            continue;
-                        }
-                        let depth = replicas[i].queue_depth() as f64 / up_frac;
-                        if let Some(tr) = ctrls[i].observe_depth(depth) {
-                            apply_transition(
-                                &mut replicas,
-                                &bc.ladder,
-                                i,
-                                tr,
-                                now,
-                                &mut transitions_total,
-                                sink,
-                            );
-                        }
-                    }
-                }
-            }
-        } else if retry_due {
-            let entry = retries.remove(0);
-            let now = entry.retry_s;
-            let mask = settle_breakers(&mut breakers, now, sink);
-            match cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor, mask.as_deref())
-            {
-                Some(target) => {
-                    // A requeue was already admitted once; it re-enters the
-                    // queue directly (no depth shedding) with a remaining-
-                    // work estimate that charges the fresh weight upload
-                    // its resume will pay.
-                    let est_service_s =
-                        cost.remaining_service_s(&system, &entry.request, entry.cursor)
-                            + if entry.cursor > 0 { system.weight_upload_s() } else { 0.0 };
-                    if S::ENABLED {
-                        let track = TrackId::new(target as u32, Module::Runtime);
-                        sink.instant(track, "requeue-placed", now);
-                    }
-                    replicas[target].enqueue(Pending {
-                        request: entry.request,
-                        est_service_s,
-                        resume_cursor: entry.cursor,
-                        attempt: entry.attempt,
-                    });
-                    if let Some(bs) = breakers.as_mut() {
-                        bs[target].on_dispatch();
-                    }
-                }
-                None => {
-                    // Still no healthy replica: consume another attempt or
-                    // give up.
-                    let attempt = entry.attempt + 1;
-                    if attempt > cfg.retry.max_attempts {
-                        shed.push(Shed {
-                            id: entry.request.id,
-                            class: entry.request.class.name,
-                            arrival_s: entry.request.arrival_s,
-                            reason: ShedReason::ReplicaLost,
-                            retries: entry.attempt,
-                        });
-                    } else {
-                        requeues_total += 1;
-                        if S::ENABLED {
-                            let track = TrackId::new(0, Module::Fault);
-                            sink.counter(track, "retries", now, requeues_total as f64);
-                        }
-                        push_retry(
-                            &mut retries,
-                            RetryEntry {
-                                retry_s: now + cfg.retry.backoff(attempt),
-                                attempt,
-                                cursor: entry.cursor,
-                                request: entry.request,
-                            },
-                        );
-                    }
-                }
-            }
-        } else if hedge_due {
-            let entry = hedges.remove(0);
-            let now = entry.fire_s;
-            let id = entry.request.id;
-            // Still in flight? (Not found anywhere = completed, shed, or
-            // waiting out a retry backoff — no hedge then.)
-            if let Some(primary) = replicas.iter().position(|r| r.holds_request(id)) {
-                let breaker_mask = settle_breakers(&mut breakers, now, sink);
-                // The copy must land on a *different* replica than the one
-                // holding the slow primary.
-                let mask: Vec<bool> = (0..replicas.len())
-                    .map(|i| i != primary && breaker_mask.as_ref().is_none_or(|m| m[i]))
-                    .collect();
-                if let Some(target) =
-                    cfg.routing.choose(&mut replicas, &mut cost, now, &mut rr_cursor, Some(&mask))
-                {
-                    // Hedge copies bypass admission: the request was
-                    // already admitted once; the copy exists purely to cut
-                    // its tail.
-                    replicas[target].enqueue(Pending::fresh(entry.request, entry.est_service_s));
-                    if let Some(bs) = breakers.as_mut() {
-                        bs[target].on_dispatch();
-                    }
-                    hedged += 1;
-                    hedged_live.insert(id, primary);
-                    if S::ENABLED {
-                        let htrack = TrackId::new(target as u32, Module::Hedge);
-                        sink.instant(htrack, "hedge-dispatch", now);
-                    }
-                }
-            }
-        } else if let Some((_, i)) = next_step {
-            let before = completions.len();
-            replicas[i].execute_step(&cfg.batch, &cfg.faults, &mut cost, &mut completions, sink);
-            if overload_on {
-                for c in completions[before..].iter().cloned() {
-                    // Hedge delay sensing: sliding window of completion
-                    // latencies.
-                    if let Some(hp) = &cfg.overload.hedge {
-                        let lat = c.latency_s();
-                        if lat_window.len() == hp.latency_window {
-                            lat_window[lat_next % hp.latency_window] = lat;
-                        } else {
-                            lat_window.push(lat);
-                        }
-                        lat_next = (lat_next + 1) % hp.latency_window;
-                    }
-                    // A completion is breaker evidence of health (a
-                    // successful half-open probe closes the breaker).
-                    if let Some(bs) = breakers.as_mut() {
-                        if let Some(BreakerEvent::Closed { since_s, at_s }) =
-                            bs[c.replica].record_success(c.finish_s)
-                        {
-                            if S::ENABLED {
-                                let btrack = TrackId::new(c.replica as u32, Module::Breaker);
-                                sink.span(
-                                    btrack,
-                                    "half-open",
-                                    since_s,
-                                    at_s,
-                                    SpanClass::Control,
-                                    false,
-                                );
-                            }
-                        }
-                    }
-                    // ... and brownout evidence (deadline outcome).
-                    if let (Some(ctrls), Some(bc)) =
-                        (controllers.as_mut(), cfg.overload.brownout.as_ref())
-                    {
-                        if let Some(tr) =
-                            ctrls[c.replica].observe_completion(c.deadline_met == Some(false))
-                        {
-                            apply_transition(
-                                &mut replicas,
-                                &bc.ladder,
-                                c.replica,
-                                tr,
-                                c.finish_s,
-                                &mut transitions_total,
-                                sink,
-                            );
-                        }
-                    }
-                    // First outcome wins: cancel every losing copy (other
-                    // replicas' queues/actives at their layer boundary,
-                    // plus any retry backoff entry) the moment the winner
-                    // completes, so exactly one completion is ever
-                    // reported per hedged id.
-                    if let Some(primary) = hedged_live.remove(&c.id) {
-                        for (j, replica) in replicas.iter_mut().enumerate() {
-                            if j == c.replica {
-                                continue;
-                            }
-                            let n = replica.cancel_request(c.id);
-                            if n > 0 {
-                                hedge_cancelled += n;
-                                if S::ENABLED {
-                                    let htrack = TrackId::new(j as u32, Module::Hedge);
-                                    sink.instant(htrack, "hedge-cancel", c.finish_s);
-                                }
-                            }
-                        }
-                        let before_retry = retries.len();
-                        retries.retain(|r| r.request.id != c.id);
-                        hedge_cancelled += before_retry - retries.len();
-                        if c.replica != primary {
-                            hedge_wins += 1;
-                            if S::ENABLED {
-                                let htrack = TrackId::new(c.replica as u32, Module::Hedge);
-                                sink.instant(htrack, "hedge-win", c.finish_s);
-                            }
-                        }
-                    }
-                }
-            }
-        } else {
-            break;
-        }
-    }
-
-    // Close the books on replicas still down at the end of the run: their
-    // open outage extends to the fleet makespan (or the crash instant if
-    // nothing completed after it).
-    let makespan_s = completions.iter().map(|c| c.finish_s).fold(0.0, f64::max);
-    for r in &mut replicas {
-        if !r.up {
-            let end = makespan_s.max(r.down_since);
-            r.down_s += end - r.down_since;
-            if S::ENABLED {
-                let track = TrackId::new(r.index as u32, Module::Fault);
-                sink.span(track, "outage", r.down_since, end, SpanClass::Fault, true);
-            }
-        }
-    }
-
-    // Likewise for breakers still open (or probing) at the end of the
-    // run: their blocking interval extends to the makespan.
-    if S::ENABLED {
-        if let Some(bs) = breakers.as_ref() {
-            for (i, b) in bs.iter().enumerate() {
-                let track = TrackId::new(i as u32, Module::Breaker);
-                match b.state() {
-                    BreakerState::Open { since_s, .. } => {
-                        sink.span(
-                            track,
-                            "open",
-                            since_s,
-                            makespan_s.max(since_s),
-                            SpanClass::Control,
-                            true,
-                        );
-                    }
-                    BreakerState::HalfOpen { since_s, .. } => {
-                        sink.span(
-                            track,
-                            "half-open",
-                            since_s,
-                            makespan_s.max(since_s),
-                            SpanClass::Control,
-                            true,
-                        );
-                    }
-                    BreakerState::Closed { .. } => {}
-                }
-            }
-        }
-    }
-
-    let busy: Vec<f64> = replicas.iter().map(|r| r.busy_s).collect();
-    let down: Vec<f64> = replicas.iter().map(|r| r.down_s).collect();
-    let mut metrics =
-        FleetMetrics::from_outcomes(requests.len(), &completions, &shed, &busy, &down);
-    metrics.overload.hedged = hedged;
-    metrics.overload.hedge_wins = hedge_wins;
-    metrics.overload.hedge_cancelled = hedge_cancelled;
-    metrics.overload.brownout_transitions = transitions_total;
-    metrics.overload.per_replica_brownout_s = replicas.iter().map(|r| r.brownout_s).collect();
-    metrics.overload.breaker_opens =
-        breakers.as_ref().map_or(0, |bs| bs.iter().map(|b| b.opens).sum());
-    FleetReport { metrics, completions, shed }
+    crate::engine::run(cfg, requests, sink)
 }
 
 #[cfg(test)]
@@ -877,6 +271,27 @@ mod tests {
         let a = simulate_fleet(&cfg, &requests);
         let b = simulate_fleet(&cfg, &requests);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engines_parse_and_label_round_trip() {
+        for e in [FleetEngine::StepGranular, FleetEngine::EventDriven] {
+            assert_eq!(FleetEngine::parse(e.label()), Some(e));
+        }
+        assert_eq!(FleetEngine::parse("nope"), None);
+    }
+
+    #[test]
+    fn event_engine_matches_step_engine_on_a_sharded_fleet() {
+        let requests = trace(40, 1e-5);
+        let step = simulate_fleet(&FleetConfig::sharded(SystemConfig::paper(), 3), &requests);
+        let mut cfg = FleetConfig::sharded(SystemConfig::paper(), 3);
+        cfg.engine = FleetEngine::EventDriven;
+        let event = simulate_fleet(&cfg, &requests);
+        assert_eq!(step.metrics, event.metrics);
+        assert_eq!(step.completions, event.completions);
+        assert_eq!(step.shed, event.shed);
+        assert_eq!(step.events_processed, event.events_processed);
     }
 
     #[test]

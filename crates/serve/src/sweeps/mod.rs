@@ -7,8 +7,8 @@
 //! `std::env::args()` to the `main` function here, which keeps the
 //! sweep logic unit-testable and the binaries trivially small.
 //!
-//! All three sweeps accept the shared harness flags in addition to the
-//! ones in their usage text:
+//! All sweeps accept the shared harness flags in addition to the ones
+//! in their usage text:
 //!
 //! * `--jobs N` — evaluate grid points on an `N`-worker pool
 //!   (default: `CTA_JOBS`, then available cores). Output bytes are
@@ -19,4 +19,5 @@
 
 pub mod brownout_sweep;
 pub mod degradation_sweep;
+pub mod planet_sweep;
 pub mod serve_sweep;

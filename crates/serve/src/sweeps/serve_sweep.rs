@@ -14,6 +14,7 @@
 //!             [--requests 200] [--seed 7] [--routing jsq]
 //!             [--batch 4] [--queue-depth 64] [--trace <path.json>]
 //!             [--faults <mtbf_s>:<mttr_s>] [--brownout]
+//!             [--engine step|event] [--arrivals poisson|diurnal]
 //!             [--jobs N] [--pool-trace <path.json>]
 //! ```
 //!
@@ -37,6 +38,16 @@
 //! is written, and tracing never changes the sweep numbers — the sink is
 //! compiled out of the untraced runs.
 //!
+//! With `--engine event` every sweep point runs on the calendar-queue
+//! event core ([`crate::FleetEngine::EventDriven`]) instead of the
+//! step-granular scan. The two engines are pinned bitwise-equivalent
+//! (the `engine` integration tests), so the CSV bytes do not change —
+//! only the simulator's own complexity class does. With
+//! `--arrivals diurnal` the Poisson trace is replaced by a diurnally
+//! modulated one ([`cta_workloads::DiurnalSpec`]): the point rate
+//! becomes the daytime rate of a four-cycle day/night pattern (night at
+//! 0.25x) with a 4x flash crowd early in the second cycle.
+//!
 //! Everything is deterministic for a fixed `--seed`: running the sweep
 //! twice — at any `--jobs` value — produces byte-identical tables.
 
@@ -44,13 +55,13 @@ use std::process::ExitCode;
 
 use cta_bench::{parse_list, parse_num, FlagParser, JsonValue, SCHEMA_VERSION};
 use cta_sim::{CtaSystem, SystemConfig};
-use cta_workloads::{case_task, mini_case};
+use cta_workloads::{case_task, mini_case, DiurnalSpec, FlashCrowd};
 
 use crate::harness::{export_trace, Harness, PointOutput, SweepSpec};
 use crate::{
     poisson_requests, simulate_fleet, simulate_fleet_traced, AdmissionPolicy, BatchPolicy,
-    BrownoutConfig, CostModel, FaultPlan, FleetConfig, LoadSpec, OverloadControl, RoutingPolicy,
-    ServeRequest,
+    BrownoutConfig, CostModel, FaultPlan, FleetConfig, FleetEngine, LoadSpec, OverloadControl,
+    RoutingPolicy, ServeRequest,
 };
 
 /// Usage text printed to stderr on any malformed invocation.
@@ -58,6 +69,7 @@ const USAGE: &str = "usage: serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.
                    [--requests 200] [--seed 7] [--routing rr|jsq|low]
                    [--batch 4] [--queue-depth 64] [--trace <path.json>]
                    [--faults <mtbf_s>:<mttr_s>] [--brownout]
+                   [--engine step|event] [--arrivals poisson|diurnal]
                    [--jobs N] [--pool-trace <path.json>]";
 
 /// CSV/stdout column layout. The trailing `schema_version` column repeats
@@ -101,6 +113,32 @@ impl FaultSpec {
     }
 }
 
+/// The arrival process a sweep point generates its trace from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arrivals {
+    /// Constant-rate Poisson arrivals (the default).
+    Poisson,
+    /// Diurnally modulated arrivals with a flash-crowd overlay.
+    Diurnal,
+}
+
+impl Arrivals {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "poisson" => Some(Arrivals::Poisson),
+            "diurnal" => Some(Arrivals::Diurnal),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Arrivals::Poisson => "poisson",
+            Arrivals::Diurnal => "diurnal",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Args {
     replicas: Vec<usize>,
@@ -113,6 +151,8 @@ struct Args {
     trace: Option<String>,
     faults: Option<FaultSpec>,
     brownout: bool,
+    engine: FleetEngine,
+    arrivals: Arrivals,
 }
 
 impl Args {
@@ -128,6 +168,8 @@ impl Args {
             trace: None,
             faults: None,
             brownout: false,
+            engine: FleetEngine::StepGranular,
+            arrivals: Arrivals::Poisson,
         };
         while let Some(flag) = it.next_flag() {
             match flag.as_str() {
@@ -165,6 +207,17 @@ impl Args {
                 // A bare switch: the brownout ladder and controller are
                 // the calibrated standards, not CLI-tunable knobs.
                 "--brownout" => args.brownout = true,
+                "--engine" => {
+                    let v = it.value("--engine")?;
+                    args.engine = FleetEngine::parse(&v)
+                        .ok_or_else(|| format!("unknown engine {v:?} (step|event)"))?;
+                }
+                "--arrivals" => {
+                    let v = it.value("--arrivals")?;
+                    args.arrivals = Arrivals::parse(&v).ok_or_else(|| {
+                        format!("unknown arrival process {v:?} (poisson|diurnal)")
+                    })?;
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -216,6 +269,7 @@ fn point_faults(
 /// once the point's arrival trace exists).
 fn point_config(args: &Args, replicas: usize) -> FleetConfig {
     let mut cfg = FleetConfig::sharded(SystemConfig::paper(), replicas);
+    cfg.engine = args.engine;
     cfg.routing = args.routing;
     cfg.batch = BatchPolicy::up_to(args.batch);
     cfg.admission = AdmissionPolicy::bounded(args.queue_depth);
@@ -226,6 +280,40 @@ fn point_config(args: &Args, replicas: usize) -> FleetConfig {
         };
     }
     cfg
+}
+
+/// The arrival trace for one sweep point. Poisson traces come straight
+/// from [`poisson_requests`]; diurnal traces treat the point rate as the
+/// daytime rate of a four-cycle day/night pattern (night at 0.25x) with
+/// a 4x flash crowd early in the second cycle, sized so the cycle
+/// structure fits the trace span whatever `--requests` and the rate are.
+fn point_requests(args: &Args, spec: &LoadSpec, rate: f64, seed: u64) -> Vec<ServeRequest> {
+    match args.arrivals {
+        Arrivals::Poisson => poisson_requests(spec, args.requests, rate, seed),
+        Arrivals::Diurnal => {
+            let period = (args.requests as f64 / rate / 4.0).max(1e-6);
+            let diurnal = DiurnalSpec::new(rate, period, 0.6, 0.25).with_flash(FlashCrowd::new(
+                1.1 * period,
+                0.2 * period,
+                4.0,
+            ));
+            diurnal
+                .arrival_times(args.requests, seed)
+                .into_iter()
+                .enumerate()
+                .map(|(id, t)| {
+                    ServeRequest::uniform(
+                        id as u64,
+                        t,
+                        spec.class,
+                        spec.task,
+                        spec.layers,
+                        spec.heads,
+                    )
+                })
+                .collect()
+        }
+    }
 }
 
 fn run(h: &Harness<Args>) {
@@ -259,7 +347,7 @@ fn run(h: &Harness<Args>) {
             let mut out = PointOutput::new();
             let mut cfg = point_config(args, replicas);
             let rate = load * replicas as f64 / solo;
-            let requests = poisson_requests(&spec, args.requests, rate, args.seed);
+            let requests = point_requests(args, &spec, rate, args.seed);
             cfg.faults = point_faults(args.faults, replicas, &requests, args.seed);
             let report = simulate_fleet(&cfg, &requests);
             let m = &report.metrics;
@@ -350,6 +438,15 @@ fn run(h: &Harness<Args>) {
             if args.brownout {
                 json.set("brownout", JsonValue::Bool(true));
             }
+            // Engine/arrivals metadata only when non-default, so the
+            // default report bytes stay pinned (and a step-vs-event CSV
+            // diff is the whole equivalence check).
+            if args.engine != FleetEngine::StepGranular {
+                json.set("engine", JsonValue::Str(args.engine.label().into()));
+            }
+            if args.arrivals != Arrivals::Poisson {
+                json.set("arrivals", JsonValue::Str(args.arrivals.label().into()));
+            }
         },
     );
 
@@ -363,7 +460,7 @@ fn run(h: &Harness<Args>) {
         let load = *args.loads.last().expect("non-empty sweep");
         let mut cfg = point_config(args, replicas);
         let rate = load * replicas as f64 / solo;
-        let requests = poisson_requests(&spec, args.requests, rate, args.seed);
+        let requests = point_requests(args, &spec, rate, args.seed);
         cfg.faults = point_faults(args.faults, replicas, &requests, args.seed);
         export_trace(
             path,
@@ -402,6 +499,33 @@ mod tests {
         assert!(parse(&["--faults", "0:1"]).unwrap_err().contains("positive"));
         assert!(parse(&["--replicas", "0"]).unwrap_err().contains("positive"));
         assert!(parse(&["--batch", "0"]).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn engine_and_arrivals_flags_parse_with_step_poisson_defaults() {
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.engine, FleetEngine::StepGranular);
+        assert_eq!(d.arrivals, Arrivals::Poisson);
+        let ev = parse(&["--engine", "event", "--arrivals", "diurnal"]).expect("valid");
+        assert_eq!(ev.engine, FleetEngine::EventDriven);
+        assert_eq!(ev.arrivals, Arrivals::Diurnal);
+        assert!(parse(&["--engine", "warp"]).unwrap_err().contains("unknown engine"));
+        assert!(parse(&["--arrivals", "tidal"]).unwrap_err().contains("unknown arrival process"));
+    }
+
+    #[test]
+    fn diurnal_points_are_sorted_deterministic_and_distinct_from_poisson() {
+        let mut args = parse(&["--arrivals", "diurnal", "--requests", "100"]).expect("valid");
+        let case = mini_case();
+        let spec = LoadSpec::standard(case_task(&case), case.model.layers, case.model.heads);
+        let a = point_requests(&args, &spec, 50.0, 7);
+        let b = point_requests(&args, &spec, 50.0, 7);
+        assert_eq!(a, b, "diurnal traces are seeded");
+        assert_eq!(a.len(), 100);
+        assert!(a.windows(2).all(|w| w[0].arrival_s < w[1].arrival_s));
+        args.arrivals = Arrivals::Poisson;
+        let p = point_requests(&args, &spec, 50.0, 7);
+        assert_ne!(a, p, "diurnal modulation changes the trace");
     }
 
     #[test]

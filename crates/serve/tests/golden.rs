@@ -246,6 +246,90 @@ fn brownout_sweep_output_is_bitwise_pinned() {
 }
 
 // ---------------------------------------------------------------------------
+// Event-engine replays: the same pins, the other engine
+// ---------------------------------------------------------------------------
+
+/// `--engine event` swaps the step-granular scan for the calendar-queue
+/// event core; everything it computes must land on the *same* golden
+/// bytes. CSV and trace are compared against the existing pins verbatim;
+/// the JSON differs only by its `engine` metadata marker.
+#[test]
+fn serve_sweep_event_engine_reproduces_the_pins() {
+    let dir = run_in_scratch(
+        "serve-event",
+        env!("CARGO_BIN_EXE_serve_sweep"),
+        &[
+            "--replicas",
+            "2",
+            "--loads",
+            "0.5,1.2",
+            "--requests",
+            "40",
+            "--seed",
+            "7",
+            "--engine",
+            "event",
+            "--trace",
+            "serve_trace.json",
+        ],
+    );
+    assert_bytes_match_golden(&dir, "results/serve_sweep.csv", "serve_sweep.csv");
+    assert_trace_matches_pin(&dir, "serve_trace.json");
+    let json = std::fs::read_to_string(dir.join("results/serve_sweep.json")).expect("json report");
+    assert!(json.contains("\"engine\""), "event runs are marked in the JSON metadata");
+}
+
+#[test]
+fn degradation_sweep_event_engine_reproduces_the_pins() {
+    let dir = run_in_scratch(
+        "degradation-event",
+        env!("CARGO_BIN_EXE_degradation_sweep"),
+        &[
+            "--replicas",
+            "3",
+            "--requests",
+            "60",
+            "--seed",
+            "7",
+            "--mtbf-factors",
+            "2,0.5",
+            "--engine",
+            "event",
+            "--trace",
+            "degradation_trace.json",
+        ],
+    );
+    assert_bytes_match_golden(&dir, "results/degradation_sweep.csv", "degradation_sweep.csv");
+    assert_trace_matches_pin(&dir, "degradation_trace.json");
+}
+
+#[test]
+fn brownout_sweep_event_engine_reproduces_the_pins() {
+    let dir = run_in_scratch(
+        "brownout-event",
+        env!("CARGO_BIN_EXE_brownout_sweep"),
+        &[
+            "--replicas",
+            "2",
+            "--loads",
+            "0.9,1.6",
+            "--requests",
+            "60",
+            "--seed",
+            "7",
+            "--mtbf-factors",
+            "inf,0.6",
+            "--engine",
+            "event",
+            "--trace",
+            "brownout_trace.json",
+        ],
+    );
+    assert_bytes_match_golden(&dir, "results/brownout_sweep.csv", "brownout_sweep.csv");
+    assert_trace_matches_pin(&dir, "brownout_trace.json");
+}
+
+// ---------------------------------------------------------------------------
 // Schema snapshots
 // ---------------------------------------------------------------------------
 

@@ -36,11 +36,14 @@ pub enum Module {
     /// A harness thread-pool worker lane: one task-execution interval per
     /// scheduled task, used by the `--pool-trace` occupancy export.
     Worker,
+    /// The event-core lane: sampled calendar-queue occupancy counters
+    /// from the event-driven fleet engine.
+    Events,
 }
 
 impl Module {
     /// All lanes, in display order.
-    pub const ALL: [Module; 11] = [
+    pub const ALL: [Module; 12] = [
         Module::Sa,
         Module::Cim,
         Module::Cag,
@@ -52,6 +55,7 @@ impl Module {
         Module::Breaker,
         Module::Hedge,
         Module::Worker,
+        Module::Events,
     ];
 
     /// Human-readable lane name (the Chrome trace thread name).
@@ -68,6 +72,7 @@ impl Module {
             Module::Breaker => "breaker",
             Module::Hedge => "hedge",
             Module::Worker => "worker",
+            Module::Events => "events",
         }
     }
 
@@ -86,6 +91,7 @@ impl Module {
             Module::Breaker => 8,
             Module::Hedge => 9,
             Module::Worker => 10,
+            Module::Events => 11,
         }
     }
 }

@@ -35,6 +35,7 @@ mod arrivals;
 mod brownout;
 mod cases;
 mod datasets;
+mod diurnal;
 mod generator;
 mod models;
 mod operating;
@@ -47,6 +48,7 @@ pub use arrivals::{case_arrival_trace, case_task};
 pub use brownout::{calibrate_brownout_ladder, BrownoutCalibration, BrownoutRung};
 pub use cases::{mini_case, paper_cases, TestCase};
 pub use datasets::{all_datasets, imdb, squad11, squad20, wikitext2, DatasetSpec};
+pub use diurnal::{DiurnalSpec, FlashCrowd};
 pub use generator::{generate_case_tokens, generate_layer_tokens, generate_tokens};
 pub use models::{albert_large, bert_large, gpt2_large, model_zoo, roberta_large, ModelSpec};
 pub use operating::{find_all_operating_points, find_operating_point, CtaClass, OperatingPoint};
