@@ -25,6 +25,9 @@ pub enum ShedReason {
     /// again: no healthy replica was available, the retry budget ran out,
     /// or the deadline could no longer be met after requeueing.
     ReplicaLost,
+    /// The owning tenant's token-bucket quota was exhausted; the request
+    /// was rejected at arrival, before occupying any queue space.
+    QuotaExceeded,
 }
 
 /// Admission-control configuration.

@@ -29,6 +29,9 @@ use std::collections::HashMap;
 use cta_events::{EventId, EventLoop};
 use cta_sim::CtaSystem;
 use cta_telemetry::{Module, SpanClass, TraceSink, TrackId};
+use cta_tenancy::{
+    Autoscaler, Backpressure, FairQueue, ScaleEvent, TenancyStats, TenantOutcome, TokenBucket,
+};
 
 use crate::fault::FaultEvent;
 use crate::overload::{BreakerEvent, BreakerState, CircuitBreaker, Transition};
@@ -186,6 +189,30 @@ fn apply_transition<S: TraceSink>(
     }
 }
 
+/// What became of one dispatch attempt out of the tenancy fair queue
+/// (or straight off the wire when tenancy is off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    /// Admitted to a replica queue.
+    Enqueued,
+    /// Rejected and recorded in the shed list.
+    Shed,
+    /// Hold backpressure: the target queue is full (or the fleet is
+    /// down); the request goes back to the head of the fair queue.
+    Blocked,
+}
+
+/// Runtime state of the tenancy stage: the fair queue in front of
+/// admission, the per-tenant quota buckets, and the autoscaler.
+struct TenancyState {
+    queue: FairQueue<ServeRequest>,
+    buckets: Option<Vec<TokenBucket>>,
+    scaler: Option<Autoscaler>,
+    /// Hold backpressure: a full replica queue parks the request in the
+    /// fair queue instead of shedding it.
+    hold: bool,
+}
+
 /// All simulation state, shared by both drivers. The handlers are the
 /// single definition of what each event does; the drivers only decide
 /// ordering — which the class ranks make identical.
@@ -229,6 +256,9 @@ struct EngineState<'a> {
     retry_added: Vec<(f64, u64)>,
     retry_removed: Vec<u64>,
     hedge_added: Vec<(f64, u64)>,
+    /// Multi-tenant stage (`None` = the single-tenant fleet, bitwise:
+    /// every tenancy hook below is guarded on it).
+    tenancy: Option<TenancyState>,
 }
 
 impl<'a> EngineState<'a> {
@@ -254,6 +284,12 @@ impl<'a> EngineState<'a> {
         if let Some(hp) = &cfg.overload.hedge {
             hp.validate();
         }
+        let tenancy = cfg.tenancy.as_ref().map(|t| TenancyState {
+            queue: FairQueue::new(t.scheduler, &t.weights),
+            buckets: t.quota.map(|q| (0..t.tenants).map(|_| TokenBucket::new(q)).collect()),
+            scaler: t.autoscale.map(|p| Autoscaler::new(p, cfg.replicas)),
+            hold: t.backpressure == Backpressure::Hold,
+        });
         Self {
             cfg,
             requests,
@@ -285,6 +321,26 @@ impl<'a> EngineState<'a> {
             retry_added: Vec::new(),
             retry_removed: Vec::new(),
             hedge_added: Vec::new(),
+            tenancy,
+        }
+    }
+
+    /// Routable-replica mask: breaker state ANDed with the autoscaler's
+    /// enabled-and-warmed set. `None` when both mechanisms are off — the
+    /// exact pre-tenancy expression, so the disabled path stays bitwise.
+    fn routable_mask<S: TraceSink>(&mut self, now: f64, sink: &mut S) -> Option<Vec<bool>> {
+        let breaker = settle_breakers(&mut self.breakers, now, sink);
+        let scaler = self.tenancy.as_ref().and_then(|t| t.scaler.as_ref());
+        match (&breaker, scaler) {
+            (None, None) => None,
+            (_, scaler) => Some(
+                (0..self.replicas.len())
+                    .map(|i| {
+                        breaker.as_ref().is_none_or(|m| m[i])
+                            && scaler.is_none_or(|s| s.routable(i, now))
+                    })
+                    .collect(),
+            ),
         }
     }
 
@@ -318,6 +374,11 @@ impl<'a> EngineState<'a> {
             if S::ENABLED {
                 sink.span(track, "outage", since, ev.t_s, SpanClass::Fault, true);
                 sink.instant(track, "replica-up", ev.t_s);
+            }
+            // A recovery opens routing capacity: held tenancy work can
+            // move now rather than waiting for the next arrival.
+            if self.tenancy.is_some() {
+                self.drain_tenancy(ev.t_s, sink);
             }
         } else {
             let orphans = self.replicas[ev.replica].crash(ev.t_s);
@@ -360,6 +421,7 @@ impl<'a> EngineState<'a> {
                         arrival_s: p.request.arrival_s,
                         reason: ShedReason::ReplicaLost,
                         retries: p.attempt,
+                        tenant: p.request.tenant,
                     });
                     continue;
                 }
@@ -385,6 +447,7 @@ impl<'a> EngineState<'a> {
                                 arrival_s: p.request.arrival_s,
                                 reason: ShedReason::ReplicaLost,
                                 retries: p.attempt,
+                                tenant: p.request.tenant,
                             });
                             continue;
                         }
@@ -405,16 +468,20 @@ impl<'a> EngineState<'a> {
         }
     }
 
-    /// Processes `requests[next_arrival]`: routing, admission, hedge
-    /// arming, and the brownout depth observation.
-    fn handle_arrival<S: TraceSink>(&mut self, sink: &mut S) {
-        self.events_processed += 1;
+    /// Routes and admission-checks one request at `now`: the dispatch
+    /// stage shared by the direct arrival path and the tenancy fair
+    /// queue. With `hold` set (tenancy Hold backpressure) a full target
+    /// queue — or a fleet with no routable replica — blocks instead of
+    /// shedding, so the caller can park the request.
+    fn dispatch_request<S: TraceSink>(
+        &mut self,
+        request: &ServeRequest,
+        now: f64,
+        hold: bool,
+        sink: &mut S,
+    ) -> Dispatch {
         let cfg = self.cfg;
-        let requests = self.requests;
-        let request = &requests[self.next_arrival];
-        self.next_arrival += 1;
-        let now = request.arrival_s;
-        let mask = settle_breakers(&mut self.breakers, now, sink);
+        let mask = self.routable_mask(now, sink);
         let Some(target) = cfg.routing.choose(
             &mut self.replicas,
             &mut self.cost,
@@ -422,7 +489,12 @@ impl<'a> EngineState<'a> {
             &mut self.rr_cursor,
             mask.as_deref(),
         ) else {
-            // The whole fleet is down: nothing can take the request.
+            // No routable replica: the whole fleet is down (or every
+            // enabled replica is still warming). Hold parks the request;
+            // otherwise nothing can take it.
+            if hold {
+                return Dispatch::Blocked;
+            }
             if S::ENABLED {
                 let track = TrackId::new(0, Module::Fault);
                 sink.instant(track, "shed-fleet-down", now);
@@ -430,18 +502,26 @@ impl<'a> EngineState<'a> {
             self.shed.push(Shed {
                 id: request.id,
                 class: request.class.name,
-                arrival_s: now,
+                arrival_s: request.arrival_s,
                 reason: ShedReason::ReplicaLost,
                 retries: 0,
+                tenant: request.tenant,
             });
-            return;
+            return Dispatch::Shed;
         };
         let est_service_s = self.cost.request_service_s(&self.system, request);
         let est_wait_s = self.replicas[target].outstanding_s(&mut self.cost, now);
+        // A held request has already aged in the fair queue; its deadline
+        // budget shrinks accordingly. The guard keeps the direct path
+        // (where now == arrival) float-for-float untouched.
+        let mut est_latency_s = est_wait_s + est_service_s;
+        if now > request.arrival_s {
+            est_latency_s += now - request.arrival_s;
+        }
         match cfg.admission.admit(
             &request.class,
             self.replicas[target].queue_depth(),
-            est_wait_s + est_service_s,
+            est_latency_s,
         ) {
             Ok(()) => {
                 self.replicas[target].enqueue(Pending::fresh(request.clone(), est_service_s));
@@ -474,8 +554,12 @@ impl<'a> EngineState<'a> {
                         self.replicas[target].queue_depth() as f64,
                     );
                 }
+                Dispatch::Enqueued
             }
             Err(reason) => {
+                if hold && reason == ShedReason::QueueFull {
+                    return Dispatch::Blocked;
+                }
                 if S::ENABLED {
                     let track = TrackId::new(target as u32, Module::Runtime);
                     sink.instant(track, "shed", now);
@@ -483,11 +567,125 @@ impl<'a> EngineState<'a> {
                 self.shed.push(Shed {
                     id: request.id,
                     class: request.class.name,
-                    arrival_s: now,
+                    arrival_s: request.arrival_s,
                     reason,
                     retries: 0,
+                    tenant: request.tenant,
                 });
+                Dispatch::Shed
             }
+        }
+    }
+
+    /// Arrival entry of the tenancy stage: an autoscaler observation of
+    /// the state the arrival found, then the quota gate, the fair
+    /// queue, and an immediate drain.
+    fn tenant_arrival<S: TraceSink>(&mut self, now: f64, sink: &mut S) {
+        // Observe *before* admitting the arrival: the sample reflects
+        // the backlog this request found, so an idle fleet reads a zero
+        // signal (the arrival itself would otherwise pin the signal at
+        // `1/active` and scale-down could never trigger).
+        self.observe_autoscaler(now, sink);
+        let request = self.requests[self.next_arrival - 1].clone();
+        let tenant = request.tenant;
+        let quota_ok = match self.tenancy.as_mut().expect("tenancy on").buckets.as_mut() {
+            Some(buckets) => buckets[tenant as usize].try_take(now, 1.0),
+            None => true,
+        };
+        if !quota_ok {
+            if S::ENABLED {
+                let track = TrackId::new(tenant, Module::Tenancy);
+                sink.instant(track, "quota-shed", now);
+            }
+            self.shed.push(Shed {
+                id: request.id,
+                class: request.class.name,
+                arrival_s: request.arrival_s,
+                reason: ShedReason::QuotaExceeded,
+                retries: 0,
+                tenant,
+            });
+            return;
+        }
+        let ts = self.tenancy.as_mut().expect("tenancy on");
+        ts.queue.push(tenant, request);
+        self.drain_tenancy(now, sink);
+    }
+
+    /// Dispatches fair-queue requests in scheduler order until the queue
+    /// empties or (Hold backpressure) a dispatch blocks — the blocked
+    /// request goes back to the queue head, preserving the schedule.
+    fn drain_tenancy<S: TraceSink>(&mut self, now: f64, sink: &mut S) {
+        loop {
+            let Some((tenant, request)) = self.tenancy.as_mut().and_then(|t| t.queue.pop()) else {
+                return;
+            };
+            let hold = self.tenancy.as_ref().expect("tenancy on").hold;
+            match self.dispatch_request(&request, now, hold, sink) {
+                Dispatch::Enqueued => continue,
+                Dispatch::Shed => {
+                    // The shed consumed no fleet time: refund the DRR
+                    // quantum so a doomed backlog cannot eat the
+                    // tenant's service share.
+                    self.tenancy.as_mut().expect("tenancy on").queue.refund(tenant);
+                    continue;
+                }
+                Dispatch::Blocked => {}
+            }
+            {
+                let ts = self.tenancy.as_mut().expect("tenancy on");
+                ts.queue.unpop(tenant, request);
+                // The backlog counter records *contention* — held work —
+                // so a pass-through (never-blocking) configuration emits
+                // nothing on the tenancy lane and its trace stays
+                // byte-identical to the tenancy-off fleet.
+                if S::ENABLED {
+                    let backlog = ts.queue.backlog(tenant) as f64;
+                    let track = TrackId::new(tenant, Module::Tenancy);
+                    sink.counter(track, "tenant_backlog", now, backlog);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Feeds the autoscaler one queued-work-per-active-replica sample
+    /// (front-end backlog plus replica queues) and emits its decision.
+    fn observe_autoscaler<S: TraceSink>(&mut self, now: f64, sink: &mut S) {
+        if self.tenancy.as_ref().is_none_or(|t| t.scaler.is_none()) {
+            return;
+        }
+        let backlog = self.tenancy.as_ref().map_or(0, |t| t.queue.len());
+        let queued: usize = self.replicas.iter().map(|r| r.queue_depth()).sum();
+        let scaler = self.tenancy.as_mut().and_then(|t| t.scaler.as_mut()).expect("scaler on");
+        let signal = (backlog + queued) as f64 / scaler.active() as f64;
+        if let Some(ev) = scaler.observe(now, signal) {
+            if S::ENABLED {
+                let track = TrackId::new(0, Module::Tenancy);
+                let (name, to) = match ev {
+                    ScaleEvent::Up { to, .. } => ("scale-up", to),
+                    ScaleEvent::Down { to, .. } => ("scale-down", to),
+                };
+                sink.instant(track, name, now);
+                sink.counter(track, "active_replicas", now, to as f64);
+            }
+        }
+    }
+
+    /// Processes `requests[next_arrival]`: routing, admission, hedge
+    /// arming, and the brownout depth observation. With tenancy on, the
+    /// request passes the quota gate and fair queue first.
+    fn handle_arrival<S: TraceSink>(&mut self, sink: &mut S) {
+        self.events_processed += 1;
+        let cfg = self.cfg;
+        let requests = self.requests;
+        let request = &requests[self.next_arrival];
+        self.next_arrival += 1;
+        let now = request.arrival_s;
+        if self.tenancy.is_some() {
+            self.tenant_arrival(now, sink);
+        } else {
+            self.dispatch_request(request, now, false, sink);
         }
         // Closed-loop sensing: every arrival feeds each up replica's
         // controller one availability-weighted depth sample, so the
@@ -526,7 +724,7 @@ impl<'a> EngineState<'a> {
         let cfg = self.cfg;
         let entry = self.retries.remove(0);
         let now = entry.retry_s;
-        let mask = settle_breakers(&mut self.breakers, now, sink);
+        let mask = self.routable_mask(now, sink);
         match cfg.routing.choose(
             &mut self.replicas,
             &mut self.cost,
@@ -568,6 +766,7 @@ impl<'a> EngineState<'a> {
                         arrival_s: entry.request.arrival_s,
                         reason: ShedReason::ReplicaLost,
                         retries: entry.attempt,
+                        tenant: entry.request.tenant,
                     });
                 } else {
                     self.requeues_total += 1;
@@ -597,7 +796,7 @@ impl<'a> EngineState<'a> {
         // Still in flight? (Not found anywhere = completed, shed, or
         // waiting out a retry backoff — no hedge then.)
         if let Some(primary) = self.replicas.iter().position(|r| r.holds_request(id)) {
-            let breaker_mask = settle_breakers(&mut self.breakers, now, sink);
+            let breaker_mask = self.routable_mask(now, sink);
             // The copy must land on a *different* replica than the one
             // holding the slow primary.
             let mask: Vec<bool> = (0..self.replicas.len())
@@ -634,7 +833,7 @@ impl<'a> EngineState<'a> {
         self.events_processed += 1;
         let cfg = self.cfg;
         let before = self.completions.len();
-        self.replicas[i].execute_step(
+        let t0 = self.replicas[i].execute_step(
             &cfg.batch,
             &cfg.faults,
             &mut self.cost,
@@ -728,11 +927,30 @@ impl<'a> EngineState<'a> {
                 }
             }
         }
+        // The step moved queued work into the batch, freeing queue
+        // space: held tenancy work can dispatch now. `t0` is the step's
+        // start — the instant this event occupies on the shared timeline.
+        if self.tenancy.is_some() {
+            self.drain_tenancy(t0, sink);
+        }
     }
 
     /// End-of-run bookkeeping: close open outages and breaker intervals,
     /// assemble metrics.
     fn finish<S: TraceSink>(mut self, sink: &mut S) -> FleetReport {
+        // Requests still parked in the fair queue when the run ends (the
+        // fleet was down, or warming capacity never arrived): shed as
+        // ReplicaLost so the conservation invariant holds.
+        while let Some((tenant, request)) = self.tenancy.as_mut().and_then(|t| t.queue.pop()) {
+            self.shed.push(Shed {
+                id: request.id,
+                class: request.class.name,
+                arrival_s: request.arrival_s,
+                reason: ShedReason::ReplicaLost,
+                retries: 0,
+                tenant,
+            });
+        }
         // Close the books on replicas still down at the end of the run:
         // their open outage extends to the fleet makespan (or the crash
         // instant if nothing completed after it).
@@ -798,6 +1016,33 @@ impl<'a> EngineState<'a> {
             self.replicas.iter().map(|r| r.brownout_s).collect();
         metrics.overload.breaker_opens =
             self.breakers.as_ref().map_or(0, |bs| bs.iter().map(|b| b.opens).sum());
+        if let Some(tcfg) = self.cfg.tenancy.as_ref() {
+            let mut outcomes: Vec<TenantOutcome> =
+                (0..tcfg.tenants).map(TenantOutcome::new).collect();
+            for r in self.requests {
+                outcomes[r.tenant as usize].offered += 1;
+            }
+            for s in &self.shed {
+                let o = &mut outcomes[s.tenant as usize];
+                o.shed += 1;
+                if s.reason == ShedReason::QuotaExceeded {
+                    o.quota_shed += 1;
+                }
+            }
+            for c in &self.completions {
+                let o = &mut outcomes[c.tenant as usize];
+                o.latencies_s.push(c.latency_s());
+                if c.deadline_met.unwrap_or(true) {
+                    o.good += 1;
+                }
+            }
+            let mut stats = TenancyStats::from_outcomes(&outcomes, metrics.makespan_s);
+            let scaler = self.tenancy.as_ref().and_then(|t| t.scaler.as_ref());
+            stats.scale_ups = scaler.map_or(0, |s| s.scale_ups);
+            stats.scale_downs = scaler.map_or(0, |s| s.scale_downs);
+            stats.final_active = scaler.map_or(self.cfg.replicas, |s| s.active());
+            metrics.tenancy = Some(stats);
+        }
         FleetReport {
             metrics,
             completions: self.completions,
@@ -822,6 +1067,13 @@ pub(crate) fn run<S: TraceSink>(
         "requests must be sorted by arrival time"
     );
     cfg.faults.validate(cfg.replicas);
+    if let Some(t) = &cfg.tenancy {
+        t.validate(cfg.replicas);
+        assert!(
+            requests.iter().all(|r| r.tenant < t.tenants),
+            "request tenant id out of range for the tenancy configuration"
+        );
+    }
 
     let state = EngineState::new(cfg, requests);
     match cfg.engine {

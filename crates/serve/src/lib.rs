@@ -26,6 +26,14 @@
 //!   deadline-critical classes ([`HedgePolicy`]). Entirely off by
 //!   default ([`OverloadControl::off`]); the disabled path is bitwise
 //!   identical to the pre-overload runtime.
+//! * **multi-tenant isolation** ([`TenancyConfig`]) — a deficit-round-
+//!   robin / weighted-fair queue stage in front of admission, per-tenant
+//!   token-bucket quotas ([`ShedReason::QuotaExceeded`]), and a
+//!   deterministic autoscaler with warmup-charged scale-ups. Off by
+//!   default (`tenancy: None` is bitwise the single-tenant fleet, and a
+//!   one-tenant equal-weight DRR configuration is pinned bitwise against
+//!   it); per-tenant goodput/latency/fairness lands in
+//!   [`FleetMetrics::tenancy`].
 //!
 //! Everything is deterministic: seeded load generators
 //! ([`poisson_requests`], [`mmpp_requests`], [`replay_trace`]),
@@ -87,3 +95,8 @@ pub use replica::{BatchPolicy, Completion};
 pub use request::{QosClass, ServeRequest};
 pub use routing::RoutingPolicy;
 pub use runtime::{simulate_fleet, simulate_fleet_traced, FleetConfig, FleetReport, Shed};
+
+pub use cta_tenancy::{
+    AutoscalePolicy, Backpressure, QuotaPolicy, SchedulerPolicy, TenancyConfig, TenancyStats,
+    TenantBreakdown,
+};

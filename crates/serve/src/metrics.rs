@@ -45,6 +45,10 @@ pub struct FleetMetrics {
     /// Overload-control accounting (all zero when
     /// [`OverloadControl::off`](crate::OverloadControl::off) is in force).
     pub overload: OverloadStats,
+    /// Per-tenant fairness and isolation accounting (`None` unless the
+    /// fleet runs with a tenancy configuration; the runtime fills it in
+    /// before publishing the report).
+    pub tenancy: Option<cta_tenancy::TenancyStats>,
 }
 
 /// Accounting for the closed-loop overload controls: quality brownout,
@@ -152,6 +156,7 @@ impl FleetMetrics {
                 .map(|d| ((span - d) / span).clamp(0.0, 1.0))
                 .collect(),
             overload,
+            tenancy: None,
         }
     }
 }
@@ -171,6 +176,7 @@ mod tests {
             deadline_met: None,
             retries: 0,
             accuracy_loss_pct: 0.0,
+            tenant: 0,
         }
     }
 
@@ -200,6 +206,7 @@ mod tests {
             arrival_s: 2.0,
             reason: ShedReason::QueueFull,
             retries: 0,
+            tenant: 0,
         }];
         let m = FleetMetrics::from_outcomes(4, &completions, &shed, &[2.0, 3.0], &[0.0, 0.0]);
         assert_eq!((m.offered, m.completed, m.shed), (4, 3, 1));
@@ -233,6 +240,7 @@ mod tests {
                 arrival_s: 0.0,
                 reason: ShedReason::QueueFull,
                 retries: 0,
+                tenant: 0,
             })
             .collect();
         let m = FleetMetrics::from_outcomes(3, &[], &shed, &[0.0], &[0.0]);
@@ -258,6 +266,7 @@ mod tests {
             arrival_s: 1.0,
             reason: ShedReason::ReplicaLost,
             retries: 3,
+            tenant: 0,
         }];
         // Makespan 4 s; replica 1 was down for 1 s of it.
         let m = FleetMetrics::from_outcomes(3, &[survived, fresh], &shed, &[2.0, 1.0], &[0.0, 1.0]);

@@ -97,6 +97,8 @@ pub struct Completion {
     /// served at, percent (quality-loss attribution; 0.0 when the serving
     /// replicas stayed at the baseline operating point throughout).
     pub accuracy_loss_pct: f64,
+    /// Owning tenant id (0 in single-tenant configurations).
+    pub tenant: u32,
 }
 
 impl Completion {
@@ -435,6 +437,7 @@ impl Replica {
                 deadline_met: a.request.class.deadline_s.map(|d| latency <= d),
                 retries: a.attempt,
                 accuracy_loss_pct: a.loss_pct,
+                tenant: a.request.tenant,
             });
         }
         t0

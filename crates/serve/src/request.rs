@@ -55,6 +55,8 @@ pub struct ServeRequest {
     pub arrival_s: f64,
     /// The request's service class.
     pub class: QosClass,
+    /// Owning tenant id (0 in single-tenant configurations).
+    pub tenant: u32,
     /// Per-layer head tasks.
     pub layer_tasks: Vec<Vec<AttentionTask>>,
 }
@@ -75,7 +77,13 @@ impl ServeRequest {
         assert!(arrival_s >= 0.0, "arrival time must be non-negative");
         assert!(!layer_tasks.is_empty(), "a request needs at least one layer");
         assert!(layer_tasks.iter().all(|l| !l.is_empty()), "every layer needs at least one head");
-        Self { id, arrival_s, class, layer_tasks }
+        Self { id, arrival_s, class, tenant: 0, layer_tasks }
+    }
+
+    /// The same request owned by `tenant`.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// A request whose every layer runs `heads` copies of one head task
@@ -133,6 +141,13 @@ mod tests {
         let r = ServeRequest::from_serving(1, QosClass::batch(), &s);
         assert_eq!(r.arrival_s, 2.0);
         assert_eq!(r.layer_tasks, s.layer_tasks);
+    }
+
+    #[test]
+    fn tenant_defaults_to_zero_and_rebinds() {
+        let r = ServeRequest::uniform(7, 0.0, QosClass::standard(), task(), 1, 1);
+        assert_eq!(r.tenant, 0);
+        assert_eq!(r.with_tenant(5).tenant, 5);
     }
 
     #[test]

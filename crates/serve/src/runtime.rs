@@ -48,6 +48,8 @@ pub struct Shed {
     /// Crash-eviction requeues the request survived before being shed
     /// (0 for arrival-time sheds).
     pub retries: u32,
+    /// Owning tenant id (0 in single-tenant configurations).
+    pub tenant: u32,
 }
 
 /// Full fleet configuration.
@@ -76,6 +78,11 @@ pub struct FleetConfig {
     /// [`FleetEngine::EventDriven`] produces bitwise-identical reports at
     /// O(1) amortized cost per event).
     pub engine: FleetEngine,
+    /// Multi-tenant fair scheduling, quotas, and autoscaling (`None` =
+    /// the single-tenant fleet, bitwise; a one-tenant equal-weight DRR
+    /// configuration with shed backpressure is also pinned bitwise
+    /// against `None`).
+    pub tenancy: Option<cta_tenancy::TenancyConfig>,
 }
 
 impl FleetConfig {
@@ -94,6 +101,7 @@ impl FleetConfig {
             retry: RetryPolicy::standard(),
             overload: OverloadControl::off(),
             engine: FleetEngine::StepGranular,
+            tenancy: None,
         }
     }
 
@@ -116,6 +124,7 @@ impl FleetConfig {
             retry: RetryPolicy::standard(),
             overload: OverloadControl::off(),
             engine: FleetEngine::StepGranular,
+            tenancy: None,
         }
     }
 }

@@ -21,3 +21,4 @@ pub mod brownout_sweep;
 pub mod degradation_sweep;
 pub mod planet_sweep;
 pub mod serve_sweep;
+pub mod tenant_sweep;

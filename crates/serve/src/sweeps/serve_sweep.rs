@@ -15,6 +15,7 @@
 //!             [--batch 4] [--queue-depth 64] [--trace <path.json>]
 //!             [--faults <mtbf_s>:<mttr_s>] [--brownout]
 //!             [--engine step|event] [--arrivals poisson|diurnal]
+//!             [--tenants N] [--scheduler fifo|drr|wfq]
 //!             [--jobs N] [--pool-trace <path.json>]
 //! ```
 //!
@@ -37,6 +38,17 @@
 //! intervals, and queue-depth counters. The trace is validated before it
 //! is written, and tracing never changes the sweep numbers — the sink is
 //! compiled out of the untraced runs.
+//!
+//! With `--tenants N` (or `--scheduler`) every sweep point routes its
+//! arrivals through the multi-tenant front end ([`crate::TenancyConfig`]):
+//! requests are striped over `N` equal-weight tenants (`tenant = id % N`)
+//! and drained by the chosen scheduler (default `drr`). The single-tenant
+//! configuration (`--tenants 1`, any scheduler) is pinned bitwise against
+//! the tenancy-off fleet — CSV, JSON and trace included (the `golden`
+//! integration tests enforce it) — and multi-tenant runs add per-point
+//! `fairness_index` fields plus `tenants`/`scheduler` metadata to the
+//! JSON only, so the default layout never moves. `tenant_sweep` is the
+//! dedicated experiment for skewed mixes, quotas and autoscaling.
 //!
 //! With `--engine event` every sweep point runs on the calendar-queue
 //! event core ([`crate::FleetEngine::EventDriven`]) instead of the
@@ -61,7 +73,7 @@ use crate::harness::{export_trace, Harness, PointOutput, SweepSpec};
 use crate::{
     poisson_requests, simulate_fleet, simulate_fleet_traced, AdmissionPolicy, BatchPolicy,
     BrownoutConfig, CostModel, FaultPlan, FleetConfig, FleetEngine, LoadSpec, OverloadControl,
-    RoutingPolicy, ServeRequest,
+    RoutingPolicy, SchedulerPolicy, ServeRequest, TenancyConfig,
 };
 
 /// Usage text printed to stderr on any malformed invocation.
@@ -70,6 +82,7 @@ const USAGE: &str = "usage: serve_sweep [--replicas 1,4] [--loads 0.2,0.5,0.8,1.
                    [--batch 4] [--queue-depth 64] [--trace <path.json>]
                    [--faults <mtbf_s>:<mttr_s>] [--brownout]
                    [--engine step|event] [--arrivals poisson|diurnal]
+                   [--tenants N] [--scheduler fifo|drr|wfq]
                    [--jobs N] [--pool-trace <path.json>]";
 
 /// CSV/stdout column layout. The trailing `schema_version` column repeats
@@ -153,6 +166,17 @@ struct Args {
     brownout: bool,
     engine: FleetEngine,
     arrivals: Arrivals,
+    /// `Some` when `--tenants` or `--scheduler` was given: the tenancy
+    /// front end is enabled with this many equal-weight tenants.
+    tenants: Option<u32>,
+    scheduler: SchedulerPolicy,
+}
+
+impl Args {
+    /// The tenancy configuration this invocation asked for, if any.
+    fn tenancy(&self) -> Option<TenancyConfig> {
+        self.tenants.map(|n| TenancyConfig::equal_weight(n, self.scheduler))
+    }
 }
 
 impl Args {
@@ -170,6 +194,8 @@ impl Args {
             brownout: false,
             engine: FleetEngine::StepGranular,
             arrivals: Arrivals::Poisson,
+            tenants: None,
+            scheduler: SchedulerPolicy::Drr,
         };
         while let Some(flag) = it.next_flag() {
             match flag.as_str() {
@@ -218,6 +244,16 @@ impl Args {
                         format!("unknown arrival process {v:?} (poisson|diurnal)")
                     })?;
                 }
+                "--tenants" => {
+                    args.tenants =
+                        Some(parse_num(&it.value("--tenants")?, "--tenants", "an integer")?);
+                }
+                "--scheduler" => {
+                    let v = it.value("--scheduler")?;
+                    args.scheduler = SchedulerPolicy::parse(&v)
+                        .ok_or_else(|| format!("unknown scheduler {v:?} (fifo|drr|wfq)"))?;
+                    args.tenants.get_or_insert(1);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -235,6 +271,9 @@ impl Args {
         }
         if args.replicas.contains(&0) {
             return Err("--replicas entries must be positive".into());
+        }
+        if args.tenants == Some(0) {
+            return Err("--tenants must be positive".into());
         }
         Ok(args)
     }
@@ -279,6 +318,7 @@ fn point_config(args: &Args, replicas: usize) -> FleetConfig {
             ..OverloadControl::off()
         };
     }
+    cfg.tenancy = args.tenancy();
     cfg
 }
 
@@ -288,6 +328,21 @@ fn point_config(args: &Args, replicas: usize) -> FleetConfig {
 /// a 4x flash crowd early in the second cycle, sized so the cycle
 /// structure fits the trace span whatever `--requests` and the rate are.
 fn point_requests(args: &Args, spec: &LoadSpec, rate: f64, seed: u64) -> Vec<ServeRequest> {
+    let requests = raw_point_requests(args, spec, rate, seed);
+    match args.tenants {
+        // Stripe arrivals over the equal-weight tenants round-robin.
+        Some(n) if n > 1 => requests
+            .into_iter()
+            .map(|r| {
+                let t = (r.id % n as u64) as u32;
+                r.with_tenant(t)
+            })
+            .collect(),
+        _ => requests,
+    }
+}
+
+fn raw_point_requests(args: &Args, spec: &LoadSpec, rate: f64, seed: u64) -> Vec<ServeRequest> {
     match args.arrivals {
         Arrivals::Poisson => poisson_requests(spec, args.requests, rate, seed),
         Arrivals::Diurnal => {
@@ -396,6 +451,16 @@ fn run(h: &Harness<Args>) {
                     fields.push(("min_availability".into(), JsonValue::Num(min_avail)));
                 }
             }
+            // Per-tenant isolation numbers ride along only for genuinely
+            // multi-tenant runs, so `--tenants 1` stays byte-identical to
+            // the tenancy-off report.
+            if args.tenants.is_some_and(|n| n > 1) {
+                let t = report.metrics.tenancy.as_ref().expect("tenancy stats reported");
+                if let JsonValue::Obj(fields) = &mut point {
+                    fields.push(("fairness_index".into(), JsonValue::Num(t.fairness_index)));
+                    fields.push(("max_slowdown".into(), JsonValue::Num(t.max_slowdown)));
+                }
+            }
             // Likewise, brownout attribution only with --brownout.
             if args.brownout {
                 let ov = &m.overload;
@@ -446,6 +511,12 @@ fn run(h: &Harness<Args>) {
             }
             if args.arrivals != Arrivals::Poisson {
                 json.set("arrivals", JsonValue::Str(args.arrivals.label().into()));
+            }
+            // Tenancy metadata only for multi-tenant runs: the pinned
+            // single-tenant replay must reproduce the golden JSON bytes.
+            if args.tenants.is_some_and(|n| n > 1) {
+                json.set("tenants", JsonValue::Int(args.tenants.unwrap_or(1) as i64))
+                    .set("scheduler", JsonValue::Str(args.scheduler.label().into()));
             }
         },
     );
@@ -511,6 +582,39 @@ mod tests {
         assert_eq!(ev.arrivals, Arrivals::Diurnal);
         assert!(parse(&["--engine", "warp"]).unwrap_err().contains("unknown engine"));
         assert!(parse(&["--arrivals", "tidal"]).unwrap_err().contains("unknown arrival process"));
+    }
+
+    #[test]
+    fn tenancy_flags_default_off_and_parse_gracefully() {
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.tenants, None, "tenancy stays off without a flag");
+        assert!(d.tenancy().is_none());
+        // --scheduler alone implies a single tenant, the pinned replay
+        // configuration.
+        let one = parse(&["--scheduler", "drr"]).expect("valid");
+        assert_eq!(one.tenants, Some(1));
+        assert_eq!(one.tenancy(), Some(TenancyConfig::equal_weight(1, SchedulerPolicy::Drr)));
+        let many = parse(&["--tenants", "4", "--scheduler", "wfq"]).expect("valid");
+        assert_eq!(many.tenancy(), Some(TenancyConfig::equal_weight(4, SchedulerPolicy::Wfq)));
+        assert!(parse(&["--tenants", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--tenants", "many"]).unwrap_err().contains("--tenants"));
+        assert!(parse(&["--scheduler", "chaos"]).unwrap_err().contains("unknown scheduler"));
+    }
+
+    #[test]
+    fn multi_tenant_requests_are_striped_round_robin() {
+        let args = parse(&["--tenants", "3", "--requests", "30"]).expect("valid");
+        let case = mini_case();
+        let spec = LoadSpec::standard(case_task(&case), case.model.layers, case.model.heads);
+        let reqs = point_requests(&args, &spec, 50.0, 7);
+        assert!(reqs.iter().all(|r| r.tenant == (r.id % 3) as u32));
+        // Single-tenant parses leave the trace untouched (tenant 0 is
+        // the default id), so the golden replay sees identical inputs.
+        let one = parse(&["--scheduler", "drr", "--requests", "30"]).expect("valid");
+        assert_eq!(point_requests(&one, &spec, 50.0, 7), {
+            let off = parse(&["--requests", "30"]).expect("valid");
+            point_requests(&off, &spec, 50.0, 7)
+        });
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! CLI robustness tests: malformed `serve_sweep` / `degradation_sweep` /
-//! `brownout_sweep` invocations must print an error plus the usage text
+//! `brownout_sweep` / `tenant_sweep` invocations must print an error plus the usage text
 //! to stderr and exit non-zero — never panic (no `RUST_BACKTRACE` hint,
 //! no `panicked at`).
 
@@ -22,6 +22,7 @@ fn assert_graceful_failure(bin: &str, args: &[&str], expect: &str) {
 const SERVE_SWEEP: &str = env!("CARGO_BIN_EXE_serve_sweep");
 const DEGRADATION_SWEEP: &str = env!("CARGO_BIN_EXE_degradation_sweep");
 const BROWNOUT_SWEEP: &str = env!("CARGO_BIN_EXE_brownout_sweep");
+const TENANT_SWEEP: &str = env!("CARGO_BIN_EXE_tenant_sweep");
 
 #[test]
 fn serve_sweep_rejects_unknown_flags() {
@@ -77,4 +78,29 @@ fn degradation_sweep_rejects_malformed_invocations() {
     assert_graceful_failure(DEGRADATION_SWEEP, &["--load"], "needs a value");
     assert_graceful_failure(DEGRADATION_SWEEP, &["--routing", "x"], "unknown routing policy");
     assert_graceful_failure(DEGRADATION_SWEEP, &["--mtbf-factors", "-1"], "positive");
+}
+
+#[test]
+fn serve_sweep_rejects_malformed_tenancy_flags() {
+    assert_graceful_failure(SERVE_SWEEP, &["--tenants", "many"], "--tenants");
+    assert_graceful_failure(SERVE_SWEEP, &["--tenants", "0"], "positive");
+    assert_graceful_failure(SERVE_SWEEP, &["--tenants"], "needs a value");
+    assert_graceful_failure(SERVE_SWEEP, &["--scheduler", "chaos"], "unknown scheduler");
+}
+
+#[test]
+fn tenant_sweep_rejects_malformed_invocations() {
+    assert_graceful_failure(TENANT_SWEEP, &["--frobnicate"], "unknown flag");
+    assert_graceful_failure(TENANT_SWEEP, &["--tenants", "0"], "positive");
+    assert_graceful_failure(TENANT_SWEEP, &["--tenants", "many"], "--tenants");
+    assert_graceful_failure(TENANT_SWEEP, &["--skew", "-1"], "non-negative");
+    assert_graceful_failure(TENANT_SWEEP, &["--skew", "0,oops"], "--skew");
+    assert_graceful_failure(TENANT_SWEEP, &["--scheduler", "chaos"], "unknown scheduler");
+    assert_graceful_failure(TENANT_SWEEP, &["--scheduler"], "needs a value");
+    assert_graceful_failure(TENANT_SWEEP, &["--autoscale", "wild"], "unknown autoscale policy");
+    assert_graceful_failure(TENANT_SWEEP, &["--quota", "100"], "<rps>:<burst>");
+    assert_graceful_failure(TENANT_SWEEP, &["--quota", "0:4"], "positive");
+    assert_graceful_failure(TENANT_SWEEP, &["--deadline-factor", "0"], "positive");
+    assert_graceful_failure(TENANT_SWEEP, &["--engine", "warp"], "unknown engine");
+    assert_graceful_failure(TENANT_SWEEP, &["--load", "-2"], "positive");
 }

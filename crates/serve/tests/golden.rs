@@ -280,6 +280,58 @@ fn serve_sweep_event_engine_reproduces_the_pins() {
 }
 
 #[test]
+fn serve_sweep_single_tenant_drr_reproduces_the_pins() {
+    // `--scheduler drr` alone enables the tenancy front end with one
+    // equal-weight tenant — the configuration contractually pinned
+    // bitwise against the tenancy-off fleet. CSV, JSON and trace bytes
+    // must all match the goldens exactly, under both engines.
+    let dir = run_in_scratch(
+        "serve-tenancy-step",
+        env!("CARGO_BIN_EXE_serve_sweep"),
+        &[
+            "--replicas",
+            "2",
+            "--loads",
+            "0.5,1.2",
+            "--requests",
+            "40",
+            "--seed",
+            "7",
+            "--scheduler",
+            "drr",
+            "--trace",
+            "serve_trace.json",
+        ],
+    );
+    assert_bytes_match_golden(&dir, "results/serve_sweep.csv", "serve_sweep.csv");
+    assert_bytes_match_golden(&dir, "results/serve_sweep.json", "serve_sweep.json");
+    assert_trace_matches_pin(&dir, "serve_trace.json");
+
+    let dir = run_in_scratch(
+        "serve-tenancy-event",
+        env!("CARGO_BIN_EXE_serve_sweep"),
+        &[
+            "--replicas",
+            "2",
+            "--loads",
+            "0.5,1.2",
+            "--requests",
+            "40",
+            "--seed",
+            "7",
+            "--scheduler",
+            "drr",
+            "--engine",
+            "event",
+            "--trace",
+            "serve_trace.json",
+        ],
+    );
+    assert_bytes_match_golden(&dir, "results/serve_sweep.csv", "serve_sweep.csv");
+    assert_trace_matches_pin(&dir, "serve_trace.json");
+}
+
+#[test]
 fn degradation_sweep_event_engine_reproduces_the_pins() {
     let dir = run_in_scratch(
         "degradation-event",

@@ -39,11 +39,14 @@ pub enum Module {
     /// The event-core lane: sampled calendar-queue occupancy counters
     /// from the event-driven fleet engine.
     Events,
+    /// The tenancy lane: quota-shed markers, fair-queue backlog counters,
+    /// and autoscaler decisions.
+    Tenancy,
 }
 
 impl Module {
     /// All lanes, in display order.
-    pub const ALL: [Module; 12] = [
+    pub const ALL: [Module; 13] = [
         Module::Sa,
         Module::Cim,
         Module::Cag,
@@ -56,6 +59,7 @@ impl Module {
         Module::Hedge,
         Module::Worker,
         Module::Events,
+        Module::Tenancy,
     ];
 
     /// Human-readable lane name (the Chrome trace thread name).
@@ -73,6 +77,7 @@ impl Module {
             Module::Hedge => "hedge",
             Module::Worker => "worker",
             Module::Events => "events",
+            Module::Tenancy => "tenancy",
         }
     }
 
@@ -92,6 +97,7 @@ impl Module {
             Module::Hedge => 9,
             Module::Worker => 10,
             Module::Events => 11,
+            Module::Tenancy => 12,
         }
     }
 }

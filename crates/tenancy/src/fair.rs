@@ -1,0 +1,467 @@
+//! The front-end fair queue: FIFO / DRR / WFQ over per-tenant backlogs.
+//!
+//! One [`FairQueue`] sits between arrival and routing+admission. Pushes
+//! append to the owning tenant's backlog; pops hand the scheduler's
+//! chosen head to the dispatcher. Every request costs one scheduling
+//! unit (the fleet's requests are near-uniform in service time; weights
+//! express tenant shares, not request sizes).
+//!
+//! All three policies are deterministic — pop order is a pure function
+//! of the push/pop/unpop history, with ties broken by lowest tenant id —
+//! which is what keeps the fleet's two engine drivers bitwise identical
+//! with tenancy enabled.
+
+use std::collections::VecDeque;
+
+/// Scheduling cost of one request, in scheduler units.
+const ITEM_COST: f64 = 1.0;
+
+/// Deficit-round-robin quantum per unit weight: each round a backlogged
+/// tenant's deficit grows by `QUANTUM * weight`, so a weight-`w` tenant
+/// drains `w` requests per round when all tenants are backlogged.
+const QUANTUM: f64 = 1.0;
+
+/// Which scheduler drains the front-end queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Global arrival order, tenant-blind — the naive baseline a heavy
+    /// tenant can starve everyone through.
+    Fifo,
+    /// Deficit round robin: each round visits tenants in index order,
+    /// topping a per-tenant deficit by `weight` and serving whole
+    /// requests while the deficit covers them. O(1) amortized per
+    /// dequeue; per-tenant deficit stays below `cost + weight` (the
+    /// bounded-deficit invariant, proptested).
+    #[default]
+    Drr,
+    /// Self-clocked weighted fair queueing: requests are stamped with a
+    /// virtual finish tag `max(tenant_last_tag, vtime) + cost/weight` at
+    /// push; pops take the smallest head tag. Smoother interleaving than
+    /// DRR at the price of an O(tenants) scan per pop.
+    Wfq,
+}
+
+impl SchedulerPolicy {
+    /// Short identifier used in reports and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fifo => "fifo",
+            SchedulerPolicy::Drr => "drr",
+            SchedulerPolicy::Wfq => "wfq",
+        }
+    }
+
+    /// Parses a CLI label (`fifo` / `drr` / `wfq`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fifo" => Some(SchedulerPolicy::Fifo),
+            "drr" => Some(SchedulerPolicy::Drr),
+            "wfq" => Some(SchedulerPolicy::Wfq),
+            _ => None,
+        }
+    }
+}
+
+/// A multi-tenant front-end queue drained by a [`SchedulerPolicy`].
+///
+/// `unpop` undoes the *immediately preceding* `pop` — the dispatcher
+/// uses it when the routed replica's queue is full under
+/// `Backpressure::Hold`, putting the request back at its tenant's head
+/// with all scheduler state (deficit, virtual time) restored so the next
+/// drain resumes exactly where this one stopped.
+#[derive(Debug, Clone)]
+pub struct FairQueue<T> {
+    policy: SchedulerPolicy,
+    weights: Vec<f64>,
+    /// Per-tenant backlog of `(tag, item)`. The tag is the FIFO push
+    /// sequence number or the WFQ virtual finish time; DRR ignores it.
+    queues: Vec<VecDeque<(f64, T)>>,
+    len: usize,
+    // --- DRR state ---
+    deficit: Vec<f64>,
+    cursor: usize,
+    // --- FIFO / WFQ state ---
+    last_tag: Vec<f64>,
+    vtime: f64,
+    seq: u64,
+    // --- unpop bookkeeping (state of the last pop) ---
+    last_pop_tag: f64,
+    prev_vtime: f64,
+}
+
+impl<T> FairQueue<T> {
+    /// Builds an empty queue for `weights.len()` tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or holds a non-positive or
+    /// non-finite weight.
+    pub fn new(policy: SchedulerPolicy, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "at least one tenant");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "tenant weights must be positive and finite"
+        );
+        let n = weights.len();
+        Self {
+            policy,
+            weights: weights.to_vec(),
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            len: 0,
+            deficit: vec![0.0; n],
+            cursor: 0,
+            last_tag: vec![0.0; n],
+            vtime: 0.0,
+            seq: 0,
+            last_pop_tag: 0.0,
+            prev_vtime: 0.0,
+        }
+    }
+
+    /// Total queued requests across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of tenants this queue schedules.
+    pub fn tenants(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Queued requests of one tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn backlog(&self, tenant: u32) -> usize {
+        self.queues[tenant as usize].len()
+    }
+
+    /// Appends `item` to `tenant`'s backlog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn push(&mut self, tenant: u32, item: T) {
+        let t = tenant as usize;
+        assert!(t < self.queues.len(), "tenant id out of range");
+        let tag = match self.policy {
+            SchedulerPolicy::Fifo => {
+                let s = self.seq as f64;
+                self.seq += 1;
+                s
+            }
+            SchedulerPolicy::Drr => 0.0,
+            SchedulerPolicy::Wfq => {
+                // Self-clocked start time: an idle tenant re-enters at
+                // the current virtual time instead of its stale tag, so
+                // idleness earns no credit.
+                let start =
+                    if self.last_tag[t] > self.vtime { self.last_tag[t] } else { self.vtime };
+                let tag = start + ITEM_COST / self.weights[t];
+                self.last_tag[t] = tag;
+                tag
+            }
+        };
+        self.queues[t].push_back((tag, item));
+        self.len += 1;
+    }
+
+    /// Dequeues the scheduler's next request, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(u32, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.policy {
+            SchedulerPolicy::Drr => self.pop_drr(),
+            SchedulerPolicy::Fifo | SchedulerPolicy::Wfq => self.pop_min_tag(),
+        }
+    }
+
+    /// Undoes the immediately preceding [`pop`](Self::pop): `item` goes
+    /// back to the head of `tenant`'s backlog and the scheduler state
+    /// (DRR deficit + cursor, WFQ virtual time, FIFO/WFQ tag) is
+    /// restored, so the next pop returns this request again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn unpop(&mut self, tenant: u32, item: T) {
+        let t = tenant as usize;
+        assert!(t < self.queues.len(), "tenant id out of range");
+        self.queues[t].push_front((self.last_pop_tag, item));
+        self.len += 1;
+        match self.policy {
+            SchedulerPolicy::Drr => {
+                self.deficit[t] += ITEM_COST;
+                self.cursor = t;
+            }
+            SchedulerPolicy::Fifo | SchedulerPolicy::Wfq => {
+                self.vtime = self.prev_vtime;
+            }
+        }
+    }
+
+    /// Returns the scheduling charge of the immediately preceding
+    /// [`pop`](Self::pop) when the popped request was *rejected*
+    /// downstream (shed) instead of served. A shed costs the fleet no
+    /// service time, so under DRR — which charges `ITEM_COST` deficit
+    /// per pop — the tenant's quantum is restored; without the refund a
+    /// tenant with a doomed backlog burns its bandwidth shedding
+    /// instead of serving. FIFO and WFQ charge virtual time at *push*,
+    /// so a shed consumes only its own slot and the refund is a no-op,
+    /// as it is for a tenant the pop drained (classic DRR zeroes an
+    /// empty tenant's deficit — idleness earns no credit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn refund(&mut self, tenant: u32) {
+        let t = tenant as usize;
+        assert!(t < self.queues.len(), "tenant id out of range");
+        if self.policy == SchedulerPolicy::Drr && !self.queues[t].is_empty() {
+            self.deficit[t] += ITEM_COST;
+        }
+    }
+
+    /// DRR: visit tenants in index order from the cursor; top the
+    /// visited tenant's deficit by `QUANTUM * weight` when it cannot
+    /// cover one request, serve when it can. Empty queues reset their
+    /// deficit (classic DRR — idleness earns no credit). Terminates
+    /// because some queue is non-empty and every full cycle grows its
+    /// deficit by a positive weight.
+    fn pop_drr(&mut self) -> Option<(u32, T)> {
+        let n = self.queues.len();
+        loop {
+            let t = self.cursor;
+            if self.queues[t].is_empty() {
+                self.deficit[t] = 0.0;
+                self.cursor = (t + 1) % n;
+                continue;
+            }
+            if self.deficit[t] >= ITEM_COST {
+                self.deficit[t] -= ITEM_COST;
+                let (tag, item) = self.queues[t].pop_front().expect("non-empty");
+                self.len -= 1;
+                self.last_pop_tag = tag;
+                if self.queues[t].is_empty() {
+                    self.deficit[t] = 0.0;
+                    self.cursor = (t + 1) % n;
+                }
+                return Some((t as u32, item));
+            }
+            self.deficit[t] += QUANTUM * self.weights[t];
+            self.cursor = (t + 1) % n;
+        }
+    }
+
+    /// FIFO / WFQ: take the smallest head tag (global push order for
+    /// FIFO, virtual finish time for WFQ), ties to the lowest tenant id.
+    fn pop_min_tag(&mut self) -> Option<(u32, T)> {
+        let mut best: Option<(f64, usize)> = None;
+        for (t, q) in self.queues.iter().enumerate() {
+            if let Some(&(tag, _)) = q.front() {
+                if best.is_none_or(|(bt, _)| tag < bt) {
+                    best = Some((tag, t));
+                }
+            }
+        }
+        let (tag, t) = best.expect("len > 0 guarantees a head");
+        let (_, item) = self.queues[t].pop_front().expect("non-empty");
+        self.len -= 1;
+        self.last_pop_tag = tag;
+        self.prev_vtime = self.vtime;
+        self.vtime = tag;
+        Some((t as u32, item))
+    }
+
+    /// Largest per-tenant deficit bound the DRR invariant promises:
+    /// `cost + quantum * weight`. Exposed for the property tests.
+    pub fn deficit_bound(&self, tenant: u32) -> f64 {
+        ITEM_COST + QUANTUM * self.weights[tenant as usize]
+    }
+
+    /// Current DRR deficit of one tenant (0 for FIFO/WFQ).
+    pub fn deficit(&self, tenant: u32) -> f64 {
+        self.deficit[tenant as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut FairQueue<u64>) -> Vec<u32> {
+        std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect()
+    }
+
+    #[test]
+    fn fifo_preserves_global_arrival_order() {
+        let mut q = FairQueue::new(SchedulerPolicy::Fifo, &[1.0, 1.0, 1.0]);
+        for (i, t) in [2u32, 0, 1, 1, 0, 2].iter().enumerate() {
+            q.push(*t, i as u64);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+        assert_eq!(popped, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drr_equal_weights_round_robins() {
+        let mut q = FairQueue::new(SchedulerPolicy::Drr, &[1.0, 1.0]);
+        for i in 0..3 {
+            q.push(0, i);
+            q.push(1, 10 + i);
+        }
+        assert_eq!(drain(&mut q), vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn drr_weights_set_per_round_shares() {
+        let mut q = FairQueue::new(SchedulerPolicy::Drr, &[3.0, 1.0]);
+        for i in 0..6 {
+            q.push(0, i);
+            q.push(1, 10 + i);
+        }
+        // Per round: three tenant-0 requests, one tenant-1 request.
+        assert_eq!(drain(&mut q), vec![0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn drr_deficit_resets_when_a_tenant_empties() {
+        let mut q = FairQueue::new(SchedulerPolicy::Drr, &[5.0, 1.0]);
+        q.push(0, 0);
+        q.push(1, 1);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(0));
+        // Tenant 0 emptied mid-quantum: its leftover deficit must not
+        // carry into the next backlog burst.
+        assert_eq!(q.deficit(0), 0.0);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(1));
+    }
+
+    #[test]
+    fn wfq_interleaves_by_virtual_finish_time() {
+        let mut q = FairQueue::new(SchedulerPolicy::Wfq, &[2.0, 1.0]);
+        for i in 0..4 {
+            q.push(0, i);
+        }
+        for i in 0..2 {
+            q.push(1, 10 + i);
+        }
+        // Tags: tenant 0 at 0.5, 1.0, 1.5, 2.0; tenant 1 at 1.0, 2.0.
+        // Equal tags tie to the lower tenant id.
+        assert_eq!(drain(&mut q), vec![0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn wfq_idle_tenant_earns_no_credit() {
+        let mut q = FairQueue::new(SchedulerPolicy::Wfq, &[1.0, 1.0]);
+        for i in 0..8 {
+            q.push(0, i);
+        }
+        // Drain tenant 0 alone for a while: vtime advances to 4.0.
+        for _ in 0..4 {
+            assert_eq!(q.pop().map(|(t, _)| t), Some(0));
+        }
+        // Tenant 1 wakes up. Its tag starts at the *current* vtime, not
+        // at zero, so it alternates instead of flushing its whole burst.
+        for i in 0..3 {
+            q.push(1, 10 + i);
+        }
+        assert_eq!(drain(&mut q), vec![0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn unpop_restores_the_exact_pop_sequence() {
+        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::Drr, SchedulerPolicy::Wfq] {
+            let mut a = FairQueue::new(policy, &[2.0, 1.0]);
+            let mut b = FairQueue::new(policy, &[2.0, 1.0]);
+            for i in 0..4 {
+                a.push(0, i);
+                a.push(1, 10 + i);
+                b.push(0, i);
+                b.push(1, 10 + i);
+            }
+            // `a` suffers a blocked dispatch after every pop; `b` never
+            // does. The realized sequences must match exactly.
+            let mut seq_a = Vec::new();
+            while let Some((t, x)) = a.pop() {
+                a.unpop(t, x);
+                let (t2, x2) = a.pop().expect("unpopped item comes back");
+                assert_eq!((t, x), (t2, x2), "{policy:?} unpop must replay the same head");
+                seq_a.push((t2, x2));
+            }
+            let seq_b: Vec<(u32, u64)> = std::iter::from_fn(|| b.pop()).collect();
+            assert_eq!(seq_a, seq_b, "{policy:?} unpop must not disturb the schedule");
+        }
+    }
+
+    #[test]
+    fn single_tenant_is_plain_fifo_under_every_policy() {
+        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::Drr, SchedulerPolicy::Wfq] {
+            let mut q = FairQueue::new(policy, &[1.0]);
+            for i in 0..10u64 {
+                q.push(0, i);
+            }
+            let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+            assert_eq!(popped, (0..10).collect::<Vec<_>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn refund_returns_the_drr_quantum_for_a_shed_pop() {
+        let mut q = FairQueue::new(SchedulerPolicy::Drr, &[1.0, 1.0]);
+        for i in 0..3 {
+            q.push(0, i);
+            q.push(1, 10 + i);
+        }
+        let (t, _) = q.pop().expect("non-empty");
+        assert_eq!(t, 0);
+        let before = q.deficit(0);
+        q.refund(0);
+        assert_eq!(q.deficit(0), before + ITEM_COST);
+        // The refunded quantum serves the tenant's next request at once:
+        // the shed consumed none of its bandwidth.
+        assert_eq!(q.pop().map(|(t, _)| t), Some(0));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(1));
+    }
+
+    #[test]
+    fn refund_is_a_no_op_for_tag_policies_and_drained_tenants() {
+        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::Wfq] {
+            let mut q = FairQueue::new(policy, &[1.0, 1.0]);
+            q.push(0, 0u64);
+            q.push(1, 1u64);
+            let (t, _) = q.pop().expect("non-empty");
+            q.refund(t);
+            assert_eq!(q.deficit(t), 0.0, "{policy:?}");
+            assert_eq!(q.pop().map(|(t, _)| t), Some(1), "{policy:?}");
+        }
+        // DRR with the popped tenant drained: the empty-queue deficit
+        // reset wins and the refund must not resurrect credit.
+        let mut q = FairQueue::new(SchedulerPolicy::Drr, &[1.0, 1.0]);
+        q.push(0, 0u64);
+        let (t, _) = q.pop().expect("non-empty");
+        q.refund(t);
+        assert_eq!(q.deficit(0), 0.0);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in [SchedulerPolicy::Fifo, SchedulerPolicy::Drr, SchedulerPolicy::Wfq] {
+            assert_eq!(SchedulerPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(SchedulerPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant id out of range")]
+    fn out_of_range_tenant_rejected() {
+        let mut q = FairQueue::new(SchedulerPolicy::Drr, &[1.0, 1.0]);
+        q.push(2, 0u64);
+    }
+}

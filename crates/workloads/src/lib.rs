@@ -40,6 +40,7 @@ mod generator;
 mod models;
 mod operating;
 mod stats;
+mod tenants;
 mod vision;
 
 pub use accuracy::{evaluate_case, CaseEvaluation, ProxyTask};
@@ -53,4 +54,5 @@ pub use generator::{generate_case_tokens, generate_layer_tokens, generate_tokens
 pub use models::{albert_large, bert_large, gpt2_large, model_zoo, roberta_large, ModelSpec};
 pub use operating::{find_all_operating_points, find_operating_point, CtaClass, OperatingPoint};
 pub use stats::{workload_stats, WorkloadStats};
+pub use tenants::{SloTier, TenantMix};
 pub use vision::{generate_patch_tokens, VisionCase};

@@ -1,0 +1,208 @@
+//! Tenant identity over arrival traces.
+//!
+//! Multi-tenant fleets do not see uniform traffic: a handful of hot
+//! tenants dominates the arrival stream while a long tail trickles.
+//! This module models that with a Zipf popularity law — tenant `i`
+//! (0-based, hottest first) receives a share proportional to
+//! `1 / (i + 1)^skew` — and stamps a seeded tenant id onto each arrival
+//! of any trace (Poisson, MMPP, or diurnal: the mix composes with the
+//! *timestamps*, so every arrival process gains tenancy for free).
+//!
+//! Tenants also carry a service tier ([`SloTier`]): the tier picks the
+//! deadline class and the brownout operating point the serving stack
+//! applies, so premium tenants keep tight deadlines and full-quality
+//! operating points while background tenants absorb degradation first.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf-skewed population of tenants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantMix {
+    /// Number of tenants, ids `0..tenants` with 0 the hottest.
+    pub tenants: u32,
+    /// Zipf exponent: 0 = uniform popularity, 1 = classic Zipf, larger
+    /// = heavier head.
+    pub skew: f64,
+}
+
+impl TenantMix {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenants == 0` or `skew` is negative or non-finite.
+    pub fn new(tenants: u32, skew: f64) -> Self {
+        assert!(tenants >= 1, "tenant mix needs at least one tenant");
+        assert!(skew.is_finite() && skew >= 0.0, "tenant skew must be non-negative and finite");
+        Self { tenants, skew }
+    }
+
+    /// Normalized popularity shares, hottest first (sums to 1).
+    pub fn popularity(&self) -> Vec<f64> {
+        let raw: Vec<f64> =
+            (0..self.tenants).map(|i| 1.0 / ((i + 1) as f64).powf(self.skew)).collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Offered-rate ratio between the hottest and coldest tenant:
+    /// `tenants^skew`. A 16-tenant mix at skew 1 is a 16:1 population.
+    pub fn skew_ratio(&self) -> f64 {
+        (self.tenants as f64).powf(self.skew)
+    }
+
+    /// Stamps a seeded tenant id onto each of `count` arrivals by
+    /// inverse-CDF sampling of the popularity law. Deterministic in the
+    /// seed and independent of the arrival timestamps, so the same mix
+    /// overlays identically on Poisson, MMPP, and diurnal traces.
+    pub fn assign(&self, count: usize, seed: u64) -> Vec<u32> {
+        let shares = self.popularity();
+        let mut cdf = Vec::with_capacity(shares.len());
+        let mut acc = 0.0;
+        for s in &shares {
+            acc += s;
+            cdf.push(acc);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1) as u32
+            })
+            .collect()
+    }
+
+    /// The service tier of `tenant`: the hottest quarter of the
+    /// population (at least one tenant) is premium, the next half
+    /// standard, the rest background.
+    pub fn tier_of(&self, tenant: u32) -> SloTier {
+        assert!(tenant < self.tenants, "tenant id out of range");
+        let n = self.tenants as usize;
+        let premium = (n / 4).max(1);
+        let standard = (3 * n / 4).max(premium);
+        match tenant as usize {
+            t if t < premium => SloTier::Premium,
+            t if t < standard => SloTier::Standard,
+            _ => SloTier::Background,
+        }
+    }
+}
+
+/// A tenant's contracted service tier. The serving stack maps the tier
+/// to a deadline class (interactive / standard / batch) and to the
+/// brownout rung a degraded fleet may park the tenant at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloTier {
+    /// Tight deadline, highest admission priority, never browned out
+    /// below the top operating point.
+    Premium,
+    /// Default deadline and priority; brownout may degrade one rung.
+    Standard,
+    /// Loose deadline, first to shed, may run at the deepest brownout
+    /// operating point.
+    Background,
+}
+
+impl SloTier {
+    /// Stable label for CSV/CLI use.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloTier::Premium => "premium",
+            SloTier::Standard => "standard",
+            SloTier::Background => "background",
+        }
+    }
+
+    /// Deadline slack multiplier relative to the standard tier: premium
+    /// gets half the slack, background four times it.
+    pub fn deadline_scale(&self) -> f64 {
+        match self {
+            SloTier::Premium => 0.5,
+            SloTier::Standard => 1.0,
+            SloTier::Background => 4.0,
+        }
+    }
+
+    /// Deepest brownout rung (0 = full quality) this tier may be parked
+    /// at when the fleet degrades.
+    pub fn max_brownout_rung(&self) -> usize {
+        match self {
+            SloTier::Premium => 0,
+            SloTier::Standard => 1,
+            SloTier::Background => usize::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popularity_is_normalized_and_zipf_shaped() {
+        let mix = TenantMix::new(4, 1.0);
+        let p = mix.popularity();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Zipf at s=1: shares proportional to 1, 1/2, 1/3, 1/4.
+        assert!((p[0] / p[1] - 2.0).abs() < 1e-12);
+        assert!((p[0] / p[3] - 4.0).abs() < 1e-12);
+        assert_eq!(mix.skew_ratio(), 4.0);
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let p = TenantMix::new(5, 0.0).popularity();
+        assert!(p.iter().all(|&s| (s - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn assignment_is_seeded_and_tracks_popularity() {
+        let mix = TenantMix::new(8, 1.0);
+        let a = mix.assign(4_000, 42);
+        assert_eq!(a, mix.assign(4_000, 42), "same seed reproduces");
+        assert_ne!(a, mix.assign(4_000, 43), "seeds diverge");
+        assert!(a.iter().all(|&t| t < 8));
+        let mut counts = [0usize; 8];
+        for &t in &a {
+            counts[t as usize] += 1;
+        }
+        // The hottest tenant draws roughly skew_ratio times the coldest.
+        let ratio = counts[0] as f64 / counts[7].max(1) as f64;
+        assert!(ratio > 4.0, "head/tail draw ratio {ratio} too flat for 8:1 Zipf");
+        assert!(counts.iter().all(|&c| c > 0), "every tenant appears at this length");
+    }
+
+    #[test]
+    fn tiers_partition_the_population_in_order() {
+        let mix = TenantMix::new(16, 1.0);
+        assert_eq!(mix.tier_of(0), SloTier::Premium);
+        assert_eq!(mix.tier_of(3), SloTier::Premium);
+        assert_eq!(mix.tier_of(4), SloTier::Standard);
+        assert_eq!(mix.tier_of(11), SloTier::Standard);
+        assert_eq!(mix.tier_of(12), SloTier::Background);
+        assert_eq!(mix.tier_of(15), SloTier::Background);
+        // A one-tenant population is premium: someone must hold the SLO.
+        assert_eq!(TenantMix::new(1, 0.0).tier_of(0), SloTier::Premium);
+    }
+
+    #[test]
+    fn tier_contract_is_monotone() {
+        assert!(SloTier::Premium.deadline_scale() < SloTier::Background.deadline_scale());
+        assert!(SloTier::Premium.max_brownout_rung() < SloTier::Standard.max_brownout_rung());
+        assert_eq!(SloTier::Premium.label(), "premium");
+        assert_eq!(SloTier::Background.label(), "background");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn empty_mix_rejected() {
+        let _ = TenantMix::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be non-negative")]
+    fn negative_skew_rejected() {
+        let _ = TenantMix::new(4, -1.0);
+    }
+}
