@@ -1,7 +1,7 @@
 //! Attention probability aggregation (paper Fig. 6 and eq. 6/7).
 
 use cta_lsh::ClusterTable;
-use cta_tensor::Matrix;
+use cta_tensor::{KernelPolicy, Matrix};
 
 /// Computes the aggregated attention probabilities `AP` from the compressed
 /// score matrix (paper Fig. 6).
@@ -29,7 +29,31 @@ pub fn aggregate_probabilities_with(
     ct1: &ClusterTable,
     ct2: &ClusterTable,
     k1: usize,
+    exp: impl FnMut(f32) -> f32,
+) -> Matrix {
+    aggregate_probabilities_kernel(scores_bar, ct1, ct2, k1, exp, KernelPolicy::current())
+}
+
+/// [`aggregate_probabilities_with`] under an explicit [`KernelPolicy`].
+///
+/// The scalar path looks both cluster tables up per `(i, j)` pair; the
+/// blocked/SIMD paths hoist the table lookups out of the row loop
+/// (`2·n` lookups instead of `2·k₀·n`) and gather the score sums into a
+/// scratch row before exponentiating. Bitwise identical: the `exp`
+/// closure is invoked in exactly the scalar order (ascending `j` within
+/// ascending `i` — it may be stateful), each sum is the same two-term
+/// f32 addition, and the `AP` scatter accumulates in the same order.
+///
+/// # Panics
+///
+/// Same conditions as [`aggregate_probabilities_with`].
+pub fn aggregate_probabilities_kernel(
+    scores_bar: &Matrix,
+    ct1: &ClusterTable,
+    ct2: &ClusterTable,
+    k1: usize,
     mut exp: impl FnMut(f32) -> f32,
+    policy: KernelPolicy,
 ) -> Matrix {
     assert_eq!(ct1.len(), ct2.len(), "CT₁ and CT₂ cover different token counts");
     assert_eq!(ct1.cluster_count(), k1, "k₁ mismatch: table has {} clusters", ct1.cluster_count());
@@ -43,16 +67,54 @@ pub fn aggregate_probabilities_with(
     let k0 = scores_bar.rows();
     let n = ct1.len();
     let mut ap = Matrix::zeros(k0, scores_bar.cols());
-    for i in 0..k0 {
-        let cs_row = scores_bar.row(i);
-        // Split borrows: we read from scores_bar and write to ap.
-        let ap_row = ap.row_mut(i);
-        for j in 0..n {
-            let x1 = ct1.cluster_of(j);
-            let x2 = k1 + ct2.cluster_of(j);
-            let p = exp(cs_row[x1] + cs_row[x2]);
-            ap_row[x1] += p;
-            ap_row[x2] += p;
+    match policy {
+        KernelPolicy::Scalar => {
+            for i in 0..k0 {
+                let cs_row = scores_bar.row(i);
+                // Split borrows: we read from scores_bar and write to ap.
+                let ap_row = ap.row_mut(i);
+                for j in 0..n {
+                    let x1 = ct1.cluster_of(j);
+                    let x2 = k1 + ct2.cluster_of(j);
+                    let p = exp(cs_row[x1] + cs_row[x2]);
+                    ap_row[x1] += p;
+                    ap_row[x2] += p;
+                }
+            }
+        }
+        KernelPolicy::Blocked | KernelPolicy::Simd => {
+            let x1s: Vec<usize> = (0..n).map(|j| ct1.cluster_of(j)).collect();
+            let x2s: Vec<usize> = (0..n).map(|j| k1 + ct2.cluster_of(j)).collect();
+            let mut sums = vec![0.0f32; n];
+            for i in 0..k0 {
+                let cs_row = scores_bar.row(i);
+                if policy == KernelPolicy::Simd {
+                    // Gather in 8-wide chunks of independent elements.
+                    let mut sc = sums.chunks_exact_mut(8);
+                    let mut c1 = x1s.chunks_exact(8);
+                    let mut c2 = x2s.chunks_exact(8);
+                    for ((s8, i8), j8) in (&mut sc).zip(&mut c1).zip(&mut c2) {
+                        for l in 0..8 {
+                            s8[l] = cs_row[i8[l]] + cs_row[j8[l]];
+                        }
+                    }
+                    for ((s, &x1), &x2) in
+                        sc.into_remainder().iter_mut().zip(c1.remainder()).zip(c2.remainder())
+                    {
+                        *s = cs_row[x1] + cs_row[x2];
+                    }
+                } else {
+                    for ((s, &x1), &x2) in sums.iter_mut().zip(&x1s).zip(&x2s) {
+                        *s = cs_row[x1] + cs_row[x2];
+                    }
+                }
+                let ap_row = ap.row_mut(i);
+                for j in 0..n {
+                    let p = exp(sums[j]);
+                    ap_row[x1s[j]] += p;
+                    ap_row[x2s[j]] += p;
+                }
+            }
         }
     }
     ap
@@ -181,6 +243,34 @@ mod tests {
         // exp(0+0)=1 for each of 3 tokens; tokens 0,1 hit x1=0, token 2 hits x1=1;
         // all three hit x2=2.
         assert_eq!(ap.row(0), &[2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn aggregation_policies_are_bitwise_identical_with_stateful_exp() {
+        let (k0, k1, k2, n) = (4usize, 5usize, 3usize, 37usize);
+        let mut rng = MatrixRng::new(17);
+        let s_bar = rng.normal_matrix(k0, k1 + k2, 0.0, 1.0);
+        let (ct1, ct2) = tables(n, k1, k2, 18);
+        // A stateful exponent: the result depends on the call sequence,
+        // so any reordering of exp calls would show up as a diff.
+        let run = |policy| {
+            let mut calls = 0u32;
+            aggregate_probabilities_kernel(
+                &s_bar,
+                &ct1,
+                &ct2,
+                k1,
+                |x| {
+                    calls = calls.wrapping_add(1);
+                    x.exp() + calls as f32 * 1e-3
+                },
+                policy,
+            )
+        };
+        let scalar = run(cta_tensor::KernelPolicy::Scalar);
+        for policy in [cta_tensor::KernelPolicy::Blocked, cta_tensor::KernelPolicy::Simd] {
+            assert_eq!(run(policy), scalar, "{policy:?}");
+        }
     }
 
     #[test]

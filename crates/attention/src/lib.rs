@@ -43,7 +43,8 @@ mod quantized;
 mod scheme;
 
 pub use aggregate::{
-    aggregate_probabilities, aggregate_probabilities_with, reconstruct_full_scores,
+    aggregate_probabilities, aggregate_probabilities_kernel, aggregate_probabilities_with,
+    reconstruct_full_scores,
 };
 pub use bound::{output_error_bound, reconstruct_values, ErrorBound};
 pub use causal::{attention_exact_causal, cta_forward_causal, CausalCtaAttention, CausalCtaConfig};

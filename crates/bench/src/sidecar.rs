@@ -1,0 +1,455 @@
+//! Append-only `BENCH_*.json` wall-clock trajectories.
+//!
+//! Wall-clock sidecars are explicitly nondeterministic, so they live
+//! apart from the pinned golden files — but overwriting them each run
+//! erased the history that makes speedups and regressions visible
+//! across PRs. [`BenchSidecar`] fixes that: each save **merges** into
+//! the existing `results/<name>.json`, keyed by `(git_sha, date)` —
+//! re-running on the same commit and day replaces that run's entry,
+//! anything else appends — so the file accumulates one entry per PR.
+//!
+//! The merged layout is
+//!
+//! ```json
+//! {"schema_version":2,"name":"BENCH_x","runs":[
+//!   {"git_sha":"abc1234","date":"2026-08-07", ...meta..., "points":[...]},
+//!   ...
+//! ]}
+//! ```
+//!
+//! A legacy single-run file (top-level `points`, the pre-trajectory
+//! layout) is absorbed as a first run entry with `git_sha
+//! "pre-trajectory"` rather than discarded.
+
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::report::{JsonValue, SCHEMA_VERSION};
+
+/// Parses compact or pretty JSON into a [`JsonValue`]. Supports exactly
+/// the constructs [`JsonValue::to_json`] emits (strict RFC-8259 subset:
+/// no comments, no trailing commas) — enough to read back any report
+/// this crate has written.
+///
+/// # Errors
+///
+/// Returns a byte-offset-tagged message on malformed input.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogates never appear in our own output; map
+                        // them to the replacement character on read.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so byte
+                // boundaries are valid).
+                let rest = &bytes[*pos..];
+                let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    if text.is_empty() {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    if text.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(JsonValue::Int(i));
+        }
+    }
+    text.parse::<f64>().map(JsonValue::Num).map_err(|_| format!("bad number {text:?}"))
+}
+
+/// Looks a key up in an object's pairs.
+fn get<'v>(pairs: &'v [(String, JsonValue)], key: &str) -> Option<&'v JsonValue> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// The short git SHA of `HEAD`, or `"unknown"` outside a repository.
+fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's UTC civil date as `YYYY-MM-DD`, from the system clock
+/// (days-from-epoch inversion; no external time dependency).
+fn utc_date() -> String {
+    let secs = SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// One run entry of a wall-clock trajectory, merged (not overwritten)
+/// into `results/<name>.json` on save. Mirrors [`JsonReport`]'s builder
+/// conventions; the run key is `(git_sha, date)`.
+///
+/// [`JsonReport`]: crate::JsonReport
+#[derive(Debug, Clone)]
+pub struct BenchSidecar {
+    name: String,
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl BenchSidecar {
+    /// Starts a run entry stamped with the current git SHA and UTC date.
+    pub fn new(name: &str) -> Self {
+        Self::with_key(name, &git_short_sha(), &utc_date())
+    }
+
+    /// Starts a run entry with an explicit `(git_sha, date)` key (tests
+    /// and replay tooling).
+    pub fn with_key(name: &str, git_sha: &str, date: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            fields: vec![
+                ("git_sha".to_string(), JsonValue::Str(git_sha.to_string())),
+                ("date".to_string(), JsonValue::Str(date.to_string())),
+            ],
+        }
+    }
+
+    /// Appends one field of this run (meta first, then `points`, by
+    /// convention).
+    pub fn set(&mut self, key: &str, value: JsonValue) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Merges this run into the trajectory in `dir/<name>.json` and
+    /// writes the result back: an existing run with the same
+    /// `(git_sha, date)` is replaced, otherwise the run appends. An
+    /// unreadable or malformed existing file starts a fresh trajectory
+    /// (sidecars are diagnostics; they must never brick a sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing.
+    pub fn append_under(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        let existing = std::fs::read_to_string(&path).ok().and_then(|s| parse_json(&s).ok());
+        let merged = self.merged(existing);
+        std::fs::write(&path, merged.to_json() + "\n")?;
+        Ok(path)
+    }
+
+    /// Merges into the workspace-level `results/` directory, logging the
+    /// destination; I/O failures are reported, not fatal.
+    pub fn save(&self) {
+        match self.append_under(Path::new("results")) {
+            Ok(path) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[could not save results/{}.json: {e}]", self.name),
+        }
+    }
+
+    /// The merged trajectory document this run produces against an
+    /// optional existing one.
+    pub fn merged(&self, existing: Option<JsonValue>) -> JsonValue {
+        let mut runs: Vec<JsonValue> = Vec::new();
+        if let Some(JsonValue::Obj(pairs)) = existing {
+            match get(&pairs, "runs") {
+                Some(JsonValue::Arr(existing_runs)) => runs = existing_runs.clone(),
+                _ if get(&pairs, "points").is_some() => {
+                    // Legacy single-run layout: absorb it as the first
+                    // trajectory entry so no history is lost.
+                    let mut legacy = vec![
+                        ("git_sha".to_string(), JsonValue::Str("pre-trajectory".to_string())),
+                        ("date".to_string(), JsonValue::Str(String::new())),
+                    ];
+                    legacy.extend(pairs.into_iter().filter(|(k, _)| k != "schema_version"));
+                    runs.push(JsonValue::Obj(legacy));
+                }
+                _ => {}
+            }
+        }
+        let run = JsonValue::Obj(self.fields.clone());
+        let key = (get(&self.fields, "git_sha").cloned(), get(&self.fields, "date").cloned());
+        let same_key = |r: &JsonValue| match r {
+            JsonValue::Obj(pairs) => {
+                (get(pairs, "git_sha").cloned(), get(pairs, "date").cloned()) == key
+            }
+            _ => false,
+        };
+        match runs.iter_mut().find(|r| same_key(r)) {
+            Some(slot) => *slot = run,
+            None => runs.push(run),
+        }
+        JsonValue::Obj(vec![
+            ("schema_version".to_string(), JsonValue::Int(SCHEMA_VERSION as i64)),
+            ("name".to_string(), JsonValue::Str(self.name.clone())),
+            ("runs".to_string(), JsonValue::Arr(runs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_json_round_trips_report_output() {
+        let v = JsonValue::obj(vec![
+            ("n", JsonValue::Int(3)),
+            ("x", JsonValue::Num(0.25)),
+            ("neg", JsonValue::Num(-1.5e-3)),
+            ("ok", JsonValue::Bool(true)),
+            ("none", JsonValue::Null),
+            ("name", JsonValue::Str("a \"b\"\n\ttail\\".into())),
+            ("xs", JsonValue::Arr(vec![JsonValue::Int(-7), JsonValue::Num(2.0)])),
+            ("o", JsonValue::obj(vec![("k", JsonValue::Str("v".into()))])),
+        ]);
+        let parsed = parse_json(&v.to_json()).expect("parse");
+        assert_eq!(parsed, v);
+        // And the serialisation itself round-trips byte-for-byte.
+        assert_eq!(parsed.to_json(), v.to_json());
+    }
+
+    #[test]
+    fn parse_json_accepts_whitespace_and_rejects_garbage() {
+        assert_eq!(
+            parse_json(" { \"a\" : [ 1 , 2 ] } \n").expect("parse"),
+            JsonValue::obj(vec![("a", JsonValue::Arr(vec![JsonValue::Int(1), JsonValue::Int(2)]))])
+        );
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\":1}tail").is_err());
+        assert!(parse_json("nil").is_err());
+    }
+
+    #[test]
+    fn merge_starts_a_fresh_trajectory() {
+        let mut s = BenchSidecar::with_key("BENCH_t", "abc1234", "2026-08-07");
+        s.set("points", JsonValue::Arr(vec![JsonValue::Int(1)]));
+        let merged = s.merged(None);
+        assert_eq!(
+            merged.to_json(),
+            r#"{"schema_version":2,"name":"BENCH_t","runs":[{"git_sha":"abc1234","date":"2026-08-07","points":[1]}]}"#
+        );
+    }
+
+    #[test]
+    fn merge_appends_distinct_runs_and_replaces_same_key() {
+        let mut first = BenchSidecar::with_key("BENCH_t", "aaa", "2026-08-01");
+        first.set("points", JsonValue::Arr(vec![]));
+        let doc = first.merged(None);
+
+        let mut second = BenchSidecar::with_key("BENCH_t", "bbb", "2026-08-07");
+        second.set("points", JsonValue::Arr(vec![]));
+        let doc = second.merged(Some(doc));
+        match &doc {
+            JsonValue::Obj(pairs) => match get(pairs, "runs") {
+                Some(JsonValue::Arr(runs)) => assert_eq!(runs.len(), 2),
+                other => panic!("runs missing: {other:?}"),
+            },
+            other => panic!("not an object: {other:?}"),
+        }
+
+        // Re-running the same commit+day replaces, not duplicates.
+        let mut again = BenchSidecar::with_key("BENCH_t", "bbb", "2026-08-07");
+        again.set("note", JsonValue::Str("rerun".into()));
+        let doc = again.merged(Some(doc));
+        let json = doc.to_json();
+        assert_eq!(json.matches("\"bbb\"").count(), 1, "{json}");
+        assert!(json.contains("rerun"), "{json}");
+    }
+
+    #[test]
+    fn merge_absorbs_legacy_single_run_files() {
+        let legacy =
+            parse_json(r#"{"schema_version":2,"experiment":"old","jobs":4,"points":[{"p":1}]}"#)
+                .expect("parse");
+        let mut s = BenchSidecar::with_key("BENCH_t", "ccc", "2026-08-07");
+        s.set("points", JsonValue::Arr(vec![]));
+        let merged = s.merged(Some(legacy)).to_json();
+        assert!(merged.contains("\"pre-trajectory\""), "{merged}");
+        assert!(merged.contains("\"experiment\":\"old\""), "{merged}");
+        assert!(merged.contains("\"ccc\""), "{merged}");
+    }
+
+    #[test]
+    fn append_under_accumulates_on_disk() {
+        let dir = std::env::temp_dir().join(format!("cta-bench-sidecar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut a = BenchSidecar::with_key("BENCH_unit", "sha1", "2026-08-01");
+        a.set("points", JsonValue::Arr(vec![JsonValue::Int(1)]));
+        a.append_under(&dir).expect("first write");
+        let mut b = BenchSidecar::with_key("BENCH_unit", "sha2", "2026-08-02");
+        b.set("points", JsonValue::Arr(vec![JsonValue::Int(2)]));
+        let path = b.append_under(&dir).expect("second write");
+        let doc = parse_json(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        match doc {
+            JsonValue::Obj(pairs) => match get(&pairs, "runs") {
+                Some(JsonValue::Arr(runs)) => assert_eq!(runs.len(), 2),
+                other => panic!("runs missing: {other:?}"),
+            },
+            other => panic!("not an object: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn utc_date_is_iso_shaped() {
+        let d = utc_date();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+        assert!(d[..4].parse::<i64>().expect("year") >= 2024);
+    }
+}

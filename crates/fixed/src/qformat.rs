@@ -116,6 +116,17 @@ impl QFormat {
 
 /// Rescales a raw value with `in_frac` fractional bits into format `out`,
 /// rounding to nearest and saturating.
+///
+/// This is the **authoritative write-back rounding rule** for every
+/// kernel variant (scalar, blocked, SIMD): round to nearest, ties
+/// **away from zero** — the same rule `QFormat::quantize` applies via
+/// f64 `round()`. The negative branch spells it as
+/// `-((-raw + half) >> shift)` because an arithmetic right shift on a
+/// negative value truncates toward −∞, which would bias ties toward
+/// −∞ instead; negating first makes the tie at `-half` round to `-1`,
+/// not `0` (truncation) or `-0`-wards. The
+/// `rescale_agrees_with_quantize_*` tests pin the two paths together
+/// at the ± half-ULP boundaries.
 pub(crate) fn rescale(raw: i128, in_frac: u32, out: QFormat) -> i64 {
     let out_frac = out.frac_bits();
     let shifted = if out_frac >= in_frac {
@@ -198,7 +209,55 @@ mod tests {
         assert_eq!(format!("{TOKEN}"), "Q6.7 (13 bits)");
     }
 
+    #[test]
+    fn rescale_rounds_negative_half_ulp_away_from_zero() {
+        // in_frac 10 -> TOKEN (frac 7): shift = 3, half = 4. A raw of
+        // exactly ±half is a tie on the true quotient ±0.5 and must
+        // round away from zero — truncation would give 0 for both.
+        assert_eq!(rescale(4, 10, TOKEN), 1);
+        assert_eq!(rescale(-4, 10, TOKEN), -1);
+        // Odd multiples of half are all ties: ±1.5 -> ±2.
+        assert_eq!(rescale(12, 10, TOKEN), 2);
+        assert_eq!(rescale(-12, 10, TOKEN), -2);
+        // Just inside the tie rounds toward zero.
+        assert_eq!(rescale(3, 10, TOKEN), 0);
+        assert_eq!(rescale(-3, 10, TOKEN), 0);
+        assert_eq!(rescale(5, 10, TOKEN), 1);
+        assert_eq!(rescale(-5, 10, TOKEN), -1);
+    }
+
+    #[test]
+    fn rescale_agrees_with_quantize_at_half_ulp_boundaries() {
+        // A raw word with in_frac fractional bits is the exact real
+        // value raw / 2^in_frac; rescaling it must land on the same
+        // word quantize picks for that value. Scan every tie and
+        // near-tie around zero plus the representable rails.
+        let in_frac = 12u32; // shift = 5 into TOKEN's 7 frac bits
+        for raw in -2048i128..=2048 {
+            let value = raw as f64 / f64::from(1u32 << in_frac);
+            let direct = TOKEN.quantize(value as f32);
+            let rescaled = rescale(raw, in_frac, TOKEN);
+            assert_eq!(rescaled, direct, "raw={raw} value={value}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn rescale_matches_round_half_away_reference(
+            raw in -(1i64 << 40)..(1i64 << 40),
+            in_frac in 0u32..24,
+        ) {
+            let raw = raw as i128;
+            // |raw| < 2^40 and a power-of-two divisor: the f64 quotient
+            // is exact, and f64 round() is round-half-away-from-zero —
+            // an independent spelling of the authoritative rule.
+            let out = QFormat::new(32, 7);
+            let quotient = raw as f64 / f64::from(1u32 << in_frac) * 128.0;
+            let expected =
+                (quotient.round() as i128).clamp(out.min_raw() as i128, out.max_raw() as i128);
+            prop_assert_eq!(rescale(raw, in_frac, out) as i128, expected);
+        }
+
         #[test]
         fn round_trip_error_bounded_by_half_lsb(x in -31.0f32..31.0) {
             let err = (TOKEN.round_trip(x) - x).abs();

@@ -1,6 +1,6 @@
 //! p-stable locality-sensitive hash families (paper §III-A).
 
-use cta_tensor::{Matrix, MatrixRng};
+use cta_tensor::{KernelPolicy, Matrix, MatrixRng};
 
 use crate::HashCodes;
 
@@ -165,19 +165,33 @@ impl LshFamily {
             "LSH projection for direction {i} is not finite ({proj}): \
              token vector contains NaN/inf or overflows the dot product"
         );
-        // `as` on float→int saturates (and never wraps) in Rust; with the
-        // finiteness assert above the result is the mathematical floor
-        // clamped to the i32 range.
-        (proj / self.w).floor() as i32
+        bucket_of(proj, self.w)
     }
 
     /// Hashes every row of a token matrix (paper eq. 1, `H = ⌊(A·Xᵀ+B)/w⌋`),
-    /// returning one code per token.
+    /// returning one code per token, under the process-wide
+    /// [`KernelPolicy`].
     ///
     /// # Panics
     ///
     /// Panics if `tokens.cols() != self.dim()`.
     pub fn hash_matrix(&self, tokens: &Matrix) -> HashCodes {
+        self.hash_matrix_with(tokens, KernelPolicy::current())
+    }
+
+    /// [`LshFamily::hash_matrix`] under an explicit [`KernelPolicy`].
+    ///
+    /// The scalar path hashes token by token, direction by direction;
+    /// the blocked/SIMD paths batch all projections into one
+    /// `X · Aᵀ` product — bitwise identical, because each projection is
+    /// the same sequential-`d` dot product (f32 multiplication commutes
+    /// bitwise) with the bias added afterwards in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.cols() != self.dim()`, or any projection is
+    /// not finite.
+    pub fn hash_matrix_with(&self, tokens: &Matrix, policy: KernelPolicy) -> HashCodes {
         assert_eq!(
             tokens.cols(),
             self.dim(),
@@ -188,14 +202,47 @@ impl LshFamily {
         let n = tokens.rows();
         let l = self.hash_length();
         let mut values = Vec::with_capacity(n * l);
-        for t in 0..n {
-            let row = tokens.row(t);
-            for i in 0..l {
-                values.push(self.hash_value(i, row));
+        match policy {
+            KernelPolicy::Scalar => {
+                for t in 0..n {
+                    let row = tokens.row(t);
+                    for i in 0..l {
+                        values.push(self.hash_value(i, row));
+                    }
+                }
+            }
+            KernelPolicy::Blocked | KernelPolicy::Simd => {
+                let projections = tokens.matmul_transpose_b_with(&self.a, policy);
+                for t in 0..n {
+                    let proj_row = projections.row(t);
+                    for (i, (&p, &bias)) in proj_row.iter().zip(&self.b).enumerate() {
+                        let proj = p + bias;
+                        assert!(
+                            proj.is_finite(),
+                            "LSH projection for direction {i} is not finite ({proj}): \
+                             token vector contains NaN/inf or overflows the dot product"
+                        );
+                        values.push(bucket_of(proj, self.w));
+                    }
+                }
             }
         }
         HashCodes::from_flat(n, l, values)
     }
+}
+
+/// `⌊proj / w⌋` as a saturating `i32` bucket index.
+///
+/// The divide and floor happen in **f64**: above 2²⁴ the f32 quotient
+/// has a spacing coarser than 1, so an f32 divide can round across an
+/// integer boundary and mis-bucket a large-magnitude projection
+/// relative to the documented `⌊(A·Xᵀ+B)/w⌋`. Both operands are exact
+/// in f64, and every integer a finite f64 quotient can floor to is
+/// representable, so the f64 result is the true floor of the rounded
+/// quotient. `as` on float→int saturates (never wraps), so astronomic
+/// quotients pin at the `i32` rails.
+fn bucket_of(proj: f32, w: f32) -> i32 {
+    (f64::from(proj) / f64::from(w)).floor() as i32
 }
 
 #[cfg(test)]
@@ -284,6 +331,30 @@ mod tests {
     fn infinite_tokens_rejected() {
         let fam = LshFamily::from_parts(Matrix::from_rows(&[&[1.0]]), vec![0.0], 1.0);
         let _ = fam.hash_code(&[f32::INFINITY]);
+    }
+
+    #[test]
+    fn large_magnitude_projections_bucket_exactly_in_f64() {
+        // Regression for the f32 divide+floor: with w = 1 − 2⁻²⁴ the
+        // true quotient of a 2²⁴ projection is ≈ 16777217.00000006.
+        // f32 spacing above 2²⁴ is 2, so an f32 divide rounds that to
+        // 16777218 — one bucket too far. The f64 divide keeps it exact.
+        let w = 1.0 - 2f32.powi(-24);
+        let fam = LshFamily::from_parts(Matrix::from_rows(&[&[1.0]]), vec![0.0], w);
+        assert_eq!(fam.hash_code(&[16_777_216.0]), vec![16_777_217]);
+        // Below zero the true quotient ≈ −16777217.00000006 floors one
+        // further down — the exact answer, pinned for symmetry.
+        assert_eq!(fam.hash_code(&[-16_777_216.0]), vec![-16_777_218]);
+    }
+
+    #[test]
+    fn hash_matrix_policies_are_bitwise_identical() {
+        let fam = family();
+        let tokens = cta_tensor::standard_normal_matrix(7, 37, 8);
+        let scalar = fam.hash_matrix_with(&tokens, KernelPolicy::Scalar);
+        for policy in [KernelPolicy::Blocked, KernelPolicy::Simd] {
+            assert_eq!(fam.hash_matrix_with(&tokens, policy), scalar, "{policy:?}");
+        }
     }
 
     #[test]

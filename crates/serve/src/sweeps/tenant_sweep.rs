@@ -50,7 +50,7 @@
 use std::process::ExitCode;
 use std::sync::Mutex;
 
-use cta_bench::{parse_list, parse_num, FlagParser, JsonReport, JsonValue, SCHEMA_VERSION};
+use cta_bench::{parse_list, parse_num, BenchSidecar, FlagParser, JsonValue, SCHEMA_VERSION};
 use cta_sim::{CtaSystem, SystemConfig};
 use cta_workloads::{case_task, mini_case, TenantMix};
 
@@ -421,10 +421,12 @@ fn run(h: &Harness<Args>) {
     );
 
     // Wall-clock throughput sidecar: explicitly nondeterministic, so it
-    // lives in its own BENCH_ report instead of the pinned files.
+    // lives in its own BENCH_ report instead of the pinned files. The
+    // sidecar merges one run per (git SHA, date) so the file keeps a
+    // trajectory across PRs instead of only the latest numbers.
     let mut measured = timings.into_inner().expect("timings");
     measured.sort_unstable_by_key(|&(index, _, _)| index);
-    let mut bench = JsonReport::new("BENCH_tenancy");
+    let mut bench = BenchSidecar::new("BENCH_tenancy");
     bench
         .set("experiment", JsonValue::Str("tenant_sweep".into()))
         .set("engine", JsonValue::Str(args.engine.label().into()))

@@ -1,0 +1,123 @@
+//! The kernel-equivalence contract, end to end: a sweep binary's output
+//! bytes must not depend on the kernel policy.
+//!
+//! `tests/jobs.rs` pins the results bytes against the worker count; this
+//! suite drives the `--kernels` flag and the `CTA_KERNELS` env var the
+//! same way. Policies are spawned as separate processes because the
+//! policy is a process-wide `OnceLock` — flipping it in-process would
+//! race with whichever test resolved it first.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs `bin` with `args` (plus an optional `CTA_KERNELS` value) in a
+/// fresh scratch directory and returns that directory.
+fn run_in_scratch(label: &str, bin: &str, args: &[&str], env_kernels: Option<&str>) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cta-kernels-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let mut cmd = Command::new(bin);
+    cmd.args(args).current_dir(&dir);
+    match env_kernels {
+        Some(v) => cmd.env("CTA_KERNELS", v),
+        None => cmd.env_remove("CTA_KERNELS"),
+    };
+    let out = cmd.output().expect("spawn binary");
+    assert!(
+        out.status.success(),
+        "{label}: {bin} {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir
+}
+
+fn read(dir: &Path, rel: &str) -> Vec<u8> {
+    std::fs::read(dir.join(rel)).unwrap_or_else(|e| panic!("{rel} in {}: {e}", dir.display()))
+}
+
+const SERVE_ARGS: [&str; 10] =
+    ["--replicas", "2", "--loads", "0.5,1.2", "--requests", "40", "--seed", "7", "--jobs", "4"];
+
+/// `serve_sweep --kernels scalar|blocked|simd` must produce byte-identical
+/// results files — the bitwise kernel pin makes the policy unobservable
+/// everywhere except wall-clock.
+#[test]
+fn serve_sweep_results_are_identical_across_kernel_policies() {
+    let scalar = run_in_scratch(
+        "serve-scalar",
+        env!("CARGO_BIN_EXE_serve_sweep"),
+        &[&SERVE_ARGS[..], &["--kernels", "scalar"]].concat(),
+        None,
+    );
+    for policy in ["blocked", "simd"] {
+        let other = run_in_scratch(
+            &format!("serve-{policy}"),
+            env!("CARGO_BIN_EXE_serve_sweep"),
+            &[&SERVE_ARGS[..], &["--kernels", policy]].concat(),
+            None,
+        );
+        for rel in ["results/serve_sweep.csv", "results/serve_sweep.json"] {
+            assert_eq!(
+                read(&scalar, rel),
+                read(&other, rel),
+                "{rel} differs between --kernels scalar and --kernels {policy}"
+            );
+        }
+    }
+}
+
+/// `CTA_KERNELS` is the same knob as `--kernels`, and a bogus value is
+/// ignored in favour of the auto default (an env var is a *default*, not
+/// an argument): every spelling reproduces the same bytes and none of
+/// them may fail.
+#[test]
+fn cta_kernels_env_is_forgiving_and_unobservable() {
+    let baseline =
+        run_in_scratch("serve-noenv", env!("CARGO_BIN_EXE_serve_sweep"), &SERVE_ARGS, None);
+    for (label, value) in [("env-scalar", "scalar"), ("env-bogus", "warp-drive")] {
+        let run =
+            run_in_scratch(label, env!("CARGO_BIN_EXE_serve_sweep"), &SERVE_ARGS, Some(value));
+        for rel in ["results/serve_sweep.csv", "results/serve_sweep.json"] {
+            assert_eq!(
+                read(&baseline, rel),
+                read(&run, rel),
+                "{rel} differs under CTA_KERNELS={value}"
+            );
+        }
+    }
+}
+
+/// The kernel microbench's pinned outputs are deterministic for a fixed
+/// seed regardless of the installed policy (it exercises each policy
+/// explicitly) — and its digest column proves the cross-policy identity
+/// it asserted internally.
+#[test]
+fn kernel_sweep_csv_is_identical_across_installed_policies() {
+    // One rep on the pool keeps this debug-build smoke affordable; the
+    // digests (the deterministic part) are what is byte-compared.
+    let args = ["--seed", "7", "--reps", "1"];
+    let scalar = run_in_scratch(
+        "micro-scalar",
+        env!("CARGO_BIN_EXE_kernel_sweep"),
+        &[&args[..], &["--kernels", "scalar"]].concat(),
+        None,
+    );
+    let simd = run_in_scratch(
+        "micro-simd",
+        env!("CARGO_BIN_EXE_kernel_sweep"),
+        &[&args[..], &["--kernels", "simd"]].concat(),
+        None,
+    );
+    for rel in ["results/kernel_sweep.csv", "results/kernel_sweep.json"] {
+        assert_eq!(
+            read(&scalar, rel),
+            read(&simd, rel),
+            "{rel} differs between installed kernel policies"
+        );
+    }
+    // The wall-clock sidecar must exist and carry per-policy entries.
+    let bench = String::from_utf8(read(&simd, "results/BENCH_kernels.json")).expect("utf-8");
+    for needle in ["\"runs\"", "\"policy\":\"scalar\"", "\"policy\":\"simd\"", "wall_ms"] {
+        assert!(bench.contains(needle), "BENCH_kernels.json missing {needle}: {bench}");
+    }
+}

@@ -104,8 +104,11 @@ pub fn run_quantized_datapath(
     // write-back, PPE max subtraction.
     let wide = QFormat::new(24, qcfg.score.frac_bits());
     let scale = 1.0 / (d as f32).sqrt();
+    // Q̄ · K̄ᵀ without materialising the transpose: quantization is
+    // element-wise, so quantize(K̄)ᵀ ≡ quantize(K̄ᵀ) and the integer
+    // product is bit-identical to the old transpose-then-multiply.
     let mut scores_bar = QuantizedMatrix::quantize(
-        &qc(&q_bar).matmul(&qc(&k_bar.transpose()), wide).dequantize().scale(scale),
+        &qc(&q_bar).matmul_transpose_b(&qc(&k_bar), wide).dequantize().scale(scale),
         qcfg.score,
     )
     .dequantize();

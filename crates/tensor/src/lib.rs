@@ -10,7 +10,10 @@
 //! matrix products, transposes, row-wise softmax, norms — plus seeded
 //! random initialisation and the scalar statistics helpers used by the
 //! benchmark harness. The `par_matmul` family runs the same kernels over
-//! row panels on a work-stealing pool with bitwise-identical results.
+//! row panels on a work-stealing pool with bitwise-identical results,
+//! and the [`KernelPolicy`] knob (`--kernels scalar|blocked|simd` >
+//! `CTA_KERNELS` > auto) selects cache-blocked / SIMD variants of the
+//! hot inner loops that are pinned bitwise to the scalar reference.
 //!
 //! # Example
 //!
@@ -23,6 +26,7 @@
 //! assert_eq!(c, a);
 //! ```
 
+mod kernels;
 mod matrix;
 mod nn;
 mod ops;
@@ -31,6 +35,7 @@ mod random;
 mod softmax;
 mod stats;
 
+pub use kernels::{KernelPolicy, KERNELS_ENV};
 pub use matrix::Matrix;
 pub use nn::{gelu, gelu_matrix, layer_norm_rows};
 pub use random::{standard_normal_matrix, uniform_matrix, MatrixRng};

@@ -1,14 +1,13 @@
 //! Matrix arithmetic: products, transposes, element-wise combination.
 
-use crate::Matrix;
+use crate::kernels::{matmul_panel, matmul_tb_panel};
+use crate::{KernelPolicy, Matrix};
 
 impl Matrix {
-    /// Matrix product `self · other`.
-    ///
-    /// Uses the i-k-j loop order so the inner loop streams both the
-    /// right-hand row and the output row contiguously; accumulation is in
-    /// `f32` (the CTA hardware itself is fixed-point; the fixed-point path
-    /// lives in `cta-fixed`).
+    /// Matrix product `self · other` under the process-wide
+    /// [`KernelPolicy`]; accumulation is in `f32` (the CTA hardware
+    /// itself is fixed-point; the fixed-point path lives in
+    /// `cta-fixed`). All policies produce bitwise-identical results.
     ///
     /// # Panics
     ///
@@ -21,6 +20,17 @@ impl Matrix {
     /// assert_eq!(a.matmul(&b)[(0, 0)], 11.0);
     /// ```
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with(other, KernelPolicy::current())
+    }
+
+    /// [`Matrix::matmul`] under an explicit [`KernelPolicy`] — the
+    /// entry point differential tests and the kernel sweep use to pit
+    /// the variants against each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_with(&self, other: &Matrix, policy: KernelPolicy) -> Matrix {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -30,25 +40,13 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
-        let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o += a_ip * b_row[j];
-                }
-            }
-        }
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        matmul_panel(policy, self, other, 0, out.as_mut_slice());
         out
     }
 
-    /// Matrix product with the second operand transposed: `self · otherᵀ`.
+    /// Matrix product with the second operand transposed: `self · otherᵀ`,
+    /// under the process-wide [`KernelPolicy`].
     ///
     /// This is the natural layout for attention scores `Q · Kᵀ`: both
     /// operands are stored row-major with rows = vectors, so the product is
@@ -58,6 +56,15 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        self.matmul_transpose_b_with(other, KernelPolicy::current())
+    }
+
+    /// [`Matrix::matmul_transpose_b`] under an explicit [`KernelPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_b_with(&self, other: &Matrix, policy: KernelPolicy) -> Matrix {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -67,20 +74,8 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
-        let (m, n) = (self.rows(), other.rows());
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        }
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        matmul_tb_panel(policy, self, other, 0, out.as_mut_slice());
         out
     }
 

@@ -13,7 +13,8 @@
 
 use cta_parallel::{Parallelism, ThreadPool};
 
-use crate::Matrix;
+use crate::kernels::{matmul_panel, matmul_tb_panel};
+use crate::{KernelPolicy, Matrix};
 
 /// Rows below which a product is not worth spawning workers for: one
 /// panel per worker would be smaller than the pool's scheduling overhead.
@@ -49,26 +50,17 @@ impl Matrix {
         if par.is_serial() || self.rows() < MIN_PAR_ROWS {
             return self.matmul(other);
         }
-        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let (m, n) = (self.rows(), other.cols());
         let rows_per_panel = panel_rows(m, par.get());
         let mut out = Matrix::zeros(m, n);
         if n == 0 {
             return out;
         }
+        let policy = KernelPolicy::current();
         ThreadPool::new(par).par_chunks_mut(out.as_mut_slice(), rows_per_panel * n, |pi, panel| {
-            for (local_r, out_row) in panel.chunks_mut(n).enumerate() {
-                let a_row = self.row(pi * rows_per_panel + local_r);
-                // Same i-k-j order and zero-skip as the serial kernel.
-                for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                    if a_ip == 0.0 {
-                        continue;
-                    }
-                    let b_row = other.row(p);
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        *o += a_ip * b_row[j];
-                    }
-                }
-            }
+            // The exact serial kernels, applied per panel: term order
+            // within each output element is unchanged.
+            matmul_panel(policy, self, other, pi * rows_per_panel, panel);
         });
         out
     }
@@ -98,19 +90,10 @@ impl Matrix {
         if n == 0 {
             return out;
         }
+        let policy = KernelPolicy::current();
         ThreadPool::new(par).par_chunks_mut(out.as_mut_slice(), rows_per_panel * n, |pi, panel| {
-            for (local_r, out_row) in panel.chunks_mut(n).enumerate() {
-                let a_row = self.row(pi * rows_per_panel + local_r);
-                // Same dot-product accumulation order as the serial kernel.
-                for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0f32;
-                    for (x, y) in a_row.iter().zip(b_row) {
-                        acc += x * y;
-                    }
-                    *o = acc;
-                }
-            }
+            // Same dot-product accumulation order as the serial kernel.
+            matmul_tb_panel(policy, self, other, pi * rows_per_panel, panel);
         });
         out
     }

@@ -24,6 +24,11 @@
 //!   `--jobs` everywhere ([`Parallelism`], ordered `par_map`,
 //!   row-panel `par_chunks_mut`).
 //!
+//! Two process-wide knobs tune execution without changing a single output
+//! bit: [`Parallelism`] (`--jobs` / `CTA_JOBS`) and [`KernelPolicy`]
+//! (`--kernels` / `CTA_KERNELS`, scalar vs cache-blocked vs SIMD inner
+//! loops — pinned bitwise identical).
+//!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
 
@@ -41,3 +46,4 @@ pub use cta_workloads as workloads;
 
 pub use cta_parallel::Parallelism;
 pub use cta_serve::SweepSpec;
+pub use cta_tensor::KernelPolicy;
