@@ -1,0 +1,318 @@
+//! Replayable repro format: a [`ChaosScenario`] round-trips through the
+//! workspace's dependency-free JSON values, so a failing seed's
+//! *minimized* form can be written next to the sweep outputs and fed
+//! back through `chaos_sweep --replay`.
+
+use cta_bench::JsonValue;
+use cta_serve::{
+    CrashWindow, FaultPlan, GrayFailure, LinkStall, Partition, RoutingPolicy, Slowdown, ZoneOutage,
+};
+
+use crate::ChaosScenario;
+
+fn field<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    match obj {
+        JsonValue::Obj(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}")),
+        _ => Err(format!("expected an object around {key:?}")),
+    }
+}
+
+fn num(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    match field(obj, key)? {
+        JsonValue::Num(x) => Ok(*x),
+        JsonValue::Int(x) => Ok(*x as f64),
+        _ => Err(format!("field {key:?} must be a number")),
+    }
+}
+
+fn int(obj: &JsonValue, key: &str) -> Result<i64, String> {
+    match field(obj, key)? {
+        JsonValue::Int(x) => Ok(*x),
+        _ => Err(format!("field {key:?} must be an integer")),
+    }
+}
+
+fn index(obj: &JsonValue, key: &str) -> Result<usize, String> {
+    usize::try_from(int(obj, key)?).map_err(|_| format!("field {key:?} must be non-negative"))
+}
+
+fn boolean(obj: &JsonValue, key: &str) -> Result<bool, String> {
+    match field(obj, key)? {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(format!("field {key:?} must be a bool")),
+    }
+}
+
+fn arr<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], String> {
+    match field(obj, key)? {
+        JsonValue::Arr(items) => Ok(items),
+        _ => Err(format!("field {key:?} must be an array")),
+    }
+}
+
+/// `Some(t)` ↔ the number `t`, `None` ↔ `null` (permanent windows).
+fn opt_num(obj: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match field(obj, key)? {
+        JsonValue::Null => Ok(None),
+        JsonValue::Num(x) => Ok(Some(*x)),
+        JsonValue::Int(x) => Ok(Some(*x as f64)),
+        _ => Err(format!("field {key:?} must be a number or null")),
+    }
+}
+
+fn window(replica: usize, from: f64, until: f64) -> JsonValue {
+    JsonValue::obj(vec![
+        ("replica", JsonValue::Int(replica as i64)),
+        ("from_s", JsonValue::Num(from)),
+        ("until_s", JsonValue::Num(until)),
+    ])
+}
+
+fn plan_to_json(plan: &FaultPlan) -> JsonValue {
+    JsonValue::obj(vec![
+        (
+            "crashes",
+            JsonValue::Arr(
+                plan.crashes
+                    .iter()
+                    .map(|c| {
+                        JsonValue::obj(vec![
+                            ("replica", JsonValue::Int(c.replica as i64)),
+                            ("down_s", JsonValue::Num(c.down_s)),
+                            ("up_s", c.up_s.map_or(JsonValue::Null, JsonValue::Num)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("zones", JsonValue::Arr(plan.zones.iter().map(|&z| JsonValue::Int(z as i64)).collect())),
+        (
+            "zone_outages",
+            JsonValue::Arr(
+                plan.zone_outages
+                    .iter()
+                    .map(|z| {
+                        JsonValue::obj(vec![
+                            ("zone", JsonValue::Int(z.zone as i64)),
+                            ("down_s", JsonValue::Num(z.down_s)),
+                            ("up_s", z.up_s.map_or(JsonValue::Null, JsonValue::Num)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "partitions",
+            JsonValue::Arr(
+                plan.partitions.iter().map(|p| window(p.replica, p.from_s, p.until_s)).collect(),
+            ),
+        ),
+        (
+            "gray",
+            JsonValue::Arr(
+                plan.gray
+                    .iter()
+                    .map(|g| {
+                        JsonValue::obj(vec![
+                            ("replica", JsonValue::Int(g.replica as i64)),
+                            ("from_s", JsonValue::Num(g.from_s)),
+                            ("until_s", JsonValue::Num(g.until_s)),
+                            ("severity", JsonValue::Num(g.severity)),
+                            // u64 seeds ride bit-cast through i64.
+                            ("seed", JsonValue::Int(g.seed as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "slowdowns",
+            JsonValue::Arr(
+                plan.slowdowns
+                    .iter()
+                    .map(|s| {
+                        JsonValue::obj(vec![
+                            ("replica", JsonValue::Int(s.replica as i64)),
+                            ("from_s", JsonValue::Num(s.from_s)),
+                            ("until_s", JsonValue::Num(s.until_s)),
+                            ("factor", JsonValue::Num(s.factor)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "link_stalls",
+            JsonValue::Arr(
+                plan.link_stalls
+                    .iter()
+                    .map(|l| {
+                        JsonValue::obj(vec![
+                            ("replica", JsonValue::Int(l.replica as i64)),
+                            ("from_s", JsonValue::Num(l.from_s)),
+                            ("until_s", JsonValue::Num(l.until_s)),
+                            ("factor", JsonValue::Num(l.factor)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn plan_from_json(v: &JsonValue) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none();
+    for c in arr(v, "crashes")? {
+        plan.crashes.push(CrashWindow {
+            replica: index(c, "replica")?,
+            down_s: num(c, "down_s")?,
+            up_s: opt_num(c, "up_s")?,
+        });
+    }
+    plan.zones = match field(v, "zones")? {
+        JsonValue::Arr(items) => items
+            .iter()
+            .map(|z| match z {
+                JsonValue::Int(x) if *x >= 0 => Ok(*x as usize),
+                _ => Err("zone map entries must be non-negative integers".to_string()),
+            })
+            .collect::<Result<_, _>>()?,
+        _ => return Err("field \"zones\" must be an array".into()),
+    };
+    for z in arr(v, "zone_outages")? {
+        plan.zone_outages.push(ZoneOutage {
+            zone: index(z, "zone")?,
+            down_s: num(z, "down_s")?,
+            up_s: opt_num(z, "up_s")?,
+        });
+    }
+    for p in arr(v, "partitions")? {
+        plan.partitions.push(Partition {
+            replica: index(p, "replica")?,
+            from_s: num(p, "from_s")?,
+            until_s: num(p, "until_s")?,
+        });
+    }
+    for g in arr(v, "gray")? {
+        plan.gray.push(GrayFailure {
+            replica: index(g, "replica")?,
+            from_s: num(g, "from_s")?,
+            until_s: num(g, "until_s")?,
+            severity: num(g, "severity")?,
+            seed: int(g, "seed")? as u64,
+        });
+    }
+    for s in arr(v, "slowdowns")? {
+        plan.slowdowns.push(Slowdown {
+            replica: index(s, "replica")?,
+            from_s: num(s, "from_s")?,
+            until_s: num(s, "until_s")?,
+            factor: num(s, "factor")?,
+        });
+    }
+    for l in arr(v, "link_stalls")? {
+        plan.link_stalls.push(LinkStall {
+            replica: index(l, "replica")?,
+            from_s: num(l, "from_s")?,
+            until_s: num(l, "until_s")?,
+            factor: num(l, "factor")?,
+        });
+    }
+    Ok(plan)
+}
+
+impl ChaosScenario {
+    /// The scenario as a JSON value (see `chaos_sweep --replay`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("seed", JsonValue::Int(self.seed as i64)),
+            ("replicas", JsonValue::Int(self.replicas as i64)),
+            ("requests", JsonValue::Int(self.requests as i64)),
+            ("rate_rps", JsonValue::Num(self.rate_rps)),
+            ("routing", JsonValue::Str(self.routing.label().into())),
+            ("tenants", JsonValue::Int(self.tenants as i64)),
+            ("brownout", JsonValue::Bool(self.brownout)),
+            ("detector", JsonValue::Bool(self.detector)),
+            ("horizon_s", JsonValue::Num(self.horizon_s)),
+            ("plan", plan_to_json(&self.plan)),
+        ])
+    }
+
+    /// Parses a scenario back from [`Self::to_json`] output, validating
+    /// the embedded plan against the parsed fleet width.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/ill-typed field, out-of-range
+    /// value, or plan-validation failure.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let replicas = index(v, "replicas")?;
+        let requests = index(v, "requests")?;
+        let rate_rps = num(v, "rate_rps")?;
+        if replicas == 0 || requests == 0 {
+            return Err("replicas and requests must be positive".into());
+        }
+        if !(rate_rps > 0.0 && rate_rps.is_finite()) {
+            return Err("rate_rps must be positive and finite".into());
+        }
+        let routing_label = match field(v, "routing")? {
+            JsonValue::Str(s) => s.clone(),
+            _ => return Err("field \"routing\" must be a string".into()),
+        };
+        let routing = RoutingPolicy::parse(&routing_label)
+            .ok_or_else(|| format!("unknown routing policy {routing_label:?}"))?;
+        let plan = plan_from_json(field(v, "plan")?)?;
+        plan.try_validate(replicas).map_err(|e| format!("invalid plan: {e}"))?;
+        Ok(Self {
+            seed: int(v, "seed")? as u64,
+            replicas,
+            requests,
+            rate_rps,
+            routing,
+            tenants: u32::try_from(int(v, "tenants")?)
+                .map_err(|_| "tenants must be non-negative".to_string())?,
+            brownout: boolean(v, "brownout")?,
+            detector: boolean(v, "detector")?,
+            horizon_s: num(v, "horizon_s")?,
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChaosParams;
+    use cta_bench::parse_json;
+
+    #[test]
+    fn scenarios_round_trip_through_json_text() {
+        for seed in 0..32 {
+            let sc = ChaosScenario::sample(seed, &ChaosParams::default());
+            let text = sc.to_json().to_json();
+            let back =
+                ChaosScenario::from_json(&parse_json(&text).expect("parse")).expect("round-trip");
+            assert_eq!(back, sc, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        let missing = parse_json("{\"seed\": 1}").unwrap();
+        assert!(ChaosScenario::from_json(&missing).unwrap_err().contains("replicas"));
+        let sc = ChaosScenario::sample(1, &ChaosParams::default());
+        let mut v = sc.to_json();
+        if let JsonValue::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "routing" {
+                    *val = JsonValue::Str("warp".into());
+                }
+            }
+        }
+        assert!(ChaosScenario::from_json(&v).unwrap_err().contains("routing"));
+    }
+}

@@ -1,0 +1,146 @@
+#![deny(missing_docs)]
+
+//! `cta-chaos`: deterministic chaos testing for the CTA serving fleet.
+//!
+//! The fleet runtime composes many interacting mechanisms — routing,
+//! admission, batching, crash/retry, partitions, gray failures,
+//! brownout, tenancy, failure detection, two bitwise-equivalent engines
+//! — and each is unit-tested in isolation. What unit tests cannot cover
+//! is the *composition*: a zone outage while a tenant is backlogged
+//! while the detector holds a replica in probation. This crate closes
+//! that gap with seeded randomized testing:
+//!
+//! * [`ChaosScenario::sample`] expands one `u64` into a full draw —
+//!   fleet width, routing policy, offered load, tenancy/brownout/
+//!   detector switches, and a fault composition across all six classes
+//!   (crashes, zone outages, partitions, gray failures, slowdowns,
+//!   link stalls) — valid by construction;
+//! * [`check_report`] is the invariant library: request conservation,
+//!   bounded liveness, metrics reconciliation, availability semantics
+//!   (partitions must *not* count as downtime), tenant-fairness floors
+//!   and detector sanity, each recomputed from the raw records;
+//! * [`check_equivalence`] pins the step-granular and event-driven
+//!   engines bitwise against each other on every draw;
+//! * [`shrink`] is a delta-debugging minimizer: given a failing
+//!   scenario it drops fault events (ddmin), halves windows, shrinks
+//!   the fleet and truncates the trace until the failure is down to a
+//!   handful of events — then the scenario's JSON form
+//!   ([`ChaosScenario::to_json`]) is a replayable repro.
+//!
+//! The `chaos_sweep` binary runs seed blocks through all of the above
+//! (and `--inject-bug` mutates outcomes to prove the invariants would
+//! actually catch a conservation bug — a self-test of the net).
+
+mod invariants;
+mod json;
+mod scenario;
+mod shrink;
+
+pub use invariants::{check_equivalence, check_report, InvariantKind, Violation};
+pub use scenario::{load_spec, solo_service_s, ChaosParams, ChaosScenario, Toggle};
+pub use shrink::{plan_events, plan_from_events, shrink, PlanEvent};
+
+use cta_serve::{simulate_fleet, FleetEngine, FleetMetrics, FleetReport};
+
+/// Which engine(s) a chaos run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Step-granular reference loop only.
+    Step,
+    /// Calendar-queue event loop only.
+    Event,
+    /// Both, plus the bitwise equivalence check (the chaos default).
+    Both,
+}
+
+impl EngineChoice {
+    /// CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineChoice::Step => "step",
+            EngineChoice::Event => "event",
+            EngineChoice::Both => "both",
+        }
+    }
+
+    /// Parses a CLI word (`step` / `event` / `both`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "step" => Some(EngineChoice::Step),
+            "event" => Some(EngineChoice::Event),
+            "both" => Some(EngineChoice::Both),
+            _ => None,
+        }
+    }
+}
+
+/// Deliberate outcome corruption for self-testing the invariant net
+/// (`chaos_sweep --inject-bug`): the mutation is applied to the report
+/// *after* simulation, exactly where a bookkeeping bug would sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// No corruption — the honest run.
+    None,
+    /// Drop the last shed record, breaking request conservation (and the
+    /// count reconciliation) whenever the run shed anything.
+    DropShed,
+}
+
+impl Mutation {
+    fn apply(self, report: &mut FleetReport) {
+        match self {
+            Mutation::None => {}
+            Mutation::DropShed => {
+                report.shed.pop();
+            }
+        }
+    }
+}
+
+/// Everything one chaos run produced: the primary engine's aggregate
+/// metrics plus every invariant violation found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOutcome {
+    /// Aggregates of the primary engine (step when it ran, else event).
+    pub metrics: FleetMetrics,
+    /// Simulated events processed by the primary engine.
+    pub events_processed: u64,
+    /// All violations across the invariant library (empty = pass).
+    pub violations: Vec<Violation>,
+}
+
+impl ChaosOutcome {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one scenario under the chosen engine(s), applies `mutation` to
+/// each report, and checks the full invariant library (plus cross-engine
+/// equivalence when both engines ran). This is the oracle the sweep and
+/// the shrinker share.
+pub fn run_chaos(sc: &ChaosScenario, choice: EngineChoice, mutation: Mutation) -> ChaosOutcome {
+    let trace = sc.trace();
+    let run_engine = |engine: FleetEngine| {
+        let mut report = simulate_fleet(&sc.fleet_config(engine), &trace);
+        mutation.apply(&mut report);
+        report
+    };
+    let (primary, secondary) = match choice {
+        EngineChoice::Step => (run_engine(FleetEngine::StepGranular), None),
+        EngineChoice::Event => (run_engine(FleetEngine::EventDriven), None),
+        EngineChoice::Both => {
+            (run_engine(FleetEngine::StepGranular), Some(run_engine(FleetEngine::EventDriven)))
+        }
+    };
+    let mut violations = check_report(sc, &trace, &primary);
+    if let Some(event) = &secondary {
+        violations.extend(check_equivalence(&primary, event));
+    }
+    ChaosOutcome {
+        metrics: primary.metrics.clone(),
+        events_processed: primary.events_processed,
+        violations,
+    }
+}

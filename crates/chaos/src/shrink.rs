@@ -1,0 +1,294 @@
+//! Delta-debugging over fault schedules: given a scenario that fails an
+//! invariant oracle, find a smaller scenario that still fails. Four
+//! reductions run to fixpoint — ddmin over the flattened fault-event
+//! list, per-window halving, fleet shrinking, and trace truncation —
+//! and every candidate revalidates its plan, so the shrinker can never
+//! escape the constructor invariants the sampler guarantees.
+
+use cta_serve::{CrashWindow, FaultPlan, GrayFailure, LinkStall, Partition, Slowdown, ZoneOutage};
+
+use crate::ChaosScenario;
+
+/// Windows shorter than this stop halving — below it a fault no longer
+/// overlaps even a single layer step of the workloads we sample.
+const MIN_WINDOW_S: f64 = 1e-3;
+
+/// One fault window, unified across classes so ddmin can treat the plan
+/// as a flat event list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanEvent {
+    /// An explicit crash window.
+    Crash(CrashWindow),
+    /// A correlated zone outage.
+    Zone(ZoneOutage),
+    /// A network partition.
+    Partition(Partition),
+    /// A gray failure.
+    Gray(GrayFailure),
+    /// A deterministic slowdown.
+    Slow(Slowdown),
+    /// A host-link stall.
+    Stall(LinkStall),
+}
+
+impl PlanEvent {
+    /// The replica the event pins, if any (zone outages name a zone
+    /// instead and survive fleet shrinking on their own).
+    fn replica(&self) -> Option<usize> {
+        match self {
+            PlanEvent::Crash(c) => Some(c.replica),
+            PlanEvent::Zone(_) => None,
+            PlanEvent::Partition(p) => Some(p.replica),
+            PlanEvent::Gray(g) => Some(g.replica),
+            PlanEvent::Slow(s) => Some(s.replica),
+            PlanEvent::Stall(l) => Some(l.replica),
+        }
+    }
+
+    /// The event with its window halved toward the start, or `None`
+    /// when it is already at the floor (or has no finite end to halve).
+    fn halve(&self) -> Option<PlanEvent> {
+        fn mid(from: f64, until: f64) -> Option<f64> {
+            let len = until - from;
+            (len > MIN_WINDOW_S).then(|| from + len / 2.0)
+        }
+        match self {
+            PlanEvent::Crash(c) => {
+                let up = c.up_s?;
+                Some(PlanEvent::Crash(CrashWindow { up_s: Some(mid(c.down_s, up)?), ..*c }))
+            }
+            PlanEvent::Zone(z) => {
+                let up = z.up_s?;
+                Some(PlanEvent::Zone(ZoneOutage { up_s: Some(mid(z.down_s, up)?), ..*z }))
+            }
+            PlanEvent::Partition(p) => {
+                Some(PlanEvent::Partition(Partition { until_s: mid(p.from_s, p.until_s)?, ..*p }))
+            }
+            PlanEvent::Gray(g) => {
+                Some(PlanEvent::Gray(GrayFailure { until_s: mid(g.from_s, g.until_s)?, ..*g }))
+            }
+            PlanEvent::Slow(s) => {
+                Some(PlanEvent::Slow(Slowdown { until_s: mid(s.from_s, s.until_s)?, ..*s }))
+            }
+            PlanEvent::Stall(l) => {
+                Some(PlanEvent::Stall(LinkStall { until_s: mid(l.from_s, l.until_s)?, ..*l }))
+            }
+        }
+    }
+}
+
+/// Flattens a plan to the unified event list (class order, then the
+/// plan's own order within a class — stable, so ddmin is deterministic).
+pub fn plan_events(plan: &FaultPlan) -> Vec<PlanEvent> {
+    let mut events = Vec::with_capacity(
+        plan.crashes.len()
+            + plan.zone_outages.len()
+            + plan.partitions.len()
+            + plan.gray.len()
+            + plan.slowdowns.len()
+            + plan.link_stalls.len(),
+    );
+    events.extend(plan.crashes.iter().map(|c| PlanEvent::Crash(*c)));
+    events.extend(plan.zone_outages.iter().map(|z| PlanEvent::Zone(*z)));
+    events.extend(plan.partitions.iter().map(|p| PlanEvent::Partition(*p)));
+    events.extend(plan.gray.iter().map(|g| PlanEvent::Gray(*g)));
+    events.extend(plan.slowdowns.iter().map(|s| PlanEvent::Slow(*s)));
+    events.extend(plan.link_stalls.iter().map(|l| PlanEvent::Stall(*l)));
+    events
+}
+
+/// Rebuilds a plan from a unified event list, carrying the zone map
+/// through (validation ignores it while no zone outage remains).
+pub fn plan_from_events(zones: Vec<usize>, events: &[PlanEvent]) -> FaultPlan {
+    let mut plan = FaultPlan { zones, ..FaultPlan::none() };
+    for ev in events {
+        match ev {
+            PlanEvent::Crash(c) => plan.crashes.push(*c),
+            PlanEvent::Zone(z) => plan.zone_outages.push(*z),
+            PlanEvent::Partition(p) => plan.partitions.push(*p),
+            PlanEvent::Gray(g) => plan.gray.push(*g),
+            PlanEvent::Slow(s) => plan.slowdowns.push(*s),
+            PlanEvent::Stall(l) => plan.link_stalls.push(*l),
+        }
+    }
+    plan
+}
+
+/// `sc` with its plan rebuilt from `events`, if the result still
+/// validates (subsets of a valid plan always do; halved windows are
+/// re-checked to be safe).
+fn with_events(sc: &ChaosScenario, events: &[PlanEvent]) -> Option<ChaosScenario> {
+    let mut cand = sc.clone();
+    cand.plan = plan_from_events(sc.plan.zones.clone(), events);
+    cand.plan.try_validate(cand.replicas).ok().map(|()| cand)
+}
+
+/// `sc` narrowed to `replicas`, dropping events that pin a removed
+/// replica and truncating the zone map. `None` when the truncated plan
+/// no longer validates (e.g. a surviving outage's zone lost all
+/// members).
+fn with_replicas(sc: &ChaosScenario, replicas: usize) -> Option<ChaosScenario> {
+    let mut cand = sc.clone();
+    cand.replicas = replicas;
+    let events: Vec<PlanEvent> = plan_events(&sc.plan)
+        .into_iter()
+        .filter(|ev| ev.replica().is_none_or(|r| r < replicas))
+        .collect();
+    let mut zones = sc.plan.zones.clone();
+    zones.truncate(replicas);
+    cand.plan = plan_from_events(zones, &events);
+    cand.plan.try_validate(replicas).ok().map(|()| cand)
+}
+
+/// Classic ddmin: finds a (1-)minimal sublist of `events` on which
+/// `test` still holds. `test` must hold on the full list.
+fn ddmin(events: &[PlanEvent], test: impl Fn(&[PlanEvent]) -> bool) -> Vec<PlanEvent> {
+    if test(&[]) {
+        return Vec::new();
+    }
+    let mut current = events.to_vec();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let pieces: Vec<Vec<PlanEvent>> =
+            current.chunks(chunk).map(<[PlanEvent]>::to_vec).collect();
+        let mut reduced = false;
+        for (i, piece) in pieces.iter().enumerate() {
+            if piece.len() < current.len() && test(piece) {
+                current = piece.clone();
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+            let complement: Vec<PlanEvent> = pieces
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .flat_map(|(_, p)| p.iter().cloned())
+                .collect();
+            if complement.len() < current.len() && test(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+/// Minimizes a failing scenario. `oracle` returns `true` when a
+/// candidate still fails (reproduces the violation being chased); the
+/// input scenario must fail it. Runs the four reductions to fixpoint
+/// (bounded rounds) and returns the smallest failing scenario found.
+pub fn shrink(sc: &ChaosScenario, oracle: impl Fn(&ChaosScenario) -> bool) -> ChaosScenario {
+    let mut best = sc.clone();
+    for _round in 0..3 {
+        let before = (best.plan_events(), best.replicas, best.requests);
+
+        // 1. Drop events: ddmin over the flattened plan.
+        let events = plan_events(&best.plan);
+        if !events.is_empty() {
+            let kept =
+                ddmin(&events, |subset| with_events(&best, subset).is_some_and(|c| oracle(&c)));
+            if kept.len() < events.len() {
+                best = with_events(&best, &kept).expect("ddmin returns valid subsets");
+            }
+        }
+
+        // 2. Shorten windows: halve each survivor while it still fails.
+        loop {
+            let events = plan_events(&best.plan);
+            let halved = (0..events.len()).find_map(|i| {
+                let mut cand_events = events.clone();
+                cand_events[i] = events[i].halve()?;
+                with_events(&best, &cand_events).filter(|c| oracle(c))
+            });
+            match halved {
+                Some(cand) => best = cand,
+                None => break,
+            }
+        }
+
+        // 3. Shrink the fleet: smallest width that still fails.
+        for replicas in 2..best.replicas {
+            if let Some(cand) = with_replicas(&best, replicas).filter(|c| oracle(c)) {
+                best = cand;
+                break;
+            }
+        }
+
+        // 4. Truncate the trace (arrival draws are prefix-stable).
+        while best.requests > 8 {
+            let mut cand = best.clone();
+            cand.requests = (best.requests / 2).max(8);
+            if oracle(&cand) {
+                best = cand;
+            } else {
+                break;
+            }
+        }
+
+        if (best.plan_events(), best.replicas, best.requests) == before {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChaosParams, ChaosScenario};
+
+    #[test]
+    fn events_round_trip_through_the_flat_list() {
+        for seed in 0..32 {
+            let sc = ChaosScenario::sample(seed, &ChaosParams::default());
+            let events = plan_events(&sc.plan);
+            assert_eq!(plan_from_events(sc.plan.zones.clone(), &events), sc.plan);
+        }
+    }
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        let sc = ChaosScenario::sample(3, &ChaosParams::default());
+        let events = plan_events(&sc.plan);
+        assert!(events.len() >= 2, "seed 3 should draw several events");
+        // Oracle: "fails" iff the last event is present.
+        let culprit = events.last().unwrap().clone();
+        let kept = ddmin(&events, |subset| subset.contains(&culprit));
+        assert_eq!(kept, vec![culprit]);
+    }
+
+    #[test]
+    fn shrink_reaches_the_empty_plan_when_faults_are_irrelevant() {
+        let sc = ChaosScenario::sample(5, &ChaosParams::default());
+        assert!(sc.plan_events() > 0);
+        // Oracle ignores the plan entirely: everything "fails".
+        let min = shrink(&sc, |_| true);
+        assert_eq!(min.plan_events(), 0, "all events should be dropped");
+        assert_eq!(min.replicas, 2);
+        assert_eq!(min.requests, 8);
+    }
+
+    #[test]
+    fn shrink_preserves_failure_and_validity() {
+        let sc = ChaosScenario::sample(9, &ChaosParams::default());
+        // Oracle: fails while any partition event survives.
+        let oracle = |c: &ChaosScenario| !c.plan.partitions.is_empty();
+        if !oracle(&sc) {
+            return; // seed drew no partition; nothing to shrink against
+        }
+        let min = shrink(&sc, oracle);
+        assert!(oracle(&min), "shrinker must preserve the failure");
+        min.plan.validate(min.replicas);
+        assert_eq!(min.plan_events(), 1, "only the culprit class survives");
+    }
+}

@@ -54,4 +54,4 @@ mod rng;
 
 pub use calendar::{CalendarQueue, EventId, EventKey};
 pub use event_loop::{Clock, EventLoop};
-pub use rng::DetRng;
+pub use rng::{mix64, DetRng};

@@ -33,7 +33,8 @@ use cta_tenancy::{
     Autoscaler, Backpressure, FairQueue, ScaleEvent, TenancyStats, TenantOutcome, TokenBucket,
 };
 
-use crate::fault::FaultEvent;
+use crate::detector::DetectorBank;
+use crate::fault::{FaultEvent, FaultKind};
 use crate::overload::{BreakerEvent, BreakerState, CircuitBreaker, Transition};
 use crate::replica::{Completion, Pending, Replica};
 use crate::runtime::{FleetConfig, FleetReport, Shed};
@@ -259,6 +260,9 @@ struct EngineState<'a> {
     /// Multi-tenant stage (`None` = the single-tenant fleet, bitwise:
     /// every tenancy hook below is guarded on it).
     tenancy: Option<TenancyState>,
+    /// Failure detector (`None` = routing trusts `up` alone, bitwise:
+    /// every detector hook below is guarded on it).
+    detector: Option<DetectorBank>,
 }
 
 impl<'a> EngineState<'a> {
@@ -284,6 +288,7 @@ impl<'a> EngineState<'a> {
         if let Some(hp) = &cfg.overload.hedge {
             hp.validate();
         }
+        let detector = cfg.detector.map(|p| DetectorBank::new(p, cfg.replicas));
         let tenancy = cfg.tenancy.as_ref().map(|t| TenancyState {
             queue: FairQueue::new(t.scheduler, &t.weights),
             buckets: t.quota.map(|q| (0..t.tenants).map(|_| TokenBucket::new(q)).collect()),
@@ -322,22 +327,29 @@ impl<'a> EngineState<'a> {
             retry_removed: Vec::new(),
             hedge_added: Vec::new(),
             tenancy,
+            detector,
         }
     }
 
     /// Routable-replica mask: breaker state ANDed with the autoscaler's
-    /// enabled-and-warmed set. `None` when both mechanisms are off — the
+    /// enabled-and-warmed set ANDed with the failure detector's
+    /// quarantine state. `None` when all three mechanisms are off — the
     /// exact pre-tenancy expression, so the disabled path stays bitwise.
     fn routable_mask<S: TraceSink>(&mut self, now: f64, sink: &mut S) -> Option<Vec<bool>> {
         let breaker = settle_breakers(&mut self.breakers, now, sink);
+        let det = match self.detector.as_mut() {
+            Some(d) => Some(d.mask(&self.replicas, now, sink)),
+            None => None,
+        };
         let scaler = self.tenancy.as_ref().and_then(|t| t.scaler.as_ref());
-        match (&breaker, scaler) {
-            (None, None) => None,
-            (_, scaler) => Some(
+        match (&breaker, scaler, &det) {
+            (None, None, None) => None,
+            (_, scaler, _) => Some(
                 (0..self.replicas.len())
                     .map(|i| {
                         breaker.as_ref().is_none_or(|m| m[i])
                             && scaler.is_none_or(|s| s.routable(i, now))
+                            && det.as_ref().is_none_or(|m| m[i])
                     })
                     .collect(),
             ),
@@ -360,7 +372,8 @@ impl<'a> EngineState<'a> {
     }
 
     /// Processes `fault_events[next_fault]`: a replica crash (orphaning
-    /// its queue into retries or sheds) or recovery.
+    /// its queue into retries or sheds), a recovery, or a host-link
+    /// partition transition (stranding / resuming work in place).
     fn handle_fault<S: TraceSink>(&mut self, sink: &mut S) {
         self.events_processed += 1;
         let cfg = self.cfg;
@@ -368,7 +381,26 @@ impl<'a> EngineState<'a> {
         self.next_fault += 1;
         self.touch(ev.replica);
         let track = TrackId::new(ev.replica as u32, Module::Fault);
-        if ev.up {
+        match ev.kind {
+            FaultKind::PartitionStart => {
+                self.replicas[ev.replica].partition_start(ev.t_s);
+                if S::ENABLED {
+                    sink.instant(track, "partition-start", ev.t_s);
+                }
+                return;
+            }
+            FaultKind::PartitionEnd => {
+                let since = self.replicas[ev.replica].partition_since;
+                self.replicas[ev.replica].partition_heal(ev.t_s);
+                if S::ENABLED {
+                    sink.span(track, "partition", since, ev.t_s, SpanClass::Fault, true);
+                    sink.instant(track, "partition-heal", ev.t_s);
+                }
+                return;
+            }
+            FaultKind::Down | FaultKind::Up => {}
+        }
+        if ev.kind == FaultKind::Up {
             let since = self.replicas[ev.replica].down_since;
             self.replicas[ev.replica].recover(ev.t_s);
             if S::ENABLED {
@@ -927,6 +959,15 @@ impl<'a> EngineState<'a> {
                 }
             }
         }
+        // Completions are the detector's only sensory input: a real load
+        // balancer sees responses, not replica internals.
+        if let Some(d) = self.detector.as_mut() {
+            for idx in before..self.completions.len() {
+                let (replica, finish_s) =
+                    (self.completions[idx].replica, self.completions[idx].finish_s);
+                d.observe(replica, finish_s);
+            }
+        }
         // The step moved queued work into the batch, freeing queue
         // space: held tenancy work can dispatch now. `t0` is the step's
         // start — the instant this event occupies on the shared timeline.
@@ -964,6 +1005,12 @@ impl<'a> EngineState<'a> {
                     sink.span(track, "outage", r.down_since, end, SpanClass::Fault, true);
                 }
             }
+        }
+
+        // Likewise for quarantines still in force: their span extends to
+        // the makespan.
+        if let Some(d) = self.detector.as_ref() {
+            d.close_spans(makespan_s, sink);
         }
 
         // Likewise for breakers still open (or probing) at the end of the
@@ -1043,6 +1090,7 @@ impl<'a> EngineState<'a> {
             stats.final_active = scaler.map_or(self.cfg.replicas, |s| s.active());
             metrics.tenancy = Some(stats);
         }
+        metrics.detector = self.detector.as_ref().map(|d| d.stats(&self.cfg.faults));
         FleetReport {
             metrics,
             completions: self.completions,
@@ -1067,6 +1115,9 @@ pub(crate) fn run<S: TraceSink>(
         "requests must be sorted by arrival time"
     );
     cfg.faults.validate(cfg.replicas);
+    if let Some(d) = &cfg.detector {
+        d.validate();
+    }
     if let Some(t) = &cfg.tenancy {
         t.validate(cfg.replicas);
         assert!(

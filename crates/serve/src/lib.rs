@@ -65,6 +65,7 @@
 
 mod admission;
 mod cost;
+mod detector;
 mod engine;
 mod fault;
 pub mod harness;
@@ -79,8 +80,12 @@ pub mod sweeps;
 
 pub use admission::{AdmissionPolicy, ShedReason};
 pub use cost::CostModel;
+pub use detector::{DetectorPolicy, DetectorStats};
 pub use engine::FleetEngine;
-pub use fault::{CrashWindow, FaultPlan, LinkStall, RetryPolicy, Slowdown};
+pub use fault::{
+    CrashWindow, FaultPlan, FaultPlanError, GrayFailure, LinkStall, Partition, RetryPolicy,
+    Slowdown, ZoneOutage,
+};
 pub use harness::{Harness, PointOutput, SweepSpec};
 pub use loadgen::{
     mmpp_requests, poisson_requests, replay_trace, LoadSpec, MmppParams, TraceError,

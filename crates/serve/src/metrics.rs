@@ -49,6 +49,10 @@ pub struct FleetMetrics {
     /// fleet runs with a tenancy configuration; the runtime fills it in
     /// before publishing the report).
     pub tenancy: Option<cta_tenancy::TenancyStats>,
+    /// Failure-detector accounting (`None` unless the fleet runs with a
+    /// [`DetectorPolicy`](crate::DetectorPolicy); the runtime fills it in
+    /// before publishing the report).
+    pub detector: Option<crate::DetectorStats>,
 }
 
 /// Accounting for the closed-loop overload controls: quality brownout,
@@ -157,6 +161,7 @@ impl FleetMetrics {
                 .collect(),
             overload,
             tenancy: None,
+            detector: None,
         }
     }
 }

@@ -128,6 +128,13 @@ pub(crate) struct Replica {
     pub down_since: f64,
     /// Total seconds spent down (for availability metrics).
     pub down_s: f64,
+    /// Whether the host link to this replica is intact. A partitioned
+    /// replica (`!reachable`) is *not* down: it holds its work stranded
+    /// (no steps dispatch, nothing is evicted) until the link heals.
+    pub reachable: bool,
+    /// When the current partition began (meaningful only while
+    /// `!reachable`).
+    pub partition_since: f64,
     /// Current brownout ladder level (0 = baseline; only the overload
     /// controller moves it).
     pub level: u8,
@@ -154,6 +161,8 @@ impl Replica {
             up: true,
             down_since: 0.0,
             down_s: 0.0,
+            reachable: true,
+            partition_since: 0.0,
             level: 0,
             level_scale: 1.0,
             level_loss_pct: 0.0,
@@ -261,10 +270,26 @@ impl Replica {
         self.clock = self.clock.max(t);
     }
 
+    /// Cuts the host link at `t`: queued and mid-flight work is stranded
+    /// in place (steps pause at the next atomic layer boundary — the
+    /// replica cannot stream activations back to the host), nothing is
+    /// evicted.
+    pub fn partition_start(&mut self, t: f64) {
+        self.reachable = false;
+        self.partition_since = t;
+    }
+
+    /// Heals the host link at `t`. The stranded schedule resumes no
+    /// earlier than the heal instant.
+    pub fn partition_heal(&mut self, t: f64) {
+        self.reachable = true;
+        self.clock = self.clock.max(t);
+    }
+
     /// When the replica will next dispatch a layer step, or `None` if it
-    /// has no work or is down.
+    /// has no work, is down, or is partitioned from the host.
     pub fn next_step_time(&self) -> Option<f64> {
-        if !self.up {
+        if !self.up || !self.reachable {
             return None;
         }
         if !self.active.is_empty() {

@@ -83,6 +83,9 @@ pub struct FleetConfig {
     /// configuration with shed backpressure is also pinned bitwise
     /// against `None`).
     pub tenancy: Option<cta_tenancy::TenancyConfig>,
+    /// Phi-accrual failure detection and quarantine (`None` = routing
+    /// trusts `up` alone — the pre-detector fleet, bitwise; pinned).
+    pub detector: Option<crate::DetectorPolicy>,
 }
 
 impl FleetConfig {
@@ -102,6 +105,7 @@ impl FleetConfig {
             overload: OverloadControl::off(),
             engine: FleetEngine::StepGranular,
             tenancy: None,
+            detector: None,
         }
     }
 
@@ -125,6 +129,7 @@ impl FleetConfig {
             overload: OverloadControl::off(),
             engine: FleetEngine::StepGranular,
             tenancy: None,
+            detector: None,
         }
     }
 }

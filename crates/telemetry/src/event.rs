@@ -42,11 +42,14 @@ pub enum Module {
     /// The tenancy lane: quota-shed markers, fair-queue backlog counters,
     /// and autoscaler decisions.
     Tenancy,
+    /// The chaos/detector lane: failure-detector quarantine intervals,
+    /// probe re-admissions, and partition markers.
+    Chaos,
 }
 
 impl Module {
     /// All lanes, in display order.
-    pub const ALL: [Module; 13] = [
+    pub const ALL: [Module; 14] = [
         Module::Sa,
         Module::Cim,
         Module::Cag,
@@ -60,6 +63,7 @@ impl Module {
         Module::Worker,
         Module::Events,
         Module::Tenancy,
+        Module::Chaos,
     ];
 
     /// Human-readable lane name (the Chrome trace thread name).
@@ -78,6 +82,7 @@ impl Module {
             Module::Worker => "worker",
             Module::Events => "events",
             Module::Tenancy => "tenancy",
+            Module::Chaos => "chaos",
         }
     }
 
@@ -98,6 +103,7 @@ impl Module {
             Module::Worker => 10,
             Module::Events => 11,
             Module::Tenancy => 12,
+            Module::Chaos => 13,
         }
     }
 }

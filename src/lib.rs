@@ -15,9 +15,15 @@
 //! * [`sim`] — the cycle-level CTA accelerator model;
 //! * [`baselines`] — V100 GPU, ELSA and ideal-accelerator models;
 //! * [`workloads`] — synthetic transformer workloads and the model zoo;
+//! * [`events`] — calendar-queue event core and deterministic RNG behind
+//!   the event-driven fleet engine;
 //! * [`serve`] — the fleet serving runtime: continuous batching,
-//!   multi-replica routing, SLO-aware admission; plus the shared sweep
-//!   harness ([`SweepSpec`]) behind the sweep binaries;
+//!   multi-replica routing, SLO-aware admission, fault injection and the
+//!   phi-accrual failure detector; plus the shared sweep harness
+//!   ([`SweepSpec`]) behind the sweep binaries;
+//! * [`tenancy`] — multi-tenant fair scheduling, quotas and autoscaling;
+//! * [`chaos`] — the deterministic chaos engine: seeded scenario
+//!   sampling, the invariant library and the delta-debugging shrinker;
 //! * [`telemetry`] — zero-cost tracing: span/counter events, ring-buffer
 //!   sink, Chrome Trace Format export and aggregation reports;
 //! * [`parallel`] — the deterministic work-stealing thread pool behind
@@ -34,6 +40,8 @@
 
 pub use cta_attention as attention;
 pub use cta_baselines as baselines;
+pub use cta_chaos as chaos;
+pub use cta_events as events;
 pub use cta_fixed as fixed;
 pub use cta_lsh as lsh;
 pub use cta_model as model;
@@ -41,6 +49,7 @@ pub use cta_parallel as parallel;
 pub use cta_serve as serve;
 pub use cta_sim as sim;
 pub use cta_telemetry as telemetry;
+pub use cta_tenancy as tenancy;
 pub use cta_tensor as tensor;
 pub use cta_workloads as workloads;
 
