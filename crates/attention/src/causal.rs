@@ -129,8 +129,11 @@ pub fn cta_forward_causal(
         let (k_bar, v_bar, counts) = if past.is_empty() {
             (Matrix::zeros(0, d), Matrix::zeros(0, d), Vec::new())
         } else {
-            let snap = past.snapshot();
-            (snap.centroids.matmul(weights.wk()), snap.centroids.matmul(weights.wv()), snap.counts)
+            // Borrowing view: O(k) per block instead of cloning the full
+            // snapshot (whose cluster table grows with the prefix).
+            let view = past.as_compression();
+            let cents = Matrix::from_vec(view.k(), view.dim(), view.centroids_flat().to_vec());
+            (cents.matmul(weights.wk()), cents.matmul(weights.wv()), view.counts().to_vec())
         };
         final_centroids = k_bar.rows();
 

@@ -10,7 +10,8 @@
 //!             [--chaos-faults crash,zone,partition,gray,slow,stall]
 //!             [--gray-severity S]
 //!             [--chaos-tenancy on|off|mix] [--chaos-brownout on|off|mix]
-//!             [--detector on|off|mix] [--repro-out <path.json>]
+//!             [--detector on|off|mix] [--chaos-sessions on|off|mix]
+//!             [--repro-out <path.json>]
 //!             [--inject-bug] [--replay <repro.json>] [--trace <path.json>]
 //!             [--jobs N] [--pool-trace <path.json>]
 //! ```
@@ -43,7 +44,8 @@ const USAGE: &str = "usage: chaos_sweep [--seeds 64] [--seed0 1] [--engine step|
                    [--chaos-faults crash,zone,partition,gray,slow,stall]
                    [--gray-severity S] [--chaos-tenancy on|off|mix]
                    [--chaos-brownout on|off|mix]
-                   [--detector on|off|mix] [--repro-out <path.json>]
+                   [--detector on|off|mix] [--chaos-sessions on|off|mix]
+                   [--repro-out <path.json>]
                    [--inject-bug] [--replay <repro.json>] [--trace <path.json>]
                    [--jobs N] [--pool-trace <path.json>]";
 
@@ -56,6 +58,7 @@ const SWEEP_COLUMNS: &[&str] = &[
     "tenants",
     "brownout",
     "detector",
+    "sessions",
     "plan_events",
     "offered",
     "completed",
@@ -155,6 +158,7 @@ impl Args {
                     args.params.tenancy = keep.tenancy;
                     args.params.brownout = keep.brownout;
                     args.params.detector = keep.detector;
+                    args.params.sessions = keep.sessions;
                 }
                 "--chaos-tenancy" => {
                     let v = it.value("--chaos-tenancy")?;
@@ -177,6 +181,11 @@ impl Args {
                     let v = it.value("--detector")?;
                     args.params.detector = Toggle::parse(&v)
                         .ok_or_else(|| format!("unknown detector mode {v:?} (on|off|mix)"))?;
+                }
+                "--chaos-sessions" => {
+                    let v = it.value("--chaos-sessions")?;
+                    args.params.sessions = Toggle::parse(&v)
+                        .ok_or_else(|| format!("unknown sessions mode {v:?} (on|off|mix)"))?;
                 }
                 "--repro-out" => {
                     args.repro_out = it.value("--repro-out")?;
@@ -336,6 +345,7 @@ fn run(h: &Harness<Args>) {
                 sc.tenants.to_string(),
                 (sc.brownout as u8).to_string(),
                 (sc.detector as u8).to_string(),
+                (sc.sessions as u8).to_string(),
                 sc.plan_events().to_string(),
                 m.offered.to_string(),
                 m.completed.to_string(),
@@ -353,6 +363,7 @@ fn run(h: &Harness<Args>) {
                 ("tenants", JsonValue::Int(sc.tenants as i64)),
                 ("brownout", JsonValue::Bool(sc.brownout)),
                 ("detector", JsonValue::Bool(sc.detector)),
+                ("sessions", JsonValue::Bool(sc.sessions)),
                 ("plan_events", JsonValue::Int(sc.plan_events() as i64)),
                 ("offered", JsonValue::Int(m.offered as i64)),
                 ("completed", JsonValue::Int(m.completed as i64)),
@@ -382,6 +393,7 @@ fn run(h: &Harness<Args>) {
                 .set("tenancy", JsonValue::Str(args.params.tenancy.label().into()))
                 .set("brownout", JsonValue::Str(args.params.brownout.label().into()))
                 .set("detector", JsonValue::Str(args.params.detector.label().into()))
+                .set("sessions", JsonValue::Str(args.params.sessions.label().into()))
                 .set("inject_bug", JsonValue::Bool(args.inject));
         },
     );

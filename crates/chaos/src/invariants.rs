@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use cta_serve::{FleetReport, ServeRequest};
+use cta_serve::{FleetReport, ServeRequest, ShedReason};
 
 use crate::ChaosScenario;
 
@@ -28,6 +28,9 @@ pub enum InvariantKind {
     /// Detector stats are present exactly when the detector is armed,
     /// and internally consistent.
     Detector,
+    /// Session stats are present exactly when sessions are armed, and
+    /// reconcile with a recount of the tagged outcome records.
+    Sessions,
     /// Step-granular and event-driven engines must agree bitwise.
     Equivalence,
 }
@@ -42,6 +45,7 @@ impl InvariantKind {
             InvariantKind::Availability => "availability",
             InvariantKind::Fairness => "fairness",
             InvariantKind::Detector => "detector",
+            InvariantKind::Sessions => "sessions",
             InvariantKind::Equivalence => "equivalence",
         }
     }
@@ -311,6 +315,96 @@ pub fn check_report(
             }
         }
         (None, false) => {}
+    }
+
+    // --- Sessions: stats present iff armed, reconciled by recount. ---
+    // When armed, the scenario tags *every* request with a session turn,
+    // so completed/shed turn counts must recount to the full record sets.
+    match (&m.sessions, sc.sessions) {
+        (Some(_), false) => {
+            violation(&mut out, InvariantKind::Sessions, "session stats without sessions".into())
+        }
+        (None, true) => {
+            violation(&mut out, InvariantKind::Sessions, "sessions armed but no stats".into())
+        }
+        (Some(s), true) => {
+            let distinct: HashSet<u64> =
+                trace.iter().filter_map(|r| r.session.as_ref().map(|t| t.session)).collect();
+            if s.sessions != distinct.len() {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!("{} sessions reported, trace holds {}", s.sessions, distinct.len()),
+                );
+            }
+            let untagged = report.completions.iter().filter(|c| c.session.is_none()).count();
+            if untagged > 0 {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!("{untagged} completions lost their session tag"),
+                );
+            }
+            if s.turns_completed != report.completions.len() || s.turns_shed != report.shed.len() {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!(
+                        "turns: stats say {}/{}, records hold {}/{}",
+                        s.turns_completed,
+                        s.turns_shed,
+                        report.completions.len(),
+                        report.shed.len()
+                    ),
+                );
+            }
+            if s.sessions_lost > s.sessions {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!("{} sessions lost out of {}", s.sessions_lost, s.sessions),
+                );
+            }
+            if s.turns_shed == 0 && s.sessions_lost > 0 {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!("{} sessions lost without a shed turn", s.sessions_lost),
+                );
+            }
+            let rate = if s.turns_completed > 0 {
+                s.re_prefills as f64 / s.turns_completed as f64
+            } else {
+                0.0
+            };
+            if !close(s.re_prefill_rate, rate) {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!("re_prefill_rate {} != {rate}", s.re_prefill_rate),
+                );
+            }
+            let sane = |x: f64| x.is_finite() && x >= 0.0;
+            if !sane(s.mean_itl_s) || !sane(s.p99_itl_s) {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!(
+                        "inter-token latencies insane: mean {} p99 {}",
+                        s.mean_itl_s, s.p99_itl_s
+                    ),
+                );
+            }
+        }
+        (None, false) => {
+            if let Some(shed) = report.shed.iter().find(|x| x.reason == ShedReason::SessionLost) {
+                violation(
+                    &mut out,
+                    InvariantKind::Sessions,
+                    format!("id {} shed SessionLost with sessions off", shed.id),
+                );
+            }
+        }
     }
 
     out

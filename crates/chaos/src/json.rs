@@ -237,6 +237,7 @@ impl ChaosScenario {
             ("tenants", JsonValue::Int(self.tenants as i64)),
             ("brownout", JsonValue::Bool(self.brownout)),
             ("detector", JsonValue::Bool(self.detector)),
+            ("sessions", JsonValue::Bool(self.sessions)),
             ("horizon_s", JsonValue::Num(self.horizon_s)),
             ("plan", plan_to_json(&self.plan)),
         ])
@@ -277,6 +278,7 @@ impl ChaosScenario {
                 .map_err(|_| "tenants must be non-negative".to_string())?,
             brownout: boolean(v, "brownout")?,
             detector: boolean(v, "detector")?,
+            sessions: boolean(v, "sessions")?,
             horizon_s: num(v, "horizon_s")?,
             plan,
         })

@@ -5,9 +5,10 @@
 
 use cta_events::DetRng;
 use cta_serve::{
-    poisson_requests, BrownoutConfig, CostModel, CrashWindow, DetectorPolicy, FaultPlan,
-    FleetConfig, FleetEngine, GrayFailure, LinkStall, LoadSpec, Partition, RoutingPolicy,
-    SchedulerPolicy, ServeRequest, Slowdown, TenancyConfig, ZoneOutage,
+    poisson_requests, AdmissionPolicy, BatchPolicy, BrownoutConfig, CostModel, CrashWindow,
+    DetectorPolicy, FaultPlan, FleetConfig, FleetEngine, GrayFailure, LinkStall, LoadSpec,
+    OverloadControl, Partition, RoutingPolicy, SchedulerPolicy, ServeRequest, SessionPolicy,
+    SessionTurn, Slowdown, TenancyConfig, ZoneOutage,
 };
 use cta_sim::{AttentionTask, CtaSystem, SystemConfig};
 
@@ -84,6 +85,9 @@ pub struct ChaosParams {
     pub brownout: Toggle,
     /// Phi-accrual failure detection + quarantine.
     pub detector: Toggle,
+    /// Streaming decode sessions (sticky routing; every request becomes
+    /// a session turn when on).
+    pub sessions: Toggle,
 }
 
 impl Default for ChaosParams {
@@ -102,6 +106,7 @@ impl Default for ChaosParams {
             tenancy: Toggle::Mix,
             brownout: Toggle::Mix,
             detector: Toggle::Mix,
+            sessions: Toggle::Mix,
         }
     }
 }
@@ -165,6 +170,9 @@ pub struct ChaosScenario {
     pub brownout: bool,
     /// Phi-accrual detector armed.
     pub detector: bool,
+    /// Streaming decode sessions armed (sticky policy; the trace is
+    /// session-tagged turn-for-turn).
+    pub sessions: bool,
     /// Expected span of the arrival process, seconds; fault windows were
     /// placed relative to this.
     pub horizon_s: f64,
@@ -173,6 +181,10 @@ pub struct ChaosScenario {
 }
 
 impl ChaosScenario {
+    /// Concurrent session lanes a session-armed trace interleaves over
+    /// (request id modulo this is the session id).
+    pub const SESSION_LANES: u64 = 4;
+
     /// Expands `seed` into a scenario within `params`' bounds. The plan
     /// is valid by construction — explicit crash windows land in the
     /// first half of the horizon and zone outages in the second, so the
@@ -290,6 +302,8 @@ impl ChaosScenario {
         let tenants = if params.tenancy.resolve(rng.next_f64() < 0.5) { 2 } else { 0 };
         let brownout = params.brownout.resolve(rng.next_f64() < 0.4);
         let detector = params.detector.resolve(rng.next_f64() < 0.5);
+        // Drawn last so older seeds keep their pre-session draws intact.
+        let sessions = params.sessions.resolve(rng.next_f64() < 0.4);
 
         let scenario = Self {
             seed,
@@ -300,6 +314,7 @@ impl ChaosScenario {
             tenants,
             brownout,
             detector,
+            sessions,
             horizon_s,
             plan,
         };
@@ -308,34 +323,67 @@ impl ChaosScenario {
     }
 
     /// The scenario's request trace: a seeded Poisson process, stamped
-    /// round-robin with tenant ids when the tenancy layer is armed.
-    /// Regenerating with a smaller `requests` yields a prefix (the
-    /// arrival draws are sequential), which is what lets the shrinker
-    /// truncate the trace without perturbing surviving arrivals.
+    /// round-robin with tenant ids when the tenancy layer is armed and
+    /// with session turns when sessions are. Regenerating with a smaller
+    /// `requests` yields a prefix (the arrival draws are sequential and
+    /// the session stamping is a pure function of the request id), which
+    /// is what lets the shrinker truncate the trace without perturbing
+    /// surviving arrivals.
     pub fn trace(&self) -> Vec<ServeRequest> {
         let spec = load_spec();
         poisson_requests(&spec, self.requests, self.rate_rps, self.seed ^ 0xA5A5)
             .into_iter()
             .map(|r| {
                 let tenant = if self.tenants > 0 { (r.id % self.tenants as u64) as u32 } else { 0 };
-                r.with_tenant(tenant)
+                let r = r.with_tenant(tenant);
+                if self.sessions {
+                    let turn = self.session_turn(r.id);
+                    r.with_session(turn)
+                } else {
+                    r
+                }
             })
             .collect()
+    }
+
+    /// The session turn request `id` carries when sessions are armed: a
+    /// pure hash of (scenario seed, id), so truncating the trace leaves
+    /// every surviving turn untouched. Ids interleave over
+    /// [`Self::SESSION_LANES`] concurrent sessions; arrival order within
+    /// a session is turn order because arrivals are id-sorted.
+    fn session_turn(&self, id: u64) -> SessionTurn {
+        let mut h = (id ^ self.seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        let decode_tokens = 16 + (h % 48) as u32;
+        SessionTurn {
+            session: id % Self::SESSION_LANES,
+            turn: (id / Self::SESSION_LANES) as u32,
+            decode_tokens,
+            reclusters: cta_sim::reclusters_for(decode_tokens as u64, 0.02, 0.5) as u32,
+            // An occasional early release exercises the residency-drop
+            // path; the next lane occupant re-registers at its turn.
+            last: h.is_multiple_of(8),
+        }
     }
 
     /// The fleet configuration this scenario runs under the given
     /// engine. Sharded defaults (bounded queues, batching up to 4) plus
     /// the sampled routing policy, fault plan, and feature switches.
     pub fn fleet_config(&self, engine: FleetEngine) -> FleetConfig {
-        let mut cfg = FleetConfig::sharded(SystemConfig::paper(), self.replicas);
-        cfg.engine = engine;
-        cfg.routing = self.routing;
-        cfg.faults = self.plan.clone();
+        let mut b = FleetConfig::builder(SystemConfig::paper())
+            .replicas(self.replicas)
+            .routing(self.routing)
+            .admission(AdmissionPolicy::bounded(64))
+            .batch(BatchPolicy::up_to(4))
+            .engine(engine)
+            .faults(self.plan.clone());
         if self.tenants > 0 {
-            cfg.tenancy = Some(TenancyConfig::equal_weight(self.tenants, SchedulerPolicy::Drr));
+            b = b.tenancy(TenancyConfig::equal_weight(self.tenants, SchedulerPolicy::Drr));
         }
         if self.brownout {
-            cfg.overload.brownout = Some(BrownoutConfig::standard());
+            let mut overload = OverloadControl::off();
+            overload.brownout = Some(BrownoutConfig::standard());
+            b = b.overload(overload);
         }
         if self.detector {
             // Probation scaled to the horizon so quarantined replicas
@@ -358,9 +406,12 @@ impl ChaosScenario {
             // interval plateaus near 2-3x the fleet mean long before the
             // production 4x trigger would notice.
             policy.gray_ratio = Some(2.5);
-            cfg.detector = Some(policy);
+            b = b.detector(policy);
         }
-        cfg
+        if self.sessions {
+            b = b.sessions(SessionPolicy::sticky());
+        }
+        b.build().expect("sampled scenarios validate their plans")
     }
 
     /// Total fault events in the plan (windows across every class) —

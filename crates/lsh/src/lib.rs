@@ -43,5 +43,5 @@ pub use codes::HashCodes;
 pub use compress::{compress, compress_two_level, Compression, TwoLevelCompression};
 pub use family::{LshFamily, LshParams};
 pub use kmeans::{kmeans, KMeansRun};
-pub use streaming::StreamingCompressor;
+pub use streaming::{CompressionView, StreamingCompressor};
 pub use table::ClusterTable;

@@ -16,12 +16,14 @@ use cta_serve::{
 use cta_sim::{AttentionTask, SystemConfig};
 
 fn config(replicas: usize, engine: FleetEngine) -> FleetConfig {
-    let mut cfg = FleetConfig::sharded(SystemConfig::paper(), replicas);
-    cfg.engine = engine;
-    cfg.routing = RoutingPolicy::RoundRobin;
-    cfg.batch = BatchPolicy::up_to(4);
-    cfg.admission = AdmissionPolicy::bounded(32);
-    cfg
+    FleetConfig::builder(SystemConfig::paper())
+        .replicas(replicas)
+        .engine(engine)
+        .routing(RoutingPolicy::RoundRobin)
+        .batch(BatchPolicy::up_to(4))
+        .admission(AdmissionPolicy::bounded(32))
+        .build()
+        .expect("valid bench fleet")
 }
 
 fn bench_fleet(c: &mut Criterion) {

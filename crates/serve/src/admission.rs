@@ -28,6 +28,12 @@ pub enum ShedReason {
     /// The owning tenant's token-bucket quota was exhausted; the request
     /// was rejected at arrival, before occupying any queue space.
     QuotaExceeded,
+    /// The request's decode session was lost: a crash evicted the
+    /// session's compression state and the turn could not re-prefill
+    /// elsewhere under the retry budget, or an earlier turn of the same
+    /// session was shed. Later turns of a lost session shed with this
+    /// reason at arrival.
+    SessionLost,
 }
 
 /// Admission-control configuration.

@@ -1,0 +1,8 @@
+//! Thin adapter over [`cta_serve::sweeps::decode_sweep`] — see that
+//! module for the experiment description and flag reference.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    cta_serve::sweeps::decode_sweep::main(std::env::args().skip(1))
+}

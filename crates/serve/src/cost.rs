@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use cta_sim::{AttentionTask, CtaSystem, LayerStep, PhaseSplit, TaskCost};
 
-use crate::ServeRequest;
+use crate::{ServeRequest, SessionTurn};
 
 /// A memo of per-task costs for one hardware configuration.
 ///
@@ -37,6 +37,10 @@ pub struct CostModel {
     /// telemetry asks for them (the untraced hot path never touches this
     /// map).
     phases: HashMap<(u8, AttentionTask), PhaseSplit>,
+    /// Decode-segment costs, keyed by the full decode shape: the
+    /// steady-state prefix task plus the segment's token and re-cluster
+    /// counts. Only session-tagged requests touch this map.
+    decode: HashMap<(AttentionTask, u32, u32), TaskCost>,
 }
 
 impl CostModel {
@@ -103,6 +107,23 @@ impl CostModel {
         })
     }
 
+    /// The cost of one head's decode segment: `turn.decode_tokens`
+    /// incremental steps plus `turn.reclusters` level-2 rebuilds at the
+    /// steady-state prefix described by `task`
+    /// ([`CtaSystem::decode_head_cost`]). Memoised by the full decode
+    /// shape, so two turns of equal length at the same prefix simulate
+    /// once.
+    pub fn decode_head(
+        &mut self,
+        system: &CtaSystem,
+        task: &AttentionTask,
+        turn: &SessionTurn,
+    ) -> TaskCost {
+        *self.decode.entry((*task, turn.decode_tokens, turn.reclusters)).or_insert_with(|| {
+            system.decode_head_cost(task, turn.decode_tokens as u64, turn.reclusters as u64)
+        })
+    }
+
     /// Executes one layer dispatch through
     /// [`CtaSystem::step_layer_costed`] using cached baseline head costs.
     ///
@@ -114,6 +135,38 @@ impl CostModel {
         system.step_layer_costed(tasks, &costs)
     }
 
+    /// [`step_layer`](Self::step_layer) priced as a decode segment: every
+    /// head advances `turn.decode_tokens` incremental tokens instead of
+    /// recompressing its prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn step_layer_decode(
+        &mut self,
+        system: &CtaSystem,
+        tasks: &[AttentionTask],
+        turn: &SessionTurn,
+    ) -> LayerStep {
+        let costs: Vec<TaskCost> =
+            tasks.iter().map(|t| self.decode_head(system, t, turn)).collect();
+        system.step_layer_costed(tasks, &costs)
+    }
+
+    /// Seconds a replica needs to rebuild a session's compression state
+    /// from scratch: the compression phase of every head of every layer
+    /// (the linears and the query loop are not re-run by a re-prefill).
+    /// This is what a crash-evicted or re-routed session pays before its
+    /// next decode turn can run.
+    pub fn session_prefill_s(&mut self, system: &CtaSystem, request: &ServeRequest) -> f64 {
+        request
+            .layer_tasks
+            .iter()
+            .flatten()
+            .map(|t| self.phase_split(system, t).compression_s)
+            .sum()
+    }
+
     /// Estimated *solo* service time of a request on an idle replica at
     /// the baseline operating point: the one-time weight upload plus every
     /// layer's step time, with no batching. Under continuous batching the
@@ -122,6 +175,14 @@ impl CostModel {
     /// valid admissibility lower bound. Degraded replicas run *faster*
     /// than this, so the bound stays valid fleet-wide under brownout.
     pub fn request_service_s(&mut self, system: &CtaSystem, request: &ServeRequest) -> f64 {
+        if let Some(turn) = request.session {
+            return system.weight_upload_s()
+                + request
+                    .layer_tasks
+                    .iter()
+                    .map(|tasks| self.step_layer_decode(system, tasks, &turn).elapsed_s)
+                    .sum::<f64>();
+        }
         system.weight_upload_s()
             + request
                 .layer_tasks
@@ -140,6 +201,15 @@ impl CostModel {
         cursor: usize,
     ) -> f64 {
         let upload = if cursor == 0 { system.weight_upload_s() } else { 0.0 };
+        if let Some(turn) = request.session {
+            return upload
+                + request
+                    .layer_tasks
+                    .iter()
+                    .skip(cursor)
+                    .map(|tasks| self.step_layer_decode(system, tasks, &turn).elapsed_s)
+                    .sum::<f64>();
+        }
         upload
             + request
                 .layer_tasks
@@ -228,6 +298,46 @@ mod tests {
         let est = cost.request_service_s(&sys, &r);
         let run = sys.run_layers(&r.layer_tasks);
         assert!((est - run.total_s).abs() < 1e-15, "est {est} vs run {}", run.total_s);
+    }
+
+    #[test]
+    fn decode_turns_are_cheaper_than_prefill_and_memoise() {
+        let sys = system();
+        let mut cost = CostModel::new();
+        let turn =
+            SessionTurn { session: 0, turn: 1, decode_tokens: 4, reclusters: 0, last: false };
+        // Compute-heavy shape (few queries, many keys): the layer step is
+        // critical-path-bound, so the decode discount is visible in
+        // elapsed time (a transfer-bound shape would tie — transfers are
+        // identical either way under the paper config's overlap). The turn
+        // is short and re-cluster-free: each incremental token still pays
+        // a PAG pass over the whole 512-token prefix, so long segments —
+        // and any level-2 rebuild — legitimately exceed one prefill.
+        let heavy = AttentionTask::from_counts(16, 512, 64, 8, 180, 40, 6);
+        let prefill = ServeRequest::uniform(0, 0.0, QosClass::standard(), heavy, 4, 8);
+        let decode = prefill.clone().with_session(turn);
+        let full = cost.request_service_s(&sys, &prefill);
+        let inc = cost.request_service_s(&sys, &decode);
+        assert!(inc < full, "decode {inc} must undercut prefill {full}");
+        // The decode memo holds exactly one entry and agrees with the
+        // direct simulation.
+        assert_eq!(cost.decode_head(&sys, &task(), &turn), sys.decode_head_cost(&task(), 4, 0));
+        // Cursor math matches the batch path's.
+        assert_eq!(cost.remaining_service_s(&sys, &decode, 0), inc);
+        assert_eq!(cost.remaining_service_s(&sys, &decode, 4), 0.0);
+        assert!(cost.remaining_service_s(&sys, &decode, 2) < inc);
+    }
+
+    #[test]
+    fn session_prefill_is_the_compression_share_of_the_model() {
+        let sys = system();
+        let mut cost = CostModel::new();
+        let r = ServeRequest::uniform(0, 0.0, QosClass::standard(), task(), 3, 4);
+        let prefill = cost.session_prefill_s(&sys, &r);
+        let per_head = sys.head_phase_split(&task()).compression_s;
+        assert!((prefill - 12.0 * per_head).abs() < 1e-15);
+        assert!(prefill > 0.0);
+        assert!(prefill < cost.request_service_s(&sys, &r), "re-prefill skips linears + queries");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! replica index; and the calendar queue breaks any remaining tie by
 //! schedule order.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use cta_events::{EventId, EventLoop};
 use cta_sim::CtaSystem;
@@ -39,7 +39,8 @@ use crate::overload::{BreakerEvent, BreakerState, CircuitBreaker, Transition};
 use crate::replica::{Completion, Pending, Replica};
 use crate::runtime::{FleetConfig, FleetReport, Shed};
 use crate::{
-    BrownoutController, BrownoutLadder, CostModel, FleetMetrics, ServeRequest, ShedReason,
+    BrownoutController, BrownoutLadder, CostModel, FleetMetrics, ServeRequest, SessionStats,
+    ShedReason,
 };
 
 /// Which driver advances the fleet simulation.
@@ -263,6 +264,23 @@ struct EngineState<'a> {
     /// Failure detector (`None` = routing trusts `up` alone, bitwise:
     /// every detector hook below is guarded on it).
     detector: Option<DetectorBank>,
+    /// Whether the fleet runs a [`SessionPolicy`](crate::SessionPolicy).
+    /// Every session hook below is guarded on it, so the sessions-off
+    /// fleet executes the exact pre-session event loop (pinned bitwise by
+    /// the goldens).
+    session_on: bool,
+    /// Session residency: session id → replica holding its compression
+    /// state. `BTreeMap` so any iteration is deterministic.
+    sessions: BTreeMap<u64, usize>,
+    /// Sessions with a shed turn: the state can never advance past the
+    /// hole, so every later turn sheds [`ShedReason::SessionLost`] at
+    /// arrival.
+    lost_sessions: BTreeSet<u64>,
+    /// Re-prefill events charged to turns past the first (crash
+    /// evictions and non-sticky replica moves).
+    re_prefills: usize,
+    /// Session turns shed, for conservation accounting.
+    session_turns_shed: usize,
 }
 
 impl<'a> EngineState<'a> {
@@ -328,6 +346,46 @@ impl<'a> EngineState<'a> {
             hedge_added: Vec::new(),
             tenancy,
             detector,
+            session_on: cfg.sessions.is_some(),
+            sessions: BTreeMap::new(),
+            lost_sessions: BTreeSet::new(),
+            re_prefills: 0,
+            session_turns_shed: 0,
+        }
+    }
+
+    /// Records a shed session turn: the whole session is lost (its prefix
+    /// state cannot advance past a hole in the turn sequence) and any
+    /// resident state is released.
+    fn note_session_shed(&mut self, request: &ServeRequest) {
+        if !self.session_on {
+            return;
+        }
+        if let Some(turn) = &request.session {
+            self.session_turns_shed += 1;
+            self.lost_sessions.insert(turn.session);
+            if let Some(r) = self.sessions.remove(&turn.session) {
+                self.replicas[r].resident_sessions.retain(|(s, _)| *s != turn.session);
+            }
+        }
+    }
+
+    /// Records that `turn`'s session state now lives on `target` (called
+    /// after the turn is enqueued there). A move off the previous replica
+    /// releases the old residency; a move on a turn past the first is a
+    /// re-prefill event. `hold_s` is the occupancy charge the new replica
+    /// carries while the state is resident (0 with state accounting off).
+    fn place_session(&mut self, session: u64, turn: u32, target: usize, hold_s: f64) {
+        let prev = self.sessions.insert(session, target);
+        if prev == Some(target) {
+            return;
+        }
+        if let Some(p) = prev {
+            self.replicas[p].resident_sessions.retain(|(s, _)| *s != session);
+        }
+        self.replicas[target].resident_sessions.push((session, hold_s));
+        if turn > 0 {
+            self.re_prefills += 1;
         }
     }
 
@@ -417,6 +475,15 @@ impl<'a> EngineState<'a> {
             if S::ENABLED {
                 sink.instant(track, "replica-down", ev.t_s);
             }
+            // A crash evicts every resident session's compression state:
+            // the next turn of each must re-prefill wherever it lands.
+            if self.session_on {
+                for (s, _) in std::mem::take(&mut self.replicas[ev.replica].resident_sessions) {
+                    if self.sessions.get(&s) == Some(&ev.replica) {
+                        self.sessions.remove(&s);
+                    }
+                }
+            }
             if let Some(bs) = self.breakers.as_mut() {
                 let prev = bs[ev.replica].state();
                 if let Some(BreakerEvent::Opened { at_s }) = bs[ev.replica].record_failure(ev.t_s) {
@@ -446,15 +513,25 @@ impl<'a> EngineState<'a> {
                     continue;
                 }
                 let attempt = p.attempt + 1;
+                // An orphaned session turn loses its layer progress with
+                // the evicted compression state: it resumes from layer 0
+                // (and re-prefills wherever it is placed).
+                let cursor = if p.request.session.is_some() { 0 } else { p.resume_cursor };
+                let lost_reason = if p.request.session.is_some() {
+                    ShedReason::SessionLost
+                } else {
+                    ShedReason::ReplicaLost
+                };
                 if attempt > cfg.retry.max_attempts {
                     self.shed.push(Shed {
                         id: p.request.id,
                         class: p.request.class.name,
                         arrival_s: p.request.arrival_s,
-                        reason: ShedReason::ReplicaLost,
+                        reason: lost_reason,
                         retries: p.attempt,
                         tenant: p.request.tenant,
                     });
+                    self.note_session_shed(&p.request);
                     continue;
                 }
                 let retry_s = ev.t_s + cfg.retry.backoff(attempt);
@@ -463,24 +540,22 @@ impl<'a> EngineState<'a> {
                 // budget.
                 if cfg.admission.enforce_deadlines {
                     if let Some(d) = p.request.class.deadline_s {
-                        let remaining = self.cost.remaining_service_s(
-                            &self.system,
-                            &p.request,
-                            p.resume_cursor,
-                        ) + if p.resume_cursor > 0 {
-                            self.system.weight_upload_s()
-                        } else {
-                            0.0
-                        };
+                        let mut remaining =
+                            self.cost.remaining_service_s(&self.system, &p.request, cursor)
+                                + if cursor > 0 { self.system.weight_upload_s() } else { 0.0 };
+                        if p.request.session.is_some() {
+                            remaining += self.cost.session_prefill_s(&self.system, &p.request);
+                        }
                         if retry_s + remaining > p.request.arrival_s + d {
                             self.shed.push(Shed {
                                 id: p.request.id,
                                 class: p.request.class.name,
                                 arrival_s: p.request.arrival_s,
-                                reason: ShedReason::ReplicaLost,
+                                reason: lost_reason,
                                 retries: p.attempt,
                                 tenant: p.request.tenant,
                             });
+                            self.note_session_shed(&p.request);
                             continue;
                         }
                     }
@@ -490,12 +565,7 @@ impl<'a> EngineState<'a> {
                     sink.instant(track, "requeue", ev.t_s);
                     sink.counter(track, "retries", ev.t_s, self.requeues_total as f64);
                 }
-                self.queue_retry(RetryEntry {
-                    retry_s,
-                    attempt,
-                    cursor: p.resume_cursor,
-                    request: p.request,
-                });
+                self.queue_retry(RetryEntry { retry_s, attempt, cursor, request: p.request });
             }
         }
     }
@@ -513,14 +583,54 @@ impl<'a> EngineState<'a> {
         sink: &mut S,
     ) -> Dispatch {
         let cfg = self.cfg;
+        // Lost-session fast path: a session that already shed a turn can
+        // never complete, so later turns shed before touching any routing
+        // or admission state.
+        if self.session_on {
+            if let Some(turn) = &request.session {
+                if self.lost_sessions.contains(&turn.session) {
+                    if S::ENABLED {
+                        let track = TrackId::new(0, Module::Runtime);
+                        sink.instant(track, "shed-session-lost", now);
+                    }
+                    self.shed.push(Shed {
+                        id: request.id,
+                        class: request.class.name,
+                        arrival_s: request.arrival_s,
+                        reason: ShedReason::SessionLost,
+                        retries: 0,
+                        tenant: request.tenant,
+                    });
+                    self.note_session_shed(request);
+                    return Dispatch::Shed;
+                }
+            }
+        }
         let mask = self.routable_mask(now, sink);
-        let Some(target) = cfg.routing.choose(
-            &mut self.replicas,
-            &mut self.cost,
-            now,
-            &mut self.rr_cursor,
-            mask.as_deref(),
-        ) else {
+        // Sticky routing: a turn of a resident session goes back to the
+        // replica holding its compression state, under the same
+        // eligibility `choose` applies (up, not masked out). An ineligible
+        // holder falls through to the configured policy — and pays the
+        // re-prefill below.
+        let sticky = if self.session_on && cfg.sessions.as_ref().is_some_and(|p| p.sticky) {
+            request
+                .session
+                .and_then(|turn| self.sessions.get(&turn.session).copied())
+                .filter(|&i| self.replicas[i].up && mask.as_ref().is_none_or(|m| m[i]))
+        } else {
+            None
+        };
+        let chosen = match sticky {
+            Some(t) => Some(t),
+            None => cfg.routing.choose(
+                &mut self.replicas,
+                &mut self.cost,
+                now,
+                &mut self.rr_cursor,
+                mask.as_deref(),
+            ),
+        };
+        let Some(target) = chosen else {
             // No routable replica: the whole fleet is down (or every
             // enabled replica is still warming). Hold parks the request;
             // otherwise nothing can take it.
@@ -535,13 +645,31 @@ impl<'a> EngineState<'a> {
                 id: request.id,
                 class: request.class.name,
                 arrival_s: request.arrival_s,
-                reason: ShedReason::ReplicaLost,
+                reason: if request.session.is_some() {
+                    ShedReason::SessionLost
+                } else {
+                    ShedReason::ReplicaLost
+                },
                 retries: 0,
                 tenant: request.tenant,
             });
+            self.note_session_shed(request);
             return Dispatch::Shed;
         };
-        let est_service_s = self.cost.request_service_s(&self.system, request);
+        let mut est_service_s = self.cost.request_service_s(&self.system, request);
+        // A turn landing anywhere but its resident replica (including
+        // every session's first turn) rebuilds the prefix state before it
+        // can decode; the debt rides both the admission estimate and the
+        // queued entry.
+        let mut re_prefill_s = 0.0;
+        if self.session_on {
+            if let Some(turn) = &request.session {
+                if self.sessions.get(&turn.session) != Some(&target) {
+                    re_prefill_s = self.cost.session_prefill_s(&self.system, request);
+                    est_service_s += re_prefill_s;
+                }
+            }
+        }
         let est_wait_s = self.replicas[target].outstanding_s(&mut self.cost, now);
         // A held request has already aged in the fair queue; its deadline
         // budget shrinks accordingly. The guard keeps the direct path
@@ -556,16 +684,33 @@ impl<'a> EngineState<'a> {
             est_latency_s,
         ) {
             Ok(()) => {
-                self.replicas[target].enqueue(Pending::fresh(request.clone(), est_service_s));
+                let mut pending = Pending::fresh(request.clone(), est_service_s);
+                if re_prefill_s > 0.0 {
+                    pending.re_prefill_s = re_prefill_s;
+                }
+                self.replicas[target].enqueue(pending);
+                if self.session_on {
+                    if let Some(turn) = &request.session {
+                        let account = cfg.sessions.as_ref().is_some_and(|p| p.account_state);
+                        let hold_s = if account { re_prefill_s } else { 0.0 };
+                        self.place_session(turn.session, turn.turn, target, hold_s);
+                        if S::ENABLED && re_prefill_s > 0.0 && turn.turn > 0 {
+                            let track = TrackId::new(target as u32, Module::Runtime);
+                            sink.instant(track, "session-re-prefill", now);
+                        }
+                    }
+                }
                 self.touch(target);
                 if let Some(bs) = self.breakers.as_mut() {
                     bs[target].on_dispatch();
                 }
                 // Deadline-bearing admissions arm a hedge timer at the
                 // windowed-p99 delay; the check fires only if the request
-                // is still in flight then.
+                // is still in flight then. Session turns never hedge — a
+                // copy on a second replica would fork the session's
+                // compression state.
                 if let Some(hp) = &cfg.overload.hedge {
-                    if request.class.deadline_s.is_some() {
+                    if request.class.deadline_s.is_some() && request.session.is_none() {
                         let fire_s = now + hp.delay_s(&self.lat_window);
                         if self.record {
                             self.hedge_added.push((fire_s, request.id));
@@ -604,6 +749,7 @@ impl<'a> EngineState<'a> {
                     retries: 0,
                     tenant: request.tenant,
                 });
+                self.note_session_shed(request);
                 Dispatch::Shed
             }
         }
@@ -637,6 +783,7 @@ impl<'a> EngineState<'a> {
                 retries: 0,
                 tenant,
             });
+            self.note_session_shed(&request);
             return;
         }
         let ts = self.tenancy.as_mut().expect("tenancy on");
@@ -756,6 +903,25 @@ impl<'a> EngineState<'a> {
         let cfg = self.cfg;
         let entry = self.retries.remove(0);
         let now = entry.retry_s;
+        // A later turn of the same session may have shed while this one
+        // waited out its backoff; the session is already lost, so placing
+        // the requeue would waste fleet time on a dead session.
+        if self.session_on {
+            if let Some(turn) = &entry.request.session {
+                if self.lost_sessions.contains(&turn.session) {
+                    self.shed.push(Shed {
+                        id: entry.request.id,
+                        class: entry.request.class.name,
+                        arrival_s: entry.request.arrival_s,
+                        reason: ShedReason::SessionLost,
+                        retries: entry.attempt,
+                        tenant: entry.request.tenant,
+                    });
+                    self.note_session_shed(&entry.request);
+                    return;
+                }
+            }
+        }
         let mask = self.routable_mask(now, sink);
         match cfg.routing.choose(
             &mut self.replicas,
@@ -769,19 +935,44 @@ impl<'a> EngineState<'a> {
                 // queue directly (no depth shedding) with a remaining-work
                 // estimate that charges the fresh weight upload its resume
                 // will pay.
-                let est_service_s =
+                let mut est_service_s =
                     self.cost.remaining_service_s(&self.system, &entry.request, entry.cursor)
                         + if entry.cursor > 0 { self.system.weight_upload_s() } else { 0.0 };
+                // A crash-evicted session turn re-prefills on its new
+                // replica (its residency died with the crashed one).
+                let mut re_prefill_s = 0.0;
+                if self.session_on {
+                    if let Some(turn) = &entry.request.session {
+                        if self.sessions.get(&turn.session) != Some(&target) {
+                            re_prefill_s =
+                                self.cost.session_prefill_s(&self.system, &entry.request);
+                            est_service_s += re_prefill_s;
+                        }
+                    }
+                }
                 if S::ENABLED {
                     let track = TrackId::new(target as u32, Module::Runtime);
                     sink.instant(track, "requeue-placed", now);
                 }
+                let session_turn = entry.request.session;
                 self.replicas[target].enqueue(Pending {
                     request: entry.request,
                     est_service_s,
                     resume_cursor: entry.cursor,
                     attempt: entry.attempt,
+                    re_prefill_s,
                 });
+                if self.session_on {
+                    if let Some(turn) = &session_turn {
+                        let account = cfg.sessions.as_ref().is_some_and(|p| p.account_state);
+                        let hold_s = if account { re_prefill_s } else { 0.0 };
+                        self.place_session(turn.session, turn.turn, target, hold_s);
+                        if S::ENABLED && re_prefill_s > 0.0 && turn.turn > 0 {
+                            let track = TrackId::new(target as u32, Module::Runtime);
+                            sink.instant(track, "session-re-prefill", now);
+                        }
+                    }
+                }
                 self.touch(target);
                 if let Some(bs) = self.breakers.as_mut() {
                     bs[target].on_dispatch();
@@ -796,10 +987,15 @@ impl<'a> EngineState<'a> {
                         id: entry.request.id,
                         class: entry.request.class.name,
                         arrival_s: entry.request.arrival_s,
-                        reason: ShedReason::ReplicaLost,
+                        reason: if entry.request.session.is_some() {
+                            ShedReason::SessionLost
+                        } else {
+                            ShedReason::ReplicaLost
+                        },
                         retries: entry.attempt,
                         tenant: entry.request.tenant,
                     });
+                    self.note_session_shed(&entry.request);
                 } else {
                     self.requeues_total += 1;
                     if S::ENABLED {
@@ -959,6 +1155,19 @@ impl<'a> EngineState<'a> {
                 }
             }
         }
+        // A session's final turn retiring releases the replica's resident
+        // compression state (and the occupancy hold that came with it).
+        if self.session_on {
+            for idx in before..self.completions.len() {
+                if let Some(turn) = self.completions[idx].session {
+                    if turn.last {
+                        if let Some(r) = self.sessions.remove(&turn.session) {
+                            self.replicas[r].resident_sessions.retain(|(s, _)| *s != turn.session);
+                        }
+                    }
+                }
+            }
+        }
         // Completions are the detector's only sensory input: a real load
         // balancer sees responses, not replica internals.
         if let Some(d) = self.detector.as_mut() {
@@ -987,10 +1196,15 @@ impl<'a> EngineState<'a> {
                 id: request.id,
                 class: request.class.name,
                 arrival_s: request.arrival_s,
-                reason: ShedReason::ReplicaLost,
+                reason: if request.session.is_some() {
+                    ShedReason::SessionLost
+                } else {
+                    ShedReason::ReplicaLost
+                },
                 retries: 0,
                 tenant,
             });
+            self.note_session_shed(&request);
         }
         // Close the books on replicas still down at the end of the run:
         // their open outage extends to the fleet makespan (or the crash
@@ -1091,6 +1305,30 @@ impl<'a> EngineState<'a> {
             metrics.tenancy = Some(stats);
         }
         metrics.detector = self.detector.as_ref().map(|d| d.stats(&self.cfg.faults));
+        if self.cfg.sessions.is_some() {
+            let mut ids: BTreeSet<u64> = BTreeSet::new();
+            for r in self.requests {
+                if let Some(t) = &r.session {
+                    ids.insert(t.session);
+                }
+            }
+            let mut itls: Vec<f64> = Vec::new();
+            let mut turns_completed = 0usize;
+            for c in &self.completions {
+                if let Some(t) = &c.session {
+                    turns_completed += 1;
+                    itls.push(c.latency_s() / t.decode_tokens as f64);
+                }
+            }
+            metrics.sessions = Some(SessionStats::new(
+                ids.len(),
+                turns_completed,
+                self.session_turns_shed,
+                self.lost_sessions.len(),
+                self.re_prefills,
+                &itls,
+            ));
+        }
         FleetReport {
             metrics,
             completions: self.completions,
@@ -1115,6 +1353,12 @@ pub(crate) fn run<S: TraceSink>(
         "requests must be sorted by arrival time"
     );
     cfg.faults.validate(cfg.replicas);
+    if cfg.sessions.is_none() {
+        assert!(
+            requests.iter().all(|r| r.session.is_none()),
+            "session-tagged requests require a session policy (FleetConfig::sessions)"
+        );
+    }
     if let Some(d) = &cfg.detector {
         d.validate();
     }

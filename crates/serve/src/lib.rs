@@ -88,18 +88,22 @@ pub use fault::{
 };
 pub use harness::{Harness, PointOutput, SweepSpec};
 pub use loadgen::{
-    mmpp_requests, poisson_requests, replay_trace, LoadSpec, MmppParams, TraceError,
+    mmpp_requests, poisson_requests, replay_trace, session_requests, LoadSpec, MmppParams,
+    TraceError,
 };
-pub use metrics::{FleetMetrics, OverloadStats};
+pub use metrics::{FleetMetrics, OverloadStats, SessionStats};
 pub use overload::{
     BreakerEvent, BreakerPolicy, BreakerState, BrownoutConfig, BrownoutController, BrownoutLadder,
     BrownoutLevel, CircuitBreaker, ControllerPolicy, HedgePolicy, OverloadControl, Transition,
     MAX_BROWNOUT_LEVELS,
 };
 pub use replica::{BatchPolicy, Completion};
-pub use request::{QosClass, ServeRequest};
+pub use request::{QosClass, ServeRequest, SessionTurn};
 pub use routing::RoutingPolicy;
-pub use runtime::{simulate_fleet, simulate_fleet_traced, FleetConfig, FleetReport, Shed};
+pub use runtime::{
+    simulate_fleet, simulate_fleet_traced, ConfigError, FleetConfig, FleetConfigBuilder,
+    FleetReport, SessionPolicy, Shed,
+};
 
 pub use cta_tenancy::{
     AutoscalePolicy, Backpressure, QuotaPolicy, SchedulerPolicy, TenancyConfig, TenancyStats,

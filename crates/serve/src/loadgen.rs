@@ -12,13 +12,17 @@
 //!   admission control far harder than a Poisson stream of equal mean
 //!   rate;
 //! * [`replay_trace`] — adopts a pre-generated `cta-sim` /
-//!   `cta-workloads` arrival trace under a service class.
+//!   `cta-workloads` arrival trace under a service class;
+//! * [`session_requests`] — adopts a `cta-workloads` multi-turn session
+//!   trace ([`cta_workloads::session_trace`]) as session-tagged decode
+//!   requests.
 
 use cta_sim::{AttentionTask, ServingRequest};
+use cta_workloads::{session_trace, SessionSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{QosClass, ServeRequest};
+use crate::{QosClass, ServeRequest, SessionTurn};
 
 /// The request shape every generated arrival carries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,6 +233,52 @@ pub fn replay_trace(
         .collect())
 }
 
+/// A multi-turn decode-session workload as fleet requests: every turn of
+/// [`cta_workloads::session_trace`] becomes a session-tagged request of
+/// `spec`'s shape and class, with its expected level-2 re-cluster count
+/// derived from the streaming compressor's drift trigger
+/// ([`cta_sim::reclusters_for`] at `drift_per_token` /
+/// `recluster_threshold`). Ids follow the trace's sorted turn order, so
+/// the result satisfies the runtime's arrival-sorted precondition.
+///
+/// # Panics
+///
+/// Panics if `drift_per_token < 0` or `recluster_threshold <= 0`.
+pub fn session_requests(
+    spec: &LoadSpec,
+    sessions: &SessionSpec,
+    drift_per_token: f64,
+    recluster_threshold: f64,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    session_trace(sessions, seed)
+        .iter()
+        .enumerate()
+        .map(|(id, e)| {
+            let reclusters = cta_sim::reclusters_for(
+                e.decode_tokens as u64,
+                drift_per_token,
+                recluster_threshold,
+            ) as u32;
+            ServeRequest::uniform(
+                id as u64,
+                e.arrival_s,
+                spec.class,
+                spec.task,
+                spec.layers,
+                spec.heads,
+            )
+            .with_session(SessionTurn {
+                session: e.session,
+                turn: e.turn,
+                decode_tokens: e.decode_tokens,
+                reclusters,
+                last: e.last,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +365,25 @@ mod tests {
         );
         // Each error renders a human-readable message naming the index.
         assert!(TraceError::NonMonotonic { index: 3 }.to_string().contains("index 3"));
+    }
+
+    #[test]
+    fn session_requests_tag_turns_and_stay_sorted() {
+        let s = spec();
+        let sess = SessionSpec::new(10, 5.0, 3.0, 1.0);
+        let rs = session_requests(&s, &sess, 0.02, 0.5, 9);
+        assert_eq!(rs, session_requests(&s, &sess, 0.02, 0.5, 9));
+        assert!(sorted(&rs));
+        assert!(rs.iter().enumerate().all(|(i, r)| r.id == i as u64));
+        // Re-cluster counts follow the drift trigger: one event per
+        // ceil(threshold / drift) = 25 decoded tokens.
+        for r in &rs {
+            let t = r.session.expect("every request is session-tagged");
+            assert_eq!(t.reclusters as u64, t.decode_tokens as u64 / 25);
+        }
+        // Exactly one final turn per session.
+        let finals = rs.iter().filter(|r| r.session.expect("tagged").last).count();
+        assert_eq!(finals, 10);
     }
 
     #[test]

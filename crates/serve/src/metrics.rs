@@ -4,7 +4,7 @@
 //! [`cta_sim::latency_percentile`] — the same nearest-rank method the
 //! single-replica path uses), not approximated from histogram buckets.
 
-use cta_sim::ServingMetrics;
+use cta_sim::{latency_percentile, ServingMetrics};
 
 use crate::replica::Completion;
 use crate::Shed;
@@ -53,6 +53,71 @@ pub struct FleetMetrics {
     /// [`DetectorPolicy`](crate::DetectorPolicy); the runtime fills it in
     /// before publishing the report).
     pub detector: Option<crate::DetectorStats>,
+    /// Decode-session accounting (`None` unless the fleet runs with a
+    /// [`SessionPolicy`](crate::SessionPolicy); the runtime fills it in
+    /// before publishing the report).
+    pub sessions: Option<SessionStats>,
+}
+
+/// Accounting for long-lived decode sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Distinct sessions in the offered trace.
+    pub sessions: usize,
+    /// Session turns that completed.
+    pub turns_completed: usize,
+    /// Session turns that were shed (any reason).
+    pub turns_shed: usize,
+    /// Sessions that lost at least one turn (every later turn sheds
+    /// [`ShedReason::SessionLost`](crate::ShedReason::SessionLost)).
+    pub sessions_lost: usize,
+    /// Re-prefill events on turns past the first: crash evictions and
+    /// non-sticky replica moves that had to rebuild session state.
+    pub re_prefills: usize,
+    /// `re_prefills` per completed turn (0 when nothing completed).
+    pub re_prefill_rate: f64,
+    /// Mean inter-token latency over completed turns — end-to-end turn
+    /// latency divided by the turn's decode length — seconds/token.
+    pub mean_itl_s: f64,
+    /// p99 inter-token latency over completed turns, seconds/token
+    /// (nearest-rank, like every other percentile in the crate).
+    pub p99_itl_s: f64,
+}
+
+impl SessionStats {
+    /// Builds the aggregate from the engine's counters plus the
+    /// per-completed-turn inter-token latencies (unsorted; empty when no
+    /// turn completed).
+    pub fn new(
+        sessions: usize,
+        turns_completed: usize,
+        turns_shed: usize,
+        sessions_lost: usize,
+        re_prefills: usize,
+        itls_s: &[f64],
+    ) -> Self {
+        let (mean_itl_s, p99_itl_s) = if itls_s.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mut sorted = itls_s.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite inter-token latencies"));
+            (sorted.iter().sum::<f64>() / sorted.len() as f64, latency_percentile(&sorted, 0.99))
+        };
+        Self {
+            sessions,
+            turns_completed,
+            turns_shed,
+            sessions_lost,
+            re_prefills,
+            re_prefill_rate: if turns_completed > 0 {
+                re_prefills as f64 / turns_completed as f64
+            } else {
+                0.0
+            },
+            mean_itl_s,
+            p99_itl_s,
+        }
+    }
 }
 
 /// Accounting for the closed-loop overload controls: quality brownout,
@@ -162,6 +227,7 @@ impl FleetMetrics {
             overload,
             tenancy: None,
             detector: None,
+            sessions: None,
         }
     }
 }
@@ -182,7 +248,22 @@ mod tests {
             retries: 0,
             accuracy_loss_pct: 0.0,
             tenant: 0,
+            session: None,
         }
+    }
+
+    #[test]
+    fn session_stats_aggregate_itl_and_rates() {
+        let itls = [0.002, 0.001, 0.010, 0.003];
+        let s = SessionStats::new(5, 4, 2, 1, 3, &itls);
+        assert_eq!((s.sessions, s.turns_completed, s.turns_shed), (5, 4, 2));
+        assert_eq!((s.sessions_lost, s.re_prefills), (1, 3));
+        assert_eq!(s.re_prefill_rate, 0.75);
+        assert!((s.mean_itl_s - 0.004).abs() < 1e-15);
+        assert_eq!(s.p99_itl_s, 0.010);
+        // No completed turns: every derived figure collapses to zero.
+        let empty = SessionStats::new(2, 0, 2, 2, 0, &[]);
+        assert_eq!((empty.re_prefill_rate, empty.mean_itl_s, empty.p99_itl_s), (0.0, 0.0, 0.0));
     }
 
     #[test]

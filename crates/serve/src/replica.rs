@@ -11,7 +11,7 @@
 use cta_sim::{AttentionTask, CtaSystem, TaskCost};
 use cta_telemetry::{Module, SpanClass, TraceSink, TrackId};
 
-use crate::{CostModel, FaultPlan, ServeRequest};
+use crate::{CostModel, FaultPlan, ServeRequest, SessionTurn};
 
 /// Continuous-batching configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,12 +51,17 @@ pub(crate) struct Pending {
     pub resume_cursor: usize,
     /// Requeue attempts consumed so far (0 for fresh arrivals).
     pub attempt: u32,
+    /// Session-state rebuild the replica must execute before this
+    /// request's first layer (0 for non-session requests and for turns
+    /// landing on the replica already holding their session state).
+    /// Charged once, at the batch join, like the weight upload.
+    pub re_prefill_s: f64,
 }
 
 impl Pending {
-    /// A freshly admitted request (no crash history).
+    /// A freshly admitted request (no crash history, no re-prefill debt).
     pub fn fresh(request: ServeRequest, est_service_s: f64) -> Self {
-        Self { request, est_service_s, resume_cursor: 0, attempt: 0 }
+        Self { request, est_service_s, resume_cursor: 0, attempt: 0, re_prefill_s: 0.0 }
     }
 }
 
@@ -73,6 +78,16 @@ pub(crate) struct Active {
     /// Worst (highest) brownout accuracy loss any of this request's
     /// dispatched layers ran at, percent. 0 on the healthy path.
     pub loss_pct: f64,
+}
+
+/// Wall-clock anchors of one executed layer step, as handed to the
+/// telemetry emitter: step start, the weight-upload interval ahead of
+/// compute, and the session-state rebuild (0 on the healthy path).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StepTiming {
+    pub t0: f64,
+    pub upload_s: f64,
+    pub re_prefill_s: f64,
 }
 
 /// A finished request, as reported by the runtime.
@@ -99,6 +114,10 @@ pub struct Completion {
     pub accuracy_loss_pct: f64,
     /// Owning tenant id (0 in single-tenant configurations).
     pub tenant: u32,
+    /// Decode-session turn this completion closed (`None` for ordinary
+    /// requests). Feeds inter-token latency and session-conservation
+    /// accounting.
+    pub session: Option<SessionTurn>,
 }
 
 impl Completion {
@@ -146,6 +165,12 @@ pub(crate) struct Replica {
     pub level_name: &'static str,
     /// Total step wall-clock executed while degraded, seconds.
     pub brownout_s: f64,
+    /// Decode sessions whose compression state lives on this replica:
+    /// `(session id, occupancy hold seconds)`. The hold — the cost of
+    /// rebuilding the state elsewhere — is folded into
+    /// [`outstanding_s`](Self::outstanding_s) so routing sees resident
+    /// state as load. Empty on non-session fleets (bitwise-dormant).
+    pub(crate) resident_sessions: Vec<(u64, f64)>,
 }
 
 impl Replica {
@@ -168,6 +193,7 @@ impl Replica {
             level_loss_pct: 0.0,
             level_name: crate::overload::LEVEL_NAMES[0],
             brownout_s: 0.0,
+            resident_sessions: Vec::new(),
         }
     }
 
@@ -220,7 +246,14 @@ impl Replica {
             .map(|a| cost.remaining_service_s(&self.system, &a.request, a.cursor))
             .sum();
         let queued: f64 = self.queue.iter().map(|p| p.est_service_s).sum();
-        committed + active + queued
+        let mut total = committed + active + queued;
+        // Resident session state occupies the replica (SRAM + the debt of
+        // rebuilding it elsewhere); the guard keeps the non-session
+        // fleet's arithmetic bit-for-bit the pre-session expression.
+        if !self.resident_sessions.is_empty() {
+            total += self.resident_sessions.iter().map(|(_, h)| h).sum::<f64>();
+        }
+        total
     }
 
     /// Inserts into the queue keeping (priority desc, arrival asc, id asc)
@@ -256,6 +289,7 @@ impl Replica {
                 est_service_s: 0.0, // re-estimated at requeue
                 resume_cursor: a.cursor,
                 attempt: a.attempt,
+                re_prefill_s: 0.0, // re-assessed when placed again
             })
             .collect();
         orphans.append(&mut self.queue);
@@ -327,6 +361,7 @@ impl Replica {
         // Continuous batching: pull arrived queued requests into the
         // active set at this layer boundary, in queue (priority) order.
         let mut upload_s = 0.0;
+        let mut re_prefill_s = 0.0;
         let mut i = 0;
         while self.active.len() < batch.max_active_requests && i < self.queue.len() {
             if self.queue[i].request.arrival_s <= t0 {
@@ -334,6 +369,12 @@ impl Replica {
                 // Each joining request pays its one-time weight upload
                 // before its first layer can run.
                 upload_s += self.system.weight_upload_s();
+                // A session turn landing on a replica that does not hold
+                // its compression state additionally rebuilds the prefix
+                // (charged once, like the upload; 0 on the sticky path).
+                if p.re_prefill_s > 0.0 {
+                    re_prefill_s += p.re_prefill_s;
+                }
                 if S::ENABLED {
                     // The request's queued interval ends at this batch
                     // join.
@@ -375,13 +416,22 @@ impl Replica {
         let mut merged: Vec<AttentionTask> = Vec::new();
         let mut costs: Vec<TaskCost> = Vec::new();
         for a in &self.active {
+            // Session turns price each layer as a decode segment (per-
+            // token incremental compression at the resident prefix)
+            // instead of a full prefill. Decode segments run at the
+            // nominal operating point — brownout shrinks the *prefill*
+            // cluster budget, which decode inherits through its prefix.
+            let turn = a.request.session;
             for t in &a.request.layer_tasks[a.cursor] {
                 if degraded {
                     merged.push(t.with_budget_scale(self.level_scale));
                 } else {
                     merged.push(*t);
                 }
-                costs.push(cost.head_at(&self.system, self.level, self.level_scale, t));
+                costs.push(match &turn {
+                    Some(st) => cost.decode_head(&self.system, t, st),
+                    None => cost.head_at(&self.system, self.level, self.level_scale, t),
+                });
             }
         }
         let step = self.system.step_layer_costed(&merged, &costs);
@@ -393,7 +443,10 @@ impl Replica {
         if slow != 1.0 {
             step_elapsed *= slow;
         }
-        let elapsed = upload_s + step_elapsed;
+        let mut elapsed = upload_s + step_elapsed;
+        if re_prefill_s > 0.0 {
+            elapsed += re_prefill_s;
+        }
         self.clock = t0 + elapsed;
         self.busy_s += elapsed;
         if degraded {
@@ -401,7 +454,7 @@ impl Replica {
         }
 
         if S::ENABLED {
-            self.trace_step(sink, cost, t0, upload_s, &merged, &step);
+            self.trace_step(sink, cost, StepTiming { t0, upload_s, re_prefill_s }, &merged, &step);
             if degraded {
                 // The whole degraded step lands on the brownout lane,
                 // named after the operating point, so AggregateReport can
@@ -463,6 +516,7 @@ impl Replica {
                 retries: a.attempt,
                 accuracy_loss_pct: a.loss_pct,
                 tenant: a.request.tenant,
+                session: a.request.session,
             });
         }
         t0
@@ -480,15 +534,15 @@ impl Replica {
         &self,
         sink: &mut S,
         cost: &mut CostModel,
-        t0: f64,
-        upload_s: f64,
+        timing: StepTiming,
         merged: &[AttentionTask],
         step: &cta_sim::LayerStep,
     ) {
+        let StepTiming { t0, upload_s, re_prefill_s } = timing;
         let replica = self.index as u32;
         let host = TrackId::new(replica, Module::Host);
         let sa = TrackId::new(replica, Module::Sa);
-        let c0 = t0 + upload_s;
+        let mut c0 = t0 + upload_s;
         // `self.clock` (already advanced past this step) lower-bounds the
         // next step's start time; capping span ends there absorbs the
         // 1-ulp float-associativity drift between `c0 + interval` and the
@@ -496,6 +550,14 @@ impl Replica {
         // non-overlapping.
         let end_cap = self.clock;
         sink.span(host, "weight-upload", t0, c0, SpanClass::Upload, false);
+        // A session-state rebuild runs between the upload and the layer's
+        // compute; with no re-prefill this block emits nothing and `c0`
+        // is bit-for-bit the pre-session expression.
+        if re_prefill_s > 0.0 {
+            let rp_end = (c0 + re_prefill_s).min(end_cap);
+            sink.span(sa, "session-re-prefill", c0, rp_end, SpanClass::Compression, false);
+            c0 = rp_end;
+        }
         let transfer_end = (c0 + step.transfer_s).min(end_cap);
         sink.span(host, "activation-transfer", c0, transfer_end, SpanClass::Transfer, false);
 

@@ -43,6 +43,31 @@ impl QosClass {
     }
 }
 
+/// One turn of a long-lived decode session, as carried by a
+/// [`ServeRequest`].
+///
+/// A session-tagged request is priced as a decode *segment* (per-token
+/// incremental compression against the resident prefix, see
+/// [`cta_sim::schedule_decode`]) instead of a full prefill, and — when the
+/// fleet runs with a [`SessionPolicy`](crate::SessionPolicy) — is routed
+/// sticky to the replica holding the session's compression state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionTurn {
+    /// Session identifier shared by all turns of one session.
+    pub session: u64,
+    /// Turn index within the session, from 0.
+    pub turn: u32,
+    /// Tokens this turn decodes incrementally.
+    pub decode_tokens: u32,
+    /// Level-2 re-cluster events expected during the turn (from the
+    /// streaming compressor's drift trigger; see
+    /// [`cta_sim::reclusters_for`]).
+    pub reclusters: u32,
+    /// Whether this is the session's final turn (completing it releases
+    /// the replica's session state).
+    pub last: bool,
+}
+
 /// One inference request as admitted to the fleet: identity, arrival,
 /// class, and the per-layer head tasks of its model (layer-major, exactly
 /// as [`cta_sim::CtaSystem::run_layers`] takes them).
@@ -57,6 +82,10 @@ pub struct ServeRequest {
     pub class: QosClass,
     /// Owning tenant id (0 in single-tenant configurations).
     pub tenant: u32,
+    /// Decode-session turn this request represents (`None` for ordinary
+    /// one-shot prefill requests — every pre-session constructor leaves it
+    /// `None`, keeping existing traces and goldens byte-identical).
+    pub session: Option<SessionTurn>,
     /// Per-layer head tasks.
     pub layer_tasks: Vec<Vec<AttentionTask>>,
 }
@@ -77,12 +106,24 @@ impl ServeRequest {
         assert!(arrival_s >= 0.0, "arrival time must be non-negative");
         assert!(!layer_tasks.is_empty(), "a request needs at least one layer");
         assert!(layer_tasks.iter().all(|l| !l.is_empty()), "every layer needs at least one head");
-        Self { id, arrival_s, class, tenant: 0, layer_tasks }
+        Self { id, arrival_s, class, tenant: 0, session: None, layer_tasks }
     }
 
     /// The same request owned by `tenant`.
     pub fn with_tenant(mut self, tenant: u32) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// The same request tagged as one turn of a decode session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `turn.decode_tokens == 0` (a decode segment needs at
+    /// least one token).
+    pub fn with_session(mut self, turn: SessionTurn) -> Self {
+        assert!(turn.decode_tokens > 0, "a decode turn needs at least one token");
+        self.session = Some(turn);
         self
     }
 
@@ -148,6 +189,28 @@ mod tests {
         let r = ServeRequest::uniform(7, 0.0, QosClass::standard(), task(), 1, 1);
         assert_eq!(r.tenant, 0);
         assert_eq!(r.with_tenant(5).tenant, 5);
+    }
+
+    #[test]
+    fn session_defaults_to_none_and_tags() {
+        let r = ServeRequest::uniform(7, 0.0, QosClass::standard(), task(), 1, 1);
+        assert_eq!(r.session, None);
+        let turn =
+            SessionTurn { session: 3, turn: 1, decode_tokens: 64, reclusters: 2, last: true };
+        assert_eq!(r.with_session(turn).session, Some(turn));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_decode_turn_rejected() {
+        let r = ServeRequest::uniform(0, 0.0, QosClass::standard(), task(), 1, 1);
+        let _ = r.with_session(SessionTurn {
+            session: 0,
+            turn: 0,
+            decode_tokens: 0,
+            reclusters: 0,
+            last: false,
+        });
     }
 
     #[test]

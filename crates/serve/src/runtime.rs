@@ -30,8 +30,8 @@ use cta_telemetry::{NullSink, TraceSink};
 
 use crate::replica::Completion;
 use crate::{
-    AdmissionPolicy, BatchPolicy, FaultPlan, FleetEngine, FleetMetrics, OverloadControl,
-    RetryPolicy, RoutingPolicy, ServeRequest, ShedReason,
+    AdmissionPolicy, BatchPolicy, FaultPlan, FaultPlanError, FleetEngine, FleetMetrics,
+    OverloadControl, RetryPolicy, RoutingPolicy, ServeRequest, ShedReason,
 };
 
 /// A request rejected by admission control or orphaned by a crash.
@@ -52,8 +52,76 @@ pub struct Shed {
     pub tenant: u32,
 }
 
-/// Full fleet configuration.
+/// How the fleet treats long-lived decode sessions (requests tagged
+/// with a [`SessionTurn`](crate::SessionTurn)).
+///
+/// The policy only governs *scheduler* behaviour — decode pricing is
+/// intrinsic to the tagged request. `None` in [`FleetConfig::sessions`]
+/// is the pre-session fleet, bitwise (and session-tagged requests are
+/// rejected up front).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionPolicy {
+    /// Route each turn back to the replica holding its session state
+    /// whenever that replica is routable. Off: every turn routes by the
+    /// configured [`RoutingPolicy`] and pays a state rebuild on each
+    /// replica move.
+    pub sticky: bool,
+    /// Fold resident session state into replica occupancy
+    /// (least-outstanding-work routing then sees held state as load).
+    pub account_state: bool,
+}
+
+impl SessionPolicy {
+    /// The production default: sticky routing with state accounting.
+    pub fn sticky() -> Self {
+        Self { sticky: true, account_state: true }
+    }
+
+    /// Sessions priced but not pinned: every turn re-routes freely (the
+    /// ablation baseline sticky routing is measured against).
+    pub fn stateless() -> Self {
+        Self { sticky: false, account_state: false }
+    }
+}
+
+/// Why a [`FleetConfigBuilder`] refused to produce a configuration.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The fleet was configured with zero replicas.
+    NoReplicas,
+    /// The fault plan is malformed for the configured fleet width.
+    Faults(FaultPlanError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoReplicas => write!(f, "at least one replica"),
+            ConfigError::Faults(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::NoReplicas => None,
+            ConfigError::Faults(e) => Some(e),
+        }
+    }
+}
+
+/// Full fleet configuration.
+///
+/// Construct one with [`FleetConfig::builder`] (or the
+/// [`single_fifo`](FleetConfig::single_fifo) /
+/// [`sharded`](FleetConfig::sharded) presets, which are builder
+/// shorthands) and adjust the public fields afterwards if needed. The
+/// struct is `#[non_exhaustive]`: new subsystems add fields without
+/// breaking downstream construction sites.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct FleetConfig {
     /// Per-replica system (all replicas share one configuration, so task
     /// costs are memoised fleet-wide).
@@ -86,27 +154,43 @@ pub struct FleetConfig {
     /// Phi-accrual failure detection and quarantine (`None` = routing
     /// trusts `up` alone — the pre-detector fleet, bitwise; pinned).
     pub detector: Option<crate::DetectorPolicy>,
+    /// Long-lived decode sessions: sticky routing and state accounting
+    /// for session-tagged requests (`None` = the pre-session fleet,
+    /// bitwise; session-tagged requests are then rejected up front).
+    pub sessions: Option<SessionPolicy>,
 }
 
 impl FleetConfig {
+    /// Starts a builder whose defaults are the
+    /// [`single_fifo`](FleetConfig::single_fifo) baseline: one replica,
+    /// round-robin routing, batching off, admit everything, no faults, no
+    /// overload control, no tenancy, no detector, no sessions,
+    /// step-granular engine.
+    pub fn builder(system: cta_sim::SystemConfig) -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            cfg: FleetConfig {
+                system,
+                replicas: 1,
+                routing: RoutingPolicy::RoundRobin,
+                admission: AdmissionPolicy::admit_all(),
+                batch: BatchPolicy::off(),
+                faults: FaultPlan::none(),
+                retry: RetryPolicy::standard(),
+                overload: OverloadControl::off(),
+                engine: FleetEngine::StepGranular,
+                tenancy: None,
+                detector: None,
+                sessions: None,
+            },
+        }
+    }
+
     /// The compatibility configuration: one replica, round-robin (trivial)
     /// routing, batching off, admit everything, no faults. In this
     /// configuration [`simulate_fleet`] reproduces
     /// `cta_sim::simulate_serving` exactly.
     pub fn single_fifo(system: cta_sim::SystemConfig) -> Self {
-        Self {
-            system,
-            replicas: 1,
-            routing: RoutingPolicy::RoundRobin,
-            admission: AdmissionPolicy::admit_all(),
-            batch: BatchPolicy::off(),
-            faults: FaultPlan::none(),
-            retry: RetryPolicy::standard(),
-            overload: OverloadControl::off(),
-            engine: FleetEngine::StepGranular,
-            tenancy: None,
-            detector: None,
-        }
+        Self::builder(system).build().expect("the single-replica baseline is always valid")
     }
 
     /// A sharded fleet at the given width with sensible production
@@ -118,19 +202,99 @@ impl FleetConfig {
     /// Panics if `replicas == 0`.
     pub fn sharded(system: cta_sim::SystemConfig, replicas: usize) -> Self {
         assert!(replicas > 0, "at least one replica");
-        Self {
-            system,
-            replicas,
-            routing: RoutingPolicy::LeastOutstandingWork,
-            admission: AdmissionPolicy::bounded(64),
-            batch: BatchPolicy::up_to(4),
-            faults: FaultPlan::none(),
-            retry: RetryPolicy::standard(),
-            overload: OverloadControl::off(),
-            engine: FleetEngine::StepGranular,
-            tenancy: None,
-            detector: None,
+        Self::builder(system)
+            .replicas(replicas)
+            .routing(RoutingPolicy::LeastOutstandingWork)
+            .admission(AdmissionPolicy::bounded(64))
+            .batch(BatchPolicy::up_to(4))
+            .build()
+            .expect("the sharded preset is always valid")
+    }
+}
+
+/// Builder for [`FleetConfig`]: starts from the pinned single-replica
+/// baseline and layers subsystems on. [`build`](Self::build) runs the
+/// validation that used to be scattered across `simulate_fleet`
+/// preconditions, returning [`ConfigError`] instead of panicking.
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    cfg: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Fleet width.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.cfg.replicas = n;
+        self
+    }
+
+    /// Arrival routing policy.
+    pub fn routing(mut self, routing: RoutingPolicy) -> Self {
+        self.cfg.routing = routing;
+        self
+    }
+
+    /// Admission control.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Continuous-batching width.
+    pub fn batch(mut self, batch: BatchPolicy) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Deterministic fault schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Retry budget for crash-evicted requests.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Closed-loop overload control.
+    pub fn overload(mut self, overload: OverloadControl) -> Self {
+        self.cfg.overload = overload;
+        self
+    }
+
+    /// Which driver advances the simulation.
+    pub fn engine(mut self, engine: FleetEngine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Multi-tenant fair scheduling, quotas, and autoscaling.
+    pub fn tenancy(mut self, tenancy: cta_tenancy::TenancyConfig) -> Self {
+        self.cfg.tenancy = Some(tenancy);
+        self
+    }
+
+    /// Phi-accrual failure detection and quarantine.
+    pub fn detector(mut self, detector: crate::DetectorPolicy) -> Self {
+        self.cfg.detector = Some(detector);
+        self
+    }
+
+    /// Long-lived decode sessions.
+    pub fn sessions(mut self, sessions: SessionPolicy) -> Self {
+        self.cfg.sessions = Some(sessions);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<FleetConfig, ConfigError> {
+        if self.cfg.replicas == 0 {
+            return Err(ConfigError::NoReplicas);
         }
+        self.cfg.faults.try_validate(self.cfg.replicas).map_err(ConfigError::Faults)?;
+        Ok(self.cfg)
     }
 }
 
@@ -315,6 +479,84 @@ mod tests {
         let a = ServeRequest::uniform(0, 1.0, QosClass::standard(), task(), 1, 1);
         let b = ServeRequest::uniform(1, 0.0, QosClass::standard(), task(), 1, 1);
         let _ = simulate_fleet(&cfg, &[a, b]);
+    }
+
+    #[test]
+    fn builder_defaults_reproduce_the_single_fifo_baseline() {
+        let built = FleetConfig::builder(SystemConfig::paper()).build().expect("valid");
+        assert_eq!(built, FleetConfig::single_fifo(SystemConfig::paper()));
+        assert_eq!(built.replicas, 1);
+        assert!(built.faults.is_empty());
+        assert!(built.tenancy.is_none() && built.detector.is_none() && built.sessions.is_none());
+        // And the sharded preset is the builder shorthand it documents.
+        let sharded = FleetConfig::sharded(SystemConfig::paper(), 3);
+        assert_eq!(sharded.replicas, 3);
+        assert_eq!(sharded.routing, RoutingPolicy::LeastOutstandingWork);
+    }
+
+    #[test]
+    fn builder_rejects_zero_replicas_and_malformed_fault_plans() {
+        let err = FleetConfig::builder(SystemConfig::paper()).replicas(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NoReplicas);
+        assert_eq!(err.to_string(), "at least one replica");
+
+        // A crash window naming a replica the fleet does not have.
+        let bad = FaultPlan {
+            crashes: vec![crate::CrashWindow { replica: 5, down_s: 1.0, up_s: Some(2.0) }],
+            ..FaultPlan::none()
+        };
+        let err = FleetConfig::builder(SystemConfig::paper())
+            .replicas(2)
+            .faults(bad)
+            .build()
+            .unwrap_err();
+        match &err {
+            ConfigError::Faults(FaultPlanError::ReplicaOutOfRange { what, replica }) => {
+                assert_eq!((*what, *replica), ("crash", 5));
+            }
+            other => panic!("expected a fault-plan error, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("invalid fault plan:"));
+        assert!(std::error::Error::source(&err).is_some(), "Faults keeps its cause");
+    }
+
+    #[test]
+    fn builder_layers_subsystems_without_disturbing_defaults() {
+        let cfg = FleetConfig::builder(SystemConfig::paper())
+            .replicas(4)
+            .routing(RoutingPolicy::JoinShortestQueue)
+            .batch(BatchPolicy::up_to(2))
+            .engine(FleetEngine::EventDriven)
+            .sessions(SessionPolicy::sticky())
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.replicas, 4);
+        assert_eq!(cfg.engine, FleetEngine::EventDriven);
+        assert_eq!(cfg.sessions, Some(SessionPolicy::sticky()));
+        // Untouched knobs keep the baseline values.
+        assert_eq!(cfg.admission, AdmissionPolicy::admit_all());
+        assert_eq!(cfg.overload, OverloadControl::off());
+        assert!(cfg.tenancy.is_none() && cfg.detector.is_none());
+    }
+
+    #[test]
+    fn session_policy_presets_differ_only_in_scheduling() {
+        assert_eq!(SessionPolicy::sticky(), SessionPolicy { sticky: true, account_state: true });
+        assert_eq!(
+            SessionPolicy::stateless(),
+            SessionPolicy { sticky: false, account_state: false }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "session-tagged requests require a session policy")]
+    fn session_requests_without_a_policy_are_rejected() {
+        let cfg = FleetConfig::single_fifo(SystemConfig::paper());
+        let turn =
+            crate::SessionTurn { session: 0, turn: 0, decode_tokens: 8, reclusters: 0, last: true };
+        let r =
+            ServeRequest::uniform(0, 0.0, QosClass::standard(), task(), 2, 4).with_session(turn);
+        let _ = simulate_fleet(&cfg, &[r]);
     }
 
     #[test]

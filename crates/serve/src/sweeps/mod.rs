@@ -22,6 +22,7 @@
 //!   as a Chrome trace (one lane per worker).
 
 pub mod brownout_sweep;
+pub mod decode_sweep;
 pub mod degradation_sweep;
 pub mod kernel_sweep;
 pub mod planet_sweep;

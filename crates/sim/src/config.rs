@@ -88,6 +88,19 @@ impl HwConfig {
         self
     }
 
+    /// Returns a copy sized for sequences up to `max_seq_len` — the
+    /// builder-style alternative to mutating the field (or spelling a
+    /// struct update) at call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_seq_len == 0`.
+    pub fn with_max_seq_len(mut self, max_seq_len: usize) -> Self {
+        assert!(max_seq_len > 0, "max_seq_len must be positive");
+        self.max_seq_len = max_seq_len;
+        self
+    }
+
     /// Total PAG inner-loop iterations retired per cycle.
     pub fn pag_parallelism(&self) -> usize {
         self.pag_tiles * self.pag_iters_per_tile

@@ -1,0 +1,247 @@
+//! Decode-phase mapping schedule: per-token incremental compression cost.
+//!
+//! The batch schedule ([`schedule`](crate::schedule)) prices a *prefill*:
+//! every token of the prefix streams through LSH/CIM/CACC and the full
+//! query loop runs. Autoregressive decode is different — each step appends
+//! ONE token, and CTA's cluster tree is incremental (`cta-lsh`'s
+//! `StreamingCompressor`): the new token hashes through the resident LSH
+//! directions, walks one root-to-leaf CIM path, and nudges one centroid
+//! row. Recompressing the prefix every step would charge `O(n)` per token
+//! for work the hardware never repeats.
+//!
+//! This module prices a decode *segment*: `new_tokens` incremental steps
+//! at the per-token cost below, plus `reclusters` level-2 rebuild events,
+//! each costed as a partial prefill (the compression phase of the batch
+//! schedule over the prefix — the linears and the query loop are not
+//! re-run by a re-cluster).
+//!
+//! Per-token cycle model (same dataflow primitives as Table I, specialised
+//! to a one-token stream at a steady-state prefix of `num_keys` tokens):
+//!
+//! * **compression** — the token crosses the `b−2` hashing columns once
+//!   per LSH pass, for each of the two levels, then updates one centroid
+//!   running-mean row and forms the `d`-wide stale residual:
+//!   `2·lsh_passes + 2·d` cycles;
+//! * **linear** — the K/V/Q projections of one row through the resident
+//!   `d×d` weights: `3·d` cycles (weights stay loaded during decode, so
+//!   no per-step weight streaming);
+//! * **attention** — one query row against the `k₁+k₂` centroids:
+//!   `SCORE` and `OUT` at `k_cat` cycles each, with the PAG pass over
+//!   the prefix (`⌈n / pag_parallelism⌉` cycles) hidden behind them and
+//!   any excess charged as a stall, exactly like the batch query loop.
+
+use crate::{schedule, AttentionTask, HwConfig, PhaseSplit};
+
+/// Cycle breakdown of a decode segment on one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeSchedule {
+    /// Incremental tokens priced.
+    pub tokens: u64,
+    /// Level-2 re-cluster events priced.
+    pub reclusters: u64,
+    /// Cycles of ONE incremental token (compression + linear + attention).
+    pub token_cycles: u64,
+    /// Compression share of one token's cycles.
+    pub token_compression_cycles: u64,
+    /// Linear share of one token's cycles.
+    pub token_linear_cycles: u64,
+    /// Attention share of one token's cycles (PAG stall included).
+    pub token_attention_cycles: u64,
+    /// Of the attention share, cycles the SA stalls on the PAG.
+    pub token_pag_stall_cycles: u64,
+    /// Cycles of ONE re-cluster event (batch compression phase).
+    pub recluster_cycles: u64,
+    /// Total cycles of the segment.
+    pub total_cycles: u64,
+    /// Total compression cycles (tokens + re-clusters).
+    pub compression_cycles: u64,
+    /// Total linear cycles.
+    pub linear_cycles: u64,
+    /// Total attention cycles (stalls included).
+    pub attention_cycles: u64,
+    /// Total PAG stall cycles.
+    pub pag_stall_cycles: u64,
+}
+
+impl DecodeSchedule {
+    /// Latency in seconds at the configured clock.
+    pub fn latency_s(&self, hw: &HwConfig) -> f64 {
+        self.total_cycles as f64 * hw.cycle_time_s()
+    }
+
+    /// Wall-clock phase split at the configured clock.
+    pub fn phase_split(&self, hw: &HwConfig) -> PhaseSplit {
+        let ct = hw.cycle_time_s();
+        PhaseSplit {
+            compression_s: self.compression_cycles as f64 * ct,
+            linear_s: self.linear_cycles as f64 * ct,
+            attention_s: self.attention_cycles as f64 * ct,
+            pag_stall_s: self.pag_stall_cycles as f64 * ct,
+            total_s: self.total_cycles as f64 * ct,
+        }
+    }
+}
+
+/// Prices a decode segment: `new_tokens` incremental steps plus
+/// `reclusters` level-2 rebuilds, at a steady-state prefix described by
+/// `task` (`num_keys` = context length, `k1 + k2` = compressed KV size).
+///
+/// # Panics
+///
+/// Panics if the task does not fit the hardware (same sizing rules as the
+/// batch [`schedule`](crate::schedule)) or `new_tokens == 0`.
+pub fn schedule_decode(
+    hw: &HwConfig,
+    task: &AttentionTask,
+    new_tokens: u64,
+    reclusters: u64,
+) -> DecodeSchedule {
+    assert!(new_tokens > 0, "a decode segment needs at least one token");
+    // The batch schedule both validates the shapes and prices the
+    // re-cluster events (partial prefill = its compression phase).
+    let batch = schedule(hw, task);
+
+    let b = hw.sa_width as u64;
+    let d = task.head_dim as u64;
+    let l = task.hash_length as u64;
+    let n = task.num_keys as u64;
+    let k_cat = (task.k1 + task.k2) as u64;
+
+    let lsh_cols = (b.saturating_sub(2)).max(1).min(l);
+    let lsh_passes = l.div_ceil(lsh_cols);
+
+    let token_compression_cycles = 2 * lsh_passes + 2 * d;
+    let token_linear_cycles = 3 * d;
+    let pag = n.div_ceil(hw.pag_parallelism() as u64);
+    let token_pag_stall_cycles = pag.saturating_sub(2 * k_cat);
+    let token_attention_cycles = 2 * k_cat + token_pag_stall_cycles;
+    let token_cycles = token_compression_cycles + token_linear_cycles + token_attention_cycles;
+
+    let recluster_cycles = batch.compression_cycles;
+
+    let compression_cycles = new_tokens * token_compression_cycles + reclusters * recluster_cycles;
+    let linear_cycles = new_tokens * token_linear_cycles;
+    let attention_cycles = new_tokens * token_attention_cycles;
+    let pag_stall_cycles = new_tokens * token_pag_stall_cycles;
+
+    DecodeSchedule {
+        tokens: new_tokens,
+        reclusters,
+        token_cycles,
+        token_compression_cycles,
+        token_linear_cycles,
+        token_attention_cycles,
+        token_pag_stall_cycles,
+        recluster_cycles,
+        total_cycles: compression_cycles + linear_cycles + attention_cycles,
+        compression_cycles,
+        linear_cycles,
+        attention_cycles,
+        pag_stall_cycles,
+    }
+}
+
+/// Re-cluster events expected over a decode segment: drift accumulates at
+/// `drift_per_token` per step, triggers at `threshold`, and resets on
+/// every trigger — so events recur with period `⌈threshold /
+/// drift_per_token⌉` tokens. Returns 0 when the trigger is disabled
+/// (non-finite threshold) or drift does not accumulate.
+pub fn reclusters_for(new_tokens: u64, drift_per_token: f64, threshold: f64) -> u64 {
+    if !threshold.is_finite() || threshold <= 0.0 || drift_per_token <= 0.0 {
+        return 0;
+    }
+    let period = (threshold / drift_per_token).ceil().max(1.0) as u64;
+    new_tokens / period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> AttentionTask {
+        AttentionTask::from_counts(512, 512, 64, 322, 200, 87, 6)
+    }
+
+    #[test]
+    fn totals_partition_into_categories() {
+        let s = schedule_decode(&HwConfig::paper(), &task(), 64, 2);
+        assert_eq!(s.total_cycles, s.compression_cycles + s.linear_cycles + s.attention_cycles);
+        assert_eq!(
+            s.token_cycles,
+            s.token_compression_cycles + s.token_linear_cycles + s.token_attention_cycles
+        );
+        let split = s.phase_split(&HwConfig::paper());
+        assert!(
+            (split.total_s - (split.compression_s + split.linear_s + split.attention_s)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn incremental_token_is_far_cheaper_than_prefill() {
+        let hw = HwConfig::paper();
+        let t = task();
+        let batch = schedule(&hw, &t);
+        let decode = schedule_decode(&hw, &t, 1, 0);
+        // One incremental token costs a small fraction of recompressing
+        // the 512-token prefix — the whole point of the decode path.
+        assert!(
+            decode.total_cycles * 20 < batch.total_cycles,
+            "decode {} vs batch {}",
+            decode.total_cycles,
+            batch.total_cycles
+        );
+    }
+
+    #[test]
+    fn recluster_is_costed_as_the_batch_compression_phase() {
+        let hw = HwConfig::paper();
+        let t = task();
+        let batch = schedule(&hw, &t);
+        let without = schedule_decode(&hw, &t, 32, 0);
+        let with = schedule_decode(&hw, &t, 32, 3);
+        assert_eq!(with.recluster_cycles, batch.compression_cycles);
+        assert_eq!(with.total_cycles - without.total_cycles, 3 * batch.compression_cycles);
+        assert_eq!(with.linear_cycles, without.linear_cycles);
+        assert_eq!(with.attention_cycles, without.attention_cycles);
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_tokens() {
+        let hw = HwConfig::paper();
+        let t = task();
+        let one = schedule_decode(&hw, &t, 1, 0);
+        let many = schedule_decode(&hw, &t, 100, 0);
+        assert_eq!(many.total_cycles, 100 * one.total_cycles);
+    }
+
+    #[test]
+    fn undersized_pag_stalls_decode_attention() {
+        // Tight compression: a small k_cat gives the PAG little SCORE/OUT
+        // work to hide behind.
+        let t = AttentionTask::from_counts(512, 512, 64, 50, 40, 20, 6);
+        let balanced = schedule_decode(&HwConfig::paper(), &t, 1, 0);
+        let starved = schedule_decode(&HwConfig::paper().with_pag_parallelism(2), &t, 1, 0);
+        assert!(starved.token_pag_stall_cycles > balanced.token_pag_stall_cycles);
+        assert!(starved.total_cycles > balanced.total_cycles);
+    }
+
+    #[test]
+    fn recluster_cadence_follows_threshold() {
+        assert_eq!(reclusters_for(100, 0.01, 0.1), 10); // every 10 tokens
+        assert_eq!(reclusters_for(100, 0.01, 1.0), 1); // every 100 tokens
+        assert_eq!(reclusters_for(99, 0.01, 1.0), 0); // not reached yet
+        assert_eq!(reclusters_for(100, 0.01, f64::INFINITY), 0); // disabled
+        assert_eq!(reclusters_for(100, 0.0, 0.1), 0); // no drift
+                                                      // Tighter thresholds never produce fewer events.
+        let loose = reclusters_for(500, 0.02, 0.5);
+        let tight = reclusters_for(500, 0.02, 0.05);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_segment_rejected() {
+        let _ = schedule_decode(&HwConfig::paper(), &task(), 0, 0);
+    }
+}

@@ -40,6 +40,7 @@ mod cim_rtl;
 mod config;
 mod datapath;
 mod datapath_quantized;
+mod decode;
 mod dse;
 mod energy;
 mod ffn;
@@ -66,6 +67,7 @@ pub use cim_rtl::{simulate_cim_rtl, CimRtlRun};
 pub use config::HwConfig;
 pub use datapath::{run_functional_datapath, DatapathRun};
 pub use datapath_quantized::{run_quantized_datapath, QuantizedDatapathRun};
+pub use decode::{reclusters_for, schedule_decode, DecodeSchedule};
 pub use dse::{best_pag_parallelism, sweep, DsePoint};
 pub use energy::{EnergyModel, EnergyReport};
 pub use ffn::{schedule_ffn, schedule_gemm, FfnSchedule, GemmSchedule};

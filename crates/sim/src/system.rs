@@ -37,6 +37,14 @@ impl SystemConfig {
             overlap_transfers: true,
         }
     }
+
+    /// Returns a copy with a different per-unit hardware configuration —
+    /// the builder-style alternative to a struct-update expression at
+    /// call sites.
+    pub fn with_hw(mut self, hw: HwConfig) -> Self {
+        self.hw = hw;
+        self
+    }
 }
 
 /// Timeline and energy of one model's attention running on the system.
@@ -144,6 +152,46 @@ impl CtaSystem {
     /// Panics if the task does not fit the hardware.
     pub fn head_phase_split(&self, task: &AttentionTask) -> PhaseSplit {
         crate::schedule(&self.config.hw, task).phase_split(&self.config.hw)
+    }
+
+    /// Latency and energy of a decode segment of one head on a single
+    /// unit: `new_tokens` incremental compression steps plus `reclusters`
+    /// level-2 rebuilds at the steady-state prefix described by `task`
+    /// (see [`schedule_decode`](crate::schedule_decode)). Energy is the
+    /// batch head's energy scaled by the cycle ratio — the decode path
+    /// exercises the same dataflow primitives at proportionally lower
+    /// activity. Depends only on the shapes, so callers may memoise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task does not fit the hardware or `new_tokens == 0`.
+    pub fn decode_head_cost(
+        &self,
+        task: &AttentionTask,
+        new_tokens: u64,
+        reclusters: u64,
+    ) -> TaskCost {
+        let batch = self.head_cost(task);
+        let batch_cycles = crate::schedule(&self.config.hw, task).total_cycles;
+        let dec = crate::schedule_decode(&self.config.hw, task, new_tokens, reclusters);
+        let scale = dec.total_cycles as f64 / batch_cycles as f64;
+        TaskCost { latency_s: dec.latency_s(&self.config.hw), energy_j: batch.energy_j * scale }
+    }
+
+    /// Wall-clock phase split of a decode segment — the decode analogue of
+    /// [`head_phase_split`](Self::head_phase_split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task does not fit the hardware or `new_tokens == 0`.
+    pub fn decode_head_split(
+        &self,
+        task: &AttentionTask,
+        new_tokens: u64,
+        reclusters: u64,
+    ) -> PhaseSplit {
+        crate::schedule_decode(&self.config.hw, task, new_tokens, reclusters)
+            .phase_split(&self.config.hw)
     }
 
     /// Schedules one layer's head tasks across the units (longest-

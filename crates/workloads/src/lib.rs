@@ -39,6 +39,7 @@ mod diurnal;
 mod generator;
 mod models;
 mod operating;
+mod sessions;
 mod stats;
 mod tenants;
 mod vision;
@@ -53,6 +54,7 @@ pub use diurnal::{DiurnalSpec, FlashCrowd};
 pub use generator::{generate_case_tokens, generate_layer_tokens, generate_tokens};
 pub use models::{albert_large, bert_large, gpt2_large, model_zoo, roberta_large, ModelSpec};
 pub use operating::{find_all_operating_points, find_operating_point, CtaClass, OperatingPoint};
+pub use sessions::{session_trace, SessionSpec, SessionTurnEvent};
 pub use stats::{workload_stats, WorkloadStats};
 pub use tenants::{SloTier, TenantMix};
 pub use vision::{generate_patch_tokens, VisionCase};

@@ -1,0 +1,207 @@
+//! Multi-turn decode session traces.
+//!
+//! Autoregressive serving traffic is not a stream of independent
+//! requests: a user opens a *session*, and each turn appends a prompt to
+//! the shared prefix and decodes a reply against it. The statistical
+//! stand-in here mirrors the published chat-trace shape: sessions arrive
+//! as a Poisson process, the number of turns per session is geometric,
+//! think-time gaps between turns are exponential, and per-turn decode
+//! lengths come from a heavy-tailed (Pareto) draw — most replies are
+//! short, a few run very long, and those tails dominate inter-token
+//! latency budgets.
+//!
+//! The trace is *open-loop*: turn timestamps are fixed up front (arrival
+//! plus accumulated think time), not fed back from simulated completion
+//! times, so every scheduler under test sees byte-identical demand.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a multi-turn session workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSpec {
+    /// Number of sessions in the trace.
+    pub sessions: usize,
+    /// Session arrival rate (sessions/second, Poisson).
+    pub arrival_rate: f64,
+    /// Mean turns per session (geometric draw, so ≥ 1).
+    pub mean_turns: f64,
+    /// Mean think time between a turn's arrival and the next, seconds
+    /// (exponential draw).
+    pub think_time_s: f64,
+    /// Minimum decode length per turn, tokens (the Pareto scale).
+    pub min_decode_tokens: u32,
+    /// Pareto tail index of the decode-length draw (`> 1` keeps the mean
+    /// finite; smaller = heavier tail).
+    pub tail_alpha: f64,
+}
+
+impl SessionSpec {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count or rate is non-positive, `mean_turns < 1`, or
+    /// `tail_alpha <= 1`.
+    pub fn new(sessions: usize, arrival_rate: f64, mean_turns: f64, think_time_s: f64) -> Self {
+        assert!(sessions > 0, "at least one session");
+        assert!(arrival_rate > 0.0, "session arrival rate must be positive");
+        assert!(mean_turns >= 1.0, "sessions have at least one turn on average");
+        assert!(think_time_s > 0.0, "think time must be positive");
+        Self {
+            sessions,
+            arrival_rate,
+            mean_turns,
+            think_time_s,
+            min_decode_tokens: 16,
+            tail_alpha: 1.8,
+        }
+    }
+
+    /// The same spec with a different decode-length draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_decode_tokens == 0` or `tail_alpha <= 1` (an index
+    /// at or below 1 has no finite mean, which would make goodput targets
+    /// meaningless).
+    pub fn with_decode_tail(mut self, min_decode_tokens: u32, tail_alpha: f64) -> Self {
+        assert!(min_decode_tokens > 0, "decode turns emit at least one token");
+        assert!(tail_alpha > 1.0, "tail index must exceed 1 for a finite mean");
+        self.min_decode_tokens = min_decode_tokens;
+        self.tail_alpha = tail_alpha;
+        self
+    }
+
+    /// Mean decode tokens per turn implied by the Pareto draw:
+    /// `min · α / (α − 1)`.
+    pub fn mean_decode_tokens(&self) -> f64 {
+        self.min_decode_tokens as f64 * self.tail_alpha / (self.tail_alpha - 1.0)
+    }
+}
+
+/// One turn of one session, as emitted by [`session_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionTurnEvent {
+    /// Session identifier (dense, `0..sessions`).
+    pub session: u64,
+    /// Turn index within the session, from 0.
+    pub turn: u32,
+    /// Arrival time of the turn, seconds.
+    pub arrival_s: f64,
+    /// Decode length of the turn, tokens.
+    pub decode_tokens: u32,
+    /// Whether this is the session's final turn.
+    pub last: bool,
+}
+
+/// Samples a seeded multi-turn trace: sessions arrive Poisson at
+/// `spec.arrival_rate`, each runs a geometric number of turns with
+/// exponential think-time gaps, and each turn decodes a Pareto-drawn
+/// token count. Events are sorted by `(arrival_s, session, turn)`; two
+/// calls with equal inputs are identical.
+pub fn session_trace(spec: &SessionSpec, seed: u64) -> Vec<SessionTurnEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut session_start = 0.0f64;
+    // Geometric success probability giving the requested mean turn count.
+    let p_stop = 1.0 / spec.mean_turns;
+    for session in 0..spec.sessions as u64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        session_start += -u.ln() / spec.arrival_rate;
+        let mut t = session_start;
+        let mut turn = 0u32;
+        loop {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let decode_tokens =
+                (spec.min_decode_tokens as f64 * u.powf(-1.0 / spec.tail_alpha)).floor() as u32;
+            let stop: f64 = rng.gen_range(0.0..1.0);
+            let last = stop < p_stop;
+            events.push(SessionTurnEvent { session, turn, arrival_s: t, decode_tokens, last });
+            if last {
+                break;
+            }
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -u.ln() / (1.0 / spec.think_time_s);
+            turn += 1;
+        }
+    }
+    events.sort_by(|a, b| {
+        a.arrival_s
+            .partial_cmp(&b.arrival_s)
+            .expect("finite arrivals")
+            .then(a.session.cmp(&b.session))
+            .then(a.turn.cmp(&b.turn))
+    });
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SessionSpec {
+        SessionSpec::new(40, 5.0, 4.0, 2.0)
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_sorted() {
+        let a = session_trace(&spec(), 7);
+        let b = session_trace(&spec(), 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert_ne!(a, session_trace(&spec(), 8), "seeds diverge");
+    }
+
+    #[test]
+    fn every_session_has_contiguous_turns_and_one_last() {
+        let events = session_trace(&spec(), 3);
+        for s in 0..spec().sessions as u64 {
+            let mut turns: Vec<_> = events.iter().filter(|e| e.session == s).collect();
+            turns.sort_by_key(|e| e.turn);
+            assert!(!turns.is_empty(), "session {s} has no turns");
+            for (i, e) in turns.iter().enumerate() {
+                assert_eq!(e.turn as usize, i, "session {s} turn gap");
+                assert_eq!(e.last, i == turns.len() - 1, "session {s} last flag");
+            }
+            // Turns of one session arrive in order, separated by think time.
+            assert!(turns.windows(2).all(|w| w[0].arrival_s < w[1].arrival_s));
+        }
+    }
+
+    #[test]
+    fn turn_counts_track_the_geometric_mean() {
+        let s = SessionSpec::new(400, 5.0, 4.0, 2.0);
+        let events = session_trace(&s, 5);
+        let mean = events.len() as f64 / s.sessions as f64;
+        assert!((2.5..6.0).contains(&mean), "mean turns {mean} far from 4");
+    }
+
+    #[test]
+    fn decode_lengths_are_heavy_tailed_above_the_minimum() {
+        let s = spec().with_decode_tail(32, 1.5);
+        let events = session_trace(&s, 11);
+        assert!(events.iter().all(|e| e.decode_tokens >= 32));
+        let max = events.iter().map(|e| e.decode_tokens).max().expect("nonempty");
+        let median = {
+            let mut v: Vec<_> = events.iter().map(|e| e.decode_tokens).collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        // A Pareto(α=1.5) tail puts the max far above the median.
+        assert!(max > 3 * median, "max {max} vs median {median} — tail too light");
+        assert!((s.mean_decode_tokens() - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one turn")]
+    fn sub_one_mean_turns_rejected() {
+        let _ = SessionSpec::new(1, 1.0, 0.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail index")]
+    fn infinite_mean_tail_rejected() {
+        let _ = spec().with_decode_tail(16, 1.0);
+    }
+}

@@ -12,7 +12,8 @@
 //! bursts that make admission control earn its keep.
 
 use cta::serve::{
-    mmpp_requests, simulate_fleet, FleetConfig, LoadSpec, MmppParams, QosClass, RoutingPolicy,
+    mmpp_requests, simulate_fleet, AdmissionPolicy, BatchPolicy, FleetConfig, LoadSpec, MmppParams,
+    QosClass, RoutingPolicy,
 };
 use cta::sim::{AttentionTask, SystemConfig};
 
@@ -46,11 +47,16 @@ fn main() {
     );
     for (label, cfg) in [
         ("1 replica, FIFO", FleetConfig::single_fifo(SystemConfig::paper())),
-        ("4 replicas, LOW+batch", {
-            let mut c = FleetConfig::sharded(SystemConfig::paper(), 4);
-            c.routing = RoutingPolicy::LeastOutstandingWork;
-            c
-        }),
+        (
+            "4 replicas, LOW+batch",
+            FleetConfig::builder(SystemConfig::paper())
+                .replicas(4)
+                .routing(RoutingPolicy::LeastOutstandingWork)
+                .admission(AdmissionPolicy::bounded(64))
+                .batch(BatchPolicy::up_to(4))
+                .build()
+                .expect("valid fleet"),
+        ),
     ] {
         let report = simulate_fleet(&cfg, &requests);
         let m = &report.metrics;

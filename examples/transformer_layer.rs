@@ -36,8 +36,8 @@ fn main() {
     println!("mean k0 across {} heads: {:.0} of {} tokens", stats.len(), mean_k0, seq_len);
 
     // Schedule the whole model's attention on the 12-unit system.
-    let hw = cta::sim::HwConfig { max_seq_len: seq_len, ..cta::sim::HwConfig::paper() };
-    let sys = CtaSystem::new(SystemConfig { hw, ..SystemConfig::paper() });
+    let hw = cta::sim::HwConfig::paper().with_max_seq_len(seq_len);
+    let sys = CtaSystem::new(SystemConfig::paper().with_hw(hw));
     let layer_tasks: Vec<Vec<_>> = cmp
         .head_stats
         .iter()

@@ -35,6 +35,13 @@
 //! (`--kernels` / `CTA_KERNELS`, scalar vs cache-blocked vs SIMD inner
 //! loops — pinned bitwise identical).
 //!
+//! Streaming decode sessions thread through the whole stack:
+//! [`StreamingCompressor`] maintains the two-level compression
+//! incrementally per generated token, [`SessionSpec`] generates
+//! multi-turn conversation traces, and [`SessionPolicy`] gives the fleet
+//! sticky routing plus per-session state accounting (see the
+//! `decode_sweep` binary and `examples/generative_decode.rs`).
+//!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
 
@@ -56,3 +63,7 @@ pub use cta_workloads as workloads;
 pub use cta_parallel::Parallelism;
 pub use cta_serve::SweepSpec;
 pub use cta_tensor::KernelPolicy;
+
+pub use cta_lsh::{CompressionView, StreamingCompressor};
+pub use cta_serve::{ConfigError, FleetConfig, FleetConfigBuilder, SessionPolicy, SessionTurn};
+pub use cta_workloads::SessionSpec;
